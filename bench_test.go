@@ -1,0 +1,116 @@
+// Package repro's root benchmark harness regenerates every table and figure
+// of the paper's evaluation (Section 5) as testing.B benchmarks: each
+// benchmark runs the corresponding experiment and logs the same rows/series
+// the paper reports, plus throughput metrics. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The first benchmark to need a model trains it once per process (the
+// registry caches trained controllers); training cost is excluded from the
+// benchmark timer.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/experiments"
+)
+
+func init() {
+	// Benchmark-grade training budget: enough for flight-quality
+	// controllers while keeping the full suite in minutes.
+	dnn.RegistryTrainPerClass = 200
+	dnn.RegistryValPerClass = 132
+}
+
+// pretrain materializes every model outside the benchmark timer.
+func pretrain(b *testing.B, names ...string) {
+	b.Helper()
+	for _, n := range names {
+		if _, err := dnn.Trained(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func runExperiment(b *testing.B, id string, models ...string) {
+	b.Helper()
+	pretrain(b, models...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(id, experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, l := range rep.Lines {
+				b.Log(l)
+			}
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: DNN controller latency on
+// BOOM+Gemmini and Rocket+Gemmini, plus validation accuracy.
+func BenchmarkTable3(b *testing.B) {
+	runExperiment(b, "table3", dnn.Variants()...)
+}
+
+// BenchmarkFigure10 regenerates Figure 10: tunnel trajectories for the
+// three Table 2 SoC configurations from three initial headings.
+func BenchmarkFigure10(b *testing.B) {
+	runExperiment(b, "figure10", "ResNet14")
+}
+
+// BenchmarkFigure11 regenerates Figure 11: the DNN-architecture sweep in
+// s-shape at 9 m/s.
+func BenchmarkFigure11(b *testing.B) {
+	runExperiment(b, "figure11", dnn.Variants()...)
+}
+
+// BenchmarkFigure12 regenerates Figure 12: the velocity-target sweep for
+// ResNet14 on BOOM+Gemmini.
+func BenchmarkFigure12(b *testing.B) {
+	runExperiment(b, "figure12", "ResNet14")
+}
+
+// BenchmarkFigure13 regenerates Figure 13: static vs dynamic DNN runtimes
+// (application runtime and accelerator activity factor).
+func BenchmarkFigure13(b *testing.B) {
+	runExperiment(b, "figure13", "ResNet14", "ResNet6")
+}
+
+// BenchmarkFigure14 regenerates Figure 14: the HW/SW co-design sweep across
+// both Gemmini-equipped SoCs and all DNN variants.
+func BenchmarkFigure14(b *testing.B) {
+	runExperiment(b, "figure14", dnn.Variants()...)
+}
+
+// BenchmarkFigure15 regenerates Figure 15: co-simulation throughput versus
+// synchronization granularity (modeled FPGA curve + measured Go curve).
+func BenchmarkFigure15(b *testing.B) {
+	runExperiment(b, "figure15")
+}
+
+// BenchmarkFigure16 regenerates Figure 16: synchronization granularity
+// versus simulation fidelity (trajectory divergence and induced latency).
+func BenchmarkFigure16(b *testing.B) {
+	runExperiment(b, "figure16", "ResNet14")
+}
+
+// BenchmarkAblationSync measures the lockstep-vs-loose data-exchange
+// ablation (design-choice study; see DESIGN.md §4.5).
+func BenchmarkAblationSync(b *testing.B) {
+	runExperiment(b, "ablation-sync", "ResNet14")
+}
+
+// BenchmarkAblationQueue measures the bridge RX queue-depth ablation.
+func BenchmarkAblationQueue(b *testing.B) {
+	runExperiment(b, "ablation-queue", "ResNet14")
+}
+
+// BenchmarkAblationPolicy measures the argmax-vs-softmax control ablation.
+func BenchmarkAblationPolicy(b *testing.B) {
+	runExperiment(b, "ablation-policy", "ResNet6")
+}

@@ -1,0 +1,67 @@
+// Command rose-asm is the bare-metal half of the software build flow
+// (paper §3.3): it assembles RV64IM source into a flat machine-code image,
+// or disassembles an image back to text.
+//
+// Example:
+//
+//	rose-asm -in kernel.s -out kernel.img
+//	rose-asm -d -in kernel.img
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/riscv"
+)
+
+func main() {
+	var (
+		in   = flag.String("in", "", "input file (assembly source, or image with -d)")
+		out  = flag.String("out", "", "output image path (default: stdout listing only)")
+		dis  = flag.Bool("d", false, "disassemble an image instead of assembling")
+		list = flag.Bool("l", true, "print a listing")
+	)
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("rose-asm: -in is required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *dis {
+		prog, err := riscv.DecodeImage(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, ins := range prog {
+			fmt.Printf("%6x: %s\n", i*4, ins)
+		}
+		return
+	}
+
+	prog, err := riscv.Assemble(string(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, err := riscv.EncodeImage(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *list {
+		for i, ins := range prog {
+			w, _ := riscv.Encode(ins)
+			fmt.Printf("%6x: %08x  %s\n", i*4, w, ins)
+		}
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, img, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d bytes to %s\n", len(img), *out)
+	}
+}

@@ -1,0 +1,49 @@
+// Command rose-env-server hosts the environment simulator behind its TCP
+// RPC interface — the analogue of the packaged AirSim binary the paper's
+// artifact runs on a GPU instance, listening on AirSim's default port
+// (Appendix A.5).
+//
+// Example:
+//
+//	rose-env-server -addr :41451 -map s-shape
+package main
+
+import (
+	"flag"
+	"log"
+
+	"repro/internal/env"
+	"repro/internal/world"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":41451", "listen address (AirSim's default port)")
+		mapName = flag.String("map", "tunnel", "environment: tunnel or s-shape")
+		frameHz = flag.Float64("fps", 60, "frames per simulated second")
+		camW    = flag.Int("cam-w", 64, "camera width (pixels)")
+		camH    = flag.Int("cam-h", 48, "camera height (pixels)")
+		seed    = flag.Int64("seed", 1, "sensor noise seed")
+	)
+	flag.Parse()
+
+	m := world.ByName(*mapName)
+	if m == nil {
+		log.Fatalf("unknown map %q (want one of %v)", *mapName, world.Names())
+	}
+	cfg := env.DefaultConfig(m)
+	cfg.FrameHz = *frameHz
+	cfg.CameraW, cfg.CameraH = *camW, *camH
+	cfg.Seed = *seed
+	sim, err := env.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := env.NewServer(sim, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("environment %q serving on %s (%.0f fps, %dx%d camera)",
+		*mapName, srv.Addr(), *frameHz, *camW, *camH)
+	log.Fatal(srv.Serve())
+}

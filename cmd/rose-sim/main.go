@@ -1,0 +1,109 @@
+// Command rose-sim runs one closed-loop co-simulated mission and writes the
+// synchronizer's CSV logs — the single-run entry point of the RoSÉ flow
+// (paper Appendix A.5).
+//
+// Example:
+//
+//	rose-sim -map s-shape -model ResNet14 -hw A -v 9 -out logs/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/config"
+	"repro/internal/dnn"
+	"repro/internal/experiments"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		mapName  = flag.String("map", "tunnel", "environment: tunnel or s-shape")
+		model    = flag.String("model", "ResNet14", "controller DNN variant")
+		small    = flag.String("dynamic-small", "", "small DNN for the dynamic runtime (empty = static)")
+		hwName   = flag.String("hw", "A", "hardware config: A (BOOM+Gemmini), B (Rocket+Gemmini), C (BOOM)")
+		vfwd     = flag.Float64("v", 3, "forward velocity target (m/s)")
+		yawDeg   = flag.Float64("yaw", 0, "initial heading (degrees)")
+		sync     = flag.Uint64("sync", 16_666_667, "synchronization granularity (SoC cycles)")
+		maxSec   = flag.Float64("maxtime", 60, "simulated time budget (s)")
+		seed     = flag.Int64("seed", 0, "environment noise seed")
+		perClass = flag.Int("train-per-class", 200, "training samples per class for the model registry")
+		outDir   = flag.String("out", "", "directory for CSV logs (empty = no files)")
+		plot     = flag.Bool("plot", true, "print an ASCII trajectory plot")
+	)
+	flag.Parse()
+
+	dnn.RegistryTrainPerClass = *perClass
+	hw, err := config.ByName(*hwName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training %s (and %s) on tunnel datasets...\n", *model, orNone(*small))
+	out, err := experiments.RunMission(experiments.MissionSpec{
+		Map:         *mapName,
+		Model:       *model,
+		SmallModel:  *small,
+		HW:          hw,
+		VForward:    *vfwd,
+		StartYawDeg: *yawDeg,
+		SyncCycles:  *sync,
+		MaxSimSec:   *maxSec,
+		Seed:        *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r := out.Result
+	fmt.Printf("\nmission: completed=%v time=%.2fs collisions=%d avgV=%.2f m/s\n",
+		r.Completed, r.MissionTimeSec, r.Collisions, r.AvgVelocity)
+	fmt.Printf("soc:     cycles=%d activity=%.2f idle=%.2f syncs=%d\n",
+		r.Cycles, r.SoC.ActivityFactor(),
+		float64(r.SoC.IdleCycles)/float64(r.SoC.Cycles+1), r.Syncs)
+	fmt.Printf("cosim:   wall=%.1fs throughput=%.1f simulated MHz, %d inferences\n",
+		r.WallSeconds, r.ThroughputMHz(), len(out.Inferences))
+
+	if *plot && len(r.Trajectory) > 0 {
+		yLim := 3.0
+		if *mapName == "s-shape" {
+			yLim = 8
+		}
+		fmt.Println()
+		fmt.Print(telemetry.RenderTrajectory(r.Trajectory, 0, r.Trajectory[len(r.Trajectory)-1].Pos.X+1,
+			-yLim, yLim, 100, 21))
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		write := func(name string, fn func(f *os.File) error) {
+			f, err := os.Create(filepath.Join(*outDir, name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			if err := fn(f); err != nil {
+				log.Fatal(err)
+			}
+		}
+		write("trajectory.csv", func(f *os.File) error {
+			return telemetry.WriteTrajectoryCSV(f, r.Trajectory)
+		})
+		write("inferences.csv", func(f *os.File) error {
+			return telemetry.WriteInferencesCSV(f, out.Inferences)
+		})
+		fmt.Printf("\nlogs written to %s\n", *outDir)
+	}
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "no small model"
+	}
+	return s
+}

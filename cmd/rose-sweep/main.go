@@ -1,0 +1,88 @@
+// Command rose-sweep regenerates the paper's evaluation tables and figures
+// (the analogue of the artifact's run-all.sh + generate-figures.py): one
+// experiment per table/figure of Section 5, printed as text rows and
+// optionally exported as CSV series.
+//
+// Example:
+//
+//	rose-sweep -exp all -out results/
+//	rose-sweep -exp figure12 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/dnn"
+	"repro/internal/experiments"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (table3, figure10..figure16) or 'all'")
+		quick    = flag.Bool("quick", false, "reduced sweep points and mission budgets")
+		perClass = flag.Int("train-per-class", 200, "training samples per class for the model registry")
+		outDir   = flag.String("out", "", "directory for CSV exports (empty = print only)")
+	)
+	flag.Parse()
+	dnn.RegistryTrainPerClass = *perClass
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	opt := experiments.Options{Quick: *quick}
+
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(id, opt)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Printf("\n=== %s — %s (%.1fs) ===\n", rep.ID, rep.Title, time.Since(start).Seconds())
+		for _, l := range rep.Lines {
+			fmt.Println("  " + l)
+		}
+		if *outDir != "" {
+			if err := export(rep, *outDir); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *outDir != "" {
+		fmt.Printf("\nCSV series written to %s\n", *outDir)
+	}
+}
+
+func export(rep *experiments.Report, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if len(rep.Series) > 0 {
+		f, err := os.Create(filepath.Join(dir, rep.ID+"_series.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := telemetry.WriteSeriesCSV(f, rep.Series); err != nil {
+			return err
+		}
+	}
+	for key, traj := range rep.Trajectories {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s_%s.csv", rep.ID, key)))
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteTrajectoryCSV(f, traj); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+	}
+	return nil
+}

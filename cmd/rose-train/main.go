@@ -1,0 +1,64 @@
+// Command rose-train is the DNN build flow (paper §3.3 and Appendix A.4.4):
+// it renders the tunnel training/validation datasets, trains the classifier
+// heads of the requested variants, reports Table-3-style accuracy, and
+// exports the trained controllers as .rmod model files (the ONNX-export
+// analogue).
+//
+// Example:
+//
+//	rose-train -models all -per-class 400 -out models/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/dnn"
+)
+
+func main() {
+	var (
+		models   = flag.String("models", "all", "comma-separated variants or 'all'")
+		perClass = flag.Int("per-class", 200, "training samples per class per head (paper: 2000)")
+		valPer   = flag.Int("val-per-class", 132, "validation samples per class per head (paper: ~200)")
+		seed     = flag.Int64("seed", 42, "dataset and weight seed")
+		outDir   = flag.String("out", "", "directory for .rmod exports (empty = no files)")
+	)
+	flag.Parse()
+
+	dnn.RegistryTrainPerClass = *perClass
+	dnn.RegistryValPerClass = *valPer
+	dnn.RegistrySeed = *seed
+
+	names := dnn.Variants()
+	if *models != "all" {
+		names = strings.Split(*models, ",")
+	}
+
+	fmt.Printf("%-10s %-8s %-8s %-9s %-9s %-8s\n", "Model", "LatAcc", "AngAcc", "AugMean", "DepMean", "Time")
+	for _, name := range names {
+		start := time.Now()
+		tm, err := dnn.Trained(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-8.3f %-8.3f %-9.3f %-9.3f %-8.1fs\n",
+			name, tm.Result.LateralAccuracy, tm.Result.AngularAccuracy,
+			tm.Result.Accuracy(), tm.Result.CleanAccuracy(), time.Since(start).Seconds())
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*outDir, fmt.Sprintf("trail_dnn_%s.rmod", strings.ToLower(name)))
+			if err := dnn.SaveFile(path, tm.Net); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("           exported %s\n", path)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package app
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/riscv"
+	"repro/internal/soc"
+)
+
+// This file implements the classical-control build-flow path of paper §3.3:
+// instead of an ONNX DNN, the companion computer runs a bare-metal RV64IM
+// control kernel, assembled by internal/riscv and executed instruction by
+// instruction with its cycle count charged to the simulated SoC. Sensor
+// inputs and actuation outputs cross a small MMIO register window, the same
+// way a deployed kernel would reach the RoSÉ BRIDGE queues.
+
+// MMIO register map for control kernels (word addresses from MMIOBase).
+const (
+	ClassicalMMIOBase = 0x4000_0000
+	regDepthMM        = 0x00 // input: forward depth in millimetres (u32)
+	regYawMilliRad    = 0x04 // input: fused yaw in milliradians (i32)
+	regVFwdMM         = 0x40 // output: forward velocity in mm/s (i32)
+	regVLatMM         = 0x44 // output: lateral velocity in mm/s (i32)
+	regYawRateMilli   = 0x48 // output: yaw rate in mrad/s (i32)
+)
+
+// WallFollowerKernel is a depth-reactive cruise kernel in RV64IM assembly:
+// fly forward at the configured speed, and when the forward depth sensor
+// reports an obstacle inside the threshold, slow down and yaw away from it.
+// It demonstrates the classical (non-DNN) software flow end to end; it is
+// not a trail follower.
+const WallFollowerKernel = `
+	# a0 = MMIO base, a1 = cruise mm/s, a2 = threshold mm
+	lwu  t0, 0(a0)          # depth (mm)
+	li   t2, 0
+	li   t3, 0              # yaw rate (mrad/s)
+	bgt  t0, a2, cruise
+	# obstacle: half speed, turn left at 600 mrad/s
+	srai t2, a1, 1
+	li   t3, 600
+	j    out
+cruise:
+	mv   t2, a1
+out:
+	sw   t2, 64(a0)         # VFwd
+	sw   zero, 68(a0)       # VLat
+	sw   t3, 72(a0)         # YawRate
+	ebreak
+`
+
+// ClassicalParams configures a classical-control mission.
+type ClassicalParams struct {
+	CruiseMMPerSec int64 // forward velocity in mm/s
+	ThresholdMM    int64 // obstacle threshold in mm
+	PeriodSec      float64
+	WarmupSec      float64
+}
+
+// DefaultClassicalParams returns a gentle cruise configuration.
+func DefaultClassicalParams() ClassicalParams {
+	return ClassicalParams{
+		CruiseMMPerSec: 2000,
+		ThresholdMM:    8000,
+		PeriodSec:      0.05,
+		WarmupSec:      1.5,
+	}
+}
+
+// ClassicalController returns a program that runs the given RV64IM kernel
+// source every control period. Sensor data arrives over the bridge like any
+// other workload; the kernel's retired cycle count (scaled from the modeled
+// kernel clock to the SoC clock 1:1 — both are the companion core) is
+// charged to the engine.
+func ClassicalController(kernelSrc string, p ClassicalParams, log *Log) (soc.Program, error) {
+	prog, err := riscv.Assemble(kernelSrc)
+	if err != nil {
+		return nil, fmt.Errorf("app: assembling kernel: %w", err)
+	}
+	return func(rt *soc.Runtime) error {
+		clock := rt.Params().ClockHz
+		warmup(rt, ControlParams{WarmupSec: p.WarmupSec})
+		periodCycles := rt.Params().SecondsToCycles(p.PeriodSec)
+		for {
+			req := rt.Now()
+			// Fetch sensors through the bridge.
+			rt.Send(packet.Packet{Type: packet.DepthReq})
+			depth, err := packet.UnmarshalDepth(recvOfType(rt, packet.DepthData))
+			if err != nil {
+				return fmt.Errorf("app: %w", err)
+			}
+			rt.Send(packet.Packet{Type: packet.IMUReq})
+			imu, err := packet.UnmarshalIMU(recvOfType(rt, packet.IMUData))
+			if err != nil {
+				return fmt.Errorf("app: %w", err)
+			}
+
+			// Run the kernel on the RISC-V emulator with an MMIO window.
+			inputs := map[uint64]uint64{
+				regDepthMM:     uint64(uint32(depth.Meters * 1000)),
+				regYawMilliRad: uint64(uint32(int32(imu.RPY[2] * 1000))),
+			}
+			outputs := map[uint64]uint64{}
+			cpu := riscv.New(prog, 16<<10)
+			cpu.Regs[10] = ClassicalMMIOBase
+			cpu.Regs[11] = uint64(p.CruiseMMPerSec)
+			cpu.Regs[12] = uint64(p.ThresholdMM)
+			cpu.MMIOBase = ClassicalMMIOBase
+			cpu.MMIORead = func(addr uint64, size int) uint64 {
+				return inputs[addr-ClassicalMMIOBase]
+			}
+			cpu.MMIOWrite = func(addr uint64, size int, val uint64) {
+				outputs[addr-ClassicalMMIOBase] = val
+			}
+			if err := cpu.Run(1_000_000); err != nil {
+				return fmt.Errorf("app: kernel: %w", err)
+			}
+			rt.Compute(cpu.Cycles)
+
+			cmd := packet.Cmd{
+				VForward: float64(int32(uint32(outputs[regVFwdMM]))) / 1000,
+				VLateral: float64(int32(uint32(outputs[regVLatMM]))) / 1000,
+				YawRate:  float64(int32(uint32(outputs[regYawRateMilli]))) / 1000,
+			}
+			rt.Send(cmd.Marshal())
+			resp := rt.Now()
+			if log != nil {
+				log.Add(InferenceRecord{
+					Model:       "rv64-kernel",
+					ReqCycle:    req,
+					RespCycle:   resp,
+					LatencySec:  float64(resp-req) / clock,
+					Cmd:         cmd,
+					DepthMeters: depth.Meters,
+				})
+			}
+			// Idle out the rest of the control period.
+			if used := resp - req; used < periodCycles {
+				rt.Compute(periodCycles - used)
+			}
+		}
+	}, nil
+}

@@ -1,0 +1,196 @@
+// Package bridge models the RoSÉ BRIDGE (paper §3.2, §3.4, Figure 5): the
+// FireSim-style bridge that synchronously models I/O between the companion
+// computer under simulation and the flight controller in the environment
+// simulator.
+//
+// The bridge has two halves:
+//
+//   - Hardware queues that stage data packets crossing the modeled I/O
+//     interface, exposed to the target SoC as memory-mapped registers on the
+//     system bus. Only data packets are visible to the SoC.
+//   - A control unit that throttles execution of the RTL simulation: it
+//     consumes synchronization packets (cycle budgets) from the synchronizer
+//     and releases cycles to the SoC engine one quantum at a time.
+package bridge
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// DefaultQueueBytes is the default capacity of each hardware queue. Images
+// must fit or the sender stalls against back-pressure.
+const DefaultQueueBytes = 64 << 10
+
+// Queue is a bounded FIFO of packets with a byte-capacity limit, modeling a
+// hardware buffer in the bridge RTL.
+type Queue struct {
+	capBytes int
+	used     int
+	pkts     []packet.Packet
+}
+
+// NewQueue creates a queue holding at most capBytes of payload+header data.
+func NewQueue(capBytes int) *Queue {
+	return &Queue{capBytes: capBytes}
+}
+
+// Push appends p; it reports false (and leaves the queue unchanged) when the
+// packet does not fit — hardware back-pressure.
+func (q *Queue) Push(p packet.Packet) bool {
+	if q.used+p.Size() > q.capBytes {
+		return false
+	}
+	q.pkts = append(q.pkts, p)
+	q.used += p.Size()
+	return true
+}
+
+// Pop removes and returns the oldest packet.
+func (q *Queue) Pop() (packet.Packet, bool) {
+	if len(q.pkts) == 0 {
+		return packet.Packet{}, false
+	}
+	p := q.pkts[0]
+	q.pkts = q.pkts[1:]
+	q.used -= p.Size()
+	return p, true
+}
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return len(q.pkts) }
+
+// UsedBytes returns the occupied capacity.
+func (q *Queue) UsedBytes() int { return q.used }
+
+// FreeBytes returns the remaining capacity.
+func (q *Queue) FreeBytes() int { return q.capBytes - q.used }
+
+// Stats counts bridge traffic for telemetry and the throughput experiments.
+type Stats struct {
+	HostToSoCPackets int
+	HostToSoCBytes   int
+	SoCToHostPackets int
+	SoCToHostBytes   int
+	SyncGrants       int
+	RxDrops          int // host→SoC packets rejected by a full queue
+}
+
+// Bridge is the target-side RoSÉ BRIDGE instance.
+type Bridge struct {
+	rx *Queue // host → SoC data packets
+	tx *Queue // SoC → host data packets
+
+	cyclesPerSync uint64 // firesim_steps, set by SYNC_CONFIG
+	budget        uint64 // cycles granted and not yet consumed
+
+	stats Stats
+}
+
+// New creates a bridge with the given queue capacities (bytes); zero values
+// select DefaultQueueBytes.
+func New(rxBytes, txBytes int) *Bridge {
+	if rxBytes <= 0 {
+		rxBytes = DefaultQueueBytes
+	}
+	if txBytes <= 0 {
+		txBytes = DefaultQueueBytes
+	}
+	return &Bridge{rx: NewQueue(rxBytes), tx: NewQueue(txBytes)}
+}
+
+// HandleHostPacket processes one packet arriving from the synchronizer.
+// Synchronization packets terminate in the control unit; data packets are
+// staged in the RX hardware queue for the SoC.
+func (b *Bridge) HandleHostPacket(p packet.Packet) error {
+	if p.Type.IsSync() {
+		switch p.Type {
+		case packet.SyncConfig:
+			v, err := p.AsU64()
+			if err != nil {
+				return err
+			}
+			b.cyclesPerSync = v
+		case packet.SyncGrant:
+			v, err := p.AsU64()
+			if err != nil {
+				return err
+			}
+			b.budget += v
+			b.stats.SyncGrants++
+		case packet.SyncReset:
+			b.budget = 0
+			b.rx = NewQueue(b.rx.capBytes)
+			b.tx = NewQueue(b.tx.capBytes)
+		default:
+			return fmt.Errorf("bridge: unexpected sync packet %v from host", p.Type)
+		}
+		return nil
+	}
+	if !b.rx.Push(p) {
+		b.stats.RxDrops++
+		return fmt.Errorf("bridge: rx queue full (%d bytes used), dropped %v", b.rx.UsedBytes(), p.Type)
+	}
+	b.stats.HostToSoCPackets++
+	b.stats.HostToSoCBytes += p.Size()
+	return nil
+}
+
+// DrainToHost removes and returns all SoC→host packets, called by the
+// synchronizer at each synchronization boundary.
+func (b *Bridge) DrainToHost() []packet.Packet {
+	var out []packet.Packet
+	for {
+		p, ok := b.tx.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, p)
+	}
+}
+
+// CyclesPerSync returns the configured synchronization quantum.
+func (b *Bridge) CyclesPerSync() uint64 { return b.cyclesPerSync }
+
+// Budget returns the cycles currently released to the SoC engine.
+func (b *Bridge) Budget() uint64 { return b.budget }
+
+// ConsumeBudget subtracts up to n cycles from the granted budget and returns
+// the amount actually consumed.
+func (b *Bridge) ConsumeBudget(n uint64) uint64 {
+	if n > b.budget {
+		n = b.budget
+	}
+	b.budget -= n
+	return n
+}
+
+// --- SoC-facing side: what the memory-mapped queue registers expose ---
+
+// RecvData pops the next data packet from the RX queue (a read of the
+// bridge's RX registers). ok is false when no data is pending — the SoC
+// stalls until the next synchronization delivers packets.
+func (b *Bridge) RecvData() (packet.Packet, bool) { return b.rx.Pop() }
+
+// PeekRxLen returns the number of packets visible in the RX queue, as a
+// status-register read would.
+func (b *Bridge) PeekRxLen() int { return b.rx.Len() }
+
+// SendData pushes a data packet into the TX queue (a write of the bridge's
+// TX registers). It reports false when the queue is full — back-pressure
+// stalls the SoC until the synchronizer drains the queue.
+func (b *Bridge) SendData(p packet.Packet) bool {
+	if p.Type.IsSync() {
+		return false // the SoC can never emit sync packets
+	}
+	if !b.tx.Push(p) {
+		return false
+	}
+	b.stats.SoCToHostPackets++
+	b.stats.SoCToHostBytes += p.Size()
+	return true
+}
+
+// Stats returns a copy of the traffic counters.
+func (b *Bridge) Stats() Stats { return b.stats }

@@ -1,0 +1,85 @@
+// Package config enumerates the evaluated hardware configurations of the
+// paper's Table 2 and the deployment descriptions of Table 4.
+package config
+
+import (
+	"fmt"
+
+	"repro/internal/soc"
+)
+
+// HW is one SoC configuration row of Table 2.
+type HW struct {
+	Name    string
+	Core    soc.CoreKind
+	Gemmini bool
+}
+
+// The paper's Table 2 configurations.
+var (
+	// A: 3-wide BOOM with a Gemmini accelerator.
+	A = HW{Name: "A", Core: soc.BOOM, Gemmini: true}
+	// B: in-order Rocket with a Gemmini accelerator.
+	B = HW{Name: "B", Core: soc.Rocket, Gemmini: true}
+	// C: 3-wide BOOM without an accelerator.
+	C = HW{Name: "C", Core: soc.BOOM, Gemmini: false}
+)
+
+// All returns the Table 2 configurations in order.
+func All() []HW { return []HW{A, B, C} }
+
+// ByName looks up a configuration by its Table 2 letter.
+func ByName(name string) (HW, error) {
+	for _, h := range All() {
+		if h.Name == name {
+			return h, nil
+		}
+	}
+	return HW{}, fmt.Errorf("config: unknown hardware config %q (want A, B, or C)", name)
+}
+
+// String renders the row as in Table 2.
+func (h HW) String() string {
+	acc := "None"
+	if h.Gemmini {
+		acc = "Gemmini"
+	}
+	cpu := h.Core.String()
+	if h.Core == soc.BOOM {
+		cpu = "3-wide BOOM"
+	}
+	return fmt.Sprintf("%s: CPU=%s, Accelerator=%s", h.Name, cpu, acc)
+}
+
+// SoCConfig converts the row into an engine configuration.
+func (h HW) SoCConfig() soc.Config {
+	return soc.Config{Core: h.Core, Gemmini: h.Gemmini}
+}
+
+// Deployment describes where the two simulators run (Table 4). The Go
+// reproduction supports in-process deployment and TCP deployment between
+// hosts; the hardware rows document what the paper used.
+type Deployment struct {
+	Name        string
+	EnvHost     string // AirSim-side host in the paper
+	RTLHost     string // FireSim-side host in the paper
+	Description string
+}
+
+// Deployments returns the Table 4 rows.
+func Deployments() []Deployment {
+	return []Deployment{
+		{
+			Name:        "on-premise",
+			EnvHost:     "Core i7-3930K + GTX TITAN X (AirSim)",
+			RTLHost:     "Xeon Gold 6242 + Xilinx U250 (FireSim)",
+			Description: "desktop + FPGA server on a local network",
+		},
+		{
+			Name:        "cloud",
+			EnvHost:     "AWS g4dn.2xlarge, Tesla T4 (AirSim)",
+			RTLHost:     "AWS f1.2xlarge, Xilinx VU9P (FireSim)",
+			Description: "AWS GPU + FPGA instances",
+		},
+	}
+}

@@ -1,0 +1,58 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/soc"
+)
+
+func TestTable2Configs(t *testing.T) {
+	if A.Core != soc.BOOM || !A.Gemmini {
+		t.Errorf("config A = %+v, want BOOM+Gemmini", A)
+	}
+	if B.Core != soc.Rocket || !B.Gemmini {
+		t.Errorf("config B = %+v, want Rocket+Gemmini", B)
+	}
+	if C.Core != soc.BOOM || C.Gemmini {
+		t.Errorf("config C = %+v, want BOOM only", C)
+	}
+	if len(All()) != 3 {
+		t.Error("Table 2 has three configs")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"A", "B", "C"} {
+		h, err := ByName(name)
+		if err != nil || h.Name != name {
+			t.Errorf("ByName(%q) = %+v, %v", name, h, err)
+		}
+	}
+	if _, err := ByName("Z"); err == nil {
+		t.Error("unknown config accepted")
+	}
+}
+
+func TestStringAndSoCConfig(t *testing.T) {
+	if s := A.String(); !strings.Contains(s, "BOOM") || !strings.Contains(s, "Gemmini") {
+		t.Errorf("A.String() = %q", s)
+	}
+	if s := C.String(); !strings.Contains(s, "None") {
+		t.Errorf("C.String() = %q", s)
+	}
+	sc := B.SoCConfig()
+	if sc.Core != soc.Rocket || !sc.Gemmini {
+		t.Errorf("B.SoCConfig() = %+v", sc)
+	}
+}
+
+func TestDeployments(t *testing.T) {
+	ds := Deployments()
+	if len(ds) != 2 {
+		t.Fatalf("%d deployments, want 2 (Table 4)", len(ds))
+	}
+	if ds[0].Name != "on-premise" || ds[1].Name != "cloud" {
+		t.Errorf("deployment names: %q, %q", ds[0].Name, ds[1].Name)
+	}
+}

@@ -1,0 +1,297 @@
+// Package core implements RoSÉ's primary contribution: the synchronizer
+// that co-simulates a robotics environment simulator and an RTL-level SoC
+// simulation in lockstep (paper §3.4, Algorithm 1, Figure 5).
+//
+// Each synchronization step the synchronizer (1) polls the RTL side for I/O
+// packets produced during the last quantum, (2) translates them into
+// environment-simulator API calls and encodes the responses as data
+// packets, (3) pushes the responses to the RoSÉ BRIDGE, and (4) releases
+// one quantum of simulation to both sides: `airsim_steps` environment
+// frames and `firesim_steps` SoC cycles, related by Equation 1:
+//
+//	airsim_steps / firesim_steps = soc_clock_freq / airsim_frame_freq
+//
+// The synchronization granularity (cycles per quantum) is the central
+// fidelity/throughput trade-off the paper evaluates in Figures 15 and 16.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/packet"
+	"repro/internal/soc"
+)
+
+// RTL is the synchronizer's view of the SoC simulation side (FireSim +
+// RoSÉ BRIDGE in the paper; soc.Machine in-process, or a TCP client for
+// distributed deployments).
+type RTL interface {
+	// Step grants one quantum of cycles and runs the target.
+	Step(cycles uint64) (uint64, error)
+	// Push delivers host→SoC packets at a synchronization boundary.
+	Push(pkts []packet.Packet) error
+	// Pull drains SoC→host packets at a synchronization boundary.
+	Pull() ([]packet.Packet, error)
+	// Cycle returns the current simulated cycle.
+	Cycle() uint64
+	// Stats returns engine activity counters.
+	Stats() soc.Stats
+	// Done reports whether the target program exited (normally an error
+	// for the endless control loops deployed here).
+	Done() bool
+}
+
+// Config parameterizes one co-simulation run.
+type Config struct {
+	// SoCClockHz is the modeled SoC clock (Equation 1). Defaults to 1 GHz.
+	SoCClockHz float64
+	// SyncCycles is the synchronization granularity in SoC cycles per
+	// quantum. Defaults to ~16.7M (one 60 Hz frame at 1 GHz).
+	SyncCycles uint64
+	// MaxSimSeconds bounds the simulated mission duration.
+	MaxSimSeconds float64
+	// StopOnMissionComplete ends the run once the environment reports the
+	// mission goal reached.
+	StopOnMissionComplete bool
+	// MaxCollisions aborts the run after this many collision episodes
+	// (0 = unlimited).
+	MaxCollisions int
+	// RecordTrajectory stores per-quantum telemetry samples in the result.
+	RecordTrajectory bool
+	// ExchangeEveryN relaxes lockstep data exchange: packets cross the
+	// bridge only every N quanta (1 = strict lockstep, the default).
+	// Values > 1 model a loosely-coupled co-simulation and are used by the
+	// ablation study to show why RoSÉ's per-quantum exchange matters.
+	ExchangeEveryN int
+}
+
+// DefaultConfig returns the evaluation defaults: 1 GHz SoC, one 60 Hz frame
+// per synchronization, 120 simulated seconds.
+func DefaultConfig() Config {
+	return Config{
+		SoCClockHz:            1e9,
+		SyncCycles:            16_666_667,
+		MaxSimSeconds:         120,
+		StopOnMissionComplete: true,
+		RecordTrajectory:      true,
+	}
+}
+
+// Result summarizes one co-simulated mission.
+type Result struct {
+	// MissionTimeSec is the simulated time at mission completion (or the
+	// full run duration when not completed).
+	MissionTimeSec float64
+	Completed      bool
+	Collisions     int
+	// AvgVelocity is mean ground speed over the mission (m/s).
+	AvgVelocity float64
+	// Trajectory holds per-quantum telemetry when recording was enabled.
+	Trajectory []env.Telemetry
+	// SimSeconds is the total simulated time of the run.
+	SimSeconds float64
+	// Cycles is the total SoC cycles simulated; Syncs the quantum count.
+	Cycles uint64
+	Syncs  uint64
+	// WallSeconds is the host wall-clock duration of the run, the basis of
+	// the Figure 15 throughput measurement.
+	WallSeconds float64
+	// SoC holds the engine's activity counters (activity factor etc.).
+	SoC soc.Stats
+}
+
+// ThroughputMHz returns the measured co-simulation rate in simulated MHz
+// (simulated cycles per wall-clock microsecond), Figure 15's metric.
+func (r *Result) ThroughputMHz() float64 {
+	if r.WallSeconds <= 0 {
+		return 0
+	}
+	return float64(r.Cycles) / r.WallSeconds / 1e6
+}
+
+// Synchronizer drives one environment/RTL pair in lockstep.
+type Synchronizer struct {
+	env env.Env
+	rtl RTL
+	cfg Config
+}
+
+// New builds a synchronizer. The environment's frame rate and the config's
+// clock determine the frames-per-quantum ratio via Equation 1.
+func New(e env.Env, rtl RTL, cfg Config) (*Synchronizer, error) {
+	if e == nil || rtl == nil {
+		return nil, fmt.Errorf("core: nil environment or RTL")
+	}
+	if cfg.SoCClockHz <= 0 {
+		cfg.SoCClockHz = 1e9
+	}
+	if cfg.SyncCycles == 0 {
+		return nil, fmt.Errorf("core: SyncCycles must be positive")
+	}
+	if cfg.MaxSimSeconds <= 0 {
+		return nil, fmt.Errorf("core: MaxSimSeconds must be positive")
+	}
+	return &Synchronizer{env: e, rtl: rtl, cfg: cfg}, nil
+}
+
+// Run executes Algorithm 1 until the mission completes, the time budget
+// expires, or the collision limit is hit.
+func (s *Synchronizer) Run() (*Result, error) {
+	cfg := s.cfg
+	start := time.Now()
+	res := &Result{}
+
+	// firesim_steps is configured once up front (Algorithm 1's
+	// set_firesim_steps), informing the bridge control unit.
+	if err := s.rtl.Push([]packet.Packet{packet.U64(packet.SyncConfig, cfg.SyncCycles)}); err != nil {
+		return nil, fmt.Errorf("core: configuring bridge: %w", err)
+	}
+
+	framesPerCycle := s.env.FrameRate() / cfg.SoCClockHz
+	quantumSec := float64(cfg.SyncCycles) / cfg.SoCClockHz
+	var frameDebt float64
+	var simT float64
+	var speedSum float64
+	var speedN int
+	exchangeEvery := cfg.ExchangeEveryN
+	if exchangeEvery < 1 {
+		exchangeEvery = 1
+	}
+
+	for quantum := 0; simT < cfg.MaxSimSeconds; quantum++ {
+		if quantum%exchangeEvery == 0 {
+			// --- Poll the RTL side for I/O from the last quantum and
+			// translate packets into environment API calls (Algorithm 1's
+			// decode/call_airsim_api). ---
+			pkts, err := s.rtl.Pull()
+			if err != nil {
+				return nil, fmt.Errorf("core: pulling RTL I/O: %w", err)
+			}
+			var resp []packet.Packet
+			for _, p := range pkts {
+				r, err := s.serve(p)
+				if err != nil {
+					return nil, err
+				}
+				if r != nil {
+					resp = append(resp, *r)
+				}
+			}
+			// --- Transmit encoded environment data to the bridge. ---
+			if err := s.rtl.Push(resp); err != nil {
+				return nil, fmt.Errorf("core: pushing env data: %w", err)
+			}
+		}
+
+		// --- Allocate tokens: advance both simulators one quantum
+		// (Equation 1 ratio, with fractional frames accumulated). ---
+		frameDebt += float64(cfg.SyncCycles) * framesPerCycle
+		frames := int(frameDebt)
+		frameDebt -= float64(frames)
+		if err := s.env.StepFrames(frames); err != nil {
+			return nil, fmt.Errorf("core: stepping environment: %w", err)
+		}
+		if _, err := s.rtl.Step(cfg.SyncCycles); err != nil {
+			return nil, fmt.Errorf("core: stepping RTL: %w", err)
+		}
+		simT += quantumSec
+		res.Syncs++
+
+		// --- Bookkeeping. ---
+		tm, err := s.env.Telemetry()
+		if err != nil {
+			return nil, fmt.Errorf("core: telemetry: %w", err)
+		}
+		if cfg.RecordTrajectory {
+			res.Trajectory = append(res.Trajectory, tm)
+		}
+		speedSum += tm.Vel.Norm()
+		speedN++
+		res.Collisions = tm.CollisionCount
+
+		if s.rtl.Done() {
+			return nil, fmt.Errorf("core: target program exited unexpectedly")
+		}
+		if tm.MissionComplete {
+			res.Completed = true
+			if cfg.StopOnMissionComplete {
+				break
+			}
+		}
+		if cfg.MaxCollisions > 0 && tm.CollisionCount >= cfg.MaxCollisions {
+			break
+		}
+	}
+
+	res.SimSeconds = simT
+	res.MissionTimeSec = simT
+	res.Cycles = s.rtl.Cycle()
+	res.WallSeconds = time.Since(start).Seconds()
+	res.SoC = s.rtl.Stats()
+	if speedN > 0 {
+		res.AvgVelocity = speedSum / float64(speedN)
+	}
+	return res, nil
+}
+
+// serve translates one SoC-originated packet into an environment API call,
+// returning the response packet to enqueue (nil for pure commands).
+func (s *Synchronizer) serve(p packet.Packet) (*packet.Packet, error) {
+	switch p.Type {
+	case packet.CamReq:
+		img, err := s.env.GetImage()
+		if err != nil {
+			return nil, fmt.Errorf("core: env image: %w", err)
+		}
+		frame, err := packet.CamFrame{W: img.W, H: img.H, Pix: img.Bytes()}.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		return &frame, nil
+	case packet.IMUReq:
+		r, err := s.env.GetIMU()
+		if err != nil {
+			return nil, fmt.Errorf("core: env IMU: %w", err)
+		}
+		pkt := packet.IMU{
+			Accel:   [3]float64{r.Accel.X, r.Accel.Y, r.Accel.Z},
+			Gyro:    [3]float64{r.Gyro.X, r.Gyro.Y, r.Gyro.Z},
+			RPY:     [3]float64{r.Roll, r.Pitch, r.Yaw},
+			TimeSec: r.TimeSec,
+		}.Marshal()
+		return &pkt, nil
+	case packet.DepthReq:
+		d, err := s.env.GetDepth()
+		if err != nil {
+			return nil, fmt.Errorf("core: env depth: %w", err)
+		}
+		pkt := packet.Depth{Meters: d}.Marshal()
+		return &pkt, nil
+	case packet.CmdVel:
+		cmd, err := packet.UnmarshalCmd(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.env.SetVelocity(cmd.VForward, cmd.VLateral, cmd.YawRate); err != nil {
+			return nil, fmt.Errorf("core: env actuation: %w", err)
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("core: unexpected packet %v from SoC", p.Type)
+	}
+}
+
+// ModeledThroughput predicts co-simulation throughput for an
+// FPGA-accelerated deployment (Figure 15's model): the FPGA simulates at
+// fpgaMHz between boundaries, and every synchronization costs a fixed host
+// round-trip. Fine granularity amortizes the overhead poorly; coarse
+// granularity approaches the FPGA's native rate.
+func ModeledThroughput(syncCycles uint64, fpgaMHz, syncOverheadSec float64) float64 {
+	if syncCycles == 0 || fpgaMHz <= 0 {
+		return 0
+	}
+	simSec := float64(syncCycles) / (fpgaMHz * 1e6)
+	return float64(syncCycles) / (simSec + syncOverheadSec) / 1e6
+}

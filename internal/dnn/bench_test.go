@@ -1,0 +1,25 @@
+package dnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// BenchmarkForward measures functional inference of the evaluation models.
+func BenchmarkForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := tensor.New(1, 48, 64)
+	for i := range in.Data {
+		in.Data[i] = rng.Float32() - 0.5
+	}
+	for _, name := range []string{"ResNet6", "ResNet14", "ResNet34"} {
+		n := MustBuild(name, 1)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n.Forward(in)
+			}
+		})
+	}
+}

@@ -1,0 +1,257 @@
+// Package dnn implements the TrailNet-style dual-headed ResNet controllers
+// the paper trains for visual trail navigation (§4.2.2, Figure 8): a
+// convolutional backbone feeding two 3-class softmax heads, one classifying
+// the UAV's angle relative to the trail and one its lateral offset.
+//
+// Substitution note (see DESIGN.md): the paper trains full-resolution
+// PyTorch ResNets on AirSim renders and exports them via ONNX. Here the
+// networks are built and trained from scratch in Go on images rendered by
+// internal/env — spatially reduced (64×48 grayscale) with thin channel
+// widths so pure-Go inference stays tractable; the SoC timing model scales
+// compute back to paper-scale MAC counts (soc.Params.WorkloadScale).
+package dnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// OpKind classifies an operation for the SoC timing model.
+type OpKind int
+
+const (
+	// OpMatMul is a dense matrix multiply (conv lowering or FC), the part
+	// Gemmini accelerates.
+	OpMatMul OpKind = iota
+	// OpStream is a bandwidth-bound CPU pass (im2col, BN, ReLU, pooling).
+	OpStream
+)
+
+// OpDesc describes one operation of a layer for cycle pricing.
+type OpDesc struct {
+	Kind    OpKind
+	M, K, N int    // matmul dimensions (valid when Kind == OpMatMul)
+	Bytes   uint64 // bytes streamed (valid when Kind == OpStream)
+}
+
+// MACs returns the multiply-accumulate count of a matmul op.
+func (o OpDesc) MACs() uint64 {
+	if o.Kind != OpMatMul {
+		return 0
+	}
+	return uint64(o.M) * uint64(o.K) * uint64(o.N)
+}
+
+// Layer is one backbone stage: a functional forward pass plus a timing
+// description under shape propagation.
+type Layer interface {
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	// Describe returns the layer's operations for input shape (c,h,w) and
+	// the output shape.
+	Describe(c, h, w int) ([]OpDesc, [3]int)
+}
+
+const f32 = 4 // bytes per element
+
+// Conv is a 2-D convolution layer.
+type Conv struct {
+	W      *tensor.Tensor // OIHW
+	Bias   []float32
+	Stride int
+	Pad    int
+}
+
+// NewConv builds a conv layer with He-normal weights from rng.
+func NewConv(rng *rand.Rand, outC, inC, k, stride, pad int) *Conv {
+	w := tensor.New(outC, inC, k, k)
+	std := math.Sqrt(2.0 / float64(inC*k*k))
+	for i := range w.Data {
+		w.Data[i] = float32(rng.NormFloat64() * std)
+	}
+	return &Conv{W: w, Bias: make([]float32, outC), Stride: stride, Pad: pad}
+}
+
+// Forward implements Layer.
+func (l *Conv) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.Conv2D(x, l.W, l.Bias, l.Stride, l.Pad)
+}
+
+// Describe implements Layer.
+func (l *Conv) Describe(c, h, w int) ([]OpDesc, [3]int) {
+	outC, k := l.W.Shape[0], l.W.Shape[2]
+	outH := (h+2*l.Pad-k)/l.Stride + 1
+	outW := (w+2*l.Pad-k)/l.Stride + 1
+	m := outH * outW
+	kk := c * k * k
+	ops := []OpDesc{
+		// im2col materialization on the CPU.
+		{Kind: OpStream, Bytes: uint64(m*kk) * f32},
+		{Kind: OpMatMul, M: m, K: kk, N: outC},
+	}
+	return ops, [3]int{outC, outH, outW}
+}
+
+// BatchNorm is inference-mode batch normalization.
+type BatchNorm struct {
+	Gamma, Beta, Mean, Var []float32
+}
+
+// NewBatchNorm builds an identity-initialized BN for c channels; statistics
+// are typically set afterwards by CalibrateBN.
+func NewBatchNorm(c int) *BatchNorm {
+	bn := &BatchNorm{
+		Gamma: make([]float32, c),
+		Beta:  make([]float32, c),
+		Mean:  make([]float32, c),
+		Var:   make([]float32, c),
+	}
+	for i := 0; i < c; i++ {
+		bn.Gamma[i] = 1
+		bn.Var[i] = 1
+	}
+	return bn
+}
+
+// Forward implements Layer.
+func (l *BatchNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.BatchNorm(x, l.Gamma, l.Beta, l.Mean, l.Var, 1e-5)
+}
+
+// Describe implements Layer.
+func (l *BatchNorm) Describe(c, h, w int) ([]OpDesc, [3]int) {
+	return []OpDesc{{Kind: OpStream, Bytes: uint64(c*h*w) * 2 * f32}}, [3]int{c, h, w}
+}
+
+// ReLU is the rectifier activation.
+type ReLU struct{}
+
+// Forward implements Layer.
+func (ReLU) Forward(x *tensor.Tensor) *tensor.Tensor { return tensor.ReLU(x) }
+
+// Describe implements Layer.
+func (ReLU) Describe(c, h, w int) ([]OpDesc, [3]int) {
+	return []OpDesc{{Kind: OpStream, Bytes: uint64(c*h*w) * 2 * f32}}, [3]int{c, h, w}
+}
+
+// MaxPool is k×k max pooling with stride s.
+type MaxPool struct{ K, S int }
+
+// Forward implements Layer.
+func (l *MaxPool) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.MaxPool2D(x, l.K, l.S)
+}
+
+// Describe implements Layer.
+func (l *MaxPool) Describe(c, h, w int) ([]OpDesc, [3]int) {
+	outH := (h-l.K)/l.S + 1
+	outW := (w-l.K)/l.S + 1
+	return []OpDesc{{Kind: OpStream, Bytes: uint64(c*h*w) * f32}}, [3]int{c, outH, outW}
+}
+
+// Block is a ResNet basic block: conv-BN-ReLU-conv-BN plus a (possibly
+// projected) shortcut, followed by ReLU.
+type Block struct {
+	Conv1 *Conv
+	BN1   *BatchNorm
+	Conv2 *Conv
+	BN2   *BatchNorm
+	// Down projects the shortcut when shape changes (1×1 conv + BN).
+	Down   *Conv
+	DownBN *BatchNorm
+}
+
+// NewBlock builds a basic block inC→outC with the given stride on the first
+// conv (stride > 1 and/or channel change adds the projection shortcut).
+func NewBlock(rng *rand.Rand, inC, outC, stride int) *Block {
+	b := &Block{
+		Conv1: NewConv(rng, outC, inC, 3, stride, 1),
+		BN1:   NewBatchNorm(outC),
+		Conv2: NewConv(rng, outC, outC, 3, 1, 1),
+		BN2:   NewBatchNorm(outC),
+	}
+	// Down-weight the residual branch so each block is a near-identity
+	// refinement: with frozen (untrained) convolutions a full-strength
+	// random branch scrambles the signal layer by layer, whereas the paper's
+	// trained networks refine it. 0.3 keeps information flowing down the
+	// shortcut while the branch adds higher-order features (akin to zero-init
+	// residual gamma, a standard ResNet training trick).
+	for i := range b.BN2.Gamma {
+		b.BN2.Gamma[i] = 0.3
+	}
+	if stride != 1 || inC != outC {
+		b.Down = NewConv(rng, outC, inC, 1, stride, 0)
+		b.DownBN = NewBatchNorm(outC)
+	}
+	return b
+}
+
+// Forward implements Layer.
+func (b *Block) Forward(x *tensor.Tensor) *tensor.Tensor {
+	y := b.Conv1.Forward(x)
+	y = b.BN1.Forward(y)
+	y = tensor.ReLU(y)
+	y = b.Conv2.Forward(y)
+	y = b.BN2.Forward(y)
+	short := x
+	if b.Down != nil {
+		short = b.DownBN.Forward(b.Down.Forward(x))
+	}
+	return tensor.ReLU(tensor.Add(y, short))
+}
+
+// Describe implements Layer.
+func (b *Block) Describe(c, h, w int) ([]OpDesc, [3]int) {
+	ops, s := b.Conv1.Describe(c, h, w)
+	add := func(more []OpDesc, ns [3]int) {
+		ops = append(ops, more...)
+		s = ns
+	}
+	o, ns := b.BN1.Describe(s[0], s[1], s[2])
+	add(o, ns)
+	o, ns = ReLU{}.Describe(s[0], s[1], s[2])
+	add(o, ns)
+	o, ns = b.Conv2.Describe(s[0], s[1], s[2])
+	add(o, ns)
+	o, ns = b.BN2.Describe(s[0], s[1], s[2])
+	add(o, ns)
+	if b.Down != nil {
+		dOps, _ := b.Down.Describe(c, h, w)
+		ops = append(ops, dOps...)
+		dbOps, _ := b.DownBN.Describe(s[0], s[1], s[2])
+		ops = append(ops, dbOps...)
+	}
+	// Residual add + final ReLU.
+	ops = append(ops, OpDesc{Kind: OpStream, Bytes: uint64(s[0]*s[1]*s[2]) * 3 * f32})
+	return ops, s
+}
+
+// Dense is a fully-connected head.
+type Dense struct {
+	W *tensor.Tensor // [out, in]
+	B []float32
+}
+
+// NewDense builds a zero-initialized dense layer (heads start untrained).
+func NewDense(out, in int) *Dense {
+	return &Dense{W: tensor.New(out, in), B: make([]float32, out)}
+}
+
+// Forward applies the layer to a flat feature vector.
+func (l *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.Linear(x, l.W, l.B)
+}
+
+// Describe reports the head's matmul (a 1×in×out GEMM).
+func (l *Dense) Describe() OpDesc {
+	return OpDesc{Kind: OpMatMul, M: 1, K: l.W.Shape[1], N: l.W.Shape[0]}
+}
+
+func (l *Dense) check(in int) error {
+	if l.W.Shape[1] != in {
+		return fmt.Errorf("dnn: head expects %d features, got %d", l.W.Shape[1], in)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package dnn
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/world"
+)
+
+// Registry settings: the paper trains on 2000 images per class per head
+// (12,000 total) and validates on 1200. The in-process registry defaults to
+// a reduced budget so experiment suites and benchmarks stay tractable in
+// pure Go; cmd/rose-train exposes the full-size run.
+var (
+	// RegistryTrainPerClass is the per-class training sample count used by
+	// Trained().
+	RegistryTrainPerClass = 200
+	// RegistryValPerClass is the per-class validation sample count.
+	RegistryValPerClass = 132
+	// RegistrySeed seeds dataset generation and weight init.
+	RegistrySeed int64 = 42
+)
+
+// TrainedModel is a ready-to-fly controller network with its measured
+// validation accuracy (the Table 3 "Validation Accuracy" row).
+type TrainedModel struct {
+	Net    *Net
+	Result TrainResult
+}
+
+type registryEntry struct {
+	once  sync.Once
+	model *TrainedModel
+	err   error
+}
+
+var (
+	registryMu sync.Mutex
+	registry   = map[string]*registryEntry{}
+
+	datasetOnce sync.Once
+	sharedSets  struct {
+		latTrain, angTrain, latVal, angVal *Dataset
+		latValClean, angValClean           *Dataset
+	}
+)
+
+// sharedDatasets renders the training/validation corpora once per process;
+// all model variants train on the same data, as in the paper.
+func sharedDatasets() (latTrain, angTrain, latVal, angVal *Dataset) {
+	datasetOnce.Do(func() {
+		m := world.Tunnel() // "Our DNNs were trained on tunnel" (§4.2.3)
+		sharedSets.latTrain = Generate(m, Lateral, RegistryTrainPerClass, RegistrySeed, 64, 48)
+		sharedSets.angTrain = Generate(m, Angular, RegistryTrainPerClass, RegistrySeed+1, 64, 48)
+		sharedSets.latVal = Generate(m, Lateral, RegistryValPerClass, RegistrySeed+2, 64, 48)
+		sharedSets.angVal = Generate(m, Angular, RegistryValPerClass, RegistrySeed+3, 64, 48)
+		sharedSets.latValClean = GenerateClean(m, Lateral, RegistryValPerClass, RegistrySeed+4, 64, 48)
+		sharedSets.angValClean = GenerateClean(m, Angular, RegistryValPerClass, RegistrySeed+5, 64, 48)
+	})
+	return sharedSets.latTrain, sharedSets.angTrain, sharedSets.latVal, sharedSets.angVal
+}
+
+// Trained returns the named variant trained on the shared tunnel datasets,
+// caching the result per process. It is safe for concurrent use.
+func Trained(name string) (*TrainedModel, error) {
+	registryMu.Lock()
+	e, ok := registry[name]
+	if !ok {
+		e = &registryEntry{}
+		registry[name] = e
+	}
+	registryMu.Unlock()
+
+	e.once.Do(func() {
+		n, err := Build(name, RegistrySeed)
+		if err != nil {
+			e.err = err
+			return
+		}
+		lt, at, lv, av := sharedDatasets()
+		res, err := Train(n, lt, at, lv, av, RegistryTrainConfig)
+		if err != nil {
+			e.err = fmt.Errorf("dnn: training %s: %w", name, err)
+			return
+		}
+		// Deployment-distribution accuracy (what the flights see).
+		res.CleanLateralAccuracy = HeadAccuracy(n.HeadLateral,
+			ExtractFeatures(n, sharedSets.latValClean.Images), sharedSets.latValClean.Labels)
+		res.CleanAngularAccuracy = HeadAccuracy(n.HeadAngular,
+			ExtractFeatures(n, sharedSets.angValClean.Images), sharedSets.angValClean.Labels)
+		e.model = &TrainedModel{Net: n, Result: res}
+	})
+	return e.model, e.err
+}
+
+// ResetRegistry clears cached models and datasets (test hook).
+func ResetRegistry() {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry = map[string]*registryEntry{}
+	datasetOnce = sync.Once{}
+}
+
+// RegistryTrainConfig is the training configuration used by Trained().
+var RegistryTrainConfig = DefaultTrainConfig()

@@ -1,0 +1,265 @@
+// Package env implements the robotics environment simulator — the Go
+// stand-in for AirSim (Table 1: realtime UAV simulator with an RPC
+// interface). It combines the world geometry, quadrotor physics, the
+// software-in-the-loop flight controller, the camera renderer, and the
+// sensor models, and advances everything in discrete frames exactly as
+// AirSim does ("the minimum time period is a single frame, which corresponds
+// to a physics and rendering step", §3.4.1).
+//
+// Two access paths mirror the paper's deployment options: the in-process
+// *Sim used for single-machine co-simulation, and a TCP RPC server/client
+// pair (rpc.go) for distributed deployments (Table 4).
+package env
+
+import (
+	"fmt"
+
+	"repro/internal/fc"
+	"repro/internal/physics"
+	"repro/internal/render"
+	"repro/internal/sensor"
+	"repro/internal/vec"
+	"repro/internal/world"
+)
+
+// Env is the surface the synchronizer sees — the analogue of the AirSim RPC
+// API: simulator control (stepping, reset), sensor reads, and actuation.
+// Telemetry is simulator-level ground truth used only for logging and
+// scoring; the modeled SoC never sees it (§3.4.2, simulation abstraction).
+type Env interface {
+	// StepFrames advances the simulation by n rendering/physics frames.
+	StepFrames(n int) error
+	// FrameRate returns the simulated frames per second.
+	FrameRate() float64
+	// GetImage renders and returns the FPV camera view at the current frame.
+	GetImage() (*render.Image, error)
+	// GetIMU returns the latest inertial reading.
+	GetIMU() (sensor.IMUReading, error)
+	// GetDepth returns the forward depth-sensor reading (metres).
+	GetDepth() (float64, error)
+	// SetVelocity installs new companion-computer targets: forward and
+	// lateral velocity (m/s) and yaw rate (rad/s).
+	SetVelocity(forward, lateral, yawRate float64) error
+	// Reset respawns the vehicle at (x, y, z) with the given yaw (radians).
+	Reset(x, y, z, yaw float64) error
+	// Telemetry returns ground-truth state for logging.
+	Telemetry() (Telemetry, error)
+}
+
+// Telemetry is ground-truth simulator state for logs and metrics (the CSV
+// outputs of the paper's artifact).
+type Telemetry struct {
+	TimeSec         float64
+	Frame           int64
+	Pos             vec.Vec3
+	Vel             vec.Vec3
+	Yaw             float64
+	DepthAhead      float64
+	Collided        bool // currently in contact
+	CollisionCount  int  // distinct collision episodes so far
+	MissionComplete bool
+}
+
+// Config configures a simulation instance.
+type Config struct {
+	Map        *world.Map
+	FrameHz    float64 // physics+render frame rate (AirSim-style 60–120 Hz)
+	Substeps   int     // physics sub-steps per frame
+	CameraW    int
+	CameraH    int
+	AltitudeM  float64 // altitude-hold target handed to the flight controller
+	Seed       int64   // sensor noise / randomness seed
+	StartX     float64
+	StartY     float64
+	StartYaw   float64 // radians
+	MaxTiltRec bool    // unused placeholder for future wind models
+}
+
+// DefaultConfig returns the evaluation defaults: 60 Hz frames, 64×48 FPV
+// camera with 90° FOV, 1.5 m altitude hold.
+func DefaultConfig(m *world.Map) Config {
+	return Config{
+		Map:       m,
+		FrameHz:   60,
+		Substeps:  4,
+		CameraW:   64,
+		CameraH:   48,
+		AltitudeM: 1.5,
+		Seed:      1,
+	}
+}
+
+// Sim is the in-process environment simulator.
+type Sim struct {
+	cfg    Config
+	cam    render.Camera
+	quad   *physics.Quad
+	ctl    *fc.Controller
+	imu    *sensor.IMU
+	depth  *sensor.Depth
+	frame  int64
+	simT   float64
+	imgBuf *render.Image
+
+	collided        bool
+	collisionCount  int
+	collisionCool   float64 // debounce timer
+	missionComplete bool
+}
+
+// New creates a simulator from the config.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Map == nil {
+		return nil, fmt.Errorf("env: config requires a map")
+	}
+	if cfg.FrameHz <= 0 {
+		return nil, fmt.Errorf("env: frame rate must be positive, got %v", cfg.FrameHz)
+	}
+	if cfg.Substeps <= 0 {
+		cfg.Substeps = 4
+	}
+	if cfg.CameraW <= 0 || cfg.CameraH <= 0 {
+		return nil, fmt.Errorf("env: invalid camera size %dx%d", cfg.CameraW, cfg.CameraH)
+	}
+	s := &Sim{
+		cfg:    cfg,
+		cam:    render.DefaultCamera(cfg.CameraW, cfg.CameraH),
+		imgBuf: render.NewImage(cfg.CameraW, cfg.CameraH),
+	}
+	if err := s.Reset(cfg.StartX, cfg.StartY, 0, cfg.StartYaw); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+var _ Env = (*Sim)(nil)
+
+// Reset implements Env.
+func (s *Sim) Reset(x, y, z, yaw float64) error {
+	p := physics.DefaultParams()
+	s.quad = physics.NewQuad(p, vec.V3(x, y, z), yaw)
+	s.ctl = fc.New(p, fc.DefaultGains())
+	s.ctl.SetCommand(fc.Command{Altitude: s.cfg.AltitudeM})
+	s.imu = sensor.NewIMU(sensor.DefaultIMUParams(), s.cfg.Seed)
+	s.depth = sensor.NewDepth(60, 0.02, s.cfg.Seed+1)
+	s.frame = 0
+	s.simT = 0
+	s.collided = false
+	s.collisionCount = 0
+	s.collisionCool = 0
+	s.missionComplete = false
+	return nil
+}
+
+// FrameRate implements Env.
+func (s *Sim) FrameRate() float64 { return s.cfg.FrameHz }
+
+// StepFrames implements Env: n physics+render frames, each of
+// cfg.Substeps physics sub-steps with flight-controller updates.
+func (s *Sim) StepFrames(n int) error {
+	if n < 0 {
+		return fmt.Errorf("env: cannot step %d frames", n)
+	}
+	frameDT := 1 / s.cfg.FrameHz
+	subDT := frameDT / float64(s.cfg.Substeps)
+	for i := 0; i < n; i++ {
+		for j := 0; j < s.cfg.Substeps; j++ {
+			motors := s.ctl.Update(s.quad.State, subDT)
+			s.quad.Step(subDT, motors)
+			s.resolveCollisions()
+		}
+		s.imu.Sample(s.quad.State, frameDT, s.simT)
+		s.frame++
+		s.simT += frameDT
+		if s.collisionCool > 0 {
+			s.collisionCool -= frameDT
+		}
+		if s.quad.State.Pos.X >= s.cfg.Map.GoalX {
+			s.missionComplete = true
+		}
+	}
+	return nil
+}
+
+// resolveCollisions applies an AirSim-like contact response: push the
+// vehicle out of the surface, cancel the into-surface velocity component,
+// and damp the tangential one. Distinct contact episodes are counted with a
+// 0.5 s debounce; the paper reports collisions and subsequent recovery
+// rather than terminating the run.
+func (s *Sim) resolveCollisions() {
+	c := s.cfg.Map.Collide(s.quad.State.Pos, s.quad.Params.Radius)
+	if !c.Collided || c.Wall < 0 {
+		// Floor contact is owned by the physics model (landing gear);
+		// only wall strikes are collision events here.
+		s.collided = false
+		return
+	}
+	st := &s.quad.State
+	st.Pos = st.Pos.Add(c.Normal.Scale(c.Depth + 1e-4))
+	vn := st.Vel.Dot(c.Normal)
+	if vn < 0 {
+		// Remove normal component, damp tangential: a scraping impact.
+		st.Vel = st.Vel.Sub(c.Normal.Scale(vn)).Scale(0.4)
+	}
+	st.Omega = st.Omega.Scale(0.3)
+	if !s.collided && s.collisionCool <= 0 {
+		s.collisionCount++
+		s.collisionCool = 0.5
+		s.ctl.Reset()
+	}
+	s.collided = true
+}
+
+// GetImage implements Env.
+func (s *Sim) GetImage() (*render.Image, error) {
+	pose := render.Pose{Pos: s.quad.State.Pos, Ori: s.quad.State.Ori}
+	s.cam.RenderInto(s.cfg.Map, pose, s.imgBuf)
+	out := render.NewImage(s.imgBuf.W, s.imgBuf.H)
+	copy(out.Pix, s.imgBuf.Pix)
+	return out, nil
+}
+
+// CameraSize returns the camera resolution.
+func (s *Sim) CameraSize() (w, h int) { return s.cfg.CameraW, s.cfg.CameraH }
+
+// GetIMU implements Env.
+func (s *Sim) GetIMU() (sensor.IMUReading, error) { return s.imu.Last(), nil }
+
+// GetDepth implements Env.
+func (s *Sim) GetDepth() (float64, error) {
+	yaw := s.quad.State.Ori.Yaw()
+	d := s.cfg.Map.DepthAhead(s.quad.State.Pos, yaw, s.depth.MaxRange)
+	return s.depth.Sample(d), nil
+}
+
+// SetVelocity implements Env: the companion computer's intermediate-level
+// targets, tracked by the flight controller hierarchy.
+func (s *Sim) SetVelocity(forward, lateral, yawRate float64) error {
+	s.ctl.SetCommand(fc.Command{
+		VForward: forward,
+		VLateral: lateral,
+		YawRate:  yawRate,
+		Altitude: s.cfg.AltitudeM,
+	})
+	return nil
+}
+
+// Telemetry implements Env.
+func (s *Sim) Telemetry() (Telemetry, error) {
+	yaw := s.quad.State.Ori.Yaw()
+	return Telemetry{
+		TimeSec:         s.simT,
+		Frame:           s.frame,
+		Pos:             s.quad.State.Pos,
+		Vel:             s.quad.State.Vel,
+		Yaw:             yaw,
+		DepthAhead:      s.cfg.Map.DepthAhead(s.quad.State.Pos, yaw, 60),
+		Collided:        s.collided,
+		CollisionCount:  s.collisionCount,
+		MissionComplete: s.missionComplete,
+	}, nil
+}
+
+// Map returns the simulated environment's map (simulator-level access; not
+// part of the Env surface the SoC-side ever touches).
+func (s *Sim) Map() *world.Map { return s.cfg.Map }

@@ -1,0 +1,227 @@
+package env
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/world"
+)
+
+func newSim(t *testing.T, mapName string) *Sim {
+	t.Helper()
+	s, err := New(DefaultConfig(world.ByName(mapName)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("accepted nil map")
+	}
+	cfg := DefaultConfig(world.Tunnel())
+	cfg.FrameHz = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted zero frame rate")
+	}
+	cfg = DefaultConfig(world.Tunnel())
+	cfg.CameraW = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted zero camera width")
+	}
+}
+
+func TestTakeoffAndCruise(t *testing.T) {
+	s := newSim(t, "tunnel")
+	if err := s.SetVelocity(3, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StepFrames(6 * 60); err != nil { // 6 simulated seconds
+		t.Fatal(err)
+	}
+	tm, err := s.Telemetry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tm.TimeSec-6) > 1e-9 {
+		t.Errorf("time = %v, want 6", tm.TimeSec)
+	}
+	if tm.Pos.X < 8 {
+		t.Errorf("travelled %v m in 6 s at 3 m/s", tm.Pos.X)
+	}
+	if math.Abs(tm.Pos.Z-1.5) > 0.25 {
+		t.Errorf("altitude = %v", tm.Pos.Z)
+	}
+	if tm.CollisionCount != 0 {
+		t.Errorf("collisions on straight flight: %d", tm.CollisionCount)
+	}
+}
+
+func TestMissionCompletion(t *testing.T) {
+	s := newSim(t, "tunnel")
+	s.SetVelocity(8, 0, 0)
+	for i := 0; i < 20; i++ {
+		if err := s.StepFrames(60); err != nil {
+			t.Fatal(err)
+		}
+		tm, _ := s.Telemetry()
+		if tm.MissionComplete {
+			if tm.Pos.X < s.Map().GoalX {
+				t.Errorf("mission complete at x=%v < goal", tm.Pos.X)
+			}
+			return
+		}
+	}
+	t.Error("mission never completed")
+}
+
+func TestCollisionDetectionAndRecovery(t *testing.T) {
+	s := newSim(t, "tunnel")
+	// Fly into the left wall: forward plus strong lateral velocity.
+	s.SetVelocity(1, 3, 0)
+	if err := s.StepFrames(5 * 60); err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := s.Telemetry()
+	if tm.CollisionCount == 0 {
+		t.Fatal("expected a wall collision")
+	}
+	// The vehicle must stay inside the corridor (pushed out, not tunnelled).
+	if tm.Pos.Y > 1.7 {
+		t.Errorf("tunnelled through wall: y=%v", tm.Pos.Y)
+	}
+	// Recovery: command back to center and verify it still flies.
+	s.SetVelocity(2, -1, 0)
+	if err := s.StepFrames(3 * 60); err != nil {
+		t.Fatal(err)
+	}
+	tm2, _ := s.Telemetry()
+	if !tm2.Pos.IsFinite() {
+		t.Fatal("state diverged after collision")
+	}
+	if tm2.Pos.Y >= tm.Pos.Y {
+		t.Errorf("did not recover toward center: %v -> %v", tm.Pos.Y, tm2.Pos.Y)
+	}
+}
+
+func TestCollisionEpisodeDebounce(t *testing.T) {
+	s := newSim(t, "tunnel")
+	// Grind along the wall for a while: should count few episodes, not
+	// one per physics substep.
+	s.SetVelocity(1, 4, 0)
+	s.StepFrames(4 * 60)
+	tm, _ := s.Telemetry()
+	if tm.CollisionCount > 10 {
+		t.Errorf("collision episodes = %d, debounce broken", tm.CollisionCount)
+	}
+}
+
+func TestGetImageChangesWithMotion(t *testing.T) {
+	s := newSim(t, "s-shape")
+	im1, err := s.GetImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetVelocity(5, 0, 0)
+	s.StepFrames(120)
+	im2, err := s.GetImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range im1.Pix {
+		if im1.Pix[i] != im2.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("image unchanged after 2 s of flight")
+	}
+	if w, h := s.CameraSize(); w != im1.W || h != im1.H {
+		t.Error("CameraSize mismatch")
+	}
+}
+
+func TestGetImageIsACopy(t *testing.T) {
+	s := newSim(t, "tunnel")
+	im1, _ := s.GetImage()
+	im1.Pix[0] = -42
+	im2, _ := s.GetImage()
+	if im2.Pix[0] == -42 {
+		t.Error("GetImage returned a shared buffer")
+	}
+}
+
+func TestDepthReadings(t *testing.T) {
+	s := newSim(t, "tunnel")
+	d, err := s.GetDepth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Facing down an empty 50 m corridor: depth should be large.
+	if d < 20 {
+		t.Errorf("depth = %v facing open corridor", d)
+	}
+	// Spin 90°: the wall is ~1.6 m away.
+	s.Reset(5, 0, 1.5, math.Pi/2)
+	s.StepFrames(1)
+	d, _ = s.GetDepth()
+	if d > 5 {
+		t.Errorf("depth = %v facing wall", d)
+	}
+}
+
+func TestIMUThroughEnv(t *testing.T) {
+	s := newSim(t, "tunnel")
+	s.StepFrames(60)
+	r, err := s.GetIMU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TimeSec <= 0 {
+		t.Errorf("IMU timestamp = %v", r.TimeSec)
+	}
+}
+
+func TestResetRestoresState(t *testing.T) {
+	s := newSim(t, "tunnel")
+	s.SetVelocity(5, 0, 0)
+	s.StepFrames(120)
+	if err := s.Reset(0, 0.5, 0, vec.Deg(20)); err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := s.Telemetry()
+	if tm.TimeSec != 0 || tm.Frame != 0 || tm.CollisionCount != 0 {
+		t.Errorf("reset telemetry: %+v", tm)
+	}
+	if tm.Pos.Sub(vec.V3(0, 0.5, 0)).Norm() > 1e-9 {
+		t.Errorf("reset pos = %v", tm.Pos)
+	}
+	if math.Abs(tm.Yaw-vec.Deg(20)) > 1e-9 {
+		t.Errorf("reset yaw = %v", tm.Yaw)
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func() Telemetry {
+		s := newSim(t, "s-shape")
+		s.SetVelocity(4, 0.3, 0.1)
+		s.StepFrames(300)
+		tm, _ := s.Telemetry()
+		return tm
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same-seed runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestStepFramesRejectsNegative(t *testing.T) {
+	s := newSim(t, "tunnel")
+	if err := s.StepFrames(-1); err == nil {
+		t.Error("accepted negative frame count")
+	}
+}

@@ -1,0 +1,282 @@
+package env
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/render"
+	"repro/internal/sensor"
+)
+
+// This file implements the environment simulator's remote API — the
+// AirSim-RPC stand-in (§3.1, Table 4): a Server exposes a Sim over TCP with
+// a synchronous request/response protocol, and Client implements Env
+// against such a server, so the synchronizer can run on a different host
+// than the environment.
+
+// Server serves one Sim to (sequential) network clients.
+type Server struct {
+	mu  sync.Mutex
+	sim *Sim
+	ln  net.Listener
+}
+
+// NewServer wraps a simulator and listens on addr (e.g. ":41451", the
+// AirSim default port).
+func NewServer(sim *Sim, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("env: listening on %s: %w", addr, err)
+	}
+	return &Server{sim: sim, ln: ln}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.ln.Close() }
+
+// Serve accepts and serves connections until the listener is closed.
+// Connections are served one request at a time; multiple clients may
+// connect but share the single simulator under a lock.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		req, err := packet.Read(conn)
+		if err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := packet.Write(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func errPacket(err error) packet.Packet {
+	return packet.Packet{Type: packet.RPCError, Payload: []byte(err.Error())}
+}
+
+func (s *Server) handle(req packet.Packet) packet.Packet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch req.Type {
+	case packet.RPCStepFrames:
+		n, err := req.AsU64()
+		if err != nil {
+			return errPacket(err)
+		}
+		if err := s.sim.StepFrames(int(n)); err != nil {
+			return errPacket(err)
+		}
+		return packet.Packet{Type: packet.RPCAck}
+	case packet.RPCFrameRate:
+		return packet.U64(packet.RPCFrameRate, uint64(s.sim.FrameRate()*1000))
+	case packet.RPCReset:
+		if len(req.Payload) != 32 {
+			return errPacket(fmt.Errorf("env: RPCReset payload must be 32 bytes"))
+		}
+		f := func(i int) float64 {
+			return math.Float64frombits(binary.LittleEndian.Uint64(req.Payload[i*8:]))
+		}
+		if err := s.sim.Reset(f(0), f(1), f(2), f(3)); err != nil {
+			return errPacket(err)
+		}
+		return packet.Packet{Type: packet.RPCAck}
+	case packet.RPCTelemetry:
+		tm, err := s.sim.Telemetry()
+		if err != nil {
+			return errPacket(err)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(tm); err != nil {
+			return errPacket(err)
+		}
+		return packet.Packet{Type: packet.RPCTelemetry, Payload: buf.Bytes()}
+	case packet.CamReq:
+		img, err := s.sim.GetImage()
+		if err != nil {
+			return errPacket(err)
+		}
+		frame, err := packet.CamFrame{W: img.W, H: img.H, Pix: img.Bytes()}.Marshal()
+		if err != nil {
+			return errPacket(err)
+		}
+		return frame
+	case packet.IMUReq:
+		r, err := s.sim.GetIMU()
+		if err != nil {
+			return errPacket(err)
+		}
+		return packet.IMU{
+			Accel:   [3]float64{r.Accel.X, r.Accel.Y, r.Accel.Z},
+			Gyro:    [3]float64{r.Gyro.X, r.Gyro.Y, r.Gyro.Z},
+			RPY:     [3]float64{r.Roll, r.Pitch, r.Yaw},
+			TimeSec: r.TimeSec,
+		}.Marshal()
+	case packet.DepthReq:
+		d, err := s.sim.GetDepth()
+		if err != nil {
+			return errPacket(err)
+		}
+		return packet.Depth{Meters: d}.Marshal()
+	case packet.CmdVel:
+		cmd, err := packet.UnmarshalCmd(req)
+		if err != nil {
+			return errPacket(err)
+		}
+		if err := s.sim.SetVelocity(cmd.VForward, cmd.VLateral, cmd.YawRate); err != nil {
+			return errPacket(err)
+		}
+		return packet.Packet{Type: packet.RPCAck}
+	}
+	return errPacket(fmt.Errorf("env: unsupported RPC %v", req.Type))
+}
+
+// Client is an Env implementation backed by a remote Server.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	rate float64
+}
+
+var _ Env = (*Client)(nil)
+
+// Dial connects to an environment server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("env: dialing %s: %w", addr, err)
+	}
+	c := &Client{conn: conn}
+	resp, err := c.call(packet.Packet{Type: packet.RPCFrameRate})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	mhz, err := resp.AsU64()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.rate = float64(mhz) / 1000
+	return c, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(req packet.Packet) (packet.Packet, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := packet.Write(c.conn, req); err != nil {
+		return packet.Packet{}, err
+	}
+	resp, err := packet.Read(c.conn)
+	if err != nil {
+		return packet.Packet{}, err
+	}
+	if resp.Type == packet.RPCError {
+		return packet.Packet{}, fmt.Errorf("env: remote: %s", resp.Payload)
+	}
+	return resp, nil
+}
+
+// StepFrames implements Env.
+func (c *Client) StepFrames(n int) error {
+	_, err := c.call(packet.U64(packet.RPCStepFrames, uint64(n)))
+	return err
+}
+
+// FrameRate implements Env.
+func (c *Client) FrameRate() float64 { return c.rate }
+
+// GetImage implements Env.
+func (c *Client) GetImage() (*render.Image, error) {
+	resp, err := c.call(packet.Packet{Type: packet.CamReq})
+	if err != nil {
+		return nil, err
+	}
+	frame, err := packet.UnmarshalCamFrame(resp)
+	if err != nil {
+		return nil, err
+	}
+	return render.FromBytes(frame.W, frame.H, frame.Pix)
+}
+
+// GetIMU implements Env.
+func (c *Client) GetIMU() (sensor.IMUReading, error) {
+	resp, err := c.call(packet.Packet{Type: packet.IMUReq})
+	if err != nil {
+		return sensor.IMUReading{}, err
+	}
+	m, err := packet.UnmarshalIMU(resp)
+	if err != nil {
+		return sensor.IMUReading{}, err
+	}
+	var r sensor.IMUReading
+	r.Accel.X, r.Accel.Y, r.Accel.Z = m.Accel[0], m.Accel[1], m.Accel[2]
+	r.Gyro.X, r.Gyro.Y, r.Gyro.Z = m.Gyro[0], m.Gyro[1], m.Gyro[2]
+	r.Roll, r.Pitch, r.Yaw = m.RPY[0], m.RPY[1], m.RPY[2]
+	r.TimeSec = m.TimeSec
+	return r, nil
+}
+
+// GetDepth implements Env.
+func (c *Client) GetDepth() (float64, error) {
+	resp, err := c.call(packet.Packet{Type: packet.DepthReq})
+	if err != nil {
+		return 0, err
+	}
+	d, err := packet.UnmarshalDepth(resp)
+	if err != nil {
+		return 0, err
+	}
+	return d.Meters, nil
+}
+
+// SetVelocity implements Env.
+func (c *Client) SetVelocity(forward, lateral, yawRate float64) error {
+	_, err := c.call(packet.Cmd{VForward: forward, VLateral: lateral, YawRate: yawRate}.Marshal())
+	return err
+}
+
+// Reset implements Env.
+func (c *Client) Reset(x, y, z, yaw float64) error {
+	payload := make([]byte, 0, 32)
+	for _, v := range [...]float64{x, y, z, yaw} {
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(v))
+	}
+	_, err := c.call(packet.Packet{Type: packet.RPCReset, Payload: payload})
+	return err
+}
+
+// Telemetry implements Env.
+func (c *Client) Telemetry() (Telemetry, error) {
+	resp, err := c.call(packet.Packet{Type: packet.RPCTelemetry})
+	if err != nil {
+		return Telemetry{}, err
+	}
+	var tm Telemetry
+	if err := gob.NewDecoder(bytes.NewReader(resp.Payload)).Decode(&tm); err != nil {
+		return Telemetry{}, fmt.Errorf("env: decoding telemetry: %w", err)
+	}
+	return tm, nil
+}

@@ -1,0 +1,124 @@
+package env
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/world"
+)
+
+// startServer spins up a Sim server on a random port.
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	sim, err := New(DefaultConfig(world.Tunnel()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(sim, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func TestRPCFrameRate(t *testing.T) {
+	_, c := startServer(t)
+	if c.FrameRate() != 60 {
+		t.Errorf("frame rate = %v, want 60", c.FrameRate())
+	}
+}
+
+func TestRPCStepAndTelemetry(t *testing.T) {
+	_, c := startServer(t)
+	if err := c.SetVelocity(3, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StepFrames(240); err != nil {
+		t.Fatal(err)
+	}
+	tm, err := c.Telemetry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tm.TimeSec-4) > 1e-9 {
+		t.Errorf("time = %v, want 4", tm.TimeSec)
+	}
+	if tm.Pos.X < 2 {
+		t.Errorf("no forward motion over RPC: %v", tm.Pos)
+	}
+}
+
+func TestRPCSensors(t *testing.T) {
+	_, c := startServer(t)
+	c.StepFrames(60)
+	img, err := c.GetImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 64 || img.H != 48 {
+		t.Errorf("image %dx%d", img.W, img.H)
+	}
+	imu, err := c.GetIMU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imu.TimeSec <= 0 {
+		t.Errorf("IMU time = %v", imu.TimeSec)
+	}
+	d, err := c.GetDepth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Errorf("depth = %v", d)
+	}
+}
+
+func TestRPCReset(t *testing.T) {
+	_, c := startServer(t)
+	c.SetVelocity(5, 0, 0)
+	c.StepFrames(120)
+	if err := c.Reset(1, 0.5, 0, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := c.Telemetry()
+	if tm.TimeSec != 0 || tm.Pos.X != 1 || tm.Pos.Y != 0.5 {
+		t.Errorf("reset telemetry: %+v", tm)
+	}
+}
+
+func TestRPCMatchesLocalSim(t *testing.T) {
+	// The same command sequence over RPC and in-process must agree
+	// (both deterministic with the same seed).
+	local, err := New(DefaultConfig(world.Tunnel()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := startServer(t)
+	drive := func(e Env) Telemetry {
+		e.SetVelocity(4, 0.2, 0.05)
+		e.StepFrames(180)
+		tm, _ := e.Telemetry()
+		return tm
+	}
+	a, b := drive(local), drive(c)
+	if a != b {
+		t.Errorf("RPC and local diverge:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRPCErrorPropagation(t *testing.T) {
+	_, c := startServer(t)
+	// Huge negative as uint64 → server-side error path via int overflow is
+	// environment-specific; use a direct invalid call instead.
+	if err := c.StepFrames(-1); err == nil {
+		t.Error("negative frame count should error through RPC")
+	}
+}

@@ -1,0 +1,200 @@
+// Package experiments contains one harness per table/figure of the paper's
+// evaluation (Section 5), regenerating the same rows and series from the Go
+// co-simulation stack. See DESIGN.md §3 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/env"
+	"repro/internal/gemmini"
+	"repro/internal/ort"
+	"repro/internal/soc"
+	"repro/internal/telemetry"
+	"repro/internal/vec"
+	"repro/internal/world"
+)
+
+// Report is the common output of every experiment: printable rows plus the
+// raw series/trajectories for CSV export.
+type Report struct {
+	ID           string
+	Title        string
+	Lines        []string
+	Series       []telemetry.Series
+	Trajectories map[string][]env.Telemetry
+}
+
+func (r *Report) line(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// MissionSpec describes one closed-loop run.
+type MissionSpec struct {
+	Map         string // "tunnel" or "s-shape"
+	Model       string // DNN variant (big model for dynamic runs)
+	SmallModel  string // small model for the dynamic runtime ("" = static)
+	HW          config.HW
+	VForward    float64
+	StartYawDeg float64
+	StartX      float64 // defaults to 2 m (inside the training envelope)
+	SyncCycles  uint64  // defaults to one 60 Hz frame at 1 GHz
+	MaxSimSec   float64 // defaults to 60 s
+	Seed        int64
+	// RxQueueBytes overrides the bridge RX queue capacity (0 = default);
+	// used by the queue-depth ablation.
+	RxQueueBytes int
+	// ExchangeEveryN relaxes lockstep data exchange (see core.Config).
+	ExchangeEveryN int
+	// Argmax forces the full-magnitude argmax control policy (§5.2).
+	Argmax bool
+}
+
+// MissionOutcome bundles the synchronizer result with the app-level log.
+type MissionOutcome struct {
+	Spec       MissionSpec
+	Result     *core.Result
+	Inferences []app.InferenceRecord
+}
+
+// Fallbacks counts dynamic-runtime iterations that used the small network.
+func (o *MissionOutcome) Fallbacks() int {
+	n := 0
+	for _, r := range o.Inferences {
+		if r.UsedFallback {
+			n++
+		}
+	}
+	return n
+}
+
+// RunMission executes one co-simulated mission with trained controllers.
+func RunMission(spec MissionSpec) (*MissionOutcome, error) {
+	if spec.SyncCycles == 0 {
+		spec.SyncCycles = core.DefaultConfig().SyncCycles
+	}
+	if spec.MaxSimSec == 0 {
+		spec.MaxSimSec = 60
+	}
+	if spec.StartX == 0 {
+		spec.StartX = 2
+	}
+	m := world.ByName(spec.Map)
+	if m == nil {
+		return nil, fmt.Errorf("experiments: unknown map %q", spec.Map)
+	}
+	big, err := dnn.Trained(spec.Model)
+	if err != nil {
+		return nil, err
+	}
+
+	ecfg := env.DefaultConfig(m)
+	ecfg.StartX = spec.StartX
+	ecfg.StartYaw = vec.Deg(spec.StartYawDeg)
+	ecfg.Seed = spec.Seed + 1
+	sim, err := env.New(ecfg)
+	if err != nil {
+		return nil, err
+	}
+
+	bigSess, err := ort.NewSession(big.Net, gemmini.Default())
+	if err != nil {
+		return nil, err
+	}
+	ctrl := app.DefaultControlParams(spec.VForward)
+	ctrl.Temperature = app.TemperatureFor(spec.Model)
+	ctrl.Argmax = spec.Argmax
+	log := &app.Log{}
+
+	var prog soc.Program
+	if spec.SmallModel != "" {
+		small, err := dnn.Trained(spec.SmallModel)
+		if err != nil {
+			return nil, err
+		}
+		smallSess, err := ort.NewSession(small.Net, gemmini.Default())
+		if err != nil {
+			return nil, err
+		}
+		prog = app.DynamicController(bigSess, smallSess, ctrl, app.DefaultDynamicParams(), log)
+	} else {
+		prog = app.StaticController(bigSess, ctrl, log)
+	}
+
+	socCfg := spec.HW.SoCConfig()
+	socCfg.RxQueueBytes = spec.RxQueueBytes
+	machine := soc.NewMachine(socCfg, prog)
+	defer machine.Close()
+
+	ccfg := core.DefaultConfig()
+	ccfg.SyncCycles = spec.SyncCycles
+	ccfg.MaxSimSeconds = spec.MaxSimSec
+	ccfg.ExchangeEveryN = spec.ExchangeEveryN
+	sy, err := core.New(sim, machine, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sy.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &MissionOutcome{Spec: spec, Result: res, Inferences: log.Records()}, nil
+}
+
+// Options scales experiment cost. Quick mode shortens missions and skips
+// the most expensive sweep points, for tests and benchmarks; the rose-sweep
+// tool runs full mode.
+type Options struct {
+	Quick bool
+}
+
+// maxSimSec returns the mission budget under the options.
+func (o Options) maxSimSec() float64 {
+	if o.Quick {
+		return 30
+	}
+	return 60
+}
+
+// IDs lists the experiment identifiers in paper order.
+func IDs() []string {
+	return []string{
+		"table3", "figure10", "figure11", "figure12",
+		"figure13", "figure14", "figure15", "figure16",
+		"ablation-sync", "ablation-queue", "ablation-policy",
+	}
+}
+
+// Run dispatches an experiment by ID.
+func Run(id string, opt Options) (*Report, error) {
+	switch id {
+	case "table3":
+		return Table3(opt)
+	case "figure10":
+		return Figure10(opt)
+	case "figure11":
+		return Figure11(opt)
+	case "figure12":
+		return Figure12(opt)
+	case "figure13":
+		return Figure13(opt)
+	case "figure14":
+		return Figure14(opt)
+	case "figure15":
+		return Figure15(opt)
+	case "figure16":
+		return Figure16(opt)
+	case "ablation-sync":
+		return AblationSync(opt)
+	case "ablation-queue":
+		return AblationQueue(opt)
+	case "ablation-policy":
+		return AblationPolicy(opt)
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %v)", id, IDs())
+}

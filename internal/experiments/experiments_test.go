@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/dnn"
+)
+
+// TestMain shrinks the training registry so experiment plumbing tests run in
+// seconds; accuracy quality is validated separately (and recorded in
+// EXPERIMENTS.md from full runs).
+func TestMain(m *testing.M) {
+	dnn.RegistryTrainPerClass = 30
+	dnn.RegistryValPerClass = 15
+	os.Exit(m.Run())
+}
+
+func TestRunDispatch(t *testing.T) {
+	if _, err := Run("figure99", Options{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if len(IDs()) != 11 {
+		t.Errorf("IDs() = %v", IDs())
+	}
+	for _, id := range IDs() {
+		if id == "" {
+			t.Error("empty experiment id")
+		}
+	}
+}
+
+func TestRunMissionValidation(t *testing.T) {
+	if _, err := RunMission(MissionSpec{Map: "mars", Model: "ResNet6"}); err == nil {
+		t.Error("unknown map accepted")
+	}
+	if _, err := RunMission(MissionSpec{Map: "tunnel", Model: "ResNet99"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestTable3Report(t *testing.T) {
+	r, err := Table3(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "table3" {
+		t.Errorf("id = %q", r.ID)
+	}
+	// Header + one row per variant.
+	if len(r.Lines) != 1+len(dnn.Variants()) {
+		t.Errorf("%d lines", len(r.Lines))
+	}
+	if len(r.Series) != 4 {
+		t.Errorf("%d series", len(r.Series))
+	}
+	// Latency series increase monotonically with model size.
+	lat := r.Series[0]
+	for i := 1; i < len(lat.Y); i++ {
+		if lat.Y[i] <= lat.Y[i-1] {
+			t.Errorf("BOOM latency not increasing: %v", lat.Y)
+		}
+	}
+	// Rocket is slower than BOOM for every model.
+	for i := range lat.Y {
+		if r.Series[1].Y[i] <= lat.Y[i] {
+			t.Errorf("Rocket latency %v not above BOOM %v", r.Series[1].Y[i], lat.Y[i])
+		}
+	}
+}
+
+func TestRunMissionQuick(t *testing.T) {
+	// One short closed-loop mission end to end through the harness.
+	out, err := RunMission(MissionSpec{
+		Map:       "tunnel",
+		Model:     "ResNet6",
+		HW:        cfgA(t),
+		VForward:  3,
+		MaxSimSec: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.SimSeconds <= 0 || out.Result.Cycles == 0 {
+		t.Errorf("empty result: %+v", out.Result)
+	}
+	if len(out.Inferences) == 0 {
+		t.Error("no inferences logged")
+	}
+	if len(out.Result.Trajectory) == 0 {
+		t.Error("no trajectory recorded")
+	}
+}
+
+func TestDynamicMissionQuick(t *testing.T) {
+	out, err := RunMission(MissionSpec{
+		Map:        "s-shape",
+		Model:      "ResNet14",
+		SmallModel: "ResNet6",
+		HW:         cfgA(t),
+		VForward:   9,
+		MaxSimSec:  6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Inferences) == 0 {
+		t.Error("no inferences logged")
+	}
+	// The fallback count must be consistent with the records.
+	n := 0
+	for _, r := range out.Inferences {
+		if r.UsedFallback {
+			n++
+		}
+	}
+	if out.Fallbacks() != n {
+		t.Errorf("Fallbacks() = %d, want %d", out.Fallbacks(), n)
+	}
+}
+
+func TestFigure15Quick(t *testing.T) {
+	r, err := Figure15(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := r.Series[0]
+	if len(model.Y) < 3 {
+		t.Fatalf("too few points: %v", model)
+	}
+	// Modeled FPGA throughput rises with granularity.
+	for i := 1; i < len(model.Y); i++ {
+		if model.Y[i] <= model.Y[i-1] {
+			t.Errorf("modeled throughput not increasing: %v", model.Y)
+		}
+	}
+	// Measured Go throughput is positive everywhere.
+	for _, v := range r.Series[1].Y {
+		if v <= 0 {
+			t.Errorf("non-positive measured throughput: %v", r.Series[1].Y)
+		}
+	}
+}
+
+func cfgA(t *testing.T) config.HW {
+	t.Helper()
+	return config.A
+}
+
+func TestAblationSyncQuick(t *testing.T) {
+	r, err := AblationSync(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := r.Series[0]
+	if len(lat.Y) < 2 {
+		t.Fatal("too few points")
+	}
+	// Loose exchange must show higher request latency than lockstep.
+	if lat.Y[len(lat.Y)-1] <= lat.Y[0] {
+		t.Errorf("loose-exchange latency %v not above lockstep %v", lat.Y[len(lat.Y)-1], lat.Y[0])
+	}
+}
+
+func TestAblationQueueQuick(t *testing.T) {
+	r, err := AblationQueue(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := r.Series[0]
+	// The undersized queue drops every camera frame: zero inferences.
+	if inf.Y[0] != 0 {
+		t.Errorf("undersized queue completed %v inferences, want 0", inf.Y[0])
+	}
+	if inf.Y[len(inf.Y)-1] < 10 {
+		t.Errorf("adequate queue completed only %v inferences", inf.Y[len(inf.Y)-1])
+	}
+}

@@ -1,0 +1,143 @@
+// Package fc implements the software-in-the-loop flight controller — the Go
+// stand-in for AirSim's SimpleFlight. Like SimpleFlight it contains a
+// hierarchy of PID controllers (Section 4.2.2): a velocity/altitude loop
+// computes attitude and thrust targets, an attitude loop computes body-rate
+// targets, and a rate loop computes torques that a mixer turns into motor
+// thrusts.
+//
+// The companion computer does not drive motors directly: it sends
+// intermediate-level targets — forward velocity, lateral velocity, and yaw
+// rate (the paper's "angular and linear velocity targets") — which this
+// controller tracks.
+package fc
+
+import (
+	"math"
+
+	"repro/internal/physics"
+	"repro/internal/vec"
+)
+
+// Command is the target set sent by the companion computer over the modeled
+// MAVLink-like link: velocities expressed in the vehicle's yaw frame.
+type Command struct {
+	VForward float64 // m/s along the current heading
+	VLateral float64 // m/s to the left of the current heading (paper's v_l)
+	YawRate  float64 // rad/s (paper's ω)
+	Altitude float64 // m, altitude hold target
+}
+
+// Gains collects the PID gains for the control hierarchy.
+type Gains struct {
+	VelP, VelI   float64 // velocity → acceleration
+	AltP, AltD   float64 // altitude → vertical acceleration
+	AttP         float64 // attitude angle → body rate
+	RateP, RateD float64 // body rate → angular acceleration
+	MaxTilt      float64 // rad
+	MaxAccel     float64 // m/s²
+	MaxRate      float64 // rad/s
+}
+
+// DefaultGains are tuned for physics.DefaultParams and give a well-damped
+// response comparable to SimpleFlight's stock tuning.
+func DefaultGains() Gains {
+	return Gains{
+		VelP: 2.2, VelI: 0.4,
+		AltP: 4.0, AltD: 3.0,
+		AttP:  7.0,
+		RateP: 18.0, RateD: 0.4,
+		MaxTilt:  vec.Deg(32),
+		MaxAccel: 8.0,
+		MaxRate:  6.0,
+	}
+}
+
+// Controller is the stateful flight controller. Create with New and call
+// Update at the physics rate.
+type Controller struct {
+	Gains  Gains
+	Params physics.Params
+
+	cmd       Command
+	velIntX   float64
+	velIntY   float64
+	prevRates vec.Vec3
+}
+
+// New returns a controller for a vehicle with the given physical parameters.
+func New(p physics.Params, g Gains) *Controller {
+	return &Controller{Gains: g, Params: p}
+}
+
+// SetCommand installs a new target command; it is tracked until replaced
+// ("the control hierarchy tracks the most recent target received").
+func (c *Controller) SetCommand(cmd Command) { c.cmd = cmd }
+
+// Command returns the currently tracked command.
+func (c *Controller) Command() Command { return c.cmd }
+
+// Reset clears integrator state (e.g., after a hard collision).
+func (c *Controller) Reset() {
+	c.velIntX, c.velIntY = 0, 0
+	c.prevRates = vec.Zero3
+}
+
+// Update computes one control step of dt seconds for the given vehicle state
+// and returns the motor thrusts to apply.
+func (c *Controller) Update(st physics.State, dt float64) physics.MotorCmd {
+	g := c.Gains
+	_, _, yaw := st.Ori.Euler()
+
+	// --- Velocity loop (yaw frame → world frame) ---
+	sy, cy := math.Sin(yaw), math.Cos(yaw)
+	vDesWorld := vec.V3(
+		c.cmd.VForward*cy-c.cmd.VLateral*sy,
+		c.cmd.VForward*sy+c.cmd.VLateral*cy,
+		0,
+	)
+	errX := vDesWorld.X - st.Vel.X
+	errY := vDesWorld.Y - st.Vel.Y
+	c.velIntX = vec.Clamp(c.velIntX+errX*dt, -10, 10)
+	c.velIntY = vec.Clamp(c.velIntY+errY*dt, -10, 10)
+	ax := vec.Clamp(g.VelP*errX+g.VelI*c.velIntX, -g.MaxAccel, g.MaxAccel)
+	ay := vec.Clamp(g.VelP*errY+g.VelI*c.velIntY, -g.MaxAccel, g.MaxAccel)
+
+	// --- Altitude loop ---
+	az := vec.Clamp(g.AltP*(c.cmd.Altitude-st.Pos.Z)-g.AltD*st.Vel.Z, -0.6*physics.Gravity, g.MaxAccel)
+
+	// --- Acceleration → attitude targets (small-angle inversion) ---
+	pitchDes := vec.Clamp((ax*cy+ay*sy)/physics.Gravity, -g.MaxTilt, g.MaxTilt)
+	rollDes := vec.Clamp((ax*sy-ay*cy)/physics.Gravity, -g.MaxTilt, g.MaxTilt)
+
+	roll, pitch, _ := st.Ori.Euler()
+
+	// --- Attitude loop → body-rate targets ---
+	rateDes := vec.V3(
+		vec.Clamp(g.AttP*(rollDes-roll), -g.MaxRate, g.MaxRate),
+		vec.Clamp(g.AttP*(pitchDes-pitch), -g.MaxRate, g.MaxRate),
+		vec.Clamp(c.cmd.YawRate, -g.MaxRate, g.MaxRate),
+	)
+
+	// --- Rate loop → torques ---
+	rateErr := rateDes.Sub(st.Omega)
+	dRate := st.Omega.Sub(c.prevRates).Scale(1 / math.Max(dt, 1e-9))
+	c.prevRates = st.Omega
+	angAcc := rateErr.Scale(g.RateP).Sub(dRate.Scale(g.RateD))
+	tau := vec.V3(
+		angAcc.X*c.Params.Inertia.X,
+		angAcc.Y*c.Params.Inertia.Y,
+		angAcc.Z*c.Params.Inertia.Z,
+	)
+
+	// --- Thrust magnitude ---
+	tilt := math.Cos(roll) * math.Cos(pitch)
+	if tilt < 0.5 {
+		tilt = 0.5
+	}
+	thrust := c.Params.Mass * (physics.Gravity + az) / tilt
+	if thrust < 0 {
+		thrust = 0
+	}
+
+	return physics.Mix(c.Params, thrust, tau).Clamp(c.Params.MaxThrust)
+}

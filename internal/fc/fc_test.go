@@ -1,0 +1,158 @@
+package fc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/physics"
+	"repro/internal/vec"
+)
+
+const dt = 1.0 / 400
+
+// fly runs the closed physics+controller loop for the given duration.
+func fly(q *physics.Quad, c *Controller, seconds float64) {
+	steps := int(seconds / dt)
+	for i := 0; i < steps; i++ {
+		cmd := c.Update(q.State, dt)
+		q.Step(dt, cmd)
+	}
+}
+
+func newVehicle(yaw float64) (*physics.Quad, *Controller) {
+	p := physics.DefaultParams()
+	q := physics.NewQuad(p, vec.V3(0, 0, 0), yaw)
+	c := New(p, DefaultGains())
+	return q, c
+}
+
+func TestTakeoffAndAltitudeHold(t *testing.T) {
+	q, c := newVehicle(0)
+	c.SetCommand(Command{Altitude: 1.5})
+	fly(q, c, 4)
+	if math.Abs(q.State.Pos.Z-1.5) > 0.1 {
+		t.Errorf("altitude = %v, want 1.5", q.State.Pos.Z)
+	}
+	if q.State.Vel.Norm() > 0.15 {
+		t.Errorf("residual velocity %v", q.State.Vel)
+	}
+}
+
+func TestForwardVelocityTracking(t *testing.T) {
+	q, c := newVehicle(0)
+	c.SetCommand(Command{VForward: 3, Altitude: 1.5})
+	fly(q, c, 6)
+	bv := q.BodyVel()
+	if math.Abs(bv.X-3) > 0.3 {
+		t.Errorf("forward velocity = %v, want ~3", bv.X)
+	}
+	if math.Abs(q.State.Pos.Z-1.5) > 0.2 {
+		t.Errorf("altitude = %v during cruise", q.State.Pos.Z)
+	}
+	if q.State.Pos.X < 8 {
+		t.Errorf("travelled only %v m", q.State.Pos.X)
+	}
+}
+
+func TestHighSpeedTracking(t *testing.T) {
+	// The paper sweeps velocity targets up to 12 m/s (Figure 12).
+	q, c := newVehicle(0)
+	c.SetCommand(Command{VForward: 12, Altitude: 1.5})
+	fly(q, c, 8)
+	if v := q.BodyVel().X; math.Abs(v-12) > 1.2 {
+		t.Errorf("velocity = %v, want ~12", v)
+	}
+}
+
+func TestLateralVelocityTracking(t *testing.T) {
+	q, c := newVehicle(0)
+	c.SetCommand(Command{VLateral: 1.5, Altitude: 1.5})
+	fly(q, c, 6)
+	// +VLateral is to the left (+Y at zero yaw).
+	if q.State.Pos.Y < 3 {
+		t.Errorf("lateral displacement = %v, want positive and large", q.State.Pos.Y)
+	}
+	if math.Abs(q.State.Vel.Y-1.5) > 0.3 {
+		t.Errorf("lateral velocity = %v", q.State.Vel.Y)
+	}
+}
+
+func TestYawRateTracking(t *testing.T) {
+	q, c := newVehicle(0)
+	c.SetCommand(Command{Altitude: 2})
+	fly(q, c, 3) // take off first
+	c.SetCommand(Command{Altitude: 2, YawRate: 0.5})
+	fly(q, c, 2)
+	if w := q.State.Omega.Z; math.Abs(w-0.5) > 0.1 {
+		t.Errorf("yaw rate = %v, want 0.5", w)
+	}
+}
+
+func TestYawedFrameVelocity(t *testing.T) {
+	// Forward velocity must follow the heading, not world X.
+	q, c := newVehicle(math.Pi / 2) // facing +Y
+	c.SetCommand(Command{VForward: 2, Altitude: 1.5})
+	fly(q, c, 6)
+	if q.State.Pos.Y < 5 {
+		t.Errorf("should move along +Y, pos=%v", q.State.Pos)
+	}
+	if math.Abs(q.State.Pos.X) > 1.5 {
+		t.Errorf("unexpected X drift: %v", q.State.Pos)
+	}
+}
+
+func TestCommandTracksMostRecentTarget(t *testing.T) {
+	q, c := newVehicle(0)
+	c.SetCommand(Command{VForward: 3, Altitude: 1.5})
+	fly(q, c, 4)
+	c.SetCommand(Command{VForward: 0, Altitude: 1.5})
+	fly(q, c, 5)
+	if v := q.BodyVel().X; math.Abs(v) > 0.3 {
+		t.Errorf("velocity after stop command = %v", v)
+	}
+	if got := c.Command().VForward; got != 0 {
+		t.Errorf("Command() = %+v", c.Command())
+	}
+}
+
+func TestTurnWhileMoving(t *testing.T) {
+	// Commanding a yaw rate while moving forward must curve the path —
+	// this is exactly how the DNN controller steers (Equation 2).
+	q, c := newVehicle(0)
+	c.SetCommand(Command{VForward: 3, Altitude: 1.5})
+	fly(q, c, 4)
+	c.SetCommand(Command{VForward: 3, Altitude: 1.5, YawRate: 0.4})
+	fly(q, c, 3)
+	if q.State.Pos.Y < 0.5 {
+		t.Errorf("path did not curve left: %v", q.State.Pos)
+	}
+	if yaw := q.State.Ori.Yaw(); yaw < 0.5 {
+		t.Errorf("yaw = %v after turning", yaw)
+	}
+}
+
+func TestResetClearsIntegrators(t *testing.T) {
+	q, c := newVehicle(0)
+	c.SetCommand(Command{VForward: 5, Altitude: 1.5})
+	fly(q, c, 2)
+	c.Reset()
+	if c.velIntX != 0 || c.velIntY != 0 || c.prevRates != vec.Zero3 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestStabilityFromAngledStart(t *testing.T) {
+	// Figure 10 starts the UAV at ±20°; the controller must remain stable.
+	for _, deg := range []float64{-20, 0, 20} {
+		q, c := newVehicle(vec.Deg(deg))
+		c.SetCommand(Command{VForward: 3, Altitude: 1.5})
+		fly(q, c, 5)
+		roll, pitch, _ := q.Euler()
+		if math.Abs(roll) > 0.3 || math.Abs(pitch) > 0.3 {
+			t.Errorf("start %v°: unstable attitude roll=%v pitch=%v", deg, roll, pitch)
+		}
+		if !q.State.Pos.IsFinite() {
+			t.Fatalf("start %v°: diverged", deg)
+		}
+	}
+}

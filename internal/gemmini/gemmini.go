@@ -1,0 +1,109 @@
+// Package gemmini models the systolic-array DNN accelerator the paper
+// generates with the Gemmini generator (§4.2.1): a 4×4 FP32 mesh with a
+// weight-stationary dataflow, a 256 KiB scratchpad, and a 64 KiB
+// accumulator, sized to Gemmini's 128-bit maximum memory bus width.
+//
+// The model is functional+timing: the functional matmul itself is executed
+// by internal/tensor (bit-identical whether "run" on CPU or accelerator —
+// Gemmini is IEEE-exact for FP32), while this package prices the operation
+// in cycles from the tiling schedule and DMA traffic.
+package gemmini
+
+import "fmt"
+
+// Config describes one generated Gemmini instance.
+type Config struct {
+	MeshRows, MeshCols int // systolic array dimensions
+	ScratchpadKB       int
+	AccumulatorKB      int
+	BusBytes           int     // DMA bus width in bytes
+	ElemBytes          int     // element size (FP32 = 4)
+	ConfigCycles       uint64  // per-operation configuration overhead
+	DMAOverlap         float64 // fraction of DMA hidden behind compute [0,1]
+}
+
+// Default returns the paper's configuration: 4×4 FP32 mesh,
+// weight-stationary, 256 KiB scratchpad, 64 KiB accumulator, 128-bit bus.
+func Default() Config {
+	return Config{
+		MeshRows:      4,
+		MeshCols:      4,
+		ScratchpadKB:  256,
+		AccumulatorKB: 64,
+		BusBytes:      16,
+		ElemBytes:     4,
+		ConfigCycles:  600,
+		DMAOverlap:    0.7,
+	}
+}
+
+// PeakMACsPerCycle is the array's peak throughput.
+func (c Config) PeakMACsPerCycle() float64 {
+	return float64(c.MeshRows * c.MeshCols)
+}
+
+// Validate checks the configuration for physical plausibility.
+func (c Config) Validate() error {
+	switch {
+	case c.MeshRows <= 0 || c.MeshCols <= 0:
+		return fmt.Errorf("gemmini: mesh %dx%d invalid", c.MeshRows, c.MeshCols)
+	case c.BusBytes <= 0 || c.ElemBytes <= 0:
+		return fmt.Errorf("gemmini: bus/element sizes invalid")
+	case c.DMAOverlap < 0 || c.DMAOverlap > 1:
+		return fmt.Errorf("gemmini: DMA overlap %v outside [0,1]", c.DMAOverlap)
+	case c.ScratchpadKB <= 0 || c.AccumulatorKB <= 0:
+		return fmt.Errorf("gemmini: memories invalid")
+	}
+	return nil
+}
+
+// MatmulCycles prices C[M×N] = A[M×K]·B[K×N] under the weight-stationary
+// schedule:
+//
+//   - B is partitioned into MeshRows×MeshCols weight tiles. Each tile is
+//     loaded into the array (MeshRows cycles) and then the M rows of the
+//     corresponding A panel are streamed through (one row per cycle), plus
+//     the pipeline fill/drain.
+//   - DMA traffic moves A once per column group, B once, and C out of the
+//     accumulator; a DMAOverlap fraction hides behind compute.
+//
+// The result is the accelerator-busy cycle count for the operation.
+func (c Config) MatmulCycles(m, k, n int) uint64 {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return 0
+	}
+	kTiles := ceilDiv(k, c.MeshRows)
+	nTiles := ceilDiv(n, c.MeshCols)
+	fill := uint64(c.MeshRows + c.MeshCols)
+	perTile := uint64(c.MeshRows) + uint64(m) + fill
+	compute := uint64(kTiles) * uint64(nTiles) * perTile
+
+	// DMA: A is re-streamed for each group of N tiles that exceeds the
+	// scratchpad; approximate with a single pass of A per ceil(N/colsFit)
+	// where colsFit is how many output columns of B+C fit alongside A.
+	aBytes := uint64(m) * uint64(k) * uint64(c.ElemBytes)
+	bBytes := uint64(k) * uint64(n) * uint64(c.ElemBytes)
+	cBytes := uint64(m) * uint64(n) * uint64(c.ElemBytes)
+	spadBytes := uint64(c.ScratchpadKB) << 10
+	aPasses := uint64(1)
+	if aBytes > spadBytes/2 {
+		aPasses = uint64(ceilDiv(int(aBytes), int(spadBytes/2)))
+	}
+	dmaBytes := aBytes*aPasses + bBytes + cBytes
+	dmaCycles := dmaBytes / uint64(c.BusBytes)
+	exposed := uint64(float64(dmaCycles) * (1 - c.DMAOverlap))
+
+	return c.ConfigCycles + compute + exposed
+}
+
+// EffectiveMACsPerCycle reports the modeled efficiency for a given matmul,
+// useful for calibration tests.
+func (c Config) EffectiveMACsPerCycle(m, k, n int) float64 {
+	cy := c.MatmulCycles(m, k, n)
+	if cy == 0 {
+		return 0
+	}
+	return float64(uint64(m)*uint64(k)*uint64(n)) / float64(cy)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

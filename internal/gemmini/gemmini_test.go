@@ -1,0 +1,97 @@
+package gemmini
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultMatchesPaperConfig(t *testing.T) {
+	c := Default()
+	if c.MeshRows != 4 || c.MeshCols != 4 {
+		t.Errorf("mesh %dx%d, paper uses 4x4", c.MeshRows, c.MeshCols)
+	}
+	if c.ScratchpadKB != 256 || c.AccumulatorKB != 64 {
+		t.Errorf("spad=%d acc=%d, paper uses 256KB/64KB", c.ScratchpadKB, c.AccumulatorKB)
+	}
+	if c.BusBytes != 16 {
+		t.Errorf("bus = %d bytes, paper uses 128-bit", c.BusBytes)
+	}
+	if c.PeakMACsPerCycle() != 16 {
+		t.Errorf("peak = %v", c.PeakMACsPerCycle())
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{MeshRows: 0, MeshCols: 4, BusBytes: 16, ElemBytes: 4, ScratchpadKB: 1, AccumulatorKB: 1},
+		{MeshRows: 4, MeshCols: 4, BusBytes: 0, ElemBytes: 4, ScratchpadKB: 1, AccumulatorKB: 1},
+		{MeshRows: 4, MeshCols: 4, BusBytes: 16, ElemBytes: 4, ScratchpadKB: 0, AccumulatorKB: 1},
+		{MeshRows: 4, MeshCols: 4, BusBytes: 16, ElemBytes: 4, ScratchpadKB: 1, AccumulatorKB: 1, DMAOverlap: 1.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d validated", i)
+		}
+	}
+}
+
+func TestMatmulCyclesEdgeCases(t *testing.T) {
+	c := Default()
+	if c.MatmulCycles(0, 10, 10) != 0 || c.MatmulCycles(10, 0, 10) != 0 || c.MatmulCycles(10, 10, -1) != 0 {
+		t.Error("degenerate matmuls should cost 0")
+	}
+	if c.MatmulCycles(1, 1, 1) < c.ConfigCycles {
+		t.Error("tiny matmul should still pay configuration overhead")
+	}
+}
+
+func TestEfficiencyApproachesPeakForLargeMatmuls(t *testing.T) {
+	c := Default()
+	eff := c.EffectiveMACsPerCycle(1024, 512, 512)
+	if eff < 6 || eff > c.PeakMACsPerCycle() {
+		t.Errorf("large-matmul efficiency = %v MACs/cycle (peak %v)", eff, c.PeakMACsPerCycle())
+	}
+	// Small matmuls are dominated by overhead.
+	small := c.EffectiveMACsPerCycle(8, 8, 8)
+	if small > eff/2 {
+		t.Errorf("small-matmul efficiency %v should be far below %v", small, eff)
+	}
+}
+
+func TestCyclesMonotoneInEachDim(t *testing.T) {
+	c := Default()
+	base := c.MatmulCycles(64, 64, 64)
+	if c.MatmulCycles(128, 64, 64) <= base ||
+		c.MatmulCycles(64, 128, 64) <= base ||
+		c.MatmulCycles(64, 64, 128) <= base {
+		t.Error("cycles not monotone in dimensions")
+	}
+}
+
+func TestBiggerMeshIsFaster(t *testing.T) {
+	small := Default()
+	big := Default()
+	big.MeshRows, big.MeshCols = 16, 16
+	if big.MatmulCycles(512, 256, 256) >= small.MatmulCycles(512, 256, 256) {
+		t.Error("16x16 mesh not faster than 4x4")
+	}
+}
+
+// Property: cycle counts are positive and efficiency never exceeds peak.
+func TestEfficiencyBoundedQuick(t *testing.T) {
+	c := Default()
+	f := func(m, k, n uint8) bool {
+		mm, kk, nn := int(m)+1, int(k)+1, int(n)+1
+		cy := c.MatmulCycles(mm, kk, nn)
+		if cy == 0 {
+			return false
+		}
+		return c.EffectiveMACsPerCycle(mm, kk, nn) <= c.PeakMACsPerCycle()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+// Package ort is the inference runtime deployed on the simulated companion
+// computer — the stand-in for the paper's RISC-V port of ONNX Runtime with
+// Gemmini execution support (§3.3). A Session owns one loaded model; Run
+// executes an inference functionally (real FP32 math on the real image)
+// while charging the simulated SoC the cycle cost of every operation:
+// matmuls go to the Gemmini timing model when the SoC has the accelerator
+// and to the scalar-core matmul model otherwise, and bandwidth-bound passes
+// (im2col, BN, ReLU, pooling) are charged to the CPU stream model.
+//
+// The paper's dynamic runtime hosts two Sessions at once (§5.3); Session is
+// cheap and stateless across Runs to support exactly that.
+package ort
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+	"repro/internal/gemmini"
+	"repro/internal/soc"
+	"repro/internal/tensor"
+)
+
+// Session is one loaded model ready to execute on a simulated SoC.
+type Session struct {
+	net *dnn.Net
+	gem gemmini.Config
+	ops []dnn.OpDesc
+
+	// perRunOverheadInstrs models runtime bookkeeping per inference
+	// (graph traversal, allocator, syscall overhead).
+	perRunOverheadInstrs uint64
+	// perOpOverheadInstrs models per-node dispatch overhead.
+	perOpOverheadInstrs uint64
+}
+
+// NewSession loads a model into a session with the given accelerator
+// configuration (used only when the SoC it runs on has Gemmini).
+func NewSession(net *dnn.Net, gem gemmini.Config) (*Session, error) {
+	if net == nil {
+		return nil, fmt.Errorf("ort: nil model")
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("ort: invalid model: %w", err)
+	}
+	if err := gem.Validate(); err != nil {
+		return nil, err
+	}
+	return &Session{
+		net:                  net,
+		gem:                  gem,
+		ops:                  net.Describe(),
+		perRunOverheadInstrs: 400_000,
+		perOpOverheadInstrs:  15_000,
+	}, nil
+}
+
+// Net returns the loaded model.
+func (s *Session) Net() *dnn.Net { return s.net }
+
+// Cost is the predicted cycle cost of one inference on a given platform,
+// split by resource. Computed without running anything — used for Table 3
+// and for deadline-aware scheduling in the dynamic runtime.
+type Cost struct {
+	CPUCycles   uint64 // stream + dispatch + (if no accelerator) matmul cycles
+	AccelCycles uint64 // Gemmini-busy cycles (0 without the accelerator)
+}
+
+// Total returns the end-to-end cycles of one inference.
+func (c Cost) Total() uint64 { return c.CPUCycles + c.AccelCycles }
+
+// Predict prices one inference for a core/accelerator combination.
+func (s *Session) Predict(core soc.CoreParams, params soc.Params, hasGemmini bool) Cost {
+	var cost Cost
+	scale := params.WorkloadScale
+	cost.CPUCycles += soc.ScalarCycles(core, s.perRunOverheadInstrs)
+	for _, op := range s.ops {
+		cost.CPUCycles += soc.ScalarCycles(core, s.perOpOverheadInstrs)
+		switch op.Kind {
+		case dnn.OpStream:
+			cost.CPUCycles += soc.StreamCycles(core, uint64(float64(op.Bytes)*scale))
+		case dnn.OpMatMul:
+			if hasGemmini {
+				cy := s.gem.MatmulCycles(op.M, op.K, op.N)
+				cost.AccelCycles += uint64(float64(cy) * scale)
+			} else {
+				cost.CPUCycles += soc.CPUMatmulCycles(core, uint64(float64(op.MACs())*scale))
+			}
+		}
+	}
+	return cost
+}
+
+// Run executes one inference on the simulated SoC: the functional forward
+// pass produces the real classifier outputs while the predicted cycle cost
+// is charged to the engine op by op, so synchronization boundaries can land
+// mid-inference exactly as they would in RTL simulation.
+func (s *Session) Run(rt *soc.Runtime, input *tensor.Tensor) dnn.Output {
+	out := s.net.Forward(input)
+	core := rt.Core()
+	params := rt.Params()
+	scale := params.WorkloadScale
+
+	rt.Compute(soc.ScalarCycles(core, s.perRunOverheadInstrs))
+	for _, op := range s.ops {
+		rt.Compute(soc.ScalarCycles(core, s.perOpOverheadInstrs))
+		switch op.Kind {
+		case dnn.OpStream:
+			rt.Compute(soc.StreamCycles(core, uint64(float64(op.Bytes)*scale)))
+		case dnn.OpMatMul:
+			if rt.HasGemmini() {
+				cy := s.gem.MatmulCycles(op.M, op.K, op.N)
+				rt.ComputeAccel(uint64(float64(cy) * scale))
+			} else {
+				rt.Compute(soc.CPUMatmulCycles(core, uint64(float64(op.MACs())*scale)))
+			}
+		}
+	}
+	return out
+}

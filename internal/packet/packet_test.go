@@ -1,0 +1,260 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeClasses(t *testing.T) {
+	for _, tt := range []Type{SyncConfig, SyncGrant, SyncDone, SyncReset} {
+		if !tt.IsSync() {
+			t.Errorf("%v should be sync", tt)
+		}
+	}
+	for _, tt := range []Type{CamReq, CamData, IMUReq, IMUData, DepthReq, DepthData, CmdVel} {
+		if tt.IsSync() {
+			t.Errorf("%v should be data", tt)
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if SyncGrant.String() != "SYNC_GRANT" || CamData.String() != "CAM_DATA" {
+		t.Error("known type names wrong")
+	}
+	if Type(0xBEEF).String() == "" {
+		t.Error("unknown type should still format")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := Packet{Type: CamReq, Payload: []byte{1, 2, 3, 4, 5}}
+	buf, err := p.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != p.Size() {
+		t.Errorf("encoded %d bytes, Size()=%d", len(buf), p.Size())
+	}
+	q, n, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) || q.Type != p.Type || !bytes.Equal(q.Payload, p.Payload) {
+		t.Errorf("round trip mismatch: %+v consumed %d", q, n)
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	p := Packet{Type: IMUReq, Payload: make([]byte, 100)}
+	buf, _ := p.Encode(nil)
+	for _, cut := range []int{0, 4, HeaderSize - 1, HeaderSize + 50} {
+		if _, _, err := Decode(buf[:cut]); !errors.Is(err, io.ErrShortBuffer) {
+			t.Errorf("cut=%d: err=%v, want ErrShortBuffer", cut, err)
+		}
+	}
+}
+
+func TestDecodeStream(t *testing.T) {
+	// Multiple packets back to back decode in sequence.
+	var buf []byte
+	want := []Packet{
+		U64(SyncGrant, 1000),
+		{Type: CamReq},
+		{Type: CmdVel, Payload: []byte{9, 9, 9}},
+	}
+	for _, p := range want {
+		var err error
+		buf, err = p.Encode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Packet
+	for len(buf) > 0 {
+		p, n, err := Decode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, p)
+		buf = buf[n:]
+	}
+	if !reflect.DeepEqual(normalize(got), normalize(want)) {
+		t.Errorf("stream decode mismatch:\n%+v\n%+v", got, want)
+	}
+}
+
+func normalize(ps []Packet) []Packet {
+	out := make([]Packet, len(ps))
+	for i, p := range ps {
+		if len(p.Payload) == 0 {
+			p.Payload = nil
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestReadWrite(t *testing.T) {
+	var buf bytes.Buffer
+	ps := []Packet{U64(SyncConfig, 16_000_000), {Type: DepthReq}, IMU{TimeSec: 1.5}.Marshal()}
+	for _, p := range ps {
+		if err := Write(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range ps {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != want.Type || !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("Read = %+v, want %+v", got, want)
+		}
+	}
+	if _, err := Read(&buf); err != io.EOF {
+		t.Errorf("Read on empty = %v, want EOF", err)
+	}
+}
+
+func TestReadTruncatedPayload(t *testing.T) {
+	p := Packet{Type: CamData, Payload: make([]byte, 64)}
+	full, _ := p.Encode(nil)
+	if _, err := Read(bytes.NewReader(full[:HeaderSize+10])); err == nil {
+		t.Error("Read accepted truncated payload")
+	}
+}
+
+func TestU64RoundTrip(t *testing.T) {
+	p := U64(SyncDone, 123456789012345)
+	v, err := p.AsU64()
+	if err != nil || v != 123456789012345 {
+		t.Errorf("AsU64 = %v, %v", v, err)
+	}
+	if _, err := (Packet{Type: SyncDone, Payload: []byte{1}}).AsU64(); err == nil {
+		t.Error("AsU64 accepted bad length")
+	}
+}
+
+func TestIMURoundTrip(t *testing.T) {
+	m := IMU{
+		Accel:   [3]float64{0.1, -0.2, 9.8},
+		Gyro:    [3]float64{0.01, 0.02, -0.03},
+		RPY:     [3]float64{0.3, -0.1, 1.2},
+		TimeSec: 42.5,
+	}
+	got, err := UnmarshalIMU(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Errorf("round trip: %+v != %+v", got, m)
+	}
+	if _, err := UnmarshalIMU(Packet{Type: CamData}); err == nil {
+		t.Error("UnmarshalIMU accepted wrong type")
+	}
+	if _, err := UnmarshalIMU(Packet{Type: IMUData, Payload: []byte{1}}); err == nil {
+		t.Error("UnmarshalIMU accepted bad length")
+	}
+}
+
+func TestCamFrameRoundTrip(t *testing.T) {
+	pix := make([]byte, 8*4)
+	rand.New(rand.NewSource(1)).Read(pix)
+	f := CamFrame{W: 8, H: 4, Pix: pix}
+	p, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCamFrame(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 8 || got.H != 4 || !bytes.Equal(got.Pix, pix) {
+		t.Errorf("round trip mismatch: %dx%d", got.W, got.H)
+	}
+	if _, err := (CamFrame{W: 8, H: 4, Pix: pix[:5]}).Marshal(); err == nil {
+		t.Error("Marshal accepted mismatched pixel count")
+	}
+	bad := Packet{Type: CamData, Payload: []byte{1, 2, 3}}
+	if _, err := UnmarshalCamFrame(bad); err == nil {
+		t.Error("UnmarshalCamFrame accepted short payload")
+	}
+}
+
+func TestDepthRoundTrip(t *testing.T) {
+	d := Depth{Meters: 12.75}
+	got, err := UnmarshalDepth(d.Marshal())
+	if err != nil || got != d {
+		t.Errorf("round trip = %+v, %v", got, err)
+	}
+}
+
+func TestCmdRoundTrip(t *testing.T) {
+	c := Cmd{VForward: 9, VLateral: -0.5, YawRate: 0.25}
+	got, err := UnmarshalCmd(c.Marshal())
+	if err != nil || got != c {
+		t.Errorf("round trip = %+v, %v", got, err)
+	}
+	if _, err := UnmarshalCmd(Packet{Type: CmdVel, Payload: make([]byte, 8)}); err == nil {
+		t.Error("UnmarshalCmd accepted bad length")
+	}
+}
+
+// Property: arbitrary payloads survive an encode/decode round trip.
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(typ uint16, payload []byte) bool {
+		p := Packet{Type: Type(typ), Payload: payload}
+		buf, err := p.Encode(nil)
+		if err != nil {
+			return false
+		}
+		q, n, err := Decode(buf)
+		return err == nil && n == len(buf) && q.Type == p.Type && bytes.Equal(q.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Decode never panics and never over-reads on mutated buffers.
+func TestDecodeRobustToCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	base, _ := IMU{TimeSec: 1}.Marshal().Encode(nil)
+	for trial := 0; trial < 2000; trial++ {
+		buf := append([]byte(nil), base...)
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			buf[rng.Intn(len(buf))] ^= byte(1 << rng.Intn(8))
+		}
+		p, n, err := Decode(buf)
+		if err != nil {
+			continue
+		}
+		if n > len(buf) {
+			t.Fatalf("consumed %d of %d bytes", n, len(buf))
+		}
+		if len(p.Payload) > MaxPayload {
+			t.Fatal("oversized payload escaped validation")
+		}
+	}
+}
+
+// Property: Read on a truncated stream errors rather than hanging or
+// panicking, for every truncation point.
+func TestReadRobustToTruncation(t *testing.T) {
+	full, _ := CamFrame{W: 4, H: 4, Pix: make([]byte, 16)}.Marshal()
+	wire, _ := full.Encode(nil)
+	for cut := 0; cut < len(wire); cut++ {
+		if _, err := Read(bytes.NewReader(wire[:cut])); err == nil {
+			t.Fatalf("Read succeeded on %d-byte truncation", cut)
+		}
+	}
+	if _, err := Read(bytes.NewReader(wire)); err != nil {
+		t.Fatalf("Read failed on intact stream: %v", err)
+	}
+}

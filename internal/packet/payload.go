@@ -1,0 +1,137 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// IMU is the payload of IMUData packets: the serialized form of one inertial
+// sample crossing the modeled I/O interface.
+type IMU struct {
+	Accel   [3]float64 // m/s², body frame
+	Gyro    [3]float64 // rad/s, body frame
+	RPY     [3]float64 // fused roll/pitch/yaw, radians
+	TimeSec float64
+}
+
+// Marshal encodes the sample as an IMUData packet.
+func (m IMU) Marshal() Packet {
+	buf := make([]byte, 0, 10*8)
+	for _, v := range [...]float64{
+		m.Accel[0], m.Accel[1], m.Accel[2],
+		m.Gyro[0], m.Gyro[1], m.Gyro[2],
+		m.RPY[0], m.RPY[1], m.RPY[2],
+		m.TimeSec,
+	} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return Packet{Type: IMUData, Payload: buf}
+}
+
+// UnmarshalIMU decodes an IMUData payload.
+func UnmarshalIMU(p Packet) (IMU, error) {
+	if p.Type != IMUData {
+		return IMU{}, fmt.Errorf("packet: %v is not IMU_DATA", p.Type)
+	}
+	if len(p.Payload) != 10*8 {
+		return IMU{}, fmt.Errorf("packet: IMU payload is %d bytes, want 80", len(p.Payload))
+	}
+	f := func(i int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(p.Payload[i*8:]))
+	}
+	return IMU{
+		Accel:   [3]float64{f(0), f(1), f(2)},
+		Gyro:    [3]float64{f(3), f(4), f(5)},
+		RPY:     [3]float64{f(6), f(7), f(8)},
+		TimeSec: f(9),
+	}, nil
+}
+
+// CamFrame is the payload of CamData packets: an 8-bit grayscale frame.
+type CamFrame struct {
+	W, H int
+	Pix  []byte // len == W*H
+}
+
+// Marshal encodes the frame as a CamData packet.
+func (c CamFrame) Marshal() (Packet, error) {
+	if len(c.Pix) != c.W*c.H {
+		return Packet{}, fmt.Errorf("packet: frame has %d pixels, want %dx%d", len(c.Pix), c.W, c.H)
+	}
+	buf := make([]byte, 0, 8+len(c.Pix))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.W))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.H))
+	return Packet{Type: CamData, Payload: append(buf, c.Pix...)}, nil
+}
+
+// UnmarshalCamFrame decodes a CamData payload.
+func UnmarshalCamFrame(p Packet) (CamFrame, error) {
+	if p.Type != CamData {
+		return CamFrame{}, fmt.Errorf("packet: %v is not CAM_DATA", p.Type)
+	}
+	if len(p.Payload) < 8 {
+		return CamFrame{}, fmt.Errorf("packet: CAM_DATA payload too short")
+	}
+	w := int(binary.LittleEndian.Uint32(p.Payload[0:4]))
+	h := int(binary.LittleEndian.Uint32(p.Payload[4:8]))
+	if w <= 0 || h <= 0 || len(p.Payload)-8 != w*h {
+		return CamFrame{}, fmt.Errorf("packet: CAM_DATA %dx%d with %d pixel bytes", w, h, len(p.Payload)-8)
+	}
+	return CamFrame{W: w, H: h, Pix: p.Payload[8:]}, nil
+}
+
+// Depth is the payload of DepthData packets.
+type Depth struct {
+	Meters float64
+}
+
+// Marshal encodes the reading as a DepthData packet.
+func (d Depth) Marshal() Packet {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(d.Meters))
+	return Packet{Type: DepthData, Payload: b[:]}
+}
+
+// UnmarshalDepth decodes a DepthData payload.
+func UnmarshalDepth(p Packet) (Depth, error) {
+	if p.Type != DepthData {
+		return Depth{}, fmt.Errorf("packet: %v is not DEPTH_DATA", p.Type)
+	}
+	if len(p.Payload) != 8 {
+		return Depth{}, fmt.Errorf("packet: DEPTH_DATA payload is %d bytes, want 8", len(p.Payload))
+	}
+	return Depth{Meters: math.Float64frombits(binary.LittleEndian.Uint64(p.Payload))}, nil
+}
+
+// Cmd is the payload of CmdVel packets: the companion computer's
+// intermediate-level targets for the flight controller (paper §4.1: "angular
+// and linear velocity targets").
+type Cmd struct {
+	VForward float64 // m/s
+	VLateral float64 // m/s (v_l in Equation 2)
+	YawRate  float64 // rad/s (ω in Equation 2)
+}
+
+// Marshal encodes the command as a CmdVel packet.
+func (c Cmd) Marshal() Packet {
+	buf := make([]byte, 0, 24)
+	for _, v := range [...]float64{c.VForward, c.VLateral, c.YawRate} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return Packet{Type: CmdVel, Payload: buf}
+}
+
+// UnmarshalCmd decodes a CmdVel payload.
+func UnmarshalCmd(p Packet) (Cmd, error) {
+	if p.Type != CmdVel {
+		return Cmd{}, fmt.Errorf("packet: %v is not CMD_VEL", p.Type)
+	}
+	if len(p.Payload) != 24 {
+		return Cmd{}, fmt.Errorf("packet: CMD_VEL payload is %d bytes, want 24", len(p.Payload))
+	}
+	f := func(i int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(p.Payload[i*8:]))
+	}
+	return Cmd{VForward: f(0), VLateral: f(1), YawRate: f(2)}, nil
+}

@@ -1,0 +1,72 @@
+package packet
+
+// RPC packet types (0x02xx) carry the environment simulator's remote API —
+// the stand-in for AirSim's RPC interface (§3.1): simulator commands
+// (stepping, reset) in addition to the sensor/actuation data types. They are
+// used only on the synchronizer↔environment link, never on the bridge.
+//
+// Remote-RTL types (0x03xx) carry the synchronizer↔FireSim TCP protocol
+// (§3.4.1): cycle grants and boundary packet batches.
+const (
+	// RPCStepFrames requests n environment frames (uint64 payload).
+	RPCStepFrames Type = 0x0201
+	// RPCFrameRate queries the environment frame rate (empty payload);
+	// the response is a uint64 of millihertz.
+	RPCFrameRate Type = 0x0202
+	// RPCReset respawns the vehicle; payload is four float64s
+	// (x, y, z, yaw).
+	RPCReset Type = 0x0203
+	// RPCTelemetry queries ground-truth telemetry (empty payload); the
+	// response payload is gob-encoded env.Telemetry.
+	RPCTelemetry Type = 0x0204
+	// RPCAck acknowledges a command with no return value.
+	RPCAck Type = 0x0205
+	// RPCError carries an error string.
+	RPCError Type = 0x0206
+
+	// RTLStep grants a cycle quantum to a remote RTL simulation (uint64);
+	// the response is an RTLStepped with the cycles consumed.
+	RTLStep Type = 0x0301
+	// RTLStepped acknowledges RTLStep (uint64 cycles consumed).
+	RTLStepped Type = 0x0302
+	// RTLPush delivers a batch of packets to the remote bridge; the
+	// payload is the concatenated wire encoding of the batch.
+	RTLPush Type = 0x0303
+	// RTLPull drains the remote bridge's SoC→host queue; the response is
+	// an RTLBatch.
+	RTLPull Type = 0x0304
+	// RTLBatch carries a concatenated packet batch.
+	RTLBatch Type = 0x0305
+	// RTLStatus queries cycle count, done flag, and engine stats; the
+	// response payload is gob-encoded soc.Stats plus the cycle/done header.
+	RTLStatus Type = 0x0306
+	// RTLStatusReply answers RTLStatus.
+	RTLStatusReply Type = 0x0307
+)
+
+// EncodeBatch concatenates packets into one payload for RTLPush/RTLBatch.
+func EncodeBatch(pkts []Packet) ([]byte, error) {
+	var buf []byte
+	for _, p := range pkts {
+		var err error
+		buf, err = p.Encode(buf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeBatch splits a concatenated payload back into packets.
+func DecodeBatch(buf []byte) ([]Packet, error) {
+	var out []Packet
+	for len(buf) > 0 {
+		p, n, err := Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+		buf = buf[n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+// Package physics implements the quadrotor rigid-body dynamics used by the
+// environment simulator — the Go stand-in for AirSim's internal physics
+// models (the paper notes AirSim uses its own physics for the vehicle while
+// Unreal handles rendering/collisions; here internal/world handles
+// collisions).
+//
+// Conventions: right-handed world frame, Z up; body frame X forward, Y left,
+// Z up. Angles follow the Z-Y-X (yaw-pitch-roll) convention of internal/vec.
+package physics
+
+import (
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Gravity is the standard gravitational acceleration (m/s²).
+const Gravity = 9.81
+
+// Params are the physical parameters of the quadrotor.
+type Params struct {
+	Mass      float64  // kg
+	Inertia   vec.Vec3 // body-frame diagonal inertia (kg·m²)
+	ArmLength float64  // rotor arm length from center (m)
+	MaxThrust float64  // max thrust per motor (N)
+	DragCoef  float64  // linear aerodynamic drag coefficient (N·s/m)
+	AngDrag   float64  // rotational drag coefficient (N·m·s/rad)
+	YawTorque float64  // rotor drag-torque per unit thrust (m)
+	Radius    float64  // collision radius (m)
+}
+
+// DefaultParams models a ~1 kg research quadrotor comparable to the UAV the
+// paper simulates (thrust-to-weight ≈ 3.3).
+func DefaultParams() Params {
+	return Params{
+		Mass:      1.0,
+		Inertia:   vec.V3(0.010, 0.010, 0.018),
+		ArmLength: 0.15,
+		MaxThrust: 8.0,
+		DragCoef:  0.35,
+		AngDrag:   0.02,
+		YawTorque: 0.016,
+		Radius:    0.30,
+	}
+}
+
+// State is the full kinematic state of the vehicle.
+type State struct {
+	Pos   vec.Vec3 // world position (m)
+	Vel   vec.Vec3 // world velocity (m/s)
+	Ori   vec.Quat // body→world rotation
+	Omega vec.Vec3 // body-frame angular velocity (rad/s)
+}
+
+// Quad is a quadrotor with parameters and mutable state.
+type Quad struct {
+	Params Params
+	State  State
+	// OnGround is true while the vehicle rests on the floor; take-off
+	// requires thrust exceeding weight, mirroring the paper's observation
+	// that even a 0° start needs stabilization after take-off.
+	OnGround bool
+}
+
+// NewQuad creates a quadrotor at the given position, level, at rest, on the
+// ground if pos.Z is (near) zero.
+func NewQuad(p Params, pos vec.Vec3, yaw float64) *Quad {
+	return &Quad{
+		Params: p,
+		State: State{
+			Pos: pos,
+			Ori: vec.QuatFromEuler(0, 0, yaw),
+		},
+		OnGround: pos.Z < p.Radius+1e-6,
+	}
+}
+
+// MotorCmd holds the four motor thrusts (N): 0 front-left, 1 front-right,
+// 2 rear-right, 3 rear-left (X configuration).
+type MotorCmd [4]float64
+
+// Clamp limits each motor thrust to [0, max].
+func (m MotorCmd) Clamp(max float64) MotorCmd {
+	for i := range m {
+		m[i] = vec.Clamp(m[i], 0, max)
+	}
+	return m
+}
+
+// Total returns the summed thrust.
+func (m MotorCmd) Total() float64 { return m[0] + m[1] + m[2] + m[3] }
+
+// Mix converts a desired collective thrust T (N) and body torques tau (N·m)
+// into motor thrusts for the X configuration, before clamping.
+func Mix(p Params, T float64, tau vec.Vec3) MotorCmd {
+	k := p.ArmLength / math.Sqrt2
+	kap := p.YawTorque
+	return MotorCmd{
+		T/4 + tau.X/(4*k) - tau.Y/(4*k) + tau.Z/(4*kap),
+		T/4 - tau.X/(4*k) - tau.Y/(4*k) - tau.Z/(4*kap),
+		T/4 - tau.X/(4*k) + tau.Y/(4*k) + tau.Z/(4*kap),
+		T/4 + tau.X/(4*k) + tau.Y/(4*k) - tau.Z/(4*kap),
+	}
+}
+
+// Wrench returns the collective thrust and body torques produced by the motor
+// thrusts (the inverse of Mix, used for testing and telemetry).
+func Wrench(p Params, m MotorCmd) (T float64, tau vec.Vec3) {
+	k := p.ArmLength / math.Sqrt2
+	T = m.Total()
+	tau.X = k * ((m[0] + m[3]) - (m[1] + m[2]))
+	tau.Y = -k * ((m[0] + m[1]) - (m[2] + m[3]))
+	tau.Z = p.YawTorque * ((m[0] + m[2]) - (m[1] + m[3]))
+	return T, tau
+}
+
+// Step advances the dynamics by dt seconds under the given motor command
+// (clamped to [0, MaxThrust] per motor). Semi-implicit Euler integration.
+func (q *Quad) Step(dt float64, cmd MotorCmd) {
+	p := q.Params
+	cmd = cmd.Clamp(p.MaxThrust)
+	T, tau := Wrench(p, cmd)
+	s := &q.State
+
+	// Rotational dynamics: I·ω̇ = τ − ω×(I·ω) − drag.
+	Iw := s.Omega.Mul(p.Inertia)
+	tauNet := tau.Sub(s.Omega.Cross(Iw)).Sub(s.Omega.Scale(p.AngDrag))
+	alpha := vec.V3(tauNet.X/p.Inertia.X, tauNet.Y/p.Inertia.Y, tauNet.Z/p.Inertia.Z)
+	s.Omega = s.Omega.Add(alpha.Scale(dt))
+	s.Ori = s.Ori.Integrate(s.Omega, dt)
+
+	// Translational dynamics.
+	thrustWorld := s.Ori.Rotate(vec.V3(0, 0, T))
+	drag := s.Vel.Scale(-p.DragCoef)
+	acc := thrustWorld.Add(drag).Scale(1 / p.Mass).Add(vec.V3(0, 0, -Gravity))
+
+	if q.OnGround {
+		// On the ground the floor supplies the normal force; the vehicle
+		// leaves the ground only when net vertical acceleration is positive.
+		if acc.Z <= 0 {
+			s.Vel = vec.Zero3
+			s.Omega = vec.Zero3
+			// Keep it level on the pad.
+			_, _, yaw := s.Ori.Euler()
+			s.Ori = vec.QuatFromEuler(0, 0, yaw)
+			return
+		}
+		q.OnGround = false
+	}
+
+	s.Vel = s.Vel.Add(acc.Scale(dt))
+	s.Pos = s.Pos.Add(s.Vel.Scale(dt))
+
+	// Floor contact.
+	if s.Pos.Z <= 0 {
+		s.Pos.Z = 0
+		if s.Vel.Z < 0 {
+			s.Vel.Z = 0
+		}
+		// Ground friction.
+		s.Vel.X *= 0.8
+		s.Vel.Y *= 0.8
+		q.OnGround = true
+	}
+}
+
+// Euler returns the current roll, pitch, yaw.
+func (q *Quad) Euler() (roll, pitch, yaw float64) { return q.State.Ori.Euler() }
+
+// BodyVel returns the velocity expressed in the body frame.
+func (q *Quad) BodyVel() vec.Vec3 {
+	return q.State.Ori.Conj().Rotate(q.State.Vel)
+}
+
+// HoverThrust returns the per-motor thrust that balances gravity.
+func (p Params) HoverThrust() float64 { return p.Mass * Gravity / 4 }

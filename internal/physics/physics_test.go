@@ -1,0 +1,160 @@
+package physics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestMixWrenchInverse(t *testing.T) {
+	p := DefaultParams()
+	cases := []struct {
+		T   float64
+		tau vec.Vec3
+	}{
+		{9.81, vec.Zero3},
+		{12, vec.V3(0.1, -0.05, 0.02)},
+		{6, vec.V3(-0.2, 0.15, -0.04)},
+	}
+	for _, c := range cases {
+		m := Mix(p, c.T, c.tau)
+		T, tau := Wrench(p, m)
+		if math.Abs(T-c.T) > 1e-9 {
+			t.Errorf("thrust %v -> %v", c.T, T)
+		}
+		if tau.Sub(c.tau).Norm() > 1e-9 {
+			t.Errorf("torque %v -> %v", c.tau, tau)
+		}
+	}
+}
+
+func TestMotorClamp(t *testing.T) {
+	m := MotorCmd{-1, 0.5, 9, 3}.Clamp(8)
+	if m != (MotorCmd{0, 0.5, 8, 3}) {
+		t.Errorf("clamped = %v", m)
+	}
+	if m.Total() != 11.5 {
+		t.Errorf("total = %v", m.Total())
+	}
+}
+
+func TestHoverEquilibrium(t *testing.T) {
+	p := DefaultParams()
+	q := NewQuad(p, vec.V3(0, 0, 2), 0)
+	q.OnGround = false
+	hover := p.HoverThrust()
+	cmd := MotorCmd{hover, hover, hover, hover}
+	dt := 1.0 / 400
+	for i := 0; i < 400; i++ {
+		q.Step(dt, cmd)
+	}
+	// Drone should stay (nearly) put: no lateral drift, tiny vertical drift.
+	if q.State.Pos.Sub(vec.V3(0, 0, 2)).Norm() > 0.01 {
+		t.Errorf("hover drifted to %v", q.State.Pos)
+	}
+	if q.State.Vel.Norm() > 0.01 {
+		t.Errorf("hover velocity %v", q.State.Vel)
+	}
+}
+
+func TestGroundHolding(t *testing.T) {
+	p := DefaultParams()
+	q := NewQuad(p, vec.V3(0, 0, 0), 0)
+	if !q.OnGround {
+		t.Fatal("should start on ground")
+	}
+	// Thrust below weight: stays on the ground.
+	low := p.HoverThrust() * 0.5
+	for i := 0; i < 100; i++ {
+		q.Step(1.0/400, MotorCmd{low, low, low, low})
+	}
+	if !q.OnGround || q.State.Pos.Z != 0 {
+		t.Errorf("lifted off with insufficient thrust: %+v", q.State)
+	}
+	// Thrust above weight: takes off.
+	high := p.HoverThrust() * 1.5
+	for i := 0; i < 400; i++ {
+		q.Step(1.0/400, MotorCmd{high, high, high, high})
+	}
+	if q.OnGround || q.State.Pos.Z <= 0.1 {
+		t.Errorf("failed to take off: %+v", q.State)
+	}
+}
+
+func TestYawTorqueSpinsVehicle(t *testing.T) {
+	p := DefaultParams()
+	q := NewQuad(p, vec.V3(0, 0, 5), 0)
+	q.OnGround = false
+	// Positive yaw torque through the mixer.
+	cmd := Mix(p, p.Mass*Gravity, vec.V3(0, 0, 0.02))
+	for i := 0; i < 400; i++ {
+		q.Step(1.0/400, cmd)
+	}
+	if q.State.Omega.Z <= 0 {
+		t.Errorf("yaw rate = %v, want positive", q.State.Omega.Z)
+	}
+	if yaw := q.State.Ori.Yaw(); yaw <= 0 {
+		t.Errorf("yaw = %v, want positive", yaw)
+	}
+}
+
+func TestPitchProducesForwardMotion(t *testing.T) {
+	p := DefaultParams()
+	q := NewQuad(p, vec.V3(0, 0, 5), 0)
+	q.OnGround = false
+	// Pitch the vehicle nose toward +X by applying +Y torque briefly,
+	// then hold hover thrust: it should accelerate forward (+X).
+	dt := 1.0 / 400
+	for i := 0; i < 40; i++ {
+		q.Step(dt, Mix(p, p.Mass*Gravity, vec.V3(0, 0.03, 0)))
+	}
+	for i := 0; i < 200; i++ {
+		q.Step(dt, Mix(p, p.Mass*Gravity*1.02, vec.Zero3))
+	}
+	if q.State.Vel.X <= 0.1 {
+		t.Errorf("forward velocity = %v, want > 0.1", q.State.Vel.X)
+	}
+}
+
+func TestDragLimitsTerminalVelocity(t *testing.T) {
+	p := DefaultParams()
+	q := NewQuad(p, vec.V3(0, 0, 100), 0)
+	q.OnGround = false
+	q.State.Vel = vec.V3(50, 0, 0)
+	dt := 1.0 / 400
+	hover := p.HoverThrust()
+	for i := 0; i < 4000; i++ {
+		q.Step(dt, MotorCmd{hover, hover, hover, hover})
+	}
+	// Drag should have slowed it substantially.
+	if q.State.Vel.X > 5 {
+		t.Errorf("velocity after 10 s of drag = %v", q.State.Vel.X)
+	}
+}
+
+func TestBodyVel(t *testing.T) {
+	p := DefaultParams()
+	q := NewQuad(p, vec.V3(0, 0, 5), math.Pi/2) // facing +Y
+	q.State.Vel = vec.V3(0, 3, 0)               // moving +Y (forward)
+	bv := q.BodyVel()
+	if math.Abs(bv.X-3) > 1e-9 || math.Abs(bv.Y) > 1e-9 {
+		t.Errorf("body velocity = %v, want (3,0,0)", bv)
+	}
+}
+
+func TestEnergyNotCreatedAtRest(t *testing.T) {
+	// Zero thrust from rest in the air: free fall, never upward.
+	p := DefaultParams()
+	q := NewQuad(p, vec.V3(0, 0, 10), 0)
+	q.OnGround = false
+	for i := 0; i < 100; i++ {
+		q.Step(1.0/400, MotorCmd{})
+		if q.State.Vel.Z > 1e-9 {
+			t.Fatalf("upward velocity under free fall: %v", q.State.Vel)
+		}
+	}
+	if q.State.Pos.Z >= 10 {
+		t.Error("did not fall")
+	}
+}

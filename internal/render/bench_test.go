@@ -1,0 +1,21 @@
+package render
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/world"
+)
+
+// BenchmarkRenderFrame measures one 64x48 FPV frame in the s-shape map —
+// the per-image cost of the environment simulator.
+func BenchmarkRenderFrame(b *testing.B) {
+	m := world.SShape()
+	cam := DefaultCamera(64, 48)
+	im := NewImage(64, 48)
+	pose := Pose{Pos: vec.V3(20, 1, 1.5), Ori: vec.QuatFromEuler(0, 0, 0.2)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cam.RenderInto(m, pose, im)
+	}
+}

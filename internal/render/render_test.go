@@ -1,0 +1,204 @@
+package render
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/world"
+)
+
+func levelPose(pos vec.Vec3, yaw float64) Pose {
+	return Pose{Pos: pos, Ori: vec.QuatFromEuler(0, 0, yaw)}
+}
+
+func TestImageBasics(t *testing.T) {
+	im := NewImage(4, 3)
+	if im.W != 4 || im.H != 3 || len(im.Pix) != 12 {
+		t.Fatalf("bad image: %+v", im)
+	}
+	im.Set(2, 1, 0.5)
+	if im.At(2, 1) != 0.5 {
+		t.Error("Set/At mismatch")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	im := NewImage(8, 4)
+	for i := range im.Pix {
+		im.Pix[i] = float32(i) / float32(len(im.Pix))
+	}
+	b := im.Bytes()
+	if len(b) != 32 {
+		t.Fatalf("bytes len = %d", len(b))
+	}
+	back, err := FromBytes(8, 4, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range im.Pix {
+		if math.Abs(float64(back.Pix[i]-im.Pix[i])) > 1.0/255+1e-6 {
+			t.Fatalf("pixel %d: %v vs %v", i, back.Pix[i], im.Pix[i])
+		}
+	}
+	if _, err := FromBytes(8, 4, b[:10]); err == nil {
+		t.Error("FromBytes accepted short payload")
+	}
+}
+
+func TestBytesClamps(t *testing.T) {
+	im := NewImage(2, 1)
+	im.Pix[0] = -1
+	im.Pix[1] = 2
+	b := im.Bytes()
+	if b[0] != 0 || b[1] != 255 {
+		t.Errorf("clamping broken: %v", b)
+	}
+}
+
+func TestRenderTunnelCenterView(t *testing.T) {
+	m := world.Tunnel()
+	cam := DefaultCamera(64, 48)
+	im := cam.Render(m, levelPose(vec.V3(2, 0, 1.5), 0))
+
+	// The top-center pixels look up the open corridor and should be
+	// sky-bright; the bottom-center pixels see the nearby floor, darker.
+	topMean := centerMean(im, 0)
+	botMean := centerMean(im, im.H-1)
+	if topMean < 0.6 {
+		t.Errorf("sky too dark: %v", topMean)
+	}
+	if botMean >= topMean {
+		t.Errorf("floor (%v) should be darker than sky (%v)", botMean, topMean)
+	}
+
+	// Left wall appears on the left half of the image and uses a brighter
+	// material than the right wall: compare mid-row halves.
+	y := im.H / 2
+	var left, right float64
+	for x := 0; x < im.W/4; x++ {
+		left += float64(im.At(x, y))
+		right += float64(im.At(im.W-1-x, y))
+	}
+	if left <= right {
+		t.Errorf("left/right wall materials indistinguishable: %v vs %v", left, right)
+	}
+}
+
+func centerMean(im *Image, y int) float64 {
+	var s float64
+	n := 0
+	for x := im.W/2 - 2; x <= im.W/2+2; x++ {
+		s += float64(im.At(x, y))
+		n++
+	}
+	return s / float64(n)
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	m := world.SShape()
+	cam := DefaultCamera(32, 24)
+	p := levelPose(vec.V3(10, 1, 1.5), 0.2)
+	a := cam.Render(m, p)
+	b := cam.Render(m, p)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("render is not deterministic")
+	}
+}
+
+func TestRenderViewDependsOnYaw(t *testing.T) {
+	m := world.Tunnel()
+	cam := DefaultCamera(32, 24)
+	a := cam.Render(m, levelPose(vec.V3(2, 0, 1.5), vec.Deg(20)))
+	b := cam.Render(m, levelPose(vec.V3(2, 0, 1.5), vec.Deg(-20)))
+	if bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("yaw change produced identical images")
+	}
+}
+
+func TestRenderIntoReusesBuffer(t *testing.T) {
+	m := world.Tunnel()
+	cam := DefaultCamera(16, 12)
+	im := NewImage(16, 12)
+	cam.RenderInto(m, levelPose(vec.V3(1, 0, 1.5), 0), im)
+	fresh := cam.Render(m, levelPose(vec.V3(1, 0, 1.5), 0))
+	if !bytes.Equal(im.Bytes(), fresh.Bytes()) {
+		t.Error("RenderInto differs from Render")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RenderInto should panic on size mismatch")
+		}
+	}()
+	cam.RenderInto(m, levelPose(vec.Zero3, 0), NewImage(4, 4))
+}
+
+func TestRenderPixelsInRange(t *testing.T) {
+	m := world.SShape()
+	cam := DefaultCamera(48, 32)
+	im := cam.Render(m, levelPose(vec.V3(30, -2, 1.2), 1.0))
+	for i, p := range im.Pix {
+		if p < 0 || p > 1 || math.IsNaN(float64(p)) {
+			t.Fatalf("pixel %d out of range: %v", i, p)
+		}
+	}
+}
+
+func TestTextureDistinctMaterials(t *testing.T) {
+	// Average brightness over a patch should differ between materials.
+	mean := func(tex int) float64 {
+		var s float64
+		n := 0
+		for u := 0.0; u < 4; u += 0.25 {
+			for v := 0.0; v < 4; v += 0.25 {
+				s += Texture(tex, u, v)
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	l, r := mean(world.TexLeftWall), mean(world.TexRightWall)
+	if l-r < 0.1 {
+		t.Errorf("wall materials too similar: left=%v right=%v", l, r)
+	}
+	for _, tex := range []int{world.TexLeftWall, world.TexRightWall, world.TexEndWall, world.FloorTexture, 1000, 1003} {
+		v := Texture(tex, 1.23, 4.56)
+		if v < -0.2 || v > 1.2 {
+			t.Errorf("texture %d out of range: %v", tex, v)
+		}
+	}
+}
+
+func TestHashNoiseProperties(t *testing.T) {
+	// Deterministic and within [0,1).
+	for i := 0; i < 100; i++ {
+		x, y := float64(i)*0.37, float64(i)*0.73
+		a, b := hashNoise(x, y), hashNoise(x, y)
+		if a != b {
+			t.Fatal("hashNoise not deterministic")
+		}
+		if a < 0 || a >= 1.0001 {
+			t.Fatalf("hashNoise out of range: %v", a)
+		}
+	}
+	// Not constant.
+	if hashNoise(0.1, 0.2) == hashNoise(10.5, 3.3) && hashNoise(1, 7) == hashNoise(3, 9) {
+		t.Error("hashNoise suspiciously constant")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	im := NewImage(3, 2)
+	var buf bytes.Buffer
+	if err := im.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "P5\n3 2\n255\n"
+	if got := buf.String()[:len(want)]; got != want {
+		t.Errorf("header = %q", got)
+	}
+	if buf.Len() != len(want)+6 {
+		t.Errorf("PGM size = %d", buf.Len())
+	}
+}

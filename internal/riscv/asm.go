@@ -1,0 +1,443 @@
+package riscv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates RV64IM assembly source into a program image. It is a
+// two-pass assembler supporting labels (`name:`), comments (`#`, `//`),
+// load/store address syntax (`imm(reg)`), and the common pseudo-instructions:
+//
+//	nop, mv rd,rs, li rd,imm, neg rd,rs, not rd,rs,
+//	j label, jr rs, ret, call label,
+//	beqz/bnez/bltz/bgez rs,label, ble/bgt rs,rt,label
+//
+// Instruction addresses advance by 4 bytes each, as in RV32-width encoding
+// (pseudo-instructions that expand to two instructions occupy 8 bytes).
+func Assemble(src string) ([]Instr, error) {
+	type line struct {
+		num    int
+		label  string
+		mnem   string
+		fields []string
+	}
+	var lines []line
+	for num, raw := range strings.Split(src, "\n") {
+		text := raw
+		if i := strings.Index(text, "#"); i >= 0 {
+			text = text[:i]
+		}
+		if i := strings.Index(text, "//"); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		var lbl string
+		if i := strings.Index(text, ":"); i >= 0 {
+			lbl = strings.TrimSpace(text[:i])
+			text = strings.TrimSpace(text[i+1:])
+		}
+		l := line{num: num + 1, label: lbl}
+		if text != "" {
+			parts := strings.SplitN(text, " ", 2)
+			l.mnem = strings.ToLower(strings.TrimSpace(parts[0]))
+			if len(parts) > 1 {
+				for _, f := range strings.Split(parts[1], ",") {
+					l.fields = append(l.fields, strings.TrimSpace(f))
+				}
+			}
+		}
+		lines = append(lines, l)
+	}
+
+	// Pass 1: label addresses (li expands to 2 instructions when the
+	// immediate does not fit 12 bits; call expands to 1 here).
+	labels := map[string]int64{}
+	addr := int64(0)
+	for _, l := range lines {
+		if l.label != "" {
+			if _, dup := labels[l.label]; dup {
+				return nil, fmt.Errorf("riscv: line %d: duplicate label %q", l.num, l.label)
+			}
+			labels[l.label] = addr
+		}
+		if l.mnem == "" {
+			continue
+		}
+		addr += int64(4 * expansionSize(l.mnem, l.fields))
+	}
+
+	// Pass 2: encode.
+	var prog []Instr
+	pc := int64(0)
+	for _, l := range lines {
+		if l.mnem == "" {
+			continue
+		}
+		ins, err := encodeLine(l.mnem, l.fields, pc, labels)
+		if err != nil {
+			return nil, fmt.Errorf("riscv: line %d: %w", l.num, err)
+		}
+		for i := range ins {
+			ins[i].SourceLine = l.num
+		}
+		prog = append(prog, ins...)
+		pc += int64(4 * len(ins))
+	}
+	return prog, nil
+}
+
+// expansionSize reports how many machine instructions a mnemonic expands to.
+func expansionSize(mnem string, fields []string) int {
+	if mnem == "li" && len(fields) == 2 {
+		if v, err := parseImm(fields[1]); err == nil && fits12(v) {
+			return 1
+		}
+		return 2
+	}
+	return 1
+}
+
+func fits12(v int64) bool { return v >= -2048 && v <= 2047 }
+
+func parseImm(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}
+
+func parseReg(s string) (int, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if n, ok := regNames[s]; ok {
+		return n, nil
+	}
+	if strings.HasPrefix(s, "x") {
+		if n, err := strconv.Atoi(s[1:]); err == nil && n >= 0 && n < 32 {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// parseMem parses "imm(reg)" address syntax.
+func parseMem(s string) (imm int64, reg int, err error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	immStr := strings.TrimSpace(s[:open])
+	if immStr == "" {
+		immStr = "0"
+	}
+	imm, err = parseImm(immStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	reg, err = parseReg(s[open+1 : close])
+	return imm, reg, err
+}
+
+func branchTarget(s string, pc int64, labels map[string]int64) (int64, error) {
+	if v, err := parseImm(s); err == nil {
+		return v, nil
+	}
+	if a, ok := labels[s]; ok {
+		return a - pc, nil
+	}
+	return 0, fmt.Errorf("unknown label %q", s)
+}
+
+func encodeLine(mnem string, f []string, pc int64, labels map[string]int64) ([]Instr, error) {
+	need := func(n int) error {
+		if len(f) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", mnem, n, len(f))
+		}
+		return nil
+	}
+
+	// Pseudo-instructions first.
+	switch mnem {
+	case "nop":
+		return []Instr{{Op: ADDI}}, nil
+	case "mv":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: ADDI, Rd: rd, Rs1: rs}}, nil
+	case "neg":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: SUB, Rd: rd, Rs1: 0, Rs2: rs}}, nil
+	case "not":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: XORI, Rd: rd, Rs1: rs, Imm: -1}}, nil
+	case "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseImm(f[1])
+		if err != nil {
+			return nil, err
+		}
+		if fits12(v) {
+			return []Instr{{Op: ADDI, Rd: rd, Imm: v}}, nil
+		}
+		if v < -(1<<31) || v >= 1<<31 {
+			return nil, fmt.Errorf("li immediate %d out of 32-bit range", v)
+		}
+		upper := (v + 0x800) >> 12
+		lower := v - (upper << 12)
+		return []Instr{
+			{Op: LUI, Rd: rd, Imm: upper << 12},
+			{Op: ADDIW, Rd: rd, Rs1: rd, Imm: lower},
+		}, nil
+	case "j":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		off, err := branchTarget(f[0], pc, labels)
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: JAL, Rd: 0, Imm: off}}, nil
+	case "jr":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := parseReg(f[0])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: JALR, Rd: 0, Rs1: rs}}, nil
+	case "ret":
+		return []Instr{{Op: JALR, Rd: 0, Rs1: 1}}, nil
+	case "call":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		off, err := branchTarget(f[0], pc, labels)
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: JAL, Rd: 1, Imm: off}}, nil
+	case "beqz", "bnez", "bltz", "bgez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := parseReg(f[0])
+		if err != nil {
+			return nil, err
+		}
+		off, err := branchTarget(f[1], pc, labels)
+		if err != nil {
+			return nil, err
+		}
+		op := map[string]Op{"beqz": BEQ, "bnez": BNE, "bltz": BLT, "bgez": BGE}[mnem]
+		return []Instr{{Op: op, Rs1: rs, Rs2: 0, Imm: off}}, nil
+	case "ble": // ble a,b,l == bge b,a,l
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		ra, err := parseReg(f[0])
+		if err != nil {
+			return nil, err
+		}
+		rb, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		off, err := branchTarget(f[2], pc, labels)
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: BGE, Rs1: rb, Rs2: ra, Imm: off}}, nil
+	case "bgt": // bgt a,b,l == blt b,a,l
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		ra, err := parseReg(f[0])
+		if err != nil {
+			return nil, err
+		}
+		rb, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		off, err := branchTarget(f[2], pc, labels)
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: BLT, Rs1: rb, Rs2: ra, Imm: off}}, nil
+	case "ecall":
+		return []Instr{{Op: ECALL}}, nil
+	case "ebreak":
+		return []Instr{{Op: EBREAK}}, nil
+	}
+
+	op, ok := nameToOp[mnem]
+	if !ok {
+		return nil, fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+
+	switch op {
+	case ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
+		ADDW, SUBW, MUL, MULH, DIV, DIVU, REM, REMU, MULW, DIVW, REMW:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := parseReg(f[2])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}}, nil
+
+	case ADDI, SLTI, SLTIU, XORI, ORI, ANDI, SLLI, SRLI, SRAI, ADDIW:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		imm, err := parseImm(f[2])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: op, Rd: rd, Rs1: rs1, Imm: imm}}, nil
+
+	case LB, LH, LW, LD, LBU, LHU, LWU:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, rs1, err := parseMem(f[1])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: op, Rd: rd, Rs1: rs1, Imm: imm}}, nil
+
+	case SB, SH, SW, SD:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs2, err := parseReg(f[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, rs1, err := parseMem(f[1])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: op, Rs1: rs1, Rs2: rs2, Imm: imm}}, nil
+
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(f[0])
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		off, err := branchTarget(f[2], pc, labels)
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: op, Rs1: rs1, Rs2: rs2, Imm: off}}, nil
+
+	case LUI, AUIPC:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, err := parseImm(f[1])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: op, Rd: rd, Imm: imm << 12}}, nil
+
+	case JAL:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[0])
+		if err != nil {
+			return nil, err
+		}
+		off, err := branchTarget(f[1], pc, labels)
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: JAL, Rd: rd, Imm: off}}, nil
+
+	case JALR:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, rs1, err := parseMem(f[1])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: JALR, Rd: rd, Rs1: rs1, Imm: imm}}, nil
+	}
+	return nil, fmt.Errorf("unhandled mnemonic %q", mnem)
+}

@@ -1,0 +1,27 @@
+package riscv
+
+import "testing"
+
+// BenchmarkEmulator measures RV64IM instruction throughput on the sum loop.
+func BenchmarkEmulator(b *testing.B) {
+	prog, err := Assemble(`
+		li a0, 0
+		li a1, 1
+		li a2, 10000
+	loop:
+		add a0, a0, a1
+		addi a1, a1, 1
+		ble a1, a2, loop
+		ebreak
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := New(prog, 4096)
+		if err := c.Run(100_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

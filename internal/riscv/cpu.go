@@ -1,0 +1,362 @@
+package riscv
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// CPU is the functional RV64IM emulator with Rocket-style cycle accounting.
+// Memory is a flat little-endian byte array; an optional MMIO hook services
+// accesses above MMIOBase (how a target binary would reach the RoSÉ BRIDGE
+// registers).
+type CPU struct {
+	Regs [32]uint64
+	PC   uint64
+	Mem  []byte
+
+	// MMIOBase: loads/stores at or above this address go to the MMIO
+	// handlers when set.
+	MMIOBase  uint64
+	MMIORead  func(addr uint64, size int) uint64
+	MMIOWrite func(addr uint64, size int, val uint64)
+
+	// Syscall services ECALL: a7 selects the call, a0..a2 are arguments;
+	// the return value is written to a0. Returning halt=true stops Run.
+	Syscall func(c *CPU) (halt bool)
+
+	prog    []Instr
+	Cycles  uint64
+	Retired uint64
+	halted  bool
+}
+
+// ErrTrap is returned for invalid execution (bad PC, bad memory access).
+type ErrTrap struct {
+	PC     uint64
+	Reason string
+}
+
+func (e *ErrTrap) Error() string {
+	return fmt.Sprintf("riscv: trap at pc=%#x: %s", e.PC, e.Reason)
+}
+
+// New creates a CPU with the given program and memory size in bytes. The
+// stack pointer starts at the top of memory.
+func New(prog []Instr, memBytes int) *CPU {
+	c := &CPU{Mem: make([]byte, memBytes), prog: prog}
+	c.Regs[2] = uint64(memBytes) // sp
+	return c
+}
+
+// Halted reports whether the program has stopped (EBREAK or halting ECALL).
+func (c *CPU) Halted() bool { return c.halted }
+
+// Step executes one instruction. It returns the cycles consumed.
+func (c *CPU) Step() (uint64, error) {
+	if c.halted {
+		return 0, nil
+	}
+	idx := c.PC / 4
+	if c.PC%4 != 0 || idx >= uint64(len(c.prog)) {
+		return 0, &ErrTrap{PC: c.PC, Reason: "instruction fetch out of range"}
+	}
+	in := c.prog[idx]
+	cy := in.Cycles()
+	c.Cycles += cy
+	c.Retired++
+	nextPC := c.PC + 4
+
+	rs1 := c.Regs[in.Rs1]
+	rs2 := c.Regs[in.Rs2]
+	var rd uint64
+	writeRd := true
+
+	switch in.Op {
+	case ADD:
+		rd = rs1 + rs2
+	case SUB:
+		rd = rs1 - rs2
+	case SLL:
+		rd = rs1 << (rs2 & 63)
+	case SLT:
+		rd = b2u(int64(rs1) < int64(rs2))
+	case SLTU:
+		rd = b2u(rs1 < rs2)
+	case XOR:
+		rd = rs1 ^ rs2
+	case SRL:
+		rd = rs1 >> (rs2 & 63)
+	case SRA:
+		rd = uint64(int64(rs1) >> (rs2 & 63))
+	case OR:
+		rd = rs1 | rs2
+	case AND:
+		rd = rs1 & rs2
+	case ADDW:
+		rd = sext32(uint32(rs1) + uint32(rs2))
+	case SUBW:
+		rd = sext32(uint32(rs1) - uint32(rs2))
+	case MUL:
+		rd = rs1 * rs2
+	case MULH:
+		rd = mulh(int64(rs1), int64(rs2))
+	case DIV:
+		rd = sdiv(int64(rs1), int64(rs2))
+	case DIVU:
+		if rs2 == 0 {
+			rd = ^uint64(0)
+		} else {
+			rd = rs1 / rs2
+		}
+	case REM:
+		rd = srem(int64(rs1), int64(rs2))
+	case REMU:
+		if rs2 == 0 {
+			rd = rs1
+		} else {
+			rd = rs1 % rs2
+		}
+	case MULW:
+		rd = sext32(uint32(rs1) * uint32(rs2))
+	case DIVW:
+		rd = sext32(uint32(sdiv(int64(int32(rs1)), int64(int32(rs2)))))
+	case REMW:
+		rd = sext32(uint32(srem(int64(int32(rs1)), int64(int32(rs2)))))
+
+	case ADDI:
+		rd = rs1 + uint64(in.Imm)
+	case SLTI:
+		rd = b2u(int64(rs1) < in.Imm)
+	case SLTIU:
+		rd = b2u(rs1 < uint64(in.Imm))
+	case XORI:
+		rd = rs1 ^ uint64(in.Imm)
+	case ORI:
+		rd = rs1 | uint64(in.Imm)
+	case ANDI:
+		rd = rs1 & uint64(in.Imm)
+	case SLLI:
+		rd = rs1 << (uint64(in.Imm) & 63)
+	case SRLI:
+		rd = rs1 >> (uint64(in.Imm) & 63)
+	case SRAI:
+		rd = uint64(int64(rs1) >> (uint64(in.Imm) & 63))
+	case ADDIW:
+		rd = sext32(uint32(rs1) + uint32(in.Imm))
+
+	case LB, LH, LW, LD, LBU, LHU, LWU:
+		v, err := c.load(rs1+uint64(in.Imm), in.Op)
+		if err != nil {
+			return cy, err
+		}
+		rd = v
+
+	case SB, SH, SW, SD:
+		writeRd = false
+		if err := c.store(rs1+uint64(in.Imm), rs2, in.Op); err != nil {
+			return cy, err
+		}
+
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		writeRd = false
+		taken := false
+		switch in.Op {
+		case BEQ:
+			taken = rs1 == rs2
+		case BNE:
+			taken = rs1 != rs2
+		case BLT:
+			taken = int64(rs1) < int64(rs2)
+		case BGE:
+			taken = int64(rs1) >= int64(rs2)
+		case BLTU:
+			taken = rs1 < rs2
+		case BGEU:
+			taken = rs1 >= rs2
+		}
+		if taken {
+			nextPC = c.PC + uint64(in.Imm)
+		}
+
+	case LUI:
+		rd = uint64(in.Imm)
+	case AUIPC:
+		rd = c.PC + uint64(in.Imm)
+	case JAL:
+		rd = c.PC + 4
+		nextPC = c.PC + uint64(in.Imm)
+	case JALR:
+		rd = c.PC + 4
+		nextPC = (rs1 + uint64(in.Imm)) &^ 1
+
+	case ECALL:
+		writeRd = false
+		if c.Syscall != nil {
+			if c.Syscall(c) {
+				c.halted = true
+			}
+		} else {
+			c.halted = true
+		}
+	case EBREAK:
+		writeRd = false
+		c.halted = true
+
+	default:
+		return cy, &ErrTrap{PC: c.PC, Reason: "invalid opcode"}
+	}
+
+	if writeRd && in.Rd != 0 {
+		c.Regs[in.Rd] = rd
+	}
+	c.Regs[0] = 0
+	c.PC = nextPC
+	return cy, nil
+}
+
+// Run executes until halt or the instruction budget is exhausted.
+func (c *CPU) Run(maxInstrs uint64) error {
+	for i := uint64(0); i < maxInstrs && !c.halted; i++ {
+		if _, err := c.Step(); err != nil {
+			return err
+		}
+	}
+	if !c.halted {
+		return &ErrTrap{PC: c.PC, Reason: "instruction budget exhausted"}
+	}
+	return nil
+}
+
+func (c *CPU) load(addr uint64, op Op) (uint64, error) {
+	size := map[Op]int{LB: 1, LBU: 1, LH: 2, LHU: 2, LW: 4, LWU: 4, LD: 8}[op]
+	if c.MMIOBase != 0 && addr >= c.MMIOBase {
+		if c.MMIORead == nil {
+			return 0, &ErrTrap{PC: c.PC, Reason: "MMIO read without handler"}
+		}
+		v := c.MMIORead(addr, size)
+		return extendLoad(v, op), nil
+	}
+	if addr+uint64(size) > uint64(len(c.Mem)) {
+		return 0, &ErrTrap{PC: c.PC, Reason: fmt.Sprintf("load at %#x out of range", addr)}
+	}
+	var raw uint64
+	switch size {
+	case 1:
+		raw = uint64(c.Mem[addr])
+	case 2:
+		raw = uint64(binary.LittleEndian.Uint16(c.Mem[addr:]))
+	case 4:
+		raw = uint64(binary.LittleEndian.Uint32(c.Mem[addr:]))
+	case 8:
+		raw = binary.LittleEndian.Uint64(c.Mem[addr:])
+	}
+	return extendLoad(raw, op), nil
+}
+
+func extendLoad(raw uint64, op Op) uint64 {
+	switch op {
+	case LB:
+		return uint64(int64(int8(raw)))
+	case LH:
+		return uint64(int64(int16(raw)))
+	case LW:
+		return uint64(int64(int32(raw)))
+	default:
+		return raw
+	}
+}
+
+func (c *CPU) store(addr, val uint64, op Op) error {
+	size := map[Op]int{SB: 1, SH: 2, SW: 4, SD: 8}[op]
+	if c.MMIOBase != 0 && addr >= c.MMIOBase {
+		if c.MMIOWrite == nil {
+			return &ErrTrap{PC: c.PC, Reason: "MMIO write without handler"}
+		}
+		c.MMIOWrite(addr, size, val)
+		return nil
+	}
+	if addr+uint64(size) > uint64(len(c.Mem)) {
+		return &ErrTrap{PC: c.PC, Reason: fmt.Sprintf("store at %#x out of range", addr)}
+	}
+	switch size {
+	case 1:
+		c.Mem[addr] = byte(val)
+	case 2:
+		binary.LittleEndian.PutUint16(c.Mem[addr:], uint16(val))
+	case 4:
+		binary.LittleEndian.PutUint32(c.Mem[addr:], uint32(val))
+	case 8:
+		binary.LittleEndian.PutUint64(c.Mem[addr:], val)
+	}
+	return nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func sext32(v uint32) uint64 { return uint64(int64(int32(v))) }
+
+func sdiv(a, b int64) uint64 {
+	switch {
+	case b == 0:
+		return ^uint64(0)
+	case a == -1<<63 && b == -1:
+		return uint64(a)
+	default:
+		return uint64(a / b)
+	}
+}
+
+func srem(a, b int64) uint64 {
+	switch {
+	case b == 0:
+		return uint64(a)
+	case a == -1<<63 && b == -1:
+		return 0
+	default:
+		return uint64(a % b)
+	}
+}
+
+func mulh(a, b int64) uint64 {
+	// 128-bit signed high multiply via 64x64 split.
+	neg := (a < 0) != (b < 0)
+	ua, ub := uint64(a), uint64(b)
+	if a < 0 {
+		ua = uint64(-a)
+	}
+	if b < 0 {
+		ub = uint64(-b)
+	}
+	hi, lo := umul128(ua, ub)
+	if neg {
+		// two's complement of the 128-bit product
+		lo = ^lo + 1
+		hi = ^hi
+		if lo == 0 {
+			hi++
+		}
+	}
+	return hi
+}
+
+func umul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xFFFFFFFF
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a0 * b0
+	lo = t & mask
+	carry := t >> 32
+	t = a1*b0 + carry
+	mid := t & mask
+	hi = t >> 32
+	t = a0*b1 + mid
+	lo |= (t & mask) << 32
+	hi += t >> 32
+	hi += a1 * b1
+	return hi, lo
+}

@@ -1,0 +1,281 @@
+package riscv
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements the binary half of the build flow: assembled
+// programs encode to standard RV64IM machine code (little-endian 32-bit
+// words), and images decode back for execution — the analogue of the
+// paper's flow that "generates RISC-V images" (§3.3). Encode/Decode are
+// exact inverses for every instruction the assembler emits.
+
+// RV32/RV64 base opcodes.
+const (
+	opcOpReg   = 0x33 // R-type ALU
+	opcOpReg32 = 0x3B // R-type ALU, 32-bit (W)
+	opcOpImm   = 0x13 // I-type ALU
+	opcOpImm32 = 0x1B // I-type ALU, 32-bit (W)
+	opcLoad    = 0x03
+	opcStore   = 0x23
+	opcBranch  = 0x63
+	opcLUI     = 0x37
+	opcAUIPC   = 0x17
+	opcJAL     = 0x6F
+	opcJALR    = 0x67
+	opcSystem  = 0x73
+)
+
+// rEnc describes an R-type encoding.
+type rEnc struct{ funct3, funct7 uint32 }
+
+var rTable = map[Op]rEnc{
+	ADD: {0, 0x00}, SUB: {0, 0x20}, SLL: {1, 0x00}, SLT: {2, 0x00}, SLTU: {3, 0x00},
+	XOR: {4, 0x00}, SRL: {5, 0x00}, SRA: {5, 0x20}, OR: {6, 0x00}, AND: {7, 0x00},
+	MUL: {0, 0x01}, MULH: {1, 0x01}, DIV: {4, 0x01}, DIVU: {5, 0x01}, REM: {6, 0x01}, REMU: {7, 0x01},
+}
+
+var r32Table = map[Op]rEnc{
+	ADDW: {0, 0x00}, SUBW: {0, 0x20},
+	MULW: {0, 0x01}, DIVW: {4, 0x01}, REMW: {6, 0x01},
+}
+
+var iAluTable = map[Op]uint32{
+	ADDI: 0, SLTI: 2, SLTIU: 3, XORI: 4, ORI: 6, ANDI: 7,
+}
+
+var loadTable = map[Op]uint32{
+	LB: 0, LH: 1, LW: 2, LD: 3, LBU: 4, LHU: 5, LWU: 6,
+}
+
+var storeTable = map[Op]uint32{
+	SB: 0, SH: 1, SW: 2, SD: 3,
+}
+
+var branchTable = map[Op]uint32{
+	BEQ: 0, BNE: 1, BLT: 4, BGE: 5, BLTU: 6, BGEU: 7,
+}
+
+// Encode packs one instruction into its RV64IM machine word.
+func Encode(in Instr) (uint32, error) {
+	rd := uint32(in.Rd) & 31
+	rs1 := uint32(in.Rs1) & 31
+	rs2 := uint32(in.Rs2) & 31
+
+	if e, ok := rTable[in.Op]; ok {
+		return e.funct7<<25 | rs2<<20 | rs1<<15 | e.funct3<<12 | rd<<7 | opcOpReg, nil
+	}
+	if e, ok := r32Table[in.Op]; ok {
+		return e.funct7<<25 | rs2<<20 | rs1<<15 | e.funct3<<12 | rd<<7 | opcOpReg32, nil
+	}
+	if f3, ok := iAluTable[in.Op]; ok {
+		imm, err := immI(in.Imm)
+		if err != nil {
+			return 0, fmt.Errorf("%v: %w", in.Op, err)
+		}
+		return imm<<20 | rs1<<15 | f3<<12 | rd<<7 | opcOpImm, nil
+	}
+	switch in.Op {
+	case SLLI, SRLI, SRAI:
+		if in.Imm < 0 || in.Imm > 63 {
+			return 0, fmt.Errorf("%v: shift amount %d out of range", in.Op, in.Imm)
+		}
+		sh := uint32(in.Imm)
+		f3 := map[Op]uint32{SLLI: 1, SRLI: 5, SRAI: 5}[in.Op]
+		hi := uint32(0)
+		if in.Op == SRAI {
+			hi = 0x10 << 26 // funct6 = 0b010000
+		}
+		return hi | sh<<20 | rs1<<15 | f3<<12 | rd<<7 | opcOpImm, nil
+	case ADDIW:
+		imm, err := immI(in.Imm)
+		if err != nil {
+			return 0, fmt.Errorf("addiw: %w", err)
+		}
+		return imm<<20 | rs1<<15 | rd<<7 | opcOpImm32, nil
+	}
+	if f3, ok := loadTable[in.Op]; ok {
+		imm, err := immI(in.Imm)
+		if err != nil {
+			return 0, fmt.Errorf("%v: %w", in.Op, err)
+		}
+		return imm<<20 | rs1<<15 | f3<<12 | rd<<7 | opcLoad, nil
+	}
+	if f3, ok := storeTable[in.Op]; ok {
+		if !fits12(in.Imm) {
+			return 0, fmt.Errorf("%v: offset %d out of range", in.Op, in.Imm)
+		}
+		imm := uint32(in.Imm) & 0xFFF
+		return (imm>>5)<<25 | rs2<<20 | rs1<<15 | f3<<12 | (imm&0x1F)<<7 | opcStore, nil
+	}
+	if f3, ok := branchTable[in.Op]; ok {
+		if in.Imm < -4096 || in.Imm > 4094 || in.Imm%2 != 0 {
+			return 0, fmt.Errorf("%v: branch offset %d out of range", in.Op, in.Imm)
+		}
+		imm := uint32(in.Imm) & 0x1FFF
+		return (imm>>12&1)<<31 | (imm>>5&0x3F)<<25 | rs2<<20 | rs1<<15 |
+			f3<<12 | (imm>>1&0xF)<<8 | (imm>>11&1)<<7 | opcBranch, nil
+	}
+	switch in.Op {
+	case LUI, AUIPC:
+		if in.Imm%(1<<12) != 0 {
+			return 0, fmt.Errorf("%v: immediate %d not 4KiB-aligned", in.Op, in.Imm)
+		}
+		up := in.Imm >> 12
+		if up < -(1<<19) || up >= 1<<19 {
+			return 0, fmt.Errorf("%v: immediate %d out of range", in.Op, in.Imm)
+		}
+		opc := uint32(opcLUI)
+		if in.Op == AUIPC {
+			opc = opcAUIPC
+		}
+		return uint32(up)<<12 | rd<<7 | opc, nil
+	case JAL:
+		if in.Imm < -(1<<20) || in.Imm >= 1<<20 || in.Imm%2 != 0 {
+			return 0, fmt.Errorf("jal: offset %d out of range", in.Imm)
+		}
+		imm := uint32(in.Imm) & 0x1FFFFF
+		return (imm>>20&1)<<31 | (imm>>1&0x3FF)<<21 | (imm>>11&1)<<20 |
+			(imm>>12&0xFF)<<12 | rd<<7 | opcJAL, nil
+	case JALR:
+		imm, err := immI(in.Imm)
+		if err != nil {
+			return 0, fmt.Errorf("jalr: %w", err)
+		}
+		return imm<<20 | rs1<<15 | rd<<7 | opcJALR, nil
+	case ECALL:
+		return opcSystem, nil
+	case EBREAK:
+		return 1<<20 | opcSystem, nil
+	}
+	return 0, fmt.Errorf("riscv: cannot encode %v", in.Op)
+}
+
+func immI(v int64) (uint32, error) {
+	if !fits12(v) {
+		return 0, fmt.Errorf("immediate %d exceeds 12 bits", v)
+	}
+	return uint32(v) & 0xFFF, nil
+}
+
+// DecodeWord unpacks one machine word back into an instruction.
+func DecodeWord(w uint32) (Instr, error) {
+	opc := w & 0x7F
+	rd := int(w >> 7 & 31)
+	f3 := w >> 12 & 7
+	rs1 := int(w >> 15 & 31)
+	rs2 := int(w >> 20 & 31)
+	f7 := w >> 25
+
+	switch opc {
+	case opcOpReg:
+		for op, e := range rTable {
+			if e.funct3 == f3 && e.funct7 == f7 {
+				return Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+			}
+		}
+	case opcOpReg32:
+		for op, e := range r32Table {
+			if e.funct3 == f3 && e.funct7 == f7 {
+				return Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+			}
+		}
+	case opcOpImm:
+		switch f3 {
+		case 1:
+			return Instr{Op: SLLI, Rd: rd, Rs1: rs1, Imm: int64(w >> 20 & 63)}, nil
+		case 5:
+			op := SRLI
+			if w>>26 == 0x10 {
+				op = SRAI
+			}
+			return Instr{Op: op, Rd: rd, Rs1: rs1, Imm: int64(w >> 20 & 63)}, nil
+		default:
+			for op, of3 := range iAluTable {
+				if of3 == f3 {
+					return Instr{Op: op, Rd: rd, Rs1: rs1, Imm: sext(w>>20, 12)}, nil
+				}
+			}
+		}
+	case opcOpImm32:
+		if f3 == 0 {
+			return Instr{Op: ADDIW, Rd: rd, Rs1: rs1, Imm: sext(w>>20, 12)}, nil
+		}
+	case opcLoad:
+		for op, of3 := range loadTable {
+			if of3 == f3 {
+				return Instr{Op: op, Rd: rd, Rs1: rs1, Imm: sext(w>>20, 12)}, nil
+			}
+		}
+	case opcStore:
+		for op, of3 := range storeTable {
+			if of3 == f3 {
+				imm := w>>25<<5 | w>>7&0x1F
+				return Instr{Op: op, Rs1: rs1, Rs2: rs2, Imm: sext(imm, 12)}, nil
+			}
+		}
+	case opcBranch:
+		for op, of3 := range branchTable {
+			if of3 == f3 {
+				imm := (w>>31&1)<<12 | (w>>7&1)<<11 | (w>>25&0x3F)<<5 | (w >> 8 & 0xF << 1)
+				return Instr{Op: op, Rs1: rs1, Rs2: rs2, Imm: sext(imm, 13)}, nil
+			}
+		}
+	case opcLUI:
+		return Instr{Op: LUI, Rd: rd, Imm: sext(w>>12, 20) << 12}, nil
+	case opcAUIPC:
+		return Instr{Op: AUIPC, Rd: rd, Imm: sext(w>>12, 20) << 12}, nil
+	case opcJAL:
+		imm := (w>>31&1)<<20 | (w>>12&0xFF)<<12 | (w>>20&1)<<11 | (w >> 21 & 0x3FF << 1)
+		return Instr{Op: JAL, Rd: rd, Imm: sext(imm, 21)}, nil
+	case opcJALR:
+		if f3 == 0 {
+			return Instr{Op: JALR, Rd: rd, Rs1: rs1, Imm: sext(w>>20, 12)}, nil
+		}
+	case opcSystem:
+		switch w >> 20 {
+		case 0:
+			return Instr{Op: ECALL}, nil
+		case 1:
+			return Instr{Op: EBREAK}, nil
+		}
+	}
+	return Instr{}, fmt.Errorf("riscv: cannot decode word %#08x", w)
+}
+
+func sext(v uint32, bits int) int64 {
+	shift := 64 - bits
+	return int64(uint64(v)<<shift) >> shift
+}
+
+// EncodeImage converts a program into a flat little-endian binary image.
+// Instructions whose immediates exceed the encodable ranges (possible only
+// for hand-built Instr values, not assembler output) return an error.
+func EncodeImage(prog []Instr) ([]byte, error) {
+	out := make([]byte, 0, 4*len(prog))
+	for i, in := range prog {
+		w, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("riscv: instruction %d: %w", i, err)
+		}
+		out = binary.LittleEndian.AppendUint32(out, w)
+	}
+	return out, nil
+}
+
+// DecodeImage parses a binary image back into a program.
+func DecodeImage(img []byte) ([]Instr, error) {
+	if len(img)%4 != 0 {
+		return nil, fmt.Errorf("riscv: image length %d is not word-aligned", len(img))
+	}
+	prog := make([]Instr, 0, len(img)/4)
+	for i := 0; i < len(img); i += 4 {
+		in, err := DecodeWord(binary.LittleEndian.Uint32(img[i:]))
+		if err != nil {
+			return nil, fmt.Errorf("riscv: word %d: %w", i/4, err)
+		}
+		prog = append(prog, in)
+	}
+	return prog, nil
+}

@@ -1,0 +1,174 @@
+package riscv
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEncodeKnownWords(t *testing.T) {
+	// Cross-checked against the RISC-V spec encodings.
+	cases := []struct {
+		in   Instr
+		want uint32
+	}{
+		{Instr{Op: ADDI, Rd: 0, Rs1: 0, Imm: 0}, 0x00000013},     // nop
+		{Instr{Op: ADD, Rd: 10, Rs1: 11, Rs2: 12}, 0x00C58533},   // add a0,a1,a2
+		{Instr{Op: SUB, Rd: 5, Rs1: 6, Rs2: 7}, 0x407302B3},      // sub t0,t1,t2
+		{Instr{Op: LUI, Rd: 10, Imm: 0x12345 << 12}, 0x12345537}, // lui a0,0x12345
+		{Instr{Op: ECALL}, 0x00000073},                           // ecall
+		{Instr{Op: EBREAK}, 0x00100073},                          // ebreak
+		{Instr{Op: LD, Rd: 10, Rs1: 2, Imm: 8}, 0x00813503},      // ld a0,8(sp)
+		{Instr{Op: SD, Rs1: 2, Rs2: 10, Imm: 8}, 0x00A13423},     // sd a0,8(sp)
+		{Instr{Op: JAL, Rd: 1, Imm: 8}, 0x008000EF},              // jal ra,+8
+		{Instr{Op: BEQ, Rs1: 10, Rs2: 11, Imm: -4}, 0xFEB50EE3},  // beq a0,a1,-4
+		{Instr{Op: MUL, Rd: 10, Rs1: 11, Rs2: 12}, 0x02C58533},   // mul a0,a1,a2
+		{Instr{Op: SRAI, Rd: 10, Rs1: 10, Imm: 4}, 0x40455513},   // srai a0,a0,4
+	}
+	for _, c := range cases {
+		got, err := Encode(c.in)
+		if err != nil {
+			t.Fatalf("%v: %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("Encode(%v) = %#08x, want %#08x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	bad := []Instr{
+		{Op: ADDI, Imm: 5000},
+		{Op: SLLI, Imm: 70},
+		{Op: SD, Imm: 1 << 14},
+		{Op: BEQ, Imm: 3}, // odd offset
+		{Op: JAL, Imm: 1 << 21},
+		{Op: LUI, Imm: 123}, // not 4K-aligned
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("encoded invalid %v", in)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, w := range []uint32{0x00000000, 0xFFFFFFFF, 0x0000007F} {
+		if _, err := DecodeWord(w); err == nil {
+			t.Errorf("decoded garbage word %#08x", w)
+		}
+	}
+}
+
+// normalizeForRoundTrip zeroes fields an encoding legitimately drops.
+func normalizeForRoundTrip(in Instr) Instr {
+	in.SourceLine = 0
+	switch in.Op {
+	case LUI, AUIPC:
+		in.Rs1, in.Rs2 = 0, 0
+	case JAL:
+		in.Rs1, in.Rs2 = 0, 0
+	case JALR, ADDI, SLTI, SLTIU, XORI, ORI, ANDI, SLLI, SRLI, SRAI, ADDIW,
+		LB, LH, LW, LD, LBU, LHU, LWU:
+		in.Rs2 = 0
+	case SB, SH, SW, SD, BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		in.Rd = 0
+	case ECALL, EBREAK:
+		in.Rd, in.Rs1, in.Rs2, in.Imm = 0, 0, 0, 0
+	default: // R-type
+		in.Imm = 0
+	}
+	return in
+}
+
+// Property: every instruction the assembler can emit survives an
+// encode/decode round trip.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	rOps := []Op{ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND, ADDW, SUBW,
+		MUL, MULH, DIV, DIVU, REM, REMU, MULW, DIVW, REMW}
+	iOps := []Op{ADDI, SLTI, SLTIU, XORI, ORI, ANDI, ADDIW, JALR,
+		LB, LH, LW, LD, LBU, LHU, LWU}
+	for trial := 0; trial < 3000; trial++ {
+		var in Instr
+		switch trial % 6 {
+		case 0:
+			in = Instr{Op: rOps[rng.Intn(len(rOps))], Rd: rng.Intn(32), Rs1: rng.Intn(32), Rs2: rng.Intn(32)}
+		case 1:
+			in = Instr{Op: iOps[rng.Intn(len(iOps))], Rd: rng.Intn(32), Rs1: rng.Intn(32), Imm: int64(rng.Intn(4096) - 2048)}
+		case 2:
+			in = Instr{Op: []Op{SLLI, SRLI, SRAI}[rng.Intn(3)], Rd: rng.Intn(32), Rs1: rng.Intn(32), Imm: int64(rng.Intn(64))}
+		case 3:
+			in = Instr{Op: []Op{SB, SH, SW, SD}[rng.Intn(4)], Rs1: rng.Intn(32), Rs2: rng.Intn(32), Imm: int64(rng.Intn(4096) - 2048)}
+		case 4:
+			in = Instr{Op: []Op{BEQ, BNE, BLT, BGE, BLTU, BGEU}[rng.Intn(6)],
+				Rs1: rng.Intn(32), Rs2: rng.Intn(32), Imm: int64(rng.Intn(4096)-2048) * 2}
+		case 5:
+			switch rng.Intn(3) {
+			case 0:
+				in = Instr{Op: LUI, Rd: rng.Intn(32), Imm: int64(rng.Intn(1<<20)-(1<<19)) << 12}
+			case 1:
+				in = Instr{Op: JAL, Rd: rng.Intn(32), Imm: int64(rng.Intn(1<<20)-(1<<19)) * 2}
+			default:
+				in = Instr{Op: EBREAK}
+			}
+		}
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		got, err := DecodeWord(w)
+		if err != nil {
+			t.Fatalf("decode %v (%#08x): %v", in, w, err)
+		}
+		if got != normalizeForRoundTrip(in) {
+			t.Fatalf("round trip: %v -> %#08x -> %v", in, w, got)
+		}
+	}
+}
+
+// Property: assembled programs run identically from source and from a
+// binary image.
+func TestImageRoundTripExecution(t *testing.T) {
+	src := `
+		li a0, 0
+		li a1, 1
+		li a2, 50
+	loop:
+		add a0, a0, a1
+		addi a1, a1, 1
+		ble a1, a2, loop
+		sd a0, 0(sp)
+		ebreak
+	`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := EncodeImage(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != 4*len(prog) {
+		t.Fatalf("image %d bytes for %d instructions", len(img), len(prog))
+	}
+	decoded, err := DecodeImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(p []Instr) uint64 {
+		c := New(p, 8192)
+		c.Regs[2] = 4096
+		if err := c.Run(10_000); err != nil {
+			t.Fatal(err)
+		}
+		return c.Regs[10]
+	}
+	if a, b := run(prog), run(decoded); a != b || a != 1275 {
+		t.Errorf("source run %d vs image run %d (want 1275)", a, b)
+	}
+
+	if _, err := DecodeImage(img[:5]); err == nil {
+		t.Error("unaligned image accepted")
+	}
+}

@@ -1,0 +1,156 @@
+// Package riscv implements the RISC-V software build flow of paper §3.3 for
+// classical (non-DNN) control workloads: a two-pass assembler for an RV64IM
+// subset and a functional emulator with per-instruction cycle costs matched
+// to the in-order Rocket pipeline. It is the stand-in for the paper's
+// RISC-V GCC/Fedora toolchain: controllers are written in assembly, built
+// into flat images, and executed instruction by instruction.
+package riscv
+
+import "fmt"
+
+// Op identifies one supported instruction.
+type Op int
+
+// Supported RV64IM instructions.
+const (
+	opInvalid Op = iota
+	// R-type
+	ADD
+	SUB
+	SLL
+	SLT
+	SLTU
+	XOR
+	SRL
+	SRA
+	OR
+	AND
+	ADDW
+	SUBW
+	MUL
+	MULH
+	DIV
+	DIVU
+	REM
+	REMU
+	MULW
+	DIVW
+	REMW
+	// I-type
+	ADDI
+	SLTI
+	SLTIU
+	XORI
+	ORI
+	ANDI
+	SLLI
+	SRLI
+	SRAI
+	ADDIW
+	LB
+	LH
+	LW
+	LD
+	LBU
+	LHU
+	LWU
+	JALR
+	// S-type
+	SB
+	SH
+	SW
+	SD
+	// B-type
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+	// U/J-type
+	LUI
+	AUIPC
+	JAL
+	// System
+	ECALL
+	EBREAK
+)
+
+var opNames = map[Op]string{
+	ADD: "add", SUB: "sub", SLL: "sll", SLT: "slt", SLTU: "sltu",
+	XOR: "xor", SRL: "srl", SRA: "sra", OR: "or", AND: "and",
+	ADDW: "addw", SUBW: "subw",
+	MUL: "mul", MULH: "mulh", DIV: "div", DIVU: "divu", REM: "rem", REMU: "remu",
+	MULW: "mulw", DIVW: "divw", REMW: "remw",
+	ADDI: "addi", SLTI: "slti", SLTIU: "sltiu", XORI: "xori", ORI: "ori", ANDI: "andi",
+	SLLI: "slli", SRLI: "srli", SRAI: "srai", ADDIW: "addiw",
+	LB: "lb", LH: "lh", LW: "lw", LD: "ld", LBU: "lbu", LHU: "lhu", LWU: "lwu",
+	JALR: "jalr",
+	SB:   "sb", SH: "sh", SW: "sw", SD: "sd",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu", BGEU: "bgeu",
+	LUI: "lui", AUIPC: "auipc", JAL: "jal",
+	ECALL: "ecall", EBREAK: "ebreak",
+}
+
+var nameToOp = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, n := range opNames {
+		m[n] = op
+	}
+	return m
+}()
+
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Instr is one decoded instruction. The assembler produces these directly
+// (this implementation stores decoded instructions rather than 32-bit
+// words; the CPU model charges RV32-width fetch costs regardless).
+type Instr struct {
+	Op         Op
+	Rd, Rs1    int
+	Rs2        int
+	Imm        int64 // immediate or branch/jump offset (bytes)
+	SourceLine int   // for diagnostics
+}
+
+func (i Instr) String() string {
+	return fmt.Sprintf("%s rd=x%d rs1=x%d rs2=x%d imm=%d", i.Op, i.Rd, i.Rs1, i.Rs2, i.Imm)
+}
+
+// Cycles returns the instruction's cost on the modeled in-order pipeline
+// (Rocket-style: single issue, pipelined ALU, iterative multiply/divide,
+// blocking loads).
+func (i Instr) Cycles() uint64 {
+	switch i.Op {
+	case MUL, MULH, MULW:
+		return 4
+	case DIV, DIVU, REM, REMU, DIVW, REMW:
+		return 20
+	case LB, LH, LW, LD, LBU, LHU, LWU:
+		return 2 // L1 hit
+	case SB, SH, SW, SD:
+		return 1
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return 2 // static not-taken predictor penalty amortized
+	case JAL, JALR:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// ABI register names (x0..x31 aliases).
+var regNames = map[string]int{
+	"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+	"t0": 5, "t1": 6, "t2": 7,
+	"s0": 8, "fp": 8, "s1": 9,
+	"a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+	"s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23, "s8": 24, "s9": 25,
+	"s10": 26, "s11": 27,
+	"t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}

@@ -1,0 +1,126 @@
+// Package sensor implements the inertial and range sensor models of the
+// simulated UAV — the stand-in for AirSim's inertial sensor models. Sensors
+// add seeded Gaussian noise and slowly varying bias so that runs are
+// reproducible for a fixed seed, mirroring the paper's note that environment
+// randomness (not FireSim) is the source of run-to-run variation.
+package sensor
+
+import (
+	"math/rand"
+
+	"repro/internal/physics"
+	"repro/internal/vec"
+)
+
+// IMUReading is one inertial measurement: body-frame specific force and
+// angular velocity, plus the orientation estimate the flight controller
+// exposes to the companion computer.
+type IMUReading struct {
+	Accel vec.Vec3 // m/s², body frame, includes gravity reaction
+	Gyro  vec.Vec3 // rad/s, body frame
+	// Orientation as roll/pitch/yaw (radians), as a typical flight stack
+	// publishes fused attitude over MAVLink.
+	Roll, Pitch, Yaw float64
+	TimeSec          float64
+}
+
+// IMUParams configures the IMU noise model.
+type IMUParams struct {
+	AccelNoise float64 // 1σ white noise (m/s²)
+	GyroNoise  float64 // 1σ white noise (rad/s)
+	AccelBias  float64 // constant bias magnitude bound (m/s²)
+	GyroBias   float64 // constant bias magnitude bound (rad/s)
+}
+
+// DefaultIMUParams models a consumer-grade MEMS IMU.
+func DefaultIMUParams() IMUParams {
+	return IMUParams{
+		AccelNoise: 0.08,
+		GyroNoise:  0.004,
+		AccelBias:  0.05,
+		GyroBias:   0.002,
+	}
+}
+
+// IMU is a stateful IMU sensor with per-instance bias drawn at construction.
+type IMU struct {
+	params     IMUParams
+	rng        *rand.Rand
+	accelBias  vec.Vec3
+	gyroBias   vec.Vec3
+	prevVel    vec.Vec3
+	havePrev   bool
+	lastSample IMUReading
+}
+
+// NewIMU creates an IMU whose bias and noise stream derive from seed.
+func NewIMU(p IMUParams, seed int64) *IMU {
+	rng := rand.New(rand.NewSource(seed))
+	biasVec := func(bound float64) vec.Vec3 {
+		return vec.V3(
+			(rng.Float64()*2-1)*bound,
+			(rng.Float64()*2-1)*bound,
+			(rng.Float64()*2-1)*bound,
+		)
+	}
+	return &IMU{
+		params:    p,
+		rng:       rng,
+		accelBias: biasVec(p.AccelBias),
+		gyroBias:  biasVec(p.GyroBias),
+	}
+}
+
+// Sample produces a reading from the current vehicle state. dt is the time
+// since the previous sample (used to estimate linear acceleration);
+// timeSec stamps the reading.
+func (s *IMU) Sample(st physics.State, dt, timeSec float64) IMUReading {
+	// World-frame linear acceleration from finite differencing.
+	var accWorld vec.Vec3
+	if s.havePrev && dt > 0 {
+		accWorld = st.Vel.Sub(s.prevVel).Scale(1 / dt)
+	}
+	s.prevVel = st.Vel
+	s.havePrev = true
+
+	// Specific force in the body frame: f = R⁻¹(a − g).
+	f := st.Ori.Conj().Rotate(accWorld.Sub(vec.V3(0, 0, -physics.Gravity)))
+
+	noise := func(sigma float64) vec.Vec3 {
+		return vec.V3(s.rng.NormFloat64()*sigma, s.rng.NormFloat64()*sigma, s.rng.NormFloat64()*sigma)
+	}
+	roll, pitch, yaw := st.Ori.Euler()
+	s.lastSample = IMUReading{
+		Accel:   f.Add(s.accelBias).Add(noise(s.params.AccelNoise)),
+		Gyro:    st.Omega.Add(s.gyroBias).Add(noise(s.params.GyroNoise)),
+		Roll:    roll,
+		Pitch:   pitch,
+		Yaw:     yaw,
+		TimeSec: timeSec,
+	}
+	return s.lastSample
+}
+
+// Last returns the most recent reading without resampling, as a real IMU
+// register read would between sample instants.
+func (s *IMU) Last() IMUReading { return s.lastSample }
+
+// Depth is a forward-facing single-beam range sensor with multiplicative
+// noise, used by the paper's dynamic runtime to estimate time-to-collision.
+type Depth struct {
+	MaxRange float64
+	Sigma    float64 // relative 1σ noise
+	rng      *rand.Rand
+}
+
+// NewDepth creates a depth sensor; readings derive from seed.
+func NewDepth(maxRange, sigma float64, seed int64) *Depth {
+	return &Depth{MaxRange: maxRange, Sigma: sigma, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample perturbs a ground-truth distance with multiplicative noise, clamped
+// to (0, MaxRange].
+func (d *Depth) Sample(trueDist float64) float64 {
+	v := trueDist * (1 + d.rng.NormFloat64()*d.Sigma)
+	return vec.Clamp(v, 0.01, d.MaxRange)
+}

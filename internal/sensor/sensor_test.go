@@ -1,0 +1,110 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/physics"
+	"repro/internal/vec"
+)
+
+func levelState() physics.State {
+	return physics.State{Pos: vec.V3(0, 0, 2), Ori: vec.IdentityQuat()}
+}
+
+func TestIMUMeasuresGravityAtRest(t *testing.T) {
+	imu := NewIMU(DefaultIMUParams(), 1)
+	// Two samples so the finite-difference accel settles at zero.
+	imu.Sample(levelState(), 0.01, 0)
+	r := imu.Sample(levelState(), 0.01, 0.01)
+	// Specific force at rest is +g on the body Z axis.
+	if math.Abs(r.Accel.Z-physics.Gravity) > 0.5 {
+		t.Errorf("accel.Z = %v, want ~%v", r.Accel.Z, physics.Gravity)
+	}
+	if math.Abs(r.Accel.X) > 0.5 || math.Abs(r.Accel.Y) > 0.5 {
+		t.Errorf("lateral accel too large: %v", r.Accel)
+	}
+	if r.Gyro.Norm() > 0.05 {
+		t.Errorf("gyro at rest = %v", r.Gyro)
+	}
+}
+
+func TestIMUDeterministicPerSeed(t *testing.T) {
+	a := NewIMU(DefaultIMUParams(), 7)
+	b := NewIMU(DefaultIMUParams(), 7)
+	ra := a.Sample(levelState(), 0.01, 0)
+	rb := b.Sample(levelState(), 0.01, 0)
+	if ra != rb {
+		t.Error("same seed produced different readings")
+	}
+	c := NewIMU(DefaultIMUParams(), 8)
+	rc := c.Sample(levelState(), 0.01, 0)
+	if rc == ra {
+		t.Error("different seeds produced identical readings")
+	}
+}
+
+func TestIMUReportsAttitude(t *testing.T) {
+	imu := NewIMU(DefaultIMUParams(), 3)
+	st := levelState()
+	st.Ori = vec.QuatFromEuler(0.1, -0.2, 1.3)
+	r := imu.Sample(st, 0.01, 0)
+	if math.Abs(r.Roll-0.1) > 1e-9 || math.Abs(r.Pitch+0.2) > 1e-9 || math.Abs(r.Yaw-1.3) > 1e-9 {
+		t.Errorf("attitude = (%v,%v,%v)", r.Roll, r.Pitch, r.Yaw)
+	}
+}
+
+func TestIMUSensesLinearAcceleration(t *testing.T) {
+	p := IMUParams{} // no noise for this test
+	imu := NewIMU(p, 1)
+	st := levelState()
+	st.Vel = vec.V3(0, 0, 0)
+	imu.Sample(st, 0.01, 0)
+	st.Vel = vec.V3(1, 0, 0) // accelerated to 1 m/s over 10 ms => 100 m/s²
+	r := imu.Sample(st, 0.01, 0.01)
+	if math.Abs(r.Accel.X-100) > 1e-6 {
+		t.Errorf("accel.X = %v, want 100", r.Accel.X)
+	}
+}
+
+func TestIMULast(t *testing.T) {
+	imu := NewIMU(DefaultIMUParams(), 1)
+	r := imu.Sample(levelState(), 0.01, 0.5)
+	if imu.Last() != r {
+		t.Error("Last() differs from Sample result")
+	}
+}
+
+func TestIMUSensesRotation(t *testing.T) {
+	imu := NewIMU(IMUParams{}, 1)
+	st := levelState()
+	st.Omega = vec.V3(0.1, -0.2, 0.5)
+	r := imu.Sample(st, 0.01, 0)
+	if r.Gyro.Sub(st.Omega).Norm() > 1e-9 {
+		t.Errorf("gyro = %v, want %v", r.Gyro, st.Omega)
+	}
+}
+
+func TestDepthClampsAndPerturbs(t *testing.T) {
+	d := NewDepth(60, 0.02, 5)
+	var deviated bool
+	for i := 0; i < 100; i++ {
+		v := d.Sample(10)
+		if v <= 0 || v > 60 {
+			t.Fatalf("depth out of range: %v", v)
+		}
+		if math.Abs(v-10) > 1e-12 {
+			deviated = true
+		}
+		if math.Abs(v-10) > 2 {
+			t.Fatalf("depth noise too large: %v", v)
+		}
+	}
+	if !deviated {
+		t.Error("depth sensor produced exact readings with nonzero sigma")
+	}
+	// Max-range clamping.
+	if v := d.Sample(1000); v != 60 {
+		t.Errorf("depth %v, want clamped to 60", v)
+	}
+}

@@ -1,0 +1,26 @@
+package soc
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+)
+
+// BenchmarkEngineStep measures synchronization-quantum overhead: the
+// per-Step cost of the coroutine engine with a bridge-chatty program.
+func BenchmarkEngineStep(b *testing.B) {
+	m := NewMachine(Config{Core: BOOM, Gemmini: true}, func(rt *Runtime) error {
+		for {
+			rt.Send(packet.Packet{Type: packet.DepthReq})
+			rt.Recv()
+			rt.Compute(1_000_000)
+		}
+	})
+	defer m.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Push([]packet.Packet{packet.Depth{Meters: 5}.Marshal()})
+		m.Step(10_000_000)
+		m.Pull()
+	}
+}

@@ -1,0 +1,46 @@
+package soc
+
+// Cost helpers translate workload quantities (instructions, bytes, MACs)
+// into cycle charges under a core's calibrated timing parameters. They are
+// the building blocks the ONNX-Runtime-like session (internal/ort) uses to
+// price DNN layers on the CPU when no accelerator is present or for the
+// CPU-side portions (im2col, pooling, softmax) of accelerated layers.
+
+// ScalarCycles prices n general-purpose instructions.
+func ScalarCycles(c CoreParams, instrs uint64) uint64 {
+	if instrs == 0 {
+		return 0
+	}
+	cy := uint64(float64(instrs) / c.EffIPC)
+	if cy == 0 {
+		cy = 1
+	}
+	return cy
+}
+
+// StreamCycles prices a streaming memory operation over n bytes (im2col,
+// copies, elementwise activation passes).
+func StreamCycles(c CoreParams, bytes uint64) uint64 {
+	if bytes == 0 {
+		return 0
+	}
+	cy := uint64(float64(bytes) / c.StreamBytesPerCycle)
+	if cy == 0 {
+		cy = 1
+	}
+	return cy
+}
+
+// CPUMatmulCycles prices a dense FP32 matrix multiplication of the given
+// multiply-accumulate count executed on the scalar core (the config-C path
+// the paper shows cannot meet robot deadlines, Figure 10c).
+func CPUMatmulCycles(c CoreParams, macs uint64) uint64 {
+	if macs == 0 {
+		return 0
+	}
+	cy := uint64(float64(macs) / c.FPMACsPerCycle)
+	if cy == 0 {
+		cy = 1
+	}
+	return cy
+}

@@ -1,0 +1,433 @@
+package soc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bridge"
+	"repro/internal/packet"
+)
+
+// Runtime is the execution environment a target program sees: the services
+// of the simulated SoC. Every call advances simulated time through the
+// engine's timing models; the program itself never observes host time or
+// any simulator API (the paper's simulation abstraction, §3.4.2).
+type Runtime struct{ m *Machine }
+
+// Program is the application deployed on the simulated companion computer.
+// It runs as a coroutine against the engine; returning ends the workload.
+type Program func(rt *Runtime) error
+
+// Machine is one simulated SoC instance. It implements the RTL side of the
+// co-simulation: the synchronizer pushes packets, grants cycle quanta via
+// Step, and pulls responses, mirroring FireSim + RoSÉ BRIDGE.
+type Machine struct {
+	params Params
+	core   CoreParams
+	kind   CoreKind
+	hasAcc bool
+	br     *bridge.Bridge
+
+	cycle uint64
+	stats Stats
+
+	reqCh  chan request
+	resCh  chan response
+	exitCh chan error
+	killCh chan struct{}
+
+	pending  *request // partially-served request carried across quanta
+	pendLeft uint64   // cycles still to charge for the pending request
+	done     bool
+	runErr   error
+}
+
+type reqKind int
+
+const (
+	reqCompute reqKind = iota
+	reqRecv
+	reqTryRecv
+	reqSend
+	reqNow
+)
+
+type request struct {
+	kind   reqKind
+	cycles uint64        // compute: cycles to charge
+	accel  bool          // compute: attribute to the accelerator
+	pkt    packet.Packet // send
+}
+
+type response struct {
+	pkt   packet.Packet
+	ok    bool
+	cycle uint64
+}
+
+// errKilled signals program teardown via panic/recover.
+var errKilled = errors.New("soc: machine closed")
+
+// Config describes one SoC instance (a Table 2 row).
+type Config struct {
+	Core    CoreKind
+	Gemmini bool   // DNN accelerator present
+	Params  Params // zero value selects DefaultParams
+	// Bridge queue capacities in bytes (0 selects defaults).
+	RxQueueBytes, TxQueueBytes int
+}
+
+// NewMachine builds a machine and starts the program coroutine. The program
+// does not execute until cycles are granted via Step.
+func NewMachine(cfg Config, prog Program) *Machine {
+	p := cfg.Params
+	if p.ClockHz == 0 {
+		p = DefaultParams()
+	}
+	m := &Machine{
+		params: p,
+		core:   Core(cfg.Core),
+		kind:   cfg.Core,
+		hasAcc: cfg.Gemmini,
+		br:     bridge.New(cfg.RxQueueBytes, cfg.TxQueueBytes),
+		reqCh:  make(chan request),
+		resCh:  make(chan response),
+		exitCh: make(chan error, 1),
+		killCh: make(chan struct{}),
+	}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if err, ok := r.(error); ok && errors.Is(err, errKilled) {
+					m.exitCh <- errKilled
+					return
+				}
+				panic(r)
+			}
+		}()
+		m.exitCh <- prog(&Runtime{m: m})
+	}()
+	return m
+}
+
+// Params returns the machine's timing parameters.
+func (m *Machine) Params() Params { return m.params }
+
+// CoreKind returns the configured CPU model.
+func (m *Machine) CoreKind() CoreKind { return m.kind }
+
+// CoreParams returns the CPU timing parameters.
+func (m *Machine) CoreParams() CoreParams { return m.core }
+
+// HasGemmini reports whether the DNN accelerator is present.
+func (m *Machine) HasGemmini() bool { return m.hasAcc }
+
+// Cycle returns the current simulated cycle.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Stats returns a copy of the activity counters.
+func (m *Machine) Stats() Stats {
+	s := m.stats
+	s.Cycles = m.cycle
+	return s
+}
+
+// Done reports whether the target program has exited.
+func (m *Machine) Done() bool { return m.done }
+
+// Err returns the program's exit error, if it has exited.
+func (m *Machine) Err() error { return m.runErr }
+
+// Bridge exposes the machine's RoSÉ BRIDGE for host-side wiring.
+func (m *Machine) Bridge() *bridge.Bridge { return m.br }
+
+// Push delivers host→SoC packets at a synchronization boundary. Data
+// packets rejected by a full RX queue are dropped and counted by the bridge
+// (hardware back-pressure with no retransmit, as in an undersized bridge
+// FIFO); malformed synchronization packets are fatal.
+func (m *Machine) Push(pkts []packet.Packet) error {
+	for _, p := range pkts {
+		if err := m.br.HandleHostPacket(p); err != nil {
+			if !p.Type.IsSync() {
+				continue // counted in bridge Stats().RxDrops
+			}
+			return err
+		}
+		if !p.Type.IsSync() {
+			m.stats.PacketsIn++
+		}
+	}
+	return nil
+}
+
+// Pull drains SoC→host packets at a synchronization boundary.
+func (m *Machine) Pull() ([]packet.Packet, error) {
+	out := m.br.DrainToHost()
+	m.stats.PacketsOut += uint64(len(out))
+	return out, nil
+}
+
+// Close tears down the program coroutine. The machine must not be used
+// afterwards.
+func (m *Machine) Close() {
+	if m.done {
+		return
+	}
+	close(m.killCh)
+	// Unblock the coroutine if it is waiting on a response or about to
+	// send a request; it will observe killCh and panic out.
+	for {
+		select {
+		case <-m.reqCh:
+		case err := <-m.exitCh:
+			m.done = true
+			if !errors.Is(err, errKilled) {
+				m.runErr = err
+			}
+			return
+		}
+	}
+}
+
+// Step grants the machine a quantum of cycles (a SYNC_GRANT through the
+// bridge control unit) and runs the target until the quantum is exhausted,
+// the program blocks on I/O that cannot make progress, or the program
+// exits. It always consumes exactly `cycles` of simulated time — stalls are
+// idle cycles, exactly as an RTL simulation would burn clock ticks while
+// the core spins. Returns the cycles consumed (== cycles).
+func (m *Machine) Step(cycles uint64) (uint64, error) {
+	if m.done {
+		m.idle(cycles)
+		return cycles, nil
+	}
+	if err := m.br.HandleHostPacket(packet.U64(packet.SyncGrant, cycles)); err != nil {
+		return 0, err
+	}
+	m.stats.Syncs++
+	for m.br.Budget() > 0 {
+		if m.done {
+			m.idle(m.br.ConsumeBudget(m.br.Budget()))
+			break
+		}
+		// Serve any partially-charged request first.
+		if m.pending != nil {
+			if !m.chargePending() {
+				break // budget exhausted mid-charge
+			}
+			continue
+		}
+		// Wait for the program's next action (or exit).
+		select {
+		case r := <-m.reqCh:
+			m.beginRequest(r)
+		case err := <-m.exitCh:
+			m.done = true
+			m.runErr = err
+		}
+	}
+	return cycles, nil
+}
+
+// beginRequest prices a request and either stalls (I/O not ready) or starts
+// charging cycles for it.
+func (m *Machine) beginRequest(r request) {
+	switch r.kind {
+	case reqNow:
+		// Reading the cycle CSR costs one cycle; charging it also
+		// guarantees forward progress for programs that only poll time.
+		r.kind = reqCompute
+		r.cycles = 1
+		m.pending = &r
+		m.pendLeft = 1
+	case reqCompute:
+		m.pending = &r
+		m.pendLeft = r.cycles
+	case reqTryRecv:
+		m.charge(m.params.PollCycles, chargeIO)
+		if pkt, ok := m.br.RecvData(); ok {
+			// Transfer cost then respond. Model it as a pending charge
+			// with the response deferred to completion.
+			r.pkt = pkt
+			r.cycles = m.params.TransferCycles(pkt.Size())
+			m.pending = &r
+			m.pendLeft = r.cycles
+		} else {
+			m.resCh <- response{ok: false, cycle: m.cycle}
+		}
+	case reqRecv:
+		if pkt, ok := m.br.RecvData(); ok {
+			r.pkt = pkt
+			r.cycles = m.params.TransferCycles(pkt.Size())
+			m.pending = &r
+			m.pendLeft = r.cycles
+		} else {
+			// Nothing to receive: the core stalls for the remainder of
+			// the quantum. The request stays pending with zero charge;
+			// the next quantum retries after new packets arrive.
+			m.pending = &r
+			m.pendLeft = 0
+			m.idle(m.br.ConsumeBudget(m.br.Budget()))
+		}
+	case reqSend:
+		if m.br.SendData(r.pkt) {
+			r.cycles = m.params.TransferCycles(r.pkt.Size())
+			m.pending = &r
+			m.pendLeft = r.cycles
+		} else {
+			// TX queue full: stall until the synchronizer drains it.
+			m.pending = &r
+			m.pendLeft = 0
+			m.idle(m.br.ConsumeBudget(m.br.Budget()))
+		}
+	}
+}
+
+type chargeClass int
+
+const (
+	chargeCompute chargeClass = iota
+	chargeAccel
+	chargeIO
+)
+
+// chargePending advances a pending request; returns false when the budget
+// ran out before the request completed.
+func (m *Machine) chargePending() bool {
+	r := m.pending
+	// Retry previously-blocked I/O.
+	if m.pendLeft == 0 && (r.kind == reqRecv || r.kind == reqTryRecv) {
+		if pkt, ok := m.br.RecvData(); ok {
+			r.pkt = pkt
+			m.pendLeft = m.params.TransferCycles(pkt.Size())
+		} else {
+			m.idle(m.br.ConsumeBudget(m.br.Budget()))
+			return false
+		}
+	}
+	if m.pendLeft == 0 && r.kind == reqSend {
+		if m.br.SendData(r.pkt) {
+			m.pendLeft = m.params.TransferCycles(r.pkt.Size())
+		} else {
+			m.idle(m.br.ConsumeBudget(m.br.Budget()))
+			return false
+		}
+	}
+
+	class := chargeIO
+	if r.kind == reqCompute {
+		class = chargeCompute
+		if r.accel {
+			class = chargeAccel
+		}
+	}
+	granted := m.br.ConsumeBudget(m.pendLeft)
+	m.charge(granted, class)
+	m.pendLeft -= granted
+	if m.pendLeft > 0 {
+		return false
+	}
+	// Complete: respond to the program.
+	m.pending = nil
+	switch r.kind {
+	case reqCompute:
+		m.resCh <- response{cycle: m.cycle}
+	case reqRecv, reqTryRecv:
+		m.resCh <- response{pkt: r.pkt, ok: true, cycle: m.cycle}
+	case reqSend:
+		m.resCh <- response{ok: true, cycle: m.cycle}
+	}
+	return true
+}
+
+func (m *Machine) charge(c uint64, class chargeClass) {
+	m.cycle += c
+	switch class {
+	case chargeCompute:
+		m.stats.ComputeCycles += c
+	case chargeAccel:
+		m.stats.AccelCycles += c
+	case chargeIO:
+		m.stats.IOCycles += c
+	}
+}
+
+func (m *Machine) idle(c uint64) {
+	m.cycle += c
+	m.stats.IdleCycles += c
+}
+
+// --- Runtime: the program-facing API ---
+
+func (rt *Runtime) do(r request) response {
+	select {
+	case rt.m.reqCh <- r:
+	case <-rt.m.killCh:
+		panic(errKilled)
+	}
+	select {
+	case res := <-rt.m.resCh:
+		return res
+	case <-rt.m.killCh:
+		panic(errKilled)
+	}
+}
+
+// Now returns the current simulated cycle.
+func (rt *Runtime) Now() uint64 { return rt.do(request{kind: reqNow}).cycle }
+
+// NowSec returns the current simulated time in seconds.
+func (rt *Runtime) NowSec() float64 { return rt.m.params.CyclesToSeconds(rt.Now()) }
+
+// Compute charges `cycles` of CPU work to the simulated core.
+func (rt *Runtime) Compute(cycles uint64) {
+	if cycles == 0 {
+		return
+	}
+	rt.do(request{kind: reqCompute, cycles: cycles})
+}
+
+// ComputeAccel charges `cycles` of accelerator-busy time. It panics if the
+// SoC configuration has no accelerator — programs must dispatch to the CPU
+// fallback instead.
+func (rt *Runtime) ComputeAccel(cycles uint64) {
+	if !rt.m.hasAcc {
+		panic(fmt.Errorf("soc: ComputeAccel on a config without Gemmini"))
+	}
+	if cycles == 0 {
+		return
+	}
+	rt.do(request{kind: reqCompute, cycles: cycles, accel: true})
+}
+
+// HasGemmini reports whether the accelerator is available, letting one
+// program binary adapt to the SoC configuration.
+func (rt *Runtime) HasGemmini() bool { return rt.m.hasAcc }
+
+// Core returns the CPU timing parameters (the program's runtime knows the
+// platform it was built for, as the paper's ONNX Runtime build does).
+func (rt *Runtime) Core() CoreParams { return rt.m.core }
+
+// Params returns SoC-level timing parameters.
+func (rt *Runtime) Params() Params { return rt.m.params }
+
+// Recv blocks until a data packet is available in the bridge RX queue and
+// returns it, charging the MMIO transfer cost. The block consumes idle
+// simulated cycles — the source of the synchronization-induced latency the
+// paper measures in Figure 16.
+func (rt *Runtime) Recv() packet.Packet {
+	res := rt.do(request{kind: reqRecv})
+	return res.pkt
+}
+
+// TryRecv polls the RX queue once, charging the poll cost; ok is false when
+// no data packet was pending.
+func (rt *Runtime) TryRecv() (packet.Packet, bool) {
+	res := rt.do(request{kind: reqTryRecv})
+	return res.pkt, res.ok
+}
+
+// Send enqueues a data packet into the bridge TX queue, blocking (in
+// simulated time) while the queue is full.
+func (rt *Runtime) Send(p packet.Packet) {
+	rt.do(request{kind: reqSend, pkt: p})
+}

@@ -1,0 +1,225 @@
+package soc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/packet"
+)
+
+// This file implements the synchronizer↔RTL TCP transport of §3.4.1 ("the
+// synchronizer ... communicates with FireSim by using a TCP listener"): a
+// Server exposes a Machine over TCP, and RemoteRTL implements the core.RTL
+// surface against it, enabling the distributed deployments of Table 4.
+
+// Server serves one Machine to a single synchronizer connection at a time.
+type Server struct {
+	mu sync.Mutex
+	m  *Machine
+	ln net.Listener
+}
+
+// NewServer wraps a machine and listens on addr.
+func NewServer(m *Machine, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("soc: listening on %s: %w", addr, err)
+	}
+	return &Server{m: m, ln: ln}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.ln.Close() }
+
+// Serve accepts and serves connections until the listener closes.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		req, err := packet.Read(conn)
+		if err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := packet.Write(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req packet.Packet) packet.Packet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fail := func(err error) packet.Packet {
+		return packet.Packet{Type: packet.RPCError, Payload: []byte(err.Error())}
+	}
+	switch req.Type {
+	case packet.RTLStep:
+		cycles, err := req.AsU64()
+		if err != nil {
+			return fail(err)
+		}
+		used, err := s.m.Step(cycles)
+		if err != nil {
+			return fail(err)
+		}
+		return packet.U64(packet.RTLStepped, used)
+	case packet.RTLPush:
+		pkts, err := packet.DecodeBatch(req.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.m.Push(pkts); err != nil {
+			return fail(err)
+		}
+		return packet.Packet{Type: packet.RPCAck}
+	case packet.RTLPull:
+		pkts, err := s.m.Pull()
+		if err != nil {
+			return fail(err)
+		}
+		buf, err := packet.EncodeBatch(pkts)
+		if err != nil {
+			return fail(err)
+		}
+		return packet.Packet{Type: packet.RTLBatch, Payload: buf}
+	case packet.RTLStatus:
+		var buf bytes.Buffer
+		hdr := make([]byte, 9)
+		binary.LittleEndian.PutUint64(hdr, s.m.Cycle())
+		if s.m.Done() {
+			hdr[8] = 1
+		}
+		buf.Write(hdr)
+		if err := gob.NewEncoder(&buf).Encode(s.m.Stats()); err != nil {
+			return fail(err)
+		}
+		return packet.Packet{Type: packet.RTLStatusReply, Payload: buf.Bytes()}
+	}
+	return fail(fmt.Errorf("soc: unsupported RTL RPC %v", req.Type))
+}
+
+// RemoteRTL is a core.RTL implementation backed by a remote Server.
+type RemoteRTL struct {
+	mu   sync.Mutex
+	conn net.Conn
+
+	// cached status from the last RTLStatus round trip
+	cycle uint64
+	done  bool
+	stats Stats
+}
+
+// DialRTL connects to a remote RTL server.
+func DialRTL(addr string) (*RemoteRTL, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("soc: dialing RTL server %s: %w", addr, err)
+	}
+	r := &RemoteRTL{conn: conn}
+	if err := r.refresh(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// Close terminates the connection.
+func (r *RemoteRTL) Close() error { return r.conn.Close() }
+
+func (r *RemoteRTL) call(req packet.Packet) (packet.Packet, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := packet.Write(r.conn, req); err != nil {
+		return packet.Packet{}, err
+	}
+	resp, err := packet.Read(r.conn)
+	if err != nil {
+		return packet.Packet{}, err
+	}
+	if resp.Type == packet.RPCError {
+		return packet.Packet{}, fmt.Errorf("soc: remote RTL: %s", resp.Payload)
+	}
+	return resp, nil
+}
+
+// Step implements core.RTL.
+func (r *RemoteRTL) Step(cycles uint64) (uint64, error) {
+	resp, err := r.call(packet.U64(packet.RTLStep, cycles))
+	if err != nil {
+		return 0, err
+	}
+	used, err := resp.AsU64()
+	if err != nil {
+		return 0, err
+	}
+	if err := r.refresh(); err != nil {
+		return used, err
+	}
+	return used, nil
+}
+
+// Push implements core.RTL.
+func (r *RemoteRTL) Push(pkts []packet.Packet) error {
+	buf, err := packet.EncodeBatch(pkts)
+	if err != nil {
+		return err
+	}
+	_, err = r.call(packet.Packet{Type: packet.RTLPush, Payload: buf})
+	return err
+}
+
+// Pull implements core.RTL.
+func (r *RemoteRTL) Pull() ([]packet.Packet, error) {
+	resp, err := r.call(packet.Packet{Type: packet.RTLPull})
+	if err != nil {
+		return nil, err
+	}
+	pkts, err := packet.DecodeBatch(resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	// Keep the cached status (packet counters) current after the drain.
+	if err := r.refresh(); err != nil {
+		return nil, err
+	}
+	return pkts, nil
+}
+
+func (r *RemoteRTL) refresh() error {
+	resp, err := r.call(packet.Packet{Type: packet.RTLStatus})
+	if err != nil {
+		return err
+	}
+	if len(resp.Payload) < 9 {
+		return fmt.Errorf("soc: short RTL status")
+	}
+	r.cycle = binary.LittleEndian.Uint64(resp.Payload)
+	r.done = resp.Payload[8] == 1
+	return gob.NewDecoder(bytes.NewReader(resp.Payload[9:])).Decode(&r.stats)
+}
+
+// Cycle implements core.RTL (from the last status refresh).
+func (r *RemoteRTL) Cycle() uint64 { return r.cycle }
+
+// Done implements core.RTL (from the last status refresh).
+func (r *RemoteRTL) Done() bool { return r.done }
+
+// Stats implements core.RTL (from the last status refresh).
+func (r *RemoteRTL) Stats() Stats { return r.stats }

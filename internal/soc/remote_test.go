@@ -1,0 +1,104 @@
+package soc
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func echoProgram(rt *Runtime) error {
+	for {
+		p := rt.Recv()
+		if p.Type == packet.DepthReq {
+			rt.Send(packet.Depth{Meters: 7}.Marshal())
+		}
+		rt.Compute(1_000)
+	}
+}
+
+func startRTLServer(t *testing.T, prog Program) *RemoteRTL {
+	t.Helper()
+	m := NewMachine(Config{Core: BOOM, Gemmini: true}, prog)
+	t.Cleanup(m.Close)
+	srv, err := NewServer(m, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	r, err := DialRTL(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func TestRemoteRTLStepAndIO(t *testing.T) {
+	r := startRTLServer(t, echoProgram)
+	if r.Cycle() != 0 || r.Done() {
+		t.Fatalf("fresh machine: cycle=%d done=%v", r.Cycle(), r.Done())
+	}
+	if err := r.Push([]packet.Packet{{Type: packet.DepthReq}}); err != nil {
+		t.Fatal(err)
+	}
+	used, err := r.Step(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 100_000 {
+		t.Errorf("used = %d", used)
+	}
+	if r.Cycle() != 100_000 {
+		t.Errorf("cycle = %d", r.Cycle())
+	}
+	out, err := r.Pull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Type != packet.DepthData {
+		t.Fatalf("pulled %+v", out)
+	}
+	d, _ := packet.UnmarshalDepth(out[0])
+	if d.Meters != 7 {
+		t.Errorf("depth = %v", d.Meters)
+	}
+	if st := r.Stats(); st.ComputeCycles == 0 {
+		t.Error("remote stats empty")
+	}
+}
+
+func TestRemoteRTLMatchesLocal(t *testing.T) {
+	// The same grant/push schedule against a local machine and a remote
+	// one must produce identical cycle counts and stats.
+	run := func(viaTCP bool) (uint64, Stats) {
+		if viaTCP {
+			r := startRTLServer(t, echoProgram)
+			for i := 0; i < 5; i++ {
+				r.Push([]packet.Packet{{Type: packet.DepthReq}})
+				r.Step(50_000)
+				r.Pull()
+			}
+			return r.Cycle(), r.Stats()
+		}
+		m := NewMachine(Config{Core: BOOM, Gemmini: true}, echoProgram)
+		defer m.Close()
+		for i := 0; i < 5; i++ {
+			m.Push([]packet.Packet{{Type: packet.DepthReq}})
+			m.Step(50_000)
+			m.Pull()
+		}
+		return m.Cycle(), m.Stats()
+	}
+	lc, ls := run(false)
+	rc, rs := run(true)
+	if lc != rc || ls != rs {
+		t.Errorf("local %d/%+v vs remote %d/%+v", lc, ls, rc, rs)
+	}
+}
+
+func TestRemoteRTLBadAddress(t *testing.T) {
+	if _, err := DialRTL("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}

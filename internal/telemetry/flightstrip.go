@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/env"
+	"repro/internal/render"
+	"repro/internal/vec"
+	"repro/internal/world"
+)
+
+// WriteFlightStrip renders the UAV's first-person view at evenly spaced
+// points along a trajectory and writes them as a single horizontal PGM
+// contact sheet — the artifact's "flight recordings" in still form
+// (Appendix A.7 recommends reviewing the FPV video to qualitatively judge a
+// controller).
+func WriteFlightStrip(w io.Writer, m *world.Map, traj []env.Telemetry, frames, camW, camH int) error {
+	if frames <= 0 || len(traj) == 0 {
+		return fmt.Errorf("telemetry: flight strip needs frames and a trajectory")
+	}
+	if frames > len(traj) {
+		frames = len(traj)
+	}
+	cam := render.DefaultCamera(camW, camH)
+	strip := render.NewImage(camW*frames, camH)
+	frame := render.NewImage(camW, camH)
+	for i := 0; i < frames; i++ {
+		t := traj[i*(len(traj)-1)/max(frames-1, 1)]
+		pose := render.Pose{Pos: t.Pos, Ori: vec.QuatFromEuler(0, 0, t.Yaw)}
+		cam.RenderInto(m, pose, frame)
+		for y := 0; y < camH; y++ {
+			for x := 0; x < camW; x++ {
+				strip.Set(i*camW+x, y, frame.At(x, y))
+			}
+		}
+	}
+	return strip.WritePGM(w)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,155 @@
+// Package telemetry renders and persists co-simulation outputs: the CSV
+// logs the paper's synchronizer produces (UAV dynamics, sensing requests,
+// control targets) and quick-look ASCII trajectory plots standing in for
+// the artifact's flight recordings.
+package telemetry
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/app"
+	"repro/internal/env"
+)
+
+// WriteTrajectoryCSV writes per-quantum telemetry samples as CSV.
+func WriteTrajectoryCSV(w io.Writer, traj []env.Telemetry) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"time_s", "frame", "x_m", "y_m", "z_m",
+		"vx_mps", "vy_mps", "vz_mps", "yaw_rad",
+		"depth_m", "collided", "collision_count", "mission_complete",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+	for _, t := range traj {
+		rec := []string{
+			f(t.TimeSec), strconv.FormatInt(t.Frame, 10),
+			f(t.Pos.X), f(t.Pos.Y), f(t.Pos.Z),
+			f(t.Vel.X), f(t.Vel.Y), f(t.Vel.Z), f(t.Yaw),
+			f(t.DepthAhead), strconv.FormatBool(t.Collided),
+			strconv.Itoa(t.CollisionCount), strconv.FormatBool(t.MissionComplete),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteInferencesCSV writes the controller's inference log as CSV.
+func WriteInferencesCSV(w io.Writer, recs []app.InferenceRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"model", "req_cycle", "resp_cycle", "latency_s",
+		"p_lat_left", "p_lat_center", "p_lat_right",
+		"p_ang_left", "p_ang_center", "p_ang_right",
+		"v_forward", "v_lateral", "yaw_rate", "depth_m", "used_fallback",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	for _, r := range recs {
+		rec := []string{
+			r.Model,
+			strconv.FormatUint(r.ReqCycle, 10), strconv.FormatUint(r.RespCycle, 10),
+			f(r.LatencySec),
+			f(float64(r.Output.Lateral[0])), f(float64(r.Output.Lateral[1])), f(float64(r.Output.Lateral[2])),
+			f(float64(r.Output.Angular[0])), f(float64(r.Output.Angular[1])), f(float64(r.Output.Angular[2])),
+			f(r.Cmd.VForward), f(r.Cmd.VLateral), f(r.Cmd.YawRate),
+			f(r.DepthMeters), strconv.FormatBool(r.UsedFallback),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderTrajectory draws a top-down ASCII plot of the flight path ('*'
+// marks samples, 'X' marks collisions) over the given world extent.
+func RenderTrajectory(traj []env.Telemetry, xMin, xMax, yMin, yMax float64, cols, rows int) string {
+	if cols < 2 || rows < 2 || xMax <= xMin || yMax <= yMin {
+		return ""
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	plot := func(x, y float64, ch byte) {
+		cx := int((x - xMin) / (xMax - xMin) * float64(cols-1))
+		// +y (left) is drawn at the top.
+		cy := int((yMax - y) / (yMax - yMin) * float64(rows-1))
+		if cx >= 0 && cx < cols && cy >= 0 && cy < rows {
+			grid[cy][cx] = ch
+		}
+	}
+	for _, t := range traj {
+		ch := byte('*')
+		if t.Collided {
+			ch = 'X'
+		}
+		plot(t.Pos.X, t.Pos.Y, ch)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "y=%+.1f m\n", yMax)
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "y=%+.1f m   (x: %.0f..%.0f m)\n", yMin, xMin, xMax)
+	return b.String()
+}
+
+// Series is one named (x, y) data series of an experiment output — the unit
+// that EXPERIMENTS.md tables and the sweep tools print.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// WriteSeriesCSV writes a set of series in long form (series,x,y).
+func WriteSeriesCSV(w io.Writer, series []Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i := range s.X {
+			if err := cw.Write([]string{
+				s.Name,
+				strconv.FormatFloat(s.X[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Y[i], 'g', -1, 64),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// MeanSpeed returns the average ground speed over a trajectory.
+func MeanSpeed(traj []env.Telemetry) float64 {
+	if len(traj) == 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range traj {
+		s += math.Hypot(t.Vel.X, t.Vel.Y)
+	}
+	return s / float64(len(traj))
+}

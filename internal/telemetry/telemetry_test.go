@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/dnn"
+	"repro/internal/env"
+	"repro/internal/packet"
+	"repro/internal/vec"
+	"repro/internal/world"
+)
+
+func sampleTraj() []env.Telemetry {
+	return []env.Telemetry{
+		{TimeSec: 0, Pos: vec.V3(0, 0, 0), Vel: vec.V3(3, 4, 0)},
+		{TimeSec: 0.5, Pos: vec.V3(1.5, 0.2, 1.5), Vel: vec.V3(3, 0, 0), Collided: true, CollisionCount: 1},
+		{TimeSec: 1.0, Pos: vec.V3(3.0, -0.1, 1.5), MissionComplete: true},
+	}
+}
+
+func TestWriteTrajectoryCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrajectoryCSV(&buf, sampleTraj()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want header + 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "time_s,frame,x_m") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "true,1,false") {
+		t.Errorf("collision row = %q", lines[2])
+	}
+}
+
+func TestWriteInferencesCSV(t *testing.T) {
+	recs := []app.InferenceRecord{{
+		Model: "ResNet14", ReqCycle: 100, RespCycle: 200, LatencySec: 1e-7,
+		Output: dnn.Output{Lateral: [3]float32{0.1, 0.2, 0.7}},
+		Cmd:    packet.Cmd{VForward: 3, VLateral: 0.5},
+	}}
+	var buf bytes.Buffer
+	if err := WriteInferencesCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ResNet14") || !strings.Contains(out, "0.700000") {
+		t.Errorf("csv = %q", out)
+	}
+}
+
+func TestRenderTrajectory(t *testing.T) {
+	plot := RenderTrajectory(sampleTraj(), 0, 4, -2, 2, 40, 9)
+	if !strings.Contains(plot, "*") {
+		t.Error("no samples plotted")
+	}
+	if !strings.Contains(plot, "X") {
+		t.Error("collision marker missing")
+	}
+	if !strings.Contains(plot, "y=+2.0") || !strings.Contains(plot, "y=-2.0") {
+		t.Errorf("axis labels missing:\n%s", plot)
+	}
+	if RenderTrajectory(nil, 0, 0, 0, 0, 10, 10) != "" {
+		t.Error("degenerate extent should return empty")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "a"
+	s.Add(1, 2)
+	s.Add(3, 4)
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, []Series{s}); err != nil {
+		t.Fatal(err)
+	}
+	want := "series,x,y\na,1,2\na,3,4\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q", buf.String())
+	}
+}
+
+func TestMeanSpeed(t *testing.T) {
+	if MeanSpeed(nil) != 0 {
+		t.Error("empty trajectory should be 0")
+	}
+	got := MeanSpeed(sampleTraj())
+	want := (5.0 + 3.0 + 0.0) / 3
+	if got != want {
+		t.Errorf("mean speed = %v, want %v", got, want)
+	}
+}
+
+func TestWriteFlightStrip(t *testing.T) {
+	m := world.Tunnel()
+	traj := []env.Telemetry{
+		{Pos: vec.V3(1, 0, 1.5)},
+		{Pos: vec.V3(10, 0.5, 1.5), Yaw: 0.1},
+		{Pos: vec.V3(20, -0.5, 1.5), Yaw: -0.1},
+	}
+	var buf bytes.Buffer
+	if err := WriteFlightStrip(&buf, m, traj, 3, 32, 24); err != nil {
+		t.Fatal(err)
+	}
+	want := "P5\n96 24\n255\n"
+	if got := buf.String()[:len(want)]; got != want {
+		t.Errorf("PGM header = %q", got)
+	}
+	if buf.Len() != len(want)+96*24 {
+		t.Errorf("strip size = %d", buf.Len())
+	}
+	if err := WriteFlightStrip(&buf, m, nil, 3, 32, 24); err == nil {
+		t.Error("empty trajectory accepted")
+	}
+	// More frames than samples clamps.
+	if err := WriteFlightStrip(&buf, m, traj[:1], 5, 16, 12); err != nil {
+		t.Errorf("clamped strip failed: %v", err)
+	}
+}

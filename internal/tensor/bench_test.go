@@ -1,0 +1,36 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.Float32() - 0.5
+	}
+	return t
+}
+
+// BenchmarkMatMul measures the dense GEMM kernel that dominates inference.
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randTensor(rng, 768, 144)
+	w := randTensor(rng, 144, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, w, 768, 144, 64)
+	}
+}
+
+// BenchmarkConv2D measures a representative mid-network convolution.
+func BenchmarkConv2D(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := randTensor(rng, 32, 12, 16)
+	w := randTensor(rng, 32, 32, 3, 3)
+	bias := make([]float32, 32)
+	for i := 0; i < b.N; i++ {
+		Conv2D(x, w, bias, 1, 1)
+	}
+}

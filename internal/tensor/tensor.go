@@ -1,0 +1,306 @@
+// Package tensor provides the dense FP32 tensor operations that the DNN
+// substrate builds on: conv2d via im2col + matmul (the lowering Gemmini's
+// software stack uses, so timing maps 1:1 onto the accelerator model),
+// pooling, batch normalization, activations, and fully-connected layers.
+//
+// Layout is CHW (single image per forward pass, as the UAV controller runs
+// batch-1 inference). All operations are deterministic.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense FP32 tensor in row-major CHW (or arbitrary) layout.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: invalid dim %d in %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data with a shape; the length must match.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: %d elements for shape %v", len(data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns shape[i].
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	d := make([]float32, len(t.Data))
+	copy(d, t.Data)
+	return &Tensor{Shape: append([]int(nil), t.Shape...), Data: d}
+}
+
+// MatMul computes C[M×N] = A[M×K] · B[K×N]. A and B are interpreted as 2-D
+// row-major matrices regardless of their declared shapes; lengths must
+// match. This is the kernel whose timing internal/gemmini prices.
+func MatMul(a, b *Tensor, m, k, n int) *Tensor {
+	if len(a.Data) != m*k || len(b.Data) != k*n {
+		panic(fmt.Sprintf("tensor: matmul %dx%d · %dx%d with %d/%d elements",
+			m, k, k, n, len(a.Data), len(b.Data)))
+	}
+	c := New(m, n)
+	ad, bd, cd := a.Data, b.Data, c.Data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		crow := cd[i*n : (i+1)*n]
+		for kk, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := bd[kk*n : (kk+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// Im2Col lowers a CHW input for a KH×KW convolution with the given stride
+// and padding into a matrix of shape [outH*outW, C*KH*KW].
+func Im2Col(x *Tensor, kh, kw, stride, pad int) (*Tensor, int, int) {
+	if len(x.Shape) != 3 {
+		panic(fmt.Sprintf("tensor: im2col needs CHW input, got %v", x.Shape))
+	}
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: im2col output %dx%d invalid", outH, outW))
+	}
+	cols := New(outH*outW, c*kh*kw)
+	cd := cols.Data
+	kcols := c * kh * kw
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			row := (oy*outW + ox) * kcols
+			idx := row
+			for ch := 0; ch < c; ch++ {
+				chOff := ch * h * w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride + ky - pad
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride + kx - pad
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							cd[idx] = x.Data[chOff+iy*w+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return cols, outH, outW
+}
+
+// Conv2D computes a 2-D convolution of the CHW input with weights shaped
+// [outC, inC, KH, KW] and per-channel bias (may be nil), returning a CHW
+// output. Implemented as im2col followed by MatMul.
+func Conv2D(x, w *Tensor, bias []float32, stride, pad int) *Tensor {
+	if len(w.Shape) != 4 {
+		panic(fmt.Sprintf("tensor: conv weights must be OIHW, got %v", w.Shape))
+	}
+	outC, inC, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	if x.Shape[0] != inC {
+		panic(fmt.Sprintf("tensor: conv input has %d channels, weights expect %d", x.Shape[0], inC))
+	}
+	cols, outH, outW := Im2Col(x, kh, kw, stride, pad)
+	m := outH * outW
+	k := inC * kh * kw
+	// Weights as [K, outC] for (cols · wT): transpose OIHW → [K][O].
+	wt := New(k, outC)
+	for o := 0; o < outC; o++ {
+		for j := 0; j < k; j++ {
+			wt.Data[j*outC+o] = w.Data[o*k+j]
+		}
+	}
+	prod := MatMul(cols, wt, m, k, outC) // [M, outC]
+	out := New(outC, outH, outW)
+	for o := 0; o < outC; o++ {
+		var b float32
+		if bias != nil {
+			b = bias[o]
+		}
+		for i := 0; i < m; i++ {
+			out.Data[o*m+i] = prod.Data[i*outC+o] + b
+		}
+	}
+	return out
+}
+
+// BatchNorm applies inference-mode batch normalization per channel:
+// y = gamma * (x - mean) / sqrt(var + eps) + beta.
+func BatchNorm(x *Tensor, gamma, beta, mean, variance []float32, eps float32) *Tensor {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	if len(gamma) != c || len(beta) != c || len(mean) != c || len(variance) != c {
+		panic("tensor: batchnorm parameter length mismatch")
+	}
+	out := New(c, h, w)
+	for ch := 0; ch < c; ch++ {
+		scale := gamma[ch] / float32(math.Sqrt(float64(variance[ch]+eps)))
+		shift := beta[ch] - mean[ch]*scale
+		base := ch * h * w
+		for i := 0; i < h*w; i++ {
+			out.Data[base+i] = x.Data[base+i]*scale + shift
+		}
+	}
+	return out
+}
+
+// ReLU applies max(0, x) elementwise, in a fresh tensor.
+func ReLU(x *Tensor) *Tensor {
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Add returns x + y elementwise (residual connections); shapes must match.
+func Add(x, y *Tensor) *Tensor {
+	if len(x.Data) != len(y.Data) {
+		panic(fmt.Sprintf("tensor: add shape mismatch %v vs %v", x.Shape, y.Shape))
+	}
+	out := x.Clone()
+	for i, v := range y.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// MaxPool2D applies k×k max pooling with the given stride to a CHW tensor.
+func MaxPool2D(x *Tensor, k, stride int) *Tensor {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	outH := (h-k)/stride + 1
+	outW := (w-k)/stride + 1
+	out := New(c, outH, outW)
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				best := float32(math.Inf(-1))
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						v := x.Data[ch*h*w+(oy*stride+ky)*w+(ox*stride+kx)]
+						if v > best {
+							best = v
+						}
+					}
+				}
+				out.Data[ch*outH*outW+oy*outW+ox] = best
+			}
+		}
+	}
+	return out
+}
+
+// AvgPoolGrid divides each channel into a gy×gx grid and averages within
+// each cell, producing a [C, gy, gx] tensor. AvgPoolGrid(x, 1, 1) is global
+// average pooling; larger grids preserve coarse spatial structure for the
+// classifier heads.
+func AvgPoolGrid(x *Tensor, gy, gx int) *Tensor {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	if gy <= 0 || gx <= 0 || gy > h || gx > w {
+		panic(fmt.Sprintf("tensor: avgpool grid %dx%d on %dx%d", gy, gx, h, w))
+	}
+	out := New(c, gy, gx)
+	for ch := 0; ch < c; ch++ {
+		for cy := 0; cy < gy; cy++ {
+			y0, y1 := cy*h/gy, (cy+1)*h/gy
+			for cx := 0; cx < gx; cx++ {
+				x0, x1 := cx*w/gx, (cx+1)*w/gx
+				var sum float32
+				for yy := y0; yy < y1; yy++ {
+					for xx := x0; xx < x1; xx++ {
+						sum += x.Data[ch*h*w+yy*w+xx]
+					}
+				}
+				out.Data[ch*gy*gx+cy*gx+cx] = sum / float32((y1-y0)*(x1-x0))
+			}
+		}
+	}
+	return out
+}
+
+// Linear computes y = W·x + b for W shaped [out, in].
+func Linear(x *Tensor, w *Tensor, b []float32) *Tensor {
+	outN, inN := w.Shape[0], w.Shape[1]
+	if len(x.Data) != inN {
+		panic(fmt.Sprintf("tensor: linear input %d, want %d", len(x.Data), inN))
+	}
+	out := New(outN)
+	for o := 0; o < outN; o++ {
+		var s float32
+		row := w.Data[o*inN : (o+1)*inN]
+		for i, v := range x.Data {
+			s += row[i] * v
+		}
+		if b != nil {
+			s += b[o]
+		}
+		out.Data[o] = s
+	}
+	return out
+}
+
+// Softmax returns the softmax of a vector, numerically stabilized.
+func Softmax(x []float32) []float32 {
+	out := make([]float32, len(x))
+	if len(x) == 0 {
+		return out
+	}
+	max := x[0]
+	for _, v := range x {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range x {
+		e := math.Exp(float64(v - max))
+		out[i] = float32(e)
+		sum += e
+	}
+	for i := range out {
+		out[i] = float32(float64(out[i]) / sum)
+	}
+	return out
+}
+
+// Argmax returns the index of the largest element.
+func Argmax(x []float32) int {
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	_ = x[best]
+	return best
+}

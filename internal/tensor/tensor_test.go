@@ -1,0 +1,304 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float32) bool { return math.Abs(float64(a-b)) < 1e-4 }
+
+func TestNewAndFromSlice(t *testing.T) {
+	x := New(2, 3)
+	if x.Len() != 6 || x.Dim(0) != 2 || x.Dim(1) != 3 {
+		t.Fatalf("bad tensor %+v", x)
+	}
+	y := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	if y.Data[3] != 4 {
+		t.Error("FromSlice data wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FromSlice accepted mismatched length")
+		}
+	}()
+	FromSlice([]float32{1}, 2, 2)
+}
+
+func TestClone(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	y := x.Clone()
+	y.Data[0] = 9
+	if x.Data[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3) // 2x3
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b, 2, 3, 2)
+	want := []float32{58, 64, 139, 154}
+	for i := range want {
+		if !approx(c.Data[i], want[i]) {
+			t.Fatalf("C[%d] = %v, want %v", i, c.Data[i], want[i])
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4, 4)
+	for i := range a.Data {
+		a.Data[i] = rng.Float32()
+	}
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Data[i*4+i] = 1
+	}
+	c := MatMul(a, id, 4, 4, 4)
+	for i := range a.Data {
+		if !approx(c.Data[i], a.Data[i]) {
+			t.Fatal("A·I != A")
+		}
+	}
+}
+
+// naiveConv is a direct convolution reference implementation.
+func naiveConv(x, w *Tensor, bias []float32, stride, pad int) *Tensor {
+	outC, inC, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	h, wid := x.Shape[1], x.Shape[2]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (wid+2*pad-kw)/stride + 1
+	out := New(outC, outH, outW)
+	for o := 0; o < outC; o++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				var s float32
+				for c := 0; c < inC; c++ {
+					for ky := 0; ky < kh; ky++ {
+						for kx := 0; kx < kw; kx++ {
+							iy, ix := oy*stride+ky-pad, ox*stride+kx-pad
+							if iy < 0 || iy >= h || ix < 0 || ix >= wid {
+								continue
+							}
+							s += x.Data[c*h*wid+iy*wid+ix] * w.Data[((o*inC+c)*kh+ky)*kw+kx]
+						}
+					}
+				}
+				if bias != nil {
+					s += bias[o]
+				}
+				out.Data[o*outH*outW+oy*outW+ox] = s
+			}
+		}
+	}
+	return out
+}
+
+func TestConv2DMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range []struct{ inC, outC, h, w, k, stride, pad int }{
+		{1, 4, 8, 10, 3, 1, 1},
+		{3, 8, 9, 7, 3, 2, 1},
+		{2, 2, 5, 5, 1, 1, 0},
+		{4, 6, 12, 12, 5, 2, 2},
+	} {
+		x := New(tc.inC, tc.h, tc.w)
+		for i := range x.Data {
+			x.Data[i] = rng.Float32()*2 - 1
+		}
+		w := New(tc.outC, tc.inC, tc.k, tc.k)
+		for i := range w.Data {
+			w.Data[i] = rng.Float32()*2 - 1
+		}
+		bias := make([]float32, tc.outC)
+		for i := range bias {
+			bias[i] = rng.Float32()
+		}
+		got := Conv2D(x, w, bias, tc.stride, tc.pad)
+		want := naiveConv(x, w, bias, tc.stride, tc.pad)
+		if len(got.Data) != len(want.Data) {
+			t.Fatalf("%+v: shape mismatch %v vs %v", tc, got.Shape, want.Shape)
+		}
+		for i := range got.Data {
+			if !approx(got.Data[i], want.Data[i]) {
+				t.Fatalf("%+v: elem %d = %v, want %v", tc, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestIm2ColShape(t *testing.T) {
+	x := New(2, 8, 6)
+	cols, oh, ow := Im2Col(x, 3, 3, 1, 1)
+	if oh != 8 || ow != 6 {
+		t.Errorf("out = %dx%d", oh, ow)
+	}
+	if cols.Dim(0) != 48 || cols.Dim(1) != 18 {
+		t.Errorf("cols shape %v", cols.Shape)
+	}
+}
+
+func TestBatchNormKnown(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	got := BatchNorm(x, []float32{2}, []float32{1}, []float32{2.5}, []float32{1.25}, 0)
+	// scale = 2/sqrt(1.25), y = (x-2.5)*scale + 1
+	scale := 2 / float32(math.Sqrt(1.25))
+	for i, xv := range x.Data {
+		want := (xv-2.5)*scale + 1
+		if !approx(got.Data[i], want) {
+			t.Fatalf("bn[%d] = %v, want %v", i, got.Data[i], want)
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	x := FromSlice([]float32{-1, 0, 2, -0.5}, 4)
+	y := ReLU(x)
+	want := []float32{0, 0, 2, 0}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatal("ReLU wrong")
+		}
+	}
+	if x.Data[0] != -1 {
+		t.Error("ReLU mutated input")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	y := FromSlice([]float32{10, 20}, 2)
+	z := Add(x, y)
+	if z.Data[0] != 11 || z.Data[1] != 22 {
+		t.Error("Add wrong")
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	x := FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4)
+	y := MaxPool2D(x, 2, 2)
+	want := []float32{6, 8, 14, 16}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("pool = %v", y.Data)
+		}
+	}
+}
+
+func TestAvgPoolGrid(t *testing.T) {
+	x := FromSlice([]float32{
+		1, 1, 3, 3,
+		1, 1, 3, 3,
+		5, 5, 7, 7,
+		5, 5, 7, 7,
+	}, 1, 4, 4)
+	g := AvgPoolGrid(x, 2, 2)
+	want := []float32{1, 3, 5, 7}
+	for i := range want {
+		if !approx(g.Data[i], want[i]) {
+			t.Fatalf("grid = %v", g.Data)
+		}
+	}
+	// Global average.
+	glob := AvgPoolGrid(x, 1, 1)
+	if !approx(glob.Data[0], 4) {
+		t.Errorf("global avg = %v", glob.Data[0])
+	}
+}
+
+func TestLinear(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3}, 3)
+	w := FromSlice([]float32{1, 0, 0, 0, 1, 1}, 2, 3)
+	y := Linear(x, w, []float32{10, 20})
+	if !approx(y.Data[0], 11) || !approx(y.Data[1], 25) {
+		t.Errorf("linear = %v", y.Data)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	x := []float32{1, 2, 3}
+	s := Softmax(x)
+	var sum float32
+	for _, v := range s {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("softmax value %v out of (0,1)", v)
+		}
+		sum += v
+	}
+	if !approx(sum, 1) {
+		t.Errorf("softmax sum = %v", sum)
+	}
+	if !(s[2] > s[1] && s[1] > s[0]) {
+		t.Error("softmax not order-preserving")
+	}
+	// Large values must not overflow.
+	s = Softmax([]float32{1000, 1001, 999})
+	if math.IsNaN(float64(s[0])) {
+		t.Error("softmax overflowed")
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if Argmax([]float32{0.1, 0.7, 0.2}) != 1 {
+		t.Error("argmax wrong")
+	}
+	if Argmax([]float32{5}) != 0 {
+		t.Error("single-element argmax wrong")
+	}
+}
+
+// Property: softmax is invariant to constant shifts.
+func TestSoftmaxShiftInvariant(t *testing.T) {
+	f := func(a, b, c int16, shift int16) bool {
+		x := []float32{float32(a) / 100, float32(b) / 100, float32(c) / 100}
+		y := make([]float32, 3)
+		for i := range x {
+			y[i] = x[i] + float32(shift)/100
+		}
+		sx, sy := Softmax(x), Softmax(y)
+		for i := range sx {
+			if math.Abs(float64(sx[i]-sy[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matmul distributes over addition: (A+B)·C == A·C + B·C.
+func TestMatMulLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 3+rng.Intn(5), 3+rng.Intn(5), 3+rng.Intn(5)
+		mk := func() *Tensor {
+			t := New(m, k)
+			for i := range t.Data {
+				t.Data[i] = rng.Float32() - 0.5
+			}
+			return t
+		}
+		a, b := mk(), mk()
+		c := New(k, n)
+		for i := range c.Data {
+			c.Data[i] = rng.Float32() - 0.5
+		}
+		left := MatMul(Add(a, b), c, m, k, n)
+		right := Add(MatMul(a, c, m, k, n), MatMul(b, c, m, k, n))
+		for i := range left.Data {
+			if !approx(left.Data[i], right.Data[i]) {
+				t.Fatalf("linearity violated at %d", i)
+			}
+		}
+	}
+}

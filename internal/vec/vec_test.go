@@ -1,0 +1,274 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-7 }
+
+func vecAlmostEq(a, b Vec3) bool {
+	return almostEq(a.X, b.X) && almostEq(a.Y, b.Y) && almostEq(a.Z, b.Z)
+}
+
+func TestVec3Arithmetic(t *testing.T) {
+	a := V3(1, 2, 3)
+	b := V3(4, -5, 6)
+	if got := a.Add(b); got != V3(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V3(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V3(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Neg(); got != V3(-1, -2, -3) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := a.Dot(b); got != 1*4-2*5+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Mul(b); got != V3(4, -10, 18) {
+		t.Errorf("Mul = %v", got)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	a := V3(1, 2, 3)
+	b := V3(-2, 0.5, 4)
+	c := a.Cross(b)
+	if !almostEq(c.Dot(a), 0) || !almostEq(c.Dot(b), 0) {
+		t.Errorf("cross product not orthogonal: %v", c)
+	}
+	// Right-handed basis.
+	if got := V3(1, 0, 0).Cross(V3(0, 1, 0)); !vecAlmostEq(got, V3(0, 0, 1)) {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+}
+
+func TestNormUnit(t *testing.T) {
+	v := V3(3, 4, 0)
+	if v.Norm() != 5 {
+		t.Errorf("Norm = %v", v.Norm())
+	}
+	if v.NormSq() != 25 {
+		t.Errorf("NormSq = %v", v.NormSq())
+	}
+	u := v.Unit()
+	if !almostEq(u.Norm(), 1) {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+	if got := Zero3.Unit(); got != Zero3 {
+		t.Errorf("Unit of zero = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	v := V3(10, -10, 0.5).Clamp(1)
+	if v != V3(1, -1, 0.5) {
+		t.Errorf("Clamp = %v", v)
+	}
+	if Clamp(5, 0, 2) != 2 || Clamp(-5, 0, 2) != 0 || Clamp(1, 0, 2) != 1 {
+		t.Error("scalar Clamp broken")
+	}
+}
+
+func TestXYAndFinite(t *testing.T) {
+	if got := V3(1, 2, 3).XY(); got != V3(1, 2, 0) {
+		t.Errorf("XY = %v", got)
+	}
+	if !V3(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V3(math.NaN(), 0, 0).IsFinite() || V3(0, math.Inf(1), 0).IsFinite() {
+		t.Error("non-finite vector reported finite")
+	}
+}
+
+func TestMat3Identity(t *testing.T) {
+	id := Identity3()
+	v := V3(1, 2, 3)
+	if got := id.MulVec(v); got != v {
+		t.Errorf("I·v = %v", got)
+	}
+	m := Mat3{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}}
+	if got := id.Mul(m); got != m {
+		t.Errorf("I·M = %v", got)
+	}
+	if got := m.Mul(id); got != m {
+		t.Errorf("M·I = %v", got)
+	}
+}
+
+func TestMat3Transpose(t *testing.T) {
+	m := Mat3{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	tt := m.Transpose()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if tt[i][j] != m[j][i] {
+				t.Fatalf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestQuatIdentityRotation(t *testing.T) {
+	q := IdentityQuat()
+	v := V3(1, 2, 3)
+	if got := q.Rotate(v); !vecAlmostEq(got, v) {
+		t.Errorf("identity rotate = %v", got)
+	}
+}
+
+func TestQuatAxisAngle(t *testing.T) {
+	// 90° about Z maps X to Y.
+	q := QuatFromAxisAngle(V3(0, 0, 1), math.Pi/2)
+	if got := q.Rotate(V3(1, 0, 0)); !vecAlmostEq(got, V3(0, 1, 0)) {
+		t.Errorf("rotZ(90)·x = %v, want y", got)
+	}
+	// 180° about X maps Z to -Z.
+	q = QuatFromAxisAngle(V3(1, 0, 0), math.Pi)
+	if got := q.Rotate(V3(0, 0, 1)); !vecAlmostEq(got, V3(0, 0, -1)) {
+		t.Errorf("rotX(180)·z = %v", got)
+	}
+}
+
+func TestQuatEulerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		roll := (rng.Float64() - 0.5) * 2
+		pitch := (rng.Float64() - 0.5) * 2 // stay away from gimbal lock
+		yaw := (rng.Float64() - 0.5) * 6
+		q := QuatFromEuler(roll, pitch, yaw)
+		r, p, y := q.Euler()
+		if !almostEq(r, roll) || !almostEq(p, pitch) || math.Abs(WrapAngle(y-yaw)) > 1e-7 {
+			t.Fatalf("round trip (%v,%v,%v) -> (%v,%v,%v)", roll, pitch, yaw, r, p, y)
+		}
+	}
+}
+
+func TestQuatMulComposition(t *testing.T) {
+	// Rotating by q1 then q2 equals rotating by q2·q1.
+	q1 := QuatFromAxisAngle(V3(0, 0, 1), 0.7)
+	q2 := QuatFromAxisAngle(V3(1, 0, 0), -0.3)
+	v := V3(0.2, -1, 0.5)
+	sequential := q2.Rotate(q1.Rotate(v))
+	composed := q2.Mul(q1).Rotate(v)
+	if !vecAlmostEq(sequential, composed) {
+		t.Errorf("composition mismatch: %v vs %v", sequential, composed)
+	}
+}
+
+func TestQuatConjInverse(t *testing.T) {
+	q := QuatFromEuler(0.3, -0.2, 1.1)
+	v := V3(1, 2, 3)
+	back := q.Conj().Rotate(q.Rotate(v))
+	if !vecAlmostEq(back, v) {
+		t.Errorf("q⁻¹(q(v)) = %v, want %v", back, v)
+	}
+}
+
+func TestQuatMatAgreement(t *testing.T) {
+	q := QuatFromEuler(0.5, 0.2, -0.9)
+	v := V3(-1, 0.5, 2)
+	if got, want := q.Mat().MulVec(v), q.Rotate(v); !vecAlmostEq(got, want) {
+		t.Errorf("matrix path %v != quaternion path %v", got, want)
+	}
+}
+
+func TestQuatIntegrate(t *testing.T) {
+	// Integrating constant yaw rate should accumulate yaw ≈ ω·t.
+	q := IdentityQuat()
+	omega := V3(0, 0, 1) // 1 rad/s about body z (≈ world z for level flight)
+	dt := 0.001
+	for i := 0; i < 1000; i++ {
+		q = q.Integrate(omega, dt)
+	}
+	if yaw := q.Yaw(); math.Abs(yaw-1.0) > 1e-3 {
+		t.Errorf("integrated yaw = %v, want ~1.0", yaw)
+	}
+	if !almostEq(q.Norm(), 1) {
+		t.Errorf("integrated quaternion not unit: %v", q.Norm())
+	}
+}
+
+func TestWrapAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-2.5 * math.Pi, -0.5 * math.Pi},
+	}
+	for _, c := range cases {
+		if got := WrapAngle(c.in); math.Abs(got-c.want) > eps {
+			t.Errorf("WrapAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDegConversions(t *testing.T) {
+	if !almostEq(Deg(180), math.Pi) {
+		t.Error("Deg(180) != pi")
+	}
+	if !almostEq(ToDeg(math.Pi/2), 90) {
+		t.Error("ToDeg(pi/2) != 90")
+	}
+	if Lerp(0, 10, 0.25) != 2.5 {
+		t.Error("Lerp broken")
+	}
+}
+
+// Property: rotation preserves vector length.
+func TestQuatRotatePreservesNorm(t *testing.T) {
+	f := func(rollI, pitchI, yawI int8, x, y, z float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) || math.IsNaN(z) || math.IsInf(z, 0) {
+			return true
+		}
+		// Bound magnitudes so float error stays small.
+		v := V3(math.Mod(x, 100), math.Mod(y, 100), math.Mod(z, 100))
+		q := QuatFromEuler(float64(rollI)/40, float64(pitchI)/40, float64(yawI)/40)
+		r := q.Rotate(v)
+		return math.Abs(r.Norm()-v.Norm()) < 1e-6*(1+v.Norm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dot product is invariant under rotation.
+func TestQuatRotatePreservesDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		v := V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		w := V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		q := QuatFromEuler(rng.NormFloat64(), rng.NormFloat64()/2, rng.NormFloat64())
+		if d1, d2 := v.Dot(w), q.Rotate(v).Dot(q.Rotate(w)); math.Abs(d1-d2) > 1e-6*(1+math.Abs(d1)) {
+			t.Fatalf("dot not preserved: %v vs %v", d1, d2)
+		}
+	}
+}
+
+// Property: matrix of a quaternion is orthonormal (MᵀM = I).
+func TestQuatMatOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		q := QuatFromEuler(rng.NormFloat64(), rng.NormFloat64()/2, rng.NormFloat64())
+		m := q.Mat()
+		p := m.Transpose().Mul(m)
+		id := Identity3()
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				if math.Abs(p[r][c]-id[r][c]) > 1e-9 {
+					t.Fatalf("MᵀM != I at (%d,%d): %v", r, c, p[r][c])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package world
+
+import (
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Texture IDs for the two wall sides, chosen so the renderer produces
+// visually distinct left/right surfaces (as the paper's trail environment
+// does via Unreal materials).
+const (
+	TexLeftWall  = 1
+	TexRightWall = 2
+	TexEndWall   = 3
+)
+
+const wallHeight = 8.0
+
+// Tunnel builds the paper's first evaluation environment: a straight corridor
+// 50 m long and 3.2 m wide (Section 4.2.3). Boundaries sit at y = ±1.6 m.
+func Tunnel() *Map {
+	const (
+		length    = 50.0
+		halfWidth = 1.6
+	)
+	m := &Map{
+		Name:      "tunnel",
+		Start:     vec.V3(0, 0, 0),
+		GoalX:     length,
+		HalfWidth: halfWidth,
+		Bounds: Bounds{
+			Min: vec.V3(-10, -20, -1),
+			Max: vec.V3(length+10, 20, 30),
+		},
+		Centerline: func(x float64) (float64, float64) { return 0, 0 },
+	}
+	m.Walls = []Wall{
+		{A: vec.V3(-5, halfWidth, 0), B: vec.V3(length+5, halfWidth, 0), ZMin: 0, ZMax: wallHeight, Texture: TexLeftWall},
+		{A: vec.V3(-5, -halfWidth, 0), B: vec.V3(length+5, -halfWidth, 0), ZMin: 0, ZMax: wallHeight, Texture: TexRightWall},
+		// Back wall behind the start so angled take-offs see geometry.
+		{A: vec.V3(-5, -halfWidth, 0), B: vec.V3(-5, halfWidth, 0), ZMin: 0, ZMax: wallHeight, Texture: TexEndWall},
+	}
+	return m
+}
+
+// SShape builds the paper's second environment: an "S"-shaped corridor of
+// 80 m length, wider than the tunnel but requiring constant correction
+// (Section 4.2.3). A straight lead-in precedes the S so the take-off happens
+// on a straight segment; the centerline then follows A·sin(2π(x−x₀)/L');
+// walls are polylines sampled every sampleStep metres.
+func SShape() *Map {
+	const (
+		length     = 80.0
+		halfWidth  = 3.0
+		amplitude  = 4.0
+		leadIn     = 10.0
+		sampleStep = 2.0
+	)
+	center := func(x float64) (float64, float64) {
+		x = vec.Clamp(x, 0, length)
+		if x < leadIn {
+			return 0, 0
+		}
+		u := (x - leadIn) / (length - leadIn)
+		y := amplitude * math.Sin(2*math.Pi*u)
+		slope := amplitude * 2 * math.Pi / (length - leadIn) * math.Cos(2*math.Pi*u)
+		return y, math.Atan(slope)
+	}
+	m := &Map{
+		Name:      "s-shape",
+		Start:     vec.V3(0, 0, 0),
+		GoalX:     length,
+		HalfWidth: halfWidth,
+		Bounds: Bounds{
+			Min: vec.V3(-10, -30, -1),
+			Max: vec.V3(length+10, 30, 30),
+		},
+		Centerline: center,
+	}
+
+	// Build left/right wall polylines by offsetting the centerline along
+	// its normal.
+	n := int(length/sampleStep) + 1
+	prevL, prevR := offsetPoint(center, 0, halfWidth), offsetPoint(center, 0, -halfWidth)
+	for i := 1; i <= n; i++ {
+		x := float64(i) * sampleStep
+		if x > length {
+			x = length
+		}
+		l, r := offsetPoint(center, x, halfWidth), offsetPoint(center, x, -halfWidth)
+		m.Walls = append(m.Walls,
+			Wall{A: prevL, B: l, ZMin: 0, ZMax: wallHeight, Texture: TexLeftWall},
+			Wall{A: prevR, B: r, ZMin: 0, ZMax: wallHeight, Texture: TexRightWall},
+		)
+		prevL, prevR = l, r
+	}
+	// Back wall.
+	m.Walls = append(m.Walls, Wall{
+		A: offsetPoint(center, 0, -halfWidth), B: offsetPoint(center, 0, halfWidth),
+		ZMin: 0, ZMax: wallHeight, Texture: TexEndWall,
+	})
+	return m
+}
+
+func offsetPoint(center func(float64) (float64, float64), x, off float64) vec.Vec3 {
+	y, h := center(x)
+	// Normal to the heading direction (left side for positive off).
+	nx, ny := -math.Sin(h), math.Cos(h)
+	return vec.V3(x+nx*off, y+ny*off, 0)
+}
+
+// ByName returns a map by its name, or nil if unknown.
+func ByName(name string) *Map {
+	switch name {
+	case "tunnel":
+		return Tunnel()
+	case "s-shape", "sshape":
+		return SShape()
+	}
+	return nil
+}
+
+// Names lists the available environment names.
+func Names() []string { return []string{"tunnel", "s-shape"} }
