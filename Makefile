@@ -1,0 +1,26 @@
+# Developer entry points. The repo is plain `go build ./...`-able; these are
+# conveniences around the common flows.
+
+GO ?= go
+
+.PHONY: build test check bench bench-kernels
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-PR gate: vet + build + race-enabled tests + smoke-run of
+# the hot-path benchmarks. See scripts/check.sh.
+check:
+	sh scripts/check.sh
+
+# bench regenerates every paper table/figure as a benchmark (minutes).
+bench:
+	$(GO) test -bench . -benchmem .
+
+# bench-kernels times just the perf-critical kernels (seconds).
+bench-kernels:
+	$(GO) test -run xxx -bench 'BenchmarkMatMul|BenchmarkConv2D' -benchmem ./internal/tensor/
+	$(GO) test -run xxx -bench 'BenchmarkRender' -benchmem ./internal/render/

@@ -13,6 +13,7 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/config"
 	"repro/internal/dnn"
 	"repro/internal/experiments"
 )
@@ -48,6 +49,35 @@ func runExperiment(b *testing.B, id string, models ...string) {
 				b.Log(l)
 			}
 		}
+	}
+}
+
+// BenchmarkMissionStep measures the closed-loop hot path end to end: each
+// sync quantum renders the FPV frame, exchanges bridge packets, runs DNN
+// inference on the SoC model, and steps physics. Reported both as ns/op for
+// the short mission and ns/quantum for the per-step cost.
+func BenchmarkMissionStep(b *testing.B) {
+	pretrain(b, "ResNet6")
+	spec := experiments.MissionSpec{
+		Map: "tunnel", Model: "ResNet6", HW: config.A,
+		VForward: 3, MaxSimSec: 2,
+	}
+	// Warm the shared trained-model cache and the world registry outside the
+	// timer, then measure steady-state quanta.
+	if _, err := experiments.RunMission(spec); err != nil {
+		b.Fatal(err)
+	}
+	var quanta uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunMission(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		quanta += out.Result.Syncs
+	}
+	if quanta > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(quanta), "ns/quantum")
 	}
 }
 

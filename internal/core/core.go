@@ -116,6 +116,11 @@ type Synchronizer struct {
 	env env.Env
 	rtl RTL
 	cfg Config
+
+	// camBuf is the reused quantization scratch for camera-frame replies
+	// (CamFrame.Marshal copies the pixels, so the buffer is free again as
+	// soon as serve returns).
+	camBuf []byte
 }
 
 // New builds a synchronizer. The environment's frame rate and the config's
@@ -245,7 +250,8 @@ func (s *Synchronizer) serve(p packet.Packet) (*packet.Packet, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: env image: %w", err)
 		}
-		frame, err := packet.CamFrame{W: img.W, H: img.H, Pix: img.Bytes()}.Marshal()
+		s.camBuf = img.BytesInto(s.camBuf)
+		frame, err := packet.CamFrame{W: img.W, H: img.H, Pix: s.camBuf}.Marshal()
 		if err != nil {
 			return nil, err
 		}

@@ -254,7 +254,7 @@ func calibrateLayer(l Layer, xs []*tensor.Tensor) []*tensor.Tensor {
 func forwardAll(l Layer, xs []*tensor.Tensor) []*tensor.Tensor {
 	out := make([]*tensor.Tensor, len(xs))
 	for i, x := range xs {
-		out[i] = l.Forward(x)
+		out[i] = l.Forward(x, nil)
 	}
 	return out
 }

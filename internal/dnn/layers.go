@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/tensor"
 )
@@ -47,8 +48,12 @@ func (o OpDesc) MACs() uint64 {
 
 // Layer is one backbone stage: a functional forward pass plus a timing
 // description under shape propagation.
+//
+// Forward draws scratch and output buffers from ws; a nil ws allocates
+// fresh tensors (the original behavior). The returned tensor is ws-owned —
+// callers release it with ws.Put once consumed. Inputs are never written.
 type Layer interface {
-	Forward(x *tensor.Tensor) *tensor.Tensor
+	Forward(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor
 	// Describe returns the layer's operations for input shape (c,h,w) and
 	// the output shape.
 	Describe(c, h, w int) ([]OpDesc, [3]int)
@@ -62,6 +67,13 @@ type Conv struct {
 	Bias   []float32
 	Stride int
 	Pad    int
+
+	// wt caches ConvWeightT(W), rebuilt lazily after gob decoding (gob skips
+	// unexported fields). Conv weights are frozen after construction, so the
+	// cache never goes stale; the Once makes concurrent first use safe when
+	// a trained net is shared across inference goroutines.
+	wt     *tensor.Tensor
+	wtOnce sync.Once
 }
 
 // NewConv builds a conv layer with He-normal weights from rng.
@@ -74,9 +86,15 @@ func NewConv(rng *rand.Rand, outC, inC, k, stride, pad int) *Conv {
 	return &Conv{W: w, Bias: make([]float32, outC), Stride: stride, Pad: pad}
 }
 
+// weightT returns the cached [inC*KH*KW, outC] transpose of W.
+func (l *Conv) weightT() *tensor.Tensor {
+	l.wtOnce.Do(func() { l.wt = tensor.ConvWeightT(l.W) })
+	return l.wt
+}
+
 // Forward implements Layer.
-func (l *Conv) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return tensor.Conv2D(x, l.W, l.Bias, l.Stride, l.Pad)
+func (l *Conv) Forward(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	return tensor.Conv2DWS(ws, x, l.W, l.weightT(), l.Bias, l.Stride, l.Pad)
 }
 
 // Describe implements Layer.
@@ -116,8 +134,10 @@ func NewBatchNorm(c int) *BatchNorm {
 }
 
 // Forward implements Layer.
-func (l *BatchNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return tensor.BatchNorm(x, l.Gamma, l.Beta, l.Mean, l.Var, 1e-5)
+func (l *BatchNorm) Forward(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	out := ws.Get(x.Shape...)
+	tensor.BatchNormInto(out, x, l.Gamma, l.Beta, l.Mean, l.Var, 1e-5)
+	return out
 }
 
 // Describe implements Layer.
@@ -129,7 +149,11 @@ func (l *BatchNorm) Describe(c, h, w int) ([]OpDesc, [3]int) {
 type ReLU struct{}
 
 // Forward implements Layer.
-func (ReLU) Forward(x *tensor.Tensor) *tensor.Tensor { return tensor.ReLU(x) }
+func (ReLU) Forward(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	out := ws.Get(x.Shape...)
+	tensor.ReLUInto(out, x)
+	return out
+}
 
 // Describe implements Layer.
 func (ReLU) Describe(c, h, w int) ([]OpDesc, [3]int) {
@@ -140,8 +164,11 @@ func (ReLU) Describe(c, h, w int) ([]OpDesc, [3]int) {
 type MaxPool struct{ K, S int }
 
 // Forward implements Layer.
-func (l *MaxPool) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return tensor.MaxPool2D(x, l.K, l.S)
+func (l *MaxPool) Forward(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	out := ws.Get(c, (h-l.K)/l.S+1, (w-l.K)/l.S+1)
+	tensor.MaxPool2DInto(out, x, l.K, l.S)
+	return out
 }
 
 // Describe implements Layer.
@@ -188,18 +215,27 @@ func NewBlock(rng *rand.Rand, inC, outC, stride int) *Block {
 	return b
 }
 
-// Forward implements Layer.
-func (b *Block) Forward(x *tensor.Tensor) *tensor.Tensor {
-	y := b.Conv1.Forward(x)
-	y = b.BN1.Forward(y)
-	y = tensor.ReLU(y)
-	y = b.Conv2.Forward(y)
-	y = b.BN2.Forward(y)
+// Forward implements Layer. Intermediate activations are ws-owned, so BN,
+// ReLU, and the residual add run in place on them (bit-identical to the
+// out-of-place formulation — same per-element operations and order).
+func (b *Block) Forward(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	y := b.Conv1.Forward(x, ws)
+	tensor.BatchNormInto(y, y, b.BN1.Gamma, b.BN1.Beta, b.BN1.Mean, b.BN1.Var, 1e-5)
+	tensor.ReLUInto(y, y)
+	z := b.Conv2.Forward(y, ws)
+	tensor.BatchNormInto(z, z, b.BN2.Gamma, b.BN2.Beta, b.BN2.Mean, b.BN2.Var, 1e-5)
+	ws.Put(y)
 	short := x
 	if b.Down != nil {
-		short = b.DownBN.Forward(b.Down.Forward(x))
+		short = b.Down.Forward(x, ws)
+		tensor.BatchNormInto(short, short, b.DownBN.Gamma, b.DownBN.Beta, b.DownBN.Mean, b.DownBN.Var, 1e-5)
 	}
-	return tensor.ReLU(tensor.Add(y, short))
+	tensor.AddInto(z, z, short)
+	tensor.ReLUInto(z, z)
+	if short != x {
+		ws.Put(short)
+	}
+	return z
 }
 
 // Describe implements Layer.

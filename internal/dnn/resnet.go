@@ -3,6 +3,7 @@ package dnn
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/tensor"
 )
@@ -23,6 +24,12 @@ type Net struct {
 	PoolGX      int
 	HeadLateral *Dense
 	HeadAngular *Dense
+
+	// featDim caches FeatureDim (a shape-propagation walk over the whole
+	// backbone), rebuilt lazily after gob decoding. The backbone topology is
+	// fixed after construction, so the cache never goes stale.
+	featDim  int
+	featOnce sync.Once
 }
 
 // Output is one inference result: softmax class probabilities.
@@ -79,27 +86,63 @@ func (n *Net) TapDims() []int {
 	return dims
 }
 
+// featureDim is FeatureDim with the result cached after the first call.
+func (n *Net) featureDim() int {
+	n.featOnce.Do(func() { n.featDim = n.FeatureDim() })
+	return n.featDim
+}
+
 // Features runs the backbone, pooling each tapped activation into the
 // concatenated hypercolumn feature vector.
 func (n *Net) Features(img *tensor.Tensor) *tensor.Tensor {
+	return n.FeaturesWS(nil, img)
+}
+
+// FeaturesWS is Features drawing all activation and output buffers from ws
+// (nil ws allocates, matching Features). The returned feature vector is
+// ws-owned; results are bit-identical to the allocating path. ws must not be
+// shared across goroutines — use one workspace per inference goroutine.
+func (n *Net) FeaturesWS(ws *tensor.Workspace, img *tensor.Tensor) *tensor.Tensor {
+	f := ws.Get(n.featureDim())
+	off := 0
 	x := img
-	var feats []float32
 	for i, l := range n.Backbone {
-		x = l.Forward(x)
+		y := l.Forward(x, ws)
+		if x != img {
+			ws.Put(x)
+		}
+		x = y
 		if n.tapped(i) {
-			pooled := tensor.AvgPoolGrid(x, n.PoolGY, n.PoolGX)
-			feats = append(feats, pooled.Data...)
+			pooled := ws.Get(x.Shape[0], n.PoolGY, n.PoolGX)
+			tensor.AvgPoolGridInto(pooled, x, n.PoolGY, n.PoolGX)
+			off += copy(f.Data[off:], pooled.Data)
+			ws.Put(pooled)
 		}
 	}
-	return tensor.FromSlice(feats, len(feats))
+	if x != img {
+		ws.Put(x)
+	}
+	return f
 }
 
 // Forward runs a full inference: backbone, pool, both heads, softmax.
 func (n *Net) Forward(img *tensor.Tensor) Output {
-	f := n.Features(img)
+	return n.ForwardWS(nil, img)
+}
+
+// ForwardWS is Forward using ws for every intermediate buffer; after warm-up
+// a reused workspace makes inference allocation-free. Bit-identical to
+// Forward.
+func (n *Net) ForwardWS(ws *tensor.Workspace, img *tensor.Tensor) Output {
+	f := n.FeaturesWS(ws, img)
+	logits := ws.Get(3)
 	var out Output
-	copy(out.Lateral[:], tensor.Softmax(n.HeadLateral.Forward(f).Data))
-	copy(out.Angular[:], tensor.Softmax(n.HeadAngular.Forward(f).Data))
+	tensor.LinearInto(logits, f, n.HeadLateral.W, n.HeadLateral.B)
+	tensor.SoftmaxInto(out.Lateral[:], logits.Data)
+	tensor.LinearInto(logits, f, n.HeadAngular.W, n.HeadAngular.B)
+	tensor.SoftmaxInto(out.Angular[:], logits.Data)
+	ws.Put(logits)
+	ws.Put(f)
 	return out
 }
 

@@ -43,8 +43,15 @@ func ExtractFeatures(n *Net, images []*tensor.Tensor) []*tensor.Tensor {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One workspace per goroutine: backbone scratch is recycled
+			// across images instead of reallocated per forward pass. Only
+			// the returned feature vector outlives the loop iteration, so
+			// it is copied out and its buffer returned to the pool.
+			ws := tensor.NewWorkspace()
 			for i := range idx {
-				out[i] = n.Features(images[i])
+				f := n.FeaturesWS(ws, images[i])
+				out[i] = f.Clone()
+				ws.Put(f)
 			}
 		}()
 	}

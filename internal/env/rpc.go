@@ -25,6 +25,10 @@ type Server struct {
 	mu  sync.Mutex
 	sim *Sim
 	ln  net.Listener
+
+	// camBuf is the reused quantization scratch for camera replies,
+	// guarded by mu (CamFrame.Marshal copies the pixels out).
+	camBuf []byte
 }
 
 // NewServer wraps a simulator and listens on addr (e.g. ":41451", the
@@ -115,7 +119,8 @@ func (s *Server) handle(req packet.Packet) packet.Packet {
 		if err != nil {
 			return errPacket(err)
 		}
-		frame, err := packet.CamFrame{W: img.W, H: img.H, Pix: img.Bytes()}.Marshal()
+		s.camBuf = img.BytesInto(s.camBuf)
+		frame, err := packet.CamFrame{W: img.W, H: img.H, Pix: s.camBuf}.Marshal()
 		if err != nil {
 			return errPacket(err)
 		}

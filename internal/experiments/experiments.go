@@ -6,6 +6,8 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/app"
 	"repro/internal/config"
@@ -151,6 +153,55 @@ func RunMission(spec MissionSpec) (*MissionOutcome, error) {
 // tool runs full mode.
 type Options struct {
 	Quick bool
+	// Workers bounds how many missions of a sweep run concurrently
+	// (0 = GOMAXPROCS, 1 = serial). Each mission owns its simulator, SoC
+	// machine, and inference workspace, so results are independent of the
+	// worker count; outcomes are collected by sweep index, making report
+	// lines byte-identical to a serial run.
+	Workers int
+}
+
+// runMissions executes the specs on a bounded worker pool and returns the
+// outcomes indexed exactly like specs. Every spec is attempted; the first
+// error in spec order (not completion order) is returned, keeping failure
+// reporting deterministic too.
+func runMissions(specs []MissionSpec, workers int) ([]*MissionOutcome, error) {
+	outs := make([]*MissionOutcome, len(specs))
+	errs := make([]error, len(specs))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i, sp := range specs {
+			outs[i], errs[i] = RunMission(sp)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					outs[i], errs[i] = RunMission(specs[i])
+				}
+			}()
+		}
+		for i := range specs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
 }
 
 // maxSimSec returns the mission budget under the options.

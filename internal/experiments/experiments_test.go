@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"os"
 	"testing"
 
@@ -175,5 +176,68 @@ func TestAblationQueueQuick(t *testing.T) {
 	}
 	if inf.Y[len(inf.Y)-1] < 10 {
 		t.Errorf("adequate queue completed only %v inferences", inf.Y[len(inf.Y)-1])
+	}
+}
+
+// TestRunMissionsParallelByteIdentical runs the same sweep through the
+// serial path and the bounded worker pool and requires the derived report
+// lines — formatted exactly as the figure harnesses format theirs — to be
+// byte-identical, along with every trajectory sample bit.
+func TestRunMissionsParallelByteIdentical(t *testing.T) {
+	var specs []MissionSpec
+	for _, yaw := range []float64{-15, 0, 10, 20} {
+		specs = append(specs, MissionSpec{
+			Map: "tunnel", Model: "ResNet6", HW: config.A,
+			VForward: 3, StartYawDeg: yaw, MaxSimSec: 4,
+		})
+	}
+	lines := func(outs []*MissionOutcome) []string {
+		var ls []string
+		for i, out := range outs {
+			ls = append(ls, fmt.Sprintf("yaw %+3.0f°: completed=%-5v mission=%6.2fs collisions=%d infs=%d meanLat=%.6fms",
+				specs[i].StartYawDeg, out.Result.Completed, out.Result.MissionTimeSec,
+				out.Result.Collisions, len(out.Inferences), meanLatencyMS(out)))
+		}
+		return ls
+	}
+	serial, err := runMissions(specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lines(serial)
+	for _, workers := range []int{2, 3, len(specs) + 2} {
+		par, err := runMissions(specs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := lines(par)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d line %d:\n got %q\nwant %q", workers, i, got[i], want[i])
+			}
+		}
+		for i := range serial {
+			a, b := serial[i].Result.Trajectory, par[i].Result.Trajectory
+			if len(a) != len(b) {
+				t.Fatalf("workers=%d mission %d: trajectory length %d vs %d", workers, i, len(b), len(a))
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("workers=%d mission %d sample %d: %+v vs %+v", workers, i, j, b[j], a[j])
+				}
+			}
+		}
+	}
+}
+
+// TestRunMissionsPropagatesError checks a failing spec surfaces its error
+// deterministically (first failure in spec order) from the parallel pool.
+func TestRunMissionsPropagatesError(t *testing.T) {
+	specs := []MissionSpec{
+		{Map: "tunnel", Model: "ResNet6", HW: config.A, VForward: 3, MaxSimSec: 2},
+		{Map: "nowhere", Model: "ResNet6", HW: config.A, VForward: 3, MaxSimSec: 2},
+	}
+	if _, err := runMissions(specs, 3); err == nil {
+		t.Fatal("bad spec did not propagate an error")
 	}
 }

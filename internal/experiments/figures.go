@@ -61,29 +61,36 @@ func Figure10(opt Options) (*Report, error) {
 		Trajectories: map[string][]env.Telemetry{},
 	}
 	yaws := []float64{-20, 0, 20}
+	var specs []MissionSpec
+	var hws []config.HW
 	for _, hw := range config.All() {
 		for _, yaw := range yaws {
 			maxSec := opt.maxSimSec()
 			if hw.Name == "C" && opt.Quick {
 				maxSec = 15 // config C only needs long enough to show failure
 			}
-			out, err := RunMission(MissionSpec{
+			specs = append(specs, MissionSpec{
 				Map: "tunnel", Model: "ResNet14", HW: hw,
 				VForward: 3, StartYawDeg: yaw, MaxSimSec: maxSec,
 			})
-			if err != nil {
-				return nil, err
-			}
-			key := fmt.Sprintf("config%s_yaw%+.0f", hw.Name, yaw)
-			r.Trajectories[key] = out.Result.Trajectory
-			s := telemetry.Series{Name: key}
-			for _, t := range out.Result.Trajectory {
-				s.Add(t.Pos.X, t.Pos.Y)
-			}
-			r.Series = append(r.Series, s)
-			r.line("config %s  yaw %+3.0f°: completed=%-5v mission=%6.2fs collisions=%d",
-				hw.Name, yaw, out.Result.Completed, out.Result.MissionTimeSec, out.Result.Collisions)
+			hws = append(hws, hw)
 		}
+	}
+	outs, err := runMissions(specs, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range outs {
+		hw, yaw := hws[i], specs[i].StartYawDeg
+		key := fmt.Sprintf("config%s_yaw%+.0f", hw.Name, yaw)
+		r.Trajectories[key] = out.Result.Trajectory
+		s := telemetry.Series{Name: key}
+		for _, t := range out.Result.Trajectory {
+			s.Add(t.Pos.X, t.Pos.Y)
+		}
+		r.Series = append(r.Series, s)
+		r.line("config %s  yaw %+3.0f°: completed=%-5v mission=%6.2fs collisions=%d",
+			hw.Name, yaw, out.Result.Completed, out.Result.MissionTimeSec, out.Result.Collisions)
 	}
 	return r, nil
 }
@@ -97,14 +104,19 @@ func Figure11(opt Options) (*Report, error) {
 		Title:        "Figure 11: trajectories across DNN architectures (s-shape, 9 m/s)",
 		Trajectories: map[string][]env.Telemetry{},
 	}
+	var specs []MissionSpec
 	for _, name := range dnn.Variants() {
-		out, err := RunMission(MissionSpec{
+		specs = append(specs, MissionSpec{
 			Map: "s-shape", Model: name, HW: config.A,
 			VForward: 9, MaxSimSec: opt.maxSimSec(),
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	outs, err := runMissions(specs, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range outs {
+		name := specs[i].Model
 		r.Trajectories[name] = out.Result.Trajectory
 		s := telemetry.Series{Name: name + "_lateral"}
 		for _, t := range out.Result.Trajectory {
@@ -129,14 +141,19 @@ func Figure12(opt Options) (*Report, error) {
 	}
 	mt := telemetry.Series{Name: "mission_time_s"}
 	cc := telemetry.Series{Name: "collisions"}
+	var specs []MissionSpec
 	for _, v := range []float64{6, 9, 12} {
-		out, err := RunMission(MissionSpec{
+		specs = append(specs, MissionSpec{
 			Map: "s-shape", Model: "ResNet14", HW: config.A,
 			VForward: v, MaxSimSec: opt.maxSimSec(),
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	outs, err := runMissions(specs, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range outs {
+		v := specs[i].VForward
 		key := fmt.Sprintf("v%.0f", v)
 		r.Trajectories[key] = out.Result.Trajectory
 		mt.Add(v, out.Result.MissionTimeSec)
@@ -192,18 +209,27 @@ func Figure14(opt Options) (*Report, error) {
 		ID:    "figure14",
 		Title: "Figure 14: HW/SW co-design sweep (s-shape, 9 m/s)",
 	}
-	for _, hw := range []config.HW{config.A, config.B} {
-		mt := telemetry.Series{Name: "mission_time_" + hw.Core.String()}
-		av := telemetry.Series{Name: "avg_velocity_" + hw.Core.String()}
-		af := telemetry.Series{Name: "activity_" + hw.Core.String()}
-		for i, name := range dnn.Variants() {
-			out, err := RunMission(MissionSpec{
+	hws := []config.HW{config.A, config.B}
+	variants := dnn.Variants()
+	var specs []MissionSpec
+	for _, hw := range hws {
+		for _, name := range variants {
+			specs = append(specs, MissionSpec{
 				Map: "s-shape", Model: name, HW: hw,
 				VForward: 9, MaxSimSec: opt.maxSimSec(),
 			})
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	outs, err := runMissions(specs, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for h, hw := range hws {
+		mt := telemetry.Series{Name: "mission_time_" + hw.Core.String()}
+		av := telemetry.Series{Name: "avg_velocity_" + hw.Core.String()}
+		af := telemetry.Series{Name: "activity_" + hw.Core.String()}
+		for i, name := range variants {
+			out := outs[h*len(variants)+i]
 			mt.Add(float64(i), out.Result.MissionTimeSec)
 			av.Add(float64(i), out.Result.AvgVelocity)
 			af.Add(float64(i), out.Result.SoC.ActivityFactor())
@@ -304,15 +330,20 @@ func Figure16(opt Options) (*Report, error) {
 	if opt.Quick {
 		grans = []uint64{10_000_000, 100_000_000, 400_000_000}
 	}
+	var specs []MissionSpec
 	for _, g := range grans {
-		out, err := RunMission(MissionSpec{
+		specs = append(specs, MissionSpec{
 			Map: "tunnel", Model: "ResNet14", HW: config.A,
 			VForward: 3, StartYawDeg: 20, SyncCycles: g,
 			MaxSimSec: opt.maxSimSec(),
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	outs, err := runMissions(specs, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range outs {
+		g := grans[i]
 		key := fmt.Sprintf("sync%dM", g/1_000_000)
 		r.Trajectories[key] = out.Result.Trajectory
 		ms := meanLatencyMS(out)

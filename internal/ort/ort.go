@@ -21,10 +21,13 @@ import (
 )
 
 // Session is one loaded model ready to execute on a simulated SoC.
+// A Session may not be shared between goroutines: Run reuses a per-session
+// inference workspace. Each concurrent mission owns its own sessions.
 type Session struct {
 	net *dnn.Net
 	gem gemmini.Config
 	ops []dnn.OpDesc
+	ws  *tensor.Workspace
 
 	// perRunOverheadInstrs models runtime bookkeeping per inference
 	// (graph traversal, allocator, syscall overhead).
@@ -49,6 +52,7 @@ func NewSession(net *dnn.Net, gem gemmini.Config) (*Session, error) {
 		net:                  net,
 		gem:                  gem,
 		ops:                  net.Describe(),
+		ws:                   tensor.NewWorkspace(),
 		perRunOverheadInstrs: 400_000,
 		perOpOverheadInstrs:  15_000,
 	}, nil
@@ -95,7 +99,7 @@ func (s *Session) Predict(core soc.CoreParams, params soc.Params, hasGemmini boo
 // is charged to the engine op by op, so synchronization boundaries can land
 // mid-inference exactly as they would in RTL simulation.
 func (s *Session) Run(rt *soc.Runtime, input *tensor.Tensor) dnn.Output {
-	out := s.net.Forward(input)
+	out := s.net.ForwardWS(s.ws, input)
 	core := rt.Core()
 	params := rt.Params()
 	scale := params.WorkloadScale

@@ -1,0 +1,62 @@
+package render
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/world"
+)
+
+// TestRenderBandsBitIdentical forces the row-band parallel ray caster (which
+// the pixel-count threshold and GOMAXPROCS may keep off in CI) and checks it
+// against the serial scanline loop bit for bit, across worker counts that do
+// and do not divide the row count evenly.
+func TestRenderBandsBitIdentical(t *testing.T) {
+	m := world.SShape()
+	cam := DefaultCamera(64, 48)
+	pose := levelPose(vec.V3(12, 0.5, 1.4), 0.3)
+
+	want := NewImage(cam.W, cam.H)
+	cam.renderRows(m, pose, want, 0, cam.H)
+
+	for _, workers := range []int{2, 3, 5, 7, cam.H, cam.H + 9} {
+		got := NewImage(cam.W, cam.H)
+		cam.renderBands(m, pose, got, workers)
+		for i := range want.Pix {
+			if math.Float32bits(got.Pix[i]) != math.Float32bits(want.Pix[i]) {
+				t.Fatalf("workers=%d pixel %d = %v, want %v", workers, i, got.Pix[i], want.Pix[i])
+			}
+		}
+	}
+}
+
+// TestBytesIntoReusesBuffer checks BytesInto matches Bytes and recycles a
+// caller buffer with sufficient capacity instead of allocating.
+func TestBytesIntoReusesBuffer(t *testing.T) {
+	im := NewImage(8, 6)
+	for i := range im.Pix {
+		im.Pix[i] = float32(i) / 40
+	}
+	want := im.Bytes()
+
+	scratch := make([]byte, 0, len(im.Pix)+5)
+	got := im.BytesInto(scratch)
+	if len(got) != len(want) {
+		t.Fatalf("BytesInto len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Error("BytesInto did not reuse the caller's buffer")
+	}
+
+	// Too-small buffers must be replaced, not overrun.
+	small := im.BytesInto(make([]byte, 3))
+	if len(small) != len(want) {
+		t.Fatalf("grown buffer len = %d, want %d", len(small), len(want))
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/vec"
 	"repro/internal/world"
@@ -39,7 +41,17 @@ func (im *Image) Set(x, y int, v float32) { im.Pix[y*im.W+x] = v }
 // Bytes returns the image quantized to 8-bit grayscale — the representation
 // transmitted over the RoSÉ bridge I/O queues.
 func (im *Image) Bytes() []byte {
-	out := make([]byte, len(im.Pix))
+	return im.BytesInto(nil)
+}
+
+// BytesInto quantizes into dst when it has sufficient capacity, growing it
+// otherwise, and returns the filled slice. Transmit paths pass a per-link
+// scratch buffer to avoid a per-frame allocation.
+func (im *Image) BytesInto(dst []byte) []byte {
+	if cap(dst) < len(im.Pix) {
+		dst = make([]byte, len(im.Pix))
+	}
+	dst = dst[:len(im.Pix)]
 	for i, p := range im.Pix {
 		v := p * 255
 		if v < 0 {
@@ -47,9 +59,9 @@ func (im *Image) Bytes() []byte {
 		} else if v > 255 {
 			v = 255
 		}
-		out[i] = byte(v)
+		dst[i] = byte(v)
 	}
-	return out
+	return dst
 }
 
 // FromBytes reconstructs an image from its 8-bit representation.
@@ -112,15 +124,57 @@ func (c Camera) Render(m *world.Map, pose Pose) *Image {
 	return im
 }
 
+// renderParallelPixels is the W·H threshold above which RenderInto splits the
+// frame into per-core row bands. Small thumbnails stay serial: goroutine
+// startup would cost more than the rays.
+const renderParallelPixels = 2048
+
 // RenderInto draws into an existing image (must match the camera dimensions),
-// avoiding per-frame allocation in tight simulation loops.
+// avoiding per-frame allocation in tight simulation loops. Large frames are
+// ray-cast in parallel by row bands; every pixel is a pure function of the
+// pose and world, so the output is identical to a serial render.
 func (c Camera) RenderInto(m *world.Map, pose Pose, im *Image) {
 	if im.W != c.W || im.H != c.H {
 		panic("render: image dimensions do not match camera")
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 1 && c.W*c.H >= renderParallelPixels {
+		c.renderBands(m, pose, im, workers)
+		return
+	}
+	c.renderRows(m, pose, im, 0, c.H)
+}
+
+// renderBands fans row bands out across the given number of workers. Bands
+// write disjoint rows, so no synchronization beyond the final join is needed.
+func (c Camera) renderBands(m *world.Map, pose Pose, im *Image, workers int) {
+	if workers > c.H {
+		workers = c.H
+	}
+	var wg sync.WaitGroup
+	base, rem := c.H/workers, c.H%workers
+	y0 := 0
+	for w := 0; w < workers; w++ {
+		rows := base
+		if w < rem {
+			rows++
+		}
+		y1 := y0 + rows
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			c.renderRows(m, pose, im, lo, hi)
+		}(y0, y1)
+		y0 = y1
+	}
+	wg.Wait()
+}
+
+// renderRows ray-casts pixel rows [y0, y1).
+func (c Camera) renderRows(m *world.Map, pose Pose, im *Image, y0, y1 int) {
 	halfW := math.Tan(vec.Deg(c.FOVDeg) / 2)
 	halfH := halfW * float64(c.H) / float64(c.W)
-	for y := 0; y < c.H; y++ {
+	for y := y0; y < y1; y++ {
 		// v from +halfH (top) to −halfH (bottom).
 		v := halfH * (1 - 2*(float64(y)+0.5)/float64(c.H))
 		for x := 0; x < c.W; x++ {

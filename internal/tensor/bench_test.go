@@ -24,6 +24,34 @@ func BenchmarkMatMul(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMulSerial pins the GEMM to the serial blocked kernel,
+// isolating the tiling + SIMD gain from row-band parallelism.
+func BenchmarkMatMulSerial(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randTensor(rng, 768, 144)
+	w := randTensor(rng, 144, 64)
+	c := New(768, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matMulRows(c.Data, a.Data, w.Data, 0, 768, 144, 64)
+	}
+}
+
+// BenchmarkMatMulParallel forces the row-band fan-out at 4 workers
+// regardless of GOMAXPROCS, for a like-for-like pair with the serial run.
+func BenchmarkMatMulParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randTensor(rng, 768, 144)
+	w := randTensor(rng, 144, 64)
+	c := New(768, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matMulParallel(c.Data, a.Data, w.Data, 768, 144, 64, 4)
+	}
+}
+
 // BenchmarkConv2D measures a representative mid-network convolution.
 func BenchmarkConv2D(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
@@ -32,5 +60,22 @@ func BenchmarkConv2D(b *testing.B) {
 	bias := make([]float32, 32)
 	for i := 0; i < b.N; i++ {
 		Conv2D(x, w, bias, 1, 1)
+	}
+}
+
+// BenchmarkConv2DWorkspace is the zero-alloc inference path: recycled
+// scratch, precomputed weight transpose. Allocs/op must stay ≤ 1.
+func BenchmarkConv2DWorkspace(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := randTensor(rng, 32, 12, 16)
+	w := randTensor(rng, 32, 32, 3, 3)
+	wt := ConvWeightT(w)
+	bias := make([]float32, 32)
+	ws := NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := Conv2DWS(ws, x, w, wt, bias, 1, 1)
+		ws.Put(out)
 	}
 }

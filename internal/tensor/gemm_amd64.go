@@ -1,0 +1,21 @@
+//go:build amd64 && !noasm
+
+package tensor
+
+// sgemm2x8 computes one 2-row × 8-column tile of C over a K panel:
+//
+//	c0[0:8] (+)= Σ_kk a0[kk] · b[kk·n : kk·n+8]
+//	c1[0:8] (+)= Σ_kk a1[kk] · b[kk·n : kk·n+8]
+//
+// for kk in [0, k). a0/a1 point at the panel's first A elements, b at the
+// panel's first B row offset to the tile's column, c0/c1 at the tile's two C
+// rows. n is the row stride of B in elements; k must be ≥ 1. When acc is
+// false the tile overwrites C, otherwise it accumulates into it (the C values
+// are loaded before the K loop, so per-element summation order stays strictly
+// k-ascending across panels — results are bit-identical to the scalar
+// kernel, which performs the same IEEE-754 single ops per lane).
+//
+//go:noescape
+func sgemm2x8(k, n int, a0, a1, b, c0, c1 *float32, acc bool)
+
+const gemmHasAsm = true

@@ -1,0 +1,170 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// GEMM kernel tuning constants. The kernel is cache-blocked over the shared
+// K dimension (panels of B stay L1-resident while every row tile consumes
+// them) with a gemmMR×gemmNR register tile in the inner loop (the SIMD
+// microkernel sgemm2x8 on amd64, a scalar twin elsewhere). Per output
+// element the summation order over K is strictly ascending in every code
+// path — serial, blocked, and parallel — so results are bit-identical
+// regardless of tiling or worker count.
+const (
+	gemmMR = 2   // rows of A accumulated per register tile
+	gemmNR = 8   // columns of B accumulated per register tile
+	gemmKC = 256 // K-panel height kept hot in L1
+
+	// gemmParallelMACs is the m·k·n threshold above which MatMulInto fans
+	// row panels out across cores; below it (e.g. the 1×K×3 head GEMMs)
+	// goroutine overhead would dominate and the serial kernel runs inline.
+	gemmParallelMACs = 1 << 18
+)
+
+// MatMul computes C[M×N] = A[M×K] · B[K×N] into a fresh tensor. A and B are
+// interpreted as 2-D row-major matrices regardless of their declared shapes;
+// lengths must match. This is the kernel whose timing internal/gemmini
+// prices.
+func MatMul(a, b *Tensor, m, k, n int) *Tensor {
+	c := New(m, n)
+	MatMulInto(c, a, b, m, k, n)
+	return c
+}
+
+// MatMulInto computes C = A·B into dst, which must hold at least m*n
+// elements. Every element of dst[:m*n] is overwritten; no zeroing is
+// required beforehand. Large products are computed in parallel across row
+// panels (each goroutine owns disjoint rows of C, so per-element summation
+// order — and therefore the bit pattern of the result — is identical to the
+// serial kernel).
+func MatMulInto(dst, a, b *Tensor, m, k, n int) {
+	if len(a.Data) != m*k || len(b.Data) != k*n {
+		panic(fmt.Sprintf("tensor: matmul %dx%d · %dx%d with %d/%d elements",
+			m, k, k, n, len(a.Data), len(b.Data)))
+	}
+	if len(dst.Data) < m*n {
+		panic(fmt.Sprintf("tensor: matmul dst holds %d elements, need %d", len(dst.Data), m*n))
+	}
+	if k == 0 {
+		for i := range dst.Data[:m*n] {
+			dst.Data[i] = 0
+		}
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 1 && m*k*n >= gemmParallelMACs && m >= 2*gemmMR {
+		matMulParallel(dst.Data, a.Data, b.Data, m, k, n, workers)
+		return
+	}
+	matMulRows(dst.Data, a.Data, b.Data, 0, m, k, n)
+}
+
+// matMulParallel splits the row range into one contiguous band per worker.
+// Bands are disjoint, so no synchronization beyond the final join is needed
+// and the output is bit-identical to the serial kernel.
+func matMulParallel(cd, ad, bd []float32, m, k, n, workers int) {
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	base, rem := m/workers, m%workers
+	i0 := 0
+	for w := 0; w < workers; w++ {
+		rows := base
+		if w < rem {
+			rows++
+		}
+		i1 := i0 + rows
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRows(cd, ad, bd, lo, hi, k, n)
+		}(i0, i1)
+		i0 = i1
+	}
+	wg.Wait()
+}
+
+// matMulRows computes rows [i0, i1) of C. The K dimension is processed in
+// gemmKC panels: the first panel overwrites C (so callers never pre-zero),
+// subsequent panels accumulate into it. Within a panel, 2×8 register tiles
+// run through the SIMD microkernel; row/column remainders use scalar loops
+// with the same per-element summation order.
+func matMulRows(cd, ad, bd []float32, i0, i1, k, n int) {
+	for k0 := 0; k0 < k; k0 += gemmKC {
+		k1 := k0 + gemmKC
+		if k1 > k {
+			k1 = k
+		}
+		acc := k0 > 0
+		kc := k1 - k0
+		i := i0
+		for ; i+gemmMR <= i1; i += gemmMR {
+			a0 := ad[i*k+k0 : i*k+k1 : i*k+k1]
+			a1 := ad[(i+1)*k+k0 : (i+1)*k+k1 : (i+1)*k+k1]
+			c0 := cd[i*n : (i+1)*n : (i+1)*n]
+			c1 := cd[(i+1)*n : (i+2)*n : (i+2)*n]
+			j := 0
+			for ; j+gemmNR <= n; j += gemmNR {
+				sgemm2x8(kc, n, &a0[0], &a1[0], &bd[k0*n+j], &c0[j], &c1[j], acc)
+			}
+			for ; j < n; j++ {
+				var s0, s1 float32
+				if acc {
+					s0, s1 = c0[j], c1[j]
+				}
+				p := k0*n + j
+				for kk := 0; kk < kc; kk++ {
+					bv := bd[p]
+					p += n
+					s0 += a0[kk] * bv
+					s1 += a1[kk] * bv
+				}
+				c0[j], c1[j] = s0, s1
+			}
+		}
+		for ; i < i1; i++ {
+			matMulTile1(cd, ad, bd, i, k0, k1, k, n, acc)
+		}
+	}
+}
+
+// matMulTile1 computes a single row of C for one K panel (the remainder of
+// the 2-row stripes, and small-M GEMMs like the classifier heads).
+func matMulTile1(cd, ad, bd []float32, i, k0, k1, k, n int, acc bool) {
+	arow := ad[i*k+k0 : i*k+k1 : i*k+k1]
+	crow := cd[i*n : (i+1)*n : (i+1)*n]
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		var s0, s1, s2, s3 float32
+		if acc {
+			s0, s1, s2, s3 = crow[j], crow[j+1], crow[j+2], crow[j+3]
+		}
+		p := k0*n + j
+		for kk := 0; kk < k1-k0; kk++ {
+			bq := bd[p : p+4 : p+4]
+			p += n
+			av := arow[kk]
+			s0 += av * bq[0]
+			s1 += av * bq[1]
+			s2 += av * bq[2]
+			s3 += av * bq[3]
+		}
+		crow[j], crow[j+1], crow[j+2], crow[j+3] = s0, s1, s2, s3
+	}
+	for ; j < n; j++ {
+		var s float32
+		if acc {
+			s = crow[j]
+		}
+		p := k0*n + j
+		for kk := 0; kk < k1-k0; kk++ {
+			s += arow[kk] * bd[p]
+			p += n
+		}
+		crow[j] = s
+	}
+}

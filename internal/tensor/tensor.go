@@ -4,7 +4,10 @@
 // pooling, batch normalization, activations, and fully-connected layers.
 //
 // Layout is CHW (single image per forward pass, as the UAV controller runs
-// batch-1 inference). All operations are deterministic.
+// batch-1 inference). All operations are deterministic: the cache-blocked
+// GEMM (matmul.go) keeps a fixed per-element summation order in every code
+// path, and the ...Into / ...WS variants that reuse Workspace scratch
+// buffers produce bit-identical results to their allocating counterparts.
 package tensor
 
 import (
@@ -20,10 +23,13 @@ type Tensor struct {
 
 // New allocates a zero tensor with the given shape.
 func New(shape ...int) *Tensor {
+	// The panic message deliberately omits the shape slice: formatting it
+	// would make `shape` escape, heap-allocating every variadic call site on
+	// the zero-alloc inference path.
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
-			panic(fmt.Sprintf("tensor: invalid dim %d in %v", d, shape))
+			panic("tensor: invalid non-positive dim in shape")
 		}
 		n *= d
 	}
@@ -55,59 +61,61 @@ func (t *Tensor) Clone() *Tensor {
 	return &Tensor{Shape: append([]int(nil), t.Shape...), Data: d}
 }
 
-// MatMul computes C[M×N] = A[M×K] · B[K×N]. A and B are interpreted as 2-D
-// row-major matrices regardless of their declared shapes; lengths must
-// match. This is the kernel whose timing internal/gemmini prices.
-func MatMul(a, b *Tensor, m, k, n int) *Tensor {
-	if len(a.Data) != m*k || len(b.Data) != k*n {
-		panic(fmt.Sprintf("tensor: matmul %dx%d · %dx%d with %d/%d elements",
-			m, k, k, n, len(a.Data), len(b.Data)))
-	}
-	c := New(m, n)
-	ad, bd, cd := a.Data, b.Data, c.Data
-	for i := 0; i < m; i++ {
-		arow := ad[i*k : (i+1)*k]
-		crow := cd[i*n : (i+1)*n]
-		for kk, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := bd[kk*n : (kk+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
-	return c
-}
-
 // Im2Col lowers a CHW input for a KH×KW convolution with the given stride
 // and padding into a matrix of shape [outH*outW, C*KH*KW].
 func Im2Col(x *Tensor, kh, kw, stride, pad int) (*Tensor, int, int) {
+	outH, outW := convOutDims(x, kh, kw, stride, pad)
+	cols := New(outH*outW, x.Shape[0]*kh*kw)
+	Im2ColInto(cols, x, kh, kw, stride, pad)
+	return cols, outH, outW
+}
+
+// convOutDims validates an im2col lowering and returns the output extent.
+func convOutDims(x *Tensor, kh, kw, stride, pad int) (outH, outW int) {
 	if len(x.Shape) != 3 {
 		panic(fmt.Sprintf("tensor: im2col needs CHW input, got %v", x.Shape))
 	}
-	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
-	outH := (h+2*pad-kh)/stride + 1
-	outW := (w+2*pad-kw)/stride + 1
+	h, w := x.Shape[1], x.Shape[2]
+	outH = (h+2*pad-kh)/stride + 1
+	outW = (w+2*pad-kw)/stride + 1
 	if outH <= 0 || outW <= 0 {
 		panic(fmt.Sprintf("tensor: im2col output %dx%d invalid", outH, outW))
 	}
-	cols := New(outH*outW, c*kh*kw)
-	cd := cols.Data
+	return outH, outW
+}
+
+// Im2ColInto lowers x into cols, which must hold outH*outW × C*KH*KW
+// elements. Every element is written (padding positions get explicit
+// zeros), so recycled workspace buffers need no prior clearing.
+func Im2ColInto(cols, x *Tensor, kh, kw, stride, pad int) (outH, outW int) {
+	outH, outW = convOutDims(x, kh, kw, stride, pad)
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	kcols := c * kh * kw
+	if len(cols.Data) < outH*outW*kcols {
+		panic(fmt.Sprintf("tensor: im2col dst holds %d elements, need %d", len(cols.Data), outH*outW*kcols))
+	}
+	cd := cols.Data
 	for oy := 0; oy < outH; oy++ {
 		for ox := 0; ox < outW; ox++ {
-			row := (oy*outW + ox) * kcols
-			idx := row
+			idx := (oy*outW + ox) * kcols
 			for ch := 0; ch < c; ch++ {
 				chOff := ch * h * w
 				for ky := 0; ky < kh; ky++ {
 					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						for kx := 0; kx < kw; kx++ {
+							cd[idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowOff := chOff + iy*w
 					for kx := 0; kx < kw; kx++ {
 						ix := ox*stride + kx - pad
-						if iy >= 0 && iy < h && ix >= 0 && ix < w {
-							cd[idx] = x.Data[chOff+iy*w+ix]
+						if ix >= 0 && ix < w {
+							cd[idx] = x.Data[rowOff+ix]
+						} else {
+							cd[idx] = 0
 						}
 						idx++
 					}
@@ -115,13 +123,39 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) (*Tensor, int, int) {
 			}
 		}
 	}
-	return cols, outH, outW
+	return outH, outW
+}
+
+// ConvWeightT transposes OIHW convolution weights into the [inC*KH*KW, outC]
+// matrix the im2col GEMM consumes. Layers precompute this once per weight
+// tensor instead of re-transposing on every forward pass.
+func ConvWeightT(w *Tensor) *Tensor {
+	if len(w.Shape) != 4 {
+		panic(fmt.Sprintf("tensor: conv weights must be OIHW, got %v", w.Shape))
+	}
+	outC := w.Shape[0]
+	k := w.Shape[1] * w.Shape[2] * w.Shape[3]
+	wt := New(k, outC)
+	for o := 0; o < outC; o++ {
+		for j := 0; j < k; j++ {
+			wt.Data[j*outC+o] = w.Data[o*k+j]
+		}
+	}
+	return wt
 }
 
 // Conv2D computes a 2-D convolution of the CHW input with weights shaped
 // [outC, inC, KH, KW] and per-channel bias (may be nil), returning a CHW
 // output. Implemented as im2col followed by MatMul.
 func Conv2D(x, w *Tensor, bias []float32, stride, pad int) *Tensor {
+	return Conv2DWS(nil, x, w, nil, bias, stride, pad)
+}
+
+// Conv2DWS is Conv2D drawing its im2col/product scratch and the output from
+// ws (nil ws allocates fresh tensors). wt is the precomputed ConvWeightT(w)
+// transpose, or nil to transpose on the fly. The returned tensor is
+// ws-owned; the caller releases it with ws.Put when done.
+func Conv2DWS(ws *Workspace, x, w, wt *Tensor, bias []float32, stride, pad int) *Tensor {
 	if len(w.Shape) != 4 {
 		panic(fmt.Sprintf("tensor: conv weights must be OIHW, got %v", w.Shape))
 	}
@@ -129,18 +163,22 @@ func Conv2D(x, w *Tensor, bias []float32, stride, pad int) *Tensor {
 	if x.Shape[0] != inC {
 		panic(fmt.Sprintf("tensor: conv input has %d channels, weights expect %d", x.Shape[0], inC))
 	}
-	cols, outH, outW := Im2Col(x, kh, kw, stride, pad)
+	outH, outW := convOutDims(x, kh, kw, stride, pad)
 	m := outH * outW
 	k := inC * kh * kw
-	// Weights as [K, outC] for (cols · wT): transpose OIHW → [K][O].
-	wt := New(k, outC)
-	for o := 0; o < outC; o++ {
-		for j := 0; j < k; j++ {
-			wt.Data[j*outC+o] = w.Data[o*k+j]
-		}
+
+	cols := ws.Get(m, k)
+	Im2ColInto(cols, x, kh, kw, stride, pad)
+
+	if wt == nil {
+		wt = ConvWeightT(w)
 	}
-	prod := MatMul(cols, wt, m, k, outC) // [M, outC]
-	out := New(outC, outH, outW)
+
+	prod := ws.Get(m, outC)
+	MatMulInto(prod, cols, wt, m, k, outC) // [M, outC]
+	ws.Put(cols)
+
+	out := ws.Get(outC, outH, outW)
 	for o := 0; o < outC; o++ {
 		var b float32
 		if bias != nil {
@@ -150,49 +188,76 @@ func Conv2D(x, w *Tensor, bias []float32, stride, pad int) *Tensor {
 			out.Data[o*m+i] = prod.Data[i*outC+o] + b
 		}
 	}
+	ws.Put(prod)
 	return out
 }
 
 // BatchNorm applies inference-mode batch normalization per channel:
 // y = gamma * (x - mean) / sqrt(var + eps) + beta.
 func BatchNorm(x *Tensor, gamma, beta, mean, variance []float32, eps float32) *Tensor {
+	out := New(x.Shape...)
+	BatchNormInto(out, x, gamma, beta, mean, variance, eps)
+	return out
+}
+
+// BatchNormInto is BatchNorm writing into dst; dst may alias x for in-place
+// normalization.
+func BatchNormInto(dst, x *Tensor, gamma, beta, mean, variance []float32, eps float32) {
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	if len(gamma) != c || len(beta) != c || len(mean) != c || len(variance) != c {
 		panic("tensor: batchnorm parameter length mismatch")
 	}
-	out := New(c, h, w)
+	if len(dst.Data) < c*h*w {
+		panic("tensor: batchnorm dst too small")
+	}
 	for ch := 0; ch < c; ch++ {
 		scale := gamma[ch] / float32(math.Sqrt(float64(variance[ch]+eps)))
 		shift := beta[ch] - mean[ch]*scale
 		base := ch * h * w
 		for i := 0; i < h*w; i++ {
-			out.Data[base+i] = x.Data[base+i]*scale + shift
+			dst.Data[base+i] = x.Data[base+i]*scale + shift
 		}
 	}
-	return out
 }
 
 // ReLU applies max(0, x) elementwise, in a fresh tensor.
 func ReLU(x *Tensor) *Tensor {
-	out := x.Clone()
-	for i, v := range out.Data {
-		if v < 0 {
-			out.Data[i] = 0
-		}
-	}
+	out := New(x.Shape...)
+	ReLUInto(out, x)
 	return out
+}
+
+// ReLUInto writes max(0, x) into dst; dst may alias x.
+func ReLUInto(dst, x *Tensor) {
+	if len(dst.Data) < len(x.Data) {
+		panic("tensor: relu dst too small")
+	}
+	for i, v := range x.Data {
+		if v < 0 {
+			v = 0
+		}
+		dst.Data[i] = v
+	}
 }
 
 // Add returns x + y elementwise (residual connections); shapes must match.
 func Add(x, y *Tensor) *Tensor {
+	out := New(x.Shape...)
+	AddInto(out, x, y)
+	return out
+}
+
+// AddInto writes x + y into dst; dst may alias either operand.
+func AddInto(dst, x, y *Tensor) {
 	if len(x.Data) != len(y.Data) {
 		panic(fmt.Sprintf("tensor: add shape mismatch %v vs %v", x.Shape, y.Shape))
 	}
-	out := x.Clone()
-	for i, v := range y.Data {
-		out.Data[i] += v
+	if len(dst.Data) < len(x.Data) {
+		panic("tensor: add dst too small")
 	}
-	return out
+	for i, v := range y.Data {
+		dst.Data[i] = x.Data[i] + v
+	}
 }
 
 // MaxPool2D applies k×k max pooling with the given stride to a CHW tensor.
@@ -201,6 +266,18 @@ func MaxPool2D(x *Tensor, k, stride int) *Tensor {
 	outH := (h-k)/stride + 1
 	outW := (w-k)/stride + 1
 	out := New(c, outH, outW)
+	MaxPool2DInto(out, x, k, stride)
+	return out
+}
+
+// MaxPool2DInto is MaxPool2D writing into dst (shaped [C, outH, outW]).
+func MaxPool2DInto(dst, x *Tensor, k, stride int) {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	outH := (h-k)/stride + 1
+	outW := (w-k)/stride + 1
+	if len(dst.Data) < c*outH*outW {
+		panic("tensor: maxpool dst too small")
+	}
 	for ch := 0; ch < c; ch++ {
 		for oy := 0; oy < outH; oy++ {
 			for ox := 0; ox < outW; ox++ {
@@ -213,11 +290,10 @@ func MaxPool2D(x *Tensor, k, stride int) *Tensor {
 						}
 					}
 				}
-				out.Data[ch*outH*outW+oy*outW+ox] = best
+				dst.Data[ch*outH*outW+oy*outW+ox] = best
 			}
 		}
 	}
-	return out
 }
 
 // AvgPoolGrid divides each channel into a gy×gx grid and averages within
@@ -225,11 +301,20 @@ func MaxPool2D(x *Tensor, k, stride int) *Tensor {
 // average pooling; larger grids preserve coarse spatial structure for the
 // classifier heads.
 func AvgPoolGrid(x *Tensor, gy, gx int) *Tensor {
+	out := New(x.Shape[0], gy, gx)
+	AvgPoolGridInto(out, x, gy, gx)
+	return out
+}
+
+// AvgPoolGridInto is AvgPoolGrid writing into dst (shaped [C, gy, gx]).
+func AvgPoolGridInto(dst, x *Tensor, gy, gx int) {
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	if gy <= 0 || gx <= 0 || gy > h || gx > w {
 		panic(fmt.Sprintf("tensor: avgpool grid %dx%d on %dx%d", gy, gx, h, w))
 	}
-	out := New(c, gy, gx)
+	if len(dst.Data) < c*gy*gx {
+		panic("tensor: avgpool dst too small")
+	}
 	for ch := 0; ch < c; ch++ {
 		for cy := 0; cy < gy; cy++ {
 			y0, y1 := cy*h/gy, (cy+1)*h/gy
@@ -241,20 +326,28 @@ func AvgPoolGrid(x *Tensor, gy, gx int) *Tensor {
 						sum += x.Data[ch*h*w+yy*w+xx]
 					}
 				}
-				out.Data[ch*gy*gx+cy*gx+cx] = sum / float32((y1-y0)*(x1-x0))
+				dst.Data[ch*gy*gx+cy*gx+cx] = sum / float32((y1-y0)*(x1-x0))
 			}
 		}
 	}
-	return out
 }
 
 // Linear computes y = W·x + b for W shaped [out, in].
 func Linear(x *Tensor, w *Tensor, b []float32) *Tensor {
+	out := New(w.Shape[0])
+	LinearInto(out, x, w, b)
+	return out
+}
+
+// LinearInto is Linear writing into dst (length ≥ out).
+func LinearInto(dst, x, w *Tensor, b []float32) {
 	outN, inN := w.Shape[0], w.Shape[1]
 	if len(x.Data) != inN {
 		panic(fmt.Sprintf("tensor: linear input %d, want %d", len(x.Data), inN))
 	}
-	out := New(outN)
+	if len(dst.Data) < outN {
+		panic("tensor: linear dst too small")
+	}
 	for o := 0; o < outN; o++ {
 		var s float32
 		row := w.Data[o*inN : (o+1)*inN]
@@ -264,43 +357,75 @@ func Linear(x *Tensor, w *Tensor, b []float32) *Tensor {
 		if b != nil {
 			s += b[o]
 		}
-		out.Data[o] = s
+		dst.Data[o] = s
 	}
+}
+
+// Softmax returns the softmax of a vector, numerically stabilized. NaN
+// inputs are handled deterministically: a NaN entry contributes zero
+// probability, and an all-NaN input yields the uniform distribution.
+func Softmax(x []float32) []float32 {
+	out := make([]float32, len(x))
+	SoftmaxInto(out, x)
 	return out
 }
 
-// Softmax returns the softmax of a vector, numerically stabilized.
-func Softmax(x []float32) []float32 {
-	out := make([]float32, len(x))
-	if len(x) == 0 {
-		return out
+// SoftmaxInto is Softmax writing into dst (length must match x).
+func SoftmaxInto(dst, x []float32) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("tensor: softmax dst length %d, want %d", len(dst), len(x)))
 	}
-	max := x[0]
+	if len(x) == 0 {
+		return
+	}
+	max := float32(math.Inf(-1))
+	valid := 0
 	for _, v := range x {
+		if v != v { // NaN
+			continue
+		}
+		valid++
 		if v > max {
 			max = v
 		}
 	}
+	if valid == 0 {
+		u := 1 / float32(len(x))
+		for i := range dst {
+			dst[i] = u
+		}
+		return
+	}
 	var sum float64
 	for i, v := range x {
+		if v != v {
+			dst[i] = 0
+			continue
+		}
 		e := math.Exp(float64(v - max))
-		out[i] = float32(e)
+		dst[i] = float32(e)
 		sum += e
 	}
-	for i := range out {
-		out[i] = float32(float64(out[i]) / sum)
+	for i := range dst {
+		dst[i] = float32(float64(dst[i]) / sum)
 	}
-	return out
 }
 
-// Argmax returns the index of the largest element.
+// Argmax returns the index of the largest element. NaN entries never win;
+// an all-NaN (or empty) input returns 0.
 func Argmax(x []float32) int {
-	best := 0
+	best := -1
+	var bestV float32
 	for i, v := range x {
-		if v > x[best] {
-			best = i
+		if v != v { // NaN
+			continue
+		}
+		if best < 0 || v > bestV {
+			best, bestV = i, v
 		}
 	}
-	_ = x[best]
+	if best < 0 {
+		return 0
+	}
 	return best
 }

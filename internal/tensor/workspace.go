@@ -1,0 +1,74 @@
+package tensor
+
+// Workspace is a grow-only pool of scratch tensors for allocation-free
+// inference hot loops. Get hands out a tensor backed by recycled memory
+// (contents undefined — callers must fully overwrite it); Put returns it for
+// reuse. Buffers are never shrunk or freed, so a workspace converges to the
+// peak working set of the graphs run through it and then stops allocating.
+//
+// Contract: a tensor obtained from Get must not be used after it is Put back
+// (no aliasing of in-flight buffers), and a Workspace must not be shared
+// between goroutines — use one workspace per goroutine. A nil *Workspace is
+// valid everywhere one is accepted: Get falls back to fresh heap
+// allocations and Put is a no-op, giving the old allocating behavior.
+type Workspace struct {
+	free  []*Tensor
+	owned map[*Tensor]struct{}
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{owned: make(map[*Tensor]struct{})}
+}
+
+// Get returns a tensor of the given shape drawing on pooled memory when a
+// large-enough free buffer exists (best fit). The returned tensor's contents
+// are undefined; every element must be written before being read.
+func (w *Workspace) Get(shape ...int) *Tensor {
+	// As in New, the panic message must not capture the shape slice, or the
+	// variadic argument escapes and every Get call heap-allocates it.
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic("tensor: invalid non-positive dim in shape")
+		}
+		n *= d
+	}
+	if w == nil {
+		return New(shape...)
+	}
+	best := -1
+	for i, t := range w.free {
+		if cap(t.Data) >= n && (best < 0 || cap(t.Data) < cap(w.free[best].Data)) {
+			best = i
+		}
+	}
+	var t *Tensor
+	if best >= 0 {
+		last := len(w.free) - 1
+		t = w.free[best]
+		w.free[best] = w.free[last]
+		w.free[last] = nil
+		w.free = w.free[:last]
+		t.Data = t.Data[:n]
+		t.Shape = append(t.Shape[:0], shape...)
+	} else {
+		t = New(shape...)
+	}
+	w.owned[t] = struct{}{}
+	return t
+}
+
+// Put releases a tensor obtained from Get back to the pool. Tensors the
+// workspace did not hand out (including ones already returned) are ignored,
+// so callers never risk pooling memory they do not own.
+func (w *Workspace) Put(t *Tensor) {
+	if w == nil || t == nil {
+		return
+	}
+	if _, ok := w.owned[t]; !ok {
+		return
+	}
+	delete(w.owned, t)
+	w.free = append(w.free, t)
+}

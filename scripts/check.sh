@@ -1,0 +1,26 @@
+#!/bin/sh
+# check.sh — the full local gate: vet, build, race-enabled tests, and a short
+# benchmark pass over the perf-critical kernels. Run before sending a PR;
+# everything here must be clean.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+# The race run covers the parallel GEMM, the row-band renderer, concurrent
+# mission sweeps, and the per-goroutine workspace discipline.
+go test -race ./...
+
+echo "== short benchmarks =="
+# One iteration each: catches kernels that stopped compiling or regressed to
+# pathological allocation, without turning the gate into a perf run.
+go test -run xxx -bench 'BenchmarkMatMul|BenchmarkConv2D' -benchtime 1x -benchmem ./internal/tensor/
+go test -run xxx -bench 'BenchmarkRender' -benchtime 1x -benchmem ./internal/render/
+
+echo "check: OK"
