@@ -14,8 +14,12 @@ import (
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/dnn"
+	"repro/internal/env"
 	"repro/internal/experiments"
+	"repro/internal/packet"
+	"repro/internal/world"
 )
 
 func init() {
@@ -52,15 +56,16 @@ func runExperiment(b *testing.B, id string, models ...string) {
 	}
 }
 
-// BenchmarkMissionStep measures the closed-loop hot path end to end: each
-// sync quantum renders the FPV frame, exchanges bridge packets, runs DNN
-// inference on the SoC model, and steps physics. Reported both as ns/op for
-// the short mission and ns/quantum for the per-step cost.
-func BenchmarkMissionStep(b *testing.B) {
+// benchMission measures the closed-loop hot path end to end: each sync
+// quantum renders the FPV frame, exchanges bridge packets, runs DNN
+// inference on the SoC model, and steps physics. Reported both as ns/op
+// for the short mission and ns/quantum for the per-step cost.
+func benchMission(b *testing.B, overlap core.OverlapMode) {
+	b.Helper()
 	pretrain(b, "ResNet6")
 	spec := experiments.MissionSpec{
 		Map: "tunnel", Model: "ResNet6", HW: config.A,
-		VForward: 3, MaxSimSec: 2,
+		VForward: 3, MaxSimSec: 2, Overlap: overlap,
 	}
 	// Warm the shared trained-model cache and the world registry outside the
 	// timer, then measure steady-state quanta.
@@ -78,6 +83,67 @@ func BenchmarkMissionStep(b *testing.B) {
 	}
 	if quanta > 0 {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(quanta), "ns/quantum")
+	}
+}
+
+// BenchmarkMissionStep measures the default configuration (overlapped
+// quantum execution, core.OverlapOn).
+func BenchmarkMissionStep(b *testing.B) { benchMission(b, core.OverlapOn) }
+
+// BenchmarkMissionStepOverlapped is an explicit alias of the default for
+// side-by-side comparison against the serial reference.
+func BenchmarkMissionStepOverlapped(b *testing.B) { benchMission(b, core.OverlapOn) }
+
+// BenchmarkMissionStepSerial measures the serial reference: env frames and
+// SoC cycles back-to-back on one goroutine, the pre-overlap behavior.
+func BenchmarkMissionStepSerial(b *testing.B) { benchMission(b, core.OverlapOff) }
+
+// BenchmarkQuantumTCP measures one synchronization boundary's RPC traffic
+// against a loopback environment server — actuation, a pipelined step, a
+// batched 3-sensor fetch, and the telemetry sample — the distributed
+// deployment's per-quantum cost. The steady-state path is allocation-free
+// on both ends (allocs/op counts every goroutine, including the server's).
+func BenchmarkQuantumTCP(b *testing.B) {
+	sim, err := env.New(env.DefaultConfig(world.Tunnel()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := env.NewServer(sim, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	go srv.Serve()
+	c, err := env.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	reqs := []packet.Type{packet.DepthReq, packet.CamReq, packet.IMUReq}
+	quantum := func() {
+		if err := c.SetVelocity(3, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.StepFrames(1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.FetchSensors(reqs); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Telemetry(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm every scratch buffer (client arena, server per-conn scratch,
+	// socket buffers) before measuring the steady state.
+	for i := 0; i < 16; i++ {
+		quantum()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quantum()
 	}
 }
 

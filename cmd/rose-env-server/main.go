@@ -3,6 +3,13 @@
 // artifact runs on a GPU instance, listening on AirSim's default port
 // (Appendix A.5).
 //
+// The protocol is pipelined (see DESIGN.md): clients may batch several
+// requests per flush — the synchronizer's client issues a quantum's sensor
+// requests in one round-trip and defers step acks — and the server answers
+// a batch with a single buffered write. The simulator lock is held only
+// around simulator access, never during network I/O, so a slow client
+// cannot stall other connections.
+//
 // Example:
 //
 //	rose-env-server -addr :41451 -map s-shape

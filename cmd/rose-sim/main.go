@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
@@ -31,6 +32,7 @@ func main() {
 		sync     = flag.Uint64("sync", 16_666_667, "synchronization granularity (SoC cycles)")
 		maxSec   = flag.Float64("maxtime", 60, "simulated time budget (s)")
 		seed     = flag.Int64("seed", 0, "environment noise seed")
+		serial   = flag.Bool("serial", false, "disable overlapped quantum execution (serial reference)")
 		perClass = flag.Int("train-per-class", 200, "training samples per class for the model registry")
 		outDir   = flag.String("out", "", "directory for CSV logs (empty = no files)")
 		plot     = flag.Bool("plot", true, "print an ASCII trajectory plot")
@@ -53,6 +55,7 @@ func main() {
 		SyncCycles:  *sync,
 		MaxSimSec:   *maxSec,
 		Seed:        *seed,
+		Overlap:     overlapMode(*serial),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -106,4 +109,11 @@ func orNone(s string) string {
 		return "no small model"
 	}
 	return s
+}
+
+func overlapMode(serial bool) core.OverlapMode {
+	if serial {
+		return core.OverlapOff
+	}
+	return core.OverlapOn
 }

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
@@ -26,6 +27,7 @@ func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment id (table3, figure10..figure16) or 'all'")
 		quick    = flag.Bool("quick", false, "reduced sweep points and mission budgets")
+		serial   = flag.Bool("serial", false, "disable overlapped quantum execution (serial reference)")
 		perClass = flag.Int("train-per-class", 200, "training samples per class for the model registry")
 		outDir   = flag.String("out", "", "directory for CSV exports (empty = print only)")
 	)
@@ -37,6 +39,9 @@ func main() {
 		ids = []string{*exp}
 	}
 	opt := experiments.Options{Quick: *quick}
+	if *serial {
+		opt.Overlap = core.OverlapOff
+	}
 
 	for _, id := range ids {
 		start := time.Now()

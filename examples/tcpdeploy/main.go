@@ -4,6 +4,12 @@
 // RoSÉ packet protocol to both — exactly the topology of the paper's
 // on-premise AirSim-desktop + FireSim-server setup.
 //
+// With the default config the two remote simulators burn each quantum
+// concurrently: the environment client's step request is pipelined (its
+// ack deferred), so the env host simulates while the synchronizer drives
+// the RTL quantum, and each boundary's sensor traffic crosses in a single
+// batched round-trip (see DESIGN.md §4.7).
+//
 //	go run ./examples/tcpdeploy
 package main
 

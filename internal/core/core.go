@@ -43,6 +43,22 @@ type RTL interface {
 	Done() bool
 }
 
+// OverlapMode selects whether the two simulators burn their quanta
+// concurrently. The zero value is OverlapOn: in the paper the FPGA and the
+// environment host always run in parallel between boundaries (Figure 5),
+// so overlap is the faithful default and OverlapOff exists as the serial
+// reference for parity testing and measurement.
+type OverlapMode int
+
+const (
+	// OverlapOn executes env.StepFrames and rtl.Step concurrently and
+	// joins before the boundary bookkeeping. Because data crosses only at
+	// quantum boundaries, results are byte-identical to serial execution.
+	OverlapOn OverlapMode = iota
+	// OverlapOff executes the two steps back-to-back on one goroutine.
+	OverlapOff
+)
+
 // Config parameterizes one co-simulation run.
 type Config struct {
 	// SoCClockHz is the modeled SoC clock (Equation 1). Defaults to 1 GHz.
@@ -65,6 +81,8 @@ type Config struct {
 	// Values > 1 model a loosely-coupled co-simulation and are used by the
 	// ablation study to show why RoSÉ's per-quantum exchange matters.
 	ExchangeEveryN int
+	// Overlap selects concurrent (default) or serial quantum execution.
+	Overlap OverlapMode
 }
 
 // DefaultConfig returns the evaluation defaults: 1 GHz SoC, one 60 Hz frame
@@ -76,6 +94,7 @@ func DefaultConfig() Config {
 		MaxSimSeconds:         120,
 		StopOnMissionComplete: true,
 		RecordTrajectory:      true,
+		Overlap:               OverlapOn,
 	}
 }
 
@@ -116,11 +135,19 @@ type Synchronizer struct {
 	env env.Env
 	rtl RTL
 	cfg Config
+	// batcher is non-nil when the environment can serve a run of sensor
+	// requests in one call (the remote client pipelines them into a single
+	// network round-trip).
+	batcher env.SensorBatcher
 
 	// camBuf is the reused quantization scratch for camera-frame replies
 	// (CamFrame.Marshal copies the pixels, so the buffer is free again as
 	// soon as serve returns).
 	camBuf []byte
+	// respBuf is the response-packet slice reused across exchanges.
+	respBuf []packet.Packet
+	// kindBuf is the reused sensor-request type list handed to the batcher.
+	kindBuf []packet.Type
 }
 
 // New builds a synchronizer. The environment's frame rate and the config's
@@ -138,7 +165,18 @@ func New(e env.Env, rtl RTL, cfg Config) (*Synchronizer, error) {
 	if cfg.MaxSimSeconds <= 0 {
 		return nil, fmt.Errorf("core: MaxSimSeconds must be positive")
 	}
-	return &Synchronizer{env: e, rtl: rtl, cfg: cfg}, nil
+	s := &Synchronizer{env: e, rtl: rtl, cfg: cfg}
+	s.batcher, _ = e.(env.SensorBatcher)
+	return s, nil
+}
+
+// envQuantum is what the environment worker hands back per quantum: the
+// step outcome plus the boundary telemetry sample, which depends only on
+// environment state and therefore rides inside the overlapped region.
+type envQuantum struct {
+	tm      env.Telemetry
+	stepErr error
+	telErr  error
 }
 
 // Run executes Algorithm 1 until the mission completes, the time budget
@@ -164,29 +202,49 @@ func (s *Synchronizer) Run() (*Result, error) {
 	if exchangeEvery < 1 {
 		exchangeEvery = 1
 	}
+	if cfg.RecordTrajectory {
+		// Preallocate the trajectory from the known quantum count, capped so
+		// pathological granularities cannot demand gigabytes up front.
+		n := int(cfg.MaxSimSeconds/quantumSec) + 1
+		if n > 1<<16 {
+			n = 1 << 16
+		}
+		res.Trajectory = make([]env.Telemetry, 0, n)
+	}
+
+	// In overlapped mode a persistent worker owns the environment during
+	// the quantum: it steps the granted frames and samples the boundary
+	// telemetry while this goroutine runs the RTL quantum — the in-process
+	// analogue of FireSim and AirSim burning their quanta in parallel on
+	// separate hosts (Figure 5). The main goroutine touches the environment
+	// only between quanta (serve/exchange), so there is no shared access.
+	var stepCh chan int
+	var quantumCh chan envQuantum
+	if cfg.Overlap == OverlapOn {
+		stepCh = make(chan int)
+		// Buffered so the worker can always complete its send and exit on
+		// stepCh close, even when Run returns early on an RTL error.
+		quantumCh = make(chan envQuantum, 1)
+		go func() {
+			for frames := range stepCh {
+				var q envQuantum
+				if q.stepErr = s.env.StepFrames(frames); q.stepErr == nil {
+					q.tm, q.telErr = s.env.Telemetry()
+				}
+				quantumCh <- q
+			}
+		}()
+		defer close(stepCh)
+	}
 
 	for quantum := 0; simT < cfg.MaxSimSeconds; quantum++ {
 		if quantum%exchangeEvery == 0 {
-			// --- Poll the RTL side for I/O from the last quantum and
+			// --- Poll the RTL side for I/O from the last quantum,
 			// translate packets into environment API calls (Algorithm 1's
-			// decode/call_airsim_api). ---
-			pkts, err := s.rtl.Pull()
-			if err != nil {
-				return nil, fmt.Errorf("core: pulling RTL I/O: %w", err)
-			}
-			var resp []packet.Packet
-			for _, p := range pkts {
-				r, err := s.serve(p)
-				if err != nil {
-					return nil, err
-				}
-				if r != nil {
-					resp = append(resp, *r)
-				}
-			}
-			// --- Transmit encoded environment data to the bridge. ---
-			if err := s.rtl.Push(resp); err != nil {
-				return nil, fmt.Errorf("core: pushing env data: %w", err)
+			// decode/call_airsim_api), and transmit the encoded responses
+			// to the bridge. ---
+			if err := s.exchange(); err != nil {
+				return nil, err
 			}
 		}
 
@@ -195,20 +253,38 @@ func (s *Synchronizer) Run() (*Result, error) {
 		frameDebt += float64(cfg.SyncCycles) * framesPerCycle
 		frames := int(frameDebt)
 		frameDebt -= float64(frames)
-		if err := s.env.StepFrames(frames); err != nil {
-			return nil, fmt.Errorf("core: stepping environment: %w", err)
-		}
-		if _, err := s.rtl.Step(cfg.SyncCycles); err != nil {
-			return nil, fmt.Errorf("core: stepping RTL: %w", err)
+		var tm env.Telemetry
+		if cfg.Overlap == OverlapOn {
+			stepCh <- frames
+			_, rtlErr := s.rtl.Step(cfg.SyncCycles)
+			q := <-quantumCh
+			// Surface errors in serial-report order: environment first.
+			if q.stepErr != nil {
+				return nil, fmt.Errorf("core: stepping environment: %w", q.stepErr)
+			}
+			if rtlErr != nil {
+				return nil, fmt.Errorf("core: stepping RTL: %w", rtlErr)
+			}
+			if q.telErr != nil {
+				return nil, fmt.Errorf("core: telemetry: %w", q.telErr)
+			}
+			tm = q.tm
+		} else {
+			if err := s.env.StepFrames(frames); err != nil {
+				return nil, fmt.Errorf("core: stepping environment: %w", err)
+			}
+			if _, err := s.rtl.Step(cfg.SyncCycles); err != nil {
+				return nil, fmt.Errorf("core: stepping RTL: %w", err)
+			}
+			var err error
+			if tm, err = s.env.Telemetry(); err != nil {
+				return nil, fmt.Errorf("core: telemetry: %w", err)
+			}
 		}
 		simT += quantumSec
 		res.Syncs++
 
 		// --- Bookkeeping. ---
-		tm, err := s.env.Telemetry()
-		if err != nil {
-			return nil, fmt.Errorf("core: telemetry: %w", err)
-		}
 		if cfg.RecordTrajectory {
 			res.Trajectory = append(res.Trajectory, tm)
 		}
@@ -239,6 +315,58 @@ func (s *Synchronizer) Run() (*Result, error) {
 		res.AvgVelocity = speedSum / float64(speedN)
 	}
 	return res, nil
+}
+
+// exchange performs one synchronization boundary's data exchange: pull
+// SoC-originated packets, translate them into environment API calls, and
+// push the encoded responses to the bridge. Contiguous runs of sensor
+// requests are delegated to the environment's SensorBatcher when it has
+// one, collapsing a boundary's whole sensor traffic into a single network
+// round-trip on remote deployments.
+func (s *Synchronizer) exchange() error {
+	pkts, err := s.rtl.Pull()
+	if err != nil {
+		return fmt.Errorf("core: pulling RTL I/O: %w", err)
+	}
+	resp := s.respBuf[:0]
+	for i := 0; i < len(pkts); {
+		if s.batcher != nil && isSensorReq(pkts[i].Type) {
+			s.kindBuf = s.kindBuf[:0]
+			j := i
+			for j < len(pkts) && isSensorReq(pkts[j].Type) {
+				s.kindBuf = append(s.kindBuf, pkts[j].Type)
+				j++
+			}
+			batch, err := s.batcher.FetchSensors(s.kindBuf)
+			if err != nil {
+				return fmt.Errorf("core: batched sensor fetch: %w", err)
+			}
+			for _, b := range batch {
+				// Batch payloads alias the batcher's arena and the bridge
+				// queue stores references, so copy before pushing.
+				resp = append(resp, packet.Packet{Type: b.Type, Payload: append([]byte(nil), b.Payload...)})
+			}
+			i = j
+			continue
+		}
+		r, err := s.serve(pkts[i])
+		if err != nil {
+			return err
+		}
+		if r != nil {
+			resp = append(resp, *r)
+		}
+		i++
+	}
+	s.respBuf = resp
+	if err := s.rtl.Push(resp); err != nil {
+		return fmt.Errorf("core: pushing env data: %w", err)
+	}
+	return nil
+}
+
+func isSensorReq(t packet.Type) bool {
+	return t == packet.CamReq || t == packet.IMUReq || t == packet.DepthReq
 }
 
 // serve translates one SoC-originated packet into an environment API call,

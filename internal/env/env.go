@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/fc"
+	"repro/internal/packet"
 	"repro/internal/physics"
 	"repro/internal/render"
 	"repro/internal/sensor"
@@ -44,6 +45,16 @@ type Env interface {
 	Reset(x, y, z, yaw float64) error
 	// Telemetry returns ground-truth state for logging.
 	Telemetry() (Telemetry, error)
+}
+
+// SensorBatcher is an optional extension of Env: implementations can fetch
+// a run of sensor readings (CamReq/IMUReq/DepthReq) in one call. The
+// remote Client implements it by pipelining the whole run into a single
+// network round-trip; the synchronizer uses it to serve a boundary's
+// sensor traffic without per-request latency. Returned packets may alias
+// implementation-owned buffers and are valid only until the next call.
+type SensorBatcher interface {
+	FetchSensors(reqs []packet.Type) ([]packet.Packet, error)
 }
 
 // Telemetry is ground-truth simulator state for logs and metrics (the CSV
@@ -217,6 +228,16 @@ func (s *Sim) GetImage() (*render.Image, error) {
 	out := render.NewImage(s.imgBuf.W, s.imgBuf.H)
 	copy(out.Pix, s.imgBuf.Pix)
 	return out, nil
+}
+
+// FrameBytesInto renders the FPV view and quantizes it to 8-bit grayscale
+// directly into dst (grown as needed), skipping the fresh float32 image
+// GetImage hands out. Transmit paths — the RPC server and the in-process
+// synchronizer — use it to keep the per-frame camera path allocation-free.
+func (s *Sim) FrameBytesInto(dst []byte) (pix []byte, w, h int) {
+	pose := render.Pose{Pos: s.quad.State.Pos, Ori: s.quad.State.Ori}
+	s.cam.RenderInto(s.cfg.Map, pose, s.imgBuf)
+	return s.imgBuf.BytesInto(dst), s.imgBuf.W, s.imgBuf.H
 }
 
 // CameraSize returns the camera resolution.

@@ -1,0 +1,164 @@
+package env
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/world"
+)
+
+func TestTelemetryWireRoundTrip(t *testing.T) {
+	in := Telemetry{
+		TimeSec: 1.25, Frame: 75,
+		Yaw: -0.5, DepthAhead: 12.75,
+		Collided: true, CollisionCount: 3, MissionComplete: true,
+	}
+	in.Pos.X, in.Pos.Y, in.Pos.Z = 1, -2, 3.5
+	in.Vel.X, in.Vel.Y, in.Vel.Z = -0.25, 0.5, 0
+	b := AppendTelemetry(nil, in)
+	if len(b) != telemetryWireSize {
+		t.Fatalf("encoded %d bytes, want %d", len(b), telemetryWireSize)
+	}
+	out, err := DecodeTelemetry(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: %+v vs %+v", out, in)
+	}
+	if _, err := DecodeTelemetry(b[:telemetryWireSize-1]); err == nil {
+		t.Error("truncated payload should error")
+	}
+}
+
+func TestFetchSensorsMatchesIndividualCalls(t *testing.T) {
+	// A batched fetch must return exactly what the one-call-per-sensor
+	// path returns against an identical simulator state.
+	local, err := New(DefaultConfig(world.Tunnel()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := startServer(t)
+	for _, e := range []Env{local, c} {
+		e.SetVelocity(3, 0, 0.1)
+		e.StepFrames(90)
+	}
+
+	batch, err := c.FetchSensors([]packet.Type{packet.DepthReq, packet.CamReq, packet.IMUReq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("batch returned %d packets, want 3", len(batch))
+	}
+	wantTypes := []packet.Type{packet.DepthData, packet.CamData, packet.IMUData}
+	for i, p := range batch {
+		if p.Type != wantTypes[i] {
+			t.Errorf("batch[%d] type %v, want %v", i, p.Type, wantTypes[i])
+		}
+	}
+
+	d, err := packet.UnmarshalDepth(batch[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDepth, _ := local.GetDepth()
+	if d.Meters != wantDepth {
+		t.Errorf("batched depth %v, want %v", d.Meters, wantDepth)
+	}
+
+	frame, err := packet.UnmarshalCamFrame(batch[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pix, w, h := local.FrameBytesInto(nil)
+	if frame.W != w || frame.H != h || !bytes.Equal(frame.Pix, pix) {
+		t.Errorf("batched camera frame differs from local render")
+	}
+
+	m, err := packet.UnmarshalIMU(batch[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := local.GetIMU()
+	if m.TimeSec != r.TimeSec || m.Accel[0] != r.Accel.X || m.RPY[2] != r.Yaw {
+		t.Errorf("batched IMU %+v vs local %+v", m, r)
+	}
+}
+
+func TestFetchSensorsRejectsNonSensorTypes(t *testing.T) {
+	_, c := startServer(t)
+	if _, err := c.FetchSensors([]packet.Type{packet.CamReq, packet.CmdVel}); err == nil {
+		t.Error("non-sensor type in batch should error")
+	}
+}
+
+func TestDeferredAckSurfacesOnNextCall(t *testing.T) {
+	// A fake server that fails CmdVel lets us watch the deferred-ack error
+	// surface on the next synchronous call rather than being dropped.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		r := packet.NewReader(conn)
+		w := packet.NewWriter(conn)
+		for {
+			req, err := r.Next()
+			if err != nil {
+				return
+			}
+			var resp packet.Packet
+			switch req.Type {
+			case packet.RPCFrameRate:
+				resp = packet.U64(packet.RPCFrameRate, 60_000)
+			case packet.CmdVel:
+				resp = packet.Packet{Type: packet.RPCError, Payload: []byte("actuators offline")}
+			case packet.DepthReq:
+				resp = packet.Depth{Meters: 7}.Marshal()
+			default:
+				resp = packet.Packet{Type: packet.RPCAck}
+			}
+			if err := w.WritePacket(resp); err != nil {
+				return
+			}
+			if r.Buffered() == 0 {
+				if err := w.Flush(); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The failing command itself returns nil: its ack is deferred.
+	if err := c.SetVelocity(1, 0, 0); err != nil {
+		t.Fatalf("deferred command should not fail synchronously: %v", err)
+	}
+	// The next synchronous call drains the ack and reports the failure...
+	if _, err := c.GetDepth(); err == nil {
+		t.Fatal("deferred CmdVel error was dropped")
+	}
+	// ...exactly once; the stream then continues normally.
+	if _, err := c.GetDepth(); err != nil {
+		t.Fatalf("deferred error should surface once, got again: %v", err)
+	}
+	if err := c.StepFrames(5); err != nil {
+		t.Fatalf("pipelined step after recovery: %v", err)
+	}
+	if _, err := c.GetDepth(); err != nil {
+		t.Fatalf("stream out of sync after deferred error: %v", err)
+	}
+}

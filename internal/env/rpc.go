@@ -1,9 +1,7 @@
 package env
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"math"
 	"net"
@@ -15,20 +13,32 @@ import (
 )
 
 // This file implements the environment simulator's remote API — the
-// AirSim-RPC stand-in (§3.1, Table 4): a Server exposes a Sim over TCP with
-// a synchronous request/response protocol, and Client implements Env
-// against such a server, so the synchronizer can run on a different host
-// than the environment.
+// AirSim-RPC stand-in (§3.1, Table 4): a Server exposes a Sim over TCP and
+// Client implements Env against such a server, so the synchronizer can run
+// on a different host than the environment.
+//
+// The wire protocol is pipelined: requests and responses are strictly
+// ordered on one connection, so a client may write several requests before
+// reading any response. Client exploits this twice. Commands whose only
+// result is an acknowledgement (RPCStepFrames, CmdVel) return as soon as
+// the request is flushed — the remote simulator burns its quantum while
+// the caller overlaps other work (the RTL quantum, in the synchronizer) —
+// and the deferred acks are collected by the next synchronous call.
+// FetchSensors issues a whole run of sensor requests as one batched
+// round-trip. Framing is buffered on both sides (packet.Reader/Writer)
+// with one flush per message batch, and every payload codec on the
+// steady-state path (camera, IMU, depth, fixed-width Telemetry) reuses
+// scratch buffers, so a quantum's worth of RPC traffic makes zero heap
+// allocations at each end.
 
-// Server serves one Sim to (sequential) network clients.
+// Server serves one Sim to network clients.
 type Server struct {
+	// mu guards access to the shared simulator only; it is never held
+	// across network I/O, so a slow client cannot stall other
+	// connections.
 	mu  sync.Mutex
 	sim *Sim
 	ln  net.Listener
-
-	// camBuf is the reused quantization scratch for camera replies,
-	// guarded by mu (CamFrame.Marshal copies the pixels out).
-	camBuf []byte
 }
 
 // NewServer wraps a simulator and listens on addr (e.g. ":41451", the
@@ -48,8 +58,8 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) Close() error { return s.ln.Close() }
 
 // Serve accepts and serves connections until the listener is closed.
-// Connections are served one request at a time; multiple clients may
-// connect but share the single simulator under a lock.
+// Multiple clients may connect; they share the single simulator under a
+// lock held only around simulator access.
 func (s *Server) Serve() error {
 	for {
 		conn, err := s.ln.Accept()
@@ -60,16 +70,36 @@ func (s *Server) Serve() error {
 	}
 }
 
+// connScratch is per-connection response scratch: payload bytes are built
+// here (under the sim lock when they snapshot sim state) and copied into
+// the connection's write buffer before the next request is handled, so
+// reuse across requests is safe.
+type connScratch struct {
+	cam     []byte // quantized camera pixels
+	payload []byte // response payload build buffer
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	r := packet.NewReader(conn)
+	w := packet.NewWriter(conn)
+	sc := &connScratch{}
 	for {
-		req, err := packet.Read(conn)
+		req, err := r.Next()
 		if err != nil {
 			return
 		}
-		resp := s.handle(req)
-		if err := packet.Write(conn, resp); err != nil {
+		if err := w.WritePacket(s.handle(req, sc)); err != nil {
 			return
+		}
+		// Flush only when no further request is already buffered: a
+		// pipelined batch gets all its responses in one segment, a lone
+		// request is answered immediately, and flushing before blocking
+		// in Next keeps the protocol deadlock-free.
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -78,21 +108,25 @@ func errPacket(err error) packet.Packet {
 	return packet.Packet{Type: packet.RPCError, Payload: []byte(err.Error())}
 }
 
-func (s *Server) handle(req packet.Packet) packet.Packet {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (s *Server) handle(req packet.Packet, sc *connScratch) packet.Packet {
 	switch req.Type {
 	case packet.RPCStepFrames:
 		n, err := req.AsU64()
 		if err != nil {
 			return errPacket(err)
 		}
-		if err := s.sim.StepFrames(int(n)); err != nil {
+		s.mu.Lock()
+		err = s.sim.StepFrames(int(n))
+		s.mu.Unlock()
+		if err != nil {
 			return errPacket(err)
 		}
 		return packet.Packet{Type: packet.RPCAck}
 	case packet.RPCFrameRate:
-		return packet.U64(packet.RPCFrameRate, uint64(s.sim.FrameRate()*1000))
+		s.mu.Lock()
+		hz := s.sim.FrameRate()
+		s.mu.Unlock()
+		return packet.U64(packet.RPCFrameRate, uint64(hz*1000))
 	case packet.RPCReset:
 		if len(req.Payload) != 32 {
 			return errPacket(fmt.Errorf("env: RPCReset payload must be 32 bytes"))
@@ -100,54 +134,65 @@ func (s *Server) handle(req packet.Packet) packet.Packet {
 		f := func(i int) float64 {
 			return math.Float64frombits(binary.LittleEndian.Uint64(req.Payload[i*8:]))
 		}
-		if err := s.sim.Reset(f(0), f(1), f(2), f(3)); err != nil {
+		s.mu.Lock()
+		err := s.sim.Reset(f(0), f(1), f(2), f(3))
+		s.mu.Unlock()
+		if err != nil {
 			return errPacket(err)
 		}
 		return packet.Packet{Type: packet.RPCAck}
 	case packet.RPCTelemetry:
+		s.mu.Lock()
 		tm, err := s.sim.Telemetry()
+		s.mu.Unlock()
 		if err != nil {
 			return errPacket(err)
 		}
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(tm); err != nil {
-			return errPacket(err)
-		}
-		return packet.Packet{Type: packet.RPCTelemetry, Payload: buf.Bytes()}
+		sc.payload = AppendTelemetry(sc.payload[:0], tm)
+		return packet.Packet{Type: packet.RPCTelemetry, Payload: sc.payload}
 	case packet.CamReq:
-		img, err := s.sim.GetImage()
+		s.mu.Lock()
+		pix, w, h := s.sim.FrameBytesInto(sc.cam)
+		sc.cam = pix
+		s.mu.Unlock()
+		payload, err := packet.CamFrame{W: w, H: h, Pix: sc.cam}.AppendPayload(sc.payload[:0])
 		if err != nil {
 			return errPacket(err)
 		}
-		s.camBuf = img.BytesInto(s.camBuf)
-		frame, err := packet.CamFrame{W: img.W, H: img.H, Pix: s.camBuf}.Marshal()
-		if err != nil {
-			return errPacket(err)
-		}
-		return frame
+		sc.payload = payload
+		return packet.Packet{Type: packet.CamData, Payload: sc.payload}
 	case packet.IMUReq:
+		s.mu.Lock()
 		r, err := s.sim.GetIMU()
+		s.mu.Unlock()
 		if err != nil {
 			return errPacket(err)
 		}
-		return packet.IMU{
+		sc.payload = packet.IMU{
 			Accel:   [3]float64{r.Accel.X, r.Accel.Y, r.Accel.Z},
 			Gyro:    [3]float64{r.Gyro.X, r.Gyro.Y, r.Gyro.Z},
 			RPY:     [3]float64{r.Roll, r.Pitch, r.Yaw},
 			TimeSec: r.TimeSec,
-		}.Marshal()
+		}.AppendPayload(sc.payload[:0])
+		return packet.Packet{Type: packet.IMUData, Payload: sc.payload}
 	case packet.DepthReq:
+		s.mu.Lock()
 		d, err := s.sim.GetDepth()
+		s.mu.Unlock()
 		if err != nil {
 			return errPacket(err)
 		}
-		return packet.Depth{Meters: d}.Marshal()
+		sc.payload = packet.Depth{Meters: d}.AppendPayload(sc.payload[:0])
+		return packet.Packet{Type: packet.DepthData, Payload: sc.payload}
 	case packet.CmdVel:
 		cmd, err := packet.UnmarshalCmd(req)
 		if err != nil {
 			return errPacket(err)
 		}
-		if err := s.sim.SetVelocity(cmd.VForward, cmd.VLateral, cmd.YawRate); err != nil {
+		s.mu.Lock()
+		err = s.sim.SetVelocity(cmd.VForward, cmd.VLateral, cmd.YawRate)
+		s.mu.Unlock()
+		if err != nil {
 			return errPacket(err)
 		}
 		return packet.Packet{Type: packet.RPCAck}
@@ -155,14 +200,34 @@ func (s *Server) handle(req packet.Packet) packet.Packet {
 	return errPacket(fmt.Errorf("env: unsupported RPC %v", req.Type))
 }
 
-// Client is an Env implementation backed by a remote Server.
+// Client is an Env implementation backed by a remote Server. Methods are
+// serialized by an internal lock; objects returned by GetImage and
+// FetchSensors reuse client-owned buffers and are valid only until the
+// next call of the same method.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
+	r    *packet.Reader
+	w    *packet.Writer
 	rate float64
+
+	pending  int   // acks owed for deferred commands (StepFrames, CmdVel)
+	deferred error // first error surfaced by a deferred ack
+
+	scratch  []byte          // request payload scratch (CmdVel, Reset)
+	img      *render.Image   // reused GetImage decode target
+	batchBuf []byte          // payload arena for FetchSensors responses
+	batch    []packet.Packet // reused FetchSensors result slice
+	spans    []span          // reused FetchSensors offset list
+}
+
+type span struct {
+	t          packet.Type
+	start, end int
 }
 
 var _ Env = (*Client)(nil)
+var _ SensorBatcher = (*Client)(nil)
 
 // Dial connects to an environment server.
 func Dial(addr string) (*Client, error) {
@@ -170,7 +235,7 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("env: dialing %s: %w", addr, err)
 	}
-	c := &Client{conn: conn}
+	c := &Client{conn: conn, r: packet.NewReader(conn), w: packet.NewWriter(conn)}
 	resp, err := c.call(packet.Packet{Type: packet.RPCFrameRate})
 	if err != nil {
 		conn.Close()
@@ -188,14 +253,33 @@ func Dial(addr string) (*Client, error) {
 // Close terminates the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// call performs one synchronous round-trip. The response payload aliases
+// the read buffer and must be consumed before the next read.
 func (c *Client) call(req packet.Packet) (packet.Packet, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := packet.Write(c.conn, req); err != nil {
+	if err := c.w.WritePacket(req); err != nil {
 		return packet.Packet{}, err
 	}
-	resp, err := packet.Read(c.conn)
+	return c.roundTrip()
+}
+
+// roundTrip flushes buffered requests, drains deferred acks, and reads the
+// matching response. The response is always consumed before a deferred
+// failure is surfaced, keeping the request/response stream in sync.
+// Caller holds c.mu.
+func (c *Client) roundTrip() (packet.Packet, error) {
+	if err := c.w.Flush(); err != nil {
+		return packet.Packet{}, err
+	}
+	if err := c.drainAcks(); err != nil {
+		return packet.Packet{}, err
+	}
+	resp, err := c.r.Next()
 	if err != nil {
+		return packet.Packet{}, err
+	}
+	if err := c.takeDeferred(); err != nil {
 		return packet.Packet{}, err
 	}
 	if resp.Type == packet.RPCError {
@@ -204,16 +288,66 @@ func (c *Client) call(req packet.Packet) (packet.Packet, error) {
 	return resp, nil
 }
 
-// StepFrames implements Env.
-func (c *Client) StepFrames(n int) error {
-	_, err := c.call(packet.U64(packet.RPCStepFrames, uint64(n)))
+// drainAcks collects the acks owed for deferred commands, recording the
+// first failure for takeDeferred. Only transport errors are returned.
+// Caller holds c.mu.
+func (c *Client) drainAcks() error {
+	for c.pending > 0 {
+		resp, err := c.r.Next()
+		if err != nil {
+			return err
+		}
+		c.pending--
+		if resp.Type == packet.RPCError && c.deferred == nil {
+			c.deferred = fmt.Errorf("env: remote (deferred): %s", resp.Payload)
+		}
+	}
+	return nil
+}
+
+// takeDeferred returns the recorded deferred-command failure once.
+// Caller holds c.mu.
+func (c *Client) takeDeferred() error {
+	err := c.deferred
+	c.deferred = nil
 	return err
+}
+
+// deferCommand writes an ack-only command, flushes it so the server starts
+// working immediately, and returns without waiting for the ack.
+func (c *Client) deferCommand(write func() error) error {
+	if err := c.takeDeferred(); err != nil {
+		return err
+	}
+	if err := write(); err != nil {
+		return err
+	}
+	c.pending++
+	return c.w.Flush()
+}
+
+// StepFrames implements Env. The request is flushed but its ack is
+// deferred: the remote simulator steps concurrently with whatever the
+// caller does next, and the ack (or its error) is collected by the next
+// synchronous call.
+func (c *Client) StepFrames(n int) error {
+	if n < 0 {
+		// Mirror the server-side validation locally so the error is
+		// synchronous despite the deferred ack.
+		return fmt.Errorf("env: cannot step %d frames", n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deferCommand(func() error {
+		return c.w.WriteU64(packet.RPCStepFrames, uint64(n))
+	})
 }
 
 // FrameRate implements Env.
 func (c *Client) FrameRate() float64 { return c.rate }
 
-// GetImage implements Env.
+// GetImage implements Env. The returned image reuses a client-owned buffer
+// and is valid until the next GetImage call.
 func (c *Client) GetImage() (*render.Image, error) {
 	resp, err := c.call(packet.Packet{Type: packet.CamReq})
 	if err != nil {
@@ -223,7 +357,13 @@ func (c *Client) GetImage() (*render.Image, error) {
 	if err != nil {
 		return nil, err
 	}
-	return render.FromBytes(frame.W, frame.H, frame.Pix)
+	if c.img == nil || c.img.W != frame.W || c.img.H != frame.H {
+		c.img = render.NewImage(frame.W, frame.H)
+	}
+	for i, b := range frame.Pix {
+		c.img.Pix[i] = float32(b) / 255
+	}
+	return c.img, nil
 }
 
 // GetIMU implements Env.
@@ -257,19 +397,86 @@ func (c *Client) GetDepth() (float64, error) {
 	return d.Meters, nil
 }
 
-// SetVelocity implements Env.
+// FetchSensors implements SensorBatcher: all requests go out in one
+// flush and all responses return in one read pass — one network
+// round-trip for a whole synchronization boundary's sensor traffic. The
+// returned packets alias a client-owned arena and are valid until the
+// next FetchSensors call.
+func (c *Client) FetchSensors(reqs []packet.Type) ([]packet.Packet, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, t := range reqs {
+		switch t {
+		case packet.CamReq, packet.IMUReq, packet.DepthReq:
+		default:
+			return nil, fmt.Errorf("env: %v is not a sensor request", t)
+		}
+		if err := c.w.WritePacket(packet.Packet{Type: t}); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	if err := c.drainAcks(); err != nil {
+		return nil, err
+	}
+	// Copy each response into the arena before the next read invalidates
+	// it; build the packet views only once the arena stops growing.
+	c.batchBuf = c.batchBuf[:0]
+	c.spans = c.spans[:0]
+	var firstErr error
+	for range reqs {
+		resp, err := c.r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if resp.Type == packet.RPCError {
+			// Keep draining so the stream stays in sync.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("env: remote: %s", resp.Payload)
+			}
+			continue
+		}
+		start := len(c.batchBuf)
+		c.batchBuf = append(c.batchBuf, resp.Payload...)
+		c.spans = append(c.spans, span{resp.Type, start, len(c.batchBuf)})
+	}
+	if err := c.takeDeferred(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	c.batch = c.batch[:0]
+	for _, s := range c.spans {
+		c.batch = append(c.batch, packet.Packet{Type: s.t, Payload: c.batchBuf[s.start:s.end]})
+	}
+	return c.batch, nil
+}
+
+// SetVelocity implements Env. Like StepFrames, the ack is deferred.
 func (c *Client) SetVelocity(forward, lateral, yawRate float64) error {
-	_, err := c.call(packet.Cmd{VForward: forward, VLateral: lateral, YawRate: yawRate}.Marshal())
-	return err
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deferCommand(func() error {
+		c.scratch = packet.Cmd{VForward: forward, VLateral: lateral, YawRate: yawRate}.AppendPayload(c.scratch[:0])
+		return c.w.WritePacket(packet.Packet{Type: packet.CmdVel, Payload: c.scratch})
+	})
 }
 
 // Reset implements Env.
 func (c *Client) Reset(x, y, z, yaw float64) error {
-	payload := make([]byte, 0, 32)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.scratch = c.scratch[:0]
 	for _, v := range [...]float64{x, y, z, yaw} {
-		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(v))
+		c.scratch = binary.LittleEndian.AppendUint64(c.scratch, math.Float64bits(v))
 	}
-	_, err := c.call(packet.Packet{Type: packet.RPCReset, Payload: payload})
+	if err := c.w.WritePacket(packet.Packet{Type: packet.RPCReset, Payload: c.scratch}); err != nil {
+		return err
+	}
+	_, err := c.roundTrip()
 	return err
 }
 
@@ -279,9 +486,5 @@ func (c *Client) Telemetry() (Telemetry, error) {
 	if err != nil {
 		return Telemetry{}, err
 	}
-	var tm Telemetry
-	if err := gob.NewDecoder(bytes.NewReader(resp.Payload)).Decode(&tm); err != nil {
-		return Telemetry{}, fmt.Errorf("env: decoding telemetry: %w", err)
-	}
-	return tm, nil
+	return DecodeTelemetry(resp.Payload)
 }

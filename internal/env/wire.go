@@ -1,0 +1,72 @@
+package env
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Fixed-width binary codec for Telemetry on the RPC wire. It replaces the
+// per-call gob encoders the transport used before: gob re-sends type
+// metadata with every message and allocates an encoder, a buffer, and a
+// decoder per call, while this layout is 86 bytes, allocation-free on both
+// ends, and stable across processes.
+//
+// Layout (little-endian):
+//
+//	offset size field
+//	0      8    TimeSec          (float64)
+//	8      8    Frame            (int64)
+//	16     24   Pos              (3 × float64, X Y Z)
+//	40     24   Vel              (3 × float64, X Y Z)
+//	64     8    Yaw              (float64)
+//	72     8    DepthAhead       (float64)
+//	80     4    CollisionCount   (uint32)
+//	84     1    Collided         (bool: 0/1)
+//	85     1    MissionComplete  (bool: 0/1)
+const telemetryWireSize = 86
+
+// AppendTelemetry appends the fixed-width wire encoding of tm to dst.
+func AppendTelemetry(dst []byte, tm Telemetry) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(tm.TimeSec))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(tm.Frame))
+	for _, v := range [...]float64{
+		tm.Pos.X, tm.Pos.Y, tm.Pos.Z,
+		tm.Vel.X, tm.Vel.Y, tm.Vel.Z,
+		tm.Yaw, tm.DepthAhead,
+	} {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(tm.CollisionCount))
+	dst = append(dst, b2u8(tm.Collided), b2u8(tm.MissionComplete))
+	return dst
+}
+
+// DecodeTelemetry parses the fixed-width encoding produced by
+// AppendTelemetry.
+func DecodeTelemetry(p []byte) (Telemetry, error) {
+	if len(p) != telemetryWireSize {
+		return Telemetry{}, fmt.Errorf("env: telemetry payload is %d bytes, want %d", len(p), telemetryWireSize)
+	}
+	f := func(i int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:]))
+	}
+	var tm Telemetry
+	tm.TimeSec = f(0)
+	tm.Frame = int64(binary.LittleEndian.Uint64(p[8:]))
+	tm.Pos.X, tm.Pos.Y, tm.Pos.Z = f(2), f(3), f(4)
+	tm.Vel.X, tm.Vel.Y, tm.Vel.Z = f(5), f(6), f(7)
+	tm.Yaw = f(8)
+	tm.DepthAhead = f(9)
+	tm.CollisionCount = int(binary.LittleEndian.Uint32(p[80:]))
+	tm.Collided = p[84] == 1
+	tm.MissionComplete = p[85] == 1
+	return tm, nil
+}
+
+func b2u8(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -55,6 +55,9 @@ type MissionSpec struct {
 	ExchangeEveryN int
 	// Argmax forces the full-magnitude argmax control policy (§5.2).
 	Argmax bool
+	// Overlap selects concurrent (default) or serial quantum execution
+	// (see core.OverlapMode); results are byte-identical either way.
+	Overlap core.OverlapMode
 }
 
 // MissionOutcome bundles the synchronizer result with the app-level log.
@@ -137,6 +140,7 @@ func RunMission(spec MissionSpec) (*MissionOutcome, error) {
 	ccfg.SyncCycles = spec.SyncCycles
 	ccfg.MaxSimSeconds = spec.MaxSimSec
 	ccfg.ExchangeEveryN = spec.ExchangeEveryN
+	ccfg.Overlap = spec.Overlap
 	sy, err := core.New(sim, machine, ccfg)
 	if err != nil {
 		return nil, err
@@ -159,6 +163,17 @@ type Options struct {
 	// worker count; outcomes are collected by sweep index, making report
 	// lines byte-identical to a serial run.
 	Workers int
+	// Overlap is stamped onto every sweep spec (see core.OverlapMode);
+	// the zero value keeps overlapped quantum execution on.
+	Overlap core.OverlapMode
+}
+
+// stamp applies sweep-wide options onto the specs before they run.
+func (o Options) stamp(specs []MissionSpec) []MissionSpec {
+	for i := range specs {
+		specs[i].Overlap = o.Overlap
+	}
+	return specs
 }
 
 // runMissions executes the specs on a bounded worker pool and returns the

@@ -1,0 +1,104 @@
+package packet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Stream framing for the TCP transports (the synchronizer↔environment and
+// synchronizer↔RTL links of Table 4). A Writer buffers any number of
+// packets and sends them with a single Flush — the transport half of
+// request pipelining: several requests coalesce into one TCP segment and
+// one syscall. A Reader returns packets whose Payload aliases an internal
+// scratch buffer reused by the next call, so the steady-state receive path
+// performs zero heap allocations per packet.
+
+// defaultBufSize comfortably holds a camera frame plus the small sensor
+// payloads of one synchronization boundary.
+const defaultBufSize = 16 << 10
+
+// Writer frames packets onto a buffered stream. Not safe for concurrent
+// use; transports serialize access with their own locks.
+type Writer struct {
+	w *bufio.Writer
+	// hdr is a persistent header scratch: passing a stack array to the
+	// io.Writer interface would force a per-call heap escape.
+	hdr [HeaderSize + 8]byte
+}
+
+// NewWriter wraps w in a buffered packet writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, defaultBufSize)}
+}
+
+// WritePacket appends one packet to the stream buffer without flushing.
+func (w *Writer) WritePacket(p Packet) error {
+	if len(p.Payload) > MaxPayload {
+		return fmt.Errorf("packet: payload %d exceeds max %d", len(p.Payload), MaxPayload)
+	}
+	binary.LittleEndian.PutUint16(w.hdr[0:2], uint16(p.Type))
+	binary.LittleEndian.PutUint16(w.hdr[2:4], 0)
+	binary.LittleEndian.PutUint32(w.hdr[4:8], uint32(len(p.Payload)))
+	if _, err := w.w.Write(w.hdr[:HeaderSize]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(p.Payload)
+	return err
+}
+
+// WriteU64 appends a single-uint64 packet — the encoding of the
+// synchronization and stepping commands — without the payload allocation
+// U64 makes.
+func (w *Writer) WriteU64(t Type, v uint64) error {
+	binary.LittleEndian.PutUint16(w.hdr[0:2], uint16(t))
+	binary.LittleEndian.PutUint16(w.hdr[2:4], 0)
+	binary.LittleEndian.PutUint32(w.hdr[4:8], 8)
+	binary.LittleEndian.PutUint64(w.hdr[8:16], v)
+	_, err := w.w.Write(w.hdr[:])
+	return err
+}
+
+// Flush sends everything buffered to the underlying stream.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes packets from a buffered stream, reusing one payload
+// buffer across calls.
+type Reader struct {
+	r   *bufio.Reader
+	hdr [HeaderSize]byte
+	buf []byte // grow-only payload scratch
+}
+
+// NewReader wraps r in a buffered packet reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, defaultBufSize)}
+}
+
+// Next reads one packet. The returned Payload aliases the Reader's scratch
+// buffer and is valid only until the next call; callers that keep payload
+// bytes across packets must copy them out.
+func (r *Reader) Next() (Packet, error) {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		return Packet{}, err
+	}
+	t := Type(binary.LittleEndian.Uint16(r.hdr[0:2]))
+	n := binary.LittleEndian.Uint32(r.hdr[4:8])
+	if n > MaxPayload {
+		return Packet{}, fmt.Errorf("packet: payload length %d exceeds max", n)
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return Packet{}, fmt.Errorf("packet: truncated payload for %v: %w", t, err)
+	}
+	return Packet{Type: t, Payload: r.buf}, nil
+}
+
+// Buffered reports how many received bytes are waiting to be decoded. A
+// server uses it to flush responses only when no further pipelined request
+// is already in hand, answering a whole batch with one segment.
+func (r *Reader) Buffered() int { return r.r.Buffered() }

@@ -1,0 +1,98 @@
+package packet
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := []Packet{
+		{Type: CamReq},
+		{Type: DepthData, Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Type: CamData, Payload: bytes.Repeat([]byte{0xAB}, 64*48+8)},
+	}
+	for _, p := range want {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.WriteU64(RPCStepFrames, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	for i, p := range want {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != p.Type || !bytes.Equal(got.Payload, p.Payload) {
+			t.Errorf("packet %d: got %v/%d bytes, want %v/%d", i, got.Type, len(got.Payload), p.Type, len(p.Payload))
+		}
+	}
+	got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := got.AsU64(); err != nil || got.Type != RPCStepFrames || v != 42 {
+		t.Errorf("U64 packet: %v %d %v", got.Type, v, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF at stream end, got %v", err)
+	}
+}
+
+func TestFrameMatchesEncode(t *testing.T) {
+	// The stream framing must stay wire-compatible with the unbuffered
+	// Encode/Write path the RTL transport still uses.
+	p := Packet{Type: IMUData, Payload: []byte{9, 8, 7}}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePacket(p); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	enc, err := p.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), enc) {
+		t.Errorf("framing differs from Encode: % x vs % x", buf.Bytes(), enc)
+	}
+}
+
+func TestFrameRejectsOversizedPayloads(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.WritePacket(Packet{Type: CamData, Payload: make([]byte, MaxPayload+1)}); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	var buf bytes.Buffer
+	buf.Write([]byte{0x01, 0x01, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}) // absurd length
+	if _, err := NewReader(&buf).Next(); err == nil {
+		t.Error("oversized header length accepted")
+	}
+}
+
+func TestWriterZeroAllocSteadyState(t *testing.T) {
+	w := NewWriter(io.Discard)
+	payload := make([]byte, 512)
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := w.WritePacket(Packet{Type: CamData, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteU64(RPCStepFrames, 7); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("writer allocates %.1f/op in steady state, want 0", avg)
+	}
+}

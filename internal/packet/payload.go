@@ -15,18 +15,23 @@ type IMU struct {
 	TimeSec float64
 }
 
-// Marshal encodes the sample as an IMUData packet.
-func (m IMU) Marshal() Packet {
-	buf := make([]byte, 0, 10*8)
+// AppendPayload appends the IMUData wire payload to dst; transmit paths
+// pass a reused scratch buffer to avoid a per-sample allocation.
+func (m IMU) AppendPayload(dst []byte) []byte {
 	for _, v := range [...]float64{
 		m.Accel[0], m.Accel[1], m.Accel[2],
 		m.Gyro[0], m.Gyro[1], m.Gyro[2],
 		m.RPY[0], m.RPY[1], m.RPY[2],
 		m.TimeSec,
 	} {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 	}
-	return Packet{Type: IMUData, Payload: buf}
+	return dst
+}
+
+// Marshal encodes the sample as an IMUData packet.
+func (m IMU) Marshal() Packet {
+	return Packet{Type: IMUData, Payload: m.AppendPayload(make([]byte, 0, 10*8))}
 }
 
 // UnmarshalIMU decodes an IMUData payload.
@@ -54,15 +59,23 @@ type CamFrame struct {
 	Pix  []byte // len == W*H
 }
 
+// AppendPayload appends the CamData wire payload to dst.
+func (c CamFrame) AppendPayload(dst []byte) ([]byte, error) {
+	if len(c.Pix) != c.W*c.H {
+		return nil, fmt.Errorf("packet: frame has %d pixels, want %dx%d", len(c.Pix), c.W, c.H)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(c.W))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(c.H))
+	return append(dst, c.Pix...), nil
+}
+
 // Marshal encodes the frame as a CamData packet.
 func (c CamFrame) Marshal() (Packet, error) {
-	if len(c.Pix) != c.W*c.H {
-		return Packet{}, fmt.Errorf("packet: frame has %d pixels, want %dx%d", len(c.Pix), c.W, c.H)
+	buf, err := c.AppendPayload(make([]byte, 0, 8+len(c.Pix)))
+	if err != nil {
+		return Packet{}, err
 	}
-	buf := make([]byte, 0, 8+len(c.Pix))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.W))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.H))
-	return Packet{Type: CamData, Payload: append(buf, c.Pix...)}, nil
+	return Packet{Type: CamData, Payload: buf}, nil
 }
 
 // UnmarshalCamFrame decodes a CamData payload.
@@ -86,11 +99,14 @@ type Depth struct {
 	Meters float64
 }
 
+// AppendPayload appends the DepthData wire payload to dst.
+func (d Depth) AppendPayload(dst []byte) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(d.Meters))
+}
+
 // Marshal encodes the reading as a DepthData packet.
 func (d Depth) Marshal() Packet {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], math.Float64bits(d.Meters))
-	return Packet{Type: DepthData, Payload: b[:]}
+	return Packet{Type: DepthData, Payload: d.AppendPayload(make([]byte, 0, 8))}
 }
 
 // UnmarshalDepth decodes a DepthData payload.
@@ -113,13 +129,17 @@ type Cmd struct {
 	YawRate  float64 // rad/s (ω in Equation 2)
 }
 
+// AppendPayload appends the CmdVel wire payload to dst.
+func (c Cmd) AppendPayload(dst []byte) []byte {
+	for _, v := range [...]float64{c.VForward, c.VLateral, c.YawRate} {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
 // Marshal encodes the command as a CmdVel packet.
 func (c Cmd) Marshal() Packet {
-	buf := make([]byte, 0, 24)
-	for _, v := range [...]float64{c.VForward, c.VLateral, c.YawRate} {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
-	}
-	return Packet{Type: CmdVel, Payload: buf}
+	return Packet{Type: CmdVel, Payload: c.AppendPayload(make([]byte, 0, 24))}
 }
 
 // UnmarshalCmd decodes a CmdVel payload.

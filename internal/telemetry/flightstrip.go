@@ -37,10 +37,3 @@ func WriteFlightStrip(w io.Writer, m *world.Map, traj []env.Telemetry, frames, c
 	}
 	return strip.WritePGM(w)
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

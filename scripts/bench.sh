@@ -1,0 +1,48 @@
+#!/bin/sh
+# bench.sh — run the headline co-simulation benchmarks and record them as a
+# JSON snapshot (BENCH_PR<n>.json at the repo root), starting the
+# per-PR benchmark trajectory. Usage:
+#
+#	sh scripts/bench.sh [PR-number]
+#
+# The snapshot captures the synchronizer hot path (serial vs overlapped
+# quantum execution) and the distributed RPC path (allocs must stay 0).
+set -eu
+
+cd "$(dirname "$0")/.."
+pr="${1:-2}"
+out="BENCH_PR${pr}.json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== benchmarks (this takes a few minutes: models train once) =="
+go test -run xxx \
+    -bench 'BenchmarkMissionStep$|BenchmarkMissionStepOverlapped$|BenchmarkMissionStepSerial$|BenchmarkQuantumTCP$' \
+    -benchtime 4x -benchmem . | tee "$raw"
+
+awk -v pr="$pr" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    nsop[name] = $3
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "ns/quantum") nsq[name] = $i
+        if ($(i+1) == "allocs/op") allocs[name] = $i
+        if ($(i+1) == "B/op") bop[name] = $i
+    }
+    order[n++] = name
+}
+END {
+    printf "{\n  \"pr\": %s,\n  \"benchmarks\": {\n", pr
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_op\": %s", name, nsop[name]
+        if (name in nsq)    printf ", \"ns_quantum\": %s", nsq[name]
+        if (name in bop)    printf ", \"b_op\": %s", bop[name]
+        if (name in allocs) printf ", \"allocs_op\": %s", allocs[name]
+        printf "}%s\n", (i < n-1 ? "," : "")
+    }
+    printf "  }\n}\n"
+}' "$raw" > "$out"
+
+echo "benchmark snapshot written to $out"

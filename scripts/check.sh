@@ -6,6 +6,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
@@ -22,5 +30,6 @@ echo "== short benchmarks =="
 # pathological allocation, without turning the gate into a perf run.
 go test -run xxx -bench 'BenchmarkMatMul|BenchmarkConv2D' -benchtime 1x -benchmem ./internal/tensor/
 go test -run xxx -bench 'BenchmarkRender' -benchtime 1x -benchmem ./internal/render/
+go test -run xxx -bench 'BenchmarkQuantumTCP' -benchtime 100x -benchmem .
 
 echo "check: OK"
