@@ -18,6 +18,7 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/env"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/world"
 )
@@ -60,12 +61,12 @@ func runExperiment(b *testing.B, id string, models ...string) {
 // quantum renders the FPV frame, exchanges bridge packets, runs DNN
 // inference on the SoC model, and steps physics. Reported both as ns/op
 // for the short mission and ns/quantum for the per-step cost.
-func benchMission(b *testing.B, overlap core.OverlapMode) {
+func benchMission(b *testing.B, overlap core.OverlapMode, suite *obs.Suite) {
 	b.Helper()
 	pretrain(b, "ResNet6")
 	spec := experiments.MissionSpec{
 		Map: "tunnel", Model: "ResNet6", HW: config.A,
-		VForward: 3, MaxSimSec: 2, Overlap: overlap,
+		VForward: 3, MaxSimSec: 2, Overlap: overlap, Obs: suite,
 	}
 	// Warm the shared trained-model cache and the world registry outside the
 	// timer, then measure steady-state quanta.
@@ -87,23 +88,34 @@ func benchMission(b *testing.B, overlap core.OverlapMode) {
 }
 
 // BenchmarkMissionStep measures the default configuration (overlapped
-// quantum execution, core.OverlapOn).
-func BenchmarkMissionStep(b *testing.B) { benchMission(b, core.OverlapOn) }
+// quantum execution, core.OverlapOn) with observability disabled — every
+// hook is a nil check, so this is the PR 2 baseline.
+func BenchmarkMissionStep(b *testing.B) { benchMission(b, core.OverlapOn, nil) }
 
 // BenchmarkMissionStepOverlapped is an explicit alias of the default for
 // side-by-side comparison against the serial reference.
-func BenchmarkMissionStepOverlapped(b *testing.B) { benchMission(b, core.OverlapOn) }
+func BenchmarkMissionStepOverlapped(b *testing.B) { benchMission(b, core.OverlapOn, nil) }
 
 // BenchmarkMissionStepSerial measures the serial reference: env frames and
 // SoC cycles back-to-back on one goroutine, the pre-overlap behavior.
-func BenchmarkMissionStepSerial(b *testing.B) { benchMission(b, core.OverlapOff) }
+func BenchmarkMissionStepSerial(b *testing.B) { benchMission(b, core.OverlapOff, nil) }
 
-// BenchmarkQuantumTCP measures one synchronization boundary's RPC traffic
+// BenchmarkMissionStepObserved measures the overlapped configuration with
+// the full observability suite live — metrics registry plus span tracer —
+// quantifying the enabled-instrumentation overhead against
+// BenchmarkMissionStepOverlapped.
+func BenchmarkMissionStepObserved(b *testing.B) {
+	benchMission(b, core.OverlapOn, obs.New(-1))
+}
+
+// benchQuantumTCP measures one synchronization boundary's RPC traffic
 // against a loopback environment server — actuation, a pipelined step, a
 // batched 3-sensor fetch, and the telemetry sample — the distributed
-// deployment's per-quantum cost. The steady-state path is allocation-free
-// on both ends (allocs/op counts every goroutine, including the server's).
-func BenchmarkQuantumTCP(b *testing.B) {
+// deployment's per-quantum cost. With suite == nil the steady-state path is
+// allocation-free on both ends (allocs/op counts every goroutine, including
+// the server's).
+func benchQuantumTCP(b *testing.B, suite *obs.Suite) {
+	b.Helper()
 	sim, err := env.New(env.DefaultConfig(world.Tunnel()))
 	if err != nil {
 		b.Fatal(err)
@@ -113,12 +125,18 @@ func BenchmarkQuantumTCP(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer srv.Close()
+	if suite != nil {
+		srv.SetObs(suite.EnvServer)
+	}
 	go srv.Serve()
 	c, err := env.Dial(srv.Addr())
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer c.Close()
+	if suite != nil {
+		c.SetObs(suite.RPC)
+	}
 
 	reqs := []packet.Type{packet.DepthReq, packet.CamReq, packet.IMUReq}
 	quantum := func() {
@@ -146,6 +164,14 @@ func BenchmarkQuantumTCP(b *testing.B) {
 		quantum()
 	}
 }
+
+// BenchmarkQuantumTCP is the observability-disabled RPC quantum: 0
+// allocs/op is part of the repo's perf contract (DESIGN.md §6).
+func BenchmarkQuantumTCP(b *testing.B) { benchQuantumTCP(b, nil) }
+
+// BenchmarkQuantumTCPObserved runs the same quantum with client and server
+// accounting live, isolating the per-quantum cost of RPC instrumentation.
+func BenchmarkQuantumTCPObserved(b *testing.B) { benchQuantumTCP(b, obs.New(0)) }
 
 // BenchmarkTable3 regenerates Table 3: DNN controller latency on
 // BOOM+Gemmini and Rocket+Gemmini, plus validation accuracy.

@@ -20,6 +20,7 @@ import (
 	"log"
 
 	"repro/internal/env"
+	"repro/internal/obs"
 	"repro/internal/world"
 )
 
@@ -31,6 +32,7 @@ func main() {
 		camW    = flag.Int("cam-w", 64, "camera width (pixels)")
 		camH    = flag.Int("cam-h", 48, "camera height (pixels)")
 		seed    = flag.Int64("seed", 1, "sensor noise seed")
+		metrics = flag.String("metrics", "", "serve live metrics on this address (e.g. :9100)")
 	)
 	flag.Parse()
 
@@ -49,6 +51,16 @@ func main() {
 	srv, err := env.NewServer(sim, *addr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *metrics != "" {
+		suite := obs.New(0)
+		srv.SetObs(suite.EnvServer)
+		ms, err := suite.Serve(*metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ms.Close()
+		log.Printf("metrics on http://%s/metrics", ms.Addr())
 	}
 	log.Printf("environment %q serving on %s (%.0f fps, %dx%d camera)",
 		*mapName, srv.Addr(), *frameHz, *camW, *camH)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
@@ -36,6 +37,8 @@ func main() {
 		perClass = flag.Int("train-per-class", 200, "training samples per class for the model registry")
 		outDir   = flag.String("out", "", "directory for CSV logs (empty = no files)")
 		plot     = flag.Bool("plot", true, "print an ASCII trajectory plot")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+		metrics  = flag.String("metrics", "", "serve live metrics on this address (e.g. :9100)")
 	)
 	flag.Parse()
 
@@ -44,6 +47,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	var suite *obs.Suite
+	if *traceOut != "" || *metrics != "" {
+		traceEvents := 0
+		if *traceOut != "" {
+			traceEvents = -1 // default ring capacity
+		}
+		suite = obs.New(traceEvents)
+	}
+	if *metrics != "" {
+		srv, err := suite.Serve(*metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics (trace at /trace.json, pprof at /debug/pprof/)\n", srv.Addr())
+	}
+
 	fmt.Printf("training %s (and %s) on tunnel datasets...\n", *model, orNone(*small))
 	out, err := experiments.RunMission(experiments.MissionSpec{
 		Map:         *mapName,
@@ -56,6 +77,7 @@ func main() {
 		MaxSimSec:   *maxSec,
 		Seed:        *seed,
 		Overlap:     overlapMode(*serial),
+		Obs:         suite,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -69,6 +91,25 @@ func main() {
 		float64(r.SoC.IdleCycles)/float64(r.SoC.Cycles+1), r.Syncs)
 	fmt.Printf("cosim:   wall=%.1fs throughput=%.1f simulated MHz, %d inferences\n",
 		r.WallSeconds, r.ThroughputMHz(), len(out.Inferences))
+
+	if suite != nil {
+		fmt.Println()
+		fmt.Print(telemetry.HealthStrip(suite.Summary()))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := suite.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", *traceOut)
+	}
 
 	if *plot && len(r.Trajectory) > 0 {
 		yLim := 3.0

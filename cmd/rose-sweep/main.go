@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
@@ -30,6 +31,8 @@ func main() {
 		serial   = flag.Bool("serial", false, "disable overlapped quantum execution (serial reference)")
 		perClass = flag.Int("train-per-class", 200, "training samples per class for the model registry")
 		outDir   = flag.String("out", "", "directory for CSV exports (empty = print only)")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+		metrics  = flag.String("metrics", "", "serve live metrics on this address (e.g. :9100)")
 	)
 	flag.Parse()
 	dnn.RegistryTrainPerClass = *perClass
@@ -41,6 +44,21 @@ func main() {
 	opt := experiments.Options{Quick: *quick}
 	if *serial {
 		opt.Overlap = core.OverlapOff
+	}
+	if *traceOut != "" || *metrics != "" {
+		traceEvents := 0
+		if *traceOut != "" {
+			traceEvents = -1
+		}
+		opt.Obs = obs.New(traceEvents)
+	}
+	if *metrics != "" {
+		srv, err := opt.Obs.Serve(*metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", srv.Addr())
 	}
 
 	for _, id := range ids {
@@ -62,6 +80,24 @@ func main() {
 	if *outDir != "" {
 		fmt.Printf("\nCSV series written to %s\n", *outDir)
 	}
+	if opt.Obs != nil {
+		fmt.Println()
+		fmt.Print(telemetry.HealthStrip(opt.Obs.Summary()))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := opt.Obs.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", *traceOut)
+	}
 }
 
 func export(rep *experiments.Report, dir string) error {
@@ -75,6 +111,14 @@ func export(rep *experiments.Report, dir string) error {
 		}
 		defer f.Close()
 		if err := telemetry.WriteSeriesCSV(f, rep.Series); err != nil {
+			return err
+		}
+		jf, err := os.Create(filepath.Join(dir, rep.ID+"_series.json"))
+		if err != nil {
+			return err
+		}
+		defer jf.Close()
+		if err := telemetry.WriteSeriesJSON(jf, rep.Series); err != nil {
 			return err
 		}
 	}

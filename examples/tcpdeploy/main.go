@@ -23,8 +23,10 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/env"
 	"repro/internal/gemmini"
+	"repro/internal/obs"
 	"repro/internal/ort"
 	"repro/internal/soc"
+	"repro/internal/telemetry"
 	"repro/internal/world"
 )
 
@@ -33,6 +35,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// One observability suite spans all three "hosts" of this process:
+	// env-server request accounting, RPC client traffic, and the
+	// synchronizer's quantum phases all land in the same registry.
+	suite := obs.New(0)
 
 	// --- "GPU host": environment simulator behind TCP ---
 	sim, err := env.New(env.DefaultConfig(world.Tunnel()))
@@ -43,6 +50,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	envSrv.SetObs(suite.EnvServer)
 	go envSrv.Serve()
 	defer envSrv.Close()
 
@@ -67,6 +75,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer envClient.Close()
+	envClient.SetObs(suite.RPC)
 	rtlClient, err := soc.DialRTL(rtlSrv.Addr())
 	if err != nil {
 		log.Fatal(err)
@@ -74,7 +83,9 @@ func main() {
 	defer rtlClient.Close()
 
 	fmt.Printf("environment at %s, RTL simulation at %s\n", envSrv.Addr(), rtlSrv.Addr())
-	sync, err := core.New(envClient, rtlClient, core.DefaultConfig())
+	ccfg := core.DefaultConfig()
+	ccfg.Obs = suite.Core
+	sync, err := core.New(envClient, rtlClient, ccfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,4 +95,6 @@ func main() {
 	}
 	fmt.Printf("distributed mission: complete=%v in %.2f s, %d collisions, %.1f simulated MHz over TCP\n",
 		res.Completed, res.MissionTimeSec, res.Collisions, res.ThroughputMHz())
+	fmt.Println()
+	fmt.Print(telemetry.HealthStrip(suite.Summary()))
 }

@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/dnn"
+	"repro/internal/obs"
 	"repro/internal/ort"
 	"repro/internal/packet"
 	"repro/internal/soc"
@@ -133,6 +135,10 @@ type InferenceRecord struct {
 type Log struct {
 	mu      sync.Mutex
 	records []InferenceRecord
+
+	// Obs mirrors each record into the live metrics registry (nil =
+	// disabled). Set before the simulation starts.
+	Obs *obs.AppObs
 }
 
 // Add appends a record.
@@ -140,6 +146,13 @@ func (l *Log) Add(r InferenceRecord) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.records = append(l.records, r)
+	if l.Obs != nil {
+		l.Obs.Inferences.Inc()
+		if r.UsedFallback {
+			l.Obs.Fallbacks.Inc()
+		}
+		l.Obs.Latency.Observe(time.Duration(r.LatencySec * float64(time.Second)))
+	}
 }
 
 // Records returns a copy of the records so far.

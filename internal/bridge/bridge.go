@@ -16,6 +16,7 @@ package bridge
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 )
 
@@ -86,6 +87,33 @@ type Bridge struct {
 	budget        uint64 // cycles granted and not yet consumed
 
 	stats Stats
+	// o exports live queue occupancy, high-water marks, and drop counts
+	// (nil = disabled; hooks reduce to a nil check).
+	o *obs.BridgeObs
+}
+
+// SetObs installs queue-occupancy instrumentation. Call before the
+// co-simulation starts; a nil argument disables it.
+func (b *Bridge) SetObs(o *obs.BridgeObs) { b.o = o }
+
+// observeRx publishes RX occupancy after a push or pop.
+func (b *Bridge) observeRx() {
+	if b.o == nil {
+		return
+	}
+	used := int64(b.rx.UsedBytes())
+	b.o.RxBytes.Set(used)
+	b.o.RxBytesHWM.SetMax(used)
+}
+
+// observeTx publishes TX occupancy after a push or pop.
+func (b *Bridge) observeTx() {
+	if b.o == nil {
+		return
+	}
+	used := int64(b.tx.UsedBytes())
+	b.o.TxBytes.Set(used)
+	b.o.TxBytesHWM.SetMax(used)
 }
 
 // New creates a bridge with the given queue capacities (bytes); zero values
@@ -123,6 +151,8 @@ func (b *Bridge) HandleHostPacket(p packet.Packet) error {
 			b.budget = 0
 			b.rx = NewQueue(b.rx.capBytes)
 			b.tx = NewQueue(b.tx.capBytes)
+			b.observeRx()
+			b.observeTx()
 		default:
 			return fmt.Errorf("bridge: unexpected sync packet %v from host", p.Type)
 		}
@@ -130,10 +160,14 @@ func (b *Bridge) HandleHostPacket(p packet.Packet) error {
 	}
 	if !b.rx.Push(p) {
 		b.stats.RxDrops++
+		if b.o != nil {
+			b.o.RxDrops.Inc()
+		}
 		return fmt.Errorf("bridge: rx queue full (%d bytes used), dropped %v", b.rx.UsedBytes(), p.Type)
 	}
 	b.stats.HostToSoCPackets++
 	b.stats.HostToSoCBytes += p.Size()
+	b.observeRx()
 	return nil
 }
 
@@ -144,6 +178,7 @@ func (b *Bridge) DrainToHost() []packet.Packet {
 	for {
 		p, ok := b.tx.Pop()
 		if !ok {
+			b.observeTx()
 			return out
 		}
 		out = append(out, p)
@@ -171,7 +206,13 @@ func (b *Bridge) ConsumeBudget(n uint64) uint64 {
 // RecvData pops the next data packet from the RX queue (a read of the
 // bridge's RX registers). ok is false when no data is pending — the SoC
 // stalls until the next synchronization delivers packets.
-func (b *Bridge) RecvData() (packet.Packet, bool) { return b.rx.Pop() }
+func (b *Bridge) RecvData() (packet.Packet, bool) {
+	p, ok := b.rx.Pop()
+	if ok {
+		b.observeRx()
+	}
+	return p, ok
+}
 
 // PeekRxLen returns the number of packets visible in the RX queue, as a
 // status-register read would.
@@ -189,6 +230,7 @@ func (b *Bridge) SendData(p packet.Packet) bool {
 	}
 	b.stats.SoCToHostPackets++
 	b.stats.SoCToHostBytes += p.Size()
+	b.observeTx()
 	return true
 }
 

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/env"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/soc"
 )
@@ -83,6 +84,10 @@ type Config struct {
 	ExchangeEveryN int
 	// Overlap selects concurrent (default) or serial quantum execution.
 	Overlap OverlapMode
+	// Obs instruments the synchronizer's quantum phases (nil = disabled;
+	// every hook then reduces to a nil check, keeping the overlapped hot
+	// path allocation-free and within noise of its uninstrumented cost).
+	Obs *obs.CoreObs
 }
 
 // DefaultConfig returns the evaluation defaults: 1 GHz SoC, one 60 Hz frame
@@ -148,6 +153,8 @@ type Synchronizer struct {
 	respBuf []packet.Packet
 	// kindBuf is the reused sensor-request type list handed to the batcher.
 	kindBuf []packet.Type
+	// o is the optional phase instrumentation (nil when disabled).
+	o *obs.CoreObs
 }
 
 // New builds a synchronizer. The environment's frame rate and the config's
@@ -165,7 +172,7 @@ func New(e env.Env, rtl RTL, cfg Config) (*Synchronizer, error) {
 	if cfg.MaxSimSeconds <= 0 {
 		return nil, fmt.Errorf("core: MaxSimSeconds must be positive")
 	}
-	s := &Synchronizer{env: e, rtl: rtl, cfg: cfg}
+	s := &Synchronizer{env: e, rtl: rtl, cfg: cfg, o: cfg.Obs}
 	s.batcher, _ = e.(env.SensorBatcher)
 	return s, nil
 }
@@ -228,9 +235,11 @@ func (s *Synchronizer) Run() (*Result, error) {
 		go func() {
 			for frames := range stepCh {
 				var q envQuantum
+				t0 := s.o.Start()
 				if q.stepErr = s.env.StepFrames(frames); q.stepErr == nil {
 					q.tm, q.telErr = s.env.Telemetry()
 				}
+				s.o.ObserveEnv(t0)
 				quantumCh <- q
 			}
 		}()
@@ -238,6 +247,7 @@ func (s *Synchronizer) Run() (*Result, error) {
 	}
 
 	for quantum := 0; simT < cfg.MaxSimSeconds; quantum++ {
+		q0 := s.o.Start()
 		if quantum%exchangeEvery == 0 {
 			// --- Poll the RTL side for I/O from the last quantum,
 			// translate packets into environment API calls (Algorithm 1's
@@ -246,6 +256,7 @@ func (s *Synchronizer) Run() (*Result, error) {
 			if err := s.exchange(); err != nil {
 				return nil, err
 			}
+			s.o.ObserveExchange(q0)
 		}
 
 		// --- Allocate tokens: advance both simulators one quantum
@@ -256,8 +267,12 @@ func (s *Synchronizer) Run() (*Result, error) {
 		var tm env.Telemetry
 		if cfg.Overlap == OverlapOn {
 			stepCh <- frames
+			t0 := s.o.Start()
 			_, rtlErr := s.rtl.Step(cfg.SyncCycles)
+			s.o.ObserveRTL(t0)
+			t1 := s.o.Start()
 			q := <-quantumCh
+			s.o.ObserveStall(t1)
 			// Surface errors in serial-report order: environment first.
 			if q.stepErr != nil {
 				return nil, fmt.Errorf("core: stepping environment: %w", q.stepErr)
@@ -270,12 +285,16 @@ func (s *Synchronizer) Run() (*Result, error) {
 			}
 			tm = q.tm
 		} else {
+			t0 := s.o.Start()
 			if err := s.env.StepFrames(frames); err != nil {
 				return nil, fmt.Errorf("core: stepping environment: %w", err)
 			}
+			s.o.ObserveEnv(t0)
+			t0 = s.o.Start()
 			if _, err := s.rtl.Step(cfg.SyncCycles); err != nil {
 				return nil, fmt.Errorf("core: stepping RTL: %w", err)
 			}
+			s.o.ObserveRTL(t0)
 			var err error
 			if tm, err = s.env.Telemetry(); err != nil {
 				return nil, fmt.Errorf("core: telemetry: %w", err)
@@ -283,6 +302,7 @@ func (s *Synchronizer) Run() (*Result, error) {
 		}
 		simT += quantumSec
 		res.Syncs++
+		s.o.ObserveQuantum(q0)
 
 		// --- Bookkeeping. ---
 		if cfg.RecordTrajectory {

@@ -6,7 +6,10 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/render"
 	"repro/internal/sensor"
@@ -39,7 +42,12 @@ type Server struct {
 	mu  sync.Mutex
 	sim *Sim
 	ln  net.Listener
+	obs atomic.Pointer[obs.EnvServerObs] // nil = disabled
 }
+
+// SetObs installs request/byte accounting for the server. Safe to call
+// while connections are being served; a nil argument disables it.
+func (s *Server) SetObs(o *obs.EnvServerObs) { s.obs.Store(o) }
 
 // NewServer wraps a simulator and listens on addr (e.g. ":41451", the
 // AirSim default port).
@@ -89,8 +97,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if err := w.WritePacket(s.handle(req, sc)); err != nil {
+		resp := s.handle(req, sc)
+		if err := w.WritePacket(resp); err != nil {
 			return
+		}
+		if o := s.obs.Load(); o != nil {
+			o.Requests.Inc()
+			o.BytesIn.Add(uint64(req.Size()))
+			o.BytesOut.Add(uint64(resp.Size()))
 		}
 		// Flush only when no further request is already buffered: a
 		// pipelined batch gets all its responses in one segment, a lone
@@ -213,6 +227,7 @@ type Client struct {
 
 	pending  int   // acks owed for deferred commands (StepFrames, CmdVel)
 	deferred error // first error surfaced by a deferred ack
+	obs      *obs.RPCObs
 
 	scratch  []byte          // request payload scratch (CmdVel, Reset)
 	img      *render.Image   // reused GetImage decode target
@@ -253,6 +268,29 @@ func Dial(addr string) (*Client, error) {
 // Close terminates the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// SetObs installs RPC traffic accounting (round-trips, deferred acks,
+// batched fetches, bytes in/out). Call before the co-simulation starts; a
+// nil argument disables it.
+func (c *Client) SetObs(o *obs.RPCObs) {
+	c.mu.Lock()
+	c.obs = o
+	c.mu.Unlock()
+}
+
+// countOut/countIn account framed traffic; nil obs reduces them to one
+// branch each, preserving the zero-allocation steady state.
+func (c *Client) countOut(n int) {
+	if c.obs != nil {
+		c.obs.BytesOut.Add(uint64(n))
+	}
+}
+
+func (c *Client) countIn(n int) {
+	if c.obs != nil {
+		c.obs.BytesIn.Add(uint64(n))
+	}
+}
+
 // call performs one synchronous round-trip. The response payload aliases
 // the read buffer and must be consumed before the next read.
 func (c *Client) call(req packet.Packet) (packet.Packet, error) {
@@ -261,6 +299,7 @@ func (c *Client) call(req packet.Packet) (packet.Packet, error) {
 	if err := c.w.WritePacket(req); err != nil {
 		return packet.Packet{}, err
 	}
+	c.countOut(req.Size())
 	return c.roundTrip()
 }
 
@@ -269,6 +308,10 @@ func (c *Client) call(req packet.Packet) (packet.Packet, error) {
 // failure is surfaced, keeping the request/response stream in sync.
 // Caller holds c.mu.
 func (c *Client) roundTrip() (packet.Packet, error) {
+	var t0 time.Time
+	if c.obs != nil {
+		t0 = time.Now()
+	}
 	if err := c.w.Flush(); err != nil {
 		return packet.Packet{}, err
 	}
@@ -278,6 +321,11 @@ func (c *Client) roundTrip() (packet.Packet, error) {
 	resp, err := c.r.Next()
 	if err != nil {
 		return packet.Packet{}, err
+	}
+	if c.obs != nil {
+		c.obs.RoundTrips.Inc()
+		c.obs.RoundTrip.ObserveSince(t0)
+		c.countIn(resp.Size())
 	}
 	if err := c.takeDeferred(); err != nil {
 		return packet.Packet{}, err
@@ -298,6 +346,7 @@ func (c *Client) drainAcks() error {
 			return err
 		}
 		c.pending--
+		c.countIn(resp.Size())
 		if resp.Type == packet.RPCError && c.deferred == nil {
 			c.deferred = fmt.Errorf("env: remote (deferred): %s", resp.Payload)
 		}
@@ -323,6 +372,9 @@ func (c *Client) deferCommand(write func() error) error {
 		return err
 	}
 	c.pending++
+	if c.obs != nil {
+		c.obs.DeferredCmds.Inc()
+	}
 	return c.w.Flush()
 }
 
@@ -339,7 +391,11 @@ func (c *Client) StepFrames(n int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.deferCommand(func() error {
-		return c.w.WriteU64(packet.RPCStepFrames, uint64(n))
+		if err := c.w.WriteU64(packet.RPCStepFrames, uint64(n)); err != nil {
+			return err
+		}
+		c.countOut(packet.HeaderSize + 8)
+		return nil
 	})
 }
 
@@ -405,6 +461,10 @@ func (c *Client) GetDepth() (float64, error) {
 func (c *Client) FetchSensors(reqs []packet.Type) ([]packet.Packet, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var t0 time.Time
+	if c.obs != nil {
+		t0 = time.Now()
+	}
 	for _, t := range reqs {
 		switch t {
 		case packet.CamReq, packet.IMUReq, packet.DepthReq:
@@ -414,6 +474,7 @@ func (c *Client) FetchSensors(reqs []packet.Type) ([]packet.Packet, error) {
 		if err := c.w.WritePacket(packet.Packet{Type: t}); err != nil {
 			return nil, err
 		}
+		c.countOut(packet.HeaderSize)
 	}
 	if err := c.w.Flush(); err != nil {
 		return nil, err
@@ -431,6 +492,7 @@ func (c *Client) FetchSensors(reqs []packet.Type) ([]packet.Packet, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.countIn(resp.Size())
 		if resp.Type == packet.RPCError {
 			// Keep draining so the stream stays in sync.
 			if firstErr == nil {
@@ -441,6 +503,12 @@ func (c *Client) FetchSensors(reqs []packet.Type) ([]packet.Packet, error) {
 		start := len(c.batchBuf)
 		c.batchBuf = append(c.batchBuf, resp.Payload...)
 		c.spans = append(c.spans, span{resp.Type, start, len(c.batchBuf)})
+	}
+	if c.obs != nil {
+		c.obs.BatchedFetches.Inc()
+		c.obs.BatchedSensors.Add(uint64(len(reqs)))
+		c.obs.RoundTrips.Inc()
+		c.obs.RoundTrip.ObserveSince(t0)
 	}
 	if err := c.takeDeferred(); err != nil {
 		return nil, err
@@ -461,7 +529,12 @@ func (c *Client) SetVelocity(forward, lateral, yawRate float64) error {
 	defer c.mu.Unlock()
 	return c.deferCommand(func() error {
 		c.scratch = packet.Cmd{VForward: forward, VLateral: lateral, YawRate: yawRate}.AppendPayload(c.scratch[:0])
-		return c.w.WritePacket(packet.Packet{Type: packet.CmdVel, Payload: c.scratch})
+		p := packet.Packet{Type: packet.CmdVel, Payload: c.scratch}
+		if err := c.w.WritePacket(p); err != nil {
+			return err
+		}
+		c.countOut(p.Size())
+		return nil
 	})
 }
 
@@ -476,6 +549,7 @@ func (c *Client) Reset(x, y, z, yaw float64) error {
 	if err := c.w.WritePacket(packet.Packet{Type: packet.RPCReset, Payload: c.scratch}); err != nil {
 		return err
 	}
+	c.countOut(packet.HeaderSize + len(c.scratch))
 	_, err := c.roundTrip()
 	return err
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/obs"
+	"repro/internal/packet"
 	"repro/internal/world"
 )
 
@@ -111,6 +113,64 @@ func TestRPCMatchesLocalSim(t *testing.T) {
 	a, b := drive(local), drive(c)
 	if a != b {
 		t.Errorf("RPC and local diverge:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestRPCObsAccounting drives one co-simulation quantum's worth of traffic
+// with instrumentation live on both ends and checks the books balance:
+// client bytes out == server bytes in (and vice versa), round-trips and
+// deferred commands are counted, and a batched fetch counts its sensors.
+func TestRPCObsAccounting(t *testing.T) {
+	srv, c := startServer(t)
+	suite := obs.New(0)
+	srv.SetObs(suite.EnvServer)
+	c.SetObs(suite.RPC)
+
+	if err := c.SetVelocity(3, 0, 0); err != nil { // deferred
+		t.Fatal(err)
+	}
+	if err := c.StepFrames(2); err != nil { // deferred
+		t.Fatal(err)
+	}
+	reqs := []packet.Type{packet.DepthReq, packet.CamReq, packet.IMUReq}
+	if _, err := c.FetchSensors(reqs); err != nil { // batched round-trip
+		t.Fatal(err)
+	}
+	if _, err := c.Telemetry(); err != nil { // synchronous round-trip
+		t.Fatal(err)
+	}
+
+	r := suite.RPC
+	if got := r.DeferredCmds.Value(); got != 2 {
+		t.Errorf("deferred cmds = %d, want 2", got)
+	}
+	if got := r.BatchedFetches.Value(); got != 1 {
+		t.Errorf("batched fetches = %d, want 1", got)
+	}
+	if got := r.BatchedSensors.Value(); got != 3 {
+		t.Errorf("batched sensors = %d, want 3", got)
+	}
+	// Batched fetch + telemetry (the Dial handshake preceded SetObs).
+	if got := r.RoundTrips.Value(); got != 2 {
+		t.Errorf("round-trips = %d, want 2", got)
+	}
+	if r.RoundTrip.Count() != 2 {
+		t.Errorf("round-trip latency samples = %d, want 2", r.RoundTrip.Count())
+	}
+	// The Dial handshake predates SetObs on both ends, so the two sides
+	// cover identical windows: the books must balance exactly.
+	s := suite.EnvServer
+	if got, want := s.BytesIn.Value(), r.BytesOut.Value(); got != want {
+		t.Errorf("server bytes in = %d, client bytes out = %d", got, want)
+	}
+	if got, want := s.BytesOut.Value(), r.BytesIn.Value(); got != want {
+		t.Errorf("server bytes out = %d, client bytes in = %d", got, want)
+	}
+	if r.BytesOut.Value() == 0 || r.BytesIn.Value() == 0 {
+		t.Error("byte counters did not move")
+	}
+	if got := s.Requests.Value(); got != 2+3+1 {
+		t.Errorf("server requests = %d, want 6 (2 cmds + 3 sensors + telemetry)", got)
 	}
 }
 

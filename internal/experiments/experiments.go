@@ -15,6 +15,7 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/env"
 	"repro/internal/gemmini"
+	"repro/internal/obs"
 	"repro/internal/ort"
 	"repro/internal/soc"
 	"repro/internal/telemetry"
@@ -58,6 +59,10 @@ type MissionSpec struct {
 	// Overlap selects concurrent (default) or serial quantum execution
 	// (see core.OverlapMode); results are byte-identical either way.
 	Overlap core.OverlapMode
+	// Obs instruments the run: synchronizer phases, bridge queues, SoC
+	// counters, and app inference latency feed the suite's registry and
+	// tracer. Nil (the default) keeps every hook a no-op nil check.
+	Obs *obs.Suite
 }
 
 // MissionOutcome bundles the synchronizer result with the app-level log.
@@ -115,6 +120,9 @@ func RunMission(spec MissionSpec) (*MissionOutcome, error) {
 	ctrl.Temperature = app.TemperatureFor(spec.Model)
 	ctrl.Argmax = spec.Argmax
 	log := &app.Log{}
+	if spec.Obs != nil {
+		log.Obs = spec.Obs.App
+	}
 
 	var prog soc.Program
 	if spec.SmallModel != "" {
@@ -133,14 +141,23 @@ func RunMission(spec MissionSpec) (*MissionOutcome, error) {
 
 	socCfg := spec.HW.SoCConfig()
 	socCfg.RxQueueBytes = spec.RxQueueBytes
+	if spec.Obs != nil {
+		socCfg.Obs = spec.Obs.SoC
+	}
 	machine := soc.NewMachine(socCfg, prog)
 	defer machine.Close()
+	if spec.Obs != nil {
+		machine.Bridge().SetObs(spec.Obs.Bridge)
+	}
 
 	ccfg := core.DefaultConfig()
 	ccfg.SyncCycles = spec.SyncCycles
 	ccfg.MaxSimSeconds = spec.MaxSimSec
 	ccfg.ExchangeEveryN = spec.ExchangeEveryN
 	ccfg.Overlap = spec.Overlap
+	if spec.Obs != nil {
+		ccfg.Obs = spec.Obs.Core
+	}
 	sy, err := core.New(sim, machine, ccfg)
 	if err != nil {
 		return nil, err
@@ -166,12 +183,17 @@ type Options struct {
 	// Overlap is stamped onto every sweep spec (see core.OverlapMode);
 	// the zero value keeps overlapped quantum execution on.
 	Overlap core.OverlapMode
+	// Obs is stamped onto every sweep spec; concurrent missions share the
+	// suite (all instruments are atomic), so sweep-wide metrics aggregate
+	// across workers. Nil keeps instrumentation off.
+	Obs *obs.Suite
 }
 
 // stamp applies sweep-wide options onto the specs before they run.
 func (o Options) stamp(specs []MissionSpec) []MissionSpec {
 	for i := range specs {
 		specs[i].Overlap = o.Overlap
+		specs[i].Obs = o.Obs
 	}
 	return specs
 }

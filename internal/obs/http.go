@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the introspection mux:
+//
+//	/metrics        Prometheus text exposition
+//	/metrics.json   JSON snapshot (counters/gauges plus histogram digests)
+//	/trace.json     Chrome trace-event JSON of the span ring buffer
+//	/debug/vars     expvar (Go runtime memstats, cmdline)
+//	/debug/pprof/   net/http/pprof profiles
+//
+// The handler reads live atomics; it is safe to serve while the
+// co-simulation is running.
+func (s *Suite) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.reg().WriteJSON(w)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.tr().WriteChromeTrace(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "rose observability\n\n"+
+			"/metrics       Prometheus text format\n"+
+			"/metrics.json  JSON snapshot\n"+
+			"/trace.json    Chrome trace events (load in Perfetto)\n"+
+			"/debug/vars    expvar\n"+
+			"/debug/pprof/  pprof profiles\n")
+	})
+	return mux
+}
+
+func (s *Suite) reg() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.Registry
+}
+
+func (s *Suite) tr() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.Tracer
+}
+
+// IntrospectionServer is a running metrics/introspection HTTP endpoint.
+type IntrospectionServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection server on addr (e.g. ":9090" or
+// "127.0.0.1:0") and serves in a background goroutine until Close.
+func (s *Suite) Serve(addr string) (*IntrospectionServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	return &IntrospectionServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (i *IntrospectionServer) Addr() string { return i.ln.Addr().String() }
+
+// Close stops the server.
+func (i *IntrospectionServer) Close() error { return i.srv.Close() }

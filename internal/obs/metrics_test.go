@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	c.Store(100)
+	if c.Value() != 100 {
+		t.Errorf("after Store counter = %d, want 100", c.Value())
+	}
+
+	g := reg.Gauge("g", "help")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+	g.SetMax(10)
+	g.SetMax(2) // lower: must not regress
+	if g.Value() != 10 {
+		t.Errorf("gauge hwm = %d, want 10", g.Value())
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil instruments")
+	}
+	// None of these may panic.
+	c.Inc()
+	c.Add(3)
+	c.Store(1)
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(1)
+	h.Observe(time.Second)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistryDedup(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("dup_total", "")
+	b := reg.Counter("dup_total", "")
+	if a != b {
+		t.Error("same name must return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a name as a different kind must panic")
+		}
+	}()
+	reg.Gauge("dup_total", "")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "", nil)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must read zero")
+	}
+	// 100 observations at 1 ms, 10 at 100 ms.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	if h.Count() != 110 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if p50 := h.Quantile(0.5); p50 > 2*time.Millisecond {
+		t.Errorf("p50 = %v, want ~1ms bucket bound", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 100*time.Millisecond {
+		t.Errorf("p99 = %v, want >= 100ms", p99)
+	}
+	wantMean := (100*time.Millisecond.Nanoseconds() + 10*(100*time.Millisecond).Nanoseconds()) / 110
+	if got := h.Mean().Nanoseconds(); got != wantMean {
+		t.Errorf("mean = %d ns, want %d", got, wantMean)
+	}
+	// Observations beyond the last bound land in +Inf and clamp quantiles
+	// to the maximum finite bound.
+	h2 := reg.Histogram("over_seconds", "", []int64{1000})
+	h2.Observe(time.Hour)
+	if got := h2.Quantile(0.99); got != time.Microsecond {
+		t.Errorf("overflow quantile = %v, want last bound 1µs", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("conc_seconds", "", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Errorf("count = %d, want 4000", h.Count())
+	}
+}
+
+// parsePrometheus does a minimal syntax check of text exposition format and
+// returns the sample names seen.
+func parsePrometheus(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("malformed labels in %q", line)
+			}
+			name = name[:i]
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil && fields[1] != "+Inf" {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		samples[name] = v
+	}
+	return samples
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("req_total", "requests").Add(3)
+	reg.Gauge("depth_bytes", "queue depth").Set(42)
+	h := reg.Histogram("lat_seconds", "latency", nil)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(5 * time.Second)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE req_total counter", "req_total 3",
+		"# TYPE depth_bytes gauge", "depth_bytes 42",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"lat_seconds_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	samples := parsePrometheus(t, text)
+	if samples["req_total"] != 3 || samples["depth_bytes"] != 42 || samples["lat_seconds_count"] != 2 {
+		t.Errorf("parsed samples wrong: %v", samples)
+	}
+	if got := samples["lat_seconds_sum"]; got < 5.0 || got > 5.01 {
+		t.Errorf("lat_seconds_sum = %v, want ~5.003", got)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "").Add(7)
+	reg.Histogram("h_seconds", "", nil).Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if string(out["a_total"]) != "7" {
+		t.Errorf("a_total = %s", out["a_total"])
+	}
+	var h histJSON
+	if err := json.Unmarshal(out["h_seconds"], &h); err != nil || h.Count != 1 {
+		t.Errorf("h_seconds = %s (err %v)", out["h_seconds"], err)
+	}
+}

@@ -1,0 +1,356 @@
+package obs
+
+import (
+	"time"
+)
+
+// Suite bundles a Registry, an optional Tracer, and the per-subsystem
+// instrument sets threaded through the co-simulation stack. A nil *Suite
+// (observability disabled) yields nil sub-bundles, whose record methods
+// are all nil-safe no-ops, so callers wire hooks unconditionally.
+type Suite struct {
+	Registry *Registry
+	Tracer   *Tracer
+
+	Core      *CoreObs
+	RPC       *RPCObs
+	EnvServer *EnvServerObs
+	Bridge    *BridgeObs
+	SoC       *SoCObs
+	App       *AppObs
+
+	start time.Time
+}
+
+// New creates a fully wired suite. traceEvents sets the tracer ring
+// capacity: 0 disables tracing (metrics only), < 0 selects
+// DefaultTraceEvents.
+func New(traceEvents int) *Suite {
+	reg := NewRegistry()
+	var tr *Tracer
+	if traceEvents != 0 {
+		tr = NewTracer(traceEvents)
+	}
+	return &Suite{
+		Registry:  reg,
+		Tracer:    tr,
+		Core:      newCoreObs(reg, tr),
+		RPC:       newRPCObs(reg),
+		EnvServer: newEnvServerObs(reg),
+		Bridge:    newBridgeObs(reg),
+		SoC:       newSoCObs(reg),
+		App:       newAppObs(reg),
+		start:     time.Now(),
+	}
+}
+
+// CoreObs instruments the synchronizer: one histogram and one trace track
+// per quantum phase. Phase taxonomy (DESIGN.md §6):
+//
+//	exchange      — boundary packet exchange (pull, serve, push)
+//	rtl.quantum   — rtl.Step burning SyncCycles
+//	env.quantum   — env.StepFrames + boundary telemetry (worker track)
+//	overlap.stall — synchronizer waiting on the env worker after the RTL
+//	                quantum returned (overlap imbalance)
+//	quantum       — the whole loop iteration
+type CoreObs struct {
+	tracer *Tracer
+
+	Quanta       *Counter
+	Quantum      *Histogram
+	RTL          *Histogram
+	Env          *Histogram
+	Exchange     *Histogram
+	OverlapStall *Histogram
+}
+
+func newCoreObs(reg *Registry, tr *Tracer) *CoreObs {
+	return &CoreObs{
+		tracer: tr,
+		Quanta: reg.Counter("rose_cosim_quanta_total",
+			"Synchronization quanta executed."),
+		Quantum: reg.Histogram("rose_cosim_quantum_seconds",
+			"Wall time of one whole synchronization quantum.", nil),
+		RTL: reg.Histogram("rose_cosim_rtl_quantum_seconds",
+			"Wall time of the RTL (SoC engine) quantum.", nil),
+		Env: reg.Histogram("rose_cosim_env_quantum_seconds",
+			"Wall time of the environment quantum (frames plus telemetry).", nil),
+		Exchange: reg.Histogram("rose_cosim_exchange_seconds",
+			"Wall time of boundary packet exchange.", nil),
+		OverlapStall: reg.Histogram("rose_cosim_overlap_stall_seconds",
+			"Wall time the synchronizer waited on the env worker after the RTL quantum finished.", nil),
+	}
+}
+
+// Start returns the current time when observing, the zero time when o is
+// nil — the single call sites make in the disabled case is a nil check.
+func (o *CoreObs) Start() time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (o *CoreObs) span(name string, tid int32, start, end time.Time, h *Histogram) {
+	h.Observe(end.Sub(start))
+	o.tracer.Span(name, tid, start, end)
+}
+
+// ObserveRTL records one RTL quantum starting at start and ending now.
+func (o *CoreObs) ObserveRTL(start time.Time) {
+	if o == nil {
+		return
+	}
+	o.span("rtl.quantum", TrackSync, start, time.Now(), o.RTL)
+}
+
+// ObserveEnv records one environment quantum (called from the overlap
+// worker, or inline in serial mode).
+func (o *CoreObs) ObserveEnv(start time.Time) {
+	if o == nil {
+		return
+	}
+	o.span("env.quantum", TrackEnv, start, time.Now(), o.Env)
+}
+
+// ObserveExchange records one boundary exchange.
+func (o *CoreObs) ObserveExchange(start time.Time) {
+	if o == nil {
+		return
+	}
+	o.span("exchange", TrackSync, start, time.Now(), o.Exchange)
+}
+
+// ObserveStall records the post-RTL wait for the env worker's quantum.
+func (o *CoreObs) ObserveStall(start time.Time) {
+	if o == nil {
+		return
+	}
+	o.span("overlap.stall", TrackSync, start, time.Now(), o.OverlapStall)
+}
+
+// ObserveQuantum records one whole loop iteration and counts it.
+func (o *CoreObs) ObserveQuantum(start time.Time) {
+	if o == nil {
+		return
+	}
+	o.Quanta.Inc()
+	o.span("quantum", TrackSync, start, time.Now(), o.Quantum)
+}
+
+// RPCObs instruments the environment RPC client (the synchronizer side of
+// the AirSim-RPC link).
+type RPCObs struct {
+	RoundTrips     *Counter
+	DeferredCmds   *Counter
+	BatchedFetches *Counter
+	BatchedSensors *Counter
+	BytesOut       *Counter
+	BytesIn        *Counter
+	RoundTrip      *Histogram
+}
+
+func newRPCObs(reg *Registry) *RPCObs {
+	return &RPCObs{
+		RoundTrips: reg.Counter("rose_rpc_roundtrips_total",
+			"Synchronous environment RPC round-trips."),
+		DeferredCmds: reg.Counter("rose_rpc_deferred_cmds_total",
+			"Fire-and-forget commands whose acks were deferred (StepFrames, CmdVel)."),
+		BatchedFetches: reg.Counter("rose_rpc_batched_fetches_total",
+			"Batched sensor fetches (one network round-trip each)."),
+		BatchedSensors: reg.Counter("rose_rpc_batched_sensors_total",
+			"Individual sensor requests served by batched fetches."),
+		BytesOut: reg.Counter("rose_rpc_bytes_out_total",
+			"Bytes of framed request traffic written by the RPC client."),
+		BytesIn: reg.Counter("rose_rpc_bytes_in_total",
+			"Bytes of framed response traffic read by the RPC client."),
+		RoundTrip: reg.Histogram("rose_rpc_roundtrip_seconds",
+			"Latency of synchronous RPC round-trips (flush to response).", nil),
+	}
+}
+
+// EnvServerObs instruments the environment RPC server side.
+type EnvServerObs struct {
+	Requests *Counter
+	BytesIn  *Counter
+	BytesOut *Counter
+}
+
+func newEnvServerObs(reg *Registry) *EnvServerObs {
+	return &EnvServerObs{
+		Requests: reg.Counter("rose_env_server_requests_total",
+			"RPC requests handled by the environment server."),
+		BytesIn: reg.Counter("rose_env_server_bytes_in_total",
+			"Bytes of framed request traffic read by the environment server."),
+		BytesOut: reg.Counter("rose_env_server_bytes_out_total",
+			"Bytes of framed response traffic written by the environment server."),
+	}
+}
+
+// BridgeObs instruments the RoSÉ BRIDGE hardware queues: live occupancy,
+// high-water marks, and back-pressure drops.
+type BridgeObs struct {
+	RxBytes    *Gauge
+	TxBytes    *Gauge
+	RxBytesHWM *Gauge
+	TxBytesHWM *Gauge
+	RxDrops    *Counter
+}
+
+func newBridgeObs(reg *Registry) *BridgeObs {
+	return &BridgeObs{
+		RxBytes: reg.Gauge("rose_bridge_rx_queue_bytes",
+			"Current host-to-SoC (RX) queue occupancy in bytes."),
+		TxBytes: reg.Gauge("rose_bridge_tx_queue_bytes",
+			"Current SoC-to-host (TX) queue occupancy in bytes."),
+		RxBytesHWM: reg.Gauge("rose_bridge_rx_queue_bytes_hwm",
+			"High-water mark of RX queue occupancy in bytes."),
+		TxBytesHWM: reg.Gauge("rose_bridge_tx_queue_bytes_hwm",
+			"High-water mark of TX queue occupancy in bytes."),
+		RxDrops: reg.Counter("rose_bridge_rx_drops_total",
+			"Host-to-SoC packets rejected by a full RX queue."),
+	}
+}
+
+// SoCObs instruments the SoC engine: throttle stalls at the bridge
+// interface and mirrors of the engine's cycle accounting.
+type SoCObs struct {
+	RecvStalls *Counter
+	SendStalls *Counter
+
+	Cycles        *Counter
+	ComputeCycles *Counter
+	AccelCycles   *Counter
+	IOCycles      *Counter
+	IdleCycles    *Counter
+	PacketsIn     *Counter
+	PacketsOut    *Counter
+	Syncs         *Counter
+}
+
+func newSoCObs(reg *Registry) *SoCObs {
+	return &SoCObs{
+		RecvStalls: reg.Counter("rose_soc_recv_stalls_total",
+			"Quanta the SoC idled against an empty bridge RX queue."),
+		SendStalls: reg.Counter("rose_soc_send_stalls_total",
+			"Quanta the SoC idled against a full bridge TX queue."),
+		Cycles: reg.Counter("rose_soc_cycles_total",
+			"Total simulated SoC cycles."),
+		ComputeCycles: reg.Counter("rose_soc_compute_cycles_total",
+			"Simulated cycles charged to CPU compute."),
+		AccelCycles: reg.Counter("rose_soc_accel_cycles_total",
+			"Simulated cycles charged to the DNN accelerator."),
+		IOCycles: reg.Counter("rose_soc_io_cycles_total",
+			"Simulated cycles charged to bridge I/O transfers."),
+		IdleCycles: reg.Counter("rose_soc_idle_cycles_total",
+			"Simulated cycles the SoC spent stalled/idle."),
+		PacketsIn: reg.Counter("rose_soc_packets_in_total",
+			"Host-to-SoC data packets delivered through the bridge."),
+		PacketsOut: reg.Counter("rose_soc_packets_out_total",
+			"SoC-to-host data packets drained through the bridge."),
+		Syncs: reg.Counter("rose_soc_syncs_total",
+			"Synchronization grants received by the bridge control unit."),
+	}
+}
+
+// Mirror overwrites the cycle-accounting counters with the engine's
+// authoritative totals — called once per synchronization quantum so the
+// engine keeps single ownership of its accounting (no double bookkeeping
+// on the charge path).
+func (o *SoCObs) Mirror(cycles, compute, accel, io, idle, pktsIn, pktsOut, syncs uint64) {
+	if o == nil {
+		return
+	}
+	o.Cycles.Store(cycles)
+	o.ComputeCycles.Store(compute)
+	o.AccelCycles.Store(accel)
+	o.IOCycles.Store(io)
+	o.IdleCycles.Store(idle)
+	o.PacketsIn.Store(pktsIn)
+	o.PacketsOut.Store(pktsOut)
+	o.Syncs.Store(syncs)
+}
+
+// AppObs instruments the companion-computer application: inference count
+// and simulated request-to-command latency.
+type AppObs struct {
+	Inferences *Counter
+	Fallbacks  *Counter
+	Latency    *Histogram
+}
+
+func newAppObs(reg *Registry) *AppObs {
+	return &AppObs{
+		Inferences: reg.Counter("rose_app_inferences_total",
+			"Control-loop inferences completed."),
+		Fallbacks: reg.Counter("rose_app_fallbacks_total",
+			"Inferences served by the small network (dynamic runtime)."),
+		Latency: reg.Histogram("rose_app_inference_latency_seconds",
+			"Simulated request-to-command latency of one control iteration.", nil),
+	}
+}
+
+// Summary is the end-of-run digest of a suite — the numbers the CLI health
+// strip prints (quanta/sec, mean quantum wall time, overlap stall share,
+// traffic and queue high-water marks).
+type Summary struct {
+	WallSeconds    float64
+	Quanta         uint64
+	QuantaPerSec   float64
+	MeanQuantumSec float64
+	P99QuantumSec  float64
+
+	// Phase shares of total measured quantum wall time, in [0, 1].
+	RTLShare      float64
+	EnvShare      float64
+	ExchangeShare float64
+	StallShare    float64
+
+	RPCRoundTrips uint64
+	RPCBytesIn    uint64
+	RPCBytesOut   uint64
+
+	BridgeRxHWM int64
+	BridgeTxHWM int64
+	RxDrops     uint64
+
+	Inferences   uint64
+	MeanInferSec float64
+
+	TraceEvents  int
+	TraceDropped uint64
+}
+
+// Summary digests the suite's current state. Safe to call while the run is
+// still recording (values are a consistent-enough live snapshot).
+func (s *Suite) Summary() Summary {
+	if s == nil {
+		return Summary{}
+	}
+	sum := Summary{
+		WallSeconds:   time.Since(s.start).Seconds(),
+		Quanta:        s.Core.Quanta.Value(),
+		RPCRoundTrips: s.RPC.RoundTrips.Value(),
+		RPCBytesIn:    s.RPC.BytesIn.Value(),
+		RPCBytesOut:   s.RPC.BytesOut.Value(),
+		BridgeRxHWM:   s.Bridge.RxBytesHWM.Value(),
+		BridgeTxHWM:   s.Bridge.TxBytesHWM.Value(),
+		RxDrops:       s.Bridge.RxDrops.Value(),
+		Inferences:    s.App.Inferences.Value(),
+		MeanInferSec:  s.App.Latency.Mean().Seconds(),
+		TraceEvents:   s.Tracer.Len(),
+		TraceDropped:  s.Tracer.Dropped(),
+	}
+	sum.MeanQuantumSec = s.Core.Quantum.Mean().Seconds()
+	sum.P99QuantumSec = s.Core.Quantum.Quantile(0.99).Seconds()
+	if sum.WallSeconds > 0 {
+		sum.QuantaPerSec = float64(sum.Quanta) / sum.WallSeconds
+	}
+	if total := s.Core.Quantum.Sum().Seconds(); total > 0 {
+		sum.RTLShare = s.Core.RTL.Sum().Seconds() / total
+		sum.EnvShare = s.Core.Env.Sum().Seconds() / total
+		sum.ExchangeShare = s.Core.Exchange.Sum().Seconds() / total
+		sum.StallShare = s.Core.OverlapStall.Sum().Seconds() / total
+	}
+	return sum
+}

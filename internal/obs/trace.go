@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records named spans into a preallocated ring buffer and exports
+// them as Chrome trace-event JSON (the "complete event" form, ph "X"),
+// loadable in Perfetto or chrome://tracing.
+//
+// Recording claims a slot with one atomic increment and writes a
+// fixed-size Event in place — no locks, no allocation — so spans can be
+// emitted from the synchronizer goroutine and the overlapped environment
+// worker concurrently. When the ring wraps, the oldest spans are
+// overwritten: a bounded trace always holds the most recent window of the
+// run. A nil Tracer discards spans.
+type Tracer struct {
+	epoch  time.Time
+	events []Event
+	n      atomic.Uint64
+}
+
+// Track IDs for the co-simulation trace taxonomy. Chrome renders each tid
+// as its own row, mirroring Figure 5's two simulators plus the
+// synchronizer between them.
+const (
+	TrackSync = 1 // synchronizer: exchange, RTL quantum, overlap stall
+	TrackEnv  = 2 // environment worker: env quantum (frames + telemetry)
+)
+
+// Event is one completed span. Start is nanoseconds since the tracer's
+// epoch; names must be static or long-lived strings (they are stored, not
+// copied).
+type Event struct {
+	Name  string
+	TID   int32
+	Start int64
+	Dur   int64
+}
+
+// DefaultTraceEvents is the default ring capacity: at five spans per
+// quantum this holds the trailing ~13k quanta, ~2 MB of storage.
+const DefaultTraceEvents = 1 << 16
+
+// NewTracer creates a tracer holding up to capacity events (<= 0 selects
+// DefaultTraceEvents).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceEvents
+	}
+	return &Tracer{epoch: time.Now(), events: make([]Event, capacity)}
+}
+
+// Span records one completed span on the given track.
+func (t *Tracer) Span(name string, tid int32, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	idx := t.n.Add(1) - 1
+	t.events[idx%uint64(len(t.events))] = Event{
+		Name:  name,
+		TID:   tid,
+		Start: start.Sub(t.epoch).Nanoseconds(),
+		Dur:   end.Sub(start).Nanoseconds(),
+	}
+}
+
+// Len returns the number of events currently held (≤ capacity).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := t.n.Load()
+	if n > uint64(len(t.events)) {
+		return len(t.events)
+	}
+	return int(n)
+}
+
+// Dropped returns how many spans were overwritten by ring wrap-around.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	n := t.n.Load()
+	if n <= uint64(len(t.events)) {
+		return 0
+	}
+	return n - uint64(len(t.events))
+}
+
+// WriteChromeTrace renders the held events, oldest first, as a JSON array
+// of Chrome trace "complete" events: {"name", "cat", "ph": "X", "pid",
+// "tid", "ts", "dur"} with ts/dur in microseconds. The output loads
+// directly into Perfetto or chrome://tracing.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	if t != nil {
+		n := t.n.Load()
+		capacity := uint64(len(t.events))
+		start := uint64(0)
+		count := n
+		if n > capacity {
+			start = n % capacity
+			count = capacity
+		}
+		for i := uint64(0); i < count; i++ {
+			e := t.events[(start+i)%capacity]
+			sep := ","
+			if i == count-1 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(w,
+				"  {\"name\": %s, \"cat\": \"cosim\", \"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"ts\": %s, \"dur\": %s}%s\n",
+				strconv.Quote(e.Name), e.TID, microseconds(e.Start), microseconds(e.Dur), sep); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// microseconds formats nanoseconds as a decimal microsecond value with
+// sub-microsecond precision, the unit Chrome trace events use.
+func microseconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64)
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chromeEvent mirrors the complete-event fields Perfetto/chrome://tracing
+// require. Pointers distinguish "absent" from zero for validation.
+type chromeEvent struct {
+	Name *string  `json:"name"`
+	Cat  string   `json:"cat"`
+	Ph   *string  `json:"ph"`
+	PID  *int     `json:"pid"`
+	TID  *int     `json:"tid"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+}
+
+// validateChromeTrace asserts the output is a JSON array of complete
+// events with every required field — the acceptance contract for -trace.
+func validateChromeTrace(t *testing.T, data []byte) []chromeEvent {
+	t.Helper()
+	var events []chromeEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v\n%s", err, data)
+	}
+	for i, e := range events {
+		if e.Name == nil || e.Ph == nil || e.PID == nil || e.TID == nil || e.Ts == nil || e.Dur == nil {
+			t.Fatalf("event %d missing required fields: %+v", i, e)
+		}
+		if *e.Ph != "X" {
+			t.Fatalf("event %d ph = %q, want complete event \"X\"", i, *e.Ph)
+		}
+		if *e.Dur < 0 {
+			t.Fatalf("event %d has negative dur %v", i, *e.Dur)
+		}
+	}
+	return events
+}
+
+func TestTracerChromeExport(t *testing.T) {
+	tr := NewTracer(16)
+	base := time.Now()
+	tr.Span("rtl.quantum", TrackSync, base, base.Add(2*time.Millisecond))
+	tr.Span("env.quantum", TrackEnv, base, base.Add(3*time.Millisecond))
+	tr.Span("exchange", TrackSync, base.Add(3*time.Millisecond), base.Add(3100*time.Microsecond))
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := validateChromeTrace(t, buf.Bytes())
+	if len(events) != 3 {
+		t.Fatalf("%d events, want 3", len(events))
+	}
+	if *events[0].Name != "rtl.quantum" || *events[0].TID != TrackSync {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if got := *events[0].Dur; got < 1999 || got > 2001 {
+		t.Errorf("rtl dur = %v µs, want ~2000", got)
+	}
+	if *events[1].TID != TrackEnv {
+		t.Errorf("env span tid = %d, want %d", *events[1].TID, TrackEnv)
+	}
+}
+
+func TestTracerEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTracer(4).WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if events := validateChromeTrace(t, buf.Bytes()); len(events) != 0 {
+		t.Errorf("empty tracer exported %d events", len(events))
+	}
+	// A nil tracer must still write a valid (empty) trace and discard spans.
+	var nilT *Tracer
+	nilT.Span("x", 1, time.Now(), time.Now())
+	buf.Reset()
+	if err := nilT.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	validateChromeTrace(t, buf.Bytes())
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(8)
+	base := time.Now()
+	for i := 0; i < 20; i++ {
+		tr.Span(fmt.Sprintf("s%d", i), 1, base.Add(time.Duration(i)*time.Millisecond),
+			base.Add(time.Duration(i)*time.Millisecond+time.Microsecond))
+	}
+	if tr.Len() != 8 {
+		t.Errorf("Len = %d, want capacity 8", tr.Len())
+	}
+	if tr.Dropped() != 12 {
+		t.Errorf("Dropped = %d, want 12", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := validateChromeTrace(t, buf.Bytes())
+	if len(events) != 8 {
+		t.Fatalf("%d events, want 8", len(events))
+	}
+	// Oldest-first: the ring holds the last 8 spans, s12..s19.
+	if *events[0].Name != "s12" || *events[7].Name != "s19" {
+		t.Errorf("window = %q..%q, want s12..s19", *events[0].Name, *events[7].Name)
+	}
+	for i := 1; i < len(events); i++ {
+		if *events[i].Ts < *events[i-1].Ts {
+			t.Errorf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	// Spans land from the synchronizer goroutine and the env worker
+	// concurrently; this is the -race exercise of the atomic slot claim.
+	tr := NewTracer(1 << 12)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(tid int32) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s := time.Now()
+				tr.Span("span", tid, s, s.Add(time.Microsecond))
+			}
+		}(int32(g + 1))
+	}
+	wg.Wait()
+	if tr.Len() != 2000 {
+		t.Errorf("Len = %d, want 2000", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	validateChromeTrace(t, buf.Bytes())
+}

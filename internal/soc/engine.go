@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/bridge"
+	"repro/internal/obs"
 	"repro/internal/packet"
 )
 
@@ -30,6 +31,7 @@ type Machine struct {
 
 	cycle uint64
 	stats Stats
+	obs   *obs.SoCObs // nil = observability disabled
 
 	reqCh  chan request
 	resCh  chan response
@@ -75,6 +77,9 @@ type Config struct {
 	Params  Params // zero value selects DefaultParams
 	// Bridge queue capacities in bytes (0 selects defaults).
 	RxQueueBytes, TxQueueBytes int
+	// Obs instruments the engine: bridge-interface stall counters and
+	// mirrors of the cycle accounting (nil = disabled).
+	Obs *obs.SoCObs
 }
 
 // NewMachine builds a machine and starts the program coroutine. The program
@@ -89,6 +94,7 @@ func NewMachine(cfg Config, prog Program) *Machine {
 		core:   Core(cfg.Core),
 		kind:   cfg.Core,
 		hasAcc: cfg.Gemmini,
+		obs:    cfg.Obs,
 		br:     bridge.New(cfg.RxQueueBytes, cfg.TxQueueBytes),
 		reqCh:  make(chan request),
 		resCh:  make(chan response),
@@ -225,6 +231,11 @@ func (m *Machine) Step(cycles uint64) (uint64, error) {
 			m.runErr = err
 		}
 	}
+	if m.obs != nil {
+		s := m.stats
+		m.obs.Mirror(m.cycle, s.ComputeCycles, s.AccelCycles, s.IOCycles,
+			s.IdleCycles, s.PacketsIn, s.PacketsOut, s.Syncs)
+	}
 	return cycles, nil
 }
 
@@ -266,6 +277,9 @@ func (m *Machine) beginRequest(r request) {
 			// the next quantum retries after new packets arrive.
 			m.pending = &r
 			m.pendLeft = 0
+			if m.obs != nil {
+				m.obs.RecvStalls.Inc()
+			}
 			m.idle(m.br.ConsumeBudget(m.br.Budget()))
 		}
 	case reqSend:
@@ -277,6 +291,9 @@ func (m *Machine) beginRequest(r request) {
 			// TX queue full: stall until the synchronizer drains it.
 			m.pending = &r
 			m.pendLeft = 0
+			if m.obs != nil {
+				m.obs.SendStalls.Inc()
+			}
 			m.idle(m.br.ConsumeBudget(m.br.Budget()))
 		}
 	}
@@ -300,6 +317,9 @@ func (m *Machine) chargePending() bool {
 			r.pkt = pkt
 			m.pendLeft = m.params.TransferCycles(pkt.Size())
 		} else {
+			if m.obs != nil {
+				m.obs.RecvStalls.Inc()
+			}
 			m.idle(m.br.ConsumeBudget(m.br.Budget()))
 			return false
 		}
@@ -308,6 +328,9 @@ func (m *Machine) chargePending() bool {
 		if m.br.SendData(r.pkt) {
 			m.pendLeft = m.params.TransferCycles(r.pkt.Size())
 		} else {
+			if m.obs != nil {
+				m.obs.SendStalls.Inc()
+			}
 			m.idle(m.br.ConsumeBudget(m.br.Budget()))
 			return false
 		}

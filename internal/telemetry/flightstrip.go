@@ -3,8 +3,10 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/env"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/vec"
 	"repro/internal/world"
@@ -36,4 +38,56 @@ func WriteFlightStrip(w io.Writer, m *world.Map, traj []env.Telemetry, frames, c
 		}
 	}
 	return strip.WritePGM(w)
+}
+
+// HealthStrip renders an obs.Summary as the one-screen co-simulation health
+// digest CLI runs print after a mission: quantum rate and cost, where the
+// wall time went (phase shares), RPC traffic, bridge queue high-water
+// marks, and inference activity.
+func HealthStrip(s obs.Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cosim health\n")
+	fmt.Fprintf(&b, "  quanta     %d in %.1fs wall (%.1f quanta/s)\n",
+		s.Quanta, s.WallSeconds, s.QuantaPerSec)
+	fmt.Fprintf(&b, "  quantum    mean %s  p99 %s\n",
+		fmtSec(s.MeanQuantumSec), fmtSec(s.P99QuantumSec))
+	fmt.Fprintf(&b, "  phases     rtl %.0f%%  env %.0f%%  exchange %.0f%%  stall %.0f%%\n",
+		s.RTLShare*100, s.EnvShare*100, s.ExchangeShare*100, s.StallShare*100)
+	fmt.Fprintf(&b, "  rpc        %d round-trips  %s out  %s in\n",
+		s.RPCRoundTrips, fmtBytes(s.RPCBytesOut), fmtBytes(s.RPCBytesIn))
+	fmt.Fprintf(&b, "  bridge     rx hwm %s  tx hwm %s  drops %d\n",
+		fmtBytes(uint64(s.BridgeRxHWM)), fmtBytes(uint64(s.BridgeTxHWM)), s.RxDrops)
+	fmt.Fprintf(&b, "  inference  %d runs  mean %s simulated latency\n",
+		s.Inferences, fmtSec(s.MeanInferSec))
+	if s.TraceEvents > 0 || s.TraceDropped > 0 {
+		fmt.Fprintf(&b, "  trace      %d events (%d overwritten)\n",
+			s.TraceEvents, s.TraceDropped)
+	}
+	return b.String()
+}
+
+// fmtSec prints a duration in the most readable unit.
+func fmtSec(s float64) string {
+	switch {
+	case s <= 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}
+
+// fmtBytes prints a byte count with a binary-unit suffix.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }

@@ -6,6 +6,7 @@ package telemetry
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -16,47 +17,63 @@ import (
 	"repro/internal/env"
 )
 
+// csvOut wraps csv.Writer so every writer surfaces row errors the same
+// way: the first cw.Write failure is latched and returned by close, and
+// later rows become no-ops, so emit loops need no per-row error plumbing.
+type csvOut struct {
+	cw  *csv.Writer
+	err error
+}
+
+func newCSVOut(w io.Writer) *csvOut { return &csvOut{cw: csv.NewWriter(w)} }
+
+func (o *csvOut) row(rec ...string) {
+	if o.err == nil {
+		o.err = o.cw.Write(rec)
+	}
+}
+
+func (o *csvOut) close() error {
+	if o.err != nil {
+		return o.err
+	}
+	o.cw.Flush()
+	return o.cw.Error()
+}
+
 // WriteTrajectoryCSV writes per-quantum telemetry samples as CSV.
 func WriteTrajectoryCSV(w io.Writer, traj []env.Telemetry) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{
+	o := newCSVOut(w)
+	o.row(
 		"time_s", "frame", "x_m", "y_m", "z_m",
 		"vx_mps", "vy_mps", "vz_mps", "yaw_rad",
 		"depth_m", "collided", "collision_count", "mission_complete",
-	}); err != nil {
-		return err
-	}
+	)
 	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
 	for _, t := range traj {
-		rec := []string{
+		o.row(
 			f(t.TimeSec), strconv.FormatInt(t.Frame, 10),
 			f(t.Pos.X), f(t.Pos.Y), f(t.Pos.Z),
 			f(t.Vel.X), f(t.Vel.Y), f(t.Vel.Z), f(t.Yaw),
 			f(t.DepthAhead), strconv.FormatBool(t.Collided),
 			strconv.Itoa(t.CollisionCount), strconv.FormatBool(t.MissionComplete),
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
+		)
 	}
-	cw.Flush()
-	return cw.Error()
+	return o.close()
 }
 
 // WriteInferencesCSV writes the controller's inference log as CSV.
 func WriteInferencesCSV(w io.Writer, recs []app.InferenceRecord) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{
+	o := newCSVOut(w)
+	o.row(
 		"model", "req_cycle", "resp_cycle", "latency_s",
 		"p_lat_left", "p_lat_center", "p_lat_right",
 		"p_ang_left", "p_ang_center", "p_ang_right",
 		"v_forward", "v_lateral", "yaw_rate", "depth_m", "used_fallback",
-	}); err != nil {
-		return err
-	}
+	)
 	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
 	for _, r := range recs {
-		rec := []string{
+		o.row(
 			r.Model,
 			strconv.FormatUint(r.ReqCycle, 10), strconv.FormatUint(r.RespCycle, 10),
 			f(r.LatencySec),
@@ -64,13 +81,9 @@ func WriteInferencesCSV(w io.Writer, recs []app.InferenceRecord) error {
 			f(float64(r.Output.Angular[0])), f(float64(r.Output.Angular[1])), f(float64(r.Output.Angular[2])),
 			f(r.Cmd.VForward), f(r.Cmd.VLateral), f(r.Cmd.YawRate),
 			f(r.DepthMeters), strconv.FormatBool(r.UsedFallback),
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
+		)
 	}
-	cw.Flush()
-	return cw.Error()
+	return o.close()
 }
 
 // RenderTrajectory draws a top-down ASCII plot of the flight path ('*'
@@ -123,23 +136,44 @@ func (s *Series) Add(x, y float64) {
 
 // WriteSeriesCSV writes a set of series in long form (series,x,y).
 func WriteSeriesCSV(w io.Writer, series []Series) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
-		return err
-	}
+	o := newCSVOut(w)
+	o.row("series", "x", "y")
 	for _, s := range series {
 		for i := range s.X {
-			if err := cw.Write([]string{
+			o.row(
 				s.Name,
 				strconv.FormatFloat(s.X[i], 'g', -1, 64),
 				strconv.FormatFloat(s.Y[i], 'g', -1, 64),
-			}); err != nil {
-				return err
-			}
+			)
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return o.close()
+}
+
+// WriteSeriesJSON writes a set of series as a JSON array of
+// {"series", "x", "y"} objects — the machine-readable companion to
+// WriteSeriesCSV that rose-sweep exports alongside each CSV. Empty series
+// encode as [] rather than null so downstream parsers see stable shapes.
+func WriteSeriesJSON(w io.Writer, series []Series) error {
+	type seriesJSON struct {
+		Series string    `json:"series"`
+		X      []float64 `json:"x"`
+		Y      []float64 `json:"y"`
+	}
+	out := make([]seriesJSON, 0, len(series))
+	for _, s := range series {
+		sj := seriesJSON{Series: s.Name, X: s.X, Y: s.Y}
+		if sj.X == nil {
+			sj.X = []float64{}
+		}
+		if sj.Y == nil {
+			sj.Y = []float64{}
+		}
+		out = append(out, sj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // MeanSpeed returns the average ground speed over a trajectory.

@@ -6,18 +6,20 @@
 #	sh scripts/bench.sh [PR-number]
 #
 # The snapshot captures the synchronizer hot path (serial vs overlapped
-# quantum execution) and the distributed RPC path (allocs must stay 0).
+# quantum execution), the distributed RPC path (allocs must stay 0), and —
+# since PR 3 — the observability overhead: each obs-enabled benchmark is
+# paired with its disabled twin and the relative delta is recorded.
 set -eu
 
 cd "$(dirname "$0")/.."
-pr="${1:-2}"
+pr="${1:-3}"
 out="BENCH_PR${pr}.json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 echo "== benchmarks (this takes a few minutes: models train once) =="
 go test -run xxx \
-    -bench 'BenchmarkMissionStep$|BenchmarkMissionStepOverlapped$|BenchmarkMissionStepSerial$|BenchmarkQuantumTCP$' \
+    -bench 'BenchmarkMissionStep$|BenchmarkMissionStepOverlapped$|BenchmarkMissionStepSerial$|BenchmarkMissionStepObserved$|BenchmarkQuantumTCP$|BenchmarkQuantumTCPObserved$' \
     -benchtime 4x -benchmem . | tee "$raw"
 
 awk -v pr="$pr" '
@@ -41,6 +43,27 @@ END {
         if (name in bop)    printf ", \"b_op\": %s", bop[name]
         if (name in allocs) printf ", \"allocs_op\": %s", allocs[name]
         printf "}%s\n", (i < n-1 ? "," : "")
+    }
+    printf "  },\n  \"obs_overhead\": {\n"
+    # obs-enabled vs obs-disabled deltas: (observed - baseline) / baseline,
+    # per metric pairs of (observed benchmark, its disabled twin).
+    pairs["BenchmarkMissionStepObserved"] = "BenchmarkMissionStepOverlapped"
+    pairs["BenchmarkQuantumTCPObserved"]  = "BenchmarkQuantumTCP"
+    m = 0
+    for (obsname in pairs) {
+        base = pairs[obsname]
+        if (!(obsname in nsop) || !(base in nsop)) continue
+        pair[m++] = obsname
+    }
+    for (i = 0; i < m; i++) {
+        obsname = pair[i]
+        base = pairs[obsname]
+        printf "    \"%s_vs_%s\": {\"ns_op_delta_pct\": %.2f", obsname, base, \
+            (nsop[obsname] - nsop[base]) / nsop[base] * 100
+        if ((obsname in nsq) && (base in nsq) && nsq[base] > 0)
+            printf ", \"ns_quantum_delta_pct\": %.2f", \
+                (nsq[obsname] - nsq[base]) / nsq[base] * 100
+        printf "}%s\n", (i < m-1 ? "," : "")
     }
     printf "  }\n}\n"
 }' "$raw" > "$out"

@@ -25,6 +25,12 @@ echo "== go test -race =="
 # mission sweeps, and the per-goroutine workspace discipline.
 go test -race ./...
 
+echo "== go test -race (observability hot paths) =="
+# Re-run the packages whose instrumentation is exercised from multiple
+# goroutines (synchronizer + env worker + RPC server) with -count=1 so the
+# obs hooks are always raced fresh, never served from the test cache.
+go test -race -count=1 ./internal/core/... ./internal/env/... ./internal/obs/...
+
 echo "== short benchmarks =="
 # One iteration each: catches kernels that stopped compiling or regressed to
 # pathological allocation, without turning the gate into a perf run.
