@@ -211,6 +211,11 @@ func (h *Histogram) Quantile(p float64) time.Duration {
 			return time.Duration(h.bounds[i])
 		}
 	}
+	if len(h.bounds) == 0 {
+		// A directly constructed boundless histogram: every observation is
+		// in the overflow bucket, so the mean is the best estimate left.
+		return h.Mean()
+	}
 	// Target rank lies in the overflow bucket; the best bound we have is
 	// the maximum finite bound.
 	return time.Duration(h.bounds[len(h.bounds)-1])
@@ -287,7 +292,7 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 }
 
 // Histogram registers (or returns the existing) histogram under name with
-// the given ascending bucket bounds in nanoseconds (nil selects
+// the given ascending bucket bounds in nanoseconds (nil or empty selects
 // DefaultLatencyBuckets). Bounds beyond histMaxBuckets are truncated.
 func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
 	if r == nil {
@@ -295,7 +300,7 @@ func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
 	}
 	e := r.register(name, help, kindHistogram)
 	if e.hist == nil {
-		if bounds == nil {
+		if len(bounds) == 0 {
 			bounds = DefaultLatencyBuckets()
 		}
 		if len(bounds) > histMaxBuckets {
@@ -351,8 +356,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				}
 			}
 			cum += h.inf.Load()
+			// _count is the cumulative +Inf bucket total, not h.n: Observe
+			// bumps n before the bucket, so a concurrent scrape reading n
+			// independently could transiently violate the histogram
+			// invariant count == +Inf bucket that consumers assert.
 			_, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
-				e.name, cum, e.name, secs(h.sum.Load()), e.name, h.n.Load())
+				e.name, cum, e.name, secs(h.sum.Load()), e.name, cum)
 		}
 		if err != nil {
 			return err

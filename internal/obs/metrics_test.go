@@ -111,6 +111,28 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+func TestHistogramEmptyBounds(t *testing.T) {
+	// A non-nil empty bounds slice must select the defaults, same as nil,
+	// so overflow observations can never index past a zero-length bounds
+	// slice in Quantile.
+	reg := NewRegistry()
+	h := reg.Histogram("empty_seconds", "", []int64{})
+	h.Observe(time.Hour) // beyond the last default bound: +Inf bucket
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if got := h.Quantile(0.99); got <= 0 {
+		t.Errorf("quantile = %v, want positive clamp to max finite bound", got)
+	}
+	// Defensive path: a directly constructed boundless histogram must not
+	// panic either and falls back to the mean.
+	var raw Histogram
+	raw.Observe(time.Second)
+	if got := raw.Quantile(0.5); got != time.Second {
+		t.Errorf("boundless quantile = %v, want mean 1s", got)
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	reg := NewRegistry()
 	h := reg.Histogram("conc_seconds", "", nil)

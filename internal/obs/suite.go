@@ -301,6 +301,14 @@ type Summary struct {
 	P99QuantumSec  float64
 
 	// Phase shares of total measured quantum wall time, in [0, 1].
+	// RTLShare, ExchangeShare, and StallShare are phases of the
+	// synchronizer track, so together they break down quantum wall time
+	// and sum to at most 1. EnvShare is the environment worker track's
+	// busy time over the same denominator: in overlapped mode the env
+	// quantum runs concurrently with the RTL quantum, so it is NOT part
+	// of the wall-time breakdown (env time the synchronizer actually
+	// waited on already shows up as StallShare) and must be presented as
+	// a concurrent-track percentage.
 	RTLShare      float64
 	EnvShare      float64
 	ExchangeShare float64

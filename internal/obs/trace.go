@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -12,17 +13,48 @@ import (
 // them as Chrome trace-event JSON (the "complete event" form, ph "X"),
 // loadable in Perfetto or chrome://tracing.
 //
-// Recording claims a slot with one atomic increment and writes a
-// fixed-size Event in place — no locks, no allocation — so spans can be
-// emitted from the synchronizer goroutine and the overlapped environment
-// worker concurrently. When the ring wraps, the oldest spans are
-// overwritten: a bounded trace always holds the most recent window of the
-// run. A nil Tracer discards spans.
+// Recording claims a slot with one atomic increment and publishes a
+// fixed-size event behind a per-slot sequence counter (a seqlock: the
+// writer bumps the sequence to odd, stores the fields, bumps it to even)
+// — no locks, no allocation — so spans can be emitted from the
+// synchronizer goroutine and the overlapped environment worker
+// concurrently. Span names are interned into a fixed table and slots hold
+// only the interned ID, so a concurrent export never observes a torn
+// string. Readers retry a slot whose sequence is odd or changed mid-read
+// and skip it if the writer is still in flight, which makes
+// WriteChromeTrace safe against a live run (the /trace.json endpoint).
+// When the ring wraps, the oldest spans are overwritten: a bounded trace
+// always holds the most recent window of the run. A nil Tracer discards
+// spans.
 type Tracer struct {
-	epoch  time.Time
-	events []Event
-	n      atomic.Uint64
+	epoch time.Time
+	slots []slot
+	n     atomic.Uint64
+
+	nameMu    sync.Mutex
+	nameCount atomic.Uint32
+	names     [maxTraceNames]string
 }
+
+// slot is one ring entry. Every field is accessed atomically; seq is the
+// seqlock sequence (odd while a write is in flight, even once published,
+// zero if never written).
+type slot struct {
+	seq   atomic.Uint64
+	name  atomic.Uint32 // interned name ID
+	tid   atomic.Int32
+	start atomic.Int64 // ns since epoch
+	dur   atomic.Int64 // ns
+}
+
+// maxTraceNames bounds the interned-name table. The co-simulation taxonomy
+// uses a handful of static names; spans past the bound record under the
+// overflow marker (ID 0) rather than dropping.
+const maxTraceNames = 1024
+
+// overflowName is interned at ID 0 and names spans recorded after the
+// table filled.
+const overflowName = "…"
 
 // Track IDs for the co-simulation trace taxonomy. Chrome renders each tid
 // as its own row, mirroring Figure 5's two simulators plus the
@@ -32,9 +64,8 @@ const (
 	TrackEnv  = 2 // environment worker: env quantum (frames + telemetry)
 )
 
-// Event is one completed span. Start is nanoseconds since the tracer's
-// epoch; names must be static or long-lived strings (they are stored, not
-// copied).
+// Event is one completed span as read back from the ring. Start is
+// nanoseconds since the tracer's epoch.
 type Event struct {
 	Name  string
 	TID   int32
@@ -52,7 +83,45 @@ func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceEvents
 	}
-	return &Tracer{epoch: time.Now(), events: make([]Event, capacity)}
+	t := &Tracer{epoch: time.Now(), slots: make([]slot, capacity)}
+	t.names[0] = overflowName
+	t.nameCount.Store(1)
+	return t
+}
+
+// nameID interns name and returns its table index. The hot path is a
+// linear scan of the published prefix — allocation-free, and for the
+// static span taxonomy a handful of pointer-equal string compares. First
+// use of a name takes the mutex to append it.
+func (t *Tracer) nameID(name string) uint32 {
+	count := t.nameCount.Load()
+	for i := uint32(1); i < count; i++ {
+		if t.names[i] == name {
+			return i
+		}
+	}
+	t.nameMu.Lock()
+	defer t.nameMu.Unlock()
+	count = t.nameCount.Load()
+	for i := uint32(1); i < count; i++ {
+		if t.names[i] == name {
+			return i
+		}
+	}
+	if count == maxTraceNames {
+		return 0
+	}
+	t.names[count] = name
+	t.nameCount.Store(count + 1) // publishes names[count] to lock-free readers
+	return count
+}
+
+// nameFor resolves an interned ID read from a slot.
+func (t *Tracer) nameFor(id uint32) string {
+	if id < t.nameCount.Load() {
+		return t.names[id]
+	}
+	return overflowName
 }
 
 // Span records one completed span on the given track.
@@ -60,13 +129,36 @@ func (t *Tracer) Span(name string, tid int32, start, end time.Time) {
 	if t == nil {
 		return
 	}
+	id := t.nameID(name)
 	idx := t.n.Add(1) - 1
-	t.events[idx%uint64(len(t.events))] = Event{
-		Name:  name,
-		TID:   tid,
-		Start: start.Sub(t.epoch).Nanoseconds(),
-		Dur:   end.Sub(start).Nanoseconds(),
+	s := &t.slots[idx%uint64(len(t.slots))]
+	s.seq.Add(1) // odd: write in flight
+	s.name.Store(id)
+	s.tid.Store(tid)
+	s.start.Store(start.Sub(t.epoch).Nanoseconds())
+	s.dur.Store(end.Sub(start).Nanoseconds())
+	s.seq.Add(1) // even: published
+}
+
+// read returns a consistent snapshot of the slot, or ok=false if a writer
+// held it across every retry (or it was claimed but never written).
+func (t *Tracer) read(s *slot) (e Event, ok bool) {
+	for attempt := 0; attempt < 4; attempt++ {
+		s1 := s.seq.Load()
+		if s1 == 0 || s1%2 != 0 {
+			continue
+		}
+		e = Event{
+			Name:  t.nameFor(s.name.Load()),
+			TID:   s.tid.Load(),
+			Start: s.start.Load(),
+			Dur:   s.dur.Load(),
+		}
+		if s.seq.Load() == s1 {
+			return e, true
+		}
 	}
+	return Event{}, false
 }
 
 // Len returns the number of events currently held (≤ capacity).
@@ -75,8 +167,8 @@ func (t *Tracer) Len() int {
 		return 0
 	}
 	n := t.n.Load()
-	if n > uint64(len(t.events)) {
-		return len(t.events)
+	if n > uint64(len(t.slots)) {
+		return len(t.slots)
 	}
 	return int(n)
 }
@@ -87,43 +179,49 @@ func (t *Tracer) Dropped() uint64 {
 		return 0
 	}
 	n := t.n.Load()
-	if n <= uint64(len(t.events)) {
+	if n <= uint64(len(t.slots)) {
 		return 0
 	}
-	return n - uint64(len(t.events))
+	return n - uint64(len(t.slots))
 }
 
 // WriteChromeTrace renders the held events, oldest first, as a JSON array
 // of Chrome trace "complete" events: {"name", "cat", "ph": "X", "pid",
 // "tid", "ts", "dur"} with ts/dur in microseconds. The output loads
-// directly into Perfetto or chrome://tracing.
+// directly into Perfetto or chrome://tracing. Safe to call while spans are
+// still being recorded: slots a writer holds mid-store are skipped.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	if _, err := io.WriteString(w, "[\n"); err != nil {
+	if _, err := io.WriteString(w, "["); err != nil {
 		return err
 	}
 	if t != nil {
 		n := t.n.Load()
-		capacity := uint64(len(t.events))
+		capacity := uint64(len(t.slots))
 		start := uint64(0)
 		count := n
 		if n > capacity {
 			start = n % capacity
 			count = capacity
 		}
+		first := true
 		for i := uint64(0); i < count; i++ {
-			e := t.events[(start+i)%capacity]
-			sep := ","
-			if i == count-1 {
-				sep = ""
+			e, ok := t.read(&t.slots[(start+i)%capacity])
+			if !ok {
+				continue
+			}
+			sep := ",\n"
+			if first {
+				sep = "\n"
+				first = false
 			}
 			if _, err := fmt.Fprintf(w,
-				"  {\"name\": %s, \"cat\": \"cosim\", \"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"ts\": %s, \"dur\": %s}%s\n",
-				strconv.Quote(e.Name), e.TID, microseconds(e.Start), microseconds(e.Dur), sep); err != nil {
+				"%s  {\"name\": %s, \"cat\": \"cosim\", \"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"ts\": %s, \"dur\": %s}",
+				sep, strconv.Quote(e.Name), e.TID, microseconds(e.Start), microseconds(e.Dur)); err != nil {
 				return err
 			}
 		}
 	}
-	_, err := io.WriteString(w, "]\n")
+	_, err := io.WriteString(w, "\n]\n")
 	return err
 }
 

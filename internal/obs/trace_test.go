@@ -119,6 +119,58 @@ func TestTracerRingWrap(t *testing.T) {
 	}
 }
 
+func TestTracerConcurrentExport(t *testing.T) {
+	// The /trace.json endpoint exports while the run is still recording:
+	// WriteChromeTrace must race-cleanly skip or retry slots a writer
+	// holds, and every event it does emit must be well-formed.
+	tr := NewTracer(64) // small ring: exporters see active wrap-around
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(tid int32) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := time.Now()
+				tr.Span(fmt.Sprintf("w%d.s%d", tid, i%8), tid, s, s.Add(time.Microsecond))
+			}
+		}(int32(g + 1))
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		validateChromeTrace(t, buf.Bytes())
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestTracerNameIntern(t *testing.T) {
+	tr := NewTracer(4)
+	base := time.Now()
+	tr.Span("a", 1, base, base.Add(time.Microsecond))
+	tr.Span("b", 1, base, base.Add(time.Microsecond))
+	tr.Span("a", 1, base, base.Add(time.Microsecond))
+	if got := tr.nameCount.Load(); got != 3 { // overflow marker + a + b
+		t.Errorf("interned %d names, want 3", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := validateChromeTrace(t, buf.Bytes())
+	if len(events) != 3 || *events[0].Name != "a" || *events[1].Name != "b" || *events[2].Name != "a" {
+		t.Errorf("events = %+v", events)
+	}
+}
+
 func TestTracerConcurrent(t *testing.T) {
 	// Spans land from the synchronizer goroutine and the env worker
 	// concurrently; this is the -race exercise of the atomic slot claim.

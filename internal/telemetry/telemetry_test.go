@@ -262,7 +262,7 @@ func TestHealthStrip(t *testing.T) {
 	for _, want := range []string{
 		"120 in 2.0s wall (60.0 quanta/s)",
 		"mean 16.00ms  p99 31.00ms",
-		"rtl 55%  env 80%  exchange 5%  stall 25%",
+		"rtl 55%  exchange 5%  stall 25%  (env track 80%, concurrent)",
 		"240 round-trips  4.0KiB out  3.0MiB in",
 		"rx hwm 9.0KiB  tx hwm 40B  drops 1",
 		"118 runs  mean 2.10ms",
