@@ -3,13 +3,16 @@
 
 GO ?= go
 
-.PHONY: build test check bench bench-kernels
+.PHONY: build test vet check bench bench-kernels
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
 
 # check is the pre-PR gate: vet + build + race-enabled tests + smoke-run of
 # the hot-path benchmarks. See scripts/check.sh.

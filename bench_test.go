@@ -136,6 +136,11 @@ func benchQuantumTCP(b *testing.B, suite *obs.Suite) {
 	defer c.Close()
 	if suite != nil {
 		c.SetObs(suite.RPC)
+		// Stamp the run's trace context onto every request (the PR 4 wire
+		// extension): the observed benchmark measures the fully correlated
+		// path, 16 extra bytes per framed request plus the server-side span
+		// tagging.
+		c.SetTrace(suite.Run)
 	}
 
 	reqs := []packet.Type{packet.DepthReq, packet.CamReq, packet.IMUReq}
@@ -170,8 +175,31 @@ func benchQuantumTCP(b *testing.B, suite *obs.Suite) {
 func BenchmarkQuantumTCP(b *testing.B) { benchQuantumTCP(b, nil) }
 
 // BenchmarkQuantumTCPObserved runs the same quantum with client and server
-// accounting live, isolating the per-quantum cost of RPC instrumentation.
+// accounting live and every request stamped with trace context, isolating
+// the per-quantum cost of RPC instrumentation plus cross-host correlation.
 func BenchmarkQuantumTCPObserved(b *testing.B) { benchQuantumTCP(b, obs.New(0)) }
+
+// benchLogEvent measures one structured log call with typical quantum
+// fields. The Disabled twin is the same call filtered by level — the cost
+// every silenced call site pays on the hot path (one atomic load, 0 allocs).
+func benchLogEvent(b *testing.B, level obs.Level) {
+	l := obs.NewLogger(level)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Debug("quantum complete",
+			obs.Uint("seq", uint64(i)),
+			obs.Int("rtl_ns", 1_200_000),
+			obs.F64("wall_sec", 0.0013))
+	}
+}
+
+// BenchmarkLogEventEnabled records into the ring (no sink attached).
+func BenchmarkLogEventEnabled(b *testing.B) { benchLogEvent(b, obs.LevelDebug) }
+
+// BenchmarkLogEventDisabled is the level-filtered twin; the delta against
+// Enabled is the logging-on cost, and Disabled itself must be ~free.
+func BenchmarkLogEventDisabled(b *testing.B) { benchLogEvent(b, obs.LevelWarn) }
 
 // BenchmarkTable3 regenerates Table 3: DNN controller latency on
 // BOOM+Gemmini and Rocket+Gemmini, plus validation accuracy.

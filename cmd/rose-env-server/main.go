@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"log"
+	"os"
 
 	"repro/internal/env"
 	"repro/internal/obs"
@@ -26,13 +27,15 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":41451", "listen address (AirSim's default port)")
-		mapName = flag.String("map", "tunnel", "environment: tunnel or s-shape")
-		frameHz = flag.Float64("fps", 60, "frames per simulated second")
-		camW    = flag.Int("cam-w", 64, "camera width (pixels)")
-		camH    = flag.Int("cam-h", 48, "camera height (pixels)")
-		seed    = flag.Int64("seed", 1, "sensor noise seed")
-		metrics = flag.String("metrics", "", "serve live metrics on this address (e.g. :9100)")
+		addr     = flag.String("addr", ":41451", "listen address (AirSim's default port)")
+		mapName  = flag.String("map", "tunnel", "environment: tunnel or s-shape")
+		frameHz  = flag.Float64("fps", 60, "frames per simulated second")
+		camW     = flag.Int("cam-w", 64, "camera width (pixels)")
+		camH     = flag.Int("cam-h", 48, "camera height (pixels)")
+		seed     = flag.Int64("seed", 1, "sensor noise seed")
+		metrics  = flag.String("metrics", "", "serve live metrics on this address (e.g. :9100)")
+		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
+		logFile  = flag.String("log-file", "", "stream structured events as NDJSON to this file (\"-\" = stderr text)")
 	)
 	flag.Parse()
 
@@ -52,16 +55,41 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The suite is always created: the structured log and the serve spans
+	// are what a distributed run correlates against the synchronizer host
+	// (the tracer ring is live even without -metrics so /trace.json has
+	// content the moment an endpoint is attached).
+	suite := obs.New(-1)
+	suite.Host = "rose-env-server"
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite.Log.SetLevel(level)
+	if *logFile == "-" {
+		suite.Log.SetSink(os.Stderr, false)
+	} else if *logFile != "" {
+		f, err := os.Create(*logFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		suite.Log.SetSink(f, true)
+	}
+	srv.SetObs(suite.EnvServer)
+	srv.SetLog(suite.Log)
+	defer func() { suite.RecoverPanic(recover()) }()
 	if *metrics != "" {
-		suite := obs.New(0)
-		srv.SetObs(suite.EnvServer)
 		ms, err := suite.Serve(*metrics)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer ms.Close()
-		log.Printf("metrics on http://%s/metrics", ms.Addr())
+		log.Printf("metrics on http://%s/metrics (trace at /trace.json, blackbox at /blackbox.json)", ms.Addr())
 	}
+	suite.Log.Info("environment serving",
+		obs.Str("map", *mapName), obs.Str("addr", srv.Addr()),
+		obs.F64("fps", *frameHz), obs.Int("cam_w", int64(*camW)), obs.Int("cam_h", int64(*camH)))
 	log.Printf("environment %q serving on %s (%.0f fps, %dx%d camera)",
 		*mapName, srv.Addr(), *frameHz, *camW, *camH)
 	log.Fatal(srv.Serve())

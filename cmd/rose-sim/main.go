@@ -5,6 +5,13 @@
 // Example:
 //
 //	rose-sim -map s-shape -model ResNet14 -hw A -v 9 -out logs/
+//
+// It doubles as the trace-merge tool for distributed runs: given the
+// introspection URLs of both hosts it fetches /trace.json from each and
+// writes one merged Chrome trace with per-host process lanes and
+// clock-offset correction:
+//
+//	rose-sim -merge-sim http://simhost:9100 -merge-env http://envhost:9100 -merge-out merged.json
 package main
 
 import (
@@ -13,6 +20,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -39,8 +47,22 @@ func main() {
 		plot     = flag.Bool("plot", true, "print an ASCII trajectory plot")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
 		metrics  = flag.String("metrics", "", "serve live metrics on this address (e.g. :9100)")
+		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
+		logFile  = flag.String("log-file", "", "stream structured events as NDJSON to this file (\"-\" = stderr text)")
+		watchdog = flag.Duration("watchdog", 0, "quantum watchdog deadline (0 = off); a stalled quantum dumps the black box")
+		blackbox = flag.String("blackbox", obs.DefaultBlackboxPath, "flight-recorder dump path (\"\" disables file dumps)")
+		mergeSim = flag.String("merge-sim", "", "merge mode: introspection URL of the rose-sim host")
+		mergeEnv = flag.String("merge-env", "", "merge mode: introspection URL of the rose-env-server host")
+		mergeOut = flag.String("merge-out", "merged_trace.json", "merge mode: output path for the merged Chrome trace")
 	)
 	flag.Parse()
+
+	if *mergeSim != "" || *mergeEnv != "" {
+		if err := mergeTraces(*mergeSim, *mergeEnv, *mergeOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	dnn.RegistryTrainPerClass = *perClass
 	hw, err := config.ByName(*hwName)
@@ -49,23 +71,50 @@ func main() {
 	}
 
 	var suite *obs.Suite
-	if *traceOut != "" || *metrics != "" {
+	if *traceOut != "" || *metrics != "" || *watchdog > 0 || *logFile != "" {
 		traceEvents := 0
-		if *traceOut != "" {
+		if *traceOut != "" || *metrics != "" {
 			traceEvents = -1 // default ring capacity
 		}
 		suite = obs.New(traceEvents)
+		suite.Host = "rose-sim"
+		level, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		suite.Log.SetLevel(level)
+		if *logFile == "-" {
+			suite.Log.SetSink(os.Stderr, false)
+		} else if *logFile != "" {
+			f, err := os.Create(*logFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			suite.Log.SetSink(f, true)
+		}
+		suite.Recorder.SetPath(*blackbox)
 	}
+	// The crash hook sees the panicking frames, dumps blackbox.json, and
+	// re-panics — safe when suite is nil.
+	defer func() { suite.RecoverPanic(recover()) }()
 	if *metrics != "" {
 		srv, err := suite.Serve(*metrics)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		fmt.Printf("metrics on http://%s/metrics (trace at /trace.json, pprof at /debug/pprof/)\n", srv.Addr())
+		fmt.Printf("metrics on http://%s/metrics (trace at /trace.json, blackbox at /blackbox.json)\n", srv.Addr())
+	}
+	if *watchdog > 0 {
+		suite.Recorder.StartWatchdog(*watchdog)
+		defer suite.Recorder.StopWatchdog()
 	}
 
 	fmt.Printf("training %s (and %s) on tunnel datasets...\n", *model, orNone(*small))
+	suite.Logger().Info("mission starting",
+		obs.Str("map", *mapName), obs.Str("model", *model), obs.Str("hw", *hwName),
+		obs.F64("v_fwd", *vfwd), obs.F64("max_sim_sec", *maxSec))
 	out, err := experiments.RunMission(experiments.MissionSpec{
 		Map:         *mapName,
 		Model:       *model,
@@ -84,6 +133,10 @@ func main() {
 	}
 
 	r := out.Result
+	suite.Logger().Info("mission finished",
+		obs.Bool("completed", r.Completed), obs.Int("collisions", int64(r.Collisions)),
+		obs.F64("sim_sec", r.MissionTimeSec), obs.F64("wall_sec", r.WallSeconds),
+		obs.Uint("quanta", r.Syncs))
 	fmt.Printf("\nmission: completed=%v time=%.2fs collisions=%d avgV=%.2f m/s\n",
 		r.Completed, r.MissionTimeSec, r.Collisions, r.AvgVelocity)
 	fmt.Printf("soc:     cycles=%d activity=%.2f idle=%.2f syncs=%d\n",
@@ -101,7 +154,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := suite.Tracer.WriteChromeTrace(f); err != nil {
+		if err := suite.WriteTrace(f, suite.Host); err != nil {
 			f.Close()
 			log.Fatal(err)
 		}
@@ -143,6 +196,38 @@ func main() {
 		})
 		fmt.Printf("\nlogs written to %s\n", *outDir)
 	}
+}
+
+// mergeTraces fetches /trace.json from both hosts of a distributed run and
+// writes one merged Chrome trace (DESIGN.md §6.4).
+func mergeTraces(simURL, envURL, out string) error {
+	if simURL == "" || envURL == "" {
+		return fmt.Errorf("rose-sim: merge mode needs both -merge-sim and -merge-env URLs")
+	}
+	client, err := obs.FetchHostTrace(simURL)
+	if err != nil {
+		return err
+	}
+	server, err := obs.FetchHostTrace(envURL)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteMergedTrace(f, client, server); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	offset, samples := obs.EstimateClockOffset(client, server)
+	fmt.Printf("merged %d + %d spans (run %s) into %s\n", len(client.Spans), len(server.Spans), client.RunID, out)
+	fmt.Printf("clock offset %s from %d matched quanta (open in https://ui.perfetto.dev)\n",
+		offset.Round(time.Microsecond), samples)
+	return nil
 }
 
 func orNone(s string) string {

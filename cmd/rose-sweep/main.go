@@ -33,6 +33,9 @@ func main() {
 		outDir   = flag.String("out", "", "directory for CSV exports (empty = print only)")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
 		metrics  = flag.String("metrics", "", "serve live metrics on this address (e.g. :9100)")
+		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
+		watchdog = flag.Duration("watchdog", 0, "quantum watchdog deadline (0 = off); a stalled quantum dumps the black box")
+		blackbox = flag.String("blackbox", obs.DefaultBlackboxPath, "flight-recorder dump path (\"\" disables file dumps)")
 	)
 	flag.Parse()
 	dnn.RegistryTrainPerClass = *perClass
@@ -45,12 +48,24 @@ func main() {
 	if *serial {
 		opt.Overlap = core.OverlapOff
 	}
-	if *traceOut != "" || *metrics != "" {
+	if *traceOut != "" || *metrics != "" || *watchdog > 0 {
 		traceEvents := 0
 		if *traceOut != "" {
 			traceEvents = -1
 		}
 		opt.Obs = obs.New(traceEvents)
+		opt.Obs.Host = "rose-sweep"
+		level, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Obs.Log.SetLevel(level)
+		opt.Obs.Recorder.SetPath(*blackbox)
+	}
+	defer func() { opt.Obs.RecoverPanic(recover()) }()
+	if *watchdog > 0 {
+		opt.Obs.Recorder.StartWatchdog(*watchdog)
+		defer opt.Obs.Recorder.StopWatchdog()
 	}
 	if *metrics != "" {
 		srv, err := opt.Obs.Serve(*metrics)

@@ -10,12 +10,22 @@
 // the RTL quantum, and each boundary's sensor traffic crosses in a single
 // batched round-trip (see DESIGN.md §4.7).
 //
+// Observability runs exactly as it would across real hosts: the
+// synchronizer and the environment server each own a separate suite (their
+// own tracer ring and clock), every RPC carries the run's trace context on
+// the wire (DESIGN.md §6.1), and after the mission the two traces are
+// merged into one Chrome trace with per-host process lanes — env-server
+// spans nested under the rose-sim quantum that issued them.
+//
 //	go run ./examples/tcpdeploy
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
+	"os"
+	"time"
 
 	"repro/internal/app"
 	"repro/internal/config"
@@ -36,10 +46,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// One observability suite spans all three "hosts" of this process:
-	// env-server request accounting, RPC client traffic, and the
-	// synchronizer's quantum phases all land in the same registry.
-	suite := obs.New(0)
+	// Two suites, as in a real deployment: the synchronizer host and the
+	// environment host each keep their own registry, tracer, and logger.
+	// Only the trace context crosses the wire.
+	simSuite := obs.New(-1)
+	simSuite.Host = "rose-sim"
+	defer func() { simSuite.RecoverPanic(recover()) }()
+	envSuite := obs.New(-1)
+	envSuite.Host = "rose-env-server"
 
 	// --- "GPU host": environment simulator behind TCP ---
 	sim, err := env.New(env.DefaultConfig(world.Tunnel()))
@@ -50,7 +64,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	envSrv.SetObs(suite.EnvServer)
+	envSrv.SetObs(envSuite.EnvServer)
+	envSrv.SetLog(envSuite.Log)
 	go envSrv.Serve()
 	defer envSrv.Close()
 
@@ -75,26 +90,74 @@ func main() {
 		log.Fatal(err)
 	}
 	defer envClient.Close()
-	envClient.SetObs(suite.RPC)
+	envClient.SetObs(simSuite.RPC)
+	envClient.SetTrace(simSuite.Run) // stamp every RPC with the run's context
 	rtlClient, err := soc.DialRTL(rtlSrv.Addr())
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rtlClient.Close()
+	rtlClient.SetTrace(simSuite.Run)
 
-	fmt.Printf("environment at %s, RTL simulation at %s\n", envSrv.Addr(), rtlSrv.Addr())
+	fmt.Printf("environment at %s, RTL simulation at %s (run %s)\n",
+		envSrv.Addr(), rtlSrv.Addr(), simSuite.Run.RunIDHex())
 	ccfg := core.DefaultConfig()
-	ccfg.Obs = suite.Core
+	ccfg.Obs = simSuite.Core
 	sync, err := core.New(envClient, rtlClient, ccfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	// A stalled quantum (e.g. the env host dying mid-run) trips the
+	// watchdog and dumps the flight recorder to blackbox.json.
+	simSuite.Recorder.StartWatchdog(10 * time.Second)
 	res, err := sync.Run()
+	simSuite.Recorder.StopWatchdog()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("distributed mission: complete=%v in %.2f s, %d collisions, %.1f simulated MHz over TCP\n",
 		res.Completed, res.MissionTimeSec, res.Collisions, res.ThroughputMHz())
 	fmt.Println()
-	fmt.Print(telemetry.HealthStrip(suite.Summary()))
+	fmt.Print(telemetry.HealthStrip(simSuite.Summary()))
+
+	// Merge the two hosts' traces exactly as `rose-sim -merge-sim/-merge-env`
+	// would across machines: export each suite's trace with its run
+	// metadata, estimate the clock offset from matched RPC activity, and
+	// write one Chrome trace with both process lanes.
+	if err := writeMergedTrace(simSuite, envSuite, "merged_trace.json"); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeMergedTrace(simSuite, envSuite *obs.Suite, path string) error {
+	var simBuf, envBuf bytes.Buffer
+	if err := simSuite.WriteTrace(&simBuf, simSuite.Host); err != nil {
+		return err
+	}
+	if err := envSuite.WriteTrace(&envBuf, envSuite.Host); err != nil {
+		return err
+	}
+	client, err := obs.ParseHostTrace(simBuf.Bytes())
+	if err != nil {
+		return err
+	}
+	server, err := obs.ParseHostTrace(envBuf.Bytes())
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteMergedTrace(f, client, server); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	offset, samples := obs.EstimateClockOffset(client, server)
+	fmt.Printf("\nmerged trace (%d sim + %d env spans, clock offset %s from %d quanta) written to %s\n",
+		len(client.Spans), len(server.Spans), offset.Round(time.Microsecond), samples, path)
+	return nil
 }

@@ -90,11 +90,20 @@ type Bridge struct {
 	// o exports live queue occupancy, high-water marks, and drop counts
 	// (nil = disabled; hooks reduce to a nil check).
 	o *obs.BridgeObs
+	// log records queue-full drops (nil = silent). The first drop is a
+	// warning; repeats demote to debug so a saturated link cannot flood
+	// the event ring.
+	log        *obs.Logger
+	warnedDrop bool
 }
 
 // SetObs installs queue-occupancy instrumentation. Call before the
 // co-simulation starts; a nil argument disables it.
 func (b *Bridge) SetObs(o *obs.BridgeObs) { b.o = o }
+
+// SetLog installs the structured logger for drop events. Call before the
+// co-simulation starts; a nil argument silences the bridge.
+func (b *Bridge) SetLog(l *obs.Logger) { b.log = l }
 
 // observeRx publishes RX occupancy after a push or pop.
 func (b *Bridge) observeRx() {
@@ -162,6 +171,19 @@ func (b *Bridge) HandleHostPacket(p packet.Packet) error {
 		b.stats.RxDrops++
 		if b.o != nil {
 			b.o.RxDrops.Inc()
+		}
+		if b.log != nil {
+			if !b.warnedDrop {
+				b.warnedDrop = true
+				b.log.Warn("bridge rx queue full, dropping packet",
+					obs.Str("type", p.Type.String()),
+					obs.Int("used_bytes", int64(b.rx.UsedBytes())),
+					obs.Int("pkt_bytes", int64(p.Size())))
+			} else {
+				b.log.Debug("bridge rx drop",
+					obs.Str("type", p.Type.String()),
+					obs.Int("drops", int64(b.stats.RxDrops)))
+			}
 		}
 		return fmt.Errorf("bridge: rx queue full (%d bytes used), dropped %v", b.rx.UsedBytes(), p.Type)
 	}

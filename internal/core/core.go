@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/env"
@@ -247,13 +248,18 @@ func (s *Synchronizer) Run() (*Result, error) {
 	}
 
 	for quantum := 0; simT < cfg.MaxSimSeconds; quantum++ {
-		q0 := s.o.Start()
+		// BeginQuantum advances the run's trace sequence (stamped onto
+		// every RPC below) and beats the watchdog heartbeat before any
+		// network traffic, so a hung peer is attributed to the quantum
+		// that hit it.
+		q0 := s.o.BeginQuantum()
 		if quantum%exchangeEvery == 0 {
 			// --- Poll the RTL side for I/O from the last quantum,
 			// translate packets into environment API calls (Algorithm 1's
 			// decode/call_airsim_api), and transmit the encoded responses
 			// to the bridge. ---
 			if err := s.exchange(); err != nil {
+				s.o.Fault("exchange failed")
 				return nil, err
 			}
 			s.o.ObserveExchange(q0)
@@ -275,34 +281,60 @@ func (s *Synchronizer) Run() (*Result, error) {
 			s.o.ObserveStall(t1)
 			// Surface errors in serial-report order: environment first.
 			if q.stepErr != nil {
+				s.o.Fault("env step failed")
 				return nil, fmt.Errorf("core: stepping environment: %w", q.stepErr)
 			}
 			if rtlErr != nil {
+				s.o.Fault("rtl step failed")
 				return nil, fmt.Errorf("core: stepping RTL: %w", rtlErr)
 			}
 			if q.telErr != nil {
+				s.o.Fault("telemetry failed")
 				return nil, fmt.Errorf("core: telemetry: %w", q.telErr)
 			}
 			tm = q.tm
 		} else {
 			t0 := s.o.Start()
 			if err := s.env.StepFrames(frames); err != nil {
+				s.o.Fault("env step failed")
 				return nil, fmt.Errorf("core: stepping environment: %w", err)
 			}
 			s.o.ObserveEnv(t0)
 			t0 = s.o.Start()
 			if _, err := s.rtl.Step(cfg.SyncCycles); err != nil {
+				s.o.Fault("rtl step failed")
 				return nil, fmt.Errorf("core: stepping RTL: %w", err)
 			}
 			s.o.ObserveRTL(t0)
 			var err error
 			if tm, err = s.env.Telemetry(); err != nil {
+				s.o.Fault("telemetry failed")
 				return nil, fmt.Errorf("core: telemetry: %w", err)
 			}
 		}
+		// Divergence detection runs unconditionally — observability must
+		// never change run behaviour, and a NaN/Inf that escapes into the
+		// controller poisons every later quantum silently.
+		if !telemetryFinite(tm) {
+			s.o.Fault("non-finite telemetry state")
+			return nil, fmt.Errorf("core: divergence: non-finite telemetry at t=%.3fs (pos %v vel %v yaw %v)",
+				simT, tm.Pos, tm.Vel, tm.Yaw)
+		}
 		simT += quantumSec
 		res.Syncs++
-		s.o.ObserveQuantum(q0)
+		if s.o != nil {
+			s.o.EndQuantum(q0, obs.TelemetrySample{
+				TimeSec:         tm.TimeSec,
+				Frame:           tm.Frame,
+				PosX:            tm.Pos.X,
+				PosY:            tm.Pos.Y,
+				PosZ:            tm.Pos.Z,
+				Yaw:             tm.Yaw,
+				CollisionCount:  tm.CollisionCount,
+				Collided:        tm.Collided,
+				MissionComplete: tm.MissionComplete,
+			}, true)
+		}
 
 		// --- Bookkeeping. ---
 		if cfg.RecordTrajectory {
@@ -313,6 +345,7 @@ func (s *Synchronizer) Run() (*Result, error) {
 		res.Collisions = tm.CollisionCount
 
 		if s.rtl.Done() {
+			s.o.Fault("target program exited")
 			return nil, fmt.Errorf("core: target program exited unexpectedly")
 		}
 		if tm.MissionComplete {
@@ -322,6 +355,7 @@ func (s *Synchronizer) Run() (*Result, error) {
 			}
 		}
 		if cfg.MaxCollisions > 0 && tm.CollisionCount >= cfg.MaxCollisions {
+			s.o.Fault("collision limit reached")
 			break
 		}
 	}
@@ -387,6 +421,21 @@ func (s *Synchronizer) exchange() error {
 
 func isSensorReq(t packet.Type) bool {
 	return t == packet.CamReq || t == packet.IMUReq || t == packet.DepthReq
+}
+
+// telemetryFinite reports whether the boundary telemetry holds only finite
+// values — the synchronizer's divergence check.
+func telemetryFinite(tm env.Telemetry) bool {
+	for _, v := range [...]float64{
+		tm.Pos.X, tm.Pos.Y, tm.Pos.Z,
+		tm.Vel.X, tm.Vel.Y, tm.Vel.Z,
+		tm.Yaw,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // serve translates one SoC-originated packet into an environment API call,

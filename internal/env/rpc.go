@@ -43,11 +43,19 @@ type Server struct {
 	sim *Sim
 	ln  net.Listener
 	obs atomic.Pointer[obs.EnvServerObs] // nil = disabled
+	log atomic.Pointer[obs.Logger]       // nil = silent
 }
 
 // SetObs installs request/byte accounting for the server. Safe to call
 // while connections are being served; a nil argument disables it.
 func (s *Server) SetObs(o *obs.EnvServerObs) { s.obs.Store(o) }
+
+// SetLog installs the structured logger for connection lifecycle events.
+// Safe to call while serving; a nil argument silences the server.
+func (s *Server) SetLog(l *obs.Logger) { s.log.Store(l) }
+
+// logger returns the installed logger (nil-safe to use when absent).
+func (s *Server) logger() *obs.Logger { return s.log.Load() }
 
 // NewServer wraps a simulator and listens on addr (e.g. ":41451", the
 // AirSim default port).
@@ -89,6 +97,8 @@ type connScratch struct {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	s.logger().Debug("env client connected", obs.Str("remote", conn.RemoteAddr().String()))
+	defer s.logger().Debug("env client disconnected", obs.Str("remote", conn.RemoteAddr().String()))
 	r := packet.NewReader(conn)
 	w := packet.NewWriter(conn)
 	sc := &connScratch{}
@@ -97,11 +107,21 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		o := s.obs.Load()
+		var t0 time.Time
+		if o != nil {
+			t0 = time.Now()
+		}
 		resp := s.handle(req, sc)
 		if err := w.WritePacket(resp); err != nil {
 			return
 		}
-		if o := s.obs.Load(); o != nil {
+		if o != nil {
+			// The request's trace context (stamped by the synchronizer's
+			// client) tags the serve span with the quantum sequence that
+			// issued it — the server half of cross-host correlation.
+			runID, seq, _ := r.Trace()
+			o.ObserveRequest(serveSpanName(req.Type), runID, uint64(seq), t0)
 			o.Requests.Inc()
 			o.BytesIn.Add(uint64(req.Size()))
 			o.BytesOut.Add(uint64(resp.Size()))
@@ -116,6 +136,30 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}
 	}
+}
+
+// serveSpanName maps a request type to its static serve-span name —
+// constants, so tracing a request never allocates.
+func serveSpanName(t packet.Type) string {
+	switch t {
+	case packet.RPCStepFrames:
+		return "serve.step_frames"
+	case packet.RPCFrameRate:
+		return "serve.frame_rate"
+	case packet.RPCReset:
+		return "serve.reset"
+	case packet.RPCTelemetry:
+		return "serve.telemetry"
+	case packet.CamReq:
+		return "serve.cam"
+	case packet.IMUReq:
+		return "serve.imu"
+	case packet.DepthReq:
+		return "serve.depth"
+	case packet.CmdVel:
+		return "serve.cmd_vel"
+	}
+	return "serve.other"
 }
 
 func errPacket(err error) packet.Packet {
@@ -228,6 +272,7 @@ type Client struct {
 	pending  int   // acks owed for deferred commands (StepFrames, CmdVel)
 	deferred error // first error surfaced by a deferred ack
 	obs      *obs.RPCObs
+	trace    *obs.TraceContext // nil = no cross-host propagation
 
 	scratch  []byte          // request payload scratch (CmdVel, Reset)
 	img      *render.Image   // reused GetImage decode target
@@ -251,7 +296,7 @@ func Dial(addr string) (*Client, error) {
 		return nil, fmt.Errorf("env: dialing %s: %w", addr, err)
 	}
 	c := &Client{conn: conn, r: packet.NewReader(conn), w: packet.NewWriter(conn)}
-	resp, err := c.call(packet.Packet{Type: packet.RPCFrameRate})
+	resp, err := c.call(packet.Packet{Type: packet.RPCFrameRate}, packet.ParentNone)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -277,6 +322,29 @@ func (c *Client) SetObs(o *obs.RPCObs) {
 	c.mu.Unlock()
 }
 
+// SetTrace installs the run's trace context: every subsequent request is
+// stamped with the run ID, the context's current quantum sequence, and a
+// parent tag naming the quantum phase that issued it (packet.FlagTrace),
+// so the env server's spans correlate with the synchronizer's quanta
+// across hosts. Call before the co-simulation starts; nil disables
+// stamping.
+func (c *Client) SetTrace(run *obs.TraceContext) {
+	c.mu.Lock()
+	c.trace = run
+	if run == nil {
+		c.w.SetTrace(0, 0, 0)
+	}
+	c.mu.Unlock()
+}
+
+// stamp refreshes the writer's trace stamp for the current quantum.
+// Caller holds c.mu.
+func (c *Client) stamp(parent uint32) {
+	if c.trace != nil {
+		c.w.SetTrace(c.trace.RunID(), uint32(c.trace.Seq()), parent)
+	}
+}
+
 // countOut/countIn account framed traffic; nil obs reduces them to one
 // branch each, preserving the zero-allocation steady state.
 func (c *Client) countOut(n int) {
@@ -291,11 +359,13 @@ func (c *Client) countIn(n int) {
 	}
 }
 
-// call performs one synchronous round-trip. The response payload aliases
-// the read buffer and must be consumed before the next read.
-func (c *Client) call(req packet.Packet) (packet.Packet, error) {
+// call performs one synchronous round-trip stamped with parent. The
+// response payload aliases the read buffer and must be consumed before the
+// next read.
+func (c *Client) call(req packet.Packet, parent uint32) (packet.Packet, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.stamp(parent)
 	if err := c.w.WritePacket(req); err != nil {
 		return packet.Packet{}, err
 	}
@@ -323,8 +393,7 @@ func (c *Client) roundTrip() (packet.Packet, error) {
 		return packet.Packet{}, err
 	}
 	if c.obs != nil {
-		c.obs.RoundTrips.Inc()
-		c.obs.RoundTrip.ObserveSince(t0)
+		c.obs.ObserveRoundTrip(t0, c.trace.Seq(), c.trace != nil)
 		c.countIn(resp.Size())
 	}
 	if err := c.takeDeferred(); err != nil {
@@ -390,6 +459,7 @@ func (c *Client) StepFrames(n int) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.stamp(packet.ParentEnvStep)
 	return c.deferCommand(func() error {
 		if err := c.w.WriteU64(packet.RPCStepFrames, uint64(n)); err != nil {
 			return err
@@ -405,7 +475,7 @@ func (c *Client) FrameRate() float64 { return c.rate }
 // GetImage implements Env. The returned image reuses a client-owned buffer
 // and is valid until the next GetImage call.
 func (c *Client) GetImage() (*render.Image, error) {
-	resp, err := c.call(packet.Packet{Type: packet.CamReq})
+	resp, err := c.call(packet.Packet{Type: packet.CamReq}, packet.ParentExchange)
 	if err != nil {
 		return nil, err
 	}
@@ -424,7 +494,7 @@ func (c *Client) GetImage() (*render.Image, error) {
 
 // GetIMU implements Env.
 func (c *Client) GetIMU() (sensor.IMUReading, error) {
-	resp, err := c.call(packet.Packet{Type: packet.IMUReq})
+	resp, err := c.call(packet.Packet{Type: packet.IMUReq}, packet.ParentExchange)
 	if err != nil {
 		return sensor.IMUReading{}, err
 	}
@@ -442,7 +512,7 @@ func (c *Client) GetIMU() (sensor.IMUReading, error) {
 
 // GetDepth implements Env.
 func (c *Client) GetDepth() (float64, error) {
-	resp, err := c.call(packet.Packet{Type: packet.DepthReq})
+	resp, err := c.call(packet.Packet{Type: packet.DepthReq}, packet.ParentExchange)
 	if err != nil {
 		return 0, err
 	}
@@ -465,6 +535,7 @@ func (c *Client) FetchSensors(reqs []packet.Type) ([]packet.Packet, error) {
 	if c.obs != nil {
 		t0 = time.Now()
 	}
+	c.stamp(packet.ParentExchange)
 	for _, t := range reqs {
 		switch t {
 		case packet.CamReq, packet.IMUReq, packet.DepthReq:
@@ -507,8 +578,7 @@ func (c *Client) FetchSensors(reqs []packet.Type) ([]packet.Packet, error) {
 	if c.obs != nil {
 		c.obs.BatchedFetches.Inc()
 		c.obs.BatchedSensors.Add(uint64(len(reqs)))
-		c.obs.RoundTrips.Inc()
-		c.obs.RoundTrip.ObserveSince(t0)
+		c.obs.ObserveRoundTrip(t0, c.trace.Seq(), c.trace != nil)
 	}
 	if err := c.takeDeferred(); err != nil {
 		return nil, err
@@ -527,6 +597,7 @@ func (c *Client) FetchSensors(reqs []packet.Type) ([]packet.Packet, error) {
 func (c *Client) SetVelocity(forward, lateral, yawRate float64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.stamp(packet.ParentExchange)
 	return c.deferCommand(func() error {
 		c.scratch = packet.Cmd{VForward: forward, VLateral: lateral, YawRate: yawRate}.AppendPayload(c.scratch[:0])
 		p := packet.Packet{Type: packet.CmdVel, Payload: c.scratch}
@@ -542,6 +613,7 @@ func (c *Client) SetVelocity(forward, lateral, yawRate float64) error {
 func (c *Client) Reset(x, y, z, yaw float64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.stamp(packet.ParentNone)
 	c.scratch = c.scratch[:0]
 	for _, v := range [...]float64{x, y, z, yaw} {
 		c.scratch = binary.LittleEndian.AppendUint64(c.scratch, math.Float64bits(v))
@@ -556,7 +628,7 @@ func (c *Client) Reset(x, y, z, yaw float64) error {
 
 // Telemetry implements Env.
 func (c *Client) Telemetry() (Telemetry, error) {
-	resp, err := c.call(packet.Packet{Type: packet.RPCTelemetry})
+	resp, err := c.call(packet.Packet{Type: packet.RPCTelemetry}, packet.ParentEnvStep)
 	if err != nil {
 		return Telemetry{}, err
 	}

@@ -148,6 +148,7 @@ func RunMission(spec MissionSpec) (*MissionOutcome, error) {
 	defer machine.Close()
 	if spec.Obs != nil {
 		machine.Bridge().SetObs(spec.Obs.Bridge)
+		machine.Bridge().SetLog(spec.Obs.Log)
 	}
 
 	ccfg := core.DefaultConfig()

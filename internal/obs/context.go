@@ -1,0 +1,63 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// TraceContext is the cross-host identity of one co-simulation run: a
+// random 64-bit run ID plus a monotonically advancing quantum sequence
+// number. The synchronizer advances the sequence once per quantum and the
+// RPC client stamps both onto every outgoing packet (packet.FlagTrace), so
+// spans recorded on the env-server host carry the same (run ID, seq) pair
+// as the rose-sim quantum that caused them — the key trace merging joins
+// on. A nil *TraceContext disables propagation (run ID 0 is never valid).
+type TraceContext struct {
+	runID uint64
+	seq   atomic.Uint64
+}
+
+// NewTraceContext creates a context with a fresh random nonzero run ID.
+func NewTraceContext() *TraceContext {
+	var b [8]byte
+	// crypto/rand never fails on supported platforms; a zero fallback ID
+	// is corrected below either way.
+	crand.Read(b[:])
+	id := binary.LittleEndian.Uint64(b[:])
+	if id == 0 {
+		id = 1
+	}
+	return &TraceContext{runID: id}
+}
+
+// RunID returns the run identifier (0 on nil — "no trace context").
+func (c *TraceContext) RunID() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.runID
+}
+
+// RunIDHex renders the run ID as 16 lowercase hex digits.
+func (c *TraceContext) RunIDHex() string {
+	return string(appendHex16(make([]byte, 0, 16), c.RunID()))
+}
+
+// Advance moves to the next quantum sequence number and returns it
+// (sequences start at 1; 0 on nil).
+func (c *TraceContext) Advance() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.seq.Add(1)
+}
+
+// Seq returns the current quantum sequence number (0 on nil, or before the
+// first Advance).
+func (c *TraceContext) Seq() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.seq.Load()
+}

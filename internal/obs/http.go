@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -12,7 +13,9 @@ import (
 //
 //	/metrics        Prometheus text exposition
 //	/metrics.json   JSON snapshot (counters/gauges plus histogram digests)
-//	/trace.json     Chrome trace-event JSON of the span ring buffer
+//	/trace.json     Chrome trace-event JSON of the span ring buffer, with
+//	                run metadata (process name, run ID, trace epoch)
+//	/blackbox.json  on-demand flight-recorder dump
 //	/debug/vars     expvar (Go runtime memstats, cmdline)
 //	/debug/pprof/   net/http/pprof profiles
 //
@@ -30,7 +33,15 @@ func (s *Suite) Handler() http.Handler {
 	})
 	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		s.tr().WriteChromeTrace(w)
+		s.WriteTrace(w, s.host())
+	})
+	mux.HandleFunc("/blackbox.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		rec := s.rec()
+		if rec != nil {
+			rec.ManualDumps.Inc()
+		}
+		rec.DumpTo(w, "manual")
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -47,6 +58,7 @@ func (s *Suite) Handler() http.Handler {
 			"/metrics       Prometheus text format\n"+
 			"/metrics.json  JSON snapshot\n"+
 			"/trace.json    Chrome trace events (load in Perfetto)\n"+
+			"/blackbox.json on-demand flight-recorder dump\n"+
 			"/debug/vars    expvar\n"+
 			"/debug/pprof/  pprof profiles\n")
 	})
@@ -60,33 +72,71 @@ func (s *Suite) reg() *Registry {
 	return s.Registry
 }
 
-func (s *Suite) tr() *Tracer {
+func (s *Suite) rec() *Recorder {
 	if s == nil {
 		return nil
 	}
-	return s.Tracer
+	return s.Recorder
+}
+
+func (s *Suite) host() string {
+	if s == nil {
+		return ""
+	}
+	return s.Host
 }
 
 // IntrospectionServer is a running metrics/introspection HTTP endpoint.
 type IntrospectionServer struct {
-	ln  net.Listener
-	srv *http.Server
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
 }
 
 // Serve starts the introspection server on addr (e.g. ":9090" or
 // "127.0.0.1:0") and serves in a background goroutine until Close.
 func (s *Suite) Serve(addr string) (*IntrospectionServer, error) {
+	return s.ServeContext(context.Background(), addr)
+}
+
+// ServeContext is Serve bound to a context: cancellation closes the server
+// and releases the listener, so sweep repetitions that spin up a suite per
+// run cannot leak sockets. Close remains valid (and idempotent) after
+// cancellation.
+func (s *Suite) ServeContext(ctx context.Context, addr string) (*IntrospectionServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: s.Handler()}
-	go srv.Serve(ln)
-	return &IntrospectionServer{ln: ln, srv: srv}, nil
+	i := &IntrospectionServer{ln: ln, srv: srv, done: make(chan struct{})}
+	go func() {
+		defer close(i.done)
+		srv.Serve(ln)
+	}()
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				srv.Close()
+			case <-i.done:
+			}
+		}()
+	}
+	return i, nil
 }
 
 // Addr returns the bound listen address.
 func (i *IntrospectionServer) Addr() string { return i.ln.Addr().String() }
 
-// Close stops the server.
-func (i *IntrospectionServer) Close() error { return i.srv.Close() }
+// Done is closed once the serve loop has fully stopped (listener closed,
+// no goroutine left behind).
+func (i *IntrospectionServer) Done() <-chan struct{} { return i.done }
+
+// Close stops the server and waits for the serve loop to exit, so the
+// listener is guaranteed released when it returns.
+func (i *IntrospectionServer) Close() error {
+	err := i.srv.Close()
+	<-i.done
+	return err
+}

@@ -1,11 +1,15 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -188,4 +192,121 @@ func TestSuiteSummary(t *testing.T) {
 	if sum.TraceEvents != 3 {
 		t.Errorf("trace events = %d, want 3", sum.TraceEvents)
 	}
+}
+
+func TestBlackboxEndpoint(t *testing.T) {
+	s := New(16)
+	s.Recorder.SetPath("") // no file side effects; the endpoint streams
+	s.Core.EndQuantum(time.Now().Add(-time.Millisecond), TelemetrySample{PosX: 1}, true)
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body, resp := get(t, srv, "/blackbox.json")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var bb blackbox
+	if err := json.Unmarshal([]byte(body), &bb); err != nil {
+		t.Fatalf("/blackbox.json invalid: %v\n%s", err, body)
+	}
+	if bb.Schema != "rose-blackbox/1" || bb.Reason != "manual" {
+		t.Errorf("schema/reason = %q/%q", bb.Schema, bb.Reason)
+	}
+	if len(bb.Quanta) != 1 || !bb.Quanta[0].HasTelemetry || bb.Quanta[0].Telemetry.PosX != 1 {
+		t.Errorf("quanta = %+v", bb.Quanta)
+	}
+	if s.Recorder.ManualDumps.Value() != 1 {
+		t.Errorf("manual dumps = %d", s.Recorder.ManualDumps.Value())
+	}
+	get(t, srv, "/blackbox.json")
+	if s.Recorder.ManualDumps.Value() != 2 {
+		t.Errorf("manual dumps = %d after second scrape", s.Recorder.ManualDumps.Value())
+	}
+}
+
+func TestHandlerConcurrentScrape(t *testing.T) {
+	// Every endpoint must be scrapeable while the run is actively recording
+	// — the live-introspection contract (-race is the real assertion here).
+	s := New(256)
+	s.Recorder.SetPath("")
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	runDone := make(chan struct{})
+	go func() { // the "synchronizer": records quanta, spans, logs, faults
+		defer close(runDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			start := s.Core.BeginQuantum()
+			s.Core.ObserveRTL(start)
+			s.Core.ObserveExchange(start)
+			s.Core.EndQuantum(start, TelemetrySample{Frame: int64(i)}, true)
+			s.Log.Info("quantum", Int("i", int64(i)))
+			s.Bridge.RxBytes.Set(int64(i % 512))
+			if i%64 == 63 {
+				s.Core.Fault("synthetic divergence")
+			}
+		}
+	}()
+
+	paths := []string{"/metrics", "/metrics.json", "/trace.json", "/blackbox.json"}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				body, _ := get(t, srv, path)
+				switch path {
+				case "/trace.json":
+					validateChromeTrace(t, []byte(body))
+				case "/metrics.json", "/blackbox.json":
+					var v map[string]any
+					if err := json.Unmarshal([]byte(body), &v); err != nil {
+						t.Errorf("%s mid-run invalid: %v", path, err)
+					}
+				}
+			}
+		}(paths[g])
+	}
+	wg.Wait() // scrapers race against a live recorder for their whole run
+	close(stop)
+	<-runDone
+}
+
+func TestServeContextCancel(t *testing.T) {
+	s := New(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	is, err := s.ServeContext(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := is.Addr()
+	if _, err := http.Get("http://" + addr + "/metrics"); err != nil {
+		t.Fatal(err)
+	}
+
+	cancel()
+	select {
+	case <-is.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve loop did not stop on context cancel")
+	}
+	// The listener must actually be released: the port is rebindable.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port still held after cancel: %v", err)
+	}
+	ln.Close()
+	// Close after cancellation stays valid and idempotent.
+	if err := is.Close(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		t.Errorf("Close after cancel: %v", err)
+	}
+	is.Close()
 }

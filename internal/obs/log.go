@@ -1,0 +1,411 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Structured event log: a leveled logger with typed key/value fields whose
+// hot path is allocation-free. Events land in a preallocated ring (the tail
+// the flight recorder snapshots into blackbox.json) and are optionally
+// rendered to a sink — human-readable text or NDJSON — through a grow-only
+// scratch buffer. A nil *Logger discards everything, and a level-filtered
+// call returns after one atomic load, so call sites in the synchronizer's
+// quantum loop cost a branch when logging is off.
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	// LevelOff filters every event.
+	LevelOff
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	case LevelOff:
+		return "off"
+	}
+	return "unknown"
+}
+
+// ParseLevel parses a level name (case-insensitive) as accepted by the
+// -log-level flag.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	case "off", "none":
+		return LevelOff, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error|off)", s)
+}
+
+// fieldKind discriminates the typed value carried by a Field.
+type fieldKind uint8
+
+const (
+	fieldStr fieldKind = iota
+	fieldInt
+	fieldUint
+	fieldHex
+	fieldF64
+	fieldBool
+)
+
+// Field is one typed key/value pair attached to a log event. Fields are
+// plain values — building one never allocates — and events copy them into
+// ring storage, so the variadic slice at a call site does not escape.
+type Field struct {
+	Key  string
+	kind fieldKind
+	str  string
+	num  int64
+	f    float64
+}
+
+// Str builds a string field.
+func Str(key, v string) Field { return Field{Key: key, kind: fieldStr, str: v} }
+
+// Int builds an integer field.
+func Int(key string, v int64) Field { return Field{Key: key, kind: fieldInt, num: v} }
+
+// Uint builds an unsigned integer field.
+func Uint(key string, v uint64) Field { return Field{Key: key, kind: fieldUint, num: int64(v)} }
+
+// Hex builds an unsigned field rendered as zero-padded hex — run IDs.
+func Hex(key string, v uint64) Field { return Field{Key: key, kind: fieldHex, num: int64(v)} }
+
+// F64 builds a float field.
+func F64(key string, v float64) Field { return Field{Key: key, kind: fieldF64, f: v} }
+
+// Bool builds a boolean field.
+func Bool(key string, v bool) Field {
+	f := Field{Key: key, kind: fieldBool}
+	if v {
+		f.num = 1
+	}
+	return f
+}
+
+// Err builds an "err" field from an error (the empty string when nil).
+func Err(err error) Field {
+	f := Field{Key: "err", kind: fieldStr}
+	if err != nil {
+		f.str = err.Error()
+	}
+	return f
+}
+
+// Dur builds a seconds field from a duration.
+func Dur(key string, d time.Duration) Field { return F64(key, d.Seconds()) }
+
+// value renders the field's value for the export snapshot.
+func (f Field) value() any {
+	switch f.kind {
+	case fieldStr:
+		return f.str
+	case fieldInt:
+		return f.num
+	case fieldUint:
+		return uint64(f.num)
+	case fieldHex:
+		return fmt.Sprintf("%016x", uint64(f.num))
+	case fieldF64:
+		return f.f
+	case fieldBool:
+		return f.num != 0
+	}
+	return nil
+}
+
+// maxLogFields bounds the fields stored per event; extra fields are dropped
+// (the ring entry is fixed-size so recording cannot allocate).
+const maxLogFields = 8
+
+// DefaultLogEvents is the default ring capacity — the event-log tail a
+// blackbox dump can reproduce.
+const DefaultLogEvents = 1024
+
+// logEvent is one ring entry.
+type logEvent struct {
+	t      int64 // unix ns
+	level  Level
+	msg    string
+	n      int
+	fields [maxLogFields]Field
+}
+
+// LogRecord is one event as exported into a blackbox bundle.
+type LogRecord struct {
+	TimeUnixNano int64          `json:"t_unix_ns"`
+	Level        string         `json:"level"`
+	Msg          string         `json:"msg"`
+	Fields       map[string]any `json:"fields,omitempty"`
+}
+
+// Logger is the structured event log. All methods are safe for concurrent
+// use; a nil *Logger discards events and reports disabled for every level.
+type Logger struct {
+	level atomic.Int32
+
+	mu      sync.Mutex
+	ring    []logEvent
+	n       uint64 // total events appended
+	sink    io.Writer
+	ndjson  bool
+	scratch []byte // grow-only render buffer, guarded by mu
+
+	count       atomic.Uint64
+	overwritten atomic.Uint64
+}
+
+// NewLogger creates a logger filtering below level, with the default ring
+// capacity and no sink (events are only retained in the ring).
+func NewLogger(level Level) *Logger {
+	l := &Logger{ring: make([]logEvent, DefaultLogEvents)}
+	l.level.Store(int32(level))
+	return l
+}
+
+// SetLevel changes the filter level.
+func (l *Logger) SetLevel(level Level) {
+	if l == nil {
+		return
+	}
+	l.level.Store(int32(level))
+}
+
+// Level returns the current filter level (LevelOff on nil).
+func (l *Logger) Level() Level {
+	if l == nil {
+		return LevelOff
+	}
+	return Level(l.level.Load())
+}
+
+// SetSink directs rendered events to w — NDJSON when ndjson is true, a
+// human-readable "ts level msg k=v" line otherwise. A nil w detaches the
+// sink; events are still retained in the ring.
+func (l *Logger) SetSink(w io.Writer, ndjson bool) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.sink = w
+	l.ndjson = ndjson
+	l.mu.Unlock()
+}
+
+// Enabled reports whether events at level pass the filter. Call sites that
+// must build expensive fields guard on it; ordinary calls just log — a
+// filtered event costs one atomic load.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= Level(l.level.Load())
+}
+
+// Debug logs a debug event.
+func (l *Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, msg, fields) }
+
+// Info logs an informational event.
+func (l *Logger) Info(msg string, fields ...Field) { l.log(LevelInfo, msg, fields) }
+
+// Warn logs a warning.
+func (l *Logger) Warn(msg string, fields ...Field) { l.log(LevelWarn, msg, fields) }
+
+// Error logs an error event.
+func (l *Logger) Error(msg string, fields ...Field) { l.log(LevelError, msg, fields) }
+
+// Fatal logs an error event and exits the process with status 1. It works
+// on a nil logger (stderr fallback) so CLI startup paths can use it before
+// observability is wired.
+func (l *Logger) Fatal(msg string, fields ...Field) {
+	if l == nil || !l.Enabled(LevelError) {
+		fmt.Fprintf(os.Stderr, "fatal: %s\n", msg)
+		for _, f := range fields {
+			fmt.Fprintf(os.Stderr, "  %s=%v\n", f.Key, f.value())
+		}
+		os.Exit(1)
+	}
+	l.log(LevelError, msg, fields)
+	os.Exit(1)
+}
+
+func (l *Logger) log(level Level, msg string, fields []Field) {
+	if l == nil || level < Level(l.level.Load()) {
+		return
+	}
+	now := time.Now()
+	l.mu.Lock()
+	e := &l.ring[l.n%uint64(len(l.ring))]
+	if l.n >= uint64(len(l.ring)) {
+		l.overwritten.Add(1)
+	}
+	l.n++
+	e.t = now.UnixNano()
+	e.level = level
+	e.msg = msg
+	e.n = copy(e.fields[:], fields)
+	if l.sink != nil {
+		l.scratch = renderEvent(l.scratch[:0], e, l.ndjson)
+		l.sink.Write(l.scratch)
+	}
+	l.mu.Unlock()
+	l.count.Add(1)
+}
+
+// Count returns the total number of events accepted.
+func (l *Logger) Count() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.count.Load()
+}
+
+// Overwritten returns how many ring entries were lost to wrap-around.
+func (l *Logger) Overwritten() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.overwritten.Load()
+}
+
+// Snapshot returns up to max of the most recent events, oldest first — the
+// blackbox event tail. max <= 0 returns everything the ring holds. Unlike
+// the recording path it allocates freely.
+func (l *Logger) Snapshot(max int) []LogRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.n
+	capacity := uint64(len(l.ring))
+	count := n
+	if count > capacity {
+		count = capacity
+	}
+	if max > 0 && count > uint64(max) {
+		count = uint64(max)
+	}
+	out := make([]LogRecord, 0, count)
+	for i := n - count; i < n; i++ {
+		e := &l.ring[i%capacity]
+		r := LogRecord{TimeUnixNano: e.t, Level: e.level.String(), Msg: e.msg}
+		if e.n > 0 {
+			r.Fields = make(map[string]any, e.n)
+			for _, f := range e.fields[:e.n] {
+				r.Fields[f.Key] = f.value()
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// renderEvent appends one rendered event (with trailing newline) to dst.
+func renderEvent(dst []byte, e *logEvent, ndjson bool) []byte {
+	if ndjson {
+		dst = append(dst, `{"t_unix_ns":`...)
+		dst = strconv.AppendInt(dst, e.t, 10)
+		dst = append(dst, `,"level":"`...)
+		dst = append(dst, e.level.String()...)
+		dst = append(dst, `","msg":`...)
+		dst = strconv.AppendQuote(dst, e.msg)
+		for _, f := range e.fields[:e.n] {
+			dst = append(dst, ',')
+			dst = strconv.AppendQuote(dst, f.Key)
+			dst = append(dst, ':')
+			dst = appendJSONValue(dst, f)
+		}
+		return append(dst, '}', '\n')
+	}
+	dst = time.Unix(0, e.t).UTC().AppendFormat(dst, "2006-01-02T15:04:05.000Z")
+	dst = append(dst, ' ')
+	dst = append(dst, e.level.String()...)
+	dst = append(dst, ' ')
+	dst = append(dst, e.msg...)
+	for _, f := range e.fields[:e.n] {
+		dst = append(dst, ' ')
+		dst = append(dst, f.Key...)
+		dst = append(dst, '=')
+		dst = appendTextValue(dst, f)
+	}
+	return append(dst, '\n')
+}
+
+func appendJSONValue(dst []byte, f Field) []byte {
+	switch f.kind {
+	case fieldStr:
+		return strconv.AppendQuote(dst, f.str)
+	case fieldInt:
+		return strconv.AppendInt(dst, f.num, 10)
+	case fieldUint:
+		return strconv.AppendUint(dst, uint64(f.num), 10)
+	case fieldHex:
+		dst = append(dst, '"')
+		dst = appendHex16(dst, uint64(f.num))
+		return append(dst, '"')
+	case fieldF64:
+		if math.IsNaN(f.f) || math.IsInf(f.f, 0) {
+			return strconv.AppendQuote(dst, strconv.FormatFloat(f.f, 'g', -1, 64))
+		}
+		return strconv.AppendFloat(dst, f.f, 'g', -1, 64)
+	case fieldBool:
+		return strconv.AppendBool(dst, f.num != 0)
+	}
+	return append(dst, "null"...)
+}
+
+func appendTextValue(dst []byte, f Field) []byte {
+	switch f.kind {
+	case fieldStr:
+		return strconv.AppendQuote(dst, f.str)
+	case fieldInt:
+		return strconv.AppendInt(dst, f.num, 10)
+	case fieldUint:
+		return strconv.AppendUint(dst, uint64(f.num), 10)
+	case fieldHex:
+		return appendHex16(dst, uint64(f.num))
+	case fieldF64:
+		return strconv.AppendFloat(dst, f.f, 'g', -1, 64)
+	case fieldBool:
+		return strconv.AppendBool(dst, f.num != 0)
+	}
+	return dst
+}
+
+// appendHex16 appends v as 16 zero-padded hex digits (run-ID rendering).
+func appendHex16(dst []byte, v uint64) []byte {
+	const digits = "0123456789abcdef"
+	for shift := 60; shift >= 0; shift -= 4 {
+		dst = append(dst, digits[(v>>uint(shift))&0xf])
+	}
+	return dst
+}

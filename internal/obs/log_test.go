@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "": LevelInfo,
+		"warn": LevelWarn, "warning": LevelWarn,
+		"error": LevelError, "off": LevelOff, "none": LevelOff,
+		"INFO": LevelInfo,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestLoggerRingAndSnapshot(t *testing.T) {
+	l := NewLogger(LevelDebug)
+	l.Debug("dbg", Int("i", 1))
+	l.Info("inf", Str("s", "x"), Bool("ok", true))
+	l.Warn("wrn", F64("f", 2.5))
+	l.Error("err", Err(errors.New("boom")), Hex("run", 0xAB), Uint("u", 7),
+		Dur("d", 1500*time.Microsecond))
+	if l.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", l.Count())
+	}
+	recs := l.Snapshot(0)
+	if len(recs) != 4 {
+		t.Fatalf("Snapshot = %d records, want 4", len(recs))
+	}
+	if recs[0].Level != "debug" || recs[0].Msg != "dbg" || recs[0].Fields["i"] != int64(1) {
+		t.Errorf("rec 0 = %+v", recs[0])
+	}
+	if recs[1].Fields["s"] != "x" || recs[1].Fields["ok"] != true {
+		t.Errorf("rec 1 = %+v", recs[1])
+	}
+	e := recs[3]
+	if e.Level != "error" || e.Fields["err"] != "boom" || e.Fields["run"] != "00000000000000ab" {
+		t.Errorf("rec 3 = %+v", e)
+	}
+	if d, ok := e.Fields["d"].(float64); !ok || d < 0.0014 || d > 0.0016 {
+		t.Errorf("duration field = %v, want ~0.0015s", e.Fields["d"])
+	}
+	if tail := l.Snapshot(2); len(tail) != 2 || tail[1].Msg != "err" {
+		t.Errorf("Snapshot(2) = %+v", tail)
+	}
+}
+
+func TestLoggerLevelGate(t *testing.T) {
+	l := NewLogger(LevelWarn)
+	l.Debug("no")
+	l.Info("no")
+	l.Warn("yes")
+	l.Error("yes")
+	if l.Count() != 2 {
+		t.Errorf("Count = %d, want 2 (debug/info gated)", l.Count())
+	}
+	l.SetLevel(LevelOff)
+	l.Error("no")
+	if l.Count() != 2 {
+		t.Error("LevelOff still recorded")
+	}
+	if l.Level() != LevelOff {
+		t.Errorf("Level = %v", l.Level())
+	}
+}
+
+func TestLoggerRingOverwrite(t *testing.T) {
+	l := NewLogger(LevelInfo)
+	for i := 0; i < DefaultLogEvents+10; i++ {
+		l.Info("m", Int("i", int64(i)))
+	}
+	if l.Overwritten() != 10 {
+		t.Errorf("Overwritten = %d, want 10", l.Overwritten())
+	}
+	recs := l.Snapshot(0)
+	if len(recs) != DefaultLogEvents {
+		t.Fatalf("ring holds %d, want %d", len(recs), DefaultLogEvents)
+	}
+	if recs[0].Fields["i"] != int64(10) {
+		t.Errorf("oldest surviving record i = %v, want 10", recs[0].Fields["i"])
+	}
+}
+
+func TestLoggerNDJSONSink(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(LevelInfo)
+	l.SetSink(&buf, true)
+	l.Info("hello", Str("who", "wo\"rld"), Int("n", -3))
+	l.Warn("again")
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("sink line not JSON: %v\n%s", err, sc.Text())
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("%d NDJSON lines, want 2", len(lines))
+	}
+	if lines[0]["msg"] != "hello" || lines[0]["level"] != "info" ||
+		lines[0]["who"] != "wo\"rld" || lines[0]["n"] != float64(-3) {
+		t.Errorf("line 0 = %v", lines[0])
+	}
+	if _, ok := lines[0]["t_unix_ns"]; !ok {
+		t.Error("line 0 missing timestamp")
+	}
+}
+
+func TestLoggerTextSink(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(LevelInfo)
+	l.SetSink(&buf, false)
+	l.Error("it broke", Str("why", "reasons"), Int("code", 7))
+	line := buf.String()
+	for _, want := range []string{"error", "it broke", `why="reasons"`, "code=7"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("text line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Debug("x")
+	l.Info("x", Int("i", 1))
+	l.Warn("x")
+	l.Error("x")
+	if l.Count() != 0 || l.Overwritten() != 0 || l.Enabled(LevelError) {
+		t.Error("nil logger must be inert")
+	}
+	if recs := l.Snapshot(0); recs != nil {
+		t.Error("nil logger snapshot must be nil")
+	}
+	// CLI call sites log through Suite.Logger() without checking whether
+	// observability was enabled; the nil-suite chain must stay inert.
+	var s *Suite
+	s.Logger().Info("mission starting", Str("map", "tunnel"))
+	if s.Logger() != nil {
+		t.Error("nil suite must yield a nil logger")
+	}
+}
+
+func TestLoggerDisabledZeroAlloc(t *testing.T) {
+	l := NewLogger(LevelWarn)
+	err := errors.New("e")
+	allocs := testing.AllocsPerRun(200, func() {
+		l.Debug("suppressed", Int("i", 1), Str("s", "x"), Err(err))
+		l.Info("suppressed", F64("f", 1.5))
+	})
+	if allocs != 0 {
+		t.Errorf("disabled log calls allocate %v/op, want 0", allocs)
+	}
+	var nilL *Logger
+	allocs = testing.AllocsPerRun(200, func() {
+		nilL.Error("suppressed", Int("i", 1))
+	})
+	if allocs != 0 {
+		t.Errorf("nil-logger calls allocate %v/op, want 0", allocs)
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	l := NewLogger(LevelInfo)
+	var sink bytes.Buffer
+	l.SetSink(&sink, true)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				l.Info("worker", Int("id", id), Int("i", int64(i)))
+			}
+		}(int64(g))
+	}
+	for i := 0; i < 20; i++ {
+		l.Snapshot(64)
+	}
+	wg.Wait()
+	if l.Count() != 1200 {
+		t.Errorf("Count = %d, want 1200", l.Count())
+	}
+}
+
+func TestLoggerFieldTruncation(t *testing.T) {
+	// More fields than the per-event array holds: extras drop, the event
+	// survives.
+	l := NewLogger(LevelInfo)
+	fields := make([]Field, 0, maxLogFields+3)
+	for i := 0; i < maxLogFields+3; i++ {
+		fields = append(fields, Int("f", int64(i)))
+	}
+	l.Info("many", fields...)
+	recs := l.Snapshot(0)
+	if len(recs) != 1 {
+		t.Fatalf("event lost: %d records", len(recs))
+	}
+	if len(recs[0].Fields) > maxLogFields {
+		t.Errorf("kept %d fields, cap is %d", len(recs[0].Fields), maxLogFields)
+	}
+}

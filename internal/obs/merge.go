@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Trace merging for distributed deployments: rose-sim and rose-env-server
+// each export a Chrome trace via /trace.json, stamped with the run's trace
+// context (Suite.WriteTrace metadata). This file fetches/parses both,
+// estimates the clock offset between the hosts from RPC round-trips — for
+// every quantum sequence observed on both sides, the midpoint of the
+// client's rpc.roundtrip span and the midpoint of the server's serve.*
+// spans should coincide, so the median midpoint difference is the offset —
+// and writes one merged trace with per-host process lanes on the client
+// host's timeline, in which env-server spans nest under the rose-sim
+// quantum that issued them.
+
+// TraceSpan is one complete event parsed from a host trace.
+type TraceSpan struct {
+	Name   string
+	TID    int
+	TsUS   float64 // µs since the host's trace epoch
+	DurUS  float64
+	Seq    uint64
+	HasSeq bool
+}
+
+// HostTrace is one host's parsed trace plus its identifying metadata.
+type HostTrace struct {
+	Host          string // process name ("" when the trace carried none)
+	RunID         string // 16-hex-digit run ID ("" when untraced)
+	EpochUnixNano int64  // wall-clock anchor of ts 0
+	Spans         []TraceSpan
+}
+
+// rawChromeEvent is the decode shape for both complete and metadata events.
+type rawChromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TID  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+// ParseHostTrace parses a Chrome trace exported by Suite.WriteTrace (or a
+// bare Tracer.WriteChromeTrace, which yields empty metadata).
+func ParseHostTrace(data []byte) (HostTrace, error) {
+	var events []rawChromeEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		return HostTrace{}, fmt.Errorf("obs: parsing host trace: %w", err)
+	}
+	var ht HostTrace
+	for _, e := range events {
+		switch e.Ph {
+		case "M":
+			switch e.Name {
+			case "process_name":
+				if s, ok := e.Args["name"].(string); ok {
+					ht.Host = s
+				}
+			case "rose_run":
+				if s, ok := e.Args["run_id"].(string); ok {
+					ht.RunID = s
+				}
+				// epoch_unix_ns is emitted as a decimal string: unix
+				// nanoseconds exceed float64's integer range, and a float
+				// round-trip would cost ~hundreds of ns of offset accuracy.
+				if s, ok := e.Args["epoch_unix_ns"].(string); ok {
+					if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+						ht.EpochUnixNano = v
+					}
+				}
+			}
+		case "X":
+			sp := TraceSpan{Name: e.Name, TID: e.TID, TsUS: e.Ts, DurUS: e.Dur}
+			if v, ok := e.Args["seq"]; ok {
+				if f, ok := v.(float64); ok {
+					sp.Seq, sp.HasSeq = uint64(f), true
+				}
+			}
+			ht.Spans = append(ht.Spans, sp)
+		}
+	}
+	return ht, nil
+}
+
+// FetchHostTrace retrieves and parses baseURL/trace.json from a running
+// introspection server.
+func FetchHostTrace(baseURL string) (HostTrace, error) {
+	url := strings.TrimSuffix(baseURL, "/") + "/trace.json"
+	resp, err := http.Get(url)
+	if err != nil {
+		return HostTrace{}, fmt.Errorf("obs: fetching %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return HostTrace{}, fmt.Errorf("obs: fetching %s: %s", url, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return HostTrace{}, fmt.Errorf("obs: reading %s: %w", url, err)
+	}
+	return ParseHostTrace(data)
+}
+
+// seqWindow accumulates the union interval of a sequence's spans.
+type seqWindow struct {
+	lo, hi float64 // abs ns
+	set    bool
+}
+
+func (w *seqWindow) add(lo, hi float64) {
+	if !w.set || lo < w.lo {
+		w.lo = lo
+	}
+	if !w.set || hi > w.hi {
+		w.hi = hi
+	}
+	w.set = true
+}
+
+func (w seqWindow) mid() float64 { return (w.lo + w.hi) / 2 }
+
+// EstimateClockOffset estimates server_clock + offset ≈ client_clock from
+// matched per-quantum RPC activity: for each sequence, the client-side
+// rpc.roundtrip window must bracket the server-side serve window, so their
+// midpoints estimate the same instant on two clocks. Returns the median
+// offset in nanoseconds and the number of matched sequences (0 samples
+// means no correction is possible and the offset is 0).
+func EstimateClockOffset(client, server HostTrace) (time.Duration, int) {
+	cw := make(map[uint64]*seqWindow)
+	for _, s := range client.Spans {
+		if !s.HasSeq || s.Name != "rpc.roundtrip" {
+			continue
+		}
+		w := cw[s.Seq]
+		if w == nil {
+			w = &seqWindow{}
+			cw[s.Seq] = w
+		}
+		lo := float64(client.EpochUnixNano) + s.TsUS*1e3
+		w.add(lo, lo+s.DurUS*1e3)
+	}
+	sw := make(map[uint64]*seqWindow)
+	for _, s := range server.Spans {
+		if !s.HasSeq || !strings.HasPrefix(s.Name, "serve.") {
+			continue
+		}
+		w := sw[s.Seq]
+		if w == nil {
+			w = &seqWindow{}
+			sw[s.Seq] = w
+		}
+		lo := float64(server.EpochUnixNano) + s.TsUS*1e3
+		w.add(lo, lo+s.DurUS*1e3)
+	}
+	var diffs []float64
+	for seq, c := range cw {
+		if s, ok := sw[seq]; ok {
+			diffs = append(diffs, c.mid()-s.mid())
+		}
+	}
+	if len(diffs) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(diffs)
+	return time.Duration(diffs[len(diffs)/2]), len(diffs)
+}
+
+// WriteMergedTrace writes one Chrome trace containing both hosts' spans:
+// the client host keeps its own timeline as pid 1, and the server host's
+// spans are rebased onto it as pid 2 using the estimated clock offset.
+// Both traces must carry the same run ID (the caller fetched two unrelated
+// runs otherwise).
+func WriteMergedTrace(w io.Writer, client, server HostTrace) error {
+	if client.RunID == "" || server.RunID == "" {
+		return fmt.Errorf("obs: merge: missing run ID (client %q, server %q) — were both hosts traced?",
+			client.RunID, server.RunID)
+	}
+	if client.RunID != server.RunID {
+		return fmt.Errorf("obs: merge: run ID mismatch: client %s vs server %s (traces are from different runs)",
+			client.RunID, server.RunID)
+	}
+	offset, samples := EstimateClockOffset(client, server)
+	hostName := func(h HostTrace, fallback string) string {
+		if h.Host != "" {
+			return h.Host
+		}
+		return fallback
+	}
+	if _, err := fmt.Fprintf(w,
+		"[\n  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"args\": {\"name\": %s}},\n"+
+			"  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 2, \"tid\": 0, \"args\": {\"name\": %s}},\n"+
+			"  {\"name\": \"rose_run\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"args\": {\"run_id\": %s, \"epoch_unix_ns\": \"%d\", \"clock_offset_ns\": \"%d\", \"offset_samples\": %d}}",
+		strconv.Quote(hostName(client, "client")), strconv.Quote(hostName(server, "server")),
+		strconv.Quote(client.RunID), client.EpochUnixNano, int64(offset), samples); err != nil {
+		return err
+	}
+	write := func(pid int, shiftUS float64, spans []TraceSpan) error {
+		for _, s := range spans {
+			e := Event{Name: s.Name, TID: int32(s.TID), Seq: s.Seq, HasSeq: s.HasSeq}
+			if err := writeChromeEventUS(w, ",\n", pid, e, s.TsUS+shiftUS, s.DurUS); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write(1, 0, client.Spans); err != nil {
+		return err
+	}
+	// Server ts values move onto the client's timeline: abs_server + offset
+	// − client_epoch.
+	shiftNS := float64(server.EpochUnixNano-client.EpochUnixNano) + float64(offset)
+	if err := write(2, shiftNS/1e3, server.Spans); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}
+
+// writeChromeEventUS writes one complete event with explicit µs timing.
+func writeChromeEventUS(w io.Writer, sep string, pid int, e Event, tsUS, durUS float64) error {
+	args := ""
+	if e.HasSeq {
+		args = fmt.Sprintf(", \"args\": {\"seq\": %d}", e.Seq)
+	}
+	_, err := fmt.Fprintf(w,
+		"%s  {\"name\": %s, \"cat\": \"cosim\", \"ph\": \"X\", \"pid\": %d, \"tid\": %d, \"ts\": %s, \"dur\": %s%s}",
+		sep, strconv.Quote(e.Name), pid, e.TID,
+		strconv.FormatFloat(tsUS, 'f', 3, 64), strconv.FormatFloat(durUS, 'f', 3, 64), args)
+	return err
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// synthTraces builds a matched client/server trace pair in which the server
+// clock runs behind the client clock by exactly offset (so
+// server_clock + offset = client_clock), with nSeq quanta of RPC activity.
+// On the client timeline, quantum seq spans [seq·1ms, seq·1ms+400µs]; the
+// server's serve span sits centered in that window.
+func synthTraces(nSeq int, offset time.Duration) (client, server HostTrace) {
+	const clientEpoch = int64(1_700_000_000_000_000_000)
+	serverEpoch := clientEpoch - int64(offset) + 250_000 // arbitrary epoch skew
+	client = HostTrace{Host: "rose-sim", RunID: "00000000deadbeef", EpochUnixNano: clientEpoch}
+	server = HostTrace{Host: "rose-env-server", RunID: "00000000deadbeef", EpochUnixNano: serverEpoch}
+	for i := 0; i < nSeq; i++ {
+		seq := uint64(i + 1)
+		rtStartNS := int64(i+1) * 1_000_000 // on the client timeline, rel epoch
+		client.Spans = append(client.Spans, TraceSpan{
+			Name: "rpc.roundtrip", TID: TrackRPC,
+			TsUS: float64(rtStartNS) / 1e3, DurUS: 400,
+			Seq: seq, HasSeq: true,
+		})
+		// The serve span covers the middle 200µs of the round-trip window,
+		// expressed on the server's (shifted) clock.
+		serveAbsClient := clientEpoch + rtStartNS + 100_000
+		serveRelServer := serveAbsClient - int64(offset) - serverEpoch
+		server.Spans = append(server.Spans, TraceSpan{
+			Name: "serve.step_frames", TID: TrackServe,
+			TsUS: float64(serveRelServer) / 1e3, DurUS: 200,
+			Seq: seq, HasSeq: true,
+		})
+	}
+	// Untagged local spans must not perturb the estimate.
+	client.Spans = append(client.Spans, TraceSpan{Name: "rtl.quantum", TID: TrackSync, TsUS: 0, DurUS: 900})
+	server.Spans = append(server.Spans, TraceSpan{Name: "serve.reset", TID: TrackServe, TsUS: 1, DurUS: 5})
+	return client, server
+}
+
+func TestEstimateClockOffset(t *testing.T) {
+	for _, want := range []time.Duration{0, 37 * time.Millisecond, -2500 * time.Microsecond} {
+		client, server := synthTraces(9, want)
+		got, n := EstimateClockOffset(client, server)
+		if n != 9 {
+			t.Errorf("offset %v: %d samples, want 9", want, n)
+		}
+		// The serve window is centered in the round-trip window, so the
+		// midpoint estimator recovers the offset exactly (up to float µs
+		// rounding in the synthetic ts values).
+		if d := got - want; d < -time.Microsecond || d > time.Microsecond {
+			t.Errorf("EstimateClockOffset = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEstimateClockOffsetNoSamples(t *testing.T) {
+	client, server := synthTraces(4, 0)
+	// Strip the seq tags: no correlation key, no estimate.
+	for i := range server.Spans {
+		server.Spans[i].HasSeq = false
+	}
+	if off, n := EstimateClockOffset(client, server); off != 0 || n != 0 {
+		t.Errorf("untagged traces gave offset %v with %d samples", off, n)
+	}
+}
+
+func TestWriteMergedTrace(t *testing.T) {
+	offset := 12 * time.Millisecond
+	client, server := synthTraces(5, offset)
+	var buf bytes.Buffer
+	if err := WriteMergedTrace(&buf, client, server); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []rawChromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	var names []string
+	pids := map[int]int{}
+	type pidEvent struct {
+		pid int
+		e   rawChromeEvent
+	}
+	bySeq := map[uint64][]pidEvent{}
+	for _, e := range events {
+		if e.Ph == "M" {
+			names = append(names, e.Name)
+			continue
+		}
+		if e.Ph != "X" {
+			t.Fatalf("unexpected ph %q", e.Ph)
+		}
+		var pid int
+		switch e.Name {
+		case "rpc.roundtrip", "rtl.quantum":
+			pid = 1
+		case "serve.step_frames", "serve.reset":
+			pid = 2
+		default:
+			t.Fatalf("unexpected span %q", e.Name)
+		}
+		pids[pid]++
+		if f, ok := e.Args["seq"].(float64); ok {
+			bySeq[uint64(f)] = append(bySeq[uint64(f)], pidEvent{pid, e})
+		}
+	}
+	if strings.Join(names, ",") != "process_name,process_name,rose_run" {
+		t.Errorf("metadata events = %v", names)
+	}
+	if pids[1] != 6 || pids[2] != 6 {
+		t.Errorf("per-pid span counts = %v, want 6 each", pids)
+	}
+	// The correlation contract: after rebasing, each server serve span lies
+	// inside its client round-trip window on the one merged timeline.
+	for seq, evs := range bySeq {
+		if len(evs) != 2 {
+			t.Fatalf("seq %d has %d spans, want a client/server pair", seq, len(evs))
+		}
+		var rt, serve rawChromeEvent
+		for _, pe := range evs {
+			if pe.pid == 1 {
+				rt = pe.e
+			} else {
+				serve = pe.e
+			}
+		}
+		if serve.Ts < rt.Ts || serve.Ts+serve.Dur > rt.Ts+rt.Dur {
+			t.Errorf("seq %d: serve [%v, %v] not nested in roundtrip [%v, %v]",
+				seq, serve.Ts, serve.Ts+serve.Dur, rt.Ts, rt.Ts+rt.Dur)
+		}
+	}
+
+	// The merged output must itself round-trip through ParseHostTrace.
+	ht, err := ParseHostTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ht.RunID != "00000000deadbeef" || len(ht.Spans) != 12 {
+		t.Errorf("reparsed merge: run %q, %d spans", ht.RunID, len(ht.Spans))
+	}
+}
+
+func TestWriteMergedTraceRunIDErrors(t *testing.T) {
+	client, server := synthTraces(2, 0)
+	server.RunID = "1111111111111111"
+	var buf bytes.Buffer
+	if err := WriteMergedTrace(&buf, client, server); err == nil ||
+		!strings.Contains(err.Error(), "mismatch") {
+		t.Errorf("mismatched run IDs: err = %v", err)
+	}
+	server.RunID = ""
+	if err := WriteMergedTrace(&buf, client, server); err == nil ||
+		!strings.Contains(err.Error(), "missing run ID") {
+		t.Errorf("missing run ID: err = %v", err)
+	}
+}
+
+func TestParseHostTraceFromSuite(t *testing.T) {
+	s := New(16)
+	s.Host = "rose-sim"
+	base := time.Now()
+	s.Tracer.SpanQ("rpc.roundtrip", TrackRPC, base, base.Add(time.Millisecond), 4)
+	s.Tracer.Span("rtl.quantum", TrackSync, base, base.Add(2*time.Millisecond))
+	var buf bytes.Buffer
+	if err := s.WriteTrace(&buf, s.Host); err != nil {
+		t.Fatal(err)
+	}
+	ht, err := ParseHostTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ht.Host != "rose-sim" {
+		t.Errorf("host = %q", ht.Host)
+	}
+	if ht.RunID != s.Run.RunIDHex() {
+		t.Errorf("run ID = %q, want %q", ht.RunID, s.Run.RunIDHex())
+	}
+	if ht.EpochUnixNano != s.Tracer.EpochUnixNano() {
+		t.Errorf("epoch = %d, want %d", ht.EpochUnixNano, s.Tracer.EpochUnixNano())
+	}
+	if len(ht.Spans) != 2 {
+		t.Fatalf("%d spans", len(ht.Spans))
+	}
+	if !ht.Spans[0].HasSeq || ht.Spans[0].Seq != 4 {
+		t.Errorf("span 0 seq = %+v", ht.Spans[0])
+	}
+	if ht.Spans[1].HasSeq {
+		t.Errorf("untagged span parsed with seq: %+v", ht.Spans[1])
+	}
+}

@@ -1,16 +1,28 @@
 package obs
 
 import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
 	"time"
 )
 
-// Suite bundles a Registry, an optional Tracer, and the per-subsystem
+// Suite bundles a Registry, an optional Tracer, the structured event log,
+// the run's trace context, the flight recorder, and the per-subsystem
 // instrument sets threaded through the co-simulation stack. A nil *Suite
 // (observability disabled) yields nil sub-bundles, whose record methods
 // are all nil-safe no-ops, so callers wire hooks unconditionally.
 type Suite struct {
 	Registry *Registry
 	Tracer   *Tracer
+	Log      *Logger
+	Run      *TraceContext
+	Recorder *Recorder
+
+	// Host labels this process in exported traces ("rose-sim",
+	// "rose-env-server"); WriteTrace falls back to "rose" when empty.
+	Host string
 
 	Core      *CoreObs
 	RPC       *RPCObs
@@ -31,17 +43,90 @@ func New(traceEvents int) *Suite {
 	if traceEvents != 0 {
 		tr = NewTracer(traceEvents)
 	}
-	return &Suite{
+	log := NewLogger(LevelInfo)
+	run := NewTraceContext()
+	rec := newRecorder(reg, tr, log, run, DefaultBlackboxQuanta)
+	s := &Suite{
 		Registry:  reg,
 		Tracer:    tr,
-		Core:      newCoreObs(reg, tr),
-		RPC:       newRPCObs(reg),
-		EnvServer: newEnvServerObs(reg),
+		Log:       log,
+		Run:       run,
+		Recorder:  rec,
+		Core:      newCoreObs(reg, tr, run, rec, log),
+		RPC:       newRPCObs(reg, tr),
+		EnvServer: newEnvServerObs(reg, tr, log),
 		Bridge:    newBridgeObs(reg),
 		SoC:       newSoCObs(reg),
 		App:       newAppObs(reg),
 		start:     time.Now(),
 	}
+	rec.bindBridge(s.Bridge.RxBytes, s.Bridge.TxBytes)
+	return s
+}
+
+// Logger returns the suite's structured logger. Safe on a nil suite: the
+// returned nil *Logger discards every call, so CLI code can log without
+// first checking whether observability was enabled.
+func (s *Suite) Logger() *Logger {
+	if s == nil {
+		return nil
+	}
+	return s.Log
+}
+
+// RecoverPanic is the CLI tools' crash hook, used as
+//
+//	defer func() { suite.RecoverPanic(recover()) }()
+//
+// On a panic it dumps the black box — the deferred call still sees the
+// panicking frames, so the embedded stack includes the panic site — and
+// re-panics so the process dies with the original value. Safe on a nil
+// suite (the panic just propagates).
+func (s *Suite) RecoverPanic(p any) {
+	if p == nil {
+		return
+	}
+	if s != nil {
+		s.Recorder.TriggerPanic(p)
+	}
+	panic(p)
+}
+
+// WriteTrace writes the suite's Chrome trace with run metadata prepended:
+// a process_name metadata event naming the host and a rose_run event
+// carrying the run ID and the trace epoch (as a decimal string — unix
+// nanoseconds do not survive a float64 round-trip) that ParseHostTrace and
+// the merge mode consume. Works on a nil suite (empty valid trace).
+func (s *Suite) WriteTrace(w io.Writer, host string) error {
+	if host == "" {
+		host = "rose"
+	}
+	if _, err := io.WriteString(w, "["); err != nil {
+		return err
+	}
+	if s != nil {
+		// A server-side suite reports the run it adopted from the wire (when
+		// any) rather than its own locally generated ID, so the two hosts'
+		// traces carry the same run_id and the merge mode can pair them.
+		runID := s.Run.RunID()
+		if adopted := s.EnvServer.SeenRun(); adopted != 0 {
+			runID = adopted
+		}
+		if _, err := fmt.Fprintf(w,
+			"\n  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"args\": {\"name\": %s}},\n"+
+				"  {\"name\": \"rose_run\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"args\": {\"run_id\": %s, \"epoch_unix_ns\": \"%d\", \"host\": %s}}",
+			strconv.Quote(host), strconv.Quote(string(appendHex16(nil, runID))),
+			s.Tracer.EpochUnixNano(), strconv.Quote(host)); err != nil {
+			return err
+		}
+		if err := s.Tracer.forEach(func(e Event) error {
+			return writeChromeEvent(w, ",\n", 1, e)
+		}); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
 }
 
 // CoreObs instruments the synchronizer: one histogram and one trace track
@@ -55,6 +140,20 @@ func New(traceEvents int) *Suite {
 //	quantum       — the whole loop iteration
 type CoreObs struct {
 	tracer *Tracer
+	run    *TraceContext
+	rec    *Recorder
+	log    *Logger
+
+	// Per-quantum scratch for the flight recorder, written between
+	// BeginQuantum and EndQuantum. All atomic: curEnv is written by the
+	// overlapped env worker, and sweep runs share one suite across
+	// concurrent missions (their records may interleave, but stay
+	// race-free).
+	curSeq      atomic.Uint64
+	curRTL      atomic.Int64
+	curExchange atomic.Int64
+	curStall    atomic.Int64
+	curEnv      atomic.Int64
 
 	Quanta       *Counter
 	Quantum      *Histogram
@@ -64,9 +163,12 @@ type CoreObs struct {
 	OverlapStall *Histogram
 }
 
-func newCoreObs(reg *Registry, tr *Tracer) *CoreObs {
+func newCoreObs(reg *Registry, tr *Tracer, run *TraceContext, rec *Recorder, log *Logger) *CoreObs {
 	return &CoreObs{
 		tracer: tr,
+		run:    run,
+		rec:    rec,
+		log:    log,
 		Quanta: reg.Counter("rose_cosim_quanta_total",
 			"Synchronization quanta executed."),
 		Quantum: reg.Histogram("rose_cosim_quantum_seconds",
@@ -91,9 +193,35 @@ func (o *CoreObs) Start() time.Time {
 	return time.Now()
 }
 
+// BeginQuantum opens a quantum: it advances the run's trace sequence (the
+// number stamped onto every RPC this quantum issues), beats the watchdog
+// heartbeat, resets the per-quantum phase scratch, and returns the quantum
+// start time (zero on nil, like Start).
+func (o *CoreObs) BeginQuantum() time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	seq := o.run.Advance()
+	o.curSeq.Store(seq)
+	o.curRTL.Store(0)
+	o.curExchange.Store(0)
+	o.curStall.Store(0)
+	o.curEnv.Store(0)
+	o.rec.Heartbeat(seq)
+	return time.Now()
+}
+
+// Seq returns the current quantum's trace sequence (0 on nil).
+func (o *CoreObs) Seq() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.curSeq.Load()
+}
+
 func (o *CoreObs) span(name string, tid int32, start, end time.Time, h *Histogram) {
 	h.Observe(end.Sub(start))
-	o.tracer.Span(name, tid, start, end)
+	o.tracer.SpanQ(name, tid, start, end, o.curSeq.Load())
 }
 
 // ObserveRTL records one RTL quantum starting at start and ending now.
@@ -101,7 +229,9 @@ func (o *CoreObs) ObserveRTL(start time.Time) {
 	if o == nil {
 		return
 	}
-	o.span("rtl.quantum", TrackSync, start, time.Now(), o.RTL)
+	end := time.Now()
+	o.curRTL.Store(end.Sub(start).Nanoseconds())
+	o.span("rtl.quantum", TrackSync, start, end, o.RTL)
 }
 
 // ObserveEnv records one environment quantum (called from the overlap
@@ -110,7 +240,9 @@ func (o *CoreObs) ObserveEnv(start time.Time) {
 	if o == nil {
 		return
 	}
-	o.span("env.quantum", TrackEnv, start, time.Now(), o.Env)
+	end := time.Now()
+	o.curEnv.Store(end.Sub(start).Nanoseconds())
+	o.span("env.quantum", TrackEnv, start, end, o.Env)
 }
 
 // ObserveExchange records one boundary exchange.
@@ -118,7 +250,9 @@ func (o *CoreObs) ObserveExchange(start time.Time) {
 	if o == nil {
 		return
 	}
-	o.span("exchange", TrackSync, start, time.Now(), o.Exchange)
+	end := time.Now()
+	o.curExchange.Store(end.Sub(start).Nanoseconds())
+	o.span("exchange", TrackSync, start, end, o.Exchange)
 }
 
 // ObserveStall records the post-RTL wait for the env worker's quantum.
@@ -126,21 +260,59 @@ func (o *CoreObs) ObserveStall(start time.Time) {
 	if o == nil {
 		return
 	}
-	o.span("overlap.stall", TrackSync, start, time.Now(), o.OverlapStall)
+	end := time.Now()
+	o.curStall.Store(end.Sub(start).Nanoseconds())
+	o.span("overlap.stall", TrackSync, start, end, o.OverlapStall)
 }
 
-// ObserveQuantum records one whole loop iteration and counts it.
+// ObserveQuantum records one whole loop iteration and counts it (the
+// telemetry-free form of EndQuantum, for callers without a boundary
+// sample).
 func (o *CoreObs) ObserveQuantum(start time.Time) {
+	o.EndQuantum(start, TelemetrySample{}, false)
+}
+
+// EndQuantum closes a quantum: it counts and times the whole iteration and
+// appends the quantum's black-box record (phase breakdown, bridge queue
+// depths via the recorder's bound gauges, and the boundary telemetry
+// sample when hasTel).
+func (o *CoreObs) EndQuantum(start time.Time, sample TelemetrySample, hasTel bool) {
 	if o == nil {
 		return
 	}
+	end := time.Now()
 	o.Quanta.Inc()
-	o.span("quantum", TrackSync, start, time.Now(), o.Quantum)
+	o.span("quantum", TrackSync, start, end, o.Quantum)
+	if o.rec != nil {
+		o.rec.Record(QuantumRecord{
+			Seq:           o.curSeq.Load(),
+			StartUnixNano: start.UnixNano(),
+			WallNs:        end.Sub(start).Nanoseconds(),
+			RTLNs:         o.curRTL.Load(),
+			EnvNs:         o.curEnv.Load(),
+			ExchangeNs:    o.curExchange.Load(),
+			StallNs:       o.curStall.Load(),
+			HasTelemetry:  hasTel,
+			Telemetry:     sample,
+		})
+	}
+}
+
+// Fault reports a detected divergence or fatal co-simulation error: it
+// logs the reason and triggers a flight-recorder dump.
+func (o *CoreObs) Fault(reason string) {
+	if o == nil {
+		return
+	}
+	o.log.Error("cosim fault", Str("reason", reason), Uint("seq", o.curSeq.Load()))
+	o.rec.TriggerFault(reason)
 }
 
 // RPCObs instruments the environment RPC client (the synchronizer side of
 // the AirSim-RPC link).
 type RPCObs struct {
+	tracer *Tracer
+
 	RoundTrips     *Counter
 	DeferredCmds   *Counter
 	BatchedFetches *Counter
@@ -150,8 +322,27 @@ type RPCObs struct {
 	RoundTrip      *Histogram
 }
 
-func newRPCObs(reg *Registry) *RPCObs {
+// ObserveRoundTrip records one synchronous round-trip ending now: count,
+// latency, and an rpc.roundtrip span tagged with the quantum sequence when
+// the client carries a trace context (traced) — the client half of the
+// cross-host correlation pair.
+func (o *RPCObs) ObserveRoundTrip(start time.Time, seq uint64, traced bool) {
+	if o == nil {
+		return
+	}
+	end := time.Now()
+	o.RoundTrips.Inc()
+	o.RoundTrip.Observe(end.Sub(start))
+	if traced {
+		o.tracer.SpanQ("rpc.roundtrip", TrackRPC, start, end, seq)
+	} else {
+		o.tracer.Span("rpc.roundtrip", TrackRPC, start, end)
+	}
+}
+
+func newRPCObs(reg *Registry, tr *Tracer) *RPCObs {
 	return &RPCObs{
+		tracer: tr,
 		RoundTrips: reg.Counter("rose_rpc_roundtrips_total",
 			"Synchronous environment RPC round-trips."),
 		DeferredCmds: reg.Counter("rose_rpc_deferred_cmds_total",
@@ -171,20 +362,60 @@ func newRPCObs(reg *Registry) *RPCObs {
 
 // EnvServerObs instruments the environment RPC server side.
 type EnvServerObs struct {
+	tracer  *Tracer
+	log     *Logger
+	seenRun atomic.Uint64
+
 	Requests *Counter
 	BytesIn  *Counter
 	BytesOut *Counter
+	Latency  *Histogram
 }
 
-func newEnvServerObs(reg *Registry) *EnvServerObs {
+func newEnvServerObs(reg *Registry, tr *Tracer, log *Logger) *EnvServerObs {
 	return &EnvServerObs{
+		tracer: tr,
+		log:    log,
 		Requests: reg.Counter("rose_env_server_requests_total",
 			"RPC requests handled by the environment server."),
 		BytesIn: reg.Counter("rose_env_server_bytes_in_total",
 			"Bytes of framed request traffic read by the environment server."),
 		BytesOut: reg.Counter("rose_env_server_bytes_out_total",
 			"Bytes of framed response traffic written by the environment server."),
+		Latency: reg.Histogram("rose_env_server_request_seconds",
+			"Wall time serving one RPC request (read to response written).", nil),
 	}
+}
+
+// ObserveRequest records one served request ending now: latency plus a
+// serve span. When the request carried a trace context (runID != 0) the
+// span is tagged with the client's quantum sequence — the server half of
+// the cross-host correlation pair — and the first sight of a run ID is
+// logged (the server "adopts" the client's run).
+func (o *EnvServerObs) ObserveRequest(name string, runID, seq uint64, start time.Time) {
+	if o == nil {
+		return
+	}
+	end := time.Now()
+	o.Latency.Observe(end.Sub(start))
+	if runID != 0 {
+		if o.seenRun.Swap(runID) != runID {
+			o.log.Info("env server adopted trace run", Hex("run_id", runID), Uint("seq", seq))
+		}
+		o.tracer.SpanQ(name, TrackServe, start, end, seq)
+	} else {
+		o.tracer.Span(name, TrackServe, start, end)
+	}
+}
+
+// SeenRun returns the run ID most recently observed on the wire (0 before
+// any traced request) — what the loopback e2e test asserts against the
+// client's context.
+func (o *EnvServerObs) SeenRun() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.seenRun.Load()
 }
 
 // BridgeObs instruments the RoSÉ BRIDGE hardware queues: live occupancy,
@@ -327,6 +558,21 @@ type Summary struct {
 
 	TraceEvents  int
 	TraceDropped uint64
+
+	// RunID is the trace context's hex run ID ("" when absent).
+	RunID string
+
+	// Watchdog stalls and flight-recorder trigger counts — the post-mortem
+	// story of the run (nonzero means a blackbox.json exists).
+	QuantumStalls uint64
+	PanicDumps    uint64
+	WatchdogDumps uint64
+	FaultDumps    uint64
+	ManualDumps   uint64
+
+	// Structured event log volume.
+	LogEvents      uint64
+	LogOverwritten uint64
 }
 
 // Summary digests the suite's current state. Safe to call while the run is
@@ -349,6 +595,18 @@ func (s *Suite) Summary() Summary {
 		TraceEvents:   s.Tracer.Len(),
 		TraceDropped:  s.Tracer.Dropped(),
 	}
+	if s.Run != nil {
+		sum.RunID = s.Run.RunIDHex()
+	}
+	if r := s.Recorder; r != nil {
+		sum.QuantumStalls = r.Stalls.Value()
+		sum.PanicDumps = r.PanicDumps.Value()
+		sum.WatchdogDumps = r.WatchdogDumps.Value()
+		sum.FaultDumps = r.FaultDumps.Value()
+		sum.ManualDumps = r.ManualDumps.Value()
+	}
+	sum.LogEvents = s.Log.Count()
+	sum.LogOverwritten = s.Log.Overwritten()
 	sum.MeanQuantumSec = s.Core.Quantum.Mean().Seconds()
 	sum.P99QuantumSec = s.Core.Quantum.Quantile(0.99).Seconds()
 	if sum.WallSeconds > 0 {

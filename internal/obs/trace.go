@@ -43,8 +43,9 @@ type slot struct {
 	seq   atomic.Uint64
 	name  atomic.Uint32 // interned name ID
 	tid   atomic.Int32
-	start atomic.Int64 // ns since epoch
-	dur   atomic.Int64 // ns
+	start atomic.Int64  // ns since epoch
+	dur   atomic.Int64  // ns
+	q     atomic.Uint64 // quantum sequence + 1 (0 = untagged)
 }
 
 // maxTraceNames bounds the interned-name table. The co-simulation taxonomy
@@ -60,17 +61,22 @@ const overflowName = "…"
 // as its own row, mirroring Figure 5's two simulators plus the
 // synchronizer between them.
 const (
-	TrackSync = 1 // synchronizer: exchange, RTL quantum, overlap stall
-	TrackEnv  = 2 // environment worker: env quantum (frames + telemetry)
+	TrackSync  = 1 // synchronizer: exchange, RTL quantum, overlap stall
+	TrackEnv   = 2 // environment worker: env quantum (frames + telemetry)
+	TrackRPC   = 3 // RPC client: rpc.roundtrip spans
+	TrackServe = 4 // env server: serve.* request spans
 )
 
 // Event is one completed span as read back from the ring. Start is
-// nanoseconds since the tracer's epoch.
+// nanoseconds since the tracer's epoch; Seq is the quantum sequence the
+// span was tagged with (valid only when HasSeq).
 type Event struct {
-	Name  string
-	TID   int32
-	Start int64
-	Dur   int64
+	Name   string
+	TID    int32
+	Start  int64
+	Dur    int64
+	Seq    uint64
+	HasSeq bool
 }
 
 // DefaultTraceEvents is the default ring capacity: at five spans per
@@ -126,6 +132,17 @@ func (t *Tracer) nameFor(id uint32) string {
 
 // Span records one completed span on the given track.
 func (t *Tracer) Span(name string, tid int32, start, end time.Time) {
+	t.record(name, tid, start, end, 0)
+}
+
+// SpanQ records one completed span tagged with a quantum sequence number —
+// the cross-host correlation key: client RPC spans and server serve spans
+// carrying the same sequence belong to the same synchronization quantum.
+func (t *Tracer) SpanQ(name string, tid int32, start, end time.Time, seq uint64) {
+	t.record(name, tid, start, end, seq+1)
+}
+
+func (t *Tracer) record(name string, tid int32, start, end time.Time, q uint64) {
 	if t == nil {
 		return
 	}
@@ -137,7 +154,18 @@ func (t *Tracer) Span(name string, tid int32, start, end time.Time) {
 	s.tid.Store(tid)
 	s.start.Store(start.Sub(t.epoch).Nanoseconds())
 	s.dur.Store(end.Sub(start).Nanoseconds())
+	s.q.Store(q)
 	s.seq.Add(1) // even: published
+}
+
+// EpochUnixNano returns the wall-clock instant span Start values are
+// relative to — the anchor trace merging uses to place two hosts' spans on
+// one absolute timeline. Returns 0 on nil.
+func (t *Tracer) EpochUnixNano() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.epoch.UnixNano()
 }
 
 // read returns a consistent snapshot of the slot, or ok=false if a writer
@@ -153,6 +181,9 @@ func (t *Tracer) read(s *slot) (e Event, ok bool) {
 			TID:   s.tid.Load(),
 			Start: s.start.Load(),
 			Dur:   s.dur.Load(),
+		}
+		if q := s.q.Load(); q != 0 {
+			e.Seq, e.HasSeq = q-1, true
 		}
 		if s.seq.Load() == s1 {
 			return e, true
@@ -185,43 +216,84 @@ func (t *Tracer) Dropped() uint64 {
 	return n - uint64(len(t.slots))
 }
 
+// forEach calls fn with every readable event, oldest first. Safe against
+// concurrent recording: slots a writer holds mid-store are skipped.
+func (t *Tracer) forEach(fn func(Event) error) error {
+	if t == nil {
+		return nil
+	}
+	n := t.n.Load()
+	capacity := uint64(len(t.slots))
+	start := uint64(0)
+	count := n
+	if n > capacity {
+		start = n % capacity
+		count = capacity
+	}
+	for i := uint64(0); i < count; i++ {
+		e, ok := t.read(&t.slots[(start+i)%capacity])
+		if !ok {
+			continue
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns up to max of the most recent readable events, oldest
+// first — the span tail a blackbox dump embeds. Allocates; not a hot path.
+func (t *Tracer) Snapshot(max int) []Event {
+	if t == nil || max <= 0 {
+		return nil
+	}
+	out := make([]Event, 0, t.Len())
+	t.forEach(func(e Event) error {
+		out = append(out, e)
+		return nil
+	})
+	if len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
 // WriteChromeTrace renders the held events, oldest first, as a JSON array
 // of Chrome trace "complete" events: {"name", "cat", "ph": "X", "pid",
-// "tid", "ts", "dur"} with ts/dur in microseconds. The output loads
-// directly into Perfetto or chrome://tracing. Safe to call while spans are
-// still being recorded: slots a writer holds mid-store are skipped.
+// "tid", "ts", "dur"} with ts/dur in microseconds; sequence-tagged spans
+// additionally carry {"args": {"seq": N}}. The output loads directly into
+// Perfetto or chrome://tracing. Safe to call while spans are still being
+// recorded.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	if _, err := io.WriteString(w, "["); err != nil {
 		return err
 	}
-	if t != nil {
-		n := t.n.Load()
-		capacity := uint64(len(t.slots))
-		start := uint64(0)
-		count := n
-		if n > capacity {
-			start = n % capacity
-			count = capacity
+	first := true
+	err := t.forEach(func(e Event) error {
+		sep := ",\n"
+		if first {
+			sep = "\n"
+			first = false
 		}
-		first := true
-		for i := uint64(0); i < count; i++ {
-			e, ok := t.read(&t.slots[(start+i)%capacity])
-			if !ok {
-				continue
-			}
-			sep := ",\n"
-			if first {
-				sep = "\n"
-				first = false
-			}
-			if _, err := fmt.Fprintf(w,
-				"%s  {\"name\": %s, \"cat\": \"cosim\", \"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"ts\": %s, \"dur\": %s}",
-				sep, strconv.Quote(e.Name), e.TID, microseconds(e.Start), microseconds(e.Dur)); err != nil {
-				return err
-			}
-		}
+		return writeChromeEvent(w, sep, 1, e)
+	})
+	if err != nil {
+		return err
 	}
-	_, err := io.WriteString(w, "\n]\n")
+	_, err = io.WriteString(w, "\n]\n")
+	return err
+}
+
+// writeChromeEvent writes one complete event under the given pid.
+func writeChromeEvent(w io.Writer, sep string, pid int, e Event) error {
+	args := ""
+	if e.HasSeq {
+		args = fmt.Sprintf(", \"args\": {\"seq\": %d}", e.Seq)
+	}
+	_, err := fmt.Fprintf(w,
+		"%s  {\"name\": %s, \"cat\": \"cosim\", \"ph\": \"X\", \"pid\": %d, \"tid\": %d, \"ts\": %s, \"dur\": %s%s}",
+		sep, strconv.Quote(e.Name), pid, e.TID, microseconds(e.Start), microseconds(e.Dur), args)
 	return err
 }
 

@@ -23,14 +23,23 @@ type chromeEvent struct {
 
 // validateChromeTrace asserts the output is a JSON array of complete
 // events with every required field — the acceptance contract for -trace.
+// Metadata events ("M": process_name, rose_run) are validated lightly and
+// filtered out, so callers assert against complete events only.
 func validateChromeTrace(t *testing.T, data []byte) []chromeEvent {
 	t.Helper()
 	var events []chromeEvent
 	if err := json.Unmarshal(data, &events); err != nil {
 		t.Fatalf("trace is not a JSON array: %v\n%s", err, data)
 	}
+	complete := events[:0]
 	for i, e := range events {
-		if e.Name == nil || e.Ph == nil || e.PID == nil || e.TID == nil || e.Ts == nil || e.Dur == nil {
+		if e.Name == nil || e.Ph == nil || e.PID == nil {
+			t.Fatalf("event %d missing required fields: %+v", i, e)
+		}
+		if *e.Ph == "M" {
+			continue
+		}
+		if e.TID == nil || e.Ts == nil || e.Dur == nil {
 			t.Fatalf("event %d missing required fields: %+v", i, e)
 		}
 		if *e.Ph != "X" {
@@ -39,8 +48,9 @@ func validateChromeTrace(t *testing.T, data []byte) []chromeEvent {
 		if *e.Dur < 0 {
 			t.Fatalf("event %d has negative dur %v", i, *e.Dur)
 		}
+		complete = append(complete, e)
 	}
-	return events
+	return complete
 }
 
 func TestTracerChromeExport(t *testing.T) {

@@ -24,8 +24,17 @@ const defaultBufSize = 16 << 10
 type Writer struct {
 	w *bufio.Writer
 	// hdr is a persistent header scratch: passing a stack array to the
-	// io.Writer interface would force a per-call heap escape.
-	hdr [HeaderSize + 8]byte
+	// io.Writer interface would force a per-call heap escape. Sized for
+	// header + trace extension + one inline uint64 payload.
+	hdr [HeaderSize + TraceExtSize + 8]byte
+
+	// Trace context stamped onto every written packet while set
+	// (traceRun != 0): FlagTrace in the header flags plus a TraceExtSize
+	// extension. Costs TraceExtSize buffered bytes per packet and nothing
+	// else — the zero-allocation write path is unchanged.
+	traceRun    uint64
+	traceSeq    uint32
+	traceParent uint32
 }
 
 // NewWriter wraps w in a buffered packet writer.
@@ -33,15 +42,38 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriterSize(w, defaultBufSize)}
 }
 
+// SetTrace stamps subsequent packets with a trace context: the run ID, the
+// current quantum sequence, and a Parent* tag naming the quantum phase
+// issuing the traffic. A zero runID clears stamping. Callers refresh the
+// sequence as quanta advance (the stamp is per-Writer state, not
+// per-packet arguments, so the hot path signature stays unchanged).
+func (w *Writer) SetTrace(runID uint64, seq, parent uint32) {
+	w.traceRun, w.traceSeq, w.traceParent = runID, seq, parent
+}
+
+// putHeader fills the header (and trace extension when stamping) into the
+// scratch and returns the number of scratch bytes to write.
+func (w *Writer) putHeader(t Type, payloadLen int) int {
+	binary.LittleEndian.PutUint16(w.hdr[0:2], uint16(t))
+	binary.LittleEndian.PutUint32(w.hdr[4:8], uint32(payloadLen))
+	if w.traceRun == 0 {
+		binary.LittleEndian.PutUint16(w.hdr[2:4], 0)
+		return HeaderSize
+	}
+	binary.LittleEndian.PutUint16(w.hdr[2:4], FlagTrace)
+	binary.LittleEndian.PutUint64(w.hdr[HeaderSize:], w.traceRun)
+	binary.LittleEndian.PutUint32(w.hdr[HeaderSize+8:], w.traceSeq)
+	binary.LittleEndian.PutUint32(w.hdr[HeaderSize+12:], w.traceParent)
+	return HeaderSize + TraceExtSize
+}
+
 // WritePacket appends one packet to the stream buffer without flushing.
 func (w *Writer) WritePacket(p Packet) error {
 	if len(p.Payload) > MaxPayload {
 		return fmt.Errorf("packet: payload %d exceeds max %d", len(p.Payload), MaxPayload)
 	}
-	binary.LittleEndian.PutUint16(w.hdr[0:2], uint16(p.Type))
-	binary.LittleEndian.PutUint16(w.hdr[2:4], 0)
-	binary.LittleEndian.PutUint32(w.hdr[4:8], uint32(len(p.Payload)))
-	if _, err := w.w.Write(w.hdr[:HeaderSize]); err != nil {
+	n := w.putHeader(p.Type, len(p.Payload))
+	if _, err := w.w.Write(w.hdr[:n]); err != nil {
 		return err
 	}
 	_, err := w.w.Write(p.Payload)
@@ -52,11 +84,9 @@ func (w *Writer) WritePacket(p Packet) error {
 // synchronization and stepping commands — without the payload allocation
 // U64 makes.
 func (w *Writer) WriteU64(t Type, v uint64) error {
-	binary.LittleEndian.PutUint16(w.hdr[0:2], uint16(t))
-	binary.LittleEndian.PutUint16(w.hdr[2:4], 0)
-	binary.LittleEndian.PutUint32(w.hdr[4:8], 8)
-	binary.LittleEndian.PutUint64(w.hdr[8:16], v)
-	_, err := w.w.Write(w.hdr[:])
+	n := w.putHeader(t, 8)
+	binary.LittleEndian.PutUint64(w.hdr[n:], v)
+	_, err := w.w.Write(w.hdr[:n+8])
 	return err
 }
 
@@ -67,8 +97,16 @@ func (w *Writer) Flush() error { return w.w.Flush() }
 // buffer across calls.
 type Reader struct {
 	r   *bufio.Reader
-	hdr [HeaderSize]byte
+	hdr [HeaderSize + TraceExtSize]byte
 	buf []byte // grow-only payload scratch
+
+	// Trace context of the most recent packet that carried one (zero run
+	// ID until then). Sticky across untraced packets: responses and acks
+	// are never stamped, so the last stamped request identifies the
+	// quantum a server is currently working for.
+	traceRun    uint64
+	traceSeq    uint32
+	traceParent uint32
 }
 
 // NewReader wraps r in a buffered packet reader.
@@ -80,13 +118,22 @@ func NewReader(r io.Reader) *Reader {
 // buffer and is valid only until the next call; callers that keep payload
 // bytes across packets must copy them out.
 func (r *Reader) Next() (Packet, error) {
-	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+	if _, err := io.ReadFull(r.r, r.hdr[:HeaderSize]); err != nil {
 		return Packet{}, err
 	}
 	t := Type(binary.LittleEndian.Uint16(r.hdr[0:2]))
+	flags := binary.LittleEndian.Uint16(r.hdr[2:4])
 	n := binary.LittleEndian.Uint32(r.hdr[4:8])
 	if n > MaxPayload {
 		return Packet{}, fmt.Errorf("packet: payload length %d exceeds max", n)
+	}
+	if flags&FlagTrace != 0 {
+		if _, err := io.ReadFull(r.r, r.hdr[HeaderSize:]); err != nil {
+			return Packet{}, fmt.Errorf("packet: truncated trace extension for %v: %w", t, err)
+		}
+		r.traceRun = binary.LittleEndian.Uint64(r.hdr[HeaderSize:])
+		r.traceSeq = binary.LittleEndian.Uint32(r.hdr[HeaderSize+8:])
+		r.traceParent = binary.LittleEndian.Uint32(r.hdr[HeaderSize+12:])
 	}
 	if cap(r.buf) < int(n) {
 		r.buf = make([]byte, n)
@@ -96,6 +143,12 @@ func (r *Reader) Next() (Packet, error) {
 		return Packet{}, fmt.Errorf("packet: truncated payload for %v: %w", t, err)
 	}
 	return Packet{Type: t, Payload: r.buf}, nil
+}
+
+// Trace returns the trace context of the most recent stamped packet: run
+// ID (0 = none seen yet), quantum sequence, and parent span tag.
+func (r *Reader) Trace() (runID uint64, seq, parent uint32) {
+	return r.traceRun, r.traceSeq, r.traceParent
 }
 
 // Buffered reports how many received bytes are waiting to be decoded. A

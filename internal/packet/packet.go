@@ -96,9 +96,29 @@ type Packet struct {
 	Payload []byte
 }
 
-// HeaderSize is the encoded header length: type (2) + reserved flags (2) +
-// payload length (4).
+// HeaderSize is the encoded header length: type (2) + flags (2) + payload
+// length (4).
 const HeaderSize = 8
+
+// FlagTrace in the header flags word marks a packet carrying a trace
+// context extension: TraceExtSize bytes between the header and the payload
+// holding run ID (uint64), quantum sequence (uint32), and parent span tag
+// (uint32), all little-endian. The extension is part of the framing — the
+// payload length field never counts it — so untraced peers and traced
+// peers interoperate packet-by-packet.
+const FlagTrace uint16 = 1 << 0
+
+// TraceExtSize is the trace context extension length.
+const TraceExtSize = 16
+
+// Parent span tags carried in the trace extension: which phase of the
+// synchronizer's quantum issued the RPC.
+const (
+	ParentNone     uint32 = 0 // outside the quantum loop (setup, reset)
+	ParentExchange uint32 = 1 // boundary exchange (sensor/actuator traffic)
+	ParentEnvStep  uint32 = 2 // environment quantum (step + telemetry)
+	ParentRTLStep  uint32 = 3 // RTL quantum (remote RTL stepping)
+)
 
 // MaxPayload bounds payloads to guard against corrupt streams.
 const MaxPayload = 16 << 20
@@ -120,22 +140,28 @@ func (p Packet) Encode(dst []byte) ([]byte, error) {
 
 // Decode parses one packet from the front of buf, returning the packet and
 // the number of bytes consumed. It returns io.ErrShortBuffer (wrapped) when
-// buf does not yet hold a complete packet.
+// buf does not yet hold a complete packet. A trace context extension
+// (FlagTrace) is consumed and discarded; use Reader to observe it.
 func Decode(buf []byte) (Packet, int, error) {
 	if len(buf) < HeaderSize {
 		return Packet{}, 0, fmt.Errorf("packet: %w: need header", io.ErrShortBuffer)
 	}
 	t := Type(binary.LittleEndian.Uint16(buf[0:2]))
+	flags := binary.LittleEndian.Uint16(buf[2:4])
 	n := binary.LittleEndian.Uint32(buf[4:8])
 	if n > MaxPayload {
 		return Packet{}, 0, fmt.Errorf("packet: payload length %d exceeds max", n)
 	}
-	total := HeaderSize + int(n)
+	ext := 0
+	if flags&FlagTrace != 0 {
+		ext = TraceExtSize
+	}
+	total := HeaderSize + ext + int(n)
 	if len(buf) < total {
 		return Packet{}, 0, fmt.Errorf("packet: %w: need %d bytes", io.ErrShortBuffer, total)
 	}
 	payload := make([]byte, n)
-	copy(payload, buf[HeaderSize:total])
+	copy(payload, buf[HeaderSize+ext:total])
 	return Packet{Type: t, Payload: payload}, total, nil
 }
 
@@ -149,16 +175,23 @@ func Write(w io.Writer, p Packet) error {
 	return err
 }
 
-// Read reads exactly one packet from r.
+// Read reads exactly one packet from r. A trace context extension
+// (FlagTrace) is consumed and discarded; use Reader to observe it.
 func Read(r io.Reader) (Packet, error) {
-	var hdr [HeaderSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var hdr [HeaderSize + TraceExtSize]byte
+	if _, err := io.ReadFull(r, hdr[:HeaderSize]); err != nil {
 		return Packet{}, err
 	}
 	t := Type(binary.LittleEndian.Uint16(hdr[0:2]))
+	flags := binary.LittleEndian.Uint16(hdr[2:4])
 	n := binary.LittleEndian.Uint32(hdr[4:8])
 	if n > MaxPayload {
 		return Packet{}, fmt.Errorf("packet: payload length %d exceeds max", n)
+	}
+	if flags&FlagTrace != 0 {
+		if _, err := io.ReadFull(r, hdr[HeaderSize:]); err != nil {
+			return Packet{}, fmt.Errorf("packet: truncated trace extension for %v: %w", t, err)
+		}
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {

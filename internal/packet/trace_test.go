@@ -1,0 +1,126 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFrameTraceExtRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.SetTrace(0xDEADBEEF01020304, 7, ParentExchange)
+	if err := w.WritePacket(Packet{Type: CamReq}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteU64(RPCStepFrames, 42); err != nil {
+		t.Fatal(err)
+	}
+	// An untraced packet (response direction) between traced ones.
+	w.SetTrace(0, 0, 0)
+	if err := w.WritePacket(Packet{Type: RPCAck}); err != nil {
+		t.Fatal(err)
+	}
+	w.SetTrace(0xDEADBEEF01020304, 8, ParentEnvStep)
+	if err := w.WritePacket(Packet{Type: RPCTelemetry, Payload: []byte{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	if run, seq, parent := r.Trace(); run != 0 || seq != 0 || parent != 0 {
+		t.Errorf("pre-read trace = %x/%d/%d, want zero", run, seq, parent)
+	}
+	p, err := r.Next()
+	if err != nil || p.Type != CamReq {
+		t.Fatalf("Next = %v, %v", p, err)
+	}
+	if run, seq, parent := r.Trace(); run != 0xDEADBEEF01020304 || seq != 7 || parent != ParentExchange {
+		t.Errorf("trace after CamReq = %x/%d/%d", run, seq, parent)
+	}
+	p, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.AsU64(); p.Type != RPCStepFrames || v != 42 {
+		t.Errorf("WriteU64 round-trip = %v/%v", p.Type, v)
+	}
+	// Untraced packet: the sticky context survives so a server can still
+	// attribute work started by the last stamped request.
+	p, err = r.Next()
+	if err != nil || p.Type != RPCAck {
+		t.Fatalf("Next = %v, %v", p, err)
+	}
+	if run, seq, _ := r.Trace(); run != 0xDEADBEEF01020304 || seq != 7 {
+		t.Errorf("sticky trace after untraced packet = %x/%d", run, seq)
+	}
+	p, err = r.Next()
+	if err != nil || p.Type != RPCTelemetry || !bytes.Equal(p.Payload, []byte{1, 2, 3}) {
+		t.Fatalf("Next = %v, %v", p, err)
+	}
+	if run, seq, parent := r.Trace(); run != 0xDEADBEEF01020304 || seq != 8 || parent != ParentEnvStep {
+		t.Errorf("trace after telemetry = %x/%d/%d", run, seq, parent)
+	}
+}
+
+// Traced frames must interoperate with the unbuffered helpers: Read and
+// Decode consume the extension transparently and deliver the payload.
+func TestTraceExtInterop(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.SetTrace(0xABCD, 3, ParentRTLStep)
+	if err := w.WritePacket(Packet{Type: DepthData, Payload: []byte{9, 8, 7, 6, 5, 4, 3, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wire := append([]byte(nil), buf.Bytes()...)
+
+	p, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type != DepthData || !bytes.Equal(p.Payload, []byte{9, 8, 7, 6, 5, 4, 3, 2}) {
+		t.Errorf("Read skipped ext wrong: %v", p)
+	}
+
+	p2, n, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(wire) {
+		t.Errorf("Decode consumed %d of %d bytes", n, len(wire))
+	}
+	if p2.Type != DepthData || !bytes.Equal(p2.Payload, p.Payload) {
+		t.Errorf("Decode skipped ext wrong: %v", p2)
+	}
+	// A short buffer that ends inside the extension must report short, not
+	// misparse the ext bytes as payload.
+	if _, _, err := Decode(wire[:HeaderSize+4]); err == nil {
+		t.Error("Decode accepted a truncated trace extension")
+	}
+}
+
+func TestTracedWriterZeroAlloc(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.SetTrace(1, 1, ParentExchange)
+	payload := []byte{1, 2, 3, 4}
+	allocs := testing.AllocsPerRun(200, func() {
+		buf.Reset()
+		if err := w.WritePacket(Packet{Type: CamReq, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteU64(RPCStepFrames, 5); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("traced write path allocates %v/op, want 0", allocs)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 )
 
@@ -51,14 +52,23 @@ func (s *Server) Serve() error {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	r := packet.NewReader(conn)
+	w := packet.NewWriter(conn)
 	for {
-		req, err := packet.Read(conn)
+		req, err := r.Next()
 		if err != nil {
 			return
 		}
 		resp := s.handle(req)
-		if err := packet.Write(conn, resp); err != nil {
+		if err := w.WritePacket(resp); err != nil {
 			return
+		}
+		// Flush only when no pipelined request is already buffered, so a
+		// batch of requests is answered with one segment.
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -119,6 +129,10 @@ func (s *Server) handle(req packet.Packet) packet.Packet {
 type RemoteRTL struct {
 	mu   sync.Mutex
 	conn net.Conn
+	r    *packet.Reader
+	w    *packet.Writer
+
+	trace *obs.TraceContext // nil = no cross-host propagation
 
 	// cached status from the last RTLStatus round trip
 	cycle uint64
@@ -132,12 +146,26 @@ func DialRTL(addr string) (*RemoteRTL, error) {
 	if err != nil {
 		return nil, fmt.Errorf("soc: dialing RTL server %s: %w", addr, err)
 	}
-	r := &RemoteRTL{conn: conn}
+	r := &RemoteRTL{conn: conn, r: packet.NewReader(conn), w: packet.NewWriter(conn)}
 	if err := r.refresh(); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	return r, nil
+}
+
+// SetTrace installs the run's trace context: every subsequent request is
+// stamped with the run ID, the context's current quantum sequence, and
+// packet.ParentRTLStep, correlating remote RTL traffic with the
+// synchronizer's quanta. Call before the co-simulation starts; nil
+// disables stamping.
+func (r *RemoteRTL) SetTrace(run *obs.TraceContext) {
+	r.mu.Lock()
+	r.trace = run
+	if run == nil {
+		r.w.SetTrace(0, 0, 0)
+	}
+	r.mu.Unlock()
 }
 
 // Close terminates the connection.
@@ -146,10 +174,16 @@ func (r *RemoteRTL) Close() error { return r.conn.Close() }
 func (r *RemoteRTL) call(req packet.Packet) (packet.Packet, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := packet.Write(r.conn, req); err != nil {
+	if r.trace != nil {
+		r.w.SetTrace(r.trace.RunID(), uint32(r.trace.Seq()), packet.ParentRTLStep)
+	}
+	if err := r.w.WritePacket(req); err != nil {
 		return packet.Packet{}, err
 	}
-	resp, err := packet.Read(r.conn)
+	if err := r.w.Flush(); err != nil {
+		return packet.Packet{}, err
+	}
+	resp, err := r.r.Next()
 	if err != nil {
 		return packet.Packet{}, err
 	}

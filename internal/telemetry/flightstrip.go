@@ -67,6 +67,20 @@ func HealthStrip(s obs.Summary) string {
 		fmt.Fprintf(&b, "  trace      %d events (%d overwritten)\n",
 			s.TraceEvents, s.TraceDropped)
 	}
+	if s.RunID != "" {
+		fmt.Fprintf(&b, "  run        %s\n", s.RunID)
+	}
+	if s.QuantumStalls > 0 {
+		fmt.Fprintf(&b, "  stalls     %d quantum watchdog stalls\n", s.QuantumStalls)
+	}
+	if dumps := s.PanicDumps + s.WatchdogDumps + s.FaultDumps + s.ManualDumps; dumps > 0 {
+		fmt.Fprintf(&b, "  blackbox   %d dumps (panic %d, watchdog %d, fault %d, manual %d)\n",
+			dumps, s.PanicDumps, s.WatchdogDumps, s.FaultDumps, s.ManualDumps)
+	}
+	if s.LogEvents > 0 {
+		fmt.Fprintf(&b, "  log        %d events (%d overwritten)\n",
+			s.LogEvents, s.LogOverwritten)
+	}
 	return b.String()
 }
 

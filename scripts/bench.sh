@@ -8,11 +8,13 @@
 # The snapshot captures the synchronizer hot path (serial vs overlapped
 # quantum execution), the distributed RPC path (allocs must stay 0), and —
 # since PR 3 — the observability overhead: each obs-enabled benchmark is
-# paired with its disabled twin and the relative delta is recorded.
+# paired with its disabled twin and the relative delta is recorded. Since
+# PR 4 the observed RPC path also carries trace-context stamping, and the
+# structured event log's enabled-vs-disabled cost is recorded the same way.
 set -eu
 
 cd "$(dirname "$0")/.."
-pr="${1:-3}"
+pr="${1:-4}"
 out="BENCH_PR${pr}.json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -21,6 +23,10 @@ echo "== benchmarks (this takes a few minutes: models train once) =="
 go test -run xxx \
     -bench 'BenchmarkMissionStep$|BenchmarkMissionStepOverlapped$|BenchmarkMissionStepSerial$|BenchmarkMissionStepObserved$|BenchmarkQuantumTCP$|BenchmarkQuantumTCPObserved$' \
     -benchtime 4x -benchmem . | tee "$raw"
+
+# The logger micro-pair is nanoseconds per op; give it a real benchtime so
+# the delta is signal, not timer noise.
+go test -run xxx -bench 'BenchmarkLogEvent' -benchmem . | tee -a "$raw"
 
 awk -v pr="$pr" '
 /^Benchmark/ {
@@ -49,6 +55,7 @@ END {
     # per metric pairs of (observed benchmark, its disabled twin).
     pairs["BenchmarkMissionStepObserved"] = "BenchmarkMissionStepOverlapped"
     pairs["BenchmarkQuantumTCPObserved"]  = "BenchmarkQuantumTCP"
+    pairs["BenchmarkLogEventEnabled"]     = "BenchmarkLogEventDisabled"
     m = 0
     for (obsname in pairs) {
         base = pairs[obsname]
