@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet check bench bench-kernels
+.PHONY: build test vet check chaos fuzz bench bench-kernels
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,23 @@ vet:
 # the hot-path benchmarks. See scripts/check.sh.
 check:
 	sh scripts/check.sh
+
+# chaos runs the deterministic fault-injection suite under the race
+# detector: scripted and seeded fault schedules through full loopback
+# missions (byte-identical recovery), the dead-server bounded abort, and
+# the transport/dedup unit tests they build on.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestDeadEnv' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestResil|TestServerDedup|TestServerAcceptBackoff' ./internal/env/
+	$(GO) test -race -count=1 -run 'Retry|TransferCharge' ./internal/soc/
+	$(GO) test -race -count=1 -run 'TestLink|TestResil|TestReplay|TestChecksum|TestWriterResil|TestAppendFrame' ./internal/packet/
+	$(GO) test -race -count=1 ./internal/faultnet/
+
+# fuzz gives each framing/codec fuzz target a short native-fuzzing burst.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzDecode$$ -fuzztime 10s ./internal/packet/
+	$(GO) test -run xxx -fuzz FuzzReaderNext$$ -fuzztime 10s ./internal/packet/
+	$(GO) test -run xxx -fuzz FuzzDecodeTelemetry$$ -fuzztime 10s ./internal/env/
 
 # bench regenerates every paper table/figure as a benchmark (minutes).
 bench:

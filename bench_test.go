@@ -11,13 +11,16 @@
 package repro
 
 import (
+	"net"
 	"testing"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/env"
 	"repro/internal/experiments"
+	"repro/internal/faultnet"
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/world"
@@ -114,7 +117,7 @@ func BenchmarkMissionStepObserved(b *testing.B) {
 // deployment's per-quantum cost. With suite == nil the steady-state path is
 // allocation-free on both ends (allocs/op counts every goroutine, including
 // the server's).
-func benchQuantumTCP(b *testing.B, suite *obs.Suite) {
+func benchQuantumTCP(b *testing.B, suite *obs.Suite, opts env.DialOptions) {
 	b.Helper()
 	sim, err := env.New(env.DefaultConfig(world.Tunnel()))
 	if err != nil {
@@ -129,7 +132,7 @@ func benchQuantumTCP(b *testing.B, suite *obs.Suite) {
 		srv.SetObs(suite.EnvServer)
 	}
 	go srv.Serve()
-	c, err := env.Dial(srv.Addr())
+	c, err := env.DialWith(srv.Addr(), opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -172,12 +175,41 @@ func benchQuantumTCP(b *testing.B, suite *obs.Suite) {
 
 // BenchmarkQuantumTCP is the observability-disabled RPC quantum: 0
 // allocs/op is part of the repo's perf contract (DESIGN.md §6).
-func BenchmarkQuantumTCP(b *testing.B) { benchQuantumTCP(b, nil) }
+func BenchmarkQuantumTCP(b *testing.B) { benchQuantumTCP(b, nil, env.DialOptions{}) }
 
 // BenchmarkQuantumTCPObserved runs the same quantum with client and server
 // accounting live and every request stamped with trace context, isolating
 // the per-quantum cost of RPC instrumentation plus cross-host correlation.
-func BenchmarkQuantumTCPObserved(b *testing.B) { benchQuantumTCP(b, obs.New(0)) }
+func BenchmarkQuantumTCPObserved(b *testing.B) { benchQuantumTCP(b, obs.New(0), env.DialOptions{}) }
+
+// BenchmarkQuantumTCPFaultnet routes the quantum through a fault injector
+// with nothing armed — the chaos harness as a passthrough. Its delta
+// against BenchmarkQuantumTCP is the wrapper tax, which must stay ~0 so
+// chaos benchmarks remain comparable to clean ones.
+func BenchmarkQuantumTCPFaultnet(b *testing.B) {
+	inj := faultnet.New(faultnet.Config{})
+	benchQuantumTCP(b, nil, env.DialOptions{
+		Dialer: func(addr string, timeout time.Duration) (net.Conn, error) {
+			conn, err := net.DialTimeout("tcp", addr, timeout)
+			if err != nil {
+				return nil, err
+			}
+			return inj.WrapConn(conn), nil
+		},
+	})
+}
+
+// BenchmarkQuantumTCPResilient measures the fault-tolerant transport with
+// no faults occurring: replay-window bookkeeping, per-RPC deadlines, and
+// payload CRCs on every frame — the steady-state price of surviving a
+// flaky network.
+func BenchmarkQuantumTCPResilient(b *testing.B) {
+	benchQuantumTCP(b, nil, env.DialOptions{
+		MaxRetries: 3,
+		RPCTimeout: 30 * time.Second,
+		CRCPayload: true,
+	})
+}
 
 // benchLogEvent measures one structured log call with typical quantum
 // fields. The Disabled twin is the same call filtered by level — the cost

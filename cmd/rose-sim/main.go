@@ -25,8 +25,10 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/dnn"
+	"repro/internal/env"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/packet"
 	"repro/internal/telemetry"
 )
 
@@ -51,6 +53,10 @@ func main() {
 		logFile  = flag.String("log-file", "", "stream structured events as NDJSON to this file (\"-\" = stderr text)")
 		watchdog = flag.Duration("watchdog", 0, "quantum watchdog deadline (0 = off); a stalled quantum dumps the black box")
 		blackbox = flag.String("blackbox", obs.DefaultBlackboxPath, "flight-recorder dump path (\"\" disables file dumps)")
+		envAddr  = flag.String("env-addr", "", "remote environment server address (empty = in-process simulator)")
+		dialTO   = flag.Duration("dial-timeout", packet.DefaultDialTimeout, "TCP connect timeout for remote endpoints")
+		rpcTO    = flag.Duration("rpc-timeout", 0, "per-RPC I/O deadline for remote endpoints (0 = none)")
+		retries  = flag.Int("rpc-retries", 0, "reconnect budget per failed RPC; >0 enables transparent reconnect with idempotent replay (and payload CRCs)")
 		mergeSim = flag.String("merge-sim", "", "merge mode: introspection URL of the rose-sim host")
 		mergeEnv = flag.String("merge-env", "", "merge mode: introspection URL of the rose-env-server host")
 		mergeOut = flag.String("merge-out", "merged_trace.json", "merge mode: output path for the merged Chrome trace")
@@ -127,6 +133,13 @@ func main() {
 		Seed:        *seed,
 		Overlap:     overlapMode(*serial),
 		Obs:         suite,
+		EnvAddr:     *envAddr,
+		EnvDial: env.DialOptions{
+			DialTimeout: *dialTO,
+			RPCTimeout:  *rpcTO,
+			MaxRetries:  *retries,
+			CRCPayload:  *retries > 0,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -21,6 +21,7 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/packet"
 	"repro/internal/telemetry"
 )
 
@@ -36,9 +37,15 @@ func main() {
 		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
 		watchdog = flag.Duration("watchdog", 0, "quantum watchdog deadline (0 = off); a stalled quantum dumps the black box")
 		blackbox = flag.String("blackbox", obs.DefaultBlackboxPath, "flight-recorder dump path (\"\" disables file dumps)")
+		dialTO   = flag.Duration("dial-timeout", packet.DefaultDialTimeout, "process-wide TCP connect timeout for any remote endpoint")
+		rpcTO    = flag.Duration("rpc-timeout", packet.DefaultRPCTimeout, "process-wide per-RPC I/O deadline for remote endpoints (0 = none)")
 	)
 	flag.Parse()
 	dnn.RegistryTrainPerClass = *perClass
+	// Sweeps construct their clients deep inside the experiment harnesses,
+	// so the transport bounds apply process-wide.
+	packet.DefaultDialTimeout = *dialTO
+	packet.DefaultRPCTimeout = *rpcTO
 
 	ids := experiments.IDs()
 	if *exp != "all" {

@@ -22,6 +22,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -41,6 +42,19 @@ import (
 )
 
 func main() {
+	var (
+		dialTO  = flag.Duration("dial-timeout", 10*time.Second, "TCP connect timeout for both endpoints")
+		rpcTO   = flag.Duration("rpc-timeout", 30*time.Second, "per-RPC I/O deadline (0 = none)")
+		retries = flag.Int("rpc-retries", 3, "reconnect budget per failed RPC; >0 enables transparent reconnect with idempotent replay")
+	)
+	flag.Parse()
+	dial := env.DialOptions{
+		DialTimeout: *dialTO,
+		RPCTimeout:  *rpcTO,
+		MaxRetries:  *retries,
+		CRCPayload:  *retries > 0,
+	}
+
 	model, err := dnn.Trained("ResNet14")
 	if err != nil {
 		log.Fatal(err)
@@ -84,15 +98,19 @@ func main() {
 	go rtlSrv.Serve()
 	defer rtlSrv.Close()
 
-	// --- Synchronizer host: dial both and run lockstep over the wire ---
-	envClient, err := env.Dial(envSrv.Addr())
+	// --- Synchronizer host: dial both and run lockstep over the wire.
+	// Both links are resilient: a dropped connection or stalled RPC is
+	// retried with capped exponential backoff and the unanswered requests
+	// replayed (the servers dedup them), so transient network faults never
+	// corrupt the mission. ---
+	envClient, err := env.DialWith(envSrv.Addr(), dial)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer envClient.Close()
 	envClient.SetObs(simSuite.RPC)
 	envClient.SetTrace(simSuite.Run) // stamp every RPC with the run's context
-	rtlClient, err := soc.DialRTL(rtlSrv.Addr())
+	rtlClient, err := soc.DialRTLWith(rtlSrv.Addr(), soc.DialOptions(dial))
 	if err != nil {
 		log.Fatal(err)
 	}

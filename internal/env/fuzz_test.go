@@ -1,0 +1,37 @@
+package env
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeTelemetry exercises the fixed-width telemetry codec: decoding
+// must never panic, and any accepted payload must round-trip stably —
+// encode(decode(x)) decodes to the same value and re-encodes to the same
+// bytes (the codec is bijective except for non-canonical bool bytes).
+func FuzzDecodeTelemetry(f *testing.F) {
+	f.Add(make([]byte, telemetryWireSize))
+	f.Add(AppendTelemetry(nil, Telemetry{
+		TimeSec: 1.5, Frame: 90, Yaw: -0.25, DepthAhead: 3.75,
+		Collided: true, CollisionCount: 2, MissionComplete: true,
+	}))
+	f.Add([]byte("short"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tm, err := DecodeTelemetry(data)
+		if err != nil {
+			return
+		}
+		enc := AppendTelemetry(nil, tm)
+		if len(enc) != telemetryWireSize {
+			t.Fatalf("re-encode produced %d bytes", len(enc))
+		}
+		tm2, err := DecodeTelemetry(enc)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v", err)
+		}
+		enc2 := AppendTelemetry(nil, tm2)
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding not stable: %x vs %x", enc, enc2)
+		}
+	})
+}

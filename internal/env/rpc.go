@@ -2,6 +2,7 @@ package env
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"net"
@@ -44,6 +45,11 @@ type Server struct {
 	ln  net.Listener
 	obs atomic.Pointer[obs.EnvServerObs] // nil = disabled
 	log atomic.Pointer[obs.Logger]       // nil = silent
+	// sessions holds per-link replay state for resilient clients
+	// (DESIGN.md §7): replayed requests after a reconnect are answered
+	// from the cached response instead of re-executing, which would
+	// advance the simulator's noise RNG twice and fork the trajectory.
+	sessions *packet.ResilSessions
 }
 
 // SetObs installs request/byte accounting for the server. Safe to call
@@ -64,7 +70,13 @@ func NewServer(sim *Sim, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("env: listening on %s: %w", addr, err)
 	}
-	return &Server{sim: sim, ln: ln}, nil
+	return NewServerOn(sim, ln), nil
+}
+
+// NewServerOn wraps a simulator behind an existing listener — the hook the
+// chaos suite uses to interpose faultnet between server and clients.
+func NewServerOn(sim *Sim, ln net.Listener) *Server {
+	return &Server{sim: sim, ln: ln, sessions: packet.NewResilSessions()}
 }
 
 // Addr returns the bound listen address.
@@ -75,13 +87,29 @@ func (s *Server) Close() error { return s.ln.Close() }
 
 // Serve accepts and serves connections until the listener is closed.
 // Multiple clients may connect; they share the single simulator under a
-// lock held only around simulator access.
+// lock held only around simulator access. Transient accept failures
+// (EMFILE, ECONNABORTED, injected chaos) are logged and retried with
+// capped backoff instead of killing the serve goroutine mid-sweep; Serve
+// returns only when the listener itself is closed.
 func (s *Server) Serve() error {
+	var backoff time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return err
+			if errors.Is(err, net.ErrClosed) {
+				return err
+			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff < time.Second {
+				backoff *= 2
+			}
+			s.logger().Warn("env server accept failed; retrying",
+				obs.Str("err", err.Error()), obs.Str("backoff", backoff.String()))
+			time.Sleep(backoff)
+			continue
 		}
+		backoff = 0
 		go s.serveConn(conn)
 	}
 }
@@ -93,6 +121,7 @@ func (s *Server) Serve() error {
 type connScratch struct {
 	cam     []byte // quantized camera pixels
 	payload []byte // response payload build buffer
+	replay  []byte // replayed-response copy buffer (session cache hits)
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -105,6 +134,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		req, err := r.Next()
 		if err != nil {
+			// A checksum failure means framing alignment is gone; dropping
+			// the connection makes the resilient client reconnect and
+			// replay, which is the recovery path.
+			if errors.Is(err, packet.ErrChecksum) {
+				s.logger().Warn("env request failed checksum; dropping connection",
+					obs.Str("remote", conn.RemoteAddr().String()), obs.Str("err", err.Error()))
+			}
 			return
 		}
 		o := s.obs.Load()
@@ -112,7 +148,34 @@ func (s *Server) serveConn(conn net.Conn) {
 		if o != nil {
 			t0 = time.Now()
 		}
-		resp := s.handle(req, sc)
+		// Resilient clients stamp every request with a (link, seq) pair.
+		// Mirror it onto the response, and answer a replayed sequence from
+		// the session cache — byte-identical to the original response —
+		// instead of re-executing it.
+		var sess *packet.ResilSession
+		var seq uint32
+		if link, rseq, ok := r.Resil(); ok {
+			sess, seq = s.sessions.Get(link), rseq
+			w.SetResil(link, r.ResilCRCPayload())
+			w.SetResilSeq(rseq)
+		} else {
+			w.SetResil(0, false)
+		}
+		var resp packet.Packet
+		replayed := false
+		if sess != nil {
+			resp, sc.replay, replayed = sess.Dedup(seq, sc.replay)
+		}
+		if replayed {
+			if o != nil {
+				o.ReplayHits.Inc()
+			}
+		} else {
+			resp = s.handle(req, sc)
+			if sess != nil {
+				sess.Store(seq, resp)
+			}
+		}
 		if err := w.WritePacket(resp); err != nil {
 			return
 		}
@@ -264,9 +327,7 @@ func (s *Server) handle(req packet.Packet, sc *connScratch) packet.Packet {
 // next call of the same method.
 type Client struct {
 	mu   sync.Mutex
-	conn net.Conn
-	r    *packet.Reader
-	w    *packet.Writer
+	link *packet.Link
 	rate float64
 
 	pending  int   // acks owed for deferred commands (StepFrames, CmdVel)
@@ -289,29 +350,61 @@ type span struct {
 var _ Env = (*Client)(nil)
 var _ SensorBatcher = (*Client)(nil)
 
-// Dial connects to an environment server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// DialOptions configures the client transport: a dial timeout, a per-RPC
+// I/O deadline, and — when MaxRetries > 0 — transparent reconnect with
+// capped exponential backoff and idempotent replay of unanswered requests.
+// The zero value reproduces the plain (pre-resilience) transport with a
+// bounded dial.
+type DialOptions = packet.LinkOptions
+
+// Dial connects to an environment server with default options (bounded
+// dial, no reconnect).
+func Dial(addr string) (*Client, error) { return DialWith(addr, DialOptions{}) }
+
+// DialWith connects to an environment server with explicit transport
+// options.
+func DialWith(addr string, opts DialOptions) (*Client, error) {
+	l, err := packet.DialLink(addr, opts)
 	if err != nil {
-		return nil, fmt.Errorf("env: dialing %s: %w", addr, err)
+		return nil, fmt.Errorf("env: %w", err)
 	}
-	c := &Client{conn: conn, r: packet.NewReader(conn), w: packet.NewWriter(conn)}
+	c := &Client{link: l}
+	l.OnRecover = c.onRecover
+	l.OnChecksum = c.onChecksum
 	resp, err := c.call(packet.Packet{Type: packet.RPCFrameRate}, packet.ParentNone)
 	if err != nil {
-		conn.Close()
+		l.Close()
 		return nil, err
 	}
 	mhz, err := resp.AsU64()
 	if err != nil {
-		conn.Close()
+		l.Close()
 		return nil, err
 	}
+	// The frame rate is cached, so reconnects skip the handshake: replaying
+	// the window is the only traffic a restored connection needs.
 	c.rate = float64(mhz) / 1000
 	return c, nil
 }
 
-// Close terminates the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close terminates the connection and disables reconnection.
+func (c *Client) Close() error { return c.link.Close() }
+
+// onRecover/onChecksum feed link resilience events into the RPC metrics.
+// The link only invokes them from calls made under c.mu, so reading c.obs
+// is safe.
+func (c *Client) onRecover(attempts, replayed int) {
+	if c.obs != nil {
+		c.obs.Reconnects.Inc()
+		c.obs.ReplayedFrames.Add(uint64(replayed))
+	}
+}
+
+func (c *Client) onChecksum() {
+	if c.obs != nil {
+		c.obs.ChecksumErrors.Inc()
+	}
+}
 
 // SetObs installs RPC traffic accounting (round-trips, deferred acks,
 // batched fetches, bytes in/out). Call before the co-simulation starts; a
@@ -332,16 +425,16 @@ func (c *Client) SetTrace(run *obs.TraceContext) {
 	c.mu.Lock()
 	c.trace = run
 	if run == nil {
-		c.w.SetTrace(0, 0, 0)
+		c.link.SetTrace(0, 0, 0)
 	}
 	c.mu.Unlock()
 }
 
-// stamp refreshes the writer's trace stamp for the current quantum.
+// stamp refreshes the link's trace stamp for the current quantum.
 // Caller holds c.mu.
 func (c *Client) stamp(parent uint32) {
 	if c.trace != nil {
-		c.w.SetTrace(c.trace.RunID(), uint32(c.trace.Seq()), parent)
+		c.link.SetTrace(c.trace.RunID(), uint32(c.trace.Seq()), parent)
 	}
 }
 
@@ -366,7 +459,7 @@ func (c *Client) call(req packet.Packet, parent uint32) (packet.Packet, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stamp(parent)
-	if err := c.w.WritePacket(req); err != nil {
+	if err := c.link.Send(req); err != nil {
 		return packet.Packet{}, err
 	}
 	c.countOut(req.Size())
@@ -382,13 +475,13 @@ func (c *Client) roundTrip() (packet.Packet, error) {
 	if c.obs != nil {
 		t0 = time.Now()
 	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.link.Flush(); err != nil {
 		return packet.Packet{}, err
 	}
 	if err := c.drainAcks(); err != nil {
 		return packet.Packet{}, err
 	}
-	resp, err := c.r.Next()
+	resp, err := c.link.Next()
 	if err != nil {
 		return packet.Packet{}, err
 	}
@@ -410,7 +503,7 @@ func (c *Client) roundTrip() (packet.Packet, error) {
 // Caller holds c.mu.
 func (c *Client) drainAcks() error {
 	for c.pending > 0 {
-		resp, err := c.r.Next()
+		resp, err := c.link.Next()
 		if err != nil {
 			return err
 		}
@@ -444,7 +537,7 @@ func (c *Client) deferCommand(write func() error) error {
 	if c.obs != nil {
 		c.obs.DeferredCmds.Inc()
 	}
-	return c.w.Flush()
+	return c.link.Flush()
 }
 
 // StepFrames implements Env. The request is flushed but its ack is
@@ -461,7 +554,7 @@ func (c *Client) StepFrames(n int) error {
 	defer c.mu.Unlock()
 	c.stamp(packet.ParentEnvStep)
 	return c.deferCommand(func() error {
-		if err := c.w.WriteU64(packet.RPCStepFrames, uint64(n)); err != nil {
+		if err := c.link.SendU64(packet.RPCStepFrames, uint64(n)); err != nil {
 			return err
 		}
 		c.countOut(packet.HeaderSize + 8)
@@ -542,12 +635,12 @@ func (c *Client) FetchSensors(reqs []packet.Type) ([]packet.Packet, error) {
 		default:
 			return nil, fmt.Errorf("env: %v is not a sensor request", t)
 		}
-		if err := c.w.WritePacket(packet.Packet{Type: t}); err != nil {
+		if err := c.link.Send(packet.Packet{Type: t}); err != nil {
 			return nil, err
 		}
 		c.countOut(packet.HeaderSize)
 	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.link.Flush(); err != nil {
 		return nil, err
 	}
 	if err := c.drainAcks(); err != nil {
@@ -559,7 +652,7 @@ func (c *Client) FetchSensors(reqs []packet.Type) ([]packet.Packet, error) {
 	c.spans = c.spans[:0]
 	var firstErr error
 	for range reqs {
-		resp, err := c.r.Next()
+		resp, err := c.link.Next()
 		if err != nil {
 			return nil, err
 		}
@@ -601,7 +694,7 @@ func (c *Client) SetVelocity(forward, lateral, yawRate float64) error {
 	return c.deferCommand(func() error {
 		c.scratch = packet.Cmd{VForward: forward, VLateral: lateral, YawRate: yawRate}.AppendPayload(c.scratch[:0])
 		p := packet.Packet{Type: packet.CmdVel, Payload: c.scratch}
-		if err := c.w.WritePacket(p); err != nil {
+		if err := c.link.Send(p); err != nil {
 			return err
 		}
 		c.countOut(p.Size())
@@ -618,7 +711,7 @@ func (c *Client) Reset(x, y, z, yaw float64) error {
 	for _, v := range [...]float64{x, y, z, yaw} {
 		c.scratch = binary.LittleEndian.AppendUint64(c.scratch, math.Float64bits(v))
 	}
-	if err := c.w.WritePacket(packet.Packet{Type: packet.RPCReset, Payload: c.scratch}); err != nil {
+	if err := c.link.Send(packet.Packet{Type: packet.RPCReset, Payload: c.scratch}); err != nil {
 		return err
 	}
 	c.countOut(packet.HeaderSize + len(c.scratch))

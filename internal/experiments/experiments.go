@@ -63,6 +63,16 @@ type MissionSpec struct {
 	// counters, and app inference latency feed the suite's registry and
 	// tracer. Nil (the default) keeps every hook a no-op nil check.
 	Obs *obs.Suite
+	// EnvAddr, when set, runs the mission against a remote environment
+	// server (rose-env-server) at this address instead of an in-process
+	// simulator. The client resets the remote vehicle to the spec's start
+	// pose before the run; frame rate, map, and noise seed are the
+	// server's.
+	EnvAddr string
+	// EnvDial configures the remote-environment transport: dial/RPC
+	// deadlines and, when MaxRetries > 0, transparent reconnect with
+	// idempotent replay. Ignored unless EnvAddr is set.
+	EnvDial env.DialOptions
 }
 
 // MissionOutcome bundles the synchronizer result with the app-level log.
@@ -103,13 +113,31 @@ func RunMission(spec MissionSpec) (*MissionOutcome, error) {
 		return nil, err
 	}
 
-	ecfg := env.DefaultConfig(m)
-	ecfg.StartX = spec.StartX
-	ecfg.StartYaw = vec.Deg(spec.StartYawDeg)
-	ecfg.Seed = spec.Seed + 1
-	sim, err := env.New(ecfg)
-	if err != nil {
-		return nil, err
+	var e env.Env
+	if spec.EnvAddr != "" {
+		client, err := env.DialWith(spec.EnvAddr, spec.EnvDial)
+		if err != nil {
+			return nil, err
+		}
+		defer client.Close()
+		if spec.Obs != nil {
+			client.SetObs(spec.Obs.RPC)
+			client.SetTrace(spec.Obs.Run)
+		}
+		if err := client.Reset(spec.StartX, 0, 0, vec.Deg(spec.StartYawDeg)); err != nil {
+			return nil, fmt.Errorf("experiments: resetting remote env: %w", err)
+		}
+		e = client
+	} else {
+		ecfg := env.DefaultConfig(m)
+		ecfg.StartX = spec.StartX
+		ecfg.StartYaw = vec.Deg(spec.StartYawDeg)
+		ecfg.Seed = spec.Seed + 1
+		sim, err := env.New(ecfg)
+		if err != nil {
+			return nil, err
+		}
+		e = sim
 	}
 
 	bigSess, err := ort.NewSession(big.Net, gemmini.Default())
@@ -159,7 +187,7 @@ func RunMission(spec MissionSpec) (*MissionOutcome, error) {
 	if spec.Obs != nil {
 		ccfg.Obs = spec.Obs.Core
 	}
-	sy, err := core.New(sim, machine, ccfg)
+	sy, err := core.New(e, machine, ccfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,469 @@
+// Package faultnet wraps net.Conn/net.Listener in a deterministic,
+// seeded fault injector — the chaos half of the transport resilience work
+// (DESIGN.md §7). It models the failure classes a distributed co-simulation
+// deployment actually meets: added latency and jitter, connections cut
+// mid-frame (partial read/write then death), RST-style resets, silent
+// blackholes (writes swallowed, reads hang until deadline), flipped bits,
+// and transient accept failures.
+//
+// Faults fire on a scripted schedule (exact connection/direction/op
+// coordinates) or a seeded-random one (per-I/O-op probabilities drawn from
+// a private PRNG). A MaxFaults budget bounds the total number of
+// destructive firings so a chaos mission always terminates, and a Clock
+// hook makes latency faults free under a fake clock.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the fault classes.
+type Kind int
+
+const (
+	// Latency delays the I/O op by a seeded duration in [LatencyMin, LatencyMax].
+	Latency Kind = iota
+	// Cut transfers a prefix of the op's bytes, then kills the connection —
+	// the peer observes a frame truncated mid-body.
+	Cut
+	// Reset kills the connection immediately, before any transfer.
+	Reset
+	// Blackhole silently swallows writes and blocks reads until the
+	// connection's deadline (or close) — the "link went quiet" failure that
+	// only per-RPC deadlines can surface.
+	Blackhole
+	// Corrupt flips one bit of the transferred bytes.
+	Corrupt
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Latency:
+		return "latency"
+	case Cut:
+		return "cut"
+	case Reset:
+		return "reset"
+	case Blackhole:
+		return "blackhole"
+	case Corrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Dir distinguishes the two directions of a connection.
+type Dir int
+
+const (
+	DirRead Dir = iota
+	DirWrite
+)
+
+// Fault is one scripted firing: the Op-th I/O call (0-based) in direction
+// Dir on the Conn-th wrapped connection (0-based, in wrap/accept order).
+// Scripted faults ignore probabilities and the MaxFaults budget.
+type Fault struct {
+	Conn    int
+	Dir     Dir
+	Op      int
+	Kind    Kind
+	Latency time.Duration // Latency firings only
+}
+
+// Clock abstracts time for latency faults and deadline math.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// FakeClock is a manually-advanced Clock whose Sleep returns instantly
+// after advancing the current time — latency faults cost nothing under it.
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFakeClock starts a fake clock at an arbitrary fixed epoch.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *FakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Config is the fault model. The zero value injects nothing (pure
+// passthrough).
+type Config struct {
+	// Seed drives the private PRNG behind the probabilistic schedule.
+	Seed int64
+	// Per-I/O-op firing probabilities, each in [0, 1]. Evaluated in this
+	// order from one uniform draw, so their sum must stay ≤ 1.
+	PLatency, PCut, PReset, PBlackhole, PCorrupt float64
+	// Latency bounds for probabilistic Latency firings.
+	LatencyMin, LatencyMax time.Duration
+	// MaxFaults bounds the total destructive firings (Cut, Reset,
+	// Blackhole, Corrupt) across all connections; once spent, the injector
+	// passes traffic through untouched, so a chaos mission always
+	// terminates. 0 = unlimited.
+	MaxFaults int
+	// AcceptErrors makes the wrapped Listener fail its first N Accept
+	// calls with a transient timeout error before serving real
+	// connections.
+	AcceptErrors int
+	// Script adds deterministic firings at exact coordinates, on top of
+	// (and regardless of) the probabilistic schedule and budget.
+	Script []Fault
+	// Clock is the time source (nil = real time).
+	Clock Clock
+}
+
+type scriptKey struct {
+	conn int
+	dir  Dir
+	op   int
+}
+
+// Injector owns the schedule, the budget, and the firing counters.
+type Injector struct {
+	cfg    Config
+	clk    Clock
+	script map[scriptKey]Fault
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	budget int // remaining destructive firings; -1 = unlimited
+
+	counts   [numKinds]atomic.Uint64
+	connSeq  atomic.Int64
+	conns    sync.Map // *Conn → struct{}
+	acceptMu sync.Mutex
+	acceptN  int
+}
+
+// New builds an injector from cfg.
+func New(cfg Config) *Injector {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = realClock{}
+	}
+	budget := cfg.MaxFaults
+	if budget == 0 {
+		budget = -1
+	}
+	in := &Injector{
+		cfg:    cfg,
+		clk:    clk,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		budget: budget,
+	}
+	if len(cfg.Script) > 0 {
+		in.script = make(map[scriptKey]Fault, len(cfg.Script))
+		for _, f := range cfg.Script {
+			in.script[scriptKey{f.Conn, f.Dir, f.Op}] = f
+		}
+	}
+	return in
+}
+
+// Counts returns the number of firings per kind so far.
+func (in *Injector) Counts() map[Kind]uint64 {
+	out := make(map[Kind]uint64, numKinds)
+	for k := Kind(0); k < numKinds; k++ {
+		if n := in.counts[k].Load(); n > 0 {
+			out[k] = n
+		}
+	}
+	return out
+}
+
+// Fired returns the total number of destructive firings (everything but
+// Latency) so far.
+func (in *Injector) Fired() uint64 {
+	var n uint64
+	for k := Cut; k < numKinds; k++ {
+		n += in.counts[k].Load()
+	}
+	return n
+}
+
+// CloseAll hard-kills every connection the injector has wrapped — the
+// "server host died" primitive for dead-link tests.
+func (in *Injector) CloseAll() {
+	in.conns.Range(func(key, _ any) bool {
+		key.(*Conn).kill()
+		return true
+	})
+}
+
+// firing is one decided fault plus its seeded parameters.
+type firing struct {
+	kind    Kind
+	latency time.Duration
+	rnd     uint64 // corrupt bit selector
+	ok      bool
+}
+
+// decide consults the script, then the seeded schedule, for the op at the
+// given coordinates. Destructive probabilistic firings spend budget.
+func (in *Injector) decide(conn int, dir Dir, op int) firing {
+	if f, ok := in.script[scriptKey{conn, dir, op}]; ok {
+		in.mu.Lock()
+		rnd := in.rng.Uint64()
+		in.mu.Unlock()
+		in.counts[f.Kind].Add(1)
+		return firing{kind: f.Kind, latency: f.Latency, rnd: rnd, ok: true}
+	}
+	c := &in.cfg
+	if c.PLatency == 0 && c.PCut == 0 && c.PReset == 0 && c.PBlackhole == 0 && c.PCorrupt == 0 {
+		return firing{}
+	}
+	in.mu.Lock()
+	u := in.rng.Float64()
+	rnd := in.rng.Uint64()
+	lat := c.LatencyMin
+	if jitter := c.LatencyMax - c.LatencyMin; jitter > 0 {
+		lat += time.Duration(in.rng.Int63n(int64(jitter) + 1))
+	}
+	kind, ok := Kind(-1), false
+	for _, cand := range [...]struct {
+		k Kind
+		p float64
+	}{{Latency, c.PLatency}, {Cut, c.PCut}, {Reset, c.PReset}, {Blackhole, c.PBlackhole}, {Corrupt, c.PCorrupt}} {
+		if u < cand.p {
+			kind, ok = cand.k, true
+			break
+		}
+		u -= cand.p
+	}
+	if ok && kind != Latency {
+		if in.budget == 0 {
+			ok = false
+		} else if in.budget > 0 {
+			in.budget--
+		}
+	}
+	in.mu.Unlock()
+	if !ok {
+		return firing{}
+	}
+	in.counts[kind].Add(1)
+	return firing{kind: kind, latency: lat, rnd: rnd, ok: true}
+}
+
+// transientErr is a temporary net.Error for injected Accept failures.
+type transientErr struct{}
+
+func (transientErr) Error() string   { return "faultnet: injected transient error" }
+func (transientErr) Timeout() bool   { return true }
+func (transientErr) Temporary() bool { return true }
+
+var _ net.Error = transientErr{}
+
+// ErrInjected is the base error returned by injected connection failures.
+var ErrInjected = errors.New("faultnet: injected connection failure")
+
+// Listener wraps a net.Listener, injecting transient Accept errors and
+// wrapping every accepted connection.
+type Listener struct {
+	net.Listener
+	in *Injector
+}
+
+// WrapListener wraps ln so every accepted connection runs through the
+// injector.
+func (in *Injector) WrapListener(ln net.Listener) *Listener {
+	return &Listener{Listener: ln, in: in}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	l.in.acceptMu.Lock()
+	if l.in.acceptN < l.in.cfg.AcceptErrors {
+		l.in.acceptN++
+		l.in.acceptMu.Unlock()
+		return nil, transientErr{}
+	}
+	l.in.acceptMu.Unlock()
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.WrapConn(conn), nil
+}
+
+// Conn is a fault-injected connection.
+type Conn struct {
+	net.Conn
+	in  *Injector
+	idx int
+
+	readOps, writeOps atomic.Int64
+	black             atomic.Bool
+	readDeadline      atomic.Int64 // unix nanos; 0 = none
+	closed            chan struct{}
+	closeOnce         sync.Once
+
+	wmu      sync.Mutex
+	wscratch []byte // corrupt-write copy buffer
+}
+
+// WrapConn wraps a single connection. Connection indexes (for scripted
+// faults) are assigned in wrap order.
+func (in *Injector) WrapConn(conn net.Conn) *Conn {
+	c := &Conn{Conn: conn, in: in, idx: int(in.connSeq.Add(1)) - 1, closed: make(chan struct{})}
+	in.conns.Store(c, struct{}{})
+	return c
+}
+
+// Index returns the connection's wrap-order index.
+func (c *Conn) Index() int { return c.idx }
+
+// kill terminates the connection from the fault path.
+func (c *Conn) kill() {
+	c.closeOnce.Do(func() { close(c.closed) })
+	c.Conn.Close()
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	err := c.Conn.Close()
+	c.in.conns.Delete(c)
+	return err
+}
+
+// SetDeadline implements net.Conn, tracking the read half so blackholed
+// reads still honor it.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.storeReadDeadline(t)
+	return c.Conn.SetDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.storeReadDeadline(t)
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *Conn) storeReadDeadline(t time.Time) {
+	if t.IsZero() {
+		c.readDeadline.Store(0)
+	} else {
+		c.readDeadline.Store(t.UnixNano())
+	}
+}
+
+// blackholeRead blocks as a silent link would: until the connection dies
+// or the read deadline passes. Without a deadline it blocks until close —
+// exactly the hang that per-RPC deadlines exist to bound.
+func (c *Conn) blackholeRead() (int, error) {
+	dl := c.readDeadline.Load()
+	if dl == 0 {
+		<-c.closed
+		return 0, net.ErrClosed
+	}
+	wait := time.Until(time.Unix(0, dl))
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case <-c.closed:
+			return 0, net.ErrClosed
+		case <-t.C:
+		}
+	}
+	return 0, os.ErrDeadlineExceeded
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.black.Load() {
+		return c.blackholeRead()
+	}
+	f := c.in.decide(c.idx, DirRead, int(c.readOps.Add(1))-1)
+	if f.ok {
+		switch f.kind {
+		case Latency:
+			c.in.clk.Sleep(f.latency)
+		case Reset:
+			c.kill()
+			return 0, fmt.Errorf("%w: read reset", ErrInjected)
+		case Blackhole:
+			c.black.Store(true)
+			return c.blackholeRead()
+		}
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 && f.ok {
+		switch f.kind {
+		case Cut:
+			n = (n + 1) / 2
+			c.kill()
+			return n, nil
+		case Corrupt:
+			bit := f.rnd % uint64(n*8)
+			p[bit/8] ^= 1 << (bit % 8)
+		}
+	}
+	return n, err
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.black.Load() {
+		return len(p), nil // swallowed
+	}
+	f := c.in.decide(c.idx, DirWrite, int(c.writeOps.Add(1))-1)
+	if !f.ok {
+		return c.Conn.Write(p)
+	}
+	switch f.kind {
+	case Latency:
+		c.in.clk.Sleep(f.latency)
+		return c.Conn.Write(p)
+	case Reset:
+		c.kill()
+		return 0, fmt.Errorf("%w: write reset", ErrInjected)
+	case Blackhole:
+		c.black.Store(true)
+		return len(p), nil
+	case Cut:
+		n, _ := c.Conn.Write(p[:(len(p)+1)/2])
+		c.kill()
+		return n, fmt.Errorf("%w: write cut after %d/%d bytes", ErrInjected, n, len(p))
+	case Corrupt:
+		if len(p) == 0 {
+			return c.Conn.Write(p)
+		}
+		c.wmu.Lock()
+		defer c.wmu.Unlock()
+		c.wscratch = append(c.wscratch[:0], p...)
+		bit := f.rnd % uint64(len(p)*8)
+		c.wscratch[bit/8] ^= 1 << (bit % 8)
+		return c.Conn.Write(c.wscratch)
+	}
+	return c.Conn.Write(p)
+}

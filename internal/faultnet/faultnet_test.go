@@ -1,0 +1,257 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// pair returns a wrapped client conn talking to a raw server conn over
+// loopback TCP.
+func pair(t *testing.T, in *Injector) (client *Conn, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			close(done)
+			return
+		}
+		done <- c
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ok := <-done
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { raw.Close(); srv.Close() })
+	return in.WrapConn(raw), srv
+}
+
+func TestScriptedReset(t *testing.T) {
+	in := New(Config{Script: []Fault{{Conn: 0, Dir: DirWrite, Op: 0, Kind: Reset}}})
+	c, _ := pair(t, in)
+	if _, err := c.Write([]byte("hi")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if got := in.Counts()[Reset]; got != 1 {
+		t.Fatalf("reset count = %d", got)
+	}
+	if _, err := c.Write([]byte("hi")); err == nil {
+		t.Fatal("write succeeded on killed conn")
+	}
+}
+
+func TestScriptedCutWrite(t *testing.T) {
+	in := New(Config{Script: []Fault{{Conn: 0, Dir: DirWrite, Op: 0, Kind: Cut}}})
+	c, srv := pair(t, in)
+	msg := []byte("0123456789")
+	if _, err := c.Write(msg); !errors.Is(err, ErrInjected) {
+		t.Fatalf("cut write err = %v", err)
+	}
+	// The peer sees a strict prefix, then EOF — a frame truncated mid-body.
+	got, err := io.ReadAll(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || len(got) >= len(msg) || !bytes.Equal(got, msg[:len(got)]) {
+		t.Fatalf("peer got %q of %q", got, msg)
+	}
+}
+
+func TestScriptedCutRead(t *testing.T) {
+	in := New(Config{Script: []Fault{{Conn: 0, Dir: DirRead, Op: 0, Kind: Cut}}})
+	c, srv := pair(t, in)
+	if _, err := srv.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	n, err := c.Read(buf)
+	if err != nil || n == 0 || n >= 10 {
+		t.Fatalf("cut read = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf[:n], []byte("0123456789")[:n]) {
+		t.Fatalf("cut read delivered wrong prefix %q", buf[:n])
+	}
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read succeeded on killed conn")
+	}
+}
+
+func TestScriptedCorruptWrite(t *testing.T) {
+	in := New(Config{Seed: 3, Script: []Fault{{Conn: 0, Dir: DirWrite, Op: 0, Kind: Corrupt}}})
+	c, srv := pair(t, in)
+	msg := []byte("hello, world")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(srv, got); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range msg {
+		for b := 0; b < 8; b++ {
+			if (msg[i]^got[i])&(1<<b) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt flipped %d bits, want exactly 1 (%q vs %q)", diff, msg, got)
+	}
+	// The caller's buffer must not be mutated.
+	if !bytes.Equal(msg, []byte("hello, world")) {
+		t.Fatal("corrupt mutated the caller's buffer")
+	}
+}
+
+func TestBlackholeHonorsReadDeadline(t *testing.T) {
+	in := New(Config{Script: []Fault{{Conn: 0, Dir: DirRead, Op: 0, Kind: Blackhole}}})
+	c, srv := pair(t, in)
+	if _, err := srv.Write([]byte("data the blackhole eats")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	n, err := c.Read(make([]byte, 8))
+	if n != 0 || !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("blackhole read = %d, %v", n, err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("blackhole ignored the deadline")
+	}
+	// Once black, writes are silently swallowed.
+	if n, err := c.Write([]byte("shout")); n != 5 || err != nil {
+		t.Fatalf("blackholed write = %d, %v", n, err)
+	}
+}
+
+func TestLatencyUnderFakeClock(t *testing.T) {
+	clk := NewFakeClock()
+	in := New(Config{
+		Clock:  clk,
+		Script: []Fault{{Conn: 0, Dir: DirWrite, Op: 0, Kind: Latency, Latency: 5 * time.Second}},
+	})
+	c, srv := pair(t, in)
+	before := clk.Now()
+	start := time.Now()
+	if _, err := c.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start); wall > time.Second {
+		t.Fatalf("fake-clock latency burned %v of wall time", wall)
+	}
+	if adv := clk.Now().Sub(before); adv != 5*time.Second {
+		t.Fatalf("fake clock advanced %v", adv)
+	}
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(srv, got); err != nil || string(got) != "slow" {
+		t.Fatalf("delayed write delivered %q, %v", got, err)
+	}
+}
+
+func TestSeededScheduleBudget(t *testing.T) {
+	in := New(Config{Seed: 42, PReset: 1, MaxFaults: 2})
+	c1, _ := pair(t, in)
+	if _, err := c1.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("budget 1: %v", err)
+	}
+	c2, srv := pair(t, in)
+	if _, err := c2.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("budget 2: %v", err)
+	}
+	// Budget exhausted: the injector becomes a passthrough.
+	c3, srv3 := pair(t, in)
+	_ = srv
+	if _, err := c3.Write([]byte("x")); err != nil {
+		t.Fatalf("post-budget write: %v", err)
+	}
+	got := make([]byte, 1)
+	if _, err := io.ReadFull(srv3, got); err != nil {
+		t.Fatal(err)
+	}
+	if in.Fired() != 2 {
+		t.Fatalf("fired = %d, want 2", in.Fired())
+	}
+}
+
+func TestSeededScheduleDeterministic(t *testing.T) {
+	fire := func() []int {
+		in := New(Config{Seed: 7, PReset: 0.3, MaxFaults: 3})
+		var ops []int
+		for i := 0; i < 40; i++ {
+			if f := in.decide(0, DirWrite, i); f.ok {
+				ops = append(ops, i)
+			}
+		}
+		return ops
+	}
+	a, b := fire(), fire()
+	if len(a) == 0 {
+		t.Fatal("seeded schedule never fired")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestListenerAcceptErrors(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	in := New(Config{AcceptErrors: 2})
+	fl := in.WrapListener(ln)
+	for i := 0; i < 2; i++ {
+		_, err := fl.Accept()
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("accept %d: err = %v, want transient net.Error", i, err)
+		}
+	}
+	go net.Dial("tcp", ln.Addr().String())
+	conn, err := fl.Accept()
+	if err != nil {
+		t.Fatalf("post-error accept: %v", err)
+	}
+	if _, ok := conn.(*Conn); !ok {
+		t.Fatalf("accepted conn not wrapped: %T", conn)
+	}
+	conn.Close()
+}
+
+func TestCloseAll(t *testing.T) {
+	in := New(Config{})
+	c, _ := pair(t, in)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	in.CloseAll()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("read survived CloseAll")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("CloseAll did not unblock the reader")
+	}
+}

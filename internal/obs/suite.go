@@ -319,6 +319,9 @@ type RPCObs struct {
 	BatchedSensors *Counter
 	BytesOut       *Counter
 	BytesIn        *Counter
+	Reconnects     *Counter
+	ReplayedFrames *Counter
+	ChecksumErrors *Counter
 	RoundTrip      *Histogram
 }
 
@@ -355,6 +358,12 @@ func newRPCObs(reg *Registry, tr *Tracer) *RPCObs {
 			"Bytes of framed request traffic written by the RPC client."),
 		BytesIn: reg.Counter("rose_rpc_bytes_in_total",
 			"Bytes of framed response traffic read by the RPC client."),
+		Reconnects: reg.Counter("rose_rpc_reconnects_total",
+			"Successful transparent reconnects of resilient RPC links."),
+		ReplayedFrames: reg.Counter("rose_rpc_replayed_frames_total",
+			"Unanswered request frames retransmitted after reconnects."),
+		ChecksumErrors: reg.Counter("rose_rpc_checksum_errors_total",
+			"Inbound frames rejected by the RPC client for CRC-32C mismatch."),
 		RoundTrip: reg.Histogram("rose_rpc_roundtrip_seconds",
 			"Latency of synchronous RPC round-trips (flush to response).", nil),
 	}
@@ -366,10 +375,11 @@ type EnvServerObs struct {
 	log     *Logger
 	seenRun atomic.Uint64
 
-	Requests *Counter
-	BytesIn  *Counter
-	BytesOut *Counter
-	Latency  *Histogram
+	Requests   *Counter
+	BytesIn    *Counter
+	BytesOut   *Counter
+	ReplayHits *Counter
+	Latency    *Histogram
 }
 
 func newEnvServerObs(reg *Registry, tr *Tracer, log *Logger) *EnvServerObs {
@@ -382,6 +392,8 @@ func newEnvServerObs(reg *Registry, tr *Tracer, log *Logger) *EnvServerObs {
 			"Bytes of framed request traffic read by the environment server."),
 		BytesOut: reg.Counter("rose_env_server_bytes_out_total",
 			"Bytes of framed response traffic written by the environment server."),
+		ReplayHits: reg.Counter("rose_env_server_replay_hits_total",
+			"Replayed requests answered from the session response cache instead of re-executing."),
 		Latency: reg.Histogram("rose_env_server_request_seconds",
 			"Wall time serving one RPC request (read to response written).", nil),
 	}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -25,8 +26,9 @@ type Writer struct {
 	w *bufio.Writer
 	// hdr is a persistent header scratch: passing a stack array to the
 	// io.Writer interface would force a per-call heap escape. Sized for
-	// header + trace extension + one inline uint64 payload.
-	hdr [HeaderSize + TraceExtSize + 8]byte
+	// header + trace extension + resilience extension + one inline uint64
+	// payload.
+	hdr [HeaderSize + TraceExtSize + ResilExtSize + 8]byte
 
 	// Trace context stamped onto every written packet while set
 	// (traceRun != 0): FlagTrace in the header flags plus a TraceExtSize
@@ -35,6 +37,15 @@ type Writer struct {
 	traceRun    uint64
 	traceSeq    uint32
 	traceParent uint32
+
+	// Resilience context stamped onto every written packet while set
+	// (resilLink != 0): FlagResil plus a ResilExtSize extension carrying
+	// the link ID, per-link sequence, and CRC-32C. Servers use it to echo
+	// the request's sequence on responses so a reconnecting client can
+	// match replayed responses to its window.
+	resilLink       uint64
+	resilSeq        uint32
+	resilCRCPayload bool
 }
 
 // NewWriter wraps w in a buffered packet writer.
@@ -51,20 +62,59 @@ func (w *Writer) SetTrace(runID uint64, seq, parent uint32) {
 	w.traceRun, w.traceSeq, w.traceParent = runID, seq, parent
 }
 
-// putHeader fills the header (and trace extension when stamping) into the
-// scratch and returns the number of scratch bytes to write.
+// SetResil stamps subsequent packets with a resilience extension for the
+// given link ID: FlagResil, the per-packet sequence (SetResilSeq), and a
+// CRC-32C over the frame metadata — plus the payload when crcPayload is
+// set (FlagCRC). A zero link clears stamping. Servers arm this per
+// connection once a client's first resilient frame reveals its link ID.
+func (w *Writer) SetResil(link uint64, crcPayload bool) {
+	w.resilLink, w.resilCRCPayload = link, crcPayload
+}
+
+// SetResilSeq sets the per-link sequence stamped on the next packet.
+// Responses echo the sequence of the request they answer.
+func (w *Writer) SetResilSeq(seq uint32) { w.resilSeq = seq }
+
+// putHeader fills the header (and trace/resilience extensions when
+// stamping) into the scratch and returns the number of scratch bytes to
+// write. When the resilience extension is present its CRC field is left
+// zero; sealResil patches it after the payload is known.
 func (w *Writer) putHeader(t Type, payloadLen int) int {
 	binary.LittleEndian.PutUint16(w.hdr[0:2], uint16(t))
 	binary.LittleEndian.PutUint32(w.hdr[4:8], uint32(payloadLen))
-	if w.traceRun == 0 {
-		binary.LittleEndian.PutUint16(w.hdr[2:4], 0)
-		return HeaderSize
+	var flags uint16
+	n := HeaderSize
+	if w.traceRun != 0 {
+		flags |= FlagTrace
+		binary.LittleEndian.PutUint64(w.hdr[n:], w.traceRun)
+		binary.LittleEndian.PutUint32(w.hdr[n+8:], w.traceSeq)
+		binary.LittleEndian.PutUint32(w.hdr[n+12:], w.traceParent)
+		n += TraceExtSize
 	}
-	binary.LittleEndian.PutUint16(w.hdr[2:4], FlagTrace)
-	binary.LittleEndian.PutUint64(w.hdr[HeaderSize:], w.traceRun)
-	binary.LittleEndian.PutUint32(w.hdr[HeaderSize+8:], w.traceSeq)
-	binary.LittleEndian.PutUint32(w.hdr[HeaderSize+12:], w.traceParent)
-	return HeaderSize + TraceExtSize
+	if w.resilLink != 0 {
+		flags |= FlagResil
+		if w.resilCRCPayload {
+			flags |= FlagCRC
+		}
+		binary.LittleEndian.PutUint64(w.hdr[n:], w.resilLink)
+		binary.LittleEndian.PutUint32(w.hdr[n+8:], w.resilSeq)
+		binary.LittleEndian.PutUint32(w.hdr[n+12:], 0)
+		n += ResilExtSize
+	}
+	binary.LittleEndian.PutUint16(w.hdr[2:4], flags)
+	return n
+}
+
+// sealResil computes the frame CRC (header + extensions, CRC field zeroed,
+// plus payload under FlagCRC) and patches it into the extension's last
+// field. Caller guarantees w.resilLink != 0 so the extension is the final
+// ext in the scratch.
+func (w *Writer) sealResil(n int, payload []byte) {
+	crc := crc32.Update(0, castagnoli, w.hdr[:n])
+	if w.resilCRCPayload {
+		crc = crc32.Update(crc, castagnoli, payload)
+	}
+	binary.LittleEndian.PutUint32(w.hdr[n-4:], crc)
 }
 
 // WritePacket appends one packet to the stream buffer without flushing.
@@ -73,6 +123,9 @@ func (w *Writer) WritePacket(p Packet) error {
 		return fmt.Errorf("packet: payload %d exceeds max %d", len(p.Payload), MaxPayload)
 	}
 	n := w.putHeader(p.Type, len(p.Payload))
+	if w.resilLink != 0 {
+		w.sealResil(n, p.Payload)
+	}
 	if _, err := w.w.Write(w.hdr[:n]); err != nil {
 		return err
 	}
@@ -86,7 +139,18 @@ func (w *Writer) WritePacket(p Packet) error {
 func (w *Writer) WriteU64(t Type, v uint64) error {
 	n := w.putHeader(t, 8)
 	binary.LittleEndian.PutUint64(w.hdr[n:], v)
+	if w.resilLink != 0 {
+		w.sealResil(n, w.hdr[n:n+8])
+	}
 	_, err := w.w.Write(w.hdr[:n+8])
+	return err
+}
+
+// WriteRaw appends pre-encoded frame bytes (from AppendFrame or a
+// ReplayWindow) to the stream buffer without flushing. The caller owns the
+// framing; retransmitting the same slice is byte-identical by construction.
+func (w *Writer) WriteRaw(frame []byte) error {
+	_, err := w.w.Write(frame)
 	return err
 }
 
@@ -97,7 +161,7 @@ func (w *Writer) Flush() error { return w.w.Flush() }
 // buffer across calls.
 type Reader struct {
 	r   *bufio.Reader
-	hdr [HeaderSize + TraceExtSize]byte
+	hdr [HeaderSize + TraceExtSize + ResilExtSize]byte
 	buf []byte // grow-only payload scratch
 
 	// Trace context of the most recent packet that carried one (zero run
@@ -107,6 +171,14 @@ type Reader struct {
 	traceRun    uint64
 	traceSeq    uint32
 	traceParent uint32
+
+	// Resilience extension of the packet most recently returned by Next.
+	// Unlike the trace context this is per-packet, not sticky: replay
+	// dedup must never attribute one packet's sequence to another.
+	resilOK   bool
+	resilCRC  bool
+	resilLink uint64
+	resilSeq  uint32
 }
 
 // NewReader wraps r in a buffered packet reader.
@@ -118,6 +190,7 @@ func NewReader(r io.Reader) *Reader {
 // buffer and is valid only until the next call; callers that keep payload
 // bytes across packets must copy them out.
 func (r *Reader) Next() (Packet, error) {
+	r.resilOK, r.resilCRC = false, false
 	if _, err := io.ReadFull(r.r, r.hdr[:HeaderSize]); err != nil {
 		return Packet{}, err
 	}
@@ -127,13 +200,32 @@ func (r *Reader) Next() (Packet, error) {
 	if n > MaxPayload {
 		return Packet{}, fmt.Errorf("packet: payload length %d exceeds max", n)
 	}
+	traceExt, ext := 0, 0
 	if flags&FlagTrace != 0 {
-		if _, err := io.ReadFull(r.r, r.hdr[HeaderSize:]); err != nil {
-			return Packet{}, fmt.Errorf("packet: truncated trace extension for %v: %w", t, err)
+		traceExt = TraceExtSize
+		ext = TraceExtSize
+	}
+	if flags&FlagResil != 0 {
+		ext += ResilExtSize
+	}
+	if ext > 0 {
+		if _, err := io.ReadFull(r.r, r.hdr[HeaderSize:HeaderSize+ext]); err != nil {
+			return Packet{}, fmt.Errorf("packet: truncated extension for %v: %w", t, err)
 		}
+	}
+	if traceExt > 0 {
 		r.traceRun = binary.LittleEndian.Uint64(r.hdr[HeaderSize:])
 		r.traceSeq = binary.LittleEndian.Uint32(r.hdr[HeaderSize+8:])
 		r.traceParent = binary.LittleEndian.Uint32(r.hdr[HeaderSize+12:])
+	}
+	var wantCRC uint32
+	if flags&FlagResil != 0 {
+		off := HeaderSize + traceExt
+		r.resilLink = binary.LittleEndian.Uint64(r.hdr[off:])
+		r.resilSeq = binary.LittleEndian.Uint32(r.hdr[off+8:])
+		wantCRC = binary.LittleEndian.Uint32(r.hdr[off+12:])
+		// The CRC is computed with its own field zeroed.
+		binary.LittleEndian.PutUint32(r.hdr[off+12:], 0)
 	}
 	if cap(r.buf) < int(n) {
 		r.buf = make([]byte, n)
@@ -141,6 +233,17 @@ func (r *Reader) Next() (Packet, error) {
 	r.buf = r.buf[:n]
 	if _, err := io.ReadFull(r.r, r.buf); err != nil {
 		return Packet{}, fmt.Errorf("packet: truncated payload for %v: %w", t, err)
+	}
+	if flags&FlagResil != 0 {
+		crc := crc32.Update(0, castagnoli, r.hdr[:HeaderSize+ext])
+		if flags&FlagCRC != 0 {
+			crc = crc32.Update(crc, castagnoli, r.buf)
+		}
+		if crc != wantCRC {
+			return Packet{}, fmt.Errorf("%w: %v frame crc %08x, want %08x", ErrChecksum, t, crc, wantCRC)
+		}
+		r.resilOK = true
+		r.resilCRC = flags&FlagCRC != 0
 	}
 	return Packet{Type: t, Payload: r.buf}, nil
 }
@@ -150,6 +253,19 @@ func (r *Reader) Next() (Packet, error) {
 func (r *Reader) Trace() (runID uint64, seq, parent uint32) {
 	return r.traceRun, r.traceSeq, r.traceParent
 }
+
+// Resil returns the resilience extension of the packet most recently
+// returned by Next: the link ID, the per-link sequence, and whether the
+// packet carried a checksum-valid extension at all. Unlike Trace it is
+// per-packet, not sticky.
+func (r *Reader) Resil() (link uint64, seq uint32, ok bool) {
+	return r.resilLink, r.resilSeq, r.resilOK
+}
+
+// ResilCRCPayload reports whether the most recent packet's checksum also
+// covered its payload (FlagCRC). Servers mirror the setting on responses
+// so both directions of a link get the same integrity level.
+func (r *Reader) ResilCRCPayload() bool { return r.resilCRC }
 
 // Buffered reports how many received bytes are waiting to be decoded. A
 // server uses it to flush responses only when no further pipelined request

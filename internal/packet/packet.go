@@ -111,6 +111,25 @@ const FlagTrace uint16 = 1 << 0
 // TraceExtSize is the trace context extension length.
 const TraceExtSize = 16
 
+// FlagResil marks a packet carrying a resilience extension: ResilExtSize
+// bytes following the trace extension (when present) holding the link ID
+// (uint64), the per-link message sequence (uint32), and a CRC-32C checksum
+// (uint32) over the frame with the CRC field zeroed, all little-endian.
+// The sequence keys at-most-once replay after a reconnect (DESIGN.md §7);
+// the checksum detects frame corruption in flight. Like the trace
+// extension it is part of the framing — the payload length field never
+// counts it — so resilient and plain peers interoperate packet-by-packet.
+const FlagResil uint16 = 1 << 1
+
+// FlagCRC extends the resilience checksum to cover the payload bytes as
+// well as the header and extensions. Without it the CRC guards only the
+// framing metadata — cheap enough to leave on permanently — while FlagCRC
+// is armed for hostile links (chaos tests, WANs).
+const FlagCRC uint16 = 1 << 2
+
+// ResilExtSize is the resilience extension length.
+const ResilExtSize = 16
+
 // Parent span tags carried in the trace extension: which phase of the
 // synchronizer's quantum issued the RPC.
 const (
@@ -140,8 +159,9 @@ func (p Packet) Encode(dst []byte) ([]byte, error) {
 
 // Decode parses one packet from the front of buf, returning the packet and
 // the number of bytes consumed. It returns io.ErrShortBuffer (wrapped) when
-// buf does not yet hold a complete packet. A trace context extension
-// (FlagTrace) is consumed and discarded; use Reader to observe it.
+// buf does not yet hold a complete packet. Trace (FlagTrace) and resilience
+// (FlagResil) extensions are consumed and discarded; use Reader to observe
+// them.
 func Decode(buf []byte) (Packet, int, error) {
 	if len(buf) < HeaderSize {
 		return Packet{}, 0, fmt.Errorf("packet: %w: need header", io.ErrShortBuffer)
@@ -155,6 +175,9 @@ func Decode(buf []byte) (Packet, int, error) {
 	ext := 0
 	if flags&FlagTrace != 0 {
 		ext = TraceExtSize
+	}
+	if flags&FlagResil != 0 {
+		ext += ResilExtSize
 	}
 	total := HeaderSize + ext + int(n)
 	if len(buf) < total {
@@ -175,10 +198,11 @@ func Write(w io.Writer, p Packet) error {
 	return err
 }
 
-// Read reads exactly one packet from r. A trace context extension
-// (FlagTrace) is consumed and discarded; use Reader to observe it.
+// Read reads exactly one packet from r. Trace (FlagTrace) and resilience
+// (FlagResil) extensions are consumed and discarded; use Reader to observe
+// them.
 func Read(r io.Reader) (Packet, error) {
-	var hdr [HeaderSize + TraceExtSize]byte
+	var hdr [HeaderSize + TraceExtSize + ResilExtSize]byte
 	if _, err := io.ReadFull(r, hdr[:HeaderSize]); err != nil {
 		return Packet{}, err
 	}
@@ -188,9 +212,16 @@ func Read(r io.Reader) (Packet, error) {
 	if n > MaxPayload {
 		return Packet{}, fmt.Errorf("packet: payload length %d exceeds max", n)
 	}
+	ext := 0
 	if flags&FlagTrace != 0 {
-		if _, err := io.ReadFull(r, hdr[HeaderSize:]); err != nil {
-			return Packet{}, fmt.Errorf("packet: truncated trace extension for %v: %w", t, err)
+		ext = TraceExtSize
+	}
+	if flags&FlagResil != 0 {
+		ext += ResilExtSize
+	}
+	if ext > 0 {
+		if _, err := io.ReadFull(r, hdr[HeaderSize:HeaderSize+ext]); err != nil {
+			return Packet{}, fmt.Errorf("packet: truncated extension for %v: %w", t, err)
 		}
 	}
 	payload := make([]byte, n)

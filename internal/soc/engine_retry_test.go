@@ -1,0 +1,196 @@
+package soc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/packet"
+)
+
+// recvEchoProgram receives one packet, echoes its payload back, then computes
+// forever — the minimal shape that exercises a blocked MMIO read followed
+// by a bridge write.
+func recvEchoProgram(rt *Runtime) error {
+	p := rt.Recv()
+	rt.Send(packet.Packet{Type: packet.DepthData, Payload: p.Payload})
+	for {
+		rt.Compute(1000)
+	}
+}
+
+// TestRecvRetryAfterEmptyQuanta drives the blocked-read retry path in
+// chargePending: a program blocks on Recv with an empty RX queue, stalls
+// for a configurable number of whole quanta (each retry re-issues the MMIO
+// read), then completes once the synchronizer finally pushes data. The
+// stalled quanta must burn as idle cycles — never lose or duplicate the
+// request.
+func TestRecvRetryAfterEmptyQuanta(t *testing.T) {
+	const quantum = 10_000
+	cases := []struct {
+		name        string
+		emptyQuanta int
+	}{
+		{"data-next-quantum", 1},
+		{"stall-spans-two-quanta", 2},
+		{"stall-spans-five-quanta", 5},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			suite := obs.New(0)
+			m := NewMachine(Config{Core: Rocket, Obs: suite.SoC}, recvEchoProgram)
+			defer m.Close()
+
+			for i := 0; i < tc.emptyQuanta; i++ {
+				if _, err := m.Step(quantum); err != nil {
+					t.Fatal(err)
+				}
+				if out, _ := m.Pull(); len(out) != 0 {
+					t.Fatalf("quantum %d emitted %d packets while blocked", i, len(out))
+				}
+			}
+			// Every empty quantum records exactly one re-issued (and
+			// re-blocked) bridge read and burns entirely as idle time.
+			if got := suite.SoC.RecvStalls.Value(); got != uint64(tc.emptyQuanta) {
+				t.Fatalf("recv stalls = %d, want %d", got, tc.emptyQuanta)
+			}
+			if idle := m.Stats().IdleCycles; idle != uint64(tc.emptyQuanta)*quantum {
+				t.Fatalf("idle cycles = %d, want %d", idle, tc.emptyQuanta*quantum)
+			}
+
+			payload := []byte("depth=3.14")
+			if err := m.Push([]packet.Packet{{Type: packet.DepthReq, Payload: payload}}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Step(quantum); err != nil {
+				t.Fatal(err)
+			}
+			out, err := m.Pull()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != 1 || out[0].Type != packet.DepthData || !bytes.Equal(out[0].Payload, payload) {
+				t.Fatalf("echo after stall = %+v, want one DepthData %q", out, payload)
+			}
+			if got := suite.SoC.RecvStalls.Value(); got != uint64(tc.emptyQuanta) {
+				t.Fatalf("successful retry bumped stalls to %d", got)
+			}
+			if io := m.Stats().IOCycles; io == 0 {
+				t.Fatal("completed transfer charged no I/O cycles")
+			}
+		})
+	}
+}
+
+// TestSendRetryAfterFullQueue fills an undersized TX queue so the second
+// send blocks, and checks the write is re-issued — once per quantum —
+// until the synchronizer drains the queue, with both packets arriving in
+// order exactly once.
+func TestSendRetryAfterFullQueue(t *testing.T) {
+	const quantum = 10_000
+	// Each packet is 8 bytes header + 24 payload = 32; a 32-byte TX queue
+	// holds exactly one.
+	mk := func(b byte) packet.Packet {
+		return packet.Packet{Type: packet.IMUData, Payload: bytes.Repeat([]byte{b}, 24)}
+	}
+	sender := func(rt *Runtime) error {
+		rt.Send(mk('a'))
+		rt.Send(mk('b'))
+		for {
+			rt.Compute(1000)
+		}
+	}
+
+	suite := obs.New(0)
+	m := NewMachine(Config{Core: Rocket, TxQueueBytes: 32, Obs: suite.SoC}, sender)
+	defer m.Close()
+
+	// Quantum 1: 'a' lands, 'b' blocks on the full queue.
+	if _, err := m.Step(quantum); err != nil {
+		t.Fatal(err)
+	}
+	if got := suite.SoC.SendStalls.Value(); got != 1 {
+		t.Fatalf("send stalls = %d, want 1", got)
+	}
+	// Without a drain the retry blocks again next quantum.
+	if _, err := m.Step(quantum); err != nil {
+		t.Fatal(err)
+	}
+	if got := suite.SoC.SendStalls.Value(); got != 2 {
+		t.Fatalf("send stalls after second quantum = %d, want 2", got)
+	}
+
+	out, err := m.Pull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Payload[0] != 'a' {
+		t.Fatalf("first drain = %+v, want exactly ['a']", out)
+	}
+	// Queue drained: the re-issued send completes this quantum.
+	if _, err := m.Step(quantum); err != nil {
+		t.Fatal(err)
+	}
+	out, err = m.Pull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Payload[0] != 'b' {
+		t.Fatalf("second drain = %+v, want exactly ['b']", out)
+	}
+	if got := m.Stats().PacketsOut; got != 2 {
+		t.Fatalf("packets out = %d, want 2", got)
+	}
+	if got := suite.SoC.SendStalls.Value(); got != 2 {
+		t.Fatalf("completing the retry bumped stalls to %d", got)
+	}
+}
+
+// TestTransferChargeSpansQuanta grants quanta smaller than one packet's
+// transfer cost: the charge must carry across Step calls and the response
+// reach the program only once the full cost is paid, with the cycle split
+// I/O vs idle adding up exactly.
+func TestTransferChargeSpansQuanta(t *testing.T) {
+	payload := bytes.Repeat([]byte{7}, 4096)
+	m := NewMachine(Config{Core: Rocket}, recvEchoProgram)
+	defer m.Close()
+
+	cost := m.Params().TransferCycles(packet.Packet{Type: packet.DepthReq, Payload: payload}.Size())
+	const quantum = 500
+	if cost <= 2*quantum {
+		t.Fatalf("test needs cost %d > 2 quanta", cost)
+	}
+	if err := m.Push([]packet.Packet{{Type: packet.DepthReq, Payload: payload}}); err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for {
+		if _, err := m.Step(quantum); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if out, _ := m.Pull(); len(out) == 1 {
+			if !bytes.Equal(out[0].Payload, payload) {
+				t.Fatal("payload corrupted across quantum boundary")
+			}
+			break
+		}
+		if steps > 100 {
+			t.Fatal("transfer never completed")
+		}
+	}
+	// The inbound transfer alone needs ceil(cost/quantum) quanta; the echo
+	// adds its own transfer and the intervening recv charge, so just bound
+	// it from below.
+	if uint64(steps)*quantum < cost {
+		t.Fatalf("completed after %d quanta — cheaper than the %d-cycle transfer", steps, cost)
+	}
+	st := m.Stats()
+	if st.IOCycles < cost {
+		t.Fatalf("I/O cycles %d < one transfer cost %d", st.IOCycles, cost)
+	}
+	if st.Cycles != uint64(steps)*quantum {
+		t.Fatalf("cycles %d != %d granted", st.Cycles, steps*quantum)
+	}
+}

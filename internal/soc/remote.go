@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"log"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/packet"
@@ -22,6 +25,9 @@ type Server struct {
 	mu sync.Mutex
 	m  *Machine
 	ln net.Listener
+	// sessions holds per-link replay state for resilient clients: a
+	// replayed RTLStep must not step the machine twice (DESIGN.md §7).
+	sessions *packet.ResilSessions
 }
 
 // NewServer wraps a machine and listens on addr.
@@ -30,7 +36,13 @@ func NewServer(m *Machine, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("soc: listening on %s: %w", addr, err)
 	}
-	return &Server{m: m, ln: ln}, nil
+	return NewServerOn(m, ln), nil
+}
+
+// NewServerOn wraps a machine behind an existing listener — the hook the
+// chaos suite uses to interpose faultnet between server and clients.
+func NewServerOn(m *Machine, ln net.Listener) *Server {
+	return &Server{m: m, ln: ln, sessions: packet.NewResilSessions()}
 }
 
 // Addr returns the bound listen address.
@@ -40,12 +52,27 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) Close() error { return s.ln.Close() }
 
 // Serve accepts and serves connections until the listener closes.
+// Transient accept failures are logged and retried with capped backoff
+// instead of killing the serve goroutine; Serve returns only when the
+// listener itself is closed.
 func (s *Server) Serve() error {
+	var backoff time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return err
+			if errors.Is(err, net.ErrClosed) {
+				return err
+			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff < time.Second {
+				backoff *= 2
+			}
+			log.Printf("soc: RTL server accept failed (retrying in %v): %v", backoff, err)
+			time.Sleep(backoff)
+			continue
 		}
+		backoff = 0
 		go s.serveConn(conn)
 	}
 }
@@ -54,12 +81,35 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	r := packet.NewReader(conn)
 	w := packet.NewWriter(conn)
+	var replayBuf []byte
 	for {
 		req, err := r.Next()
 		if err != nil {
 			return
 		}
-		resp := s.handle(req)
+		// Mirror a resilient client's (link, seq) stamp onto the response
+		// and serve replayed sequences from the session cache so a
+		// reconnect never re-steps the machine.
+		var sess *packet.ResilSession
+		var seq uint32
+		if link, rseq, ok := r.Resil(); ok {
+			sess, seq = s.sessions.Get(link), rseq
+			w.SetResil(link, r.ResilCRCPayload())
+			w.SetResilSeq(rseq)
+		} else {
+			w.SetResil(0, false)
+		}
+		var resp packet.Packet
+		replayed := false
+		if sess != nil {
+			resp, replayBuf, replayed = sess.Dedup(seq, replayBuf)
+		}
+		if !replayed {
+			resp = s.handle(req)
+			if sess != nil {
+				sess.Store(seq, resp)
+			}
+		}
 		if err := w.WritePacket(resp); err != nil {
 			return
 		}
@@ -128,9 +178,7 @@ func (s *Server) handle(req packet.Packet) packet.Packet {
 // RemoteRTL is a core.RTL implementation backed by a remote Server.
 type RemoteRTL struct {
 	mu   sync.Mutex
-	conn net.Conn
-	r    *packet.Reader
-	w    *packet.Writer
+	link *packet.Link
 
 	trace *obs.TraceContext // nil = no cross-host propagation
 
@@ -140,15 +188,23 @@ type RemoteRTL struct {
 	stats Stats
 }
 
-// DialRTL connects to a remote RTL server.
-func DialRTL(addr string) (*RemoteRTL, error) {
-	conn, err := net.Dial("tcp", addr)
+// DialOptions configures the RTL client transport; see env.DialOptions.
+type DialOptions = packet.LinkOptions
+
+// DialRTL connects to a remote RTL server with default options (bounded
+// dial, no reconnect).
+func DialRTL(addr string) (*RemoteRTL, error) { return DialRTLWith(addr, DialOptions{}) }
+
+// DialRTLWith connects to a remote RTL server with explicit transport
+// options.
+func DialRTLWith(addr string, opts DialOptions) (*RemoteRTL, error) {
+	l, err := packet.DialLink(addr, opts)
 	if err != nil {
-		return nil, fmt.Errorf("soc: dialing RTL server %s: %w", addr, err)
+		return nil, fmt.Errorf("soc: %w", err)
 	}
-	r := &RemoteRTL{conn: conn, r: packet.NewReader(conn), w: packet.NewWriter(conn)}
+	r := &RemoteRTL{link: l}
 	if err := r.refresh(); err != nil {
-		conn.Close()
+		l.Close()
 		return nil, err
 	}
 	return r, nil
@@ -163,27 +219,27 @@ func (r *RemoteRTL) SetTrace(run *obs.TraceContext) {
 	r.mu.Lock()
 	r.trace = run
 	if run == nil {
-		r.w.SetTrace(0, 0, 0)
+		r.link.SetTrace(0, 0, 0)
 	}
 	r.mu.Unlock()
 }
 
-// Close terminates the connection.
-func (r *RemoteRTL) Close() error { return r.conn.Close() }
+// Close terminates the connection and disables reconnection.
+func (r *RemoteRTL) Close() error { return r.link.Close() }
 
 func (r *RemoteRTL) call(req packet.Packet) (packet.Packet, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.trace != nil {
-		r.w.SetTrace(r.trace.RunID(), uint32(r.trace.Seq()), packet.ParentRTLStep)
+		r.link.SetTrace(r.trace.RunID(), uint32(r.trace.Seq()), packet.ParentRTLStep)
 	}
-	if err := r.w.WritePacket(req); err != nil {
+	if err := r.link.Send(req); err != nil {
 		return packet.Packet{}, err
 	}
-	if err := r.w.Flush(); err != nil {
+	if err := r.link.Flush(); err != nil {
 		return packet.Packet{}, err
 	}
-	resp, err := r.r.Next()
+	resp, err := r.link.Next()
 	if err != nil {
 		return packet.Packet{}, err
 	}

@@ -11,17 +11,20 @@
 # paired with its disabled twin and the relative delta is recorded. Since
 # PR 4 the observed RPC path also carries trace-context stamping, and the
 # structured event log's enabled-vs-disabled cost is recorded the same way.
+# Since PR 5 the RPC quantum is also measured through the faultnet wrapper
+# with nothing armed (the passthrough tax must stay ~0) and with the
+# resilient transport (replay window + per-RPC deadlines + payload CRCs).
 set -eu
 
 cd "$(dirname "$0")/.."
-pr="${1:-4}"
+pr="${1:-5}"
 out="BENCH_PR${pr}.json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 echo "== benchmarks (this takes a few minutes: models train once) =="
 go test -run xxx \
-    -bench 'BenchmarkMissionStep$|BenchmarkMissionStepOverlapped$|BenchmarkMissionStepSerial$|BenchmarkMissionStepObserved$|BenchmarkQuantumTCP$|BenchmarkQuantumTCPObserved$' \
+    -bench 'BenchmarkMissionStep$|BenchmarkMissionStepOverlapped$|BenchmarkMissionStepSerial$|BenchmarkMissionStepObserved$|BenchmarkQuantumTCP$|BenchmarkQuantumTCPObserved$|BenchmarkQuantumTCPFaultnet$|BenchmarkQuantumTCPResilient$' \
     -benchtime 4x -benchmem . | tee "$raw"
 
 # The logger micro-pair is nanoseconds per op; give it a real benchtime so
@@ -53,9 +56,11 @@ END {
     printf "  },\n  \"obs_overhead\": {\n"
     # obs-enabled vs obs-disabled deltas: (observed - baseline) / baseline,
     # per metric pairs of (observed benchmark, its disabled twin).
-    pairs["BenchmarkMissionStepObserved"] = "BenchmarkMissionStepOverlapped"
-    pairs["BenchmarkQuantumTCPObserved"]  = "BenchmarkQuantumTCP"
-    pairs["BenchmarkLogEventEnabled"]     = "BenchmarkLogEventDisabled"
+    pairs["BenchmarkMissionStepObserved"]  = "BenchmarkMissionStepOverlapped"
+    pairs["BenchmarkQuantumTCPObserved"]   = "BenchmarkQuantumTCP"
+    pairs["BenchmarkLogEventEnabled"]      = "BenchmarkLogEventDisabled"
+    pairs["BenchmarkQuantumTCPFaultnet"]   = "BenchmarkQuantumTCP"
+    pairs["BenchmarkQuantumTCPResilient"]  = "BenchmarkQuantumTCP"
     m = 0
     for (obsname in pairs) {
         base = pairs[obsname]

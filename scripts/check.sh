@@ -31,6 +31,14 @@ echo "== go test -race (observability hot paths) =="
 # obs hooks are always raced fresh, never served from the test cache.
 go test -race -count=1 ./internal/core/... ./internal/env/... ./internal/obs/...
 
+echo "== fuzz smoke (30s) =="
+# A short native-fuzzing burst per wire-facing decoder: packet framing
+# (buffer and stream decoders, including the resilience extension + CRC)
+# and the telemetry codec. Each -fuzz pattern must match exactly one target.
+go test -run xxx -fuzz 'FuzzDecode$' -fuzztime 10s ./internal/packet/
+go test -run xxx -fuzz 'FuzzReaderNext$' -fuzztime 10s ./internal/packet/
+go test -run xxx -fuzz 'FuzzDecodeTelemetry$' -fuzztime 10s ./internal/env/
+
 echo "== short benchmarks =="
 # One iteration each: catches kernels that stopped compiling or regressed to
 # pathological allocation, without turning the gate into a perf run.
