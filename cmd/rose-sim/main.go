@@ -55,7 +55,7 @@ func main() {
 		blackbox = flag.String("blackbox", obs.DefaultBlackboxPath, "flight-recorder dump path (\"\" disables file dumps)")
 		envAddr  = flag.String("env-addr", "", "remote environment server address (empty = in-process simulator)")
 		dialTO   = flag.Duration("dial-timeout", packet.DefaultDialTimeout, "TCP connect timeout for remote endpoints")
-		rpcTO    = flag.Duration("rpc-timeout", 0, "per-RPC I/O deadline for remote endpoints (0 = none)")
+		rpcTO    = flag.Duration("rpc-timeout", 0, "per-RPC I/O deadline for remote endpoints (0 = 30s when -rpc-retries > 0, else none; <0 = explicitly none)")
 		retries  = flag.Int("rpc-retries", 0, "reconnect budget per failed RPC; >0 enables transparent reconnect with idempotent replay (and payload CRCs)")
 		mergeSim = flag.String("merge-sim", "", "merge mode: introspection URL of the rose-sim host")
 		mergeEnv = flag.String("merge-env", "", "merge mode: introspection URL of the rose-env-server host")
@@ -68,6 +68,15 @@ func main() {
 			log.Fatal(err)
 		}
 		return
+	}
+
+	// Resilience without a per-RPC deadline cannot recover a blackholed
+	// link: reconnects only trigger on errors, and a silent peer produces
+	// none. Default the deadline on rather than ship that footgun; an
+	// explicit negative -rpc-timeout still disables it.
+	if *retries > 0 && *rpcTO == 0 {
+		*rpcTO = 30 * time.Second
+		fmt.Printf("rpc-retries enabled without -rpc-timeout; defaulting per-RPC deadline to %v\n", *rpcTO)
 	}
 
 	dnn.RegistryTrainPerClass = *perClass

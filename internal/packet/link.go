@@ -42,7 +42,10 @@ type LinkOptions struct {
 	// MaxRetries enables resilience when positive: a failed RPC tears the
 	// connection down and tries up to MaxRetries+1 reconnects, replaying
 	// the unanswered request window after each. Zero disables reconnect
-	// (and the replay window) entirely.
+	// (and the replay window) entirely. Pair a positive MaxRetries with a
+	// nonzero RPCTimeout: reconnect only triggers on errors, and without a
+	// deadline a blackholed link produces none — the one failure class
+	// retries alone cannot recover.
 	MaxRetries int
 	// BackoffBase and BackoffCap shape the capped exponential reconnect
 	// backoff: attempt k sleeps min(BackoffBase<<k, BackoffCap).
@@ -274,14 +277,17 @@ func (l *Link) recover(cause error) error {
 		if err != nil {
 			continue
 		}
+		// Arm the deadline before replaying: a window larger than the
+		// writer's buffer writes to the fresh conn during Replay, and those
+		// writes must not hang forever on a blackholed peer.
+		if t := l.opts.rpcTimeout(); t > 0 {
+			conn.SetDeadline(l.opts.now().Add(t))
+		}
 		w := NewWriter(conn)
 		replayed, err := l.win.Replay(w)
 		if err != nil {
 			conn.Close()
 			continue
-		}
-		if t := l.opts.rpcTimeout(); t > 0 {
-			conn.SetDeadline(l.opts.now().Add(t))
 		}
 		if err := w.Flush(); err != nil {
 			conn.Close()

@@ -14,11 +14,13 @@ import (
 // sequence) pair plus a CRC-32C in the resilience extension (FlagResil).
 // The client keeps the encoded bytes of every unanswered request in a
 // ReplayWindow; after a reconnect it retransmits them verbatim. The server
-// keeps a per-link ResilSession recording the highest sequence executed
-// and a ring of recent responses, so a replayed request is answered from
-// the cache instead of being re-executed — mandatory for determinism,
-// because sensor reads draw from the environment's noise RNG and
-// re-execution would advance it twice.
+// keeps a per-link ResilSession recording which sequences have executed
+// (including ones still in flight on a dying connection) and a ring of
+// recent responses, so a replayed request is answered from the cache — or
+// waits for the original execution to finish and then is — instead of
+// being re-executed. That is mandatory for determinism: sensor reads draw
+// from the environment's noise RNG and re-execution would advance it
+// twice.
 
 // castagnoli is the CRC-32C polynomial table (hardware-accelerated on
 // amd64/arm64), shared by frame sealing and validation.
@@ -169,54 +171,85 @@ func (w *ReplayWindow) Replay(wr *Writer) (int, error) {
 	return n, nil
 }
 
-// cachedResp is one retained response in a session's replay ring.
+// cachedResp is one retained response in a session's replay ring. done
+// distinguishes a slot whose request is still executing (reserved by Dedup,
+// response pending) from one whose response is stored.
 type cachedResp struct {
 	seq     uint32
+	done    bool
 	typ     Type
 	payload []byte // reused across occupancies of the slot
 }
 
 // ResilSession is the server-side state of one resilient link: the highest
-// request sequence executed and a ring of the most recent responses,
-// deep enough to cover the client's whole replay window.
+// request sequence stored, a ring of the most recent responses deep enough
+// to cover the client's whole replay window, and in-flight reservations
+// for sequences currently executing.
 type ResilSession struct {
 	mu   sync.Mutex
+	cond sync.Cond // lazily bound to mu; broadcast by Store
 	last uint32
 	ring [ResilWindow]cachedResp
 }
 
-// Dedup reports whether seq was already executed on this session. When it
-// was, the cached response is copied into scratch (grown as needed) and
-// returned so the server retransmits it instead of re-executing — the
-// replayed response is byte-identical to the original by construction. A
-// replay that has fallen out of the ring (impossible within one client's
+// Dedup resolves seq against the session before execution. Three outcomes:
+//
+//   - seq already executed: the cached response is copied into scratch
+//     (grown as needed) and returned with replayed=true, so the server
+//     retransmits bytes identical to the original instead of re-executing.
+//   - seq currently executing on another connection (the original
+//     connection died while the request was still being served, and the
+//     client replayed it after reconnecting): Dedup blocks until the
+//     original execution's Store, then serves the cached response. Without
+//     this wait, a replay arriving before Store would see an unexecuted
+//     sequence and re-execute it — advancing the simulator's RNG or
+//     machine state twice and forking the trajectory.
+//   - seq is fresh: it is reserved as in-flight and replayed=false is
+//     returned. The caller MUST follow a fresh Dedup with Store(seq, resp)
+//     on every path, or replayed arrivals for seq will block forever.
+//
+// A replay that has fallen out of the ring (impossible within one client's
 // window) yields an RPCError response.
 func (s *ResilSession) Dedup(seq uint32, scratch []byte) (resp Packet, newScratch []byte, replayed bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if seq > s.last {
-		return Packet{}, scratch, false
-	}
 	e := &s.ring[seq%ResilWindow]
-	if e.seq != seq {
+	for e.seq == seq && !e.done {
+		if s.cond.L == nil {
+			s.cond.L = &s.mu
+		}
+		s.cond.Wait()
+	}
+	if e.seq == seq {
+		scratch = append(scratch[:0], e.payload...)
+		return Packet{Type: e.typ, Payload: scratch}, scratch, true
+	}
+	if seq <= s.last {
 		return Packet{Type: RPCError, Payload: []byte("packet: replayed request outside session window")}, scratch, true
 	}
-	scratch = append(scratch[:0], e.payload...)
-	return Packet{Type: e.typ, Payload: scratch}, scratch, true
+	// Fresh: reserve the slot before execution, so a replay of the same seq
+	// arriving on a reconnected link waits above instead of re-executing.
+	e.seq = seq
+	e.done = false
+	return Packet{}, scratch, false
 }
 
-// Store records the response for seq and advances the session high-water
-// mark. The payload is copied into a slot-owned buffer.
+// Store records the response for seq, releases its in-flight reservation,
+// and advances the session high-water mark. The payload is copied into a
+// slot-owned buffer. Waiters blocked in Dedup on this seq are woken.
 func (s *ResilSession) Store(seq uint32, resp Packet) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := &s.ring[seq%ResilWindow]
 	e.seq = seq
+	e.done = true
 	e.typ = resp.Type
 	e.payload = append(e.payload[:0], resp.Payload...)
 	if seq > s.last {
 		s.last = seq
 	}
+	// Broadcast is safe with a nil cond.L: only Wait needs the lock bound.
+	s.cond.Broadcast()
 }
 
 // ResilSessions is a server's registry of per-link sessions. Sessions are

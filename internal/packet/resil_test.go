@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -185,6 +186,71 @@ func TestResilSessionDedup(t *testing.T) {
 	resp, _, replayed = sess.Dedup(1, scratch)
 	if !replayed || resp.Type != RPCError {
 		t.Fatalf("evicted dedup = %v, %v", resp.Type, replayed)
+	}
+}
+
+// TestResilSessionDedupInFlightWaits is the regression test for the
+// double-execution race: the original connection dies while a request is
+// still executing (reserved by Dedup, Store not yet run), the client
+// reconnects and replays the sequence, and the replay arrives on a new
+// serve goroutine before the original Store. The replay must wait for the
+// original execution and serve its cached response — not re-execute.
+func TestResilSessionDedupInFlightWaits(t *testing.T) {
+	sess := NewResilSessions().Get(7)
+	// Original connection reserves seq 1; the request is "executing".
+	if _, _, replayed := sess.Dedup(1, nil); replayed {
+		t.Fatal("fresh seq 1 reported replayed")
+	}
+	type result struct {
+		resp     Packet
+		replayed bool
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, _, replayed := sess.Dedup(1, nil)
+		done <- result{resp, replayed}
+	}()
+	select {
+	case r := <-done:
+		t.Fatalf("replayed in-flight seq resolved before Store (replayed=%v, type=%v) — double execution",
+			r.replayed, r.resp.Type)
+	case <-time.After(20 * time.Millisecond):
+	}
+	sess.Store(1, Packet{Type: DepthData, Payload: []byte{0xaa}})
+	r := <-done
+	if !r.replayed || r.resp.Type != DepthData || len(r.resp.Payload) != 1 || r.resp.Payload[0] != 0xaa {
+		t.Fatalf("waiter got type=%v payload=%v replayed=%v, want cached response", r.resp.Type, r.resp.Payload, r.replayed)
+	}
+}
+
+// TestResilSessionConcurrentReplaySingleExecution hammers one sequence from
+// many goroutines (one per racing connection): exactly one may win the
+// in-flight reservation and execute; every other arrival must be served the
+// single cached response. Run under -race this also proves the reservation
+// protocol is data-race-free.
+func TestResilSessionConcurrentReplaySingleExecution(t *testing.T) {
+	sess := NewResilSessions().Get(9)
+	var execs atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _, replayed := sess.Dedup(1, nil)
+			if !replayed {
+				execs.Add(1)
+				time.Sleep(5 * time.Millisecond) // slow handler window
+				sess.Store(1, U64(DepthData, 0x42))
+				return
+			}
+			if v, err := resp.AsU64(); err != nil || v != 0x42 {
+				t.Errorf("replayed response = %v (type %v), err %v", v, resp.Type, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("sequence executed %d times, want exactly once", n)
 	}
 }
 
