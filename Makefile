@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet check chaos fuzz bench bench-kernels
+.PHONY: build test vet check chaos fuzz bench bench-kernels parity
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,18 @@ chaos:
 	$(GO) test -race -count=1 -run 'Retry|TransferCharge' ./internal/soc/
 	$(GO) test -race -count=1 -run 'TestLink|TestResil|TestReplay|TestChecksum|TestWriterResil|TestAppendFrame' ./internal/packet/
 	$(GO) test -race -count=1 ./internal/faultnet/
+
+# parity re-runs the GEMM numerics contract (float32 bit-identical, int8
+# exactly equal, solo and batched) with each microkernel forced via
+# ROSE_GEMM_KERNEL. Kernels the host lacks skip gracefully, so this is safe
+# on any machine; make check runs the same loop.
+parity:
+	for k in noasm sse avx2; do \
+		echo "-- ROSE_GEMM_KERNEL=$$k"; \
+		ROSE_GEMM_KERNEL=$$k $(GO) test -race -count=1 \
+			-run 'TestKernel|TestMatMulParity|TestInt8|TestBatchedForward|TestForwardWSP|TestQuant|TestIm2ColI8' \
+			./internal/tensor/ ./internal/dnn/ || exit 1; \
+	done
 
 # fuzz gives each framing/codec fuzz target a short native-fuzzing burst.
 fuzz:

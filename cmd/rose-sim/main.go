@@ -30,6 +30,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/telemetry"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -39,6 +40,8 @@ func main() {
 		small    = flag.String("dynamic-small", "", "small DNN for the dynamic runtime (empty = static)")
 		hwName   = flag.String("hw", "A", "hardware config: A (BOOM+Gemmini), B (Rocket+Gemmini), C (BOOM)")
 		vfwd     = flag.Float64("v", 3, "forward velocity target (m/s)")
+		kernel   = flag.String("gemm-kernel", "", "force the GEMM microkernel: noasm, sse, avx2 (empty = auto-detect; env ROSE_GEMM_KERNEL)")
+		prec     = flag.String("precision", "fp32", "inference datapath: fp32 or int8 (quantized Gemmini mode)")
 		yawDeg   = flag.Float64("yaw", 0, "initial heading (degrees)")
 		sync     = flag.Uint64("sync", 16_666_667, "synchronization granularity (SoC cycles)")
 		maxSec   = flag.Float64("maxtime", 60, "simulated time budget (s)")
@@ -84,6 +87,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	precision, err := dnn.ParsePrecision(*prec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := forceKernel(*kernel); err != nil {
+		log.Fatal(err)
+	}
 
 	var suite *obs.Suite
 	if *traceOut != "" || *metrics != "" || *watchdog > 0 || *logFile != "" {
@@ -126,10 +136,16 @@ func main() {
 		defer suite.Recorder.StopWatchdog()
 	}
 
+	suite.SetMeta("gemm_kernel", tensor.ActiveKernel().String())
+	suite.SetMeta("precision", precision.String())
+
 	fmt.Printf("training %s (and %s) on tunnel datasets...\n", *model, orNone(*small))
+	fmt.Printf("inference: kernel=%v precision=%v\n", tensor.ActiveKernel(), precision)
 	suite.Logger().Info("mission starting",
 		obs.Str("map", *mapName), obs.Str("model", *model), obs.Str("hw", *hwName),
-		obs.F64("v_fwd", *vfwd), obs.F64("max_sim_sec", *maxSec))
+		obs.F64("v_fwd", *vfwd), obs.F64("max_sim_sec", *maxSec),
+		obs.Str("gemm_kernel", tensor.ActiveKernel().String()),
+		obs.Str("precision", precision.String()))
 	out, err := experiments.RunMission(experiments.MissionSpec{
 		Map:         *mapName,
 		Model:       *model,
@@ -142,6 +158,7 @@ func main() {
 		Seed:        *seed,
 		Overlap:     overlapMode(*serial),
 		Obs:         suite,
+		Precision:   precision,
 		EnvAddr:     *envAddr,
 		EnvDial: env.DialOptions{
 			DialTimeout: *dialTO,
@@ -250,6 +267,23 @@ func mergeTraces(simURL, envURL, out string) error {
 	fmt.Printf("clock offset %s from %d matched quanta (open in https://ui.perfetto.dev)\n",
 		offset.Round(time.Microsecond), samples)
 	return nil
+}
+
+// forceKernel applies a -gemm-kernel override and surfaces an invalid
+// ROSE_GEMM_KERNEL environment value, which package init deliberately
+// ignores (auto-detection fallback) rather than failing every binary.
+func forceKernel(name string) error {
+	if err := tensor.KernelInitErr(); err != nil {
+		fmt.Printf("warning: %v (auto-detection in effect)\n", err)
+	}
+	if name == "" {
+		return nil
+	}
+	k, err := tensor.ParseKernel(name)
+	if err != nil {
+		return err
+	}
+	return tensor.ForceKernel(k)
 }
 
 func orNone(s string) string {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -23,12 +24,15 @@ import (
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/telemetry"
+	"repro/internal/tensor"
 )
 
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment id (table3, figure10..figure16) or 'all'")
 		quick    = flag.Bool("quick", false, "reduced sweep points and mission budgets")
+		kernel   = flag.String("gemm-kernel", "", "force the GEMM microkernel: noasm, sse, avx2 (empty = auto-detect; env ROSE_GEMM_KERNEL)")
+		prec     = flag.String("precision", "fp32", "inference datapath: fp32 or int8 (quantized Gemmini mode)")
 		serial   = flag.Bool("serial", false, "disable overlapped quantum execution (serial reference)")
 		perClass = flag.Int("train-per-class", 200, "training samples per class for the model registry")
 		outDir   = flag.String("out", "", "directory for CSV exports (empty = print only)")
@@ -47,11 +51,19 @@ func main() {
 	packet.DefaultDialTimeout = *dialTO
 	packet.DefaultRPCTimeout = *rpcTO
 
+	precision, err := dnn.ParsePrecision(*prec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := forceKernel(*kernel); err != nil {
+		log.Fatal(err)
+	}
+
 	ids := experiments.IDs()
 	if *exp != "all" {
 		ids = []string{*exp}
 	}
-	opt := experiments.Options{Quick: *quick}
+	opt := experiments.Options{Quick: *quick, Precision: precision}
 	if *serial {
 		opt.Overlap = core.OverlapOff
 	}
@@ -69,6 +81,9 @@ func main() {
 		opt.Obs.Log.SetLevel(level)
 		opt.Obs.Recorder.SetPath(*blackbox)
 	}
+	opt.Obs.SetMeta("gemm_kernel", tensor.ActiveKernel().String())
+	opt.Obs.SetMeta("precision", precision.String())
+	fmt.Printf("inference: kernel=%v precision=%v\n", tensor.ActiveKernel(), precision)
 	defer func() { opt.Obs.RecoverPanic(recover()) }()
 	if *watchdog > 0 {
 		opt.Obs.Recorder.StartWatchdog(*watchdog)
@@ -100,6 +115,16 @@ func main() {
 		}
 	}
 	if *outDir != "" {
+		// Stamp the sweep's inference configuration next to the series so an
+		// exported results directory is self-describing: the kernel and
+		// datapath shape the numbers but appear in no CSV column.
+		if err := writeRunMeta(*outDir, map[string]string{
+			"gemm_kernel": tensor.ActiveKernel().String(),
+			"precision":   precision.String(),
+			"quick":       fmt.Sprintf("%v", *quick),
+		}); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("\nCSV series written to %s\n", *outDir)
 	}
 	if opt.Obs != nil {
@@ -120,6 +145,34 @@ func main() {
 		}
 		fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", *traceOut)
 	}
+}
+
+// forceKernel applies a -gemm-kernel override and surfaces an invalid
+// ROSE_GEMM_KERNEL environment value, which package init deliberately
+// ignores (auto-detection fallback) rather than failing every binary.
+func forceKernel(name string) error {
+	if err := tensor.KernelInitErr(); err != nil {
+		fmt.Printf("warning: %v (auto-detection in effect)\n", err)
+	}
+	if name == "" {
+		return nil
+	}
+	k, err := tensor.ParseKernel(name)
+	if err != nil {
+		return err
+	}
+	return tensor.ForceKernel(k)
+}
+
+func writeRunMeta(dir string, meta map[string]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "run_meta.json"), append(data, '\n'), 0o644)
 }
 
 func export(rep *experiments.Report, dir string) error {

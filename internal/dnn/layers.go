@@ -74,6 +74,13 @@ type Conv struct {
 	// a trained net is shared across inference goroutines.
 	wt     *tensor.Tensor
 	wtOnce sync.Once
+
+	// wq caches the per-tensor symmetric int8 quantization of wt for the
+	// quantized inference mode (Gemmini's native low-precision datapath).
+	// Weights are quantized once at first use, like the transpose cache.
+	wq      *tensor.I8
+	wqScale float32
+	wqOnce  sync.Once
 }
 
 // NewConv builds a conv layer with He-normal weights from rng.
@@ -95,6 +102,61 @@ func (l *Conv) weightT() *tensor.Tensor {
 // Forward implements Layer.
 func (l *Conv) Forward(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
 	return tensor.Conv2DWS(ws, x, l.W, l.weightT(), l.Bias, l.Stride, l.Pad)
+}
+
+// quantWeightT returns the cached int8 quantization of weightT and its
+// scale.
+func (l *Conv) quantWeightT() (*tensor.I8, float32) {
+	l.wqOnce.Do(func() {
+		var qp tensor.QuantParams
+		l.wq, qp = tensor.QuantizeTensor(l.weightT())
+		l.wqScale = qp.Scale
+	})
+	return l.wq, l.wqScale
+}
+
+// ForwardQ is Forward on the int8 datapath: activations are quantized
+// per-image with a per-tensor symmetric scale, the GEMM accumulates in exact
+// int32 against the cached int8 weights, and the accumulator is dequantized
+// back to float32 with the bias folded in. The int32 sums are
+// kernel-invariant and identical between solo and batched execution, so the
+// whole int8 mode is exactly reproducible everywhere (see tensor/quant.go).
+func (l *Conv) ForwardQ(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	wq, sw := l.quantWeightT()
+	outC, inC, kh, kw := l.W.Shape[0], l.W.Shape[1], l.W.Shape[2], l.W.Shape[3]
+	if x.Shape[0] != inC {
+		panic(fmt.Sprintf("dnn: conv input has %d channels, weights expect %d", x.Shape[0], inC))
+	}
+	qp := tensor.ChooseQuantParams(x.Data)
+	qx := ws.GetI8(x.Shape...)
+	tensor.QuantizeInto(qx, x, qp)
+
+	h, w := x.Shape[1], x.Shape[2]
+	outH := (h+2*l.Pad-kh)/l.Stride + 1
+	outW := (w+2*l.Pad-kw)/l.Stride + 1
+	m := outH * outW
+	k := inC * kh * kw
+	qcols := ws.GetI8(m, k)
+	tensor.Im2ColI8Into(qcols, qx, kh, kw, l.Stride, l.Pad)
+	ws.PutI8(qx)
+
+	acc := ws.GetI32(m, outC)
+	tensor.MatMulI8Into(acc, qcols, wq, m, k, outC)
+	ws.PutI8(qcols)
+
+	out := ws.Get(outC, outH, outW)
+	d := qp.Scale * sw
+	for o := 0; o < outC; o++ {
+		var b float32
+		if l.Bias != nil {
+			b = l.Bias[o]
+		}
+		for i := 0; i < m; i++ {
+			out.Data[o*m+i] = float32(acc.Data[i*outC+o])*d + b
+		}
+	}
+	ws.PutI32(acc)
+	return out
 }
 
 // Describe implements Layer.
@@ -238,6 +300,31 @@ func (b *Block) Forward(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
 	return z
 }
 
+// ForwardQ is Forward with both branch convolutions (and the projection
+// shortcut, when present) on the int8 datapath. BN, ReLU, and the residual
+// add stay float32 — the interleaved normalization is what keeps per-layer
+// requantization well-conditioned, mirroring how Gemmini offloads the GEMMs
+// while the host handles the glue ops.
+func (b *Block) ForwardQ(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	y := b.Conv1.ForwardQ(x, ws)
+	tensor.BatchNormInto(y, y, b.BN1.Gamma, b.BN1.Beta, b.BN1.Mean, b.BN1.Var, 1e-5)
+	tensor.ReLUInto(y, y)
+	z := b.Conv2.ForwardQ(y, ws)
+	tensor.BatchNormInto(z, z, b.BN2.Gamma, b.BN2.Beta, b.BN2.Mean, b.BN2.Var, 1e-5)
+	ws.Put(y)
+	short := x
+	if b.Down != nil {
+		short = b.Down.ForwardQ(x, ws)
+		tensor.BatchNormInto(short, short, b.DownBN.Gamma, b.DownBN.Beta, b.DownBN.Mean, b.DownBN.Var, 1e-5)
+	}
+	tensor.AddInto(z, z, short)
+	tensor.ReLUInto(z, z)
+	if short != x {
+		ws.Put(short)
+	}
+	return z
+}
+
 // Describe implements Layer.
 func (b *Block) Describe(c, h, w int) ([]OpDesc, [3]int) {
 	ops, s := b.Conv1.Describe(c, h, w)
@@ -268,6 +355,27 @@ func (b *Block) Describe(c, h, w int) ([]OpDesc, [3]int) {
 type Dense struct {
 	W *tensor.Tensor // [out, in]
 	B []float32
+
+	// wt caches the [in, out] transpose the batched head GEMM consumes,
+	// rebuilt lazily after gob decoding like Conv's transpose cache.
+	wt     *tensor.Tensor
+	wtOnce sync.Once
+}
+
+// weightT returns the cached [in, out] transpose of W. The batched GEMM
+// against it accumulates in the same in-ascending order as LinearInto, so
+// batched head logits are bit-identical to solo ones.
+func (l *Dense) weightT() *tensor.Tensor {
+	l.wtOnce.Do(func() {
+		out, in := l.W.Shape[0], l.W.Shape[1]
+		l.wt = tensor.New(in, out)
+		for o := 0; o < out; o++ {
+			for i := 0; i < in; i++ {
+				l.wt.Data[i*out+o] = l.W.Data[o*in+i]
+			}
+		}
+	})
+	return l.wt
 }
 
 // NewDense builds a zero-initialized dense layer (heads start untrained).

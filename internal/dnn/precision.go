@@ -1,0 +1,106 @@
+package dnn
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// Precision selects the inference datapath: full float32, or the int8
+// quantized mode modeling Gemmini's native low-precision datapath. Int8
+// quantizes convolution weights once at load and activations per image with
+// per-tensor symmetric scales, accumulates in exact int32, and dequantizes
+// between layers; the classifier heads (1×K×3 GEMMs, negligible compute)
+// always run float32. The int8 path trades a bounded accuracy loss for
+// lower simulated latency (internal/gemmini prices int8 GEMMs on the
+// doubled-throughput mesh) — it is an accuracy-vs-latency knob, not a
+// bit-exact transformation of the fp32 results. It is, however, exactly
+// reproducible: int32 sums are kernel- and batching-invariant.
+type Precision int
+
+const (
+	// PrecisionFP32 is the default full-precision datapath.
+	PrecisionFP32 Precision = iota
+	// PrecisionInt8 is the quantized datapath.
+	PrecisionInt8
+)
+
+// String returns the canonical name used by the -precision flag and run
+// metadata.
+func (p Precision) String() string {
+	switch p {
+	case PrecisionFP32:
+		return "fp32"
+	case PrecisionInt8:
+		return "int8"
+	}
+	return fmt.Sprintf("Precision(%d)", int(p))
+}
+
+// ParsePrecision parses a precision name as accepted by the -precision
+// flag. Matching is case-insensitive; an empty string means fp32.
+func ParsePrecision(s string) (Precision, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "fp32", "float32", "float":
+		return PrecisionFP32, nil
+	case "int8", "i8":
+		return PrecisionInt8, nil
+	}
+	return PrecisionFP32, fmt.Errorf("dnn: unknown precision %q (want fp32 or int8)", s)
+}
+
+// forwardLayer runs one backbone layer on the selected datapath. Only conv
+// compute has an int8 form; every other layer is float32 glue either way.
+func forwardLayer(l Layer, x *tensor.Tensor, ws *tensor.Workspace, prec Precision) *tensor.Tensor {
+	if prec == PrecisionInt8 {
+		switch ll := l.(type) {
+		case *Conv:
+			return ll.ForwardQ(x, ws)
+		case *Block:
+			return ll.ForwardQ(x, ws)
+		}
+	}
+	return l.Forward(x, ws)
+}
+
+// FeaturesWSP is FeaturesWS on the selected precision datapath.
+// PrecisionFP32 is exactly FeaturesWS.
+func (n *Net) FeaturesWSP(ws *tensor.Workspace, img *tensor.Tensor, prec Precision) *tensor.Tensor {
+	f := ws.Get(n.featureDim())
+	off := 0
+	x := img
+	for i, l := range n.Backbone {
+		y := forwardLayer(l, x, ws, prec)
+		if x != img {
+			ws.Put(x)
+		}
+		x = y
+		if n.tapped(i) {
+			pooled := ws.Get(x.Shape[0], n.PoolGY, n.PoolGX)
+			tensor.AvgPoolGridInto(pooled, x, n.PoolGY, n.PoolGX)
+			off += copy(f.Data[off:], pooled.Data)
+			ws.Put(pooled)
+		}
+	}
+	if x != img {
+		ws.Put(x)
+	}
+	return f
+}
+
+// ForwardWSP is ForwardWS on the selected precision datapath: quantized
+// backbone (when prec is int8), float32 heads and softmax. PrecisionFP32 is
+// exactly ForwardWS.
+func (n *Net) ForwardWSP(ws *tensor.Workspace, img *tensor.Tensor, prec Precision) Output {
+	f := n.FeaturesWSP(ws, img, prec)
+	logits := ws.Get(3)
+	var out Output
+	tensor.LinearInto(logits, f, n.HeadLateral.W, n.HeadLateral.B)
+	tensor.SoftmaxInto(out.Lateral[:], logits.Data)
+	tensor.LinearInto(logits, f, n.HeadAngular.W, n.HeadAngular.B)
+	tensor.SoftmaxInto(out.Angular[:], logits.Data)
+	ws.Put(logits)
+	ws.Put(f)
+	return out
+}

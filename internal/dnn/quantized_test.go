@@ -1,0 +1,194 @@
+package dnn
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/world"
+)
+
+func bitsEqual(a, b Output) bool {
+	for i := 0; i < 3; i++ {
+		if math.Float32bits(a.Lateral[i]) != math.Float32bits(b.Lateral[i]) ||
+			math.Float32bits(a.Angular[i]) != math.Float32bits(b.Angular[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// supportedKernels returns the forceable kernels this host can run.
+func supportedKernels() []tensor.Kernel {
+	var ks []tensor.Kernel
+	for _, k := range []tensor.Kernel{tensor.KernelNoAsm, tensor.KernelSSE, tensor.KernelAVX2} {
+		if tensor.KernelSupported(k) {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// TestForwardWSPFP32MatchesForwardWS checks the precision-dispatched entry
+// point is exactly the legacy fp32 path when fp32 is selected.
+func TestForwardWSPFP32MatchesForwardWS(t *testing.T) {
+	for _, name := range []string{"ResNet6", "ResNet11"} {
+		n := MustBuild(name, 21)
+		ws := tensor.NewWorkspace()
+		for iter := int64(0); iter < 2; iter++ {
+			img := randImage(300+iter, n.InC, n.InH, n.InW)
+			want := n.ForwardWS(ws, img)
+			got := n.ForwardWSP(ws, img, PrecisionFP32)
+			if !bitsEqual(got, want) {
+				t.Fatalf("%s: ForwardWSP(fp32) %v/%v, want %v/%v", name, got.Lateral, got.Angular, want.Lateral, want.Angular)
+			}
+		}
+	}
+}
+
+// TestInt8ForwardKernelInvariant checks the int8 datapath produces
+// bit-identical whole-network outputs under every forceable GEMM kernel:
+// the int8 GEMMs are exact integer arithmetic and the fp32 glue (BN, ReLU,
+// heads) is covered by the float bit-exactness contract.
+func TestInt8ForwardKernelInvariant(t *testing.T) {
+	n := MustBuild("ResNet11", 33)
+	img := randImage(9, n.InC, n.InH, n.InW)
+	prev := tensor.ActiveKernel()
+	defer tensor.ForceKernel(prev)
+	var want Output
+	first := true
+	for _, k := range supportedKernels() {
+		if err := tensor.ForceKernel(k); err != nil {
+			t.Fatalf("force %v: %v", k, err)
+		}
+		ws := tensor.NewWorkspace()
+		got := n.ForwardWSP(ws, img, PrecisionInt8)
+		if first {
+			want, first = got, false
+			continue
+		}
+		if !bitsEqual(got, want) {
+			t.Fatalf("kernel %v: int8 output %v/%v, want %v/%v", k, got.Lateral, got.Angular, want.Lateral, want.Angular)
+		}
+	}
+}
+
+// TestBatchedForwardMatchesSolo is the batching exactness contract: for both
+// precisions, every forceable kernel, and odd batch sizes, a reused Batcher
+// produces per-image outputs bit-identical to solo ForwardWSP calls.
+func TestBatchedForwardMatchesSolo(t *testing.T) {
+	prev := tensor.ActiveKernel()
+	defer tensor.ForceKernel(prev)
+	n := MustBuild("ResNet11", 5)
+	for _, prec := range []Precision{PrecisionFP32, PrecisionInt8} {
+		for _, kern := range supportedKernels() {
+			if err := tensor.ForceKernel(kern); err != nil {
+				t.Fatalf("force %v: %v", kern, err)
+			}
+			for _, batch := range []int{1, 3, 5} {
+				r := n.NewBatcher(nil, batch, prec)
+				soloWS := tensor.NewWorkspace()
+				imgs := make([]*tensor.Tensor, batch)
+				outs := make([]Output, batch)
+				for iter := int64(0); iter < 2; iter++ { // reuse the Batcher (dirty scratch)
+					for b := range imgs {
+						imgs[b] = randImage(1000*iter+int64(b), n.InC, n.InH, n.InW)
+					}
+					r.Forward(imgs, outs)
+					for b := range imgs {
+						want := n.ForwardWSP(soloWS, imgs[b], prec)
+						if !bitsEqual(outs[b], want) {
+							t.Fatalf("prec=%v kern=%v batch=%d image %d iter %d:\nbatched %v/%v\nsolo    %v/%v",
+								prec, kern, batch, b, iter, outs[b].Lateral, outs[b].Angular, want.Lateral, want.Angular)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedForwardZeroAlloc checks the steady-state allocation contract:
+// after warm-up, batched forward passes draw everything from the workspace
+// pool. GOMAXPROCS is pinned to 1 so the parallel GEMM path (which spawns
+// goroutines by design) doesn't count against the pool.
+func TestBatchedForwardZeroAlloc(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	n := MustBuild("ResNet6", 17)
+	for _, prec := range []Precision{PrecisionFP32, PrecisionInt8} {
+		r := n.NewBatcher(nil, 4, prec)
+		imgs := make([]*tensor.Tensor, 4)
+		for b := range imgs {
+			imgs[b] = randImage(int64(b), n.InC, n.InH, n.InW)
+		}
+		outs := make([]Output, 4)
+		r.Forward(imgs, outs) // warm up the pool
+		if allocs := testing.AllocsPerRun(10, func() { r.Forward(imgs, outs) }); allocs != 0 {
+			t.Fatalf("prec=%v: steady-state batched forward allocates %v times per run, want 0", prec, allocs)
+		}
+	}
+}
+
+// TestInt8AccuracyBound is the accuracy-vs-latency contract on the shipped
+// (registry-trained) model: int8 inference must agree with fp32 on nearly
+// all rendered views, and head probabilities must stay close. Guards
+// against quantization-scheme regressions that would silently trash the
+// knob's accuracy side.
+func TestInt8AccuracyBound(t *testing.T) {
+	oldTrain, oldVal := RegistryTrainPerClass, RegistryValPerClass
+	t.Cleanup(func() {
+		RegistryTrainPerClass, RegistryValPerClass = oldTrain, oldVal
+		ResetRegistry()
+	})
+	ResetRegistry()
+	RegistryTrainPerClass, RegistryValPerClass = 10, 6
+
+	tm, err := Trained("ResNet6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tm.Net
+
+	m := world.Tunnel()
+	ds := GenerateClean(m, Lateral, 4, 11, n.InW, n.InH)
+	if len(ds.Images) == 0 {
+		t.Fatal("empty dataset")
+	}
+	ws := tensor.NewWorkspace()
+	agree := 0
+	var sumDiff float64
+	var maxDiff float64
+	for _, img := range ds.Images {
+		fp := n.ForwardWSP(ws, img, PrecisionFP32)
+		q := n.ForwardWSP(ws, img, PrecisionInt8)
+		if tensor.Argmax(fp.Lateral[:]) == tensor.Argmax(q.Lateral[:]) &&
+			tensor.Argmax(fp.Angular[:]) == tensor.Argmax(q.Angular[:]) {
+			agree++
+		}
+		for i := 0; i < 3; i++ {
+			for _, d := range []float64{
+				math.Abs(float64(fp.Lateral[i] - q.Lateral[i])),
+				math.Abs(float64(fp.Angular[i] - q.Angular[i])),
+			} {
+				sumDiff += d
+				if d > maxDiff {
+					maxDiff = d
+				}
+			}
+		}
+	}
+	total := len(ds.Images)
+	meanDiff := sumDiff / float64(6*total)
+	t.Logf("int8 vs fp32 over %d views: argmax agreement %d/%d, mean |Δp| %.4f, max |Δp| %.4f",
+		total, agree, total, meanDiff, maxDiff)
+	if agree*10 < total*9 { // ≥ 90% agreement
+		t.Errorf("int8 argmax agrees on only %d/%d views", agree, total)
+	}
+	if meanDiff > 0.05 {
+		t.Errorf("mean probability deviation %.4f > 0.05", meanDiff)
+	}
+	if maxDiff > 0.35 {
+		t.Errorf("max probability deviation %.4f > 0.35", maxDiff)
+	}
+}

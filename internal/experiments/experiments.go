@@ -59,6 +59,17 @@ type MissionSpec struct {
 	// Overlap selects concurrent (default) or serial quantum execution
 	// (see core.OverlapMode); results are byte-identical either way.
 	Overlap core.OverlapMode
+	// Precision selects the inference datapath (dnn.PrecisionFP32, the
+	// zero value, or dnn.PrecisionInt8 for the quantized Gemmini mode).
+	Precision dnn.Precision
+	// Batch, when set, routes this mission's inferences through a
+	// cross-mission batch collector (see ort.BatchGroup): a host-throughput
+	// lever, bit-identical results, simulated timing untouched. The mission
+	// must be one of the group's registered members, all members must run
+	// concurrently (goroutine per mission), and the group's model/precision
+	// must match the spec's. Incompatible with SmallModel: the dynamic
+	// runtime interleaves two models per iteration.
+	Batch *ort.BatchGroup
 	// Obs instruments the run: synchronizer phases, bridge queues, SoC
 	// counters, and app inference latency feed the suite's registry and
 	// tracer. Nil (the default) keeps every hook a no-op nil check.
@@ -104,6 +115,16 @@ func RunMission(spec MissionSpec) (*MissionOutcome, error) {
 	if spec.StartX == 0 {
 		spec.StartX = 2
 	}
+	if spec.Batch != nil {
+		// The group registered this mission at construction; every exit
+		// path must depart or the other members' rounds never flush. LIFO
+		// defer order runs machine.Close() first, so a program parked in
+		// the collector is killed before the group shrinks.
+		defer spec.Batch.Leave()
+		if spec.SmallModel != "" {
+			return nil, fmt.Errorf("experiments: batched inference is incompatible with the dynamic runtime (two sessions per control iteration)")
+		}
+	}
 	m := world.ByName(spec.Map)
 	if m == nil {
 		return nil, fmt.Errorf("experiments: unknown map %q", spec.Map)
@@ -140,9 +161,14 @@ func RunMission(spec MissionSpec) (*MissionOutcome, error) {
 		e = sim
 	}
 
-	bigSess, err := ort.NewSession(big.Net, gemmini.Default())
+	bigSess, err := ort.NewSessionP(big.Net, gemmini.Default(), spec.Precision)
 	if err != nil {
 		return nil, err
+	}
+	if spec.Batch != nil {
+		if err := bigSess.AttachBatch(spec.Batch); err != nil {
+			return nil, err
+		}
 	}
 	ctrl := app.DefaultControlParams(spec.VForward)
 	ctrl.Temperature = app.TemperatureFor(spec.Model)
@@ -158,7 +184,7 @@ func RunMission(spec MissionSpec) (*MissionOutcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		smallSess, err := ort.NewSession(small.Net, gemmini.Default())
+		smallSess, err := ort.NewSessionP(small.Net, gemmini.Default(), spec.Precision)
 		if err != nil {
 			return nil, err
 		}
@@ -216,6 +242,9 @@ type Options struct {
 	// suite (all instruments are atomic), so sweep-wide metrics aggregate
 	// across workers. Nil keeps instrumentation off.
 	Obs *obs.Suite
+	// Precision is stamped onto every sweep spec: the inference datapath
+	// (fp32 default, int8 for the quantized Gemmini mode).
+	Precision dnn.Precision
 }
 
 // stamp applies sweep-wide options onto the specs before they run.
@@ -223,6 +252,7 @@ func (o Options) stamp(specs []MissionSpec) []MissionSpec {
 	for i := range specs {
 		specs[i].Overlap = o.Overlap
 		specs[i].Obs = o.Obs
+		specs[i].Precision = o.Precision
 	}
 	return specs
 }
@@ -284,6 +314,7 @@ func IDs() []string {
 		"table3", "figure10", "figure11", "figure12",
 		"figure13", "figure14", "figure15", "figure16",
 		"ablation-sync", "ablation-queue", "ablation-policy",
+		"fleet",
 	}
 }
 
@@ -312,6 +343,8 @@ func Run(id string, opt Options) (*Report, error) {
 		return AblationQueue(opt)
 	case "ablation-policy":
 		return AblationPolicy(opt)
+	case "fleet":
+		return Fleet(opt)
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %v)", id, IDs())
 }

@@ -96,6 +96,44 @@ func (c Config) MatmulCycles(m, k, n int) uint64 {
 	return c.ConfigCycles + compute + exposed
 }
 
+// MatmulCyclesInt8 prices the same matmul on Gemmini's native low-precision
+// datapath. Relative to MatmulCycles:
+//
+//   - The mesh processes int8 operands at twice the rate in each dimension
+//     (the paper's generator maps four int8 MACs onto each FP32 PE's
+//     datapath area), so the tile grid is computed over a 2·rows × 2·cols
+//     array.
+//   - A and B move over DMA at 1 byte per element instead of ElemBytes; C
+//     drains from the accumulator as int32 (4 bytes per element) — the host
+//     dequantizes, so the accumulator never narrows on chip.
+//
+// The ConfigCycles overhead and DMA overlap model are unchanged.
+func (c Config) MatmulCyclesInt8(m, k, n int) uint64 {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return 0
+	}
+	rows, cols := 2*c.MeshRows, 2*c.MeshCols
+	kTiles := ceilDiv(k, rows)
+	nTiles := ceilDiv(n, cols)
+	fill := uint64(rows + cols)
+	perTile := uint64(rows) + uint64(m) + fill
+	compute := uint64(kTiles) * uint64(nTiles) * perTile
+
+	aBytes := uint64(m) * uint64(k) // 1 byte per int8 element
+	bBytes := uint64(k) * uint64(n)
+	cBytes := uint64(m) * uint64(n) * 4 // int32 accumulator out
+	spadBytes := uint64(c.ScratchpadKB) << 10
+	aPasses := uint64(1)
+	if aBytes > spadBytes/2 {
+		aPasses = uint64(ceilDiv(int(aBytes), int(spadBytes/2)))
+	}
+	dmaBytes := aBytes*aPasses + bBytes + cBytes
+	dmaCycles := dmaBytes / uint64(c.BusBytes)
+	exposed := uint64(float64(dmaCycles) * (1 - c.DMAOverlap))
+
+	return c.ConfigCycles + compute + exposed
+}
+
 // EffectiveMACsPerCycle reports the modeled efficiency for a given matmul,
 // useful for calibration tests.
 func (c Config) EffectiveMACsPerCycle(m, k, n int) float64 {

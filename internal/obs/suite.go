@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -31,8 +32,15 @@ type Suite struct {
 	SoC       *SoCObs
 	App       *AppObs
 
+	// Run-metadata labels (forced GEMM kernel, inference precision, ...)
+	// exported with the rose_run trace event; see SetMeta.
+	metaMu sync.Mutex
+	meta   []metaKV
+
 	start time.Time
 }
+
+type metaKV struct{ key, value string }
 
 // New creates a fully wired suite. traceEvents sets the tracer ring
 // capacity: 0 disables tracing (metrics only), < 0 selects
@@ -74,6 +82,42 @@ func (s *Suite) Logger() *Logger {
 	return s.Log
 }
 
+// SetMeta records a run-metadata label — configuration that shapes the
+// run's numbers but is invisible in the metrics themselves, like the forced
+// GEMM kernel or the inference precision. Labels ride along in the rose_run
+// trace event (WriteTrace) so an exported trace is self-describing. Keys
+// keep first-set order; setting an existing key overwrites its value. Safe
+// on a nil suite (no-op, like every other disabled-observability path).
+func (s *Suite) SetMeta(key, value string) {
+	if s == nil || key == "" {
+		return
+	}
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	for i := range s.meta {
+		if s.meta[i].key == key {
+			s.meta[i].value = value
+			return
+		}
+	}
+	s.meta = append(s.meta, metaKV{key, value})
+}
+
+// Meta returns the run-metadata labels in insertion order as key/value
+// pairs. Nil-safe (empty).
+func (s *Suite) Meta() [][2]string {
+	if s == nil {
+		return nil
+	}
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	out := make([][2]string, len(s.meta))
+	for i, kv := range s.meta {
+		out[i] = [2]string{kv.key, kv.value}
+	}
+	return out
+}
+
 // RecoverPanic is the CLI tools' crash hook, used as
 //
 //	defer func() { suite.RecoverPanic(recover()) }()
@@ -112,11 +156,16 @@ func (s *Suite) WriteTrace(w io.Writer, host string) error {
 		if adopted := s.EnvServer.SeenRun(); adopted != 0 {
 			runID = adopted
 		}
+		var meta []byte
+		for _, kv := range s.Meta() {
+			meta = append(meta, fmt.Sprintf(", %s: %s",
+				strconv.Quote(kv[0]), strconv.Quote(kv[1]))...)
+		}
 		if _, err := fmt.Fprintf(w,
 			"\n  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"args\": {\"name\": %s}},\n"+
-				"  {\"name\": \"rose_run\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"args\": {\"run_id\": %s, \"epoch_unix_ns\": \"%d\", \"host\": %s}}",
+				"  {\"name\": \"rose_run\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"args\": {\"run_id\": %s, \"epoch_unix_ns\": \"%d\", \"host\": %s%s}}",
 			strconv.Quote(host), strconv.Quote(string(appendHex16(nil, runID))),
-			s.Tracer.EpochUnixNano(), strconv.Quote(host)); err != nil {
+			s.Tracer.EpochUnixNano(), strconv.Quote(host), meta); err != nil {
 			return err
 		}
 		if err := s.Tracer.forEach(func(e Event) error {

@@ -206,3 +206,45 @@ func TestTracerConcurrent(t *testing.T) {
 	}
 	validateChromeTrace(t, buf.Bytes())
 }
+
+func TestSuiteMetaInTrace(t *testing.T) {
+	s := New(16)
+	s.SetMeta("gemm_kernel", "avx2")
+	s.SetMeta("precision", "fp32")
+	s.SetMeta("precision", "int8") // overwrite keeps one entry
+	s.SetMeta("", "dropped")
+	if got := s.Meta(); len(got) != 2 ||
+		got[0] != [2]string{"gemm_kernel", "avx2"} ||
+		got[1] != [2]string{"precision", "int8"} {
+		t.Fatalf("Meta() = %v", got)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteTrace(&buf, "rose-sim"); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	found := false
+	for _, e := range events {
+		if e["name"] != "rose_run" {
+			continue
+		}
+		found = true
+		args := e["args"].(map[string]any)
+		if args["gemm_kernel"] != "avx2" || args["precision"] != "int8" {
+			t.Errorf("rose_run args = %v", args)
+		}
+	}
+	if !found {
+		t.Error("no rose_run event in trace")
+	}
+
+	// Nil suite: SetMeta/Meta are no-ops, like the rest of the suite.
+	var nilSuite *Suite
+	nilSuite.SetMeta("k", "v")
+	if nilSuite.Meta() != nil {
+		t.Error("nil suite has metadata")
+	}
+}

@@ -1,0 +1,142 @@
+package ort
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dnn"
+	"repro/internal/soc"
+	"repro/internal/tensor"
+)
+
+// BatchGroup collects the per-quantum forward passes of N concurrent
+// missions that run the same model and executes them as one batched GEMM
+// per layer (dnn.Batcher), so each K-panel of weights is read once per
+// batch instead of once per mission. Results are bit-identical to solo
+// execution and simulated timing is untouched — the group is purely a host
+// throughput optimization, the lever behind the missions/sec/host metric.
+//
+// Protocol: every member is registered at construction (size). Each
+// mission's session calls Infer once per control iteration; the call blocks
+// until all live members of the round have submitted, then the last arrival
+// computes the whole batch and wakes the others. A member that exits early
+// (mission end, fault injection, engine teardown) must call Leave — its
+// departure shrinks subsequent rounds and flushes the current one if it was
+// the straggler. Infer waits are engine-kill-aware (soc.Runtime
+// .WaitExternal), so tearing down a machine whose program is parked in the
+// collector never deadlocks.
+//
+// Deadlock rule for callers: all members must be stepped concurrently. A
+// mission blocked in Infer does not return from Machine.Step until the
+// round flushes, so driving batch members sequentially from one goroutine
+// would stall forever. The sweep runner dedicates a goroutine per member.
+type BatchGroup struct {
+	net  *dnn.Net
+	prec dnn.Precision
+
+	mu       sync.Mutex
+	ws       *tensor.Workspace
+	batchers map[int]*dnn.Batcher // keyed by round size (shrinks as members leave)
+
+	size    int // registered members
+	active  int // members that have not left
+	pending int // submissions in the current round
+	inputs  []*tensor.Tensor
+	outs    []dnn.Output
+	done    chan struct{} // closed when the current round's outs are ready
+
+	rounds uint64 // flushed rounds (for tests and stats)
+}
+
+// NewBatchGroup creates a collector for exactly size missions running net
+// at the given precision. All members must be known up front: a group that
+// grew after missions started would flush early rounds at the wrong width.
+func NewBatchGroup(net *dnn.Net, prec dnn.Precision, size int) (*BatchGroup, error) {
+	if net == nil {
+		return nil, fmt.Errorf("ort: nil model")
+	}
+	if size < 1 {
+		return nil, fmt.Errorf("ort: batch group size %d", size)
+	}
+	return &BatchGroup{
+		net:      net,
+		prec:     prec,
+		ws:       tensor.NewWorkspace(),
+		batchers: make(map[int]*dnn.Batcher),
+		size:     size,
+		active:   size,
+		inputs:   make([]*tensor.Tensor, size),
+		outs:     make([]dnn.Output, size),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Size returns the registered member count.
+func (g *BatchGroup) Size() int { return g.size }
+
+// Rounds returns how many batched rounds have been flushed.
+func (g *BatchGroup) Rounds() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rounds
+}
+
+// Infer submits one image and returns its inference output once the round
+// flushes. Bit-identical to a solo ForwardWSP of the same image. The block
+// is host-side only; rt is used solely to abandon the wait if the machine
+// is torn down.
+func (g *BatchGroup) Infer(rt *soc.Runtime, input *tensor.Tensor) dnn.Output {
+	g.mu.Lock()
+	slot := g.pending
+	g.inputs[slot] = input
+	g.pending++
+	round := g.done
+	if g.pending >= g.active {
+		g.flushLocked()
+		out := g.outs[slot]
+		g.mu.Unlock()
+		return out
+	}
+	g.mu.Unlock()
+
+	rt.WaitExternal(round) // panics out if the machine is killed while parked
+
+	g.mu.Lock()
+	out := g.outs[slot]
+	g.mu.Unlock()
+	return out
+}
+
+// Leave removes a member. Safe to call from mission teardown regardless of
+// where the member's program stopped; if the departing member was the only
+// straggler of the current round, the round flushes now.
+func (g *BatchGroup) Leave() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.active == 0 {
+		return
+	}
+	g.active--
+	if g.pending > 0 && g.pending >= g.active {
+		g.flushLocked()
+	}
+}
+
+// flushLocked computes the pending round and wakes its waiters. Held under
+// g.mu: every other member is parked in WaitExternal (they cannot submit
+// the next round until this one's done channel closes), so the batcher's
+// single-goroutine contract holds even though rounds may be flushed by
+// different goroutines over time.
+func (g *BatchGroup) flushLocked() {
+	n := g.pending
+	b := g.batchers[n]
+	if b == nil {
+		b = g.net.NewBatcher(g.ws, n, g.prec)
+		g.batchers[n] = b
+	}
+	b.Forward(g.inputs[:n], g.outs[:n])
+	g.pending = 0
+	g.rounds++
+	close(g.done)
+	g.done = make(chan struct{})
+}

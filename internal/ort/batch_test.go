@@ -1,0 +1,295 @@
+package ort
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dnn"
+	"repro/internal/gemmini"
+	"repro/internal/soc"
+	"repro/internal/tensor"
+)
+
+func testInput(seed int) *tensor.Tensor {
+	in := tensor.New(1, 48, 64)
+	for i := range in.Data {
+		in.Data[i] = float32((i*31+seed*97)%23)/23 - 0.5
+	}
+	return in
+}
+
+func TestNewSessionPValidation(t *testing.T) {
+	net := dnn.MustBuild("ResNet6", 1)
+	if _, err := NewSessionP(net, gemmini.Default(), dnn.Precision(99)); err == nil {
+		t.Error("accepted bogus precision")
+	}
+	s, err := NewSessionP(net, gemmini.Default(), dnn.PrecisionInt8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Precision() != dnn.PrecisionInt8 {
+		t.Errorf("precision = %v", s.Precision())
+	}
+	if session(t, "ResNet6").Precision() != dnn.PrecisionFP32 {
+		t.Error("NewSession default is not FP32")
+	}
+}
+
+func TestInt8PredictCheaper(t *testing.T) {
+	// The quantized datapath must actually buy latency — on the doubled
+	// int8 mesh with Gemmini, and on the scalar core via IntMACsPerCycle —
+	// otherwise the accuracy trade is pointless.
+	params := soc.DefaultParams()
+	net := dnn.MustBuild("ResNet14", 1)
+	fp, err := NewSessionP(net, gemmini.Default(), dnn.PrecisionFP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewSessionP(net, gemmini.Default(), dnn.PrecisionInt8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hasGem := range []bool{true, false} {
+		for _, core := range []soc.CoreKind{soc.Rocket, soc.BOOM} {
+			cf := fp.Predict(soc.Core(core), params, hasGem)
+			cq := q.Predict(soc.Core(core), params, hasGem)
+			if cq.Total() >= cf.Total() {
+				t.Errorf("%v gemmini=%v: int8 %d cycles not below fp32 %d",
+					core, hasGem, cq.Total(), cf.Total())
+			}
+			ratio := float64(cf.Total()) / float64(cq.Total())
+			if ratio > 2.5 {
+				t.Errorf("%v gemmini=%v: int8 speedup %.2fx implausibly high (mesh is 2x with quant glue)",
+					core, hasGem, ratio)
+			}
+		}
+	}
+}
+
+func TestInt8RunChargesPredicted(t *testing.T) {
+	net := dnn.MustBuild("ResNet6", 3)
+	s, err := NewSessionP(net, gemmini.Default(), dnn.PrecisionInt8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := testInput(1)
+	outCh := make(chan dnn.Output, 1)
+	m := soc.NewMachine(soc.Config{Core: soc.BOOM, Gemmini: true}, func(rt *soc.Runtime) error {
+		outCh <- s.Run(rt, input)
+		return nil
+	})
+	defer m.Close()
+	pred := s.Predict(soc.Core(soc.BOOM), soc.DefaultParams(), true)
+	for !m.Done() {
+		m.Step(10_000_000)
+	}
+	st := m.Stats()
+	if st.AccelCycles != pred.AccelCycles {
+		t.Errorf("accel cycles %d, predicted %d", st.AccelCycles, pred.AccelCycles)
+	}
+	if st.ComputeCycles != pred.CPUCycles {
+		t.Errorf("cpu cycles %d, predicted %d", st.ComputeCycles, pred.CPUCycles)
+	}
+	want := net.ForwardWSP(tensor.NewWorkspace(), input, dnn.PrecisionInt8)
+	if out := <-outCh; out != want {
+		t.Error("int8 Run output differs from direct int8 forward")
+	}
+}
+
+func TestAttachBatchValidation(t *testing.T) {
+	netA := dnn.MustBuild("ResNet6", 1)
+	netB := dnn.MustBuild("ResNet6", 2)
+	if _, err := NewBatchGroup(nil, dnn.PrecisionFP32, 2); err == nil {
+		t.Error("accepted nil model")
+	}
+	if _, err := NewBatchGroup(netA, dnn.PrecisionFP32, 0); err == nil {
+		t.Error("accepted zero-size group")
+	}
+	g, err := NewBatchGroup(netA, dnn.PrecisionFP32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 2 {
+		t.Errorf("size = %d", g.Size())
+	}
+	sB, _ := NewSession(netB, gemmini.Default())
+	if err := sB.AttachBatch(g); err == nil {
+		t.Error("attached session with a different model")
+	}
+	sQ, _ := NewSessionP(netA, gemmini.Default(), dnn.PrecisionInt8)
+	if err := sQ.AttachBatch(g); err == nil {
+		t.Error("attached int8 session to fp32 group")
+	}
+	sA, _ := NewSession(netA, gemmini.Default())
+	if err := sA.AttachBatch(g); err != nil {
+		t.Errorf("matching attach rejected: %v", err)
+	}
+}
+
+// runFleet drives size missions, each on its own machine with its own
+// session attached to one BatchGroup, itersOf(i) inferences per mission.
+// Returns outputs indexed [mission][iter] and the per-machine stats.
+func runFleet(t *testing.T, net *dnn.Net, prec dnn.Precision, size int, itersOf func(int) int) ([][]dnn.Output, []soc.Stats) {
+	t.Helper()
+	g, err := NewBatchGroup(net, prec, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := make([][]dnn.Output, size)
+	stats := make([]soc.Stats, size)
+	var wg sync.WaitGroup
+	for i := 0; i < size; i++ {
+		i := i
+		iters := itersOf(i)
+		outs[i] = make([]dnn.Output, 0, iters)
+		s, err := NewSessionP(net, gemmini.Default(), prec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AttachBatch(g); err != nil {
+			t.Fatal(err)
+		}
+		m := soc.NewMachine(soc.Config{Core: soc.BOOM, Gemmini: true}, func(rt *soc.Runtime) error {
+			defer g.Leave()
+			for it := 0; it < iters; it++ {
+				outs[i] = append(outs[i], s.Run(rt, testInput(i*100+it)))
+			}
+			return nil
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !m.Done() {
+				m.Step(100_000_000)
+			}
+			stats[i] = m.Stats()
+			m.Close()
+		}()
+	}
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("fleet deadlocked")
+	}
+	return outs, stats
+}
+
+func TestBatchGroupMatchesSolo(t *testing.T) {
+	const size, iters = 3, 4
+	for _, prec := range []dnn.Precision{dnn.PrecisionFP32, dnn.PrecisionInt8} {
+		t.Run(prec.String(), func(t *testing.T) {
+			net := dnn.MustBuild("ResNet6", 5)
+			outs, stats := runFleet(t, net, prec, size, func(int) int { return iters })
+
+			// Per-mission results must be bit-identical to solo execution.
+			ws := tensor.NewWorkspace()
+			for i := 0; i < size; i++ {
+				for it := 0; it < iters; it++ {
+					want := net.ForwardWSP(ws, testInput(i*100+it), prec)
+					if outs[i][it] != want {
+						t.Errorf("mission %d iter %d: batched output differs from solo", i, it)
+					}
+				}
+			}
+
+			// Batching is host-only: every machine is charged exactly the
+			// solo per-inference cost.
+			s, _ := NewSessionP(net, gemmini.Default(), prec)
+			pred := s.Predict(soc.Core(soc.BOOM), soc.DefaultParams(), true)
+			for i, st := range stats {
+				if st.AccelCycles != iters*pred.AccelCycles {
+					t.Errorf("mission %d: accel cycles %d, want %d", i, st.AccelCycles, iters*pred.AccelCycles)
+				}
+				if st.ComputeCycles != iters*pred.CPUCycles {
+					t.Errorf("mission %d: cpu cycles %d, want %d", i, st.ComputeCycles, iters*pred.CPUCycles)
+				}
+			}
+		})
+	}
+}
+
+func TestBatchGroupPartialRoundsAfterLeave(t *testing.T) {
+	// Missions of different lengths: the short ones leave and the
+	// survivors' rounds shrink (1 full round of 3, then rounds of 2, then
+	// solo rounds). Every output must still match solo execution.
+	net := dnn.MustBuild("ResNet6", 8)
+	lengths := []int{1, 3, 6}
+	outs, _ := runFleet(t, net, dnn.PrecisionFP32, len(lengths), func(i int) int { return lengths[i] })
+	ws := tensor.NewWorkspace()
+	for i, n := range lengths {
+		if len(outs[i]) != n {
+			t.Fatalf("mission %d produced %d outputs, want %d", i, len(outs[i]), n)
+		}
+		for it := 0; it < n; it++ {
+			want := net.ForwardWSP(ws, testInput(i*100+it), dnn.PrecisionFP32)
+			if outs[i][it] != want {
+				t.Errorf("mission %d iter %d: output differs from solo after group shrank", i, it)
+			}
+		}
+	}
+}
+
+func TestBatchGroupRoundsCounter(t *testing.T) {
+	net := dnn.MustBuild("ResNet6", 2)
+	g, err := NewBatchGroup(net, dnn.PrecisionFP32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := NewSession(net, gemmini.Default())
+	if err := s.AttachBatch(g); err != nil {
+		t.Fatal(err)
+	}
+	m := soc.NewMachine(soc.Config{Core: soc.BOOM, Gemmini: true}, func(rt *soc.Runtime) error {
+		defer g.Leave()
+		for it := 0; it < 3; it++ {
+			s.Run(rt, testInput(it))
+		}
+		return nil
+	})
+	defer m.Close()
+	for !m.Done() {
+		m.Step(100_000_000)
+	}
+	if got := g.Rounds(); got != 3 {
+		t.Errorf("rounds = %d, want 3 (size-1 group flushes every submission)", got)
+	}
+}
+
+func TestBatchGroupCloseWhileParked(t *testing.T) {
+	// A mission parked in the collector (waiting on a straggler that never
+	// arrives) must not deadlock Machine.Close: the wait is killCh-aware.
+	net := dnn.MustBuild("ResNet6", 4)
+	g, err := NewBatchGroup(net, dnn.PrecisionFP32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := NewSession(net, gemmini.Default())
+	if err := s.AttachBatch(g); err != nil {
+		t.Fatal(err)
+	}
+	m := soc.NewMachine(soc.Config{Core: soc.BOOM, Gemmini: true}, func(rt *soc.Runtime) error {
+		defer g.Leave()
+		s.Run(rt, testInput(0)) // parks forever: the second member never submits
+		return fmt.Errorf("unreachable: round should never flush")
+	})
+	closed := make(chan struct{})
+	go func() {
+		// Let the program reach the park (it computes the forward pass and
+		// blocks host-side before charging any cycles, so no Step needed).
+		time.Sleep(50 * time.Millisecond)
+		m.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close deadlocked on a program parked in the batch collector")
+	}
+	if err := m.Err(); err != nil {
+		t.Errorf("killed machine reports error: %v", err)
+	}
+}

@@ -7,6 +7,12 @@
 // and to the scalar-core matmul model otherwise, and bandwidth-bound passes
 // (im2col, BN, ReLU, pooling) are charged to the CPU stream model.
 //
+// Sessions support two datapaths (dnn.Precision): full FP32, and the int8
+// quantized mode modeling Gemmini's native low-precision datapath — conv
+// GEMMs run int8×int8→int32 and are priced on the doubled-throughput mesh,
+// with an extra stream charge for the per-layer quantize/dequantize passes.
+// The classifier heads (1×K×3 GEMMs) stay FP32 on both datapaths.
+//
 // The paper's dynamic runtime hosts two Sessions at once (§5.3); Session is
 // cheap and stateless across Runs to support exactly that.
 package ort
@@ -24,10 +30,16 @@ import (
 // A Session may not be shared between goroutines: Run reuses a per-session
 // inference workspace. Each concurrent mission owns its own sessions.
 type Session struct {
-	net *dnn.Net
-	gem gemmini.Config
-	ops []dnn.OpDesc
-	ws  *tensor.Workspace
+	net  *dnn.Net
+	gem  gemmini.Config
+	ops  []dnn.OpDesc
+	ws   *tensor.Workspace
+	prec dnn.Precision
+
+	// batch, when attached, routes the functional forward pass through a
+	// cross-mission batch collector. Timing is unaffected — each session
+	// still charges its own simulated SoC the per-image cost.
+	batch *BatchGroup
 
 	// perRunOverheadInstrs models runtime bookkeeping per inference
 	// (graph traversal, allocator, syscall overhead).
@@ -37,8 +49,14 @@ type Session struct {
 }
 
 // NewSession loads a model into a session with the given accelerator
-// configuration (used only when the SoC it runs on has Gemmini).
+// configuration (used only when the SoC it runs on has Gemmini), on the
+// default FP32 datapath.
 func NewSession(net *dnn.Net, gem gemmini.Config) (*Session, error) {
+	return NewSessionP(net, gem, dnn.PrecisionFP32)
+}
+
+// NewSessionP is NewSession with an explicit precision datapath.
+func NewSessionP(net *dnn.Net, gem gemmini.Config, prec dnn.Precision) (*Session, error) {
 	if net == nil {
 		return nil, fmt.Errorf("ort: nil model")
 	}
@@ -48,11 +66,15 @@ func NewSession(net *dnn.Net, gem gemmini.Config) (*Session, error) {
 	if err := gem.Validate(); err != nil {
 		return nil, err
 	}
+	if prec != dnn.PrecisionFP32 && prec != dnn.PrecisionInt8 {
+		return nil, fmt.Errorf("ort: unsupported precision %v", prec)
+	}
 	return &Session{
 		net:                  net,
 		gem:                  gem,
 		ops:                  net.Describe(),
 		ws:                   tensor.NewWorkspace(),
+		prec:                 prec,
 		perRunOverheadInstrs: 400_000,
 		perOpOverheadInstrs:  15_000,
 	}, nil
@@ -60,6 +82,24 @@ func NewSession(net *dnn.Net, gem gemmini.Config) (*Session, error) {
 
 // Net returns the loaded model.
 func (s *Session) Net() *dnn.Net { return s.net }
+
+// Precision returns the session's datapath.
+func (s *Session) Precision() dnn.Precision { return s.prec }
+
+// AttachBatch routes this session's functional forward passes through a
+// cross-mission batch collector. The group must serve the same model on the
+// same precision, or per-mission results would change. The session must
+// attach before its first Run.
+func (s *Session) AttachBatch(g *BatchGroup) error {
+	if g.net != s.net {
+		return fmt.Errorf("ort: batch group serves model %q, session runs %q", g.net.Name, s.net.Name)
+	}
+	if g.prec != s.prec {
+		return fmt.Errorf("ort: batch group precision %v, session precision %v", g.prec, s.prec)
+	}
+	s.batch = g
+	return nil
+}
 
 // Cost is the predicted cycle cost of one inference on a given platform,
 // split by resource. Computed without running anything — used for Table 3
@@ -72,24 +112,55 @@ type Cost struct {
 // Total returns the end-to-end cycles of one inference.
 func (c Cost) Total() uint64 { return c.CPUCycles + c.AccelCycles }
 
+// int8Matmul reports whether an op runs on the quantized datapath: conv
+// GEMMs only — the M==1 classifier heads stay FP32 (negligible compute,
+// and quantizing the final logits would cost accuracy for nothing).
+func (s *Session) int8Matmul(op dnn.OpDesc) bool {
+	return s.prec == dnn.PrecisionInt8 && op.Kind == dnn.OpMatMul && op.M > 1
+}
+
+// quantGlueBytes is the stream traffic of the int8 mode's per-layer glue: a
+// quantize pass over the GEMM's activation operand (int8 write; the fp32
+// read is part of the already-charged im2col pass) and a dequantize pass
+// over the int32 accumulator into fp32 output.
+func quantGlueBytes(op dnn.OpDesc) uint64 {
+	return uint64(op.M)*uint64(op.K) + uint64(op.M)*uint64(op.N)*8
+}
+
+// priceOp prices a single op; used identically by Predict and Run so the
+// prediction is exact.
+func (s *Session) priceOp(op dnn.OpDesc, core soc.CoreParams, scale float64, hasGemmini bool) (cpu, accel uint64) {
+	cpu = soc.ScalarCycles(core, s.perOpOverheadInstrs)
+	switch op.Kind {
+	case dnn.OpStream:
+		cpu += soc.StreamCycles(core, uint64(float64(op.Bytes)*scale))
+	case dnn.OpMatMul:
+		if s.int8Matmul(op) {
+			cpu += soc.StreamCycles(core, uint64(float64(quantGlueBytes(op))*scale))
+			if hasGemmini {
+				accel = uint64(float64(s.gem.MatmulCyclesInt8(op.M, op.K, op.N)) * scale)
+			} else {
+				cpu += soc.CPUMatmulCyclesInt8(core, uint64(float64(op.MACs())*scale))
+			}
+			return cpu, accel
+		}
+		if hasGemmini {
+			accel = uint64(float64(s.gem.MatmulCycles(op.M, op.K, op.N)) * scale)
+		} else {
+			cpu += soc.CPUMatmulCycles(core, uint64(float64(op.MACs())*scale))
+		}
+	}
+	return cpu, accel
+}
+
 // Predict prices one inference for a core/accelerator combination.
 func (s *Session) Predict(core soc.CoreParams, params soc.Params, hasGemmini bool) Cost {
 	var cost Cost
-	scale := params.WorkloadScale
 	cost.CPUCycles += soc.ScalarCycles(core, s.perRunOverheadInstrs)
 	for _, op := range s.ops {
-		cost.CPUCycles += soc.ScalarCycles(core, s.perOpOverheadInstrs)
-		switch op.Kind {
-		case dnn.OpStream:
-			cost.CPUCycles += soc.StreamCycles(core, uint64(float64(op.Bytes)*scale))
-		case dnn.OpMatMul:
-			if hasGemmini {
-				cy := s.gem.MatmulCycles(op.M, op.K, op.N)
-				cost.AccelCycles += uint64(float64(cy) * scale)
-			} else {
-				cost.CPUCycles += soc.CPUMatmulCycles(core, uint64(float64(op.MACs())*scale))
-			}
-		}
+		cpu, accel := s.priceOp(op, core, params.WorkloadScale, hasGemmini)
+		cost.CPUCycles += cpu
+		cost.AccelCycles += accel
 	}
 	return cost
 }
@@ -97,26 +168,26 @@ func (s *Session) Predict(core soc.CoreParams, params soc.Params, hasGemmini boo
 // Run executes one inference on the simulated SoC: the functional forward
 // pass produces the real classifier outputs while the predicted cycle cost
 // is charged to the engine op by op, so synchronization boundaries can land
-// mid-inference exactly as they would in RTL simulation.
+// mid-inference exactly as they would in RTL simulation. With a batch group
+// attached, the forward pass is computed in the cross-mission batched GEMM
+// (bit-identical results; see dnn.Batcher) — the cycle charges are the
+// same either way, batching accelerates the host, not the simulated SoC.
 func (s *Session) Run(rt *soc.Runtime, input *tensor.Tensor) dnn.Output {
-	out := s.net.ForwardWS(s.ws, input)
+	var out dnn.Output
+	if s.batch != nil {
+		out = s.batch.Infer(rt, input)
+	} else {
+		out = s.net.ForwardWSP(s.ws, input, s.prec)
+	}
 	core := rt.Core()
 	params := rt.Params()
-	scale := params.WorkloadScale
 
 	rt.Compute(soc.ScalarCycles(core, s.perRunOverheadInstrs))
 	for _, op := range s.ops {
-		rt.Compute(soc.ScalarCycles(core, s.perOpOverheadInstrs))
-		switch op.Kind {
-		case dnn.OpStream:
-			rt.Compute(soc.StreamCycles(core, uint64(float64(op.Bytes)*scale)))
-		case dnn.OpMatMul:
-			if rt.HasGemmini() {
-				cy := s.gem.MatmulCycles(op.M, op.K, op.N)
-				rt.ComputeAccel(uint64(float64(cy) * scale))
-			} else {
-				rt.Compute(soc.CPUMatmulCycles(core, uint64(float64(op.MACs())*scale)))
-			}
+		cpu, accel := s.priceOp(op, core, params.WorkloadScale, rt.HasGemmini())
+		rt.Compute(cpu)
+		if accel > 0 {
+			rt.ComputeAccel(accel)
 		}
 	}
 	return out

@@ -44,3 +44,16 @@ func CPUMatmulCycles(c CoreParams, macs uint64) uint64 {
 	}
 	return cy
 }
+
+// CPUMatmulCyclesInt8 prices an int8×int8→int32 matrix multiplication on
+// the scalar core (the quantized inference mode without an accelerator).
+func CPUMatmulCyclesInt8(c CoreParams, macs uint64) uint64 {
+	if macs == 0 {
+		return 0
+	}
+	cy := uint64(float64(macs) / c.IntMACsPerCycle)
+	if cy == 0 {
+		cy = 1
+	}
+	return cy
+}

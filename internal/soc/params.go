@@ -46,6 +46,11 @@ type CoreParams struct {
 	// WorkloadScale applied, CPU-only ResNet14 inference costs ~6 s, the
 	// latency the paper reports for config C (§5.1).
 	FPMACsPerCycle float64
+	// IntMACsPerCycle is the sustained int8 multiply-accumulate rate on
+	// scalar matmul loops — roughly 2x the FP32 rate: narrower operands
+	// quarter the load traffic, but the int32 accumulate chain still limits
+	// the inner loop on these in-order/modestly-wide cores.
+	IntMACsPerCycle float64
 	// StreamBytesPerCycle is the sustained rate for streaming memory
 	// operations (memcpy-like: im2col, pooling, activation functions).
 	StreamBytesPerCycle float64
@@ -62,6 +67,7 @@ func Core(k CoreKind) CoreParams {
 			Name:                "Rocket",
 			EffIPC:              0.65,
 			FPMACsPerCycle:      0.040,
+			IntMACsPerCycle:     0.080,
 			StreamBytesPerCycle: 1.6,
 		}
 	case BOOM:
@@ -69,6 +75,7 @@ func Core(k CoreKind) CoreParams {
 			Name:                "BOOM",
 			EffIPC:              1.8,
 			FPMACsPerCycle:      0.110,
+			IntMACsPerCycle:     0.220,
 			StreamBytesPerCycle: 4.5,
 		}
 	}

@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -34,7 +35,7 @@ func BenchmarkMatMulSerial(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		matMulRows(c.Data, a.Data, w.Data, 0, 768, 144, 64)
+		matMulRows(c.Data, a.Data, w.Data, 0, 768, 144, 64, ActiveKernel())
 	}
 }
 
@@ -48,7 +49,7 @@ func BenchmarkMatMulParallel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		matMulParallel(c.Data, a.Data, w.Data, 768, 144, 64, 4)
+		matMulParallel(c.Data, a.Data, w.Data, 768, 144, 64, 4, ActiveKernel())
 	}
 }
 
@@ -77,5 +78,60 @@ func BenchmarkConv2DWorkspace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		out := Conv2DWS(ws, x, w, wt, bias, 1, 1)
 		ws.Put(out)
+	}
+}
+
+// BenchmarkMatMulKernels times every dispatchable GEMM microkernel on the
+// inference-critical shapes, serial path pinned (kernel passed explicitly,
+// no global ForceKernel), so the numbers compare kernel against kernel:
+// scalar 2x8 vs SSE 2x8 vs AVX2 4x16. Unsupported kernels skip, keeping
+// the table honest on hosts without the ISA.
+func BenchmarkMatMulKernels(b *testing.B) {
+	shapes := []struct{ m, k, n int }{
+		{3072, 27, 16},  // stem conv: tall-skinny im2col GEMM
+		{768, 144, 64},  // mid-network conv (the BenchmarkMatMul shape)
+		{192, 288, 128}, // deep conv: wide K and N
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, kern := range []Kernel{KernelNoAsm, KernelSSE, KernelAVX2} {
+		kern := kern
+		for _, s := range shapes {
+			s := s
+			name := fmt.Sprintf("%s/%dx%dx%d", kern, s.m, s.k, s.n)
+			b.Run(name, func(b *testing.B) {
+				if !KernelSupported(kern) {
+					b.Skipf("kernel %v unsupported on this host", kern)
+				}
+				a := randTensor(rng, s.m, s.k)
+				w := randTensor(rng, s.k, s.n)
+				c := New(s.m, s.n)
+				macs := float64(s.m) * float64(s.k) * float64(s.n)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					matMulRows(c.Data, a.Data, w.Data, 0, s.m, s.k, s.n, kern)
+				}
+				b.ReportMetric(macs*float64(b.N)/float64(b.Elapsed().Nanoseconds()), "macs/ns")
+			})
+		}
+	}
+}
+
+// BenchmarkMatMulInt8 times the quantized int8×int8→int32 GEMM on the
+// mid-network shape, the per-layer kernel of the quantized datapath.
+func BenchmarkMatMulInt8(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	a, w := NewI8(768, 144), NewI8(144, 64)
+	for i := range a.Data {
+		a.Data[i] = int8(rng.Intn(255) - 127)
+	}
+	for i := range w.Data {
+		w.Data[i] = int8(rng.Intn(255) - 127)
+	}
+	c := NewI32(768, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulI8Into(c, a, w, 768, 144, 64)
 	}
 }

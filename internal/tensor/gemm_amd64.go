@@ -18,4 +18,45 @@ package tensor
 //go:noescape
 func sgemm2x8(k, n int, a0, a1, b, c0, c1 *float32, acc bool)
 
+// sgemm4x16 is the AVX2 4-row × 16-column twin of sgemm2x8: same contract,
+// wider register tile. It uses separate VMULPS+VADDPS (never FMA) so its
+// float32 results remain bit-identical to the scalar and SSE kernels.
+//
+//go:noescape
+func sgemm4x16(k, n int, a0, a1, a2, a3, b, c0, c1, c2, c3 *float32, acc bool)
+
 const gemmHasAsm = true
+
+// cpuid executes the CPUID instruction (leaf eaxArg, subleaf ecxArg).
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (requires OSXSAVE).
+func xgetbv0() (eax, edx uint32)
+
+// cpuHasAVX2 reports AVX2 usability: the CPU must advertise AVX+AVX2+FMA
+// and the OS must have enabled XMM/YMM state saving (OSXSAVE + XCR0[2:1]).
+// FMA is required only as a feature-level sanity check (every AVX2 part has
+// it); the float32 kernel itself never issues fused ops — see sgemm4x16.
+var cpuHasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	const fma = 1 << 12
+	if ecx1&osxsave == 0 || ecx1&avx == 0 || ecx1&fma == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE state) and 2 (AVX state) must both be OS-enabled.
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}

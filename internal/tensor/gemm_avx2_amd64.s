@@ -1,0 +1,96 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// func sgemm4x16(k, n int, a0, a1, a2, a3, b, c0, c1, c2, c3 *float32, acc bool)
+//
+// AVX2 microkernel: 4 rows × 16 columns of C held in Y0-Y7 across the K
+// loop (two 8-lane accumulators per row). Per iteration: two 8-wide loads
+// of a B row, one broadcast per A row, and a VMULPS+VADDPS pair per
+// accumulator (64 MACs). The multiply and add are deliberately separate
+// instructions rather than a fused VFMADD: FMA's single rounding would
+// change result bits, and the repo's contract is bit-identical float32
+// output across every kernel (scalar, SSE, AVX2). Lane-wise VADDPS applies
+// the same IEEE single-precision add as the scalar kernel in the same
+// k-ascending order, so the result bits are identical.
+TEXT ·sgemm4x16(SB), NOSPLIT, $0-89
+	MOVQ k+0(FP), CX
+	MOVQ n+8(FP), DX
+	MOVQ a0+16(FP), SI
+	MOVQ a1+24(FP), DI
+	MOVQ a2+32(FP), R10
+	MOVQ a3+40(FP), R11
+	MOVQ b+48(FP), BX
+	MOVQ c0+56(FP), R8
+	MOVQ c1+64(FP), R9
+	MOVQ c2+72(FP), R12
+	MOVQ c3+80(FP), R13
+
+	SHLQ $2, DX             // B row stride in bytes
+
+	VXORPS Y0, Y0, Y0       // c0[0:8]
+	VXORPS Y1, Y1, Y1       // c0[8:16]
+	VXORPS Y2, Y2, Y2       // c1[0:8]
+	VXORPS Y3, Y3, Y3       // c1[8:16]
+	VXORPS Y4, Y4, Y4       // c2[0:8]
+	VXORPS Y5, Y5, Y5       // c2[8:16]
+	VXORPS Y6, Y6, Y6       // c3[0:8]
+	VXORPS Y7, Y7, Y7       // c3[8:16]
+	MOVBLZX acc+88(FP), AX
+	TESTB AL, AL
+	JZ   kloop
+	VMOVUPS (R8), Y0        // accumulate mode: start from current C
+	VMOVUPS 32(R8), Y1
+	VMOVUPS (R9), Y2
+	VMOVUPS 32(R9), Y3
+	VMOVUPS (R12), Y4
+	VMOVUPS 32(R12), Y5
+	VMOVUPS (R13), Y6
+	VMOVUPS 32(R13), Y7
+
+kloop:
+	VMOVUPS (BX), Y8        // b[kk·n+j : +8]
+	VMOVUPS 32(BX), Y9      // b[kk·n+j+8 : +16]
+
+	VBROADCASTSS (SI), Y10  // splat a0[kk]
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y0, Y0
+	VMULPS Y9, Y10, Y11
+	VADDPS Y11, Y1, Y1
+
+	VBROADCASTSS (DI), Y10  // splat a1[kk]
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y2, Y2
+	VMULPS Y9, Y10, Y11
+	VADDPS Y11, Y3, Y3
+
+	VBROADCASTSS (R10), Y10 // splat a2[kk]
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y4, Y4
+	VMULPS Y9, Y10, Y11
+	VADDPS Y11, Y5, Y5
+
+	VBROADCASTSS (R11), Y10 // splat a3[kk]
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y6, Y6
+	VMULPS Y9, Y10, Y11
+	VADDPS Y11, Y7, Y7
+
+	ADDQ $4, SI
+	ADDQ $4, DI
+	ADDQ $4, R10
+	ADDQ $4, R11
+	ADDQ DX, BX
+	DECQ CX
+	JNZ  kloop
+
+	VMOVUPS Y0, (R8)
+	VMOVUPS Y1, 32(R8)
+	VMOVUPS Y2, (R9)
+	VMOVUPS Y3, 32(R9)
+	VMOVUPS Y4, (R12)
+	VMOVUPS Y5, 32(R12)
+	VMOVUPS Y6, (R13)
+	VMOVUPS Y7, 32(R13)
+	VZEROUPPER
+	RET

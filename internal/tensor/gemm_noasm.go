@@ -2,53 +2,19 @@
 
 package tensor
 
-import "unsafe"
-
-// sgemm2x8 is the portable fallback for the assembly microkernel. It performs
-// the exact same IEEE-754 single-precision operations per output element in
-// the same k-ascending order, so asm and fallback produce identical bits.
+// sgemm2x8 on platforms without assembly delegates to the portable kernel;
+// same IEEE ops in the same order, so asm and fallback are bit-identical.
 func sgemm2x8(k, n int, a0, a1, b, c0, c1 *float32, acc bool) {
-	as0 := unsafe.Slice(a0, k)
-	as1 := unsafe.Slice(a1, k)
-	bs := unsafe.Slice(b, (k-1)*n+8)
-	cs0 := unsafe.Slice(c0, 8)
-	cs1 := unsafe.Slice(c1, 8)
+	sgemm2x8generic(k, n, a0, a1, b, c0, c1, acc)
+}
 
-	var s00, s01, s02, s03, s04, s05, s06, s07 float32
-	var s10, s11, s12, s13, s14, s15, s16, s17 float32
-	if acc {
-		s00, s01, s02, s03 = cs0[0], cs0[1], cs0[2], cs0[3]
-		s04, s05, s06, s07 = cs0[4], cs0[5], cs0[6], cs0[7]
-		s10, s11, s12, s13 = cs1[0], cs1[1], cs1[2], cs1[3]
-		s14, s15, s16, s17 = cs1[4], cs1[5], cs1[6], cs1[7]
-	}
-	p := 0
-	for kk := 0; kk < k; kk++ {
-		bq := bs[p : p+8 : p+8]
-		p += n
-		av := as0[kk]
-		s00 += av * bq[0]
-		s01 += av * bq[1]
-		s02 += av * bq[2]
-		s03 += av * bq[3]
-		s04 += av * bq[4]
-		s05 += av * bq[5]
-		s06 += av * bq[6]
-		s07 += av * bq[7]
-		av = as1[kk]
-		s10 += av * bq[0]
-		s11 += av * bq[1]
-		s12 += av * bq[2]
-		s13 += av * bq[3]
-		s14 += av * bq[4]
-		s15 += av * bq[5]
-		s16 += av * bq[6]
-		s17 += av * bq[7]
-	}
-	cs0[0], cs0[1], cs0[2], cs0[3] = s00, s01, s02, s03
-	cs0[4], cs0[5], cs0[6], cs0[7] = s04, s05, s06, s07
-	cs1[0], cs1[1], cs1[2], cs1[3] = s10, s11, s12, s13
-	cs1[4], cs1[5], cs1[6], cs1[7] = s14, s15, s16, s17
+// sgemm4x16 is unreachable without assembly: KernelAVX2 is never supported
+// (KernelSupported gates on gemmHasAsm), so dispatch cannot select it.
+func sgemm4x16(k, n int, a0, a1, a2, a3, b, c0, c1, c2, c3 *float32, acc bool) {
+	panic("tensor: AVX2 kernel dispatched without assembly support")
 }
 
 const gemmHasAsm = false
+
+// cpuHasAVX2 is false without the assembly kernels, regardless of the CPU.
+const cpuHasAVX2 = false

@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+// Kernel selects the GEMM microkernel family. All kernels compute every
+// output element with the same IEEE-754 single-precision multiply and add
+// sequence in strictly k-ascending order, so float32 results are
+// bit-identical across kernels; int8 GEMM is exact integer arithmetic and
+// therefore trivially kernel-invariant. The selection is purely a host
+// throughput knob — simulated SoC timing never depends on it.
+type Kernel int32
+
+const (
+	// KernelAuto resolves to the widest kernel the host supports.
+	KernelAuto Kernel = iota
+	// KernelNoAsm is the portable pure-Go 2x8 microkernel.
+	KernelNoAsm
+	// KernelSSE is the SSE 2x8 assembly microkernel (amd64 baseline).
+	KernelSSE
+	// KernelAVX2 is the AVX2 4x16 assembly microkernel.
+	KernelAVX2
+)
+
+// String returns the canonical lowercase name used by ROSE_GEMM_KERNEL,
+// the -gemm-kernel flag, and benchmark labels.
+func (k Kernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelNoAsm:
+		return "noasm"
+	case KernelSSE:
+		return "sse"
+	case KernelAVX2:
+		return "avx2"
+	}
+	return fmt.Sprintf("Kernel(%d)", int32(k))
+}
+
+// ParseKernel parses a kernel name as accepted by ROSE_GEMM_KERNEL and the
+// -gemm-kernel flag. Matching is case-insensitive and ignores surrounding
+// whitespace; "scalar" is an alias for the portable kernel.
+func ParseKernel(s string) (Kernel, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return KernelAuto, nil
+	case "noasm", "scalar":
+		return KernelNoAsm, nil
+	case "sse":
+		return KernelSSE, nil
+	case "avx2":
+		return KernelAVX2, nil
+	}
+	return KernelAuto, fmt.Errorf("tensor: unknown GEMM kernel %q (want auto, noasm, sse, or avx2)", s)
+}
+
+// KernelSupported reports whether the host can run the given kernel.
+// KernelAuto and KernelNoAsm are always supported.
+func KernelSupported(k Kernel) bool {
+	switch k {
+	case KernelAuto, KernelNoAsm:
+		return true
+	case KernelSSE:
+		return gemmHasAsm
+	case KernelAVX2:
+		return gemmHasAsm && cpuHasAVX2
+	}
+	return false
+}
+
+// activeKernelState holds the resolved kernel (never KernelAuto).
+var activeKernelState atomic.Int32
+
+// kernelInitErr records a rejected ROSE_GEMM_KERNEL value (unparseable or
+// unsupported on this host). The library falls back to auto selection so
+// init never panics; tools and the parity tests surface the error so a
+// forced-kernel run cannot silently measure the wrong kernel.
+var kernelInitErr error
+
+func init() {
+	activeKernelState.Store(int32(bestKernel()))
+	if v := os.Getenv("ROSE_GEMM_KERNEL"); v != "" {
+		k, err := ParseKernel(v)
+		if err != nil {
+			kernelInitErr = err
+			return
+		}
+		if err := ForceKernel(k); err != nil {
+			kernelInitErr = err
+		}
+	}
+}
+
+// bestKernel returns the widest kernel available on this host.
+func bestKernel() Kernel {
+	if gemmHasAsm && cpuHasAVX2 {
+		return KernelAVX2
+	}
+	if gemmHasAsm {
+		return KernelSSE
+	}
+	return KernelNoAsm
+}
+
+// ActiveKernel returns the kernel the next MatMul will dispatch to. The
+// result is always concrete (auto is resolved at selection time).
+func ActiveKernel() Kernel {
+	return Kernel(activeKernelState.Load())
+}
+
+// ForceKernel pins GEMM dispatch to a specific kernel for reproducibility
+// (benchmark A/B runs, parity tests, bug triage). KernelAuto restores the
+// default selection. Forcing a kernel the host cannot run is an error and
+// leaves the selection unchanged. Safe to call concurrently with running
+// GEMMs: in-flight calls finish on the kernel they started with.
+func ForceKernel(k Kernel) error {
+	if !KernelSupported(k) {
+		return fmt.Errorf("tensor: kernel %s not supported on this host (best is %s)", k, bestKernel())
+	}
+	if k == KernelAuto {
+		k = bestKernel()
+	}
+	activeKernelState.Store(int32(k))
+	return nil
+}
+
+// KernelInitErr reports whether a ROSE_GEMM_KERNEL environment override was
+// rejected at startup (nil when the override applied or none was set).
+func KernelInitErr() error { return kernelInitErr }

@@ -1,0 +1,212 @@
+package tensor
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// kernelMatrix is every forceable kernel; tests iterate it and skip entries
+// the host cannot run (the graceful-skip path `make check` relies on when a
+// CI host lacks AVX2).
+var kernelMatrix = []Kernel{KernelNoAsm, KernelSSE, KernelAVX2}
+
+// withKernel forces k for the duration of fn, restoring the previous
+// selection afterwards. Returns false (after logging) when the host does not
+// support k.
+func withKernel(t *testing.T, k Kernel, fn func()) bool {
+	t.Helper()
+	prev := ActiveKernel()
+	if err := ForceKernel(k); err != nil {
+		t.Logf("kernel %v unsupported on this host: %v (skipping)", k, err)
+		return false
+	}
+	defer func() {
+		if err := ForceKernel(prev); err != nil {
+			t.Fatalf("restoring kernel %v: %v", prev, err)
+		}
+	}()
+	fn()
+	return true
+}
+
+// parityShapes straddles every kernel edge for both tile families: sub-tile,
+// single row/column, 4-row and 16-column boundaries of the AVX2 tile, 2-row
+// and 8-column boundaries of the SSE tile, and multi-panel K.
+var parityShapes = [][3]int{
+	{1, 1, 1},
+	{1, 7, 1},            // single row and single column
+	{4, 3, 16},           // exactly one 4×16 AVX2 tile
+	{2, 3, 8},            // exactly one 2×8 SSE tile
+	{5, 9, 17},           // row remainder 1, col remainder 1 past the AVX2 tile
+	{6, 11, 24},          // row remainder 2 → falls to SSE stripe; col = tile + 8
+	{7, 13, 31},          // remainders at every level: 4+2+1 rows, 16+8+7 cols
+	{3, 5, 7},            // all prime, everything is remainder
+	{17, 13, 9},          // cols below the AVX2 tile entirely
+	{5, gemmKC + 13, 11}, // K spans two panels → accumulate path
+	{4, 2*gemmKC + 1, 17},
+	{33, 40, 50},
+}
+
+// TestKernelParityMatrix is the cross-kernel contract test: every kernel ×
+// every edge shape × float32-and-int8. Float32 must be bit-identical to the
+// naive k-ascending reference; int8 must be exactly equal (integer sums have
+// one answer). Unsupported kernels skip gracefully.
+func TestKernelParityMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	type fcase struct {
+		m, k, n int
+		a, b    *Tensor
+		want    *Tensor
+	}
+	type qcase struct {
+		m, k, n int
+		a, b    *I8
+		want    *I32
+	}
+	fcases := make([]fcase, 0, len(parityShapes))
+	qcases := make([]qcase, 0, len(parityShapes))
+	for _, s := range parityShapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		fcases = append(fcases, fcase{m, k, n, a, b, naiveMatMul(a, b, m, k, n)})
+		qa := randI8(rng, m, k)
+		qb := randI8(rng, k, n)
+		qcases = append(qcases, qcase{m, k, n, qa, qb, naiveMatMulI8(qa, qb, m, k, n)})
+	}
+	ran := 0
+	for _, kern := range kernelMatrix {
+		kern := kern
+		ok := withKernel(t, kern, func() {
+			if got := ActiveKernel(); got != kern {
+				t.Fatalf("ActiveKernel() = %v after forcing %v", got, kern)
+			}
+			for _, c := range fcases {
+				got := MatMul(c.a, c.b, c.m, c.k, c.n)
+				assertSameBits(t, kern.String()+" "+formatShape(c.m, c.k, c.n), got.Data, c.want.Data)
+			}
+			for _, c := range qcases {
+				got := NewI32(c.m, c.n)
+				MatMulI8Into(got, c.a, c.b, c.m, c.k, c.n)
+				for i := range got.Data {
+					if got.Data[i] != c.want.Data[i] {
+						t.Fatalf("%v int8 %s: element %d = %d, want %d",
+							kern, formatShape(c.m, c.k, c.n), i, got.Data[i], c.want.Data[i])
+					}
+				}
+			}
+		})
+		if ok {
+			ran++
+		}
+	}
+	if ran == 0 {
+		t.Fatal("no kernel could be forced — even the portable kernel must run")
+	}
+}
+
+func randI8(rng *rand.Rand, shape ...int) *I8 {
+	t := NewI8(shape...)
+	for i := range t.Data {
+		t.Data[i] = int8(rng.Intn(255) - 127)
+	}
+	return t
+}
+
+// naiveMatMulI8 is the exactness reference for the quantized GEMM.
+func naiveMatMulI8(a, b *I8, m, k, n int) *I32 {
+	c := NewI32(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s int32
+			for kk := 0; kk < k; kk++ {
+				s += int32(a.Data[i*k+kk]) * int32(b.Data[kk*n+j])
+			}
+			c.Data[i*n+j] = s
+		}
+	}
+	return c
+}
+
+// TestKernelParallelParityMatrix forces each kernel through the parallel
+// row-band path and checks bit-identity against that kernel's serial result.
+func TestKernelParallelParityMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m, k, n := 23, 300, 21
+	a := randTensor(rng, m, k)
+	b := randTensor(rng, k, n)
+	want := naiveMatMul(a, b, m, k, n)
+	for _, kern := range kernelMatrix {
+		kern := kern
+		withKernel(t, kern, func() {
+			for _, workers := range []int{2, 5, m + 1} {
+				got := make([]float32, m*n)
+				matMulParallel(got, a.Data, b.Data, m, k, n, workers, kern)
+				assertSameBits(t, kern.String()+" parallel workers="+itoa(workers), got, want.Data)
+			}
+		})
+	}
+}
+
+func TestParseKernel(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Kernel
+	}{
+		{"auto", KernelAuto}, {"AUTO", KernelAuto}, {"", KernelAuto},
+		{"noasm", KernelNoAsm}, {"scalar", KernelNoAsm},
+		{"sse", KernelSSE}, {"avx2", KernelAVX2}, {" avx2 ", KernelAVX2},
+	} {
+		got, err := ParseKernel(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseKernel(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseKernel("avx512"); err == nil {
+		t.Error("ParseKernel(avx512) succeeded, want error")
+	}
+	for _, k := range []Kernel{KernelAuto, KernelNoAsm, KernelSSE, KernelAVX2, Kernel(99)} {
+		if rt, err := ParseKernel(k.String()); k != Kernel(99) && (err != nil || rt != k) {
+			t.Errorf("round trip %v → %q → %v, %v", k, k.String(), rt, err)
+		}
+	}
+}
+
+func TestForceKernelAuto(t *testing.T) {
+	prev := ActiveKernel()
+	defer ForceKernel(prev)
+	if err := ForceKernel(KernelAuto); err != nil {
+		t.Fatalf("ForceKernel(auto): %v", err)
+	}
+	got := ActiveKernel()
+	if got == KernelAuto {
+		t.Fatal("auto must resolve to a concrete kernel")
+	}
+	if !KernelSupported(got) {
+		t.Fatalf("auto resolved to unsupported kernel %v", got)
+	}
+}
+
+// TestKernelEnvOverride documents the ROSE_GEMM_KERNEL contract: when the
+// variable named a supported kernel at process start, it is active; when it
+// was invalid or unsupported, KernelInitErr records why and the best
+// supported kernel runs instead.
+func TestKernelEnvOverride(t *testing.T) {
+	v := os.Getenv("ROSE_GEMM_KERNEL")
+	if v == "" {
+		t.Skip("ROSE_GEMM_KERNEL not set")
+	}
+	want, err := ParseKernel(v)
+	if err != nil || (want != KernelAuto && !KernelSupported(want)) {
+		if KernelInitErr() == nil {
+			t.Fatalf("ROSE_GEMM_KERNEL=%q is unusable but KernelInitErr() is nil", v)
+		}
+		return
+	}
+	if KernelInitErr() != nil {
+		t.Fatalf("ROSE_GEMM_KERNEL=%q is valid but init recorded %v", v, KernelInitErr())
+	}
+	// A later ForceKernel (e.g. from another test) may have moved the
+	// selection; only assert when we are first.
+}

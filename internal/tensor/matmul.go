@@ -8,15 +8,18 @@ import (
 
 // GEMM kernel tuning constants. The kernel is cache-blocked over the shared
 // K dimension (panels of B stay L1-resident while every row tile consumes
-// them) with a gemmMR×gemmNR register tile in the inner loop (the SIMD
-// microkernel sgemm2x8 on amd64, a scalar twin elsewhere). Per output
-// element the summation order over K is strictly ascending in every code
-// path — serial, blocked, and parallel — so results are bit-identical
-// regardless of tiling or worker count.
+// them) with a register tile in the inner loop: 4x16 under the AVX2
+// microkernel sgemm4x16, 2x8 under the SSE microkernel sgemm2x8 or its
+// portable twin (see kernel.go for runtime dispatch). Per output element the
+// summation order over K is strictly ascending in every code path — serial,
+// blocked, parallel, and every kernel — so results are bit-identical
+// regardless of tiling, worker count, or selected kernel.
 const (
-	gemmMR = 2   // rows of A accumulated per register tile
-	gemmNR = 8   // columns of B accumulated per register tile
-	gemmKC = 256 // K-panel height kept hot in L1
+	gemmMR   = 2   // rows of A per SSE/portable register tile
+	gemmNR   = 8   // columns of B per SSE/portable register tile
+	gemmMR4  = 4   // rows of A per AVX2 register tile
+	gemmNR16 = 16  // columns of B per AVX2 register tile
+	gemmKC   = 256 // K-panel height kept hot in L1
 
 	// gemmParallelMACs is the m·k·n threshold above which MatMulInto fans
 	// row panels out across cores; below it (e.g. the 1×K×3 head GEMMs)
@@ -39,7 +42,9 @@ func MatMul(a, b *Tensor, m, k, n int) *Tensor {
 // required beforehand. Large products are computed in parallel across row
 // panels (each goroutine owns disjoint rows of C, so per-element summation
 // order — and therefore the bit pattern of the result — is identical to the
-// serial kernel).
+// serial kernel). The microkernel is resolved once per call from the
+// runtime-dispatched selection (kernel.go); in-flight calls are unaffected
+// by concurrent ForceKernel.
 func MatMulInto(dst, a, b *Tensor, m, k, n int) {
 	if len(a.Data) != m*k || len(b.Data) != k*n {
 		panic(fmt.Sprintf("tensor: matmul %dx%d · %dx%d with %d/%d elements",
@@ -54,18 +59,19 @@ func MatMulInto(dst, a, b *Tensor, m, k, n int) {
 		}
 		return
 	}
+	kern := ActiveKernel()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > 1 && m*k*n >= gemmParallelMACs && m >= 2*gemmMR {
-		matMulParallel(dst.Data, a.Data, b.Data, m, k, n, workers)
+		matMulParallel(dst.Data, a.Data, b.Data, m, k, n, workers, kern)
 		return
 	}
-	matMulRows(dst.Data, a.Data, b.Data, 0, m, k, n)
+	matMulRows(dst.Data, a.Data, b.Data, 0, m, k, n, kern)
 }
 
 // matMulParallel splits the row range into one contiguous band per worker.
 // Bands are disjoint, so no synchronization beyond the final join is needed
 // and the output is bit-identical to the serial kernel.
-func matMulParallel(cd, ad, bd []float32, m, k, n, workers int) {
+func matMulParallel(cd, ad, bd []float32, m, k, n, workers int, kern Kernel) {
 	if workers > m {
 		workers = m
 	}
@@ -81,19 +87,35 @@ func matMulParallel(cd, ad, bd []float32, m, k, n, workers int) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			matMulRows(cd, ad, bd, lo, hi, k, n)
+			matMulRows(cd, ad, bd, lo, hi, k, n, kern)
 		}(i0, i1)
 		i0 = i1
 	}
 	wg.Wait()
 }
 
-// matMulRows computes rows [i0, i1) of C. The K dimension is processed in
-// gemmKC panels: the first panel overwrites C (so callers never pre-zero),
-// subsequent panels accumulate into it. Within a panel, 2×8 register tiles
-// run through the SIMD microkernel; row/column remainders use scalar loops
-// with the same per-element summation order.
-func matMulRows(cd, ad, bd []float32, i0, i1, k, n int) {
+// matMulRows computes rows [i0, i1) of C, dispatching on the selected
+// microkernel family. Every family uses the same K-panel blocking and the
+// same per-element summation order.
+func matMulRows(cd, ad, bd []float32, i0, i1, k, n int, kern Kernel) {
+	switch kern {
+	case KernelAVX2:
+		matMulRowsAVX2(cd, ad, bd, i0, i1, k, n)
+	case KernelNoAsm:
+		matMulRows2x8(cd, ad, bd, i0, i1, k, n, sgemm2x8generic)
+	default:
+		matMulRows2x8(cd, ad, bd, i0, i1, k, n, sgemm2x8)
+	}
+}
+
+// matMulRows2x8 computes rows [i0, i1) of C with a 2x8 register tile. The K
+// dimension is processed in gemmKC panels: the first panel overwrites C (so
+// callers never pre-zero), subsequent panels accumulate into it. Within a
+// panel, 2×8 register tiles run through the given microkernel (SIMD asm or
+// its portable twin); row/column remainders use scalar loops with the same
+// per-element summation order.
+func matMulRows2x8(cd, ad, bd []float32, i0, i1, k, n int,
+	tile func(k, n int, a0, a1, b, c0, c1 *float32, acc bool)) {
 	for k0 := 0; k0 < k; k0 += gemmKC {
 		k1 := k0 + gemmKC
 		if k1 > k {
@@ -102,6 +124,86 @@ func matMulRows(cd, ad, bd []float32, i0, i1, k, n int) {
 		acc := k0 > 0
 		kc := k1 - k0
 		i := i0
+		for ; i+gemmMR <= i1; i += gemmMR {
+			a0 := ad[i*k+k0 : i*k+k1 : i*k+k1]
+			a1 := ad[(i+1)*k+k0 : (i+1)*k+k1 : (i+1)*k+k1]
+			c0 := cd[i*n : (i+1)*n : (i+1)*n]
+			c1 := cd[(i+1)*n : (i+2)*n : (i+2)*n]
+			j := 0
+			for ; j+gemmNR <= n; j += gemmNR {
+				tile(kc, n, &a0[0], &a1[0], &bd[k0*n+j], &c0[j], &c1[j], acc)
+			}
+			for ; j < n; j++ {
+				var s0, s1 float32
+				if acc {
+					s0, s1 = c0[j], c1[j]
+				}
+				p := k0*n + j
+				for kk := 0; kk < kc; kk++ {
+					bv := bd[p]
+					p += n
+					s0 += a0[kk] * bv
+					s1 += a1[kk] * bv
+				}
+				c0[j], c1[j] = s0, s1
+			}
+		}
+		for ; i < i1; i++ {
+			matMulTile1(cd, ad, bd, i, k0, k1, k, n, acc)
+		}
+	}
+}
+
+// matMulRowsAVX2 computes rows [i0, i1) of C with the 4x16 AVX2 register
+// tile. Column remainders step down to 8-wide SSE tiles and then scalar;
+// row remainders fall back to the 2x8 stripes. Every fragment keeps the
+// k-ascending per-element order, so the result is bit-identical to the
+// other kernels.
+func matMulRowsAVX2(cd, ad, bd []float32, i0, i1, k, n int) {
+	for k0 := 0; k0 < k; k0 += gemmKC {
+		k1 := k0 + gemmKC
+		if k1 > k {
+			k1 = k
+		}
+		acc := k0 > 0
+		kc := k1 - k0
+		i := i0
+		for ; i+gemmMR4 <= i1; i += gemmMR4 {
+			a0 := ad[i*k+k0 : i*k+k1 : i*k+k1]
+			a1 := ad[(i+1)*k+k0 : (i+1)*k+k1 : (i+1)*k+k1]
+			a2 := ad[(i+2)*k+k0 : (i+2)*k+k1 : (i+2)*k+k1]
+			a3 := ad[(i+3)*k+k0 : (i+3)*k+k1 : (i+3)*k+k1]
+			c0 := cd[i*n : (i+1)*n : (i+1)*n]
+			c1 := cd[(i+1)*n : (i+2)*n : (i+2)*n]
+			c2 := cd[(i+2)*n : (i+3)*n : (i+3)*n]
+			c3 := cd[(i+3)*n : (i+4)*n : (i+4)*n]
+			j := 0
+			for ; j+gemmNR16 <= n; j += gemmNR16 {
+				sgemm4x16(kc, n, &a0[0], &a1[0], &a2[0], &a3[0],
+					&bd[k0*n+j], &c0[j], &c1[j], &c2[j], &c3[j], acc)
+			}
+			for ; j+gemmNR <= n; j += gemmNR {
+				sgemm2x8(kc, n, &a0[0], &a1[0], &bd[k0*n+j], &c0[j], &c1[j], acc)
+				sgemm2x8(kc, n, &a2[0], &a3[0], &bd[k0*n+j], &c2[j], &c3[j], acc)
+			}
+			for ; j < n; j++ {
+				var s0, s1, s2, s3 float32
+				if acc {
+					s0, s1, s2, s3 = c0[j], c1[j], c2[j], c3[j]
+				}
+				p := k0*n + j
+				for kk := 0; kk < kc; kk++ {
+					bv := bd[p]
+					p += n
+					s0 += a0[kk] * bv
+					s1 += a1[kk] * bv
+					s2 += a2[kk] * bv
+					s3 += a3[kk] * bv
+				}
+				c0[j], c1[j], c2[j], c3[j] = s0, s1, s2, s3
+			}
+		}
+		// Row remainder: 2-row stripes, then a final single row.
 		for ; i+gemmMR <= i1; i += gemmMR {
 			a0 := ad[i*k+k0 : i*k+k1 : i*k+k1]
 			a1 := ad[(i+1)*k+k0 : (i+1)*k+k1 : (i+1)*k+k1]
@@ -133,7 +235,7 @@ func matMulRows(cd, ad, bd []float32, i0, i1, k, n int) {
 }
 
 // matMulTile1 computes a single row of C for one K panel (the remainder of
-// the 2-row stripes, and small-M GEMMs like the classifier heads).
+// the row stripes, and small-M GEMMs like the classifier heads).
 func matMulTile1(cd, ad, bd []float32, i, k0, k1, k, n int, acc bool) {
 	arow := ad[i*k+k0 : i*k+k1 : i*k+k1]
 	crow := cd[i*n : (i+1)*n : (i+1)*n]

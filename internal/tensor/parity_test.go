@@ -91,10 +91,10 @@ func TestMatMulParallelBitIdentical(t *testing.T) {
 		a := randTensor(rng, m, k)
 		b := randTensor(rng, k, n)
 		want := make([]float32, m*n)
-		matMulRows(want, a.Data, b.Data, 0, m, k, n)
+		matMulRows(want, a.Data, b.Data, 0, m, k, n, ActiveKernel())
 		for _, workers := range []int{2, 3, 4, 7, m + 5} {
 			got := make([]float32, m*n)
-			matMulParallel(got, a.Data, b.Data, m, k, n, workers)
+			matMulParallel(got, a.Data, b.Data, m, k, n, workers, ActiveKernel())
 			assertSameBits(t, formatShape(m, k, n)+" workers="+itoa(workers), got, want)
 		}
 	}

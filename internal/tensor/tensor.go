@@ -94,35 +94,7 @@ func Im2ColInto(cols, x *Tensor, kh, kw, stride, pad int) (outH, outW int) {
 	if len(cols.Data) < outH*outW*kcols {
 		panic(fmt.Sprintf("tensor: im2col dst holds %d elements, need %d", len(cols.Data), outH*outW*kcols))
 	}
-	cd := cols.Data
-	for oy := 0; oy < outH; oy++ {
-		for ox := 0; ox < outW; ox++ {
-			idx := (oy*outW + ox) * kcols
-			for ch := 0; ch < c; ch++ {
-				chOff := ch * h * w
-				for ky := 0; ky < kh; ky++ {
-					iy := oy*stride + ky - pad
-					if iy < 0 || iy >= h {
-						for kx := 0; kx < kw; kx++ {
-							cd[idx] = 0
-							idx++
-						}
-						continue
-					}
-					rowOff := chOff + iy*w
-					for kx := 0; kx < kw; kx++ {
-						ix := ox*stride + kx - pad
-						if ix >= 0 && ix < w {
-							cd[idx] = x.Data[rowOff+ix]
-						} else {
-							cd[idx] = 0
-						}
-						idx++
-					}
-				}
-			}
-		}
-	}
+	im2colInto(cols.Data, x.Data, c, h, w, kh, kw, stride, pad, outH, outW)
 	return outH, outW
 }
 

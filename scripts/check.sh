@@ -31,6 +31,19 @@ echo "== go test -race (observability hot paths) =="
 # obs hooks are always raced fresh, never served from the test cache.
 go test -race -count=1 ./internal/core/... ./internal/env/... ./internal/obs/...
 
+echo "== GEMM kernel parity matrix (forced kernels) =="
+# The numerics contract under every dispatchable microkernel: float32
+# bit-identical and int8 exactly equal across noasm/sse/avx2, solo and
+# batched, raced fresh. Forcing a kernel the host lacks is graceful — init
+# records the error, auto-detection stays in effect, and the forced-kernel
+# tests skip that kernel — so the loop is safe on any machine.
+for k in noasm sse avx2; do
+    echo "-- ROSE_GEMM_KERNEL=$k"
+    ROSE_GEMM_KERNEL=$k go test -race -count=1 \
+        -run 'TestKernel|TestMatMulParity|TestInt8|TestBatchedForward|TestForwardWSP|TestQuant|TestIm2ColI8' \
+        ./internal/tensor/ ./internal/dnn/
+done
+
 echo "== fuzz smoke (30s) =="
 # A short native-fuzzing burst per wire-facing decoder: packet framing
 # (buffer and stream decoders, including the resilience extension + CRC)
