@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet check chaos fuzz bench bench-kernels parity
+.PHONY: build test vet check chaos fuzz bench bench-kernels parity snapparity
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,13 @@ parity:
 			-run 'TestKernel|TestMatMulParity|TestInt8|TestBatchedForward|TestForwardWSP|TestQuant|TestIm2ColI8' \
 			./internal/tensor/ ./internal/dnn/ || exit 1; \
 	done
+
+# snapparity proves the warm-start contract: snapshot -> restore -> run is
+# byte-identical to the uninterrupted mission across {tunnel, s-shape} x
+# {overlap, serial} locally and across the TCP-remote RTL, under the race
+# detector; make check runs the same matrix.
+snapparity:
+	$(GO) test -race -count=1 -run 'TestSnapshotParity' ./internal/experiments/
 
 # fuzz gives each framing/codec fuzz target a short native-fuzzing burst.
 fuzz:

@@ -421,3 +421,68 @@ func BenchmarkAblationQueue(b *testing.B) {
 func BenchmarkAblationPolicy(b *testing.B) {
 	runExperiment(b, "ablation-policy", "ResNet6")
 }
+
+// warmstartBenchSetup is the shared sweep shape for the warm-start
+// benchmarks: 8 variants of an 8-second tunnel mission diverging at 75% of
+// the budget (360 of 480 quanta), serial on both sides so the comparison
+// isolates the replayed-prefix cost.
+func warmstartBenchSetup(b *testing.B) (experiments.MissionSpec, uint64, []int64) {
+	b.Helper()
+	pretrain(b, "ResNet6")
+	spec := experiments.MissionSpec{
+		Map: "tunnel", Model: "ResNet6", HW: config.A,
+		VForward: 3, Seed: 7, MaxSimSec: 8,
+	}
+	seeds := make([]int64, 8)
+	for i := range seeds {
+		seeds[i] = int64(1000 + i)
+	}
+	return spec, 360, seeds
+}
+
+// BenchmarkSweepCold replays the full shared prefix for every sweep point.
+func BenchmarkSweepCold(b *testing.B) {
+	spec, prefix, seeds := warmstartBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunColdSweep(spec, prefix, seeds, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepWarm runs the prefix once per sweep, snapshots at the
+// divergence quantum, and forks per sweep point.
+func BenchmarkSweepWarm(b *testing.B) {
+	spec, prefix, seeds := warmstartBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunWarmSweep(spec, prefix, seeds, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmstartPaired interleaves cold and warm sweeps in one timing
+// loop so host-frequency drift cancels; warm_speedup_x is the headline
+// warm-start number (>= 2x at a 75% shared prefix).
+func BenchmarkWarmstartPaired(b *testing.B) {
+	spec, prefix, seeds := warmstartBenchSetup(b)
+	var coldNS, warmNS time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := experiments.RunColdSweep(spec, prefix, seeds, 1); err != nil {
+			b.Fatal(err)
+		}
+		coldNS += time.Since(t0)
+		t1 := time.Now()
+		if _, err := experiments.RunWarmSweep(spec, prefix, seeds, 1); err != nil {
+			b.Fatal(err)
+		}
+		warmNS += time.Since(t1)
+	}
+	if warmNS > 0 {
+		b.ReportMetric(float64(coldNS)/float64(warmNS), "warm_speedup_x")
+	}
+}

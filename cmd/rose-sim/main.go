@@ -29,6 +29,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/packet"
+	"repro/internal/snapshot"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
@@ -56,6 +57,9 @@ func main() {
 		logFile  = flag.String("log-file", "", "stream structured events as NDJSON to this file (\"-\" = stderr text)")
 		watchdog = flag.Duration("watchdog", 0, "quantum watchdog deadline (0 = off); a stalled quantum dumps the black box")
 		blackbox = flag.String("blackbox", obs.DefaultBlackboxPath, "flight-recorder dump path (\"\" disables file dumps)")
+		snapOut  = flag.String("snapshot-out", "", "run the mission prefix and write a rose-snap/1 image to this path (needs -snapshot-at)")
+		snapAt   = flag.Uint64("snapshot-at", 0, "capture quantum for -snapshot-out (synchronization quanta from mission start)")
+		restore  = flag.String("restore", "", "resume a mission from a rose-snap/1 image (mission flags come from the image)")
 		envAddr  = flag.String("env-addr", "", "remote environment server address (empty = in-process simulator)")
 		dialTO   = flag.Duration("dial-timeout", packet.DefaultDialTimeout, "TCP connect timeout for remote endpoints")
 		rpcTO    = flag.Duration("rpc-timeout", 0, "per-RPC I/O deadline for remote endpoints (0 = 30s when -rpc-retries > 0, else none; <0 = explicitly none)")
@@ -93,6 +97,26 @@ func main() {
 	}
 	if err := forceKernel(*kernel); err != nil {
 		log.Fatal(err)
+	}
+
+	// In restore mode the mission description comes from the image, not the
+	// flags: pull it out early so the startup logging reports what actually
+	// runs.
+	var restoreImg *snapshot.Image
+	if *restore != "" {
+		data, err := os.ReadFile(*restore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if restoreImg, err = snapshot.Decode(data); err != nil {
+			log.Fatal(err)
+		}
+		spec, err := experiments.SpecFromImage(restoreImg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		*mapName, *model, *small = spec.Map, spec.Model, spec.SmallModel
+		precision = spec.Precision
 	}
 
 	var suite *obs.Suite
@@ -146,7 +170,7 @@ func main() {
 		obs.F64("v_fwd", *vfwd), obs.F64("max_sim_sec", *maxSec),
 		obs.Str("gemm_kernel", tensor.ActiveKernel().String()),
 		obs.Str("precision", precision.String()))
-	out, err := experiments.RunMission(experiments.MissionSpec{
+	spec := experiments.MissionSpec{
 		Map:         *mapName,
 		Model:       *model,
 		SmallModel:  *small,
@@ -166,9 +190,38 @@ func main() {
 			MaxRetries:  *retries,
 			CRCPayload:  *retries > 0,
 		},
-	})
-	if err != nil {
-		log.Fatal(err)
+	}
+
+	var out *experiments.MissionOutcome
+	switch {
+	case restoreImg != nil:
+		fmt.Printf("restoring mission from %s (captured at quantum %d)\n", *restore, restoreImg.Meta.Quantum)
+		out, err = experiments.ResumeMission(restoreImg, suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *snapOut != "":
+		if *snapAt == 0 {
+			log.Fatal("rose-sim: -snapshot-out needs -snapshot-at <quanta>")
+		}
+		img, err := experiments.CaptureMission(spec, *snapAt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc, err := snapshot.Encode(img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*snapOut, enc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot at quantum %d written to %s (%d KiB)\n", img.Meta.Quantum, *snapOut, len(enc)/1024)
+		return
+	default:
+		out, err = experiments.RunMission(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	r := out.Result

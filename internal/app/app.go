@@ -8,7 +8,6 @@
 package app
 
 import (
-	"fmt"
 	"math"
 	"sync"
 	"time"
@@ -164,6 +163,16 @@ func (l *Log) Records() []InferenceRecord {
 	return out
 }
 
+// Restore replaces the log contents with a snapshot's record prefix, so a
+// restored mission's log continues exactly where the captured one stood.
+// Obs counters are not replayed — they are process-level metrics, not run
+// state.
+func (l *Log) Restore(recs []InferenceRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.records = append(l.records[:0], recs...)
+}
+
 // MeanLatency returns the mean request→command latency in seconds.
 func (l *Log) MeanLatency() float64 {
 	recs := l.Records()
@@ -212,34 +221,11 @@ func decodeFrame(p packet.Packet) (*tensor.Tensor, error) {
 
 // StaticController returns the standard control-loop program: request an
 // image, run the DNN, send velocity targets, repeat. If log is non-nil,
-// each iteration is recorded.
+// each iteration is recorded. The program is the StaticLoop state machine,
+// so every mission — snapshotted or not — executes the identical resumable
+// request sequence.
 func StaticController(sess *ort.Session, ctrl ControlParams, log *Log) soc.Program {
-	return func(rt *soc.Runtime) error {
-		clock := rt.Params().ClockHz
-		warmup(rt, ctrl)
-		for {
-			req := rt.Now()
-			rt.Send(packet.Packet{Type: packet.CamReq})
-			input, err := decodeFrame(recvOfType(rt, packet.CamData))
-			if err != nil {
-				return fmt.Errorf("app: %w", err)
-			}
-			out := sess.Run(rt, input)
-			cmd := ControlFromOutput(out, ctrl)
-			rt.Send(cmd.Marshal())
-			resp := rt.Now()
-			if log != nil {
-				log.Add(InferenceRecord{
-					Model:      sess.Net().Name,
-					ReqCycle:   req,
-					RespCycle:  resp,
-					LatencySec: float64(resp-req) / clock,
-					Output:     out,
-					Cmd:        cmd,
-				})
-			}
-		}
-	}
+	return NewStaticLoop(sess, ctrl, log).Run
 }
 
 // DynamicParams configures the deadline-aware runtime of §5.3.
@@ -261,70 +247,8 @@ func DefaultDynamicParams() DynamicParams {
 // DynamicController returns the dynamic-runtime program: it polls the
 // forward depth sensor, derives the collision deadline, and selects the
 // high-accuracy network when the deadline allows or the low-latency network
-// (with argmax control, §5.3) when a collision is imminent.
+// (with argmax control, §5.3) when a collision is imminent. The program is
+// the DynamicLoop state machine; see StaticController.
 func DynamicController(big, small *ort.Session, ctrl ControlParams, dyn DynamicParams, log *Log) soc.Program {
-	smallCtrl := ctrl
-	// The paper compensates the small network's low confidence with an
-	// argmax policy (§5.3); in this substrate bang-bang corrections at
-	// mission velocity destabilize the quadrotor (see ablation-policy), so
-	// the fallback uses strongly sharpened probability scaling instead —
-	// same intent (faster, larger corrections), stable dynamics.
-	smallCtrl.Temperature = TemperatureFor(small.Net().Name) * 0.45
-	return func(rt *soc.Runtime) error {
-		clock := rt.Params().ClockHz
-		warmup(rt, ctrl)
-		for {
-			req := rt.Now()
-			// Issue the depth and camera requests back to back so both
-			// answers arrive at the same synchronization boundary; a
-			// sequential request/response pair would add a full quantum
-			// of staleness per control iteration.
-			rt.Send(packet.Packet{Type: packet.DepthReq})
-			rt.Send(packet.Packet{Type: packet.CamReq})
-			depthPkt, err := packet.UnmarshalDepth(recvOfType(rt, packet.DepthData))
-			if err != nil {
-				return fmt.Errorf("app: %w", err)
-			}
-			tCollision := math.Inf(1)
-			if ctrl.VForward > 0 {
-				tCollision = depthPkt.Meters / ctrl.VForward
-			}
-
-			// Two resident sessions cost bookkeeping every iteration.
-			rt.Compute(soc.ScalarCycles(rt.Core(), dyn.SessionOverheadInstrs))
-
-			input, err := decodeFrame(recvOfType(rt, packet.CamData))
-			if err != nil {
-				return fmt.Errorf("app: %w", err)
-			}
-
-			useSmall := tCollision < dyn.DeadlineSec
-			var out dnn.Output
-			var cmd packet.Cmd
-			var model string
-			if useSmall {
-				out = small.Run(rt, input)
-				cmd = ControlFromOutput(out, smallCtrl)
-				model = small.Net().Name
-			} else {
-				out = big.Run(rt, input)
-				cmd = ControlFromOutput(out, ctrl)
-				model = big.Net().Name
-			}
-			rt.Send(cmd.Marshal())
-			resp := rt.Now()
-			if log != nil {
-				log.Add(InferenceRecord{
-					Model:        model,
-					ReqCycle:     req,
-					RespCycle:    resp,
-					LatencySec:   float64(resp-req) / clock,
-					Output:       out,
-					Cmd:          cmd,
-					DepthMeters:  depthPkt.Meters,
-					UsedFallback: useSmall,
-				})
-			}
-		}
-	}
+	return NewDynamicLoop(big, small, ctrl, dyn, log).Run
 }

@@ -258,3 +258,66 @@ func (b *Bridge) SendData(p packet.Packet) bool {
 
 // Stats returns a copy of the traffic counters.
 func (b *Bridge) Stats() Stats { return b.stats }
+
+// State is the serializable bridge image: queue contents plus the control
+// unit's configuration, budget, and traffic counters. Observability hooks and
+// the drop logger are wiring, not state, and are reattached after restore.
+type State struct {
+	CyclesPerSync uint64
+	Budget        uint64
+	Stats         Stats
+	RxCapBytes    int
+	TxCapBytes    int
+	Rx            []packet.Packet
+	Tx            []packet.Packet
+}
+
+// State captures the bridge for a snapshot. Queued packets are deep-copied so
+// the image stays valid if the live bridge keeps running.
+func (b *Bridge) State() State {
+	return State{
+		CyclesPerSync: b.cyclesPerSync,
+		Budget:        b.budget,
+		Stats:         b.stats,
+		RxCapBytes:    b.rx.capBytes,
+		TxCapBytes:    b.tx.capBytes,
+		Rx:            copyPackets(b.rx.pkts),
+		Tx:            copyPackets(b.tx.pkts),
+	}
+}
+
+// SetState overwrites the bridge with a captured image. Capacities in the
+// image win over the constructor's: a restored machine must see exactly the
+// queues it was snapshotted with.
+func (b *Bridge) SetState(s State) {
+	b.cyclesPerSync = s.CyclesPerSync
+	b.budget = s.Budget
+	b.stats = s.Stats
+	b.rx = NewQueue(s.RxCapBytes)
+	for _, p := range copyPackets(s.Rx) {
+		b.rx.pkts = append(b.rx.pkts, p)
+		b.rx.used += p.Size()
+	}
+	b.tx = NewQueue(s.TxCapBytes)
+	for _, p := range copyPackets(s.Tx) {
+		b.tx.pkts = append(b.tx.pkts, p)
+		b.tx.used += p.Size()
+	}
+	b.observeRx()
+	b.observeTx()
+}
+
+// copyPackets clones a packet slice including payload bytes.
+func copyPackets(pkts []packet.Packet) []packet.Packet {
+	if len(pkts) == 0 {
+		return nil
+	}
+	out := make([]packet.Packet, len(pkts))
+	for i, p := range pkts {
+		out[i] = p
+		if p.Payload != nil {
+			out[i].Payload = append([]byte(nil), p.Payload...)
+		}
+	}
+	return out
+}

@@ -156,6 +156,44 @@ type Synchronizer struct {
 	kindBuf []packet.Type
 	// o is the optional phase instrumentation (nil when disabled).
 	o *obs.CoreObs
+
+	// --- stepwise-run state (Start/StepQuanta/Finish) ---
+	started        bool
+	finished       bool
+	startWall      time.Time
+	framesPerCycle float64
+	quantumSec     float64
+	exchangeEvery  int
+	stepCh         chan int
+	quantumCh      chan envQuantum
+	st             runState
+	res            *Result
+}
+
+// runState is the synchronizer's progress through a mission — everything the
+// quantum loop carries across iterations, and therefore exactly what a
+// snapshot must capture to resume the loop elsewhere.
+type runState struct {
+	quantum   uint64 // absolute quantum index (drives ExchangeEveryN parity)
+	frameDebt float64
+	simT      float64
+	speedSum  float64
+	speedN    int
+	stopped   bool // terminal condition hit; StepQuanta will not advance
+}
+
+// State is the serializable synchronizer image: loop progress plus the
+// partially-accumulated Result (trajectory included, when recorded).
+type State struct {
+	Quantum    uint64
+	FrameDebt  float64
+	SimT       float64
+	SpeedSum   float64
+	SpeedN     int
+	Syncs      uint64
+	Collisions int
+	Completed  bool
+	Trajectory []env.Telemetry
 }
 
 // New builds a synchronizer. The environment's frame rate and the config's
@@ -188,36 +226,54 @@ type envQuantum struct {
 }
 
 // Run executes Algorithm 1 until the mission completes, the time budget
-// expires, or the collision limit is hit.
+// expires, or the collision limit is hit. It is the one-shot composition of
+// the stepwise API: Start, StepQuanta to completion, Finish.
 func (s *Synchronizer) Run() (*Result, error) {
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	if _, err := s.StepQuanta(0); err != nil {
+		s.teardown()
+		return nil, err
+	}
+	return s.Finish()
+}
+
+// Start prepares the quantum loop: it configures the bridge quantum, derives
+// the Equation 1 frame ratio, and (in overlapped mode) launches the
+// environment worker. Call RestoreState before Start when resuming from a
+// snapshot. After Start, drive the loop with StepQuanta and end with Finish.
+func (s *Synchronizer) Start() error {
+	if s.started {
+		return fmt.Errorf("core: Start called twice")
+	}
 	cfg := s.cfg
-	start := time.Now()
-	res := &Result{}
+	s.startWall = time.Now()
+	if s.res == nil {
+		s.res = &Result{}
+	}
 
 	// firesim_steps is configured once up front (Algorithm 1's
-	// set_firesim_steps), informing the bridge control unit.
+	// set_firesim_steps), informing the bridge control unit. On a restored
+	// bridge this merely rewrites the same cyclesPerSync — no counters move.
 	if err := s.rtl.Push([]packet.Packet{packet.U64(packet.SyncConfig, cfg.SyncCycles)}); err != nil {
-		return nil, fmt.Errorf("core: configuring bridge: %w", err)
+		return fmt.Errorf("core: configuring bridge: %w", err)
 	}
 
-	framesPerCycle := s.env.FrameRate() / cfg.SoCClockHz
-	quantumSec := float64(cfg.SyncCycles) / cfg.SoCClockHz
-	var frameDebt float64
-	var simT float64
-	var speedSum float64
-	var speedN int
-	exchangeEvery := cfg.ExchangeEveryN
-	if exchangeEvery < 1 {
-		exchangeEvery = 1
+	s.framesPerCycle = s.env.FrameRate() / cfg.SoCClockHz
+	s.quantumSec = float64(cfg.SyncCycles) / cfg.SoCClockHz
+	s.exchangeEvery = cfg.ExchangeEveryN
+	if s.exchangeEvery < 1 {
+		s.exchangeEvery = 1
 	}
-	if cfg.RecordTrajectory {
+	if cfg.RecordTrajectory && s.res.Trajectory == nil {
 		// Preallocate the trajectory from the known quantum count, capped so
 		// pathological granularities cannot demand gigabytes up front.
-		n := int(cfg.MaxSimSeconds/quantumSec) + 1
+		n := int(cfg.MaxSimSeconds/s.quantumSec) + 1
 		if n > 1<<16 {
 			n = 1 << 16
 		}
-		res.Trajectory = make([]env.Telemetry, 0, n)
+		s.res.Trajectory = make([]env.Telemetry, 0, n)
 	}
 
 	// In overlapped mode a persistent worker owns the environment during
@@ -226,14 +282,12 @@ func (s *Synchronizer) Run() (*Result, error) {
 	// analogue of FireSim and AirSim burning their quanta in parallel on
 	// separate hosts (Figure 5). The main goroutine touches the environment
 	// only between quanta (serve/exchange), so there is no shared access.
-	var stepCh chan int
-	var quantumCh chan envQuantum
 	if cfg.Overlap == OverlapOn {
-		stepCh = make(chan int)
+		s.stepCh = make(chan int)
 		// Buffered so the worker can always complete its send and exit on
-		// stepCh close, even when Run returns early on an RTL error.
-		quantumCh = make(chan envQuantum, 1)
-		go func() {
+		// stepCh close, even when the loop exits early on an RTL error.
+		s.quantumCh = make(chan envQuantum, 1)
+		go func(stepCh chan int, quantumCh chan envQuantum) {
 			for frames := range stepCh {
 				var q envQuantum
 				t0 := s.o.Start()
@@ -243,73 +297,102 @@ func (s *Synchronizer) Run() (*Result, error) {
 				s.o.ObserveEnv(t0)
 				quantumCh <- q
 			}
-		}()
-		defer close(stepCh)
+		}(s.stepCh, s.quantumCh)
 	}
+	s.started = true
+	return nil
+}
 
-	for quantum := 0; simT < cfg.MaxSimSeconds; quantum++ {
+// teardown stops the overlap worker. Safe to call more than once.
+func (s *Synchronizer) teardown() {
+	if s.stepCh != nil {
+		close(s.stepCh)
+		s.stepCh = nil
+	}
+}
+
+// StepQuanta advances the mission by up to maxQuanta synchronization quanta
+// (<= 0 means run until a terminal condition). done reports that the loop
+// hit a terminal condition — time budget, mission completion with
+// StopOnMissionComplete, or the collision limit — and further calls will not
+// advance. The quantum boundary between calls is a legal snapshot point: the
+// RTL budget is drained and no data is in flight outside the bridge queues.
+func (s *Synchronizer) StepQuanta(maxQuanta int) (done bool, err error) {
+	if !s.started {
+		return false, fmt.Errorf("core: StepQuanta before Start")
+	}
+	if s.finished {
+		return true, fmt.Errorf("core: StepQuanta after Finish")
+	}
+	cfg := s.cfg
+	res := s.res
+	for n := 0; maxQuanta <= 0 || n < maxQuanta; n++ {
+		if s.st.stopped || s.st.simT >= cfg.MaxSimSeconds {
+			s.st.stopped = true
+			return true, nil
+		}
 		// BeginQuantum advances the run's trace sequence (stamped onto
 		// every RPC below) and beats the watchdog heartbeat before any
 		// network traffic, so a hung peer is attributed to the quantum
 		// that hit it.
 		q0 := s.o.BeginQuantum()
-		if quantum%exchangeEvery == 0 {
+		if s.st.quantum%uint64(s.exchangeEvery) == 0 {
 			// --- Poll the RTL side for I/O from the last quantum,
 			// translate packets into environment API calls (Algorithm 1's
 			// decode/call_airsim_api), and transmit the encoded responses
 			// to the bridge. ---
 			if err := s.exchange(); err != nil {
 				s.o.Fault("exchange failed")
-				return nil, err
+				return false, err
 			}
 			s.o.ObserveExchange(q0)
 		}
 
 		// --- Allocate tokens: advance both simulators one quantum
 		// (Equation 1 ratio, with fractional frames accumulated). ---
-		frameDebt += float64(cfg.SyncCycles) * framesPerCycle
-		frames := int(frameDebt)
-		frameDebt -= float64(frames)
+		s.st.frameDebt += float64(cfg.SyncCycles) * s.framesPerCycle
+		frames := int(s.st.frameDebt)
+		s.st.frameDebt -= float64(frames)
 		var tm env.Telemetry
 		if cfg.Overlap == OverlapOn {
-			stepCh <- frames
+			s.stepCh <- frames
 			t0 := s.o.Start()
 			_, rtlErr := s.rtl.Step(cfg.SyncCycles)
 			s.o.ObserveRTL(t0)
 			t1 := s.o.Start()
-			q := <-quantumCh
+			q := <-s.quantumCh
 			s.o.ObserveStall(t1)
 			// Surface errors in serial-report order: environment first.
 			if q.stepErr != nil {
 				s.o.Fault("env step failed")
-				return nil, fmt.Errorf("core: stepping environment: %w", q.stepErr)
+				return false, fmt.Errorf("core: stepping environment: %w", q.stepErr)
 			}
 			if rtlErr != nil {
 				s.o.Fault("rtl step failed")
-				return nil, fmt.Errorf("core: stepping RTL: %w", rtlErr)
+				return false, fmt.Errorf("core: stepping RTL: %w", rtlErr)
 			}
 			if q.telErr != nil {
 				s.o.Fault("telemetry failed")
-				return nil, fmt.Errorf("core: telemetry: %w", q.telErr)
+				return false, fmt.Errorf("core: telemetry: %w", q.telErr)
 			}
 			tm = q.tm
 		} else {
 			t0 := s.o.Start()
 			if err := s.env.StepFrames(frames); err != nil {
 				s.o.Fault("env step failed")
-				return nil, fmt.Errorf("core: stepping environment: %w", err)
+				return false, fmt.Errorf("core: stepping environment: %w", err)
 			}
 			s.o.ObserveEnv(t0)
 			t0 = s.o.Start()
 			if _, err := s.rtl.Step(cfg.SyncCycles); err != nil {
 				s.o.Fault("rtl step failed")
-				return nil, fmt.Errorf("core: stepping RTL: %w", err)
+				return false, fmt.Errorf("core: stepping RTL: %w", err)
 			}
 			s.o.ObserveRTL(t0)
 			var err error
 			if tm, err = s.env.Telemetry(); err != nil {
 				s.o.Fault("telemetry failed")
-				return nil, fmt.Errorf("core: telemetry: %w", err)
+				return false, fmt.Errorf("core: telemetry: %w", err)
 			}
 		}
 		// Divergence detection runs unconditionally — observability must
@@ -317,10 +400,11 @@ func (s *Synchronizer) Run() (*Result, error) {
 		// controller poisons every later quantum silently.
 		if !telemetryFinite(tm) {
 			s.o.Fault("non-finite telemetry state")
-			return nil, fmt.Errorf("core: divergence: non-finite telemetry at t=%.3fs (pos %v vel %v yaw %v)",
-				simT, tm.Pos, tm.Vel, tm.Yaw)
+			return false, fmt.Errorf("core: divergence: non-finite telemetry at t=%.3fs (pos %v vel %v yaw %v)",
+				s.st.simT, tm.Pos, tm.Vel, tm.Yaw)
 		}
-		simT += quantumSec
+		s.st.simT += s.quantumSec
+		s.st.quantum++
 		res.Syncs++
 		if s.o != nil {
 			s.o.EndQuantum(q0, obs.TelemetrySample{
@@ -340,35 +424,97 @@ func (s *Synchronizer) Run() (*Result, error) {
 		if cfg.RecordTrajectory {
 			res.Trajectory = append(res.Trajectory, tm)
 		}
-		speedSum += tm.Vel.Norm()
-		speedN++
+		s.st.speedSum += tm.Vel.Norm()
+		s.st.speedN++
 		res.Collisions = tm.CollisionCount
 
 		if s.rtl.Done() {
 			s.o.Fault("target program exited")
-			return nil, fmt.Errorf("core: target program exited unexpectedly")
+			return false, fmt.Errorf("core: target program exited unexpectedly")
 		}
 		if tm.MissionComplete {
 			res.Completed = true
 			if cfg.StopOnMissionComplete {
-				break
+				s.st.stopped = true
+				return true, nil
 			}
 		}
 		if cfg.MaxCollisions > 0 && tm.CollisionCount >= cfg.MaxCollisions {
 			s.o.Fault("collision limit reached")
-			break
+			s.st.stopped = true
+			return true, nil
 		}
 	}
+	return s.st.stopped || s.st.simT >= s.cfg.MaxSimSeconds, nil
+}
 
-	res.SimSeconds = simT
-	res.MissionTimeSec = simT
+// Finish stops the overlap worker and finalizes the Result. The synchronizer
+// cannot be stepped afterwards.
+func (s *Synchronizer) Finish() (*Result, error) {
+	if !s.started {
+		return nil, fmt.Errorf("core: Finish before Start")
+	}
+	if s.finished {
+		return nil, fmt.Errorf("core: Finish called twice")
+	}
+	s.finished = true
+	s.teardown()
+	res := s.res
+	res.SimSeconds = s.st.simT
+	res.MissionTimeSec = s.st.simT
 	res.Cycles = s.rtl.Cycle()
-	res.WallSeconds = time.Since(start).Seconds()
+	res.WallSeconds = time.Since(s.startWall).Seconds()
 	res.SoC = s.rtl.Stats()
-	if speedN > 0 {
-		res.AvgVelocity = speedSum / float64(speedN)
+	if s.st.speedN > 0 {
+		res.AvgVelocity = s.st.speedSum / float64(s.st.speedN)
 	}
 	return res, nil
+}
+
+// SnapState captures the synchronizer's loop progress at a quantum boundary
+// (i.e. between StepQuanta calls). The trajectory is deep-copied so the
+// image stays valid while the live run continues.
+func (s *Synchronizer) SnapState() State {
+	st := State{
+		Quantum:    s.st.quantum,
+		FrameDebt:  s.st.frameDebt,
+		SimT:       s.st.simT,
+		SpeedSum:   s.st.speedSum,
+		SpeedN:     s.st.speedN,
+		Syncs:      s.res.Syncs,
+		Collisions: s.res.Collisions,
+		Completed:  s.res.Completed,
+	}
+	if s.res.Trajectory != nil {
+		st.Trajectory = append([]env.Telemetry(nil), s.res.Trajectory...)
+	}
+	return st
+}
+
+// RestoreState installs captured loop progress. Call after New and before
+// Start; the first StepQuanta then continues the captured mission exactly
+// where it left off (ExchangeEveryN parity included, via the absolute
+// quantum index).
+func (s *Synchronizer) RestoreState(st State) error {
+	if s.started {
+		return fmt.Errorf("core: RestoreState after Start")
+	}
+	s.st = runState{
+		quantum:   st.Quantum,
+		frameDebt: st.FrameDebt,
+		simT:      st.SimT,
+		speedSum:  st.SpeedSum,
+		speedN:    st.SpeedN,
+	}
+	s.res = &Result{
+		Syncs:      st.Syncs,
+		Collisions: st.Collisions,
+		Completed:  st.Completed,
+	}
+	if st.Trajectory != nil {
+		s.res.Trajectory = append([]env.Telemetry(nil), st.Trajectory...)
+	}
+	return nil
 }
 
 // exchange performs one synchronization boundary's data exchange: pull

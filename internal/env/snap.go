@@ -1,0 +1,76 @@
+package env
+
+import (
+	"repro/internal/fc"
+	"repro/internal/physics"
+	"repro/internal/sensor"
+)
+
+// SimState is the serializable environment image: vehicle dynamics, flight
+// controller memory, sensor RNG cursors, and the frame/collision bookkeeping.
+// Configuration (map geometry, camera, frame rate) is not captured — it is
+// reproduced from the mission spec on restore, which is what lets forked
+// missions share one read-only map and camera setup.
+type SimState struct {
+	Frame int64
+	SimT  float64
+
+	Quad     physics.State
+	OnGround bool
+
+	FC    fc.State
+	IMU   sensor.IMUState
+	Depth sensor.DepthState
+
+	Collided        bool
+	CollisionCount  int
+	CollisionCool   float64
+	MissionComplete bool
+}
+
+// SnapState captures the simulator at a frame boundary. Capture is
+// non-destructive; the live simulator keeps running afterwards.
+func (s *Sim) SnapState() SimState {
+	return SimState{
+		Frame:           s.frame,
+		SimT:            s.simT,
+		Quad:            s.quad.State,
+		OnGround:        s.quad.OnGround,
+		FC:              s.ctl.Snap(),
+		IMU:             s.imu.Snap(),
+		Depth:           s.depth.Snap(),
+		Collided:        s.collided,
+		CollisionCount:  s.collisionCount,
+		CollisionCool:   s.collisionCool,
+		MissionComplete: s.missionComplete,
+	}
+}
+
+// RestoreState overwrites the simulator with a captured image. The simulator
+// must have been built with the same Config the image was taken under (same
+// map, camera, frame rate, seed) for the continuation to be bit-identical.
+func (s *Sim) RestoreState(st SimState) {
+	s.frame = st.Frame
+	s.simT = st.SimT
+	s.quad.State = st.Quad
+	s.quad.OnGround = st.OnGround
+	s.ctl.Restore(st.FC)
+	s.imu.Restore(st.IMU)
+	s.depth.Restore(st.Depth)
+	s.collided = st.Collided
+	s.collisionCount = st.CollisionCount
+	s.collisionCool = st.CollisionCool
+	s.missionComplete = st.MissionComplete
+}
+
+// ReseedSensors diverges the environment's randomness mid-mission: the IMU
+// and depth sensor get fresh noise streams (and the IMU fresh biases) from
+// the new seed, while vehicle dynamics and controller memory carry over
+// untouched. This is the warm-start sweep's scenario-variant knob: fork a
+// snapshot, reseed each child differently, and the variants diverge from the
+// shared prefix exactly as if the disturbance history had differed from that
+// point on.
+func (s *Sim) ReseedSensors(seed int64) {
+	s.imu.Reseed(seed)
+	s.depth.Reseed(seed + 1)
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/gemmini"
 	"repro/internal/obs"
 	"repro/internal/ort"
+	"repro/internal/snapshot"
 	"repro/internal/soc"
 	"repro/internal/telemetry"
 	"repro/internal/vec"
@@ -104,8 +105,8 @@ func (o *MissionOutcome) Fallbacks() int {
 	return n
 }
 
-// RunMission executes one co-simulated mission with trained controllers.
-func RunMission(spec MissionSpec) (*MissionOutcome, error) {
+// withDefaults fills the spec's zero-value knobs.
+func (spec MissionSpec) withDefaults() MissionSpec {
 	if spec.SyncCycles == 0 {
 		spec.SyncCycles = core.DefaultConfig().SyncCycles
 	}
@@ -115,52 +116,51 @@ func RunMission(spec MissionSpec) (*MissionOutcome, error) {
 	if spec.StartX == 0 {
 		spec.StartX = 2
 	}
-	if spec.Batch != nil {
-		// The group registered this mission at construction; every exit
-		// path must depart or the other members' rounds never flush. LIFO
-		// defer order runs machine.Close() first, so a program parked in
-		// the collector is killed before the group shrinks.
-		defer spec.Batch.Leave()
-		if spec.SmallModel != "" {
-			return nil, fmt.Errorf("experiments: batched inference is incompatible with the dynamic runtime (two sessions per control iteration)")
-		}
+	return spec
+}
+
+// socConfig derives the SoC engine configuration from the spec.
+func (spec MissionSpec) socConfig() soc.Config {
+	cfg := spec.HW.SoCConfig()
+	cfg.RxQueueBytes = spec.RxQueueBytes
+	if spec.Obs != nil {
+		cfg.Obs = spec.Obs.SoC
 	}
-	m := world.ByName(spec.Map)
-	if m == nil {
-		return nil, fmt.Errorf("experiments: unknown map %q", spec.Map)
+	return cfg
+}
+
+// coreConfig derives the synchronizer configuration from the spec.
+func (spec MissionSpec) coreConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.SyncCycles = spec.SyncCycles
+	cfg.MaxSimSeconds = spec.MaxSimSec
+	cfg.ExchangeEveryN = spec.ExchangeEveryN
+	cfg.Overlap = spec.Overlap
+	if spec.Obs != nil {
+		cfg.Obs = spec.Obs.Core
 	}
+	return cfg
+}
+
+// newSim builds the in-process environment simulator for the spec on the
+// given (possibly shared) map.
+func (spec MissionSpec) newSim(m *world.Map) (*env.Sim, error) {
+	ecfg := env.DefaultConfig(m)
+	ecfg.StartX = spec.StartX
+	ecfg.StartYaw = vec.Deg(spec.StartYawDeg)
+	ecfg.Seed = spec.Seed + 1
+	return env.New(ecfg)
+}
+
+// newController builds the resumable controller (and its sessions) for the
+// spec. The returned StateProgram is what snapshot images serialize the app
+// state of; model weights come from the process-wide trained-model cache, so
+// forked missions share them copy-on-write automatically.
+func (spec MissionSpec) newController(log *app.Log) (soc.StateProgram, error) {
 	big, err := dnn.Trained(spec.Model)
 	if err != nil {
 		return nil, err
 	}
-
-	var e env.Env
-	if spec.EnvAddr != "" {
-		client, err := env.DialWith(spec.EnvAddr, spec.EnvDial)
-		if err != nil {
-			return nil, err
-		}
-		defer client.Close()
-		if spec.Obs != nil {
-			client.SetObs(spec.Obs.RPC)
-			client.SetTrace(spec.Obs.Run)
-		}
-		if err := client.Reset(spec.StartX, 0, 0, vec.Deg(spec.StartYawDeg)); err != nil {
-			return nil, fmt.Errorf("experiments: resetting remote env: %w", err)
-		}
-		e = client
-	} else {
-		ecfg := env.DefaultConfig(m)
-		ecfg.StartX = spec.StartX
-		ecfg.StartYaw = vec.Deg(spec.StartYawDeg)
-		ecfg.Seed = spec.Seed + 1
-		sim, err := env.New(ecfg)
-		if err != nil {
-			return nil, err
-		}
-		e = sim
-	}
-
 	bigSess, err := ort.NewSessionP(big.Net, gemmini.Default(), spec.Precision)
 	if err != nil {
 		return nil, err
@@ -173,12 +173,6 @@ func RunMission(spec MissionSpec) (*MissionOutcome, error) {
 	ctrl := app.DefaultControlParams(spec.VForward)
 	ctrl.Temperature = app.TemperatureFor(spec.Model)
 	ctrl.Argmax = spec.Argmax
-	log := &app.Log{}
-	if spec.Obs != nil {
-		log.Obs = spec.Obs.App
-	}
-
-	var prog soc.Program
 	if spec.SmallModel != "" {
 		small, err := dnn.Trained(spec.SmallModel)
 		if err != nil {
@@ -188,40 +182,158 @@ func RunMission(spec MissionSpec) (*MissionOutcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		prog = app.DynamicController(bigSess, smallSess, ctrl, app.DefaultDynamicParams(), log)
+		return app.NewDynamicLoop(bigSess, smallSess, ctrl, app.DefaultDynamicParams(), log), nil
+	}
+	return app.NewStaticLoop(bigSess, ctrl, log), nil
+}
+
+// mission is one assembled co-simulation, ready to run — either one-shot
+// via run(), or stepwise via sy.Start/StepQuanta/Finish with a snapshot
+// captured in between.
+type mission struct {
+	spec MissionSpec
+	m    *world.Map
+	sim  *env.Sim // non-nil for in-process environments
+	loop soc.StateProgram
+	log  *app.Log
+	mach *soc.Machine
+	sy   *core.Synchronizer
+	// closers run LIFO on close(): machine teardown before transport
+	// close, batch departure last — so a program parked in the batch
+	// collector is killed before the group shrinks.
+	closers []func()
+}
+
+func (ms *mission) close() {
+	for i := len(ms.closers) - 1; i >= 0; i-- {
+		ms.closers[i]()
+	}
+	ms.closers = nil
+}
+
+// assemble builds a mission from its spec. sharedMap, when non-nil, is used
+// instead of a fresh world.ByName lookup — the fork path passes one map
+// pointer to every child, sharing the read-only geometry copy-on-write.
+// img, when non-nil, restores every layer from the snapshot instead of
+// starting from reset: the simulator rewinds to the captured state, the SoC
+// machine is rebuilt mid-request via soc.RestoreMachine, and the
+// synchronizer continues the captured loop progress.
+func assemble(spec MissionSpec, sharedMap *world.Map, img *snapshot.Image) (ms *mission, err error) {
+	spec = spec.withDefaults()
+	ms = &mission{spec: spec}
+	// Close over a copy of the pointer: error returns write nil to the named
+	// return, but the closers appended so far must still run.
+	built := ms
+	defer func() {
+		if err != nil {
+			built.close()
+		}
+	}()
+
+	if spec.Batch != nil {
+		// The group registered this mission at construction; every exit
+		// path must depart or the other members' rounds never flush.
+		ms.closers = append(ms.closers, spec.Batch.Leave)
+		if spec.SmallModel != "" {
+			return nil, fmt.Errorf("experiments: batched inference is incompatible with the dynamic runtime (two sessions per control iteration)")
+		}
+		if img != nil {
+			return nil, fmt.Errorf("experiments: batched missions cannot restore from a snapshot (program parks outside the engine)")
+		}
+	}
+	ms.m = sharedMap
+	if ms.m == nil {
+		ms.m = world.ByName(spec.Map)
+		if ms.m == nil {
+			return nil, fmt.Errorf("experiments: unknown map %q", spec.Map)
+		}
+	}
+
+	var e env.Env
+	if spec.EnvAddr != "" {
+		if img != nil {
+			return nil, fmt.Errorf("experiments: snapshot restore requires an in-process environment (remote env state is server-owned)")
+		}
+		client, err := env.DialWith(spec.EnvAddr, spec.EnvDial)
+		if err != nil {
+			return nil, err
+		}
+		ms.closers = append(ms.closers, func() { client.Close() })
+		if spec.Obs != nil {
+			client.SetObs(spec.Obs.RPC)
+			client.SetTrace(spec.Obs.Run)
+		}
+		if err := client.Reset(spec.StartX, 0, 0, vec.Deg(spec.StartYawDeg)); err != nil {
+			return nil, fmt.Errorf("experiments: resetting remote env: %w", err)
+		}
+		e = client
 	} else {
-		prog = app.StaticController(bigSess, ctrl, log)
+		sim, err := spec.newSim(ms.m)
+		if err != nil {
+			return nil, err
+		}
+		if img != nil {
+			sim.RestoreState(img.Env)
+		}
+		ms.sim = sim
+		e = sim
 	}
 
-	socCfg := spec.HW.SoCConfig()
-	socCfg.RxQueueBytes = spec.RxQueueBytes
+	ms.log = &app.Log{}
 	if spec.Obs != nil {
-		socCfg.Obs = spec.Obs.SoC
+		ms.log.Obs = spec.Obs.App
 	}
-	machine := soc.NewMachine(socCfg, prog)
-	defer machine.Close()
-	if spec.Obs != nil {
-		machine.Bridge().SetObs(spec.Obs.Bridge)
-		machine.Bridge().SetLog(spec.Obs.Log)
-	}
-
-	ccfg := core.DefaultConfig()
-	ccfg.SyncCycles = spec.SyncCycles
-	ccfg.MaxSimSeconds = spec.MaxSimSec
-	ccfg.ExchangeEveryN = spec.ExchangeEveryN
-	ccfg.Overlap = spec.Overlap
-	if spec.Obs != nil {
-		ccfg.Obs = spec.Obs.Core
-	}
-	sy, err := core.New(e, machine, ccfg)
+	ms.loop, err = spec.newController(ms.log)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sy.Run()
+
+	if img != nil {
+		ms.mach, err = soc.RestoreMachine(spec.socConfig(), ms.loop, &img.SoC)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		ms.mach = soc.NewStateMachine(spec.socConfig(), ms.loop)
+	}
+	ms.closers = append(ms.closers, ms.mach.Close)
+	if spec.Obs != nil {
+		ms.mach.Bridge().SetObs(spec.Obs.Bridge)
+		ms.mach.Bridge().SetLog(spec.Obs.Log)
+	}
+
+	ms.sy, err = core.New(e, ms.mach, spec.coreConfig())
 	if err != nil {
 		return nil, err
 	}
-	return &MissionOutcome{Spec: spec, Result: res, Inferences: log.Records()}, nil
+	if img != nil {
+		if err := ms.sy.RestoreState(img.Core); err != nil {
+			return nil, err
+		}
+		if spec.Obs != nil {
+			spec.Obs.Run.FastForward(img.Meta.TraceSeq)
+		}
+	}
+	return ms, nil
+}
+
+// run drives an assembled mission to completion and packages the outcome.
+func (ms *mission) run() (*MissionOutcome, error) {
+	res, err := ms.sy.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &MissionOutcome{Spec: ms.spec, Result: res, Inferences: ms.log.Records()}, nil
+}
+
+// RunMission executes one co-simulated mission with trained controllers.
+func RunMission(spec MissionSpec) (*MissionOutcome, error) {
+	ms, err := assemble(spec, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer ms.close()
+	return ms.run()
 }
 
 // Options scales experiment cost. Quick mode shortens missions and skips
@@ -314,7 +426,7 @@ func IDs() []string {
 		"table3", "figure10", "figure11", "figure12",
 		"figure13", "figure14", "figure15", "figure16",
 		"ablation-sync", "ablation-queue", "ablation-policy",
-		"fleet",
+		"fleet", "warmstart",
 	}
 }
 
@@ -345,6 +457,8 @@ func Run(id string, opt Options) (*Report, error) {
 		return AblationPolicy(opt)
 	case "fleet":
 		return Fleet(opt)
+	case "warmstart":
+		return Warmstart(opt)
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %v)", id, IDs())
 }

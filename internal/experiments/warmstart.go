@@ -1,0 +1,375 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/env"
+	"repro/internal/obs"
+	"repro/internal/snapshot"
+	"repro/internal/world"
+)
+
+// This file implements warm-start sweeps: when N scenario variants share a
+// mission prefix (same map, model, hardware — only the sensor noise or a
+// late-mission knob differs), running the prefix N times is pure waste. The
+// warm path runs the prefix once, captures a rose-snap/1 image at the
+// divergence quantum, and forks the image into one restored mission per
+// sweep point. Forks share the read-only state (map geometry via one
+// *world.Map pointer, model weights via the process-wide trained-model
+// cache) copy-on-write; everything mutable is rebuilt from the image.
+
+// specMeta is the JSON-serializable subset of MissionSpec embedded in a
+// snapshot image's meta section: exactly the fields needed to rebuild the
+// mission's read-only parts on restore. Live wiring (Batch, Obs, EnvAddr)
+// is deliberately absent — a restored mission gets fresh wiring from its
+// restoring process.
+type specMeta struct {
+	Map            string           `json:"map"`
+	Model          string           `json:"model"`
+	SmallModel     string           `json:"small_model,omitempty"`
+	HW             config.HW        `json:"hw"`
+	VForward       float64          `json:"v_forward"`
+	StartYawDeg    float64          `json:"start_yaw_deg,omitempty"`
+	StartX         float64          `json:"start_x"`
+	SyncCycles     uint64           `json:"sync_cycles"`
+	MaxSimSec      float64          `json:"max_sim_sec"`
+	Seed           int64            `json:"seed"`
+	RxQueueBytes   int              `json:"rx_queue_bytes,omitempty"`
+	ExchangeEveryN int              `json:"exchange_every_n,omitempty"`
+	Argmax         bool             `json:"argmax,omitempty"`
+	Overlap        core.OverlapMode `json:"overlap,omitempty"`
+	Precision      dnn.Precision    `json:"precision,omitempty"`
+}
+
+// MetaSpec serializes the rebuildable subset of the spec for
+// snapshot.Meta.Spec.
+func (spec MissionSpec) MetaSpec() (json.RawMessage, error) {
+	spec = spec.withDefaults()
+	return json.Marshal(specMeta{
+		Map: spec.Map, Model: spec.Model, SmallModel: spec.SmallModel,
+		HW: spec.HW, VForward: spec.VForward, StartYawDeg: spec.StartYawDeg,
+		StartX: spec.StartX, SyncCycles: spec.SyncCycles,
+		MaxSimSec: spec.MaxSimSec, Seed: spec.Seed,
+		RxQueueBytes: spec.RxQueueBytes, ExchangeEveryN: spec.ExchangeEveryN,
+		Argmax: spec.Argmax, Overlap: spec.Overlap, Precision: spec.Precision,
+	})
+}
+
+// SpecFromImage rebuilds the MissionSpec captured in an image's meta
+// section (rose-sim -restore starts here).
+func SpecFromImage(img *snapshot.Image) (MissionSpec, error) {
+	var m specMeta
+	if len(img.Meta.Spec) == 0 {
+		return MissionSpec{}, fmt.Errorf("experiments: image carries no mission spec")
+	}
+	if err := json.Unmarshal(img.Meta.Spec, &m); err != nil {
+		return MissionSpec{}, fmt.Errorf("experiments: decoding image spec: %w", err)
+	}
+	return MissionSpec{
+		Map: m.Map, Model: m.Model, SmallModel: m.SmallModel,
+		HW: m.HW, VForward: m.VForward, StartYawDeg: m.StartYawDeg,
+		StartX: m.StartX, SyncCycles: m.SyncCycles,
+		MaxSimSec: m.MaxSimSec, Seed: m.Seed,
+		RxQueueBytes: m.RxQueueBytes, ExchangeEveryN: m.ExchangeEveryN,
+		Argmax: m.Argmax, Overlap: m.Overlap, Precision: m.Precision,
+	}, nil
+}
+
+// CaptureMission runs the mission's shared prefix for prefixQuanta
+// synchronization quanta and captures a snapshot image at that boundary.
+// The prefix mission is then discarded — forks continue from the image.
+func CaptureMission(spec MissionSpec, prefixQuanta uint64) (*snapshot.Image, error) {
+	if spec.EnvAddr != "" {
+		return nil, fmt.Errorf("experiments: snapshot capture requires an in-process environment (remote env state is server-owned)")
+	}
+	ms, err := assemble(spec, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer ms.close()
+	if err := ms.sy.Start(); err != nil {
+		return nil, err
+	}
+	if prefixQuanta > 0 {
+		done, err := ms.sy.StepQuanta(int(prefixQuanta))
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return nil, fmt.Errorf("experiments: mission ended before the divergence quantum %d", prefixQuanta)
+		}
+	}
+	rawSpec, err := spec.MetaSpec()
+	if err != nil {
+		return nil, err
+	}
+	meta := snapshot.Meta{Spec: rawSpec}
+	if spec.Obs != nil {
+		meta.TraceSeq = spec.Obs.Run.Seq()
+	}
+	img, err := snapshot.Capture(ms.sy, ms.sim, ms.mach, meta)
+	if err != nil {
+		return nil, err
+	}
+	// The prefix mission is abandoned here: Finish tears down the
+	// synchronizer's worker before close() kills the machine.
+	_, _ = ms.sy.Finish()
+	return img, nil
+}
+
+// ResumeMission restores an image into one mission — spec rebuilt from the
+// image's meta section, live wiring (observability) from the restoring
+// process — and runs it to completion: suspend/resume, no variant reseed.
+func ResumeMission(img *snapshot.Image, suite *obs.Suite) (*MissionOutcome, error) {
+	spec, err := SpecFromImage(img)
+	if err != nil {
+		return nil, err
+	}
+	spec.Obs = suite
+	ms, err := assemble(spec, nil, img)
+	if err != nil {
+		return nil, err
+	}
+	defer ms.close()
+	return ms.run()
+}
+
+// ForkMission restores one image into an independent mission, reseeds its
+// sensor noise streams with sensorSeed (the per-variant divergence), and
+// runs it to completion. sharedMap, when non-nil, is the read-only geometry
+// every fork of the same image shares; nil looks the map up by name.
+func ForkMission(spec MissionSpec, img *snapshot.Image, sharedMap *world.Map, sensorSeed int64) (*MissionOutcome, error) {
+	ms, err := assemble(spec, sharedMap, img)
+	if err != nil {
+		return nil, err
+	}
+	defer ms.close()
+	ms.sim.ReseedSensors(sensorSeed)
+	return ms.run()
+}
+
+// Fork restores one image into len(seeds) independent missions on a bounded
+// worker pool, one sensor seed per sweep point, sharing the map geometry and
+// model weights across all forks. Outcomes are indexed like seeds; the first
+// error in seed order is returned.
+func Fork(spec MissionSpec, img *snapshot.Image, seeds []int64, workers int) ([]*MissionOutcome, error) {
+	spec = spec.withDefaults()
+	m := world.ByName(spec.Map)
+	if m == nil {
+		return nil, fmt.Errorf("experiments: unknown map %q", spec.Map)
+	}
+	outs := make([]*MissionOutcome, len(seeds))
+	errs := make([]error, len(seeds))
+	if workers <= 0 || workers > len(seeds) {
+		workers = len(seeds)
+	}
+	if workers <= 1 {
+		for i, s := range seeds {
+			outs[i], errs[i] = ForkMission(spec, img, m, s)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					outs[i], errs[i] = ForkMission(spec, img, m, seeds[i])
+				}
+			}()
+		}
+		for i := range seeds {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// runColdVariant is the cold baseline for one sweep point: replay the whole
+// shared prefix, reseed at the divergence quantum, run to completion. It
+// takes the identical stepwise path as capture+fork so the two modes are
+// bit-comparable.
+func runColdVariant(spec MissionSpec, prefixQuanta uint64, sensorSeed int64) (*MissionOutcome, error) {
+	ms, err := assemble(spec, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer ms.close()
+	if err := ms.sy.Start(); err != nil {
+		return nil, err
+	}
+	if prefixQuanta > 0 {
+		done, err := ms.sy.StepQuanta(int(prefixQuanta))
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return nil, fmt.Errorf("experiments: mission ended before the divergence quantum %d", prefixQuanta)
+		}
+	}
+	ms.sim.ReseedSensors(sensorSeed)
+	if _, err := ms.sy.StepQuanta(0); err != nil {
+		return nil, err
+	}
+	res, err := ms.sy.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &MissionOutcome{Spec: ms.spec, Result: res, Inferences: ms.log.Records()}, nil
+}
+
+// RunColdSweep is the cold baseline at sweep scale: every seed replays the
+// full shared prefix before diverging. Outcomes are indexed like seeds.
+func RunColdSweep(spec MissionSpec, prefixQuanta uint64, seeds []int64, workers int) ([]*MissionOutcome, error) {
+	outs := make([]*MissionOutcome, len(seeds))
+	errs := make([]error, len(seeds))
+	if workers <= 0 || workers > len(seeds) {
+		workers = len(seeds)
+	}
+	if workers <= 1 {
+		for i, s := range seeds {
+			outs[i], errs[i] = runColdVariant(spec, prefixQuanta, s)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					outs[i], errs[i] = runColdVariant(spec, prefixQuanta, seeds[i])
+				}
+			}()
+		}
+		for i := range seeds {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// RunWarmSweep is the warm-start path at sweep scale: run the shared prefix
+// once, capture at prefixQuanta, fork per seed. Outcomes are indexed like
+// seeds and bit-identical to RunColdSweep's.
+func RunWarmSweep(spec MissionSpec, prefixQuanta uint64, seeds []int64, workers int) ([]*MissionOutcome, error) {
+	img, err := CaptureMission(spec, prefixQuanta)
+	if err != nil {
+		return nil, err
+	}
+	return Fork(spec, img, seeds, workers)
+}
+
+// Warmstart compares cold sweeps (every variant replays the shared prefix)
+// with warm-start sweeps (snapshot at the divergence quantum, fork per
+// variant) and verifies the trajectories are identical between the modes.
+func Warmstart(opt Options) (*Report, error) {
+	model, variants, maxSec := "ResNet6", 4, 12.0
+	if opt.Quick {
+		variants, maxSec = 3, 6.0
+	}
+	spec := MissionSpec{
+		Map: "tunnel", Model: model, HW: config.A,
+		VForward:  3,
+		Seed:      7,
+		MaxSimSec: maxSec,
+	}
+	spec = opt.stamp([]MissionSpec{spec})[0].withDefaults()
+
+	// 75% shared prefix: the divergence quantum sits three quarters into
+	// the mission budget.
+	ccfg := spec.coreConfig()
+	totalQuanta := uint64(spec.MaxSimSec / (float64(spec.SyncCycles) / ccfg.SoCClockHz))
+	prefixQuanta := totalQuanta * 3 / 4
+
+	seeds := make([]int64, variants)
+	for i := range seeds {
+		seeds[i] = int64(1000 + i)
+	}
+
+	r := &Report{
+		ID: "warmstart",
+		Title: fmt.Sprintf("Warm-start sweep: %d variants, %d/%d shared prefix quanta (tunnel, %s, hw A)",
+			variants, prefixQuanta, totalQuanta, model),
+	}
+
+	// Train outside the timed region (one-time registry cost).
+	if _, err := dnn.Trained(spec.Model); err != nil {
+		return nil, err
+	}
+
+	// Serial on both sides so the comparison isolates the replayed-prefix
+	// cost rather than the worker pool.
+	coldStart := time.Now()
+	cold, err := RunColdSweep(spec, prefixQuanta, seeds, 1)
+	if err != nil {
+		return nil, err
+	}
+	coldWall := time.Since(coldStart).Seconds()
+
+	warmStart := time.Now()
+	img, err := CaptureMission(spec, prefixQuanta)
+	if err != nil {
+		return nil, err
+	}
+	warm, err := Fork(spec, img, seeds, 1)
+	if err != nil {
+		return nil, err
+	}
+	warmWall := time.Since(warmStart).Seconds()
+
+	identical := 0
+	for i := range seeds {
+		if reflect.DeepEqual(cold[i].Result.Trajectory, warm[i].Result.Trajectory) {
+			identical++
+		}
+	}
+
+	enc, err := snapshot.Encode(img)
+	if err != nil {
+		return nil, err
+	}
+	speedup := coldWall / warmWall
+	r.line("cold : wall=%6.2fs  (%d variants x full prefix replay)", coldWall, variants)
+	r.line("warm : wall=%6.2fs  (prefix once + %d forks, image %d KiB)", warmWall, variants, len(enc)/1024)
+	r.line("speedup %.2fx; trajectories identical cold-vs-warm: %d/%d", speedup, identical, variants)
+	if identical != variants {
+		return nil, fmt.Errorf("experiments: warm-start parity broken: only %d/%d variants identical", identical, variants)
+	}
+	for i, out := range warm {
+		r.Trajectories = appendTrajectory(r.Trajectories, fmt.Sprintf("warmstart_seed%d", seeds[i]), out.Result.Trajectory)
+	}
+	return r, nil
+}
+
+// appendTrajectory stores a named trajectory in the report map, allocating
+// it on first use.
+func appendTrajectory(m map[string][]env.Telemetry, name string, tr []env.Telemetry) map[string][]env.Telemetry {
+	if m == nil {
+		m = map[string][]env.Telemetry{}
+	}
+	m[name] = tr
+	return m
+}

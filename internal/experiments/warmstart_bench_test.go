@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/snapshot"
+	"repro/internal/world"
+)
+
+// benchSink keeps the compiler from eliding the benchmarked work.
+var benchSink any
+
+// BenchmarkSnapshotCapture measures one capture + container encode of a live
+// mid-mission co-simulation (capture is non-destructive and repeatable at
+// the same quantum boundary).
+func BenchmarkSnapshotCapture(b *testing.B) {
+	spec := paritySpec("tunnel", 0)
+	ms, err := assemble(spec, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ms.close()
+	if err := ms.sy.Start(); err != nil {
+		b.Fatal(err)
+	}
+	if done, err := ms.sy.StepQuanta(parityPrefixQuanta); err != nil || done {
+		b.Fatalf("prefix: done=%v err=%v", done, err)
+	}
+	var bytes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img, err := snapshot.Capture(ms.sy, ms.sim, ms.mach, snapshot.Meta{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc, err := snapshot.Encode(img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink, bytes = enc, len(enc)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(bytes), "image_bytes")
+	_, _ = ms.sy.Finish()
+}
+
+// BenchmarkSnapshotRestore measures the full fork cost: decode the
+// container, rebuild every mission layer from the image, tear it down. The
+// read-only state (map, weights) is shared, not rebuilt.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	spec := paritySpec("tunnel", 0)
+	img, err := CaptureMission(spec, parityPrefixQuanta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := snapshot.Encode(img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := world.ByName(spec.Map)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec, err := snapshot.Decode(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms, err := assemble(spec, m, dec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms.close()
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// TestWarmstartQuick runs the warm-start experiment end to end: the
+// experiment itself fails if any forked variant's trajectory differs from
+// its cold-baseline twin, so a passing run is the parity proof at sweep
+// scale.
+func TestWarmstartQuick(t *testing.T) {
+	r, err := Warmstart(Options{Quick: true, Workers: 1})
+	if err != nil {
+		t.Fatalf("Warmstart: %v", err)
+	}
+	if len(r.Lines) < 3 {
+		t.Fatalf("report lines = %v", r.Lines)
+	}
+	found := false
+	for _, l := range r.Lines {
+		if strings.Contains(l, "identical cold-vs-warm: 3/3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no full-parity line in report: %v", r.Lines)
+	}
+	if len(r.Trajectories) != 3 {
+		t.Errorf("want 3 fork trajectories, got %d", len(r.Trajectories))
+	}
+}
+
+// TestSpecMetaRoundTrip: the spec subset embedded in an image's meta
+// section must survive the JSON round trip exactly.
+func TestSpecMetaRoundTrip(t *testing.T) {
+	spec := paritySpec("s-shape", 1).withDefaults()
+	spec.SmallModel = "ResNet6"
+	spec.ExchangeEveryN = 3
+	spec.Argmax = true
+	raw, err := spec.MetaSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := &snapshot.Image{Meta: snapshot.Meta{Spec: raw}}
+	got, err := SpecFromImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, spec) {
+		t.Errorf("spec round trip:\n  want %+v\n  got  %+v", spec, got)
+	}
+}

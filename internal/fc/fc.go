@@ -82,6 +82,29 @@ func (c *Controller) Reset() {
 	c.prevRates = vec.Zero3
 }
 
+// State is the serializable controller image: the tracked command plus
+// integrator/derivative memory. Gains and physical parameters are
+// configuration, reproduced from the mission spec on restore.
+type State struct {
+	Cmd       Command
+	VelIntX   float64
+	VelIntY   float64
+	PrevRates vec.Vec3
+}
+
+// Snap captures the controller state.
+func (c *Controller) Snap() State {
+	return State{Cmd: c.cmd, VelIntX: c.velIntX, VelIntY: c.velIntY, PrevRates: c.prevRates}
+}
+
+// Restore overwrites the controller state with a captured image.
+func (c *Controller) Restore(st State) {
+	c.cmd = st.Cmd
+	c.velIntX = st.VelIntX
+	c.velIntY = st.VelIntY
+	c.prevRates = st.PrevRates
+}
+
 // Update computes one control step of dt seconds for the given vehicle state
 // and returns the motor thrusts to apply.
 func (c *Controller) Update(st physics.State, dt float64) physics.MotorCmd {

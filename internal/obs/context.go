@@ -61,3 +61,13 @@ func (c *TraceContext) Seq() uint64 {
 	}
 	return c.seq.Load()
 }
+
+// FastForward jumps the quantum sequence to seq, used when restoring a run
+// from a snapshot so spans recorded after the restore continue the captured
+// run's numbering instead of restarting at 1. No-op on nil.
+func (c *TraceContext) FastForward(seq uint64) {
+	if c == nil {
+		return
+	}
+	c.seq.Store(seq)
+}

@@ -293,3 +293,101 @@ func TestBatchGroupCloseWhileParked(t *testing.T) {
 		t.Errorf("killed machine reports error: %v", err)
 	}
 }
+
+func TestBatchGroupKillMidBatchSurvivorsMatchSolo(t *testing.T) {
+	// One member is killed (machine torn down) while parked in WaitExternal
+	// mid-round — its deferred Leave shrinks the group during the panic
+	// teardown. The survivors must neither deadlock nor diverge: every
+	// surviving output stays bit-identical to solo execution, and the
+	// victim's orphaned submission flushes with the next survivor round.
+	net := dnn.MustBuild("ResNet6", 6)
+	g, err := NewBatchGroup(net, dnn.PrecisionFP32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{}) // holds the survivors until the victim is dead
+	const survivors, survIters = 2, 3
+
+	outs := make([][]dnn.Output, survivors)
+	var wg sync.WaitGroup
+	for i := 0; i < survivors; i++ {
+		i := i
+		s, err := NewSession(net, gemmini.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AttachBatch(g); err != nil {
+			t.Fatal(err)
+		}
+		m := soc.NewMachine(soc.Config{Core: soc.BOOM, Gemmini: true}, func(rt *soc.Runtime) error {
+			defer g.Leave()
+			rt.WaitExternal(gate)
+			for it := 0; it < survIters; it++ {
+				outs[i] = append(outs[i], s.Run(rt, testInput(i*100+it)))
+			}
+			return nil
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !m.Done() {
+				if _, err := m.Step(100_000_000); err != nil {
+					return
+				}
+			}
+			m.Close()
+		}()
+	}
+
+	// The victim submits the round's first inference and parks: the forward
+	// pass and the collector wait are host-side, before any cycle charge, so
+	// the machine needs no budget to reach the park (and must not have a
+	// step in flight when it is closed).
+	sV, err := NewSession(net, gemmini.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sV.AttachBatch(g); err != nil {
+		t.Fatal(err)
+	}
+	mV := soc.NewMachine(soc.Config{Core: soc.BOOM, Gemmini: true}, func(rt *soc.Runtime) error {
+		defer g.Leave()
+		sV.Run(rt, testInput(900)) // parks mid-round; the machine dies here
+		return fmt.Errorf("unreachable: the victim's round must never flush for it")
+	})
+
+	time.Sleep(50 * time.Millisecond) // let the victim reach the park
+	mV.Close()                        // kill while parked in WaitExternal
+	close(gate)                       // release the survivors
+
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("survivors deadlocked after mid-batch kill")
+	}
+
+	if err := mV.Err(); err != nil {
+		t.Errorf("killed machine reports error: %v", err)
+	}
+	ws := tensor.NewWorkspace()
+	for i := 0; i < survivors; i++ {
+		if len(outs[i]) != survIters {
+			t.Fatalf("survivor %d produced %d outputs, want %d", i, len(outs[i]), survIters)
+		}
+		for it := 0; it < survIters; it++ {
+			want := net.ForwardWSP(ws, testInput(i*100+it), dnn.PrecisionFP32)
+			if outs[i][it] != want {
+				t.Errorf("survivor %d iter %d: output differs from solo after mid-batch kill", i, it)
+			}
+		}
+	}
+	// The victim's orphaned submission rides out with the first survivor
+	// round; the final straggler round is flushed by the last survivor's
+	// Leave. 6 survivor submissions -> rounds of (orphan+1), 2, 2, 1.
+	if got := g.Rounds(); got != 4 {
+		t.Errorf("rounds = %d, want 4", got)
+	}
+}

@@ -173,12 +173,7 @@ func (s *Session) Predict(core soc.CoreParams, params soc.Params, hasGemmini boo
 // (bit-identical results; see dnn.Batcher) — the cycle charges are the
 // same either way, batching accelerates the host, not the simulated SoC.
 func (s *Session) Run(rt *soc.Runtime, input *tensor.Tensor) dnn.Output {
-	var out dnn.Output
-	if s.batch != nil {
-		out = s.batch.Infer(rt, input)
-	} else {
-		out = s.net.ForwardWSP(s.ws, input, s.prec)
-	}
+	out := s.Forward(rt, input)
 	core := rt.Core()
 	params := rt.Params()
 
@@ -191,4 +186,42 @@ func (s *Session) Run(rt *soc.Runtime, input *tensor.Tensor) dnn.Output {
 		}
 	}
 	return out
+}
+
+// Forward computes just the functional forward pass — no cycle charges. The
+// rt argument is needed only for the batched path (the collector parks the
+// mission via WaitExternal); solo sessions never touch it. Resumable
+// controllers use Forward + ChargePlan so the charges can be billed one
+// engine request at a time across snapshot boundaries.
+func (s *Session) Forward(rt *soc.Runtime, input *tensor.Tensor) dnn.Output {
+	if s.batch != nil {
+		return s.batch.Infer(rt, input)
+	}
+	return s.net.ForwardWSP(s.ws, input, s.prec)
+}
+
+// Charge is one entry of a session's cycle bill.
+type Charge struct {
+	Cycles uint64
+	Accel  bool
+}
+
+// ChargePlan appends the inference's cycle bill to dst, in exactly the order
+// Run charges it: the per-run overhead, then per op the CPU charge followed
+// by the accelerator charge when present. Replaying the plan through
+// Compute/ComputeAccel is cycle-identical to Run; because it is a flat list,
+// a resumable controller can record an index into it and re-bill only the
+// remainder after a restore.
+func (s *Session) ChargePlan(rt *soc.Runtime, dst []Charge) []Charge {
+	core := rt.Core()
+	params := rt.Params()
+	dst = append(dst, Charge{Cycles: soc.ScalarCycles(core, s.perRunOverheadInstrs)})
+	for _, op := range s.ops {
+		cpu, accel := s.priceOp(op, core, params.WorkloadScale, rt.HasGemmini())
+		dst = append(dst, Charge{Cycles: cpu})
+		if accel > 0 {
+			dst = append(dst, Charge{Cycles: accel, Accel: true})
+		}
+	}
+	return dst
 }

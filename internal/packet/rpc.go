@@ -42,6 +42,15 @@ const (
 	RTLStatus Type = 0x0306
 	// RTLStatusReply answers RTLStatus.
 	RTLStatusReply Type = 0x0307
+	// RTLSnap asks the remote RTL server to capture its machine; the
+	// response is an RTLSnapData carrying the gob-encoded soc.SnapState.
+	RTLSnap Type = 0x0308
+	// RTLSnapData answers RTLSnap.
+	RTLSnapData Type = 0x0309
+	// RTLRestore ships a gob-encoded soc.SnapState to the server, which
+	// rebuilds its machine from it via the installed restorer; the response
+	// is an RPCAck.
+	RTLRestore Type = 0x030A
 )
 
 // EncodeBatch concatenates packets into one payload for RTLPush/RTLBatch.

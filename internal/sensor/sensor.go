@@ -42,9 +42,47 @@ func DefaultIMUParams() IMUParams {
 	}
 }
 
+// countingSource wraps the stdlib PRNG and counts draws, turning the RNG
+// into a snapshottable cursor: (seed, draws) fully names the stream position,
+// and a restore fast-forwards a fresh source by burning draws. This works
+// because rngSource advances exactly one step per Int63 or Uint64 call, so
+// the burn need not reproduce the original mix of calls.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.draws = 0
+	c.src.Seed(seed)
+}
+
+func (c *countingSource) burn(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.Uint64()
+	}
+	c.draws = n
+}
+
 // IMU is a stateful IMU sensor with per-instance bias drawn at construction.
 type IMU struct {
 	params     IMUParams
+	seed       int64
+	src        *countingSource
 	rng        *rand.Rand
 	accelBias  vec.Vec3
 	gyroBias   vec.Vec3
@@ -55,20 +93,70 @@ type IMU struct {
 
 // NewIMU creates an IMU whose bias and noise stream derive from seed.
 func NewIMU(p IMUParams, seed int64) *IMU {
-	rng := rand.New(rand.NewSource(seed))
+	s := &IMU{params: p}
+	s.reseed(seed)
+	return s
+}
+
+// reseed installs a fresh noise stream and redraws the per-instance biases.
+func (s *IMU) reseed(seed int64) {
+	s.seed = seed
+	s.src = newCountingSource(seed)
+	s.rng = rand.New(s.src)
 	biasVec := func(bound float64) vec.Vec3 {
 		return vec.V3(
-			(rng.Float64()*2-1)*bound,
-			(rng.Float64()*2-1)*bound,
-			(rng.Float64()*2-1)*bound,
+			(s.rng.Float64()*2-1)*bound,
+			(s.rng.Float64()*2-1)*bound,
+			(s.rng.Float64()*2-1)*bound,
 		)
 	}
-	return &IMU{
-		params:    p,
-		rng:       rng,
-		accelBias: biasVec(p.AccelBias),
-		gyroBias:  biasVec(p.GyroBias),
+	s.accelBias = biasVec(s.params.AccelBias)
+	s.gyroBias = biasVec(s.params.GyroBias)
+}
+
+// Reseed diverges the sensor's randomness mid-mission: fresh bias and noise
+// stream from the new seed, while the filter continuity state (previous
+// velocity, last reading) carries over. This is the warm-start sweep's
+// scenario-variant knob.
+func (s *IMU) Reseed(seed int64) { s.reseed(seed) }
+
+// IMUState is the serializable sensor image: the RNG cursor plus the sampled
+// continuity state.
+type IMUState struct {
+	Seed       int64
+	Draws      uint64
+	AccelBias  vec.Vec3
+	GyroBias   vec.Vec3
+	PrevVel    vec.Vec3
+	HavePrev   bool
+	LastSample IMUReading
+}
+
+// Snap captures the sensor state.
+func (s *IMU) Snap() IMUState {
+	return IMUState{
+		Seed:       s.seed,
+		Draws:      s.src.draws,
+		AccelBias:  s.accelBias,
+		GyroBias:   s.gyroBias,
+		PrevVel:    s.prevVel,
+		HavePrev:   s.havePrev,
+		LastSample: s.lastSample,
 	}
+}
+
+// Restore rewinds the sensor to a captured state, fast-forwarding the noise
+// stream to the recorded cursor.
+func (s *IMU) Restore(st IMUState) {
+	s.seed = st.Seed
+	s.src = newCountingSource(st.Seed)
+	s.src.burn(st.Draws)
+	s.rng = rand.New(s.src)
+	s.accelBias = st.AccelBias
+	s.gyroBias = st.GyroBias
+	s.prevVel = st.PrevVel
+	s.havePrev = st.HavePrev
+	s.lastSample = st.LastSample
 }
 
 // Sample produces a reading from the current vehicle state. dt is the time
@@ -110,12 +198,40 @@ func (s *IMU) Last() IMUReading { return s.lastSample }
 type Depth struct {
 	MaxRange float64
 	Sigma    float64 // relative 1σ noise
+	seed     int64
+	src      *countingSource
 	rng      *rand.Rand
 }
 
 // NewDepth creates a depth sensor; readings derive from seed.
 func NewDepth(maxRange, sigma float64, seed int64) *Depth {
-	return &Depth{MaxRange: maxRange, Sigma: sigma, rng: rand.New(rand.NewSource(seed))}
+	d := &Depth{MaxRange: maxRange, Sigma: sigma}
+	d.Reseed(seed)
+	return d
+}
+
+// Reseed installs a fresh noise stream from the new seed.
+func (d *Depth) Reseed(seed int64) {
+	d.seed = seed
+	d.src = newCountingSource(seed)
+	d.rng = rand.New(d.src)
+}
+
+// DepthState is the serializable sensor image: just the RNG cursor.
+type DepthState struct {
+	Seed  int64
+	Draws uint64
+}
+
+// Snap captures the sensor state.
+func (d *Depth) Snap() DepthState { return DepthState{Seed: d.seed, Draws: d.src.draws} }
+
+// Restore rewinds the noise stream to a captured cursor.
+func (d *Depth) Restore(st DepthState) {
+	d.seed = st.Seed
+	d.src = newCountingSource(st.Seed)
+	d.src.burn(st.Draws)
+	d.rng = rand.New(d.src)
 }
 
 // Sample perturbs a ground-truth distance with multiplicative noise, clamped

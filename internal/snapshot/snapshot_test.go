@@ -1,0 +1,151 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/soc"
+)
+
+func sampleImage() *Image {
+	return &Image{
+		Meta: Meta{Quantum: 42, TraceSeq: 7, Spec: json.RawMessage(`{"map":"tunnel"}`)},
+		Core: core.State{Quantum: 42, SimT: 0.7, FrameDebt: 0.25, Syncs: 42},
+		Env:  env.SimState{Frame: 50, SimT: 0.83, Collided: false},
+		SoC:  soc.SnapState{Cycle: 123456, HasPending: true, Pending: soc.PendReq{Kind: 1, Cycles: 100, Left: 40}},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	img := sampleImage()
+	enc, err := Encode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(enc, []byte(Magic)) {
+		t.Fatal("image does not start with the magic")
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(img.Meta, dec.Meta) {
+		t.Errorf("meta round trip: want %+v got %+v", img.Meta, dec.Meta)
+	}
+	if !reflect.DeepEqual(img.Core, dec.Core) {
+		t.Errorf("core round trip: want %+v got %+v", img.Core, dec.Core)
+	}
+	if !reflect.DeepEqual(img.Env, dec.Env) {
+		t.Errorf("env round trip: want %+v got %+v", img.Env, dec.Env)
+	}
+	if !reflect.DeepEqual(img.SoC, dec.SoC) {
+		t.Errorf("soc round trip: want %+v got %+v", img.SoC, dec.SoC)
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	enc, err := Encode(sampleImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[0] ^= 0xFF
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("corrupted magic accepted")
+	}
+}
+
+func TestDecodeDetectsPayloadCorruption(t *testing.T) {
+	enc, err := Encode(sampleImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in every section payload position and expect a CRC
+	// error each time (headers produce framing errors instead; both must
+	// refuse the image).
+	for i := len(Magic) + 4; i < len(enc); i += 97 {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x01
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("corruption at byte %d accepted", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	enc, err := Encode(sampleImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{len(Magic), len(Magic) + 4, len(enc) / 2, len(enc) - 1} {
+		if _, err := Decode(enc[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestDecodeRejectsMissingSection(t *testing.T) {
+	// An image with only a meta section decodes its frame fine but must be
+	// rejected for the missing state sections.
+	payload := []byte(`{"quantum":1}`)
+	var enc []byte
+	enc = append(enc, Magic...)
+	enc = binary.LittleEndian.AppendUint32(enc, 1)
+	enc = append(enc, "meta"...)
+	enc = binary.LittleEndian.AppendUint32(enc, uint32(len(payload)))
+	enc = binary.LittleEndian.AppendUint32(enc, crc32.Checksum(payload, castagnoli))
+	enc = append(enc, payload...)
+	_, err := Decode(enc)
+	if err == nil || !strings.Contains(err.Error(), "missing section") {
+		t.Fatalf("want missing-section error, got %v", err)
+	}
+}
+
+func TestDecodeSkipsUnknownSections(t *testing.T) {
+	enc, err := Encode(sampleImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a well-formed section with an unknown tag and bump the count:
+	// forward-compatible extensions must not break version-1 readers.
+	extra := []byte("future data")
+	out := append([]byte(nil), enc...)
+	out = append(out, "ext "...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(extra)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(extra, castagnoli))
+	out = append(out, extra...)
+	countOff := len(Magic)
+	binary.LittleEndian.PutUint32(out[countOff:], binary.LittleEndian.Uint32(out[countOff:])+1)
+	dec, err := Decode(out)
+	if err != nil {
+		t.Fatalf("unknown section broke decode: %v", err)
+	}
+	if dec.Meta.Quantum != 42 {
+		t.Errorf("meta lost around unknown section: %+v", dec.Meta)
+	}
+}
+
+func TestDecodeRejectsDuplicateSection(t *testing.T) {
+	enc, err := Encode(sampleImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate the meta section verbatim and bump the count.
+	p := enc[len(Magic)+4:]
+	length := binary.LittleEndian.Uint32(p[4:])
+	section := p[:12+length]
+	out := append([]byte(nil), enc...)
+	out = append(out, section...)
+	countOff := len(Magic)
+	binary.LittleEndian.PutUint32(out[countOff:], binary.LittleEndian.Uint32(out[countOff:])+1)
+	_, err = Decode(out)
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("want duplicate-section error, got %v", err)
+	}
+}

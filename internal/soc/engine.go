@@ -19,6 +19,29 @@ type Runtime struct{ m *Machine }
 // It runs as a coroutine against the engine; returning ends the workload.
 type Program func(rt *Runtime) error
 
+// StateProgram is a resumable Program: a deterministic state machine whose
+// entire inter-request state lives in a serializable blob. The contract that
+// makes mid-flight snapshots possible (see snap.go):
+//
+//   - Run must update the program's resume state *before* issuing each
+//     Runtime request, so the state observed while the request is in flight
+//     names exactly that request (the reqCh handoff is the memory barrier).
+//   - After a RestoreState, Run must re-issue the request that was in
+//     flight at capture; the engine swallows it and substitutes the
+//     partially-charged original.
+//
+// SnapshotState is only called while the program coroutine is parked in a
+// Runtime request, so it may read the same fields Run writes.
+type StateProgram interface {
+	Run(rt *Runtime) error
+	// SnapshotState serializes the resume state at the current request
+	// boundary.
+	SnapshotState() ([]byte, error)
+	// RestoreState installs a previously captured resume state; the next
+	// Run picks up from it.
+	RestoreState([]byte) error
+}
+
 // Machine is one simulated SoC instance. It implements the RTL side of the
 // co-simulation: the synchronizer pushes packets, grants cycle quanta via
 // Step, and pulls responses, mirroring FireSim + RoSÉ BRIDGE.
@@ -40,8 +63,11 @@ type Machine struct {
 
 	pending  *request // partially-served request carried across quanta
 	pendLeft uint64   // cycles still to charge for the pending request
+	fetched  *request // next request pulled in by SnapState, not yet priced
 	done     bool
 	runErr   error
+
+	sp StateProgram // non-nil for resumable machines (NewStateMachine)
 }
 
 type reqKind int
@@ -85,11 +111,26 @@ type Config struct {
 // NewMachine builds a machine and starts the program coroutine. The program
 // does not execute until cycles are granted via Step.
 func NewMachine(cfg Config, prog Program) *Machine {
+	m := newMachine(cfg)
+	m.launch(prog)
+	return m
+}
+
+// NewStateMachine builds a machine around a resumable StateProgram; such a
+// machine additionally supports SnapState/RestoreMachine (see snap.go).
+func NewStateMachine(cfg Config, sp StateProgram) *Machine {
+	m := newMachine(cfg)
+	m.sp = sp
+	m.launch(sp.Run)
+	return m
+}
+
+func newMachine(cfg Config) *Machine {
 	p := cfg.Params
 	if p.ClockHz == 0 {
 		p = DefaultParams()
 	}
-	m := &Machine{
+	return &Machine{
 		params: p,
 		core:   Core(cfg.Core),
 		kind:   cfg.Core,
@@ -101,6 +142,10 @@ func NewMachine(cfg Config, prog Program) *Machine {
 		exitCh: make(chan error, 1),
 		killCh: make(chan struct{}),
 	}
+}
+
+// launch starts the program coroutine.
+func (m *Machine) launch(prog Program) {
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -113,7 +158,6 @@ func NewMachine(cfg Config, prog Program) *Machine {
 		}()
 		m.exitCh <- prog(&Runtime{m: m})
 	}()
-	return m
 }
 
 // Params returns the machine's timing parameters.
@@ -220,6 +264,13 @@ func (m *Machine) Step(cycles uint64) (uint64, error) {
 			if !m.chargePending() {
 				break // budget exhausted mid-charge
 			}
+			continue
+		}
+		// A request pulled in early by SnapState quiescing the program.
+		if m.fetched != nil {
+			r := *m.fetched
+			m.fetched = nil
+			m.beginRequest(r)
 			continue
 		}
 		// Wait for the program's next action (or exit).

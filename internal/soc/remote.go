@@ -28,6 +28,20 @@ type Server struct {
 	// sessions holds per-link replay state for resilient clients: a
 	// replayed RTLStep must not step the machine twice (DESIGN.md §7).
 	sessions *packet.ResilSessions
+	// restorer rebuilds the machine's configuration and program for an
+	// RTLRestore — the server-side half of remote snapshot restore. The
+	// program state itself arrives in the shipped image; the factory only
+	// supplies the (config-derived) empty StateProgram to restore into.
+	restorer func() (Config, StateProgram, error)
+}
+
+// SetRestorer installs the machine factory used to serve RTLRestore
+// requests. Without one, RTLRestore (and RTLSnap against a non-resumable
+// machine) fails with an RPC error. Call before Serve.
+func (s *Server) SetRestorer(f func() (Config, StateProgram, error)) {
+	s.mu.Lock()
+	s.restorer = f
+	s.mu.Unlock()
 }
 
 // NewServer wraps a machine and listens on addr.
@@ -171,6 +185,35 @@ func (s *Server) handle(req packet.Packet) packet.Packet {
 			return fail(err)
 		}
 		return packet.Packet{Type: packet.RTLStatusReply, Payload: buf.Bytes()}
+	case packet.RTLSnap:
+		st, err := s.m.SnapState()
+		if err != nil {
+			return fail(err)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+			return fail(err)
+		}
+		return packet.Packet{Type: packet.RTLSnapData, Payload: buf.Bytes()}
+	case packet.RTLRestore:
+		if s.restorer == nil {
+			return fail(fmt.Errorf("soc: server has no restorer installed (SetRestorer)"))
+		}
+		var st SnapState
+		if err := gob.NewDecoder(bytes.NewReader(req.Payload)).Decode(&st); err != nil {
+			return fail(err)
+		}
+		cfg, sp, err := s.restorer()
+		if err != nil {
+			return fail(err)
+		}
+		m, err := RestoreMachine(cfg, sp, &st)
+		if err != nil {
+			return fail(err)
+		}
+		s.m.Close()
+		s.m = m
+		return packet.Packet{Type: packet.RPCAck}
 	}
 	return fail(fmt.Errorf("soc: unsupported RTL RPC %v", req.Type))
 }
@@ -303,6 +346,33 @@ func (r *RemoteRTL) refresh() error {
 	r.cycle = binary.LittleEndian.Uint64(resp.Payload)
 	r.done = resp.Payload[8] == 1
 	return gob.NewDecoder(bytes.NewReader(resp.Payload[9:])).Decode(&r.stats)
+}
+
+// SnapState captures the remote machine's state over the wire, so local
+// snapshot images can embed a TCP-remote RTL exactly like an in-process one.
+func (r *RemoteRTL) SnapState() (*SnapState, error) {
+	resp, err := r.call(packet.Packet{Type: packet.RTLSnap})
+	if err != nil {
+		return nil, err
+	}
+	var st SnapState
+	if err := gob.NewDecoder(bytes.NewReader(resp.Payload)).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Restore ships a machine image to the remote server, which rebuilds its
+// machine from it (the server needs a restorer installed; see SetRestorer).
+func (r *RemoteRTL) Restore(st *SnapState) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return err
+	}
+	if _, err := r.call(packet.Packet{Type: packet.RTLRestore, Payload: buf.Bytes()}); err != nil {
+		return err
+	}
+	return r.refresh()
 }
 
 // Cycle implements core.RTL (from the last status refresh).

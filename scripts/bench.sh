@@ -18,11 +18,14 @@
 # dispatchable microkernel per inference shape, with the avx2-vs-sse
 # speedup), the fleet throughput series (missions/sec/host, solo vs batched
 # vs batched-int8), and per-benchmark deltas against the previous PR's
-# snapshot.
+# snapshot. Since PR 7 it records the warm-start sweep numbers: cold
+# (replay the shared prefix per variant) vs warm (snapshot once, fork per
+# variant) sweep walls, the drift-cancelling paired warm_speedup_x, and the
+# snapshot capture/restore microcosts.
 set -eu
 
 cd "$(dirname "$0")/.."
-pr="${1:-6}"
+pr="${1:-7}"
 out="BENCH_PR${pr}.json"
 prev="BENCH_PR$((pr - 1)).json"
 raw=$(mktemp)
@@ -42,6 +45,18 @@ echo "== fleet throughput (missions/sec/host) =="
 go test -run xxx -bench 'BenchmarkFleetSolo$|BenchmarkFleetBatched$|BenchmarkFleetBatchedInt8$' \
     -benchtime 3x -benchmem . | tee -a "$raw"
 go test -run xxx -bench 'BenchmarkFleetPaired$' -benchtime 15x . | tee -a "$raw"
+
+echo "== warm-start sweeps (snapshot + fork vs full replay) =="
+# The Paired benchmark interleaves a cold sweep (8 variants x full replay)
+# and a warm sweep (prefix once, snapshot, 8 forks) in the same timing
+# loop; warm_speedup_x is the headline. The separate Cold/Warm runs give
+# absolute sweep walls, and the snapshot micro-pair prices one capture and
+# one restore+rebuild.
+go test -run xxx -bench 'BenchmarkSweepCold$|BenchmarkSweepWarm$' \
+    -benchtime 3x . | tee -a "$raw"
+go test -run xxx -bench 'BenchmarkWarmstartPaired$' -benchtime 5x . | tee -a "$raw"
+go test -run xxx -bench 'BenchmarkSnapshotCapture$|BenchmarkSnapshotRestore$' \
+    -benchmem ./internal/experiments/ | tee -a "$raw"
 
 echo "== GEMM kernel table =="
 go test -run xxx -bench 'BenchmarkMatMulKernels|BenchmarkMatMulInt8$' \
@@ -75,6 +90,8 @@ FNR == NR { if (NF == 2) prevns[$1] = $2; next }
         if ($(i+1) == "missions/s") mps[name] = $i
         if ($(i+1) == "macs/ns") macs[name] = $i
         if ($(i+1) == "batched_speedup_x") spd[name] = $i
+        if ($(i+1) == "warm_speedup_x") warm[name] = $i
+        if ($(i+1) == "image_bytes") imgb[name] = $i
         if ($(i+1) == "solo_missions/s") psolo[name] = $i
         if ($(i+1) == "batched_missions/s") pbatch[name] = $i
     }
@@ -88,6 +105,8 @@ END {
         if (name in nsq)    printf ", \"ns_quantum\": %s", nsq[name]
         if (name in mps)    printf ", \"missions_per_sec_host\": %s", mps[name]
         if (name in spd)    printf ", \"batched_speedup_x\": %s", spd[name]
+        if (name in warm)   printf ", \"warm_speedup_x\": %s", warm[name]
+        if (name in imgb)   printf ", \"image_bytes\": %s", imgb[name]
         if (name in psolo)  printf ", \"solo_missions_per_sec_host\": %s", psolo[name]
         if (name in pbatch) printf ", \"batched_missions_per_sec_host\": %s", pbatch[name]
         if (name in macs)   printf ", \"macs_per_ns\": %s", macs[name]
@@ -123,9 +142,11 @@ END {
         printf "    \"%s\": %.2f%s\n", shape, kern["sse/" shape] / kern["avx2/" shape], \
             (i < s-1 ? "," : "")
     }
-    # The headline batching number, from the drift-cancelling paired run.
-    printf "  },\n  \"fleet_batched_speedup\": %s,\n  \"obs_overhead\": {\n", \
-        ("BenchmarkFleetPaired" in spd ? spd["BenchmarkFleetPaired"] : "null")
+    # The headline batching and warm-start numbers, each from its
+    # drift-cancelling paired run.
+    printf "  },\n  \"fleet_batched_speedup\": %s,\n  \"warmstart_speedup\": %s,\n  \"obs_overhead\": {\n", \
+        ("BenchmarkFleetPaired" in spd ? spd["BenchmarkFleetPaired"] : "null"), \
+        ("BenchmarkWarmstartPaired" in warm ? warm["BenchmarkWarmstartPaired"] : "null")
     # obs-enabled vs obs-disabled deltas: (observed - baseline) / baseline,
     # per metric pairs of (observed benchmark, its disabled twin). The fleet
     # pairs record the batching/precision levers against the solo baseline.
@@ -136,6 +157,7 @@ END {
     pairs["BenchmarkQuantumTCPResilient"]  = "BenchmarkQuantumTCP"
     pairs["BenchmarkFleetBatched"]         = "BenchmarkFleetSolo"
     pairs["BenchmarkFleetBatchedInt8"]     = "BenchmarkFleetSolo"
+    pairs["BenchmarkSweepWarm"]            = "BenchmarkSweepCold"
     pairs["BenchmarkForwardBatch/ResNet6/batched"]  = "BenchmarkForwardBatch/ResNet6/solo"
     pairs["BenchmarkForwardBatch/ResNet14/batched"] = "BenchmarkForwardBatch/ResNet14/solo"
     m = 0

@@ -20,10 +20,13 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race =="
+echo "== go test -race (shuffled) =="
 # The race run covers the parallel GEMM, the row-band renderer, concurrent
-# mission sweeps, and the per-goroutine workspace discipline.
-go test -race ./...
+# mission sweeps, and the per-goroutine workspace discipline. -shuffle=on
+# randomizes test order so inter-test state leaks (forced kernels, cached
+# models, leaked goroutines) surface instead of hiding behind file order;
+# the seed is printed on failure for reproduction.
+go test -race -shuffle=on ./...
 
 echo "== go test -race (observability hot paths) =="
 # Re-run the packages whose instrumentation is exercised from multiple
@@ -43,6 +46,12 @@ for k in noasm sse avx2; do
         -run 'TestKernel|TestMatMulParity|TestInt8|TestBatchedForward|TestForwardWSP|TestQuant|TestIm2ColI8' \
         ./internal/tensor/ ./internal/dnn/
 done
+
+echo "== snapshot parity matrix =="
+# Warm-start correctness: snapshot -> restore -> run must be byte-identical
+# to the uninterrupted mission, across maps, overlap modes, and the
+# TCP-remote RTL, raced fresh every time.
+go test -race -count=1 -run 'TestSnapshotParity' ./internal/experiments/
 
 echo "== fuzz smoke (30s) =="
 # A short native-fuzzing burst per wire-facing decoder: packet framing
