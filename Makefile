@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet check chaos fuzz bench bench-kernels parity snapparity
+.PHONY: build test vet check chaos fuzz bench bench-kernels parity snapparity energyparity
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,14 @@ parity:
 # detector; make check runs the same matrix.
 snapparity:
 	$(GO) test -race -count=1 -run 'TestSnapshotParity' ./internal/experiments/
+
+# energyparity proves the energy ledger's determinism contract: identical
+# EnergyBreakdown totals across {overlap, serial} x {local, TCP-remote RTL},
+# snapshot -> restore -> run equal to uninterrupted (the snapshot parity
+# matrix asserts energy too), pre-energy images restored with a warning, and
+# the EnergyOff knob leaving timing untouched; make check runs the same set.
+energyparity:
+	$(GO) test -race -count=1 -run 'TestEnergy|TestRestorePreEnergyImage' ./internal/experiments/
 
 # fuzz gives each framing/codec fuzz target a short native-fuzzing burst.
 fuzz:

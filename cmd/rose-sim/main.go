@@ -196,6 +196,9 @@ func main() {
 	switch {
 	case restoreImg != nil:
 		fmt.Printf("restoring mission from %s (captured at quantum %d)\n", *restore, restoreImg.Meta.Quantum)
+		if !restoreImg.HasEnergy {
+			fmt.Println("warning: image predates the energy ledger; energy totals cover only the resumed portion")
+		}
 		out, err = experiments.ResumeMission(restoreImg, suite)
 		if err != nil {
 			log.Fatal(err)
@@ -236,6 +239,14 @@ func main() {
 		float64(r.SoC.IdleCycles)/float64(r.SoC.Cycles+1), r.Syncs)
 	fmt.Printf("cosim:   wall=%.1fs throughput=%.1f simulated MHz, %d inferences\n",
 		r.WallSeconds, r.ThroughputMHz(), len(out.Inferences))
+	if r.HasEnergy {
+		b := r.Energy
+		fmt.Printf("energy:  %.4fJ simulated (core %.4f, accel %.4f, mem %.4f, static %.4f)  avg %.1fmW\n",
+			b.TotalJoules(),
+			float64(b.Dynamic.CorePJ)*1e-12, float64(b.Dynamic.AccelPJ)*1e-12,
+			float64(b.Dynamic.MemPJ)*1e-12, float64(b.Static.TotalPJ())*1e-12,
+			b.AvgPowerWatts(r.Cycles, 1e9)*1e3)
+	}
 
 	if suite != nil {
 		fmt.Println()

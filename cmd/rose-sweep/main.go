@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -175,38 +176,58 @@ func writeRunMeta(dir string, meta map[string]string) error {
 	return os.WriteFile(filepath.Join(dir, "run_meta.json"), append(data, '\n'), 0o644)
 }
 
+// exportFile creates path, runs write against it, and surfaces the Close
+// error when the write itself succeeded — a full disk often shows up only at
+// close, and a silently truncated CSV is worse than a failed sweep.
+func exportFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("writing %s: %w", path, werr)
+	}
+	return nil
+}
+
 func export(rep *experiments.Report, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	if len(rep.Series) > 0 {
-		f, err := os.Create(filepath.Join(dir, rep.ID+"_series.csv"))
-		if err != nil {
+		if err := exportFile(filepath.Join(dir, rep.ID+"_series.csv"), func(w io.Writer) error {
+			return telemetry.WriteSeriesCSV(w, rep.Series)
+		}); err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := telemetry.WriteSeriesCSV(f, rep.Series); err != nil {
+		if err := exportFile(filepath.Join(dir, rep.ID+"_series.json"), func(w io.Writer) error {
+			return telemetry.WriteSeriesJSON(w, rep.Series)
+		}); err != nil {
 			return err
 		}
-		jf, err := os.Create(filepath.Join(dir, rep.ID+"_series.json"))
-		if err != nil {
+	}
+	for key, rows := range rep.Tables {
+		if err := exportFile(filepath.Join(dir, fmt.Sprintf("%s_%s.csv", rep.ID, key)), func(w io.Writer) error {
+			return telemetry.WriteTableCSV(w, rows)
+		}); err != nil {
 			return err
 		}
-		defer jf.Close()
-		if err := telemetry.WriteSeriesJSON(jf, rep.Series); err != nil {
+		if err := exportFile(filepath.Join(dir, fmt.Sprintf("%s_%s.json", rep.ID, key)), func(w io.Writer) error {
+			return telemetry.WriteTableJSON(w, rows)
+		}); err != nil {
 			return err
 		}
 	}
 	for key, traj := range rep.Trajectories {
-		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s_%s.csv", rep.ID, key)))
-		if err != nil {
+		if err := exportFile(filepath.Join(dir, fmt.Sprintf("%s_%s.csv", rep.ID, key)), func(w io.Writer) error {
+			return telemetry.WriteTrajectoryCSV(w, traj)
+		}); err != nil {
 			return err
 		}
-		if err := telemetry.WriteTrajectoryCSV(f, traj); err != nil {
-			f.Close()
-			return err
-		}
-		f.Close()
 	}
 	return nil
 }

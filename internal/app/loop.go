@@ -114,9 +114,9 @@ func (sl *StaticLoop) Run(rt *soc.Runtime) error {
 				continue
 			}
 			if c.Accel {
-				rt.ComputeAccel(c.Cycles)
+				rt.ComputeAccelEnergy(c.Cycles, c.EnergyPJ, c.MemPJ)
 			} else {
-				rt.Compute(c.Cycles)
+				rt.ComputeEnergy(c.Cycles, c.EnergyPJ, c.MemPJ)
 			}
 			sl.chargeIdx++
 		case pcSendCmd:
@@ -294,9 +294,9 @@ func (dl *DynamicLoop) Run(rt *soc.Runtime) error {
 				continue
 			}
 			if c.Accel {
-				rt.ComputeAccel(c.Cycles)
+				rt.ComputeAccelEnergy(c.Cycles, c.EnergyPJ, c.MemPJ)
 			} else {
-				rt.Compute(c.Cycles)
+				rt.ComputeEnergy(c.Cycles, c.EnergyPJ, c.MemPJ)
 			}
 			dl.chargeIdx++
 		case pcSendCmd:

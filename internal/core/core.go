@@ -45,6 +45,14 @@ type RTL interface {
 	Done() bool
 }
 
+// EnergyRTL is the optional energy-accounting view of an RTL, implemented
+// by soc.Machine and the remote TCP client. The synchronizer type-asserts
+// for it to sample per-quantum power and to fill Result.Energy — an RTL
+// without it (or with accounting off) simply yields no energy numbers.
+type EnergyRTL interface {
+	EnergyBreakdown() soc.EnergyBreakdown
+}
+
 // OverlapMode selects whether the two simulators burn their quanta
 // concurrently. The zero value is OverlapOn: in the paper the FPGA and the
 // environment host always run in parallel between boundaries (Figure 5),
@@ -125,6 +133,21 @@ type Result struct {
 	WallSeconds float64
 	// SoC holds the engine's activity counters (activity factor etc.).
 	SoC soc.Stats
+	// Energy is the SoC's end-of-mission energy breakdown (dynamic ledger
+	// plus static integrated over all cycles), filled when the RTL exposes
+	// one; HasEnergy distinguishes "accounting off / not exposed" from a
+	// legitimately zero total.
+	Energy    soc.EnergyBreakdown
+	HasEnergy bool
+}
+
+// EnergyJoules returns the mission's total simulated energy in joules
+// (0 when the RTL exposed no energy accounting).
+func (r *Result) EnergyJoules() float64 {
+	if !r.HasEnergy {
+		return 0
+	}
+	return r.Energy.TotalJoules()
 }
 
 // ThroughputMHz returns the measured co-simulation rate in simulated MHz
@@ -156,6 +179,14 @@ type Synchronizer struct {
 	kindBuf []packet.Type
 	// o is the optional phase instrumentation (nil when disabled).
 	o *obs.CoreObs
+	// er is the RTL's optional energy view; prevPJ/prevCycle anchor the
+	// per-quantum power delta. Observational only — deliberately not part
+	// of State: Start re-anchors them from the (possibly restored) RTL, so
+	// power samples are correct after a restore without widening the
+	// snapshot parity contract.
+	er        EnergyRTL
+	prevPJ    uint64
+	prevCycle uint64
 
 	// --- stepwise-run state (Start/StepQuanta/Finish) ---
 	started        bool
@@ -213,6 +244,7 @@ func New(e env.Env, rtl RTL, cfg Config) (*Synchronizer, error) {
 	}
 	s := &Synchronizer{env: e, rtl: rtl, cfg: cfg, o: cfg.Obs}
 	s.batcher, _ = e.(env.SensorBatcher)
+	s.er, _ = rtl.(EnergyRTL)
 	return s, nil
 }
 
@@ -262,6 +294,13 @@ func (s *Synchronizer) Start() error {
 
 	s.framesPerCycle = s.env.FrameRate() / cfg.SoCClockHz
 	s.quantumSec = float64(cfg.SyncCycles) / cfg.SoCClockHz
+	if s.er != nil {
+		// Anchor the per-quantum power delta at the RTL's current state so a
+		// restored mission's first sample is its own quantum, not the whole
+		// pre-snapshot history.
+		s.prevPJ = s.er.EnergyBreakdown().TotalPJ()
+		s.prevCycle = s.rtl.Cycle()
+	}
 	s.exchangeEvery = cfg.ExchangeEveryN
 	if s.exchangeEvery < 1 {
 		s.exchangeEvery = 1
@@ -395,6 +434,19 @@ func (s *Synchronizer) StepQuanta(maxQuanta int) (done bool, err error) {
 				return false, fmt.Errorf("core: telemetry: %w", err)
 			}
 		}
+		// Sample the quantum's simulated power for the trace's power rail
+		// and the black box. Observation only: skipped entirely when
+		// observability is off, and never feeds back into the run.
+		if s.er != nil && s.o != nil {
+			b := s.er.EnergyBreakdown()
+			totPJ := b.TotalPJ()
+			cyc := s.rtl.Cycle()
+			if dc := cyc - s.prevCycle; dc > 0 && totPJ >= s.prevPJ {
+				mw := float64(totPJ-s.prevPJ) * 1e-12 * cfg.SoCClockHz / float64(dc) * 1e3
+				s.o.ObservePower(totPJ, int64(mw))
+			}
+			s.prevPJ, s.prevCycle = totPJ, cyc
+		}
 		// Divergence detection runs unconditionally — observability must
 		// never change run behaviour, and a NaN/Inf that escapes into the
 		// controller poisons every later quantum silently.
@@ -465,6 +517,10 @@ func (s *Synchronizer) Finish() (*Result, error) {
 	res.Cycles = s.rtl.Cycle()
 	res.WallSeconds = time.Since(s.startWall).Seconds()
 	res.SoC = s.rtl.Stats()
+	if s.er != nil {
+		res.Energy = s.er.EnergyBreakdown()
+		res.HasEnergy = res.Energy.TotalPJ() > 0
+	}
 	if s.st.speedN > 0 {
 		res.AvgVelocity = s.st.speedSum / float64(s.st.speedN)
 	}

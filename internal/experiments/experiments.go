@@ -32,6 +32,10 @@ type Report struct {
 	Lines        []string
 	Series       []telemetry.Series
 	Trajectories map[string][]env.Telemetry
+	// Tables carries multi-column exports (first row = header) that a
+	// two-column Series cannot express — the energy-Pareto point table, for
+	// one. rose-sweep writes each as <id>_<key>.csv and .json.
+	Tables map[string][][]string
 }
 
 func (r *Report) line(format string, args ...any) {
@@ -85,6 +89,10 @@ type MissionSpec struct {
 	// deadlines and, when MaxRetries > 0, transparent reconnect with
 	// idempotent replay. Ignored unless EnvAddr is set.
 	EnvDial env.DialOptions
+	// EnergyOff disables the SoC energy ledger for this mission — the
+	// with/without pair the overhead benchmark measures. Accounting is
+	// observation-only, so timing and trajectory are unchanged either way.
+	EnergyOff bool
 }
 
 // MissionOutcome bundles the synchronizer result with the app-level log.
@@ -123,6 +131,7 @@ func (spec MissionSpec) withDefaults() MissionSpec {
 func (spec MissionSpec) socConfig() soc.Config {
 	cfg := spec.HW.SoCConfig()
 	cfg.RxQueueBytes = spec.RxQueueBytes
+	cfg.EnergyOff = spec.EnergyOff
 	if spec.Obs != nil {
 		cfg.Obs = spec.Obs.SoC
 	}
@@ -289,6 +298,11 @@ func assemble(spec MissionSpec, sharedMap *world.Map, img *snapshot.Image) (ms *
 	}
 
 	if img != nil {
+		if !img.HasEnergy {
+			// A pre-energy image: restore proceeds with a zeroed ledger, so
+			// post-restore energy totals cover only the resumed portion.
+			spec.Obs.Logger().Warn("snapshot image predates the energy ledger; energy accounting restarts from zero")
+		}
 		ms.mach, err = soc.RestoreMachine(spec.socConfig(), ms.loop, &img.SoC)
 		if err != nil {
 			return nil, err
@@ -426,7 +440,7 @@ func IDs() []string {
 		"table3", "figure10", "figure11", "figure12",
 		"figure13", "figure14", "figure15", "figure16",
 		"ablation-sync", "ablation-queue", "ablation-policy",
-		"fleet", "warmstart",
+		"fleet", "warmstart", "pareto",
 	}
 }
 
@@ -459,6 +473,8 @@ func Run(id string, opt Options) (*Report, error) {
 		return Fleet(opt)
 	case "warmstart":
 		return Warmstart(opt)
+	case "pareto":
+		return Pareto(opt)
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %v)", id, IDs())
 }

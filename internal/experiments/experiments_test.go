@@ -24,7 +24,7 @@ func TestRunDispatch(t *testing.T) {
 	if _, err := Run("figure99", Options{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(IDs()) != 13 {
+	if len(IDs()) != 14 {
 		t.Errorf("IDs() = %v", IDs())
 	}
 	for _, id := range IDs() {

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+func TestParetoReport(t *testing.T) {
+	r, err := Pareto(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "pareto" {
+		t.Errorf("id = %q", r.ID)
+	}
+	// Quick mode: 1 map × 3 hw × 2 precisions = 6 point lines, plus one
+	// int8-vs-fp32 line per Gemmini config (A and B).
+	if len(r.Lines) != 6+2 {
+		t.Errorf("%d lines: %v", len(r.Lines), r.Lines)
+	}
+	if len(r.Series) != 1 || r.Series[0].Name != "pareto_tunnel" || len(r.Series[0].X) != 6 {
+		t.Errorf("series = %+v", r.Series)
+	}
+	table := r.Tables["points"]
+	if len(table) != 1+6 {
+		t.Fatalf("point table has %d rows", len(table))
+	}
+	if !reflect.DeepEqual(table[0], paretoPointColumns) {
+		t.Errorf("table header = %v", table[0])
+	}
+	// Every point must report positive total energy, and on each Gemmini
+	// config the int8 row's per-inference energy must undercut fp32's.
+	perInf := map[string]map[string]float64{}
+	for _, row := range table[1:] {
+		if len(row) != len(paretoPointColumns) {
+			t.Fatalf("ragged row: %v", row)
+		}
+		e, err := strconv.ParseFloat(row[5], 64)
+		if err != nil || e <= 0 {
+			t.Errorf("hw %s %s: bad energy_j %q", row[0], row[2], row[5])
+		}
+		inf, err := strconv.ParseFloat(row[11], 64)
+		if err != nil || inf <= 0 {
+			t.Errorf("hw %s %s: bad energy_per_inf_uj %q", row[0], row[2], row[11])
+		}
+		if perInf[row[0]] == nil {
+			perInf[row[0]] = map[string]float64{}
+		}
+		perInf[row[0]][row[2]] = inf
+	}
+	for _, hw := range []string{"A", "B"} {
+		if perInf[hw]["int8"] >= perInf[hw]["fp32"] {
+			t.Errorf("hw %s: int8 %.3fµJ/inf not below fp32 %.3fµJ/inf",
+				hw, perInf[hw]["int8"], perInf[hw]["fp32"])
+		}
+	}
+}

@@ -61,6 +61,19 @@ func captureEncoded(t *testing.T, spec MissionSpec) *snapshot.Image {
 
 func checkParity(t *testing.T, ref, got *MissionOutcome) {
 	t.Helper()
+	checkTrajectory(t, ref, got)
+	// The energy ledger is part of the parity contract: a restored mission's
+	// final breakdown must equal the uninterrupted run's, pJ for pJ.
+	if got.Result.HasEnergy != ref.Result.HasEnergy || got.Result.Energy != ref.Result.Energy {
+		t.Errorf("energy differs:\n  uninterrupted %+v (hasEnergy=%v)\n  restored      %+v (hasEnergy=%v)",
+			ref.Result.Energy, ref.Result.HasEnergy, got.Result.Energy, got.Result.HasEnergy)
+	}
+}
+
+// checkTrajectory asserts outcome parity without the energy clause — the
+// pre-energy-image compat test needs exactly that split.
+func checkTrajectory(t *testing.T, ref, got *MissionOutcome) {
+	t.Helper()
 	if len(got.Result.Trajectory) != len(ref.Result.Trajectory) {
 		t.Fatalf("trajectory length %d, uninterrupted %d",
 			len(got.Result.Trajectory), len(ref.Result.Trajectory))

@@ -46,6 +46,7 @@ type specMeta struct {
 	Argmax         bool             `json:"argmax,omitempty"`
 	Overlap        core.OverlapMode `json:"overlap,omitempty"`
 	Precision      dnn.Precision    `json:"precision,omitempty"`
+	EnergyOff      bool             `json:"energy_off,omitempty"`
 }
 
 // MetaSpec serializes the rebuildable subset of the spec for
@@ -59,6 +60,7 @@ func (spec MissionSpec) MetaSpec() (json.RawMessage, error) {
 		MaxSimSec: spec.MaxSimSec, Seed: spec.Seed,
 		RxQueueBytes: spec.RxQueueBytes, ExchangeEveryN: spec.ExchangeEveryN,
 		Argmax: spec.Argmax, Overlap: spec.Overlap, Precision: spec.Precision,
+		EnergyOff: spec.EnergyOff,
 	})
 }
 
@@ -79,6 +81,7 @@ func SpecFromImage(img *snapshot.Image) (MissionSpec, error) {
 		MaxSimSec: m.MaxSimSec, Seed: m.Seed,
 		RxQueueBytes: m.RxQueueBytes, ExchangeEveryN: m.ExchangeEveryN,
 		Argmax: m.Argmax, Overlap: m.Overlap, Precision: m.Precision,
+		EnergyOff: m.EnergyOff,
 	}, nil
 }
 

@@ -78,22 +78,46 @@ func (c Config) MatmulCycles(m, k, n int) uint64 {
 	perTile := uint64(c.MeshRows) + uint64(m) + fill
 	compute := uint64(kTiles) * uint64(nTiles) * perTile
 
-	// DMA: A is re-streamed for each group of N tiles that exceeds the
-	// scratchpad; approximate with a single pass of A per ceil(N/colsFit)
-	// where colsFit is how many output columns of B+C fit alongside A.
+	dmaCycles := c.MatmulDMABytes(m, k, n) / uint64(c.BusBytes)
+	exposed := uint64(float64(dmaCycles) * (1 - c.DMAOverlap))
+
+	return c.ConfigCycles + compute + exposed
+}
+
+// MatmulDMABytes returns the total DMA traffic of MatmulCycles' schedule:
+// A is re-streamed for each group of N tiles that exceeds the scratchpad
+// (approximated as one pass of A per ceil of its footprint over half the
+// scratchpad), B moves once, and C drains from the accumulator. The energy
+// model prices this same byte count at the DRAM rate.
+func (c Config) MatmulDMABytes(m, k, n int) uint64 {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return 0
+	}
 	aBytes := uint64(m) * uint64(k) * uint64(c.ElemBytes)
 	bBytes := uint64(k) * uint64(n) * uint64(c.ElemBytes)
 	cBytes := uint64(m) * uint64(n) * uint64(c.ElemBytes)
+	return c.dmaTotal(aBytes, bBytes, cBytes)
+}
+
+// MatmulDMABytesInt8 is MatmulDMABytes on the low-precision datapath: A and
+// B move at 1 byte per element, C drains as int32.
+func (c Config) MatmulDMABytesInt8(m, k, n int) uint64 {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return 0
+	}
+	aBytes := uint64(m) * uint64(k)
+	bBytes := uint64(k) * uint64(n)
+	cBytes := uint64(m) * uint64(n) * 4
+	return c.dmaTotal(aBytes, bBytes, cBytes)
+}
+
+func (c Config) dmaTotal(aBytes, bBytes, cBytes uint64) uint64 {
 	spadBytes := uint64(c.ScratchpadKB) << 10
 	aPasses := uint64(1)
 	if aBytes > spadBytes/2 {
 		aPasses = uint64(ceilDiv(int(aBytes), int(spadBytes/2)))
 	}
-	dmaBytes := aBytes*aPasses + bBytes + cBytes
-	dmaCycles := dmaBytes / uint64(c.BusBytes)
-	exposed := uint64(float64(dmaCycles) * (1 - c.DMAOverlap))
-
-	return c.ConfigCycles + compute + exposed
+	return aBytes*aPasses + bBytes + cBytes
 }
 
 // MatmulCyclesInt8 prices the same matmul on Gemmini's native low-precision
@@ -119,16 +143,7 @@ func (c Config) MatmulCyclesInt8(m, k, n int) uint64 {
 	perTile := uint64(rows) + uint64(m) + fill
 	compute := uint64(kTiles) * uint64(nTiles) * perTile
 
-	aBytes := uint64(m) * uint64(k) // 1 byte per int8 element
-	bBytes := uint64(k) * uint64(n)
-	cBytes := uint64(m) * uint64(n) * 4 // int32 accumulator out
-	spadBytes := uint64(c.ScratchpadKB) << 10
-	aPasses := uint64(1)
-	if aBytes > spadBytes/2 {
-		aPasses = uint64(ceilDiv(int(aBytes), int(spadBytes/2)))
-	}
-	dmaBytes := aBytes*aPasses + bBytes + cBytes
-	dmaCycles := dmaBytes / uint64(c.BusBytes)
+	dmaCycles := c.MatmulDMABytesInt8(m, k, n) / uint64(c.BusBytes)
 	exposed := uint64(float64(dmaCycles) * (1 - c.DMAOverlap))
 
 	return c.ConfigCycles + compute + exposed

@@ -22,14 +22,18 @@ import (
 // host's timeline, in which env-server spans nest under the rose-sim
 // quantum that issued them.
 
-// TraceSpan is one complete event parsed from a host trace.
+// TraceSpan is one complete ("X") or counter ("C") event parsed from a
+// host trace. Counter samples carry their value in Value and have no
+// duration.
 type TraceSpan struct {
-	Name   string
-	TID    int
-	TsUS   float64 // µs since the host's trace epoch
-	DurUS  float64
-	Seq    uint64
-	HasSeq bool
+	Name    string
+	TID     int
+	TsUS    float64 // µs since the host's trace epoch
+	DurUS   float64
+	Seq     uint64
+	HasSeq  bool
+	Counter bool
+	Value   float64 // counter sample value (Counter only)
 }
 
 // HostTrace is one host's parsed trace plus its identifying metadata.
@@ -85,6 +89,12 @@ func ParseHostTrace(data []byte) (HostTrace, error) {
 				if f, ok := v.(float64); ok {
 					sp.Seq, sp.HasSeq = uint64(f), true
 				}
+			}
+			ht.Spans = append(ht.Spans, sp)
+		case "C":
+			sp := TraceSpan{Name: e.Name, TID: e.TID, TsUS: e.Ts, Counter: true}
+			if v, ok := e.Args["value"].(float64); ok {
+				sp.Value = v
 			}
 			ht.Spans = append(ht.Spans, sp)
 		}
@@ -206,6 +216,12 @@ func WriteMergedTrace(w io.Writer, client, server HostTrace) error {
 	}
 	write := func(pid int, shiftUS float64, spans []TraceSpan) error {
 		for _, s := range spans {
+			if s.Counter {
+				if err := writeChromeCounterUS(w, ",\n", pid, s.Name, s.TID, s.TsUS+shiftUS, s.Value); err != nil {
+					return err
+				}
+				continue
+			}
 			e := Event{Name: s.Name, TID: int32(s.TID), Seq: s.Seq, HasSeq: s.HasSeq}
 			if err := writeChromeEventUS(w, ",\n", pid, e, s.TsUS+shiftUS, s.DurUS); err != nil {
 				return err
@@ -223,6 +239,16 @@ func WriteMergedTrace(w io.Writer, client, server HostTrace) error {
 		return err
 	}
 	_, err := io.WriteString(w, "\n]\n")
+	return err
+}
+
+// writeChromeCounterUS writes one counter ("C") sample with explicit µs
+// timing — the merged-trace twin of writeChromeEvent's counter branch.
+func writeChromeCounterUS(w io.Writer, sep string, pid int, name string, tid int, tsUS, value float64) error {
+	_, err := fmt.Fprintf(w,
+		"%s  {\"name\": %s, \"cat\": \"cosim\", \"ph\": \"C\", \"pid\": %d, \"tid\": %d, \"ts\": %s, \"args\": {\"value\": %s}}",
+		sep, strconv.Quote(name), pid, tid,
+		strconv.FormatFloat(tsUS, 'f', 3, 64), strconv.FormatFloat(value, 'f', -1, 64))
 	return err
 }
 

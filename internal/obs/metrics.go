@@ -314,6 +314,20 @@ func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
 	return e.hist
 }
 
+// Names returns every registered metric name in registration order — the
+// hook the metric-naming lint test walks. Nil-safe (empty).
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	entries := r.snapshot()
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.name
+	}
+	return names
+}
+
 // snapshot returns the entries under the lock, for a consistent export pass.
 func (r *Registry) snapshot() []*metricEntry {
 	r.mu.Lock()

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"regexp"
+	"testing"
+)
+
+// metricName is the repository-wide naming contract: every exported metric is
+// rose_-prefixed, lowercase snake_case, and — when it has a unit — ends with
+// a conventional unit suffix.
+var metricName = regexp.MustCompile(`^rose_[a-z0-9_]+(_total|_seconds|_bytes|_joules|_watts)?$`)
+
+// TestMetricNamesLint walks every metric a fully-wired suite registers —
+// synchronizer, SoC (including the energy ledger), bridge, app — and holds
+// each name to the naming contract. A new metric with a typo'd prefix or an
+// uppercase character fails here, not in a Grafana dashboard three PRs later.
+func TestMetricNamesLint(t *testing.T) {
+	s := New(-1)
+	names := s.Registry.Names()
+	if len(names) == 0 {
+		t.Fatal("suite registered no metrics")
+	}
+	for _, n := range names {
+		if !metricName.MatchString(n) {
+			t.Errorf("metric %q violates the naming contract %v", n, metricName)
+		}
+	}
+	// The energy instruments from this PR must be among them.
+	want := map[string]bool{
+		"rose_energy_core_pj_total":   false,
+		"rose_energy_accel_pj_total":  false,
+		"rose_energy_mem_pj_total":    false,
+		"rose_energy_static_pj_total": false,
+		"rose_power_avg_milliwatts":   false,
+	}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("energy metric %q not registered", n)
+		}
+	}
+}

@@ -96,6 +96,9 @@ type QuantumRecord struct {
 	EnvNs         int64           `json:"env_ns"`
 	ExchangeNs    int64           `json:"exchange_ns"`
 	StallNs       int64           `json:"stall_ns"`
+	EnergyPJ      uint64          `json:"energy_pj,omitempty"`
+	PowerMW       int64           `json:"power_mw,omitempty"`
+	HasPower      bool            `json:"has_power,omitempty"`
 	BridgeRxBytes int64           `json:"bridge_rx_bytes"`
 	BridgeTxBytes int64           `json:"bridge_tx_bytes"`
 	HasTelemetry  bool            `json:"has_telemetry"`

@@ -203,6 +203,9 @@ type CoreObs struct {
 	curExchange atomic.Int64
 	curStall    atomic.Int64
 	curEnv      atomic.Int64
+	curEnergy   atomic.Uint64 // cumulative simulated energy at quantum end, pJ
+	curPowerMW  atomic.Int64  // this quantum's simulated power, mW
+	hasPower    atomic.Bool
 
 	Quanta       *Counter
 	Quantum      *Histogram
@@ -256,6 +259,8 @@ func (o *CoreObs) BeginQuantum() time.Time {
 	o.curExchange.Store(0)
 	o.curStall.Store(0)
 	o.curEnv.Store(0)
+	o.curPowerMW.Store(0)
+	o.hasPower.Store(false)
 	o.rec.Heartbeat(seq)
 	return time.Now()
 }
@@ -314,6 +319,21 @@ func (o *CoreObs) ObserveStall(start time.Time) {
 	o.span("overlap.stall", TrackSync, start, end, o.OverlapStall)
 }
 
+// ObservePower records one quantum's simulated-power sample: the SoC's
+// cumulative energy (dynamic + static, pJ) and this quantum's average
+// simulated power in milliwatts. The sample lands in the quantum's
+// black-box record and on the trace's power counter track (a Perfetto
+// power rail).
+func (o *CoreObs) ObservePower(totalPJ uint64, powerMW int64) {
+	if o == nil {
+		return
+	}
+	o.curEnergy.Store(totalPJ)
+	o.curPowerMW.Store(powerMW)
+	o.hasPower.Store(true)
+	o.tracer.CounterEvent("power_mw", TrackPower, time.Now(), powerMW)
+}
+
 // ObserveQuantum records one whole loop iteration and counts it (the
 // telemetry-free form of EndQuantum, for callers without a boundary
 // sample).
@@ -341,6 +361,9 @@ func (o *CoreObs) EndQuantum(start time.Time, sample TelemetrySample, hasTel boo
 			EnvNs:         o.curEnv.Load(),
 			ExchangeNs:    o.curExchange.Load(),
 			StallNs:       o.curStall.Load(),
+			EnergyPJ:      o.curEnergy.Load(),
+			PowerMW:       o.curPowerMW.Load(),
+			HasPower:      o.hasPower.Load(),
 			HasTelemetry:  hasTel,
 			Telemetry:     sample,
 		})
@@ -505,7 +528,7 @@ func newBridgeObs(reg *Registry) *BridgeObs {
 }
 
 // SoCObs instruments the SoC engine: throttle stalls at the bridge
-// interface and mirrors of the engine's cycle accounting.
+// interface and mirrors of the engine's cycle and energy accounting.
 type SoCObs struct {
 	RecvStalls *Counter
 	SendStalls *Counter
@@ -518,6 +541,15 @@ type SoCObs struct {
 	PacketsIn     *Counter
 	PacketsOut    *Counter
 	Syncs         *Counter
+
+	// Energy ledger mirrors (picojoules, per domain) and the run-average
+	// power gauge — written by MirrorEnergy once per quantum, same
+	// single-ownership scheme as Mirror.
+	EnergyCorePJ   *Counter
+	EnergyAccelPJ  *Counter
+	EnergyMemPJ    *Counter
+	EnergyStaticPJ *Counter
+	AvgPowerMW     *Gauge
 }
 
 func newSoCObs(reg *Registry) *SoCObs {
@@ -542,6 +574,16 @@ func newSoCObs(reg *Registry) *SoCObs {
 			"SoC-to-host data packets drained through the bridge."),
 		Syncs: reg.Counter("rose_soc_syncs_total",
 			"Synchronization grants received by the bridge control unit."),
+		EnergyCorePJ: reg.Counter("rose_energy_core_pj_total",
+			"Dynamic energy charged to the CPU core domain, in picojoules."),
+		EnergyAccelPJ: reg.Counter("rose_energy_accel_pj_total",
+			"Dynamic energy charged to the DNN accelerator domain, in picojoules."),
+		EnergyMemPJ: reg.Counter("rose_energy_mem_pj_total",
+			"Dynamic energy charged to the memory system (stream, MMIO, DRAM), in picojoules."),
+		EnergyStaticPJ: reg.Counter("rose_energy_static_pj_total",
+			"Static (leakage) energy integrated over all elapsed cycles, in picojoules."),
+		AvgPowerMW: reg.Gauge("rose_power_avg_milliwatts",
+			"Run-average simulated power (total energy over elapsed simulated time), in milliwatts."),
 	}
 }
 
@@ -561,6 +603,21 @@ func (o *SoCObs) Mirror(cycles, compute, accel, io, idle, pktsIn, pktsOut, syncs
 	o.PacketsIn.Store(pktsIn)
 	o.PacketsOut.Store(pktsOut)
 	o.Syncs.Store(syncs)
+}
+
+// MirrorEnergy overwrites the energy-ledger counters with the engine's
+// authoritative per-domain totals (dynamic pJ per domain, static pJ over
+// all elapsed cycles) and the run-average power gauge — the energy twin of
+// Mirror, called from the same per-quantum site.
+func (o *SoCObs) MirrorEnergy(corePJ, accelPJ, memPJ, staticPJ uint64, avgMilliwatts int64) {
+	if o == nil {
+		return
+	}
+	o.EnergyCorePJ.Store(corePJ)
+	o.EnergyAccelPJ.Store(accelPJ)
+	o.EnergyMemPJ.Store(memPJ)
+	o.EnergyStaticPJ.Store(staticPJ)
+	o.AvgPowerMW.Set(avgMilliwatts)
 }
 
 // AppObs instruments the companion-computer application: inference count
@@ -617,6 +674,19 @@ type Summary struct {
 	Inferences   uint64
 	MeanInferSec float64
 
+	// Simulated energy per domain in joules, mirrored from the SoC engine's
+	// ledger, plus the run-average simulated power. HasEnergy distinguishes
+	// "energy accounting off / no mission ran" from a legitimately tiny
+	// total, so presenters can omit the power line instead of printing
+	// zeros.
+	EnergyCoreJ   float64
+	EnergyAccelJ  float64
+	EnergyMemJ    float64
+	EnergyStaticJ float64
+	EnergyTotalJ  float64
+	AvgPowerW     float64
+	HasEnergy     bool
+
 	TraceEvents  int
 	TraceDropped uint64
 
@@ -658,6 +728,19 @@ func (s *Suite) Summary() Summary {
 	}
 	if s.Run != nil {
 		sum.RunID = s.Run.RunIDHex()
+	}
+	corePJ := s.SoC.EnergyCorePJ.Value()
+	accelPJ := s.SoC.EnergyAccelPJ.Value()
+	memPJ := s.SoC.EnergyMemPJ.Value()
+	staticPJ := s.SoC.EnergyStaticPJ.Value()
+	if totalPJ := corePJ + accelPJ + memPJ + staticPJ; totalPJ > 0 {
+		sum.HasEnergy = true
+		sum.EnergyCoreJ = float64(corePJ) * 1e-12
+		sum.EnergyAccelJ = float64(accelPJ) * 1e-12
+		sum.EnergyMemJ = float64(memPJ) * 1e-12
+		sum.EnergyStaticJ = float64(staticPJ) * 1e-12
+		sum.EnergyTotalJ = float64(totalPJ) * 1e-12
+		sum.AvgPowerW = float64(s.SoC.AvgPowerMW.Value()) / 1e3
 	}
 	if r := s.Recorder; r != nil {
 		sum.QuantumStalls = r.Stalls.Value()

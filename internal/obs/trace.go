@@ -43,8 +43,9 @@ type slot struct {
 	seq   atomic.Uint64
 	name  atomic.Uint32 // interned name ID
 	tid   atomic.Int32
+	cnt   atomic.Uint32 // 1 = counter sample ("C"), 0 = complete span ("X")
 	start atomic.Int64  // ns since epoch
-	dur   atomic.Int64  // ns
+	dur   atomic.Int64  // span duration ns, or the counter sample's value
 	q     atomic.Uint64 // quantum sequence + 1 (0 = untagged)
 }
 
@@ -65,18 +66,22 @@ const (
 	TrackEnv   = 2 // environment worker: env quantum (frames + telemetry)
 	TrackRPC   = 3 // RPC client: rpc.roundtrip spans
 	TrackServe = 4 // env server: serve.* request spans
+	TrackPower = 5 // simulated power rail: power_mw counter samples
 )
 
 // Event is one completed span as read back from the ring. Start is
 // nanoseconds since the tracer's epoch; Seq is the quantum sequence the
-// span was tagged with (valid only when HasSeq).
+// span was tagged with (valid only when HasSeq). A Counter event is an
+// instantaneous sample (Chrome ph "C") whose value rides in Dur — the
+// shape the power rail uses.
 type Event struct {
-	Name   string
-	TID    int32
-	Start  int64
-	Dur    int64
-	Seq    uint64
-	HasSeq bool
+	Name    string
+	TID     int32
+	Start   int64
+	Dur     int64
+	Seq     uint64
+	HasSeq  bool
+	Counter bool
 }
 
 // DefaultTraceEvents is the default ring capacity: at five spans per
@@ -132,17 +137,32 @@ func (t *Tracer) nameFor(id uint32) string {
 
 // Span records one completed span on the given track.
 func (t *Tracer) Span(name string, tid int32, start, end time.Time) {
-	t.record(name, tid, start, end, 0)
+	if t == nil {
+		return
+	}
+	t.record(name, tid, 0, start.Sub(t.epoch).Nanoseconds(), end.Sub(start).Nanoseconds(), 0)
 }
 
 // SpanQ records one completed span tagged with a quantum sequence number —
 // the cross-host correlation key: client RPC spans and server serve spans
 // carrying the same sequence belong to the same synchronization quantum.
 func (t *Tracer) SpanQ(name string, tid int32, start, end time.Time, seq uint64) {
-	t.record(name, tid, start, end, seq+1)
+	if t == nil {
+		return
+	}
+	t.record(name, tid, 0, start.Sub(t.epoch).Nanoseconds(), end.Sub(start).Nanoseconds(), seq+1)
 }
 
-func (t *Tracer) record(name string, tid int32, start, end time.Time, q uint64) {
+// CounterEvent records one instantaneous counter sample (Chrome ph "C") —
+// e.g. the simulated power rail. value rides in the slot's dur field.
+func (t *Tracer) CounterEvent(name string, tid int32, at time.Time, value int64) {
+	if t == nil {
+		return
+	}
+	t.record(name, tid, 1, at.Sub(t.epoch).Nanoseconds(), value, 0)
+}
+
+func (t *Tracer) record(name string, tid int32, cnt uint32, startNS, dur int64, q uint64) {
 	if t == nil {
 		return
 	}
@@ -152,8 +172,9 @@ func (t *Tracer) record(name string, tid int32, start, end time.Time, q uint64) 
 	s.seq.Add(1) // odd: write in flight
 	s.name.Store(id)
 	s.tid.Store(tid)
-	s.start.Store(start.Sub(t.epoch).Nanoseconds())
-	s.dur.Store(end.Sub(start).Nanoseconds())
+	s.cnt.Store(cnt)
+	s.start.Store(startNS)
+	s.dur.Store(dur)
 	s.q.Store(q)
 	s.seq.Add(1) // even: published
 }
@@ -177,10 +198,11 @@ func (t *Tracer) read(s *slot) (e Event, ok bool) {
 			continue
 		}
 		e = Event{
-			Name:  t.nameFor(s.name.Load()),
-			TID:   s.tid.Load(),
-			Start: s.start.Load(),
-			Dur:   s.dur.Load(),
+			Name:    t.nameFor(s.name.Load()),
+			TID:     s.tid.Load(),
+			Start:   s.start.Load(),
+			Dur:     s.dur.Load(),
+			Counter: s.cnt.Load() != 0,
 		}
 		if q := s.q.Load(); q != 0 {
 			e.Seq, e.HasSeq = q-1, true
@@ -285,8 +307,16 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	return err
 }
 
-// writeChromeEvent writes one complete event under the given pid.
+// writeChromeEvent writes one event under the given pid: a complete ("X")
+// span, or — for Counter events — an instantaneous counter ("C") sample
+// whose value Perfetto renders as its own counter track (the power rail).
 func writeChromeEvent(w io.Writer, sep string, pid int, e Event) error {
+	if e.Counter {
+		_, err := fmt.Fprintf(w,
+			"%s  {\"name\": %s, \"cat\": \"cosim\", \"ph\": \"C\", \"pid\": %d, \"tid\": %d, \"ts\": %s, \"args\": {\"value\": %d}}",
+			sep, strconv.Quote(e.Name), pid, e.TID, microseconds(e.Start), e.Dur)
+		return err
+	}
 	args := ""
 	if e.HasSeq {
 		args = fmt.Sprintf(", \"args\": {\"seq\": %d}", e.Seq)

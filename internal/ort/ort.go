@@ -127,30 +127,52 @@ func quantGlueBytes(op dnn.OpDesc) uint64 {
 	return uint64(op.M)*uint64(op.K) + uint64(op.M)*uint64(op.N)*8
 }
 
-// priceOp prices a single op; used identically by Predict and Run so the
-// prediction is exact.
-func (s *Session) priceOp(op dnn.OpDesc, core soc.CoreParams, scale float64, hasGemmini bool) (cpu, accel uint64) {
-	cpu = soc.ScalarCycles(core, s.perOpOverheadInstrs)
+// opBill is one op's full price: cycles plus the dynamic energy billed with
+// each charge, split by engine domain (core/accel vs memory).
+type opBill struct {
+	cpu, accel         uint64 // cycles
+	cpuPJ, accelPJ     uint64 // core-/accel-domain dynamic energy
+	cpuMemPJ, accelMem uint64 // memory-domain energy riding each charge
+}
+
+// priceOp prices a single op — cycles and energy together, so the pricing
+// points stay in lockstep; used identically by Predict, Run, and ChargePlan
+// so the prediction and the replayed bill are exact.
+func (s *Session) priceOp(op dnn.OpDesc, core soc.CoreParams, ep soc.EnergyParams, scale float64, hasGemmini bool) opBill {
+	var b opBill
+	b.cpu = soc.ScalarCycles(core, s.perOpOverheadInstrs)
+	b.cpuPJ = soc.ScalarEnergyPJ(ep, s.perOpOverheadInstrs)
 	switch op.Kind {
 	case dnn.OpStream:
-		cpu += soc.StreamCycles(core, uint64(float64(op.Bytes)*scale))
+		bytes := uint64(float64(op.Bytes) * scale)
+		b.cpu += soc.StreamCycles(core, bytes)
+		b.cpuMemPJ += soc.StreamEnergyPJ(ep, bytes)
 	case dnn.OpMatMul:
+		macs := uint64(float64(op.MACs()) * scale)
 		if s.int8Matmul(op) {
-			cpu += soc.StreamCycles(core, uint64(float64(quantGlueBytes(op))*scale))
+			glue := uint64(float64(quantGlueBytes(op)) * scale)
+			b.cpu += soc.StreamCycles(core, glue)
+			b.cpuMemPJ += soc.StreamEnergyPJ(ep, glue)
 			if hasGemmini {
-				accel = uint64(float64(s.gem.MatmulCyclesInt8(op.M, op.K, op.N)) * scale)
+				b.accel = uint64(float64(s.gem.MatmulCyclesInt8(op.M, op.K, op.N)) * scale)
+				b.accelPJ = soc.AccelMatmulEnergyPJInt8(ep, macs)
+				b.accelMem = soc.DRAMEnergyPJ(ep, uint64(float64(s.gem.MatmulDMABytesInt8(op.M, op.K, op.N))*scale))
 			} else {
-				cpu += soc.CPUMatmulCyclesInt8(core, uint64(float64(op.MACs())*scale))
+				b.cpu += soc.CPUMatmulCyclesInt8(core, macs)
+				b.cpuPJ += soc.CPUMatmulEnergyPJInt8(ep, macs)
 			}
-			return cpu, accel
+			return b
 		}
 		if hasGemmini {
-			accel = uint64(float64(s.gem.MatmulCycles(op.M, op.K, op.N)) * scale)
+			b.accel = uint64(float64(s.gem.MatmulCycles(op.M, op.K, op.N)) * scale)
+			b.accelPJ = soc.AccelMatmulEnergyPJ(ep, macs)
+			b.accelMem = soc.DRAMEnergyPJ(ep, uint64(float64(s.gem.MatmulDMABytes(op.M, op.K, op.N))*scale))
 		} else {
-			cpu += soc.CPUMatmulCycles(core, uint64(float64(op.MACs())*scale))
+			b.cpu += soc.CPUMatmulCycles(core, macs)
+			b.cpuPJ += soc.CPUMatmulEnergyPJ(ep, macs)
 		}
 	}
-	return cpu, accel
+	return b
 }
 
 // Predict prices one inference for a core/accelerator combination.
@@ -158,11 +180,25 @@ func (s *Session) Predict(core soc.CoreParams, params soc.Params, hasGemmini boo
 	var cost Cost
 	cost.CPUCycles += soc.ScalarCycles(core, s.perRunOverheadInstrs)
 	for _, op := range s.ops {
-		cpu, accel := s.priceOp(op, core, params.WorkloadScale, hasGemmini)
-		cost.CPUCycles += cpu
-		cost.AccelCycles += accel
+		b := s.priceOp(op, core, soc.EnergyParams{}, params.WorkloadScale, hasGemmini)
+		cost.CPUCycles += b.cpu
+		cost.AccelCycles += b.accel
 	}
 	return cost
+}
+
+// PredictEnergy prices one inference's dynamic energy (pJ) under an energy
+// model, split like the cycle Cost: core+memory energy of the CPU-side
+// charges vs accelerator MAC+DMA energy. Static power is the engine's
+// business (a function of elapsed time, not of this inference).
+func (s *Session) PredictEnergy(core soc.CoreParams, ep soc.EnergyParams, params soc.Params, hasGemmini bool) (cpuPJ, accelPJ uint64) {
+	cpuPJ = soc.ScalarEnergyPJ(ep, s.perRunOverheadInstrs)
+	for _, op := range s.ops {
+		b := s.priceOp(op, core, ep, params.WorkloadScale, hasGemmini)
+		cpuPJ += b.cpuPJ + b.cpuMemPJ
+		accelPJ += b.accelPJ + b.accelMem
+	}
+	return cpuPJ, accelPJ
 }
 
 // Run executes one inference on the simulated SoC: the functional forward
@@ -176,13 +212,15 @@ func (s *Session) Run(rt *soc.Runtime, input *tensor.Tensor) dnn.Output {
 	out := s.Forward(rt, input)
 	core := rt.Core()
 	params := rt.Params()
+	ep := rt.Energy()
 
-	rt.Compute(soc.ScalarCycles(core, s.perRunOverheadInstrs))
+	rt.ComputeEnergy(soc.ScalarCycles(core, s.perRunOverheadInstrs),
+		soc.ScalarEnergyPJ(ep, s.perRunOverheadInstrs), 0)
 	for _, op := range s.ops {
-		cpu, accel := s.priceOp(op, core, params.WorkloadScale, rt.HasGemmini())
-		rt.Compute(cpu)
-		if accel > 0 {
-			rt.ComputeAccel(accel)
+		b := s.priceOp(op, core, ep, params.WorkloadScale, rt.HasGemmini())
+		rt.ComputeEnergy(b.cpu, b.cpuPJ, b.cpuMemPJ)
+		if b.accel > 0 {
+			rt.ComputeAccelEnergy(b.accel, b.accelPJ, b.accelMem)
 		}
 	}
 	return out
@@ -200,27 +238,37 @@ func (s *Session) Forward(rt *soc.Runtime, input *tensor.Tensor) dnn.Output {
 	return s.net.ForwardWSP(s.ws, input, s.prec)
 }
 
-// Charge is one entry of a session's cycle bill.
+// Charge is one entry of a session's cycle-and-energy bill.
 type Charge struct {
 	Cycles uint64
 	Accel  bool
+	// EnergyPJ is the dynamic energy for the charge's primary domain (core,
+	// or accelerator when Accel); MemPJ is the memory-domain energy riding
+	// the same charge (streams, DMA).
+	EnergyPJ uint64
+	MemPJ    uint64
 }
 
-// ChargePlan appends the inference's cycle bill to dst, in exactly the order
-// Run charges it: the per-run overhead, then per op the CPU charge followed
-// by the accelerator charge when present. Replaying the plan through
-// Compute/ComputeAccel is cycle-identical to Run; because it is a flat list,
-// a resumable controller can record an index into it and re-bill only the
-// remainder after a restore.
+// ChargePlan appends the inference's cycle-and-energy bill to dst, in
+// exactly the order Run charges it: the per-run overhead, then per op the
+// CPU charge followed by the accelerator charge when present. Replaying the
+// plan through ComputeEnergy/ComputeAccelEnergy is cycle- and
+// energy-identical to Run; because it is a flat list, a resumable controller
+// can record an index into it and re-bill only the remainder after a
+// restore.
 func (s *Session) ChargePlan(rt *soc.Runtime, dst []Charge) []Charge {
 	core := rt.Core()
 	params := rt.Params()
-	dst = append(dst, Charge{Cycles: soc.ScalarCycles(core, s.perRunOverheadInstrs)})
+	ep := rt.Energy()
+	dst = append(dst, Charge{
+		Cycles:   soc.ScalarCycles(core, s.perRunOverheadInstrs),
+		EnergyPJ: soc.ScalarEnergyPJ(ep, s.perRunOverheadInstrs),
+	})
 	for _, op := range s.ops {
-		cpu, accel := s.priceOp(op, core, params.WorkloadScale, rt.HasGemmini())
-		dst = append(dst, Charge{Cycles: cpu})
-		if accel > 0 {
-			dst = append(dst, Charge{Cycles: accel, Accel: true})
+		b := s.priceOp(op, core, ep, params.WorkloadScale, rt.HasGemmini())
+		dst = append(dst, Charge{Cycles: b.cpu, EnergyPJ: b.cpuPJ, MemPJ: b.cpuMemPJ})
+		if b.accel > 0 {
+			dst = append(dst, Charge{Cycles: b.accel, Accel: true, EnergyPJ: b.accelPJ, MemPJ: b.accelMem})
 		}
 	}
 	return dst

@@ -45,12 +45,17 @@ import (
 // cannot be decoded by older readers must bump the version suffix.
 const Magic = "rose-snap/1\n"
 
-// Section tags. Each appears at most once per image.
+// Section tags. Each appears at most once per image. The energy section is
+// optional within version 1: images written before the energy ledger
+// existed simply lack it (Decode yields a zeroed ledger and
+// Image.HasEnergy == false so callers can warn), and pre-energy readers
+// skip it as an unknown tag — CRC still verified — without failing.
 const (
-	secMeta = "meta"
-	secCore = "core"
-	secEnv  = "env "
-	secSoC  = "soc "
+	secMeta   = "meta"
+	secCore   = "core"
+	secEnv    = "env "
+	secSoC    = "soc "
+	secEnergy = "nrgy"
 )
 
 // maxSectionBytes bounds a section payload so a corrupt length field cannot
@@ -79,6 +84,11 @@ type Image struct {
 	Core core.State
 	Env  env.SimState
 	SoC  soc.SnapState
+	// HasEnergy reports whether the image carried the energy section
+	// ("nrgy"). When false — a pre-energy image — SoC.Stats.Energy is
+	// zeroed and restored missions restart energy accounting from zero;
+	// callers should log a warning rather than fail.
+	HasEnergy bool
 }
 
 // RTL is the capture surface a snapshot needs from the SoC side: the local
@@ -139,9 +149,20 @@ func Encode(img *Image) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: encoding env state: %w", err)
 	}
-	socPayload, err := gobEnc(&img.SoC)
+	// The energy ledger travels in its own optional section: the soc
+	// section is written from a copy with the ledger zeroed, so the "nrgy"
+	// payload is authoritative and a reader that predates it reconstructs
+	// exactly the pre-energy image shape.
+	socSt := img.SoC
+	ledger := socSt.Stats.Energy
+	socSt.Stats.Energy = soc.EnergyLedger{}
+	socPayload, err := gobEnc(&socSt)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: encoding soc state: %w", err)
+	}
+	energyPayload, err := gobEnc(&ledger)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: encoding energy ledger: %w", err)
 	}
 
 	sections := []struct {
@@ -152,6 +173,7 @@ func Encode(img *Image) ([]byte, error) {
 		{secCore, corePayload},
 		{secEnv, envPayload},
 		{secSoC, socPayload},
+		{secEnergy, energyPayload},
 	}
 	var out []byte
 	out = append(out, Magic...)
@@ -176,6 +198,7 @@ func Decode(data []byte) (*Image, error) {
 	p = p[4:]
 	img := &Image{}
 	seen := map[string]bool{}
+	var ledger soc.EnergyLedger
 	for i := uint32(0); i < count; i++ {
 		if len(p) < 12 {
 			return nil, fmt.Errorf("snapshot: truncated section header (section %d)", i)
@@ -206,6 +229,10 @@ func Decode(data []byte) (*Image, error) {
 			err = gob.NewDecoder(bytes.NewReader(payload)).Decode(&img.Env)
 		case secSoC:
 			err = gob.NewDecoder(bytes.NewReader(payload)).Decode(&img.SoC)
+		case secEnergy:
+			if err = gob.NewDecoder(bytes.NewReader(payload)).Decode(&ledger); err == nil {
+				img.HasEnergy = true
+			}
 		default:
 			// Unknown sections are skipped (CRC still verified): room for
 			// forward-compatible extensions within version 1.
@@ -218,6 +245,11 @@ func Decode(data []byte) (*Image, error) {
 		if !seen[tag] {
 			return nil, fmt.Errorf("snapshot: image missing section %q", tag)
 		}
+	}
+	// Inject the ledger after the section loop so the result is independent
+	// of the soc/nrgy section order on the wire.
+	if img.HasEnergy {
+		img.SoC.Stats.Energy = ledger
 	}
 	return img, nil
 }

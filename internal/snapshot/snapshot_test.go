@@ -19,8 +19,38 @@ func sampleImage() *Image {
 		Meta: Meta{Quantum: 42, TraceSeq: 7, Spec: json.RawMessage(`{"map":"tunnel"}`)},
 		Core: core.State{Quantum: 42, SimT: 0.7, FrameDebt: 0.25, Syncs: 42},
 		Env:  env.SimState{Frame: 50, SimT: 0.83, Collided: false},
-		SoC:  soc.SnapState{Cycle: 123456, HasPending: true, Pending: soc.PendReq{Kind: 1, Cycles: 100, Left: 40}},
+		SoC: soc.SnapState{
+			Cycle: 123456, HasPending: true,
+			Pending: soc.PendReq{Kind: 1, Cycles: 100, Left: 40},
+			Stats:   soc.Stats{Energy: soc.EnergyLedger{CorePJ: 1111, AccelPJ: 2222, MemPJ: 3333}},
+		},
 	}
+}
+
+// stripSection removes one tagged section from an encoded image and
+// decrements the section count — the shape of an image written by a binary
+// that predates that section.
+func stripSection(t *testing.T, enc []byte, tag string) []byte {
+	t.Helper()
+	out := append([]byte(nil), enc[:len(Magic)+4]...)
+	count := binary.LittleEndian.Uint32(enc[len(Magic):])
+	p := enc[len(Magic)+4:]
+	removed := false
+	for i := uint32(0); i < count; i++ {
+		length := binary.LittleEndian.Uint32(p[4:])
+		section := p[:12+length]
+		p = p[12+length:]
+		if string(section[:4]) == tag {
+			removed = true
+			continue
+		}
+		out = append(out, section...)
+	}
+	if !removed {
+		t.Fatalf("section %q not present to strip", tag)
+	}
+	binary.LittleEndian.PutUint32(out[len(Magic):], count-1)
+	return out
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
@@ -47,6 +77,64 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(img.SoC, dec.SoC) {
 		t.Errorf("soc round trip: want %+v got %+v", img.SoC, dec.SoC)
+	}
+	if !dec.HasEnergy {
+		t.Error("freshly encoded image decoded without the energy section")
+	}
+}
+
+// TestDecodePreEnergyImage: an image without the "nrgy" section — written
+// before the energy ledger existed — must decode cleanly with a zeroed
+// ledger and HasEnergy == false, so restore paths can warn instead of fail.
+func TestDecodePreEnergyImage(t *testing.T) {
+	img := sampleImage()
+	enc, err := Encode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := stripSection(t, enc, secEnergy)
+	dec, err := Decode(old)
+	if err != nil {
+		t.Fatalf("pre-energy image rejected: %v", err)
+	}
+	if dec.HasEnergy {
+		t.Error("HasEnergy set on an image with no energy section")
+	}
+	if dec.SoC.Stats.Energy != (soc.EnergyLedger{}) {
+		t.Errorf("pre-energy image decoded a nonzero ledger: %+v", dec.SoC.Stats.Energy)
+	}
+	// Everything else survives unchanged.
+	if dec.SoC.Cycle != img.SoC.Cycle || !reflect.DeepEqual(dec.Core, img.Core) {
+		t.Errorf("pre-energy image lost state: soc cycle %d, core %+v", dec.SoC.Cycle, dec.Core)
+	}
+}
+
+// TestDecodeCorruptEnergySection: the optional section is still
+// CRC-protected — a flipped bit refuses the image rather than silently
+// restoring a wrong ledger.
+func TestDecodeCorruptEnergySection(t *testing.T) {
+	enc, err := Encode(sampleImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the nrgy section and flip a payload byte.
+	p := enc[len(Magic)+4:]
+	off := len(Magic) + 4
+	for {
+		length := binary.LittleEndian.Uint32(p[4:])
+		if string(p[:4]) == secEnergy {
+			bad := append([]byte(nil), enc...)
+			bad[off+12] ^= 0x01
+			if _, err := Decode(bad); err == nil || !strings.Contains(err.Error(), "CRC") {
+				t.Fatalf("want CRC error for corrupt energy payload, got %v", err)
+			}
+			return
+		}
+		p = p[12+length:]
+		off += int(12 + length)
+		if len(p) == 0 {
+			t.Fatal("energy section not found")
+		}
 	}
 }
 

@@ -57,3 +57,44 @@ func CPUMatmulCyclesInt8(c CoreParams, macs uint64) uint64 {
 	}
 	return cy
 }
+
+// Energy helpers parallel the cycle helpers above: workload quantities to
+// integer picojoules under the calibrated EnergyParams. Each applies exactly
+// one float multiply and one floor per call, keeping totals deterministic
+// across runs and hosts (same IEEE-754 float64 contract the cycle helpers
+// rely on).
+
+// ScalarEnergyPJ prices n general-purpose instructions.
+func ScalarEnergyPJ(e EnergyParams, instrs uint64) uint64 {
+	return uint64(float64(instrs) * e.ScalarIntPJ)
+}
+
+// StreamEnergyPJ prices a streaming memory operation over n bytes.
+func StreamEnergyPJ(e EnergyParams, bytes uint64) uint64 {
+	return uint64(float64(bytes) * e.StreamPJPerByte)
+}
+
+// DRAMEnergyPJ prices accelerator DMA traffic to main memory.
+func DRAMEnergyPJ(e EnergyParams, bytes uint64) uint64 {
+	return uint64(float64(bytes) * e.DRAMPJPerByte)
+}
+
+// CPUMatmulEnergyPJ prices a scalar fp32 matmul's MACs.
+func CPUMatmulEnergyPJ(e EnergyParams, macs uint64) uint64 {
+	return uint64(float64(macs) * e.ScalarFPMACPJ)
+}
+
+// CPUMatmulEnergyPJInt8 prices a scalar int8 matmul's MACs.
+func CPUMatmulEnergyPJInt8(e EnergyParams, macs uint64) uint64 {
+	return uint64(float64(macs) * e.ScalarIntMACPJ)
+}
+
+// AccelMatmulEnergyPJ prices a Gemmini fp32 matmul's MACs.
+func AccelMatmulEnergyPJ(e EnergyParams, macs uint64) uint64 {
+	return uint64(float64(macs) * e.AccelFP32MACPJ)
+}
+
+// AccelMatmulEnergyPJInt8 prices a Gemmini int8 matmul's MACs.
+func AccelMatmulEnergyPJInt8(e EnergyParams, macs uint64) uint64 {
+	return uint64(float64(macs) * e.AccelInt8MACPJ)
+}

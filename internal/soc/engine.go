@@ -46,11 +46,13 @@ type StateProgram interface {
 // co-simulation: the synchronizer pushes packets, grants cycle quanta via
 // Step, and pulls responses, mirroring FireSim + RoSÉ BRIDGE.
 type Machine struct {
-	params Params
-	core   CoreParams
-	kind   CoreKind
-	hasAcc bool
-	br     *bridge.Bridge
+	params   Params
+	core     CoreParams
+	kind     CoreKind
+	hasAcc   bool
+	energy   EnergyParams
+	energyOn bool // false = energy accounting disabled (Config.EnergyOff)
+	br       *bridge.Bridge
 
 	cycle uint64
 	stats Stats
@@ -84,6 +86,8 @@ type request struct {
 	kind   reqKind
 	cycles uint64        // compute: cycles to charge
 	accel  bool          // compute: attribute to the accelerator
+	energy uint64        // compute: dynamic pJ for the core/accel domain
+	memPJ  uint64        // compute: dynamic pJ for the memory domain
 	pkt    packet.Packet // send
 }
 
@@ -106,6 +110,11 @@ type Config struct {
 	// Obs instruments the engine: bridge-interface stall counters and
 	// mirrors of the cycle accounting (nil = disabled).
 	Obs *obs.SoCObs
+	// Energy overrides the calibrated energy model (zero value selects
+	// EnergyFor(Core, Gemmini)); EnergyOff disables energy accounting
+	// entirely (the ledger stays zero and no energy math runs).
+	Energy    EnergyParams
+	EnergyOff bool
 }
 
 // NewMachine builds a machine and starts the program coroutine. The program
@@ -130,17 +139,26 @@ func newMachine(cfg Config) *Machine {
 	if p.ClockHz == 0 {
 		p = DefaultParams()
 	}
+	e := cfg.Energy
+	if e == (EnergyParams{}) {
+		e = EnergyFor(cfg.Core, cfg.Gemmini)
+	}
+	if cfg.EnergyOff {
+		e = EnergyParams{}
+	}
 	return &Machine{
-		params: p,
-		core:   Core(cfg.Core),
-		kind:   cfg.Core,
-		hasAcc: cfg.Gemmini,
-		obs:    cfg.Obs,
-		br:     bridge.New(cfg.RxQueueBytes, cfg.TxQueueBytes),
-		reqCh:  make(chan request),
-		resCh:  make(chan response),
-		exitCh: make(chan error, 1),
-		killCh: make(chan struct{}),
+		params:   p,
+		core:     Core(cfg.Core),
+		kind:     cfg.Core,
+		hasAcc:   cfg.Gemmini,
+		energy:   e,
+		energyOn: !cfg.EnergyOff,
+		obs:      cfg.Obs,
+		br:       bridge.New(cfg.RxQueueBytes, cfg.TxQueueBytes),
+		reqCh:    make(chan request),
+		resCh:    make(chan response),
+		exitCh:   make(chan error, 1),
+		killCh:   make(chan struct{}),
 	}
 }
 
@@ -171,6 +189,14 @@ func (m *Machine) CoreParams() CoreParams { return m.core }
 
 // HasGemmini reports whether the DNN accelerator is present.
 func (m *Machine) HasGemmini() bool { return m.hasAcc }
+
+// EnergyParams returns the machine's energy model (the zero value when
+// accounting is disabled).
+func (m *Machine) EnergyParams() EnergyParams { return m.energy }
+
+// EnergyBreakdown returns the dynamic ledger plus the static energy
+// integrated over the cycles elapsed so far.
+func (m *Machine) EnergyBreakdown() EnergyBreakdown { return m.energy.Breakdown(m.Stats()) }
 
 // Cycle returns the current simulated cycle.
 func (m *Machine) Cycle() uint64 { return m.cycle }
@@ -286,6 +312,12 @@ func (m *Machine) Step(cycles uint64) (uint64, error) {
 		s := m.stats
 		m.obs.Mirror(m.cycle, s.ComputeCycles, s.AccelCycles, s.IOCycles,
 			s.IdleCycles, s.PacketsIn, s.PacketsOut, s.Syncs)
+		if m.energyOn {
+			st := m.energy.Static(m.cycle)
+			b := EnergyBreakdown{Dynamic: s.Energy, Static: st}
+			m.obs.MirrorEnergy(s.Energy.CorePJ, s.Energy.AccelPJ, s.Energy.MemPJ,
+				st.TotalPJ(), int64(b.AvgPowerWatts(m.cycle, m.params.ClockHz)*1e3))
+		}
 	}
 	return cycles, nil
 }
@@ -299,18 +331,23 @@ func (m *Machine) beginRequest(r request) {
 		// guarantees forward progress for programs that only poll time.
 		r.kind = reqCompute
 		r.cycles = 1
+		r.energy = ScalarEnergyPJ(m.energy, 1)
+		m.chargeEnergyCompute(&r)
 		m.pending = &r
 		m.pendLeft = 1
 	case reqCompute:
+		m.chargeEnergyCompute(&r)
 		m.pending = &r
 		m.pendLeft = r.cycles
 	case reqTryRecv:
 		m.charge(m.params.PollCycles, chargeIO)
+		m.chargeEnergyPoll()
 		if pkt, ok := m.br.RecvData(); ok {
 			// Transfer cost then respond. Model it as a pending charge
 			// with the response deferred to completion.
 			r.pkt = pkt
 			r.cycles = m.params.TransferCycles(pkt.Size())
+			m.chargeEnergyTransfer(pkt.Size())
 			m.pending = &r
 			m.pendLeft = r.cycles
 		} else {
@@ -320,6 +357,7 @@ func (m *Machine) beginRequest(r request) {
 		if pkt, ok := m.br.RecvData(); ok {
 			r.pkt = pkt
 			r.cycles = m.params.TransferCycles(pkt.Size())
+			m.chargeEnergyTransfer(pkt.Size())
 			m.pending = &r
 			m.pendLeft = r.cycles
 		} else {
@@ -336,6 +374,7 @@ func (m *Machine) beginRequest(r request) {
 	case reqSend:
 		if m.br.SendData(r.pkt) {
 			r.cycles = m.params.TransferCycles(r.pkt.Size())
+			m.chargeEnergyTransfer(r.pkt.Size())
 			m.pending = &r
 			m.pendLeft = r.cycles
 		} else {
@@ -367,6 +406,7 @@ func (m *Machine) chargePending() bool {
 		if pkt, ok := m.br.RecvData(); ok {
 			r.pkt = pkt
 			m.pendLeft = m.params.TransferCycles(pkt.Size())
+			m.chargeEnergyTransfer(pkt.Size())
 		} else {
 			if m.obs != nil {
 				m.obs.RecvStalls.Inc()
@@ -378,6 +418,7 @@ func (m *Machine) chargePending() bool {
 	if m.pendLeft == 0 && r.kind == reqSend {
 		if m.br.SendData(r.pkt) {
 			m.pendLeft = m.params.TransferCycles(r.pkt.Size())
+			m.chargeEnergyTransfer(r.pkt.Size())
 		} else {
 			if m.obs != nil {
 				m.obs.SendStalls.Inc()
@@ -411,6 +452,43 @@ func (m *Machine) chargePending() bool {
 		m.resCh <- response{ok: true, cycle: m.cycle}
 	}
 	return true
+}
+
+// chargeEnergyCompute books a compute request's dynamic energy at pricing
+// time (not pro-rata per cycle): a request interrupted mid-charge by a
+// snapshot carries its full energy in the captured ledger, and the restore
+// path re-arms the remaining cycles without re-pricing — which is what makes
+// snapshot→restore→run totals equal an uninterrupted run, bit for bit.
+func (m *Machine) chargeEnergyCompute(r *request) {
+	if !m.energyOn {
+		return
+	}
+	if r.accel {
+		m.stats.Energy.AccelPJ += r.energy
+	} else {
+		m.stats.Energy.CorePJ += r.energy
+	}
+	m.stats.Energy.MemPJ += r.memPJ
+}
+
+// chargeEnergyPoll books one status-register poll: a single bus word of
+// MMIO traffic.
+func (m *Machine) chargeEnergyPoll() {
+	if !m.energyOn {
+		return
+	}
+	m.stats.Energy.MemPJ += uint64(float64(m.params.BusBytes) * m.energy.MMIOPJPerByte)
+}
+
+// chargeEnergyTransfer books one packet's MMIO queue traffic, priced per
+// bus beat like TransferCycles. Blocked sends/recvs are charged exactly once,
+// when the retry finally prices the transfer.
+func (m *Machine) chargeEnergyTransfer(n int) {
+	if !m.energyOn {
+		return
+	}
+	beats := (n + m.params.BusBytes - 1) / m.params.BusBytes
+	m.stats.Energy.MemPJ += uint64(float64(beats*m.params.BusBytes) * m.energy.MMIOPJPerByte)
 }
 
 func (m *Machine) charge(c uint64, class chargeClass) {
@@ -452,17 +530,35 @@ func (rt *Runtime) Now() uint64 { return rt.do(request{kind: reqNow}).cycle }
 // NowSec returns the current simulated time in seconds.
 func (rt *Runtime) NowSec() float64 { return rt.m.params.CyclesToSeconds(rt.Now()) }
 
-// Compute charges `cycles` of CPU work to the simulated core.
+// Compute charges `cycles` of CPU work to the simulated core. Dynamic
+// energy defaults to general-purpose integer code at the core's effective
+// IPC; callers that know their workload mix (the inference session) use
+// ComputeEnergy instead.
 func (rt *Runtime) Compute(cycles uint64) {
 	if cycles == 0 {
 		return
 	}
-	rt.do(request{kind: reqCompute, cycles: cycles})
+	r := request{kind: reqCompute, cycles: cycles}
+	if rt.m.energyOn {
+		r.energy = ScalarEnergyPJ(rt.m.energy, uint64(float64(cycles)*rt.m.core.EffIPC))
+	}
+	rt.do(r)
+}
+
+// ComputeEnergy charges `cycles` of CPU work with an explicit dynamic
+// energy bill: corePJ to the core domain, memPJ to the memory domain.
+func (rt *Runtime) ComputeEnergy(cycles, corePJ, memPJ uint64) {
+	if cycles == 0 {
+		return
+	}
+	rt.do(request{kind: reqCompute, cycles: cycles, energy: corePJ, memPJ: memPJ})
 }
 
 // ComputeAccel charges `cycles` of accelerator-busy time. It panics if the
 // SoC configuration has no accelerator — programs must dispatch to the CPU
-// fallback instead.
+// fallback instead. No dynamic energy is charged (static accelerator power
+// still accrues); accelerated kernels bill their MAC and DMA energy through
+// ComputeAccelEnergy.
 func (rt *Runtime) ComputeAccel(cycles uint64) {
 	if !rt.m.hasAcc {
 		panic(fmt.Errorf("soc: ComputeAccel on a config without Gemmini"))
@@ -472,6 +568,23 @@ func (rt *Runtime) ComputeAccel(cycles uint64) {
 	}
 	rt.do(request{kind: reqCompute, cycles: cycles, accel: true})
 }
+
+// ComputeAccelEnergy charges `cycles` of accelerator-busy time with an
+// explicit dynamic energy bill: accelPJ to the accelerator domain (MACs),
+// memPJ to the memory domain (DMA traffic).
+func (rt *Runtime) ComputeAccelEnergy(cycles, accelPJ, memPJ uint64) {
+	if !rt.m.hasAcc {
+		panic(fmt.Errorf("soc: ComputeAccel on a config without Gemmini"))
+	}
+	if cycles == 0 {
+		return
+	}
+	rt.do(request{kind: reqCompute, cycles: cycles, accel: true, energy: accelPJ, memPJ: memPJ})
+}
+
+// Energy returns the machine's energy model (zero when accounting is off),
+// letting the target runtime price its workload's energy alongside cycles.
+func (rt *Runtime) Energy() EnergyParams { return rt.m.energy }
 
 // HasGemmini reports whether the accelerator is available, letting one
 // program binary adapt to the SoC configuration.

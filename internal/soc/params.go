@@ -131,6 +131,124 @@ func (p Params) TransferCycles(n int) uint64 {
 	return p.MMIOSetupCycles + uint64(beats)*p.MMIOWordCycles
 }
 
+// EnergyParams are the calibrated per-action energy costs — the energy
+// counterpart of CoreParams/Params. Dynamic energy is charged in integer
+// picojoules at the same points the engine charges cycles; static (leakage)
+// power accrues per elapsed cycle in each power domain whether or not the
+// domain is active, so idle time costs energy. The zero value never reaches
+// the engine: Config substitutes EnergyFor's calibrated defaults, and
+// Config.EnergyOff is the explicit off switch.
+type EnergyParams struct {
+	// Dynamic energy per operation (pJ/op).
+	ScalarIntPJ    float64 // scalar integer instruction
+	ScalarFPMACPJ  float64 // scalar fp32 multiply-accumulate
+	ScalarIntMACPJ float64 // scalar int8 multiply-accumulate
+	AccelFP32MACPJ float64 // Gemmini fp32 MAC (systolic array)
+	AccelInt8MACPJ float64 // Gemmini int8 MAC (low-precision mode)
+
+	// Dynamic energy per byte moved (pJ/B).
+	StreamPJPerByte float64 // streaming loads/stores (im2col, pooling, glue)
+	MMIOPJPerByte   float64 // bridge MMIO queue beats
+	DRAMPJPerByte   float64 // accelerator DMA traffic to main memory
+
+	// Static (leakage) power per domain (pJ/cycle), integrated over every
+	// elapsed cycle.
+	CoreStaticPJPerCycle  float64
+	AccelStaticPJPerCycle float64
+	MemStaticPJPerCycle   float64
+}
+
+// EnergyFor returns the calibrated energy model for a core kind, sized
+// against published RISC-V SoC measurements at a 1 GHz-class node: the
+// out-of-order BOOM pays ~3x Rocket's per-op energy (wide rename/issue
+// machinery), the systolic array is an order of magnitude below scalar MACs
+// per operation, and the int8 accelerator MAC is ~4x cheaper than fp32 —
+// the energy leg of the precision trade-off axis. Accelerator rates (and
+// its leakage) are zero when the config has no Gemmini.
+func EnergyFor(k CoreKind, gemmini bool) EnergyParams {
+	e := EnergyParams{
+		StreamPJPerByte:      1.1,
+		MMIOPJPerByte:        4,
+		DRAMPJPerByte:        25,
+		MemStaticPJPerCycle:  10,
+		ScalarIntPJ:          6,
+		ScalarFPMACPJ:        14,
+		ScalarIntMACPJ:       5,
+		CoreStaticPJPerCycle: 12,
+	}
+	if k == BOOM {
+		e.ScalarIntPJ = 18
+		e.ScalarFPMACPJ = 26
+		e.ScalarIntMACPJ = 9
+		e.StreamPJPerByte = 1.8
+		e.CoreStaticPJPerCycle = 45
+	}
+	if gemmini {
+		e.AccelFP32MACPJ = 1.4
+		e.AccelInt8MACPJ = 0.35
+		e.AccelStaticPJPerCycle = 8
+	}
+	return e
+}
+
+// Static integrates the leakage power over elapsed cycles. Each domain's
+// rate is a pure function of the (already deterministic) cycle counter, so
+// static energy needs no hot-path accounting and is snapshot-exact for free.
+func (e EnergyParams) Static(cycles uint64) EnergyLedger {
+	return EnergyLedger{
+		CorePJ:  uint64(float64(cycles) * e.CoreStaticPJPerCycle),
+		AccelPJ: uint64(float64(cycles) * e.AccelStaticPJPerCycle),
+		MemPJ:   uint64(float64(cycles) * e.MemStaticPJPerCycle),
+	}
+}
+
+// Breakdown pairs the dynamic ledger accumulated in the stats with the
+// static energy derived from the same stats' cycle counter.
+func (e EnergyParams) Breakdown(s Stats) EnergyBreakdown {
+	return EnergyBreakdown{Dynamic: s.Energy, Static: e.Static(s.Cycles)}
+}
+
+// EnergyLedger is a per-domain energy total in integer picojoules. Integer
+// pJ keep the ledger byte-comparable across runs, hosts, and snapshots —
+// the same determinism contract the cycle counters obey.
+type EnergyLedger struct {
+	CorePJ  uint64 // CPU datapath
+	AccelPJ uint64 // Gemmini systolic array
+	MemPJ   uint64 // memory system: streams, MMIO beats, DRAM/DMA traffic
+}
+
+// TotalPJ sums the domains.
+func (l EnergyLedger) TotalPJ() uint64 { return l.CorePJ + l.AccelPJ + l.MemPJ }
+
+// Add accumulates another ledger into this one.
+func (l *EnergyLedger) Add(o EnergyLedger) {
+	l.CorePJ += o.CorePJ
+	l.AccelPJ += o.AccelPJ
+	l.MemPJ += o.MemPJ
+}
+
+// EnergyBreakdown is the full energy picture of a run: the dynamic ledger
+// charged per action plus the static energy integrated over elapsed cycles.
+type EnergyBreakdown struct {
+	Dynamic EnergyLedger
+	Static  EnergyLedger
+}
+
+// TotalPJ is the grand total (dynamic + static, all domains).
+func (b EnergyBreakdown) TotalPJ() uint64 { return b.Dynamic.TotalPJ() + b.Static.TotalPJ() }
+
+// TotalJoules converts the grand total to joules.
+func (b EnergyBreakdown) TotalJoules() float64 { return float64(b.TotalPJ()) * 1e-12 }
+
+// AvgPowerWatts is the mean power over the run: total energy divided by the
+// simulated wall time of `cycles` at `clockHz`. Zero cycles yield zero.
+func (b EnergyBreakdown) AvgPowerWatts(cycles uint64, clockHz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return b.TotalJoules() / (float64(cycles) / clockHz)
+}
+
 // Stats aggregates engine activity, the raw material for the paper's
 // metrics (latency, accelerator activity factor, simulator throughput).
 type Stats struct {
@@ -142,6 +260,10 @@ type Stats struct {
 	PacketsIn     uint64
 	PacketsOut    uint64
 	Syncs         uint64 // Step() invocations (synchronization quanta)
+	// Energy is the dynamic-energy ledger, charged at the same pricing
+	// points as the cycle counters above (static energy is derived from
+	// Cycles via EnergyParams.Static, never accumulated).
+	Energy EnergyLedger
 }
 
 // ActivityFactor returns the fraction of simulated time the accelerator was

@@ -181,7 +181,14 @@ func (s *Server) handle(req packet.Packet) packet.Packet {
 			hdr[8] = 1
 		}
 		buf.Write(hdr)
-		if err := gob.NewEncoder(&buf).Encode(s.m.Stats()); err != nil {
+		enc := gob.NewEncoder(&buf)
+		if err := enc.Encode(s.m.Stats()); err != nil {
+			return fail(err)
+		}
+		// The energy breakdown rides the same stream: the dynamic ledger is
+		// already inside Stats, but the static half needs the server-side
+		// EnergyParams, which the client does not hold.
+		if err := enc.Encode(s.m.EnergyBreakdown()); err != nil {
 			return fail(err)
 		}
 		return packet.Packet{Type: packet.RTLStatusReply, Payload: buf.Bytes()}
@@ -226,9 +233,10 @@ type RemoteRTL struct {
 	trace *obs.TraceContext // nil = no cross-host propagation
 
 	// cached status from the last RTLStatus round trip
-	cycle uint64
-	done  bool
-	stats Stats
+	cycle  uint64
+	done   bool
+	stats  Stats
+	energy EnergyBreakdown
 }
 
 // DialOptions configures the RTL client transport; see env.DialOptions.
@@ -345,7 +353,11 @@ func (r *RemoteRTL) refresh() error {
 	}
 	r.cycle = binary.LittleEndian.Uint64(resp.Payload)
 	r.done = resp.Payload[8] == 1
-	return gob.NewDecoder(bytes.NewReader(resp.Payload[9:])).Decode(&r.stats)
+	dec := gob.NewDecoder(bytes.NewReader(resp.Payload[9:]))
+	if err := dec.Decode(&r.stats); err != nil {
+		return err
+	}
+	return dec.Decode(&r.energy)
 }
 
 // SnapState captures the remote machine's state over the wire, so local
@@ -383,3 +395,7 @@ func (r *RemoteRTL) Done() bool { return r.done }
 
 // Stats implements core.RTL (from the last status refresh).
 func (r *RemoteRTL) Stats() Stats { return r.stats }
+
+// EnergyBreakdown implements core.EnergyRTL (from the last status refresh):
+// the remote machine's dynamic ledger plus server-computed static energy.
+func (r *RemoteRTL) EnergyBreakdown() EnergyBreakdown { return r.energy }

@@ -44,7 +44,13 @@ type PendReq struct {
 	Cycles uint64 // priced total (0 for a not-yet-priced fetched request)
 	Accel  bool
 	Left   uint64 // cycles still to charge; 0 for blocked I/O retrying
-	Pkt    packet.Packet
+	// EnergyPJ/MemPJ are the request's dynamic energy bill. For a priced
+	// pending request the ledger already holds it (energy is charged at
+	// pricing time); for a not-yet-priced fetched request they are what the
+	// next Step will charge.
+	EnergyPJ uint64
+	MemPJ    uint64
+	Pkt      packet.Packet
 }
 
 // SnapState is the serializable image of a Machine: cycle/stat counters, the
@@ -104,19 +110,23 @@ func (m *Machine) SnapState() (*SnapState, error) {
 	if m.pending != nil {
 		st.HasPending = true
 		st.Pending = PendReq{
-			Kind:   uint8(m.pending.kind),
-			Cycles: m.pending.cycles,
-			Accel:  m.pending.accel,
-			Left:   m.pendLeft,
-			Pkt:    clonePkt(m.pending.pkt),
+			Kind:     uint8(m.pending.kind),
+			Cycles:   m.pending.cycles,
+			Accel:    m.pending.accel,
+			Left:     m.pendLeft,
+			EnergyPJ: m.pending.energy,
+			MemPJ:    m.pending.memPJ,
+			Pkt:      clonePkt(m.pending.pkt),
 		}
 	} else {
 		st.HasFetched = true
 		st.Fetched = PendReq{
-			Kind:   uint8(m.fetched.kind),
-			Cycles: m.fetched.cycles,
-			Accel:  m.fetched.accel,
-			Pkt:    clonePkt(m.fetched.pkt),
+			Kind:     uint8(m.fetched.kind),
+			Cycles:   m.fetched.cycles,
+			Accel:    m.fetched.accel,
+			EnergyPJ: m.fetched.energy,
+			MemPJ:    m.fetched.memPJ,
+			Pkt:      clonePkt(m.fetched.pkt),
 		}
 	}
 	return st, nil
@@ -173,6 +183,8 @@ func RestoreMachine(cfg Config, sp StateProgram, st *SnapState) (*Machine, error
 			kind:   reqKind(st.Pending.Kind),
 			cycles: st.Pending.Cycles,
 			accel:  st.Pending.Accel,
+			energy: st.Pending.EnergyPJ,
+			memPJ:  st.Pending.MemPJ,
 			pkt:    clonePkt(st.Pending.Pkt),
 		}
 		m.pending = &r
@@ -183,6 +195,8 @@ func RestoreMachine(cfg Config, sp StateProgram, st *SnapState) (*Machine, error
 			kind:   reqKind(st.Fetched.Kind),
 			cycles: st.Fetched.Cycles,
 			accel:  st.Fetched.Accel,
+			energy: st.Fetched.EnergyPJ,
+			memPJ:  st.Fetched.MemPJ,
 			pkt:    clonePkt(st.Fetched.Pkt),
 		}
 		m.fetched = &r

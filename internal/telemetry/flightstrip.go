@@ -63,6 +63,14 @@ func HealthStrip(s obs.Summary) string {
 		fmtBytes(uint64(s.BridgeRxHWM)), fmtBytes(uint64(s.BridgeTxHWM)), s.RxDrops)
 	fmt.Fprintf(&b, "  inference  %d runs  mean %s simulated latency\n",
 		s.Inferences, fmtSec(s.MeanInferSec))
+	// The power line appears only when the run produced energy numbers —
+	// a suite with accounting off (or that never ran a mission) omits it
+	// rather than printing a row of zeros.
+	if s.HasEnergy {
+		fmt.Fprintf(&b, "  energy     %s simulated (core %s, accel %s, mem %s, static %s)  avg %s\n",
+			fmtJoules(s.EnergyTotalJ), fmtJoules(s.EnergyCoreJ), fmtJoules(s.EnergyAccelJ),
+			fmtJoules(s.EnergyMemJ), fmtJoules(s.EnergyStaticJ), fmtWatts(s.AvgPowerW))
+	}
 	if s.TraceEvents > 0 || s.TraceDropped > 0 {
 		fmt.Fprintf(&b, "  trace      %d events (%d overwritten)\n",
 			s.TraceEvents, s.TraceDropped)
@@ -95,6 +103,36 @@ func fmtSec(s float64) string {
 		return fmt.Sprintf("%.2fms", s*1e3)
 	default:
 		return fmt.Sprintf("%.2fs", s)
+	}
+}
+
+// fmtJoules prints an energy in the most readable SI unit.
+func fmtJoules(j float64) string {
+	switch {
+	case j <= 0:
+		return "0J"
+	case j < 1e-6:
+		return fmt.Sprintf("%.1fnJ", j*1e9)
+	case j < 1e-3:
+		return fmt.Sprintf("%.1fµJ", j*1e6)
+	case j < 1:
+		return fmt.Sprintf("%.1fmJ", j*1e3)
+	default:
+		return fmt.Sprintf("%.2fJ", j)
+	}
+}
+
+// fmtWatts prints a power in the most readable SI unit.
+func fmtWatts(w float64) string {
+	switch {
+	case w <= 0:
+		return "0W"
+	case w < 1e-3:
+		return fmt.Sprintf("%.1fµW", w*1e6)
+	case w < 1:
+		return fmt.Sprintf("%.1fmW", w*1e3)
+	default:
+		return fmt.Sprintf("%.2fW", w)
 	}
 }
 

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestHealthStripPowerLine(t *testing.T) {
+	s := obs.Summary{
+		Quanta: 180, WallSeconds: 1.5, QuantaPerSec: 120,
+		HasEnergy:   true,
+		EnergyCoreJ: 0.9, EnergyAccelJ: 0.4, EnergyMemJ: 0.2, EnergyStaticJ: 1.8,
+		EnergyTotalJ: 3.3,
+		AvgPowerW:    1.1,
+	}
+	out := HealthStrip(s)
+	if !strings.Contains(out, "energy") {
+		t.Fatalf("power line missing:\n%s", out)
+	}
+	for _, want := range []string{"3.30J simulated", "core 900.0mJ", "accel 400.0mJ", "mem 200.0mJ", "static 1.80J", "avg 1.10W"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("power line lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// A summary with no energy (accounting off, or no mission ran) omits the
+// power line entirely rather than printing zeros.
+func TestHealthStripNoEnergyOmitsLine(t *testing.T) {
+	out := HealthStrip(obs.Summary{Quanta: 10, WallSeconds: 0.1, QuantaPerSec: 100})
+	if strings.Contains(out, "energy") {
+		t.Fatalf("power line rendered without energy data:\n%s", out)
+	}
+}
+
+// The zero-value strip — quantum count 0, everything unset — must render
+// without NaN, Inf, or a divide-by-zero panic.
+func TestHealthStripZeroValue(t *testing.T) {
+	out := HealthStrip(obs.Summary{})
+	for _, bad := range []string{"NaN", "Inf", "energy"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("zero-value strip contains %q:\n%s", bad, out)
+		}
+	}
+	if !strings.Contains(out, "cosim health") {
+		t.Errorf("zero-value strip lost its header:\n%s", out)
+	}
+}
+
+func TestFmtJoulesTiers(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0J"},
+		{-1, "0J"},
+		{3e-9, "3.0nJ"},
+		{42e-6, "42.0µJ"},
+		{7.5e-3, "7.5mJ"},
+		{2.25, "2.25J"},
+	}
+	for _, c := range cases {
+		if got := fmtJoules(c.in); got != c.want {
+			t.Errorf("fmtJoules(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFmtWattsTiers(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0W"},
+		{5e-6, "5.0µW"},
+		{120e-3, "120.0mW"},
+		{1.75, "1.75W"},
+	}
+	for _, c := range cases {
+		if got := fmtWatts(c.in); got != c.want {
+			t.Errorf("fmtWatts(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -176,6 +176,37 @@ func WriteSeriesJSON(w io.Writer, series []Series) error {
 	return enc.Encode(out)
 }
 
+// WriteTableCSV writes a header-plus-rows table as CSV, rows as-is with the
+// first row as the header.
+func WriteTableCSV(w io.Writer, rows [][]string) error {
+	o := newCSVOut(w)
+	for _, r := range rows {
+		o.row(r...)
+	}
+	return o.close()
+}
+
+// WriteTableJSON writes a header-plus-rows table as a JSON array of objects
+// keyed by the header — the machine-readable companion to WriteTableCSV.
+func WriteTableJSON(w io.Writer, rows [][]string) error {
+	out := []map[string]string{}
+	if len(rows) > 0 {
+		hdr := rows[0]
+		for _, r := range rows[1:] {
+			obj := make(map[string]string, len(hdr))
+			for i, h := range hdr {
+				if i < len(r) {
+					obj[h] = r[i]
+				}
+			}
+			out = append(out, obj)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 // MeanSpeed returns the average ground speed over a trajectory.
 func MeanSpeed(traj []env.Telemetry) float64 {
 	if len(traj) == 0 {

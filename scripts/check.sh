@@ -53,6 +53,13 @@ echo "== snapshot parity matrix =="
 # TCP-remote RTL, raced fresh every time.
 go test -race -count=1 -run 'TestSnapshotParity' ./internal/experiments/
 
+echo "== energy parity matrix =="
+# The energy ledger's determinism contract: byte-identical EnergyBreakdown
+# totals across {overlap, serial} x {local, TCP-remote RTL}, pre-energy
+# images restoring with a zeroed ledger, and EnergyOff leaving the mission's
+# timing and trajectory untouched.
+go test -race -count=1 -run 'TestEnergy|TestRestorePreEnergyImage' ./internal/experiments/
+
 echo "== fuzz smoke (30s) =="
 # A short native-fuzzing burst per wire-facing decoder: packet framing
 # (buffer and stream decoders, including the resilience extension + CRC)
