@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet check chaos fuzz bench bench-kernels parity snapparity energyparity
+.PHONY: build test vet check chaos fuzz bench bench-kernels parity snapparity energyparity fingerparity
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,14 @@ snapparity:
 # the EnergyOff knob leaving timing untouched; make check runs the same set.
 energyparity:
 	$(GO) test -race -count=1 -run 'TestEnergy|TestRestorePreEnergyImage' ./internal/experiments/
+
+# fingerparity proves the determinism-fingerprint contract: the rolling
+# per-quantum FNV-1a chain is identical for a local machine and a TCP-remote
+# RTL server running the same mission, the fingerprint log round-trips, and
+# the live-divergence bisector localizes an injected wire-level bit flip to
+# the quantum where it happened; make check runs the same matrix.
+fingerparity:
+	$(GO) test -race -count=1 -run 'TestFingerprintParityLocalRemote|TestFingerprintLogRoundTrip|TestLiveDivergenceRemoteRTL|TestFirstDivergentQuantum' ./internal/experiments/
 
 # fuzz gives each framing/codec fuzz target a short native-fuzzing burst.
 fuzz:

@@ -150,6 +150,62 @@ func BenchmarkMissionStepObserved(b *testing.B) {
 	benchMission(b, core.OverlapOn, obs.New(-1), false)
 }
 
+// BenchmarkMissionStepStreamPaired alternates a bare mission and a mission
+// with the full fleet-observability path live — per-quantum fingerprint
+// recording plus a metrics suite whose stream bus has an attached,
+// actively-draining subscriber — inside one timing loop so shared-vCPU
+// drift cancels (the PR 6/8 paired idiom). The reported
+// stream_fprint_overhead_pct is the authoritative number for the ≤2%
+// contract: always-on fingerprinting and one live rose-top viewer together
+// must stay within 2% of the untouched hot path.
+func BenchmarkMissionStepStreamPaired(b *testing.B) {
+	pretrain(b, "ResNet6")
+	bare := experiments.MissionSpec{
+		Map: "tunnel", Model: "ResNet6", HW: config.A,
+		VForward: 3, MaxSimSec: 2, Overlap: core.OverlapOn,
+	}
+	suite := obs.New(0)
+	instr := bare
+	instr.Obs = suite
+	instr.RecordFingerprints = true
+	// The attached subscriber drains like a live rose-top: frames are
+	// consumed, so Publish takes the send path, not the drop path.
+	sub := suite.Bus.Subscribe(256)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-sub.C():
+			case <-done:
+				return
+			}
+		}
+	}()
+	defer func() {
+		close(done)
+		suite.Bus.Unsubscribe(sub)
+	}()
+	for _, spec := range []experiments.MissionSpec{bare, instr} { // warm both arms
+		if _, err := experiments.RunMission(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var base, obsd time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := experiments.RunMission(bare); err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		if _, err := experiments.RunMission(instr); err != nil {
+			b.Fatal(err)
+		}
+		base, obsd = base+t1.Sub(t0), obsd+time.Since(t1)
+	}
+	b.ReportMetric((float64(obsd)/float64(base)-1)*100, "stream_fprint_overhead_pct")
+}
+
 // BenchmarkMissionStepEnergyOff disables the energy ledger
 // (soc.Config.EnergyOff): the baseline of the energy-accounting overhead
 // pair. The default BenchmarkMissionStep charges energy at every pricing

@@ -67,12 +67,25 @@ func main() {
 		mergeSim = flag.String("merge-sim", "", "merge mode: introspection URL of the rose-sim host")
 		mergeEnv = flag.String("merge-env", "", "merge mode: introspection URL of the rose-env-server host")
 		mergeOut = flag.String("merge-out", "merged_trace.json", "merge mode: output path for the merged Chrome trace")
+		fpLog    = flag.String("fingerprint-log", "", "record the per-quantum determinism fingerprint chain and write it to this file (one hex value per line)")
+		fpdiffA  = flag.String("fpdiff-a", "", "diff mode: first fingerprint log (with -fpdiff-b; reports the first divergent quantum)")
+		fpdiffB  = flag.String("fpdiff-b", "", "diff mode: second fingerprint log")
 	)
 	flag.Parse()
 
 	if *mergeSim != "" || *mergeEnv != "" {
 		if err := mergeTraces(*mergeSim, *mergeEnv, *mergeOut); err != nil {
 			log.Fatal(err)
+		}
+		return
+	}
+	if *fpdiffA != "" || *fpdiffB != "" {
+		diverged, err := diffFingerprints(*fpdiffA, *fpdiffB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if diverged {
+			os.Exit(1)
 		}
 		return
 	}
@@ -171,19 +184,20 @@ func main() {
 		obs.Str("gemm_kernel", tensor.ActiveKernel().String()),
 		obs.Str("precision", precision.String()))
 	spec := experiments.MissionSpec{
-		Map:         *mapName,
-		Model:       *model,
-		SmallModel:  *small,
-		HW:          hw,
-		VForward:    *vfwd,
-		StartYawDeg: *yawDeg,
-		SyncCycles:  *sync,
-		MaxSimSec:   *maxSec,
-		Seed:        *seed,
-		Overlap:     overlapMode(*serial),
-		Obs:         suite,
-		Precision:   precision,
-		EnvAddr:     *envAddr,
+		Map:                *mapName,
+		Model:              *model,
+		SmallModel:         *small,
+		HW:                 hw,
+		VForward:           *vfwd,
+		StartYawDeg:        *yawDeg,
+		SyncCycles:         *sync,
+		MaxSimSec:          *maxSec,
+		Seed:               *seed,
+		Overlap:            overlapMode(*serial),
+		Obs:                suite,
+		Precision:          precision,
+		EnvAddr:            *envAddr,
+		RecordFingerprints: *fpLog != "",
 		EnvDial: env.DialOptions{
 			DialTimeout: *dialTO,
 			RPCTimeout:  *rpcTO,
@@ -199,7 +213,7 @@ func main() {
 		if !restoreImg.HasEnergy {
 			fmt.Println("warning: image predates the energy ledger; energy totals cover only the resumed portion")
 		}
-		out, err = experiments.ResumeMission(restoreImg, suite)
+		out, err = experiments.ResumeMission(restoreImg, suite, *fpLog != "")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -246,6 +260,23 @@ func main() {
 			float64(b.Dynamic.CorePJ)*1e-12, float64(b.Dynamic.AccelPJ)*1e-12,
 			float64(b.Dynamic.MemPJ)*1e-12, float64(b.Static.TotalPJ())*1e-12,
 			b.AvgPowerWatts(r.Cycles, 1e9)*1e3)
+	}
+
+	fmt.Printf("fprint:  %016x (rolling determinism fingerprint, %d quanta)\n", r.Fingerprint, r.Syncs)
+	if *fpLog != "" {
+		f, err := os.Create(*fpLog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.WriteFingerprintLog(f, r.Fingerprints); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fingerprint log (%d quanta) written to %s (diff two logs with -fpdiff-a/-fpdiff-b)\n",
+			len(r.Fingerprints), *fpLog)
 	}
 
 	if suite != nil {
@@ -331,6 +362,40 @@ func mergeTraces(simURL, envURL, out string) error {
 	fmt.Printf("clock offset %s from %d matched quanta (open in https://ui.perfetto.dev)\n",
 		offset.Round(time.Microsecond), samples)
 	return nil
+}
+
+// diffFingerprints is the divergence bisector CLI: given two fingerprint
+// logs (from -fingerprint-log runs), it reports whether and where the
+// chains first diverge. The rolling-chain property means the reported
+// quantum is exactly where the mission state first differed — replay to
+// that quantum (e.g. -snapshot-at) to inspect it.
+func diffFingerprints(pathA, pathB string) (diverged bool, err error) {
+	if pathA == "" || pathB == "" {
+		return false, fmt.Errorf("rose-sim: fingerprint diff needs both -fpdiff-a and -fpdiff-b")
+	}
+	parse := func(path string) ([]uint64, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		fps, err := experiments.ParseFingerprintLog(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return fps, nil
+	}
+	a, err := parse(pathA)
+	if err != nil {
+		return false, err
+	}
+	b, err := parse(pathB)
+	if err != nil {
+		return false, err
+	}
+	fmt.Println(experiments.DivergenceReport(pathA, a, pathB, b))
+	_, diverged = experiments.FirstDivergentQuantum(a, b)
+	return diverged, nil
 }
 
 // forceKernel applies a -gemm-kernel override and surfaces an invalid

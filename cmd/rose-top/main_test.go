@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWatchRendersLatestFramePerMission(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"mission":"m1","seq":1,"time_sec":0.1,"cycles":16666667,"fingerprint":"aaaaaaaaaaaaaaaa"}`,
+		`{"heartbeat":true}`,
+		`{"mission":"m2","seq":1,"time_sec":0.1,"cycles":16666667,"fingerprint":"bbbbbbbbbbbbbbbb"}`,
+		`{"mission":"m1","seq":2,"time_sec":0.2,"cycles":33333334,"fingerprint":"cccccccccccccccc","dropped":3}`,
+	}, "\n") + "\n"
+	var out strings.Builder
+	if err := watch(strings.NewReader(stream), &out, "test", time.Hour, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// Latest frame wins: m1 shows seq 2's fingerprint, not seq 1's.
+	if strings.Contains(got, "aaaaaaaaaaaaaaaa") {
+		t.Errorf("stale m1 frame rendered:\n%s", got)
+	}
+	for _, want := range []string{"m1", "m2", "cccccccccccccccc", "bbbbbbbbbbbbbbbb", "3 frames (3 dropped)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestWatchFrameBudget(t *testing.T) {
+	stream := `{"mission":"m1","seq":1,"time_sec":0.1}` + "\n" +
+		`{"mission":"m1","seq":2,"time_sec":0.2}` + "\n"
+	var out strings.Builder
+	if err := watch(strings.NewReader(stream), &out, "test", time.Hour, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 frames") {
+		t.Errorf("frame budget not honored:\n%s", out.String())
+	}
+}
+
+func TestWatchRejectsGarbage(t *testing.T) {
+	var out strings.Builder
+	if err := watch(strings.NewReader("not json\n"), &out, "test", time.Hour, 0, true); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}

@@ -208,11 +208,26 @@ func recvOfType(rt *soc.Runtime, want packet.Type) packet.Packet {
 
 // decodeFrame converts a CAM_DATA packet into the network input tensor.
 func decodeFrame(p packet.Packet) (*tensor.Tensor, error) {
+	return decodeFrameInto(p, nil)
+}
+
+// decodeFrameInto is decodeFrame with an optional reusable destination:
+// when scratch matches the frame's element count it is refilled in place
+// (zero allocation on the steady-state control loop), otherwise a fresh
+// tensor is allocated. Pass scratch only when the inference path consumes
+// the tensor synchronously — batched sessions (ort.Session.Batched) retain
+// the input until the batch collector runs, so they must get a fresh one.
+func decodeFrameInto(p packet.Packet, scratch *tensor.Tensor) (*tensor.Tensor, error) {
 	frame, err := packet.UnmarshalCamFrame(p)
 	if err != nil {
 		return nil, err
 	}
-	t := tensor.New(1, frame.H, frame.W)
+	t := scratch
+	if t == nil || len(t.Data) != frame.H*frame.W {
+		t = tensor.New(1, frame.H, frame.W)
+	} else {
+		t.Shape[0], t.Shape[1], t.Shape[2] = 1, frame.H, frame.W
+	}
 	for i, b := range frame.Pix {
 		t.Data[i] = float32(b)/255 - 0.5
 	}

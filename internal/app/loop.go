@@ -19,6 +19,7 @@ import (
 	"repro/internal/ort"
 	"repro/internal/packet"
 	"repro/internal/soc"
+	"repro/internal/tensor"
 )
 
 // Program counters. The PC names the Runtime interaction currently being
@@ -53,6 +54,9 @@ type StaticLoop struct {
 	req       uint64
 	out       dnn.Output
 	cmd       packet.Cmd
+	// frame is the reusable input tensor (solo sessions only; not resume
+	// state — it is refilled from the packet before every forward pass).
+	frame *tensor.Tensor
 }
 
 // NewStaticLoop builds the resumable static controller.
@@ -86,10 +90,15 @@ func (sl *StaticLoop) Run(rt *soc.Runtime) error {
 			if p.Type != packet.CamData {
 				continue // discard stragglers; PC stays put
 			}
-			input, err := decodeFrame(p)
+			scratch := sl.frame
+			if sl.sess.Batched() {
+				scratch = nil // the batch collector retains the input tensor
+			}
+			input, err := decodeFrameInto(p, scratch)
 			if err != nil {
 				return fmt.Errorf("app: %w", err)
 			}
+			sl.frame = input
 			// The forward pass runs host-side between interactions; its
 			// output enters the resume state before the first charge is
 			// issued, so a snapshot mid-bill never re-runs it.
@@ -200,6 +209,7 @@ type DynamicLoop struct {
 	useSmall  bool
 	out       dnn.Output
 	cmd       packet.Cmd
+	frame     *tensor.Tensor // reusable input tensor; see StaticLoop.frame
 }
 
 // NewDynamicLoop builds the resumable dynamic-runtime controller.
@@ -262,10 +272,15 @@ func (dl *DynamicLoop) Run(rt *soc.Runtime) error {
 			if p.Type != packet.CamData {
 				continue
 			}
-			input, err := decodeFrame(p)
+			scratch := dl.frame
+			if dl.big.Batched() || dl.small.Batched() {
+				scratch = nil // the batch collector retains the input tensor
+			}
+			input, err := decodeFrameInto(p, scratch)
 			if err != nil {
 				return fmt.Errorf("app: %w", err)
 			}
+			dl.frame = input
 			tCollision := math.Inf(1)
 			if dl.ctrl.VForward > 0 {
 				tCollision = dl.depthM / dl.ctrl.VForward

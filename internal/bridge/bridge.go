@@ -25,10 +25,14 @@ import (
 const DefaultQueueBytes = 64 << 10
 
 // Queue is a bounded FIFO of packets with a byte-capacity limit, modeling a
-// hardware buffer in the bridge RTL.
+// hardware buffer in the bridge RTL. Consumed slots are tracked with a head
+// index rather than re-slicing so the backing array is reused once the queue
+// drains — the steady-state co-simulation loop pushes and pops without
+// allocating.
 type Queue struct {
 	capBytes int
 	used     int
+	head     int
 	pkts     []packet.Packet
 }
 
@@ -43,6 +47,20 @@ func (q *Queue) Push(p packet.Packet) bool {
 	if q.used+p.Size() > q.capBytes {
 		return false
 	}
+	if q.head == len(q.pkts) {
+		// Empty: rewind so append reuses the backing array.
+		q.pkts = q.pkts[:0]
+		q.head = 0
+	} else if q.head > 0 && len(q.pkts) == cap(q.pkts) {
+		// About to grow while carrying a consumed prefix: compact first so
+		// a never-empty queue stays bounded by its live contents.
+		n := copy(q.pkts, q.pkts[q.head:])
+		for i := n; i < len(q.pkts); i++ {
+			q.pkts[i] = packet.Packet{}
+		}
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
 	q.pkts = append(q.pkts, p)
 	q.used += p.Size()
 	return true
@@ -50,17 +68,18 @@ func (q *Queue) Push(p packet.Packet) bool {
 
 // Pop removes and returns the oldest packet.
 func (q *Queue) Pop() (packet.Packet, bool) {
-	if len(q.pkts) == 0 {
+	if q.head == len(q.pkts) {
 		return packet.Packet{}, false
 	}
-	p := q.pkts[0]
-	q.pkts = q.pkts[1:]
+	p := q.pkts[q.head]
+	q.pkts[q.head] = packet.Packet{} // drop the payload reference
+	q.head++
 	q.used -= p.Size()
 	return p, true
 }
 
 // Len returns the number of queued packets.
-func (q *Queue) Len() int { return len(q.pkts) }
+func (q *Queue) Len() int { return len(q.pkts) - q.head }
 
 // UsedBytes returns the occupied capacity.
 func (q *Queue) UsedBytes() int { return q.used }
@@ -95,6 +114,9 @@ type Bridge struct {
 	// the event ring.
 	log        *obs.Logger
 	warnedDrop bool
+	// drain is the scratch slice handed out by DrainToHost, reused across
+	// synchronization boundaries.
+	drain []packet.Packet
 }
 
 // SetObs installs queue-occupancy instrumentation. Call before the
@@ -194,13 +216,17 @@ func (b *Bridge) HandleHostPacket(p packet.Packet) error {
 }
 
 // DrainToHost removes and returns all SoC→host packets, called by the
-// synchronizer at each synchronization boundary.
+// synchronizer at each synchronization boundary. The returned slice is a
+// bridge-owned scratch valid only until the next DrainToHost call — both
+// consumers (the synchronizer's exchange loop and the remote server's batch
+// encoder) finish with it before the next boundary.
 func (b *Bridge) DrainToHost() []packet.Packet {
-	var out []packet.Packet
+	out := b.drain[:0]
 	for {
 		p, ok := b.tx.Pop()
 		if !ok {
 			b.observeTx()
+			b.drain = out
 			return out
 		}
 		out = append(out, p)
@@ -281,8 +307,8 @@ func (b *Bridge) State() State {
 		Stats:         b.stats,
 		RxCapBytes:    b.rx.capBytes,
 		TxCapBytes:    b.tx.capBytes,
-		Rx:            copyPackets(b.rx.pkts),
-		Tx:            copyPackets(b.tx.pkts),
+		Rx:            copyPackets(b.rx.pkts[b.rx.head:]),
+		Tx:            copyPackets(b.tx.pkts[b.tx.head:]),
 	}
 }
 

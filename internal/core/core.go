@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/env"
+	"repro/internal/fprint"
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/soc"
@@ -93,6 +94,11 @@ type Config struct {
 	ExchangeEveryN int
 	// Overlap selects concurrent (default) or serial quantum execution.
 	Overlap OverlapMode
+	// RecordFingerprints keeps the per-quantum fingerprint sequence in
+	// Result.Fingerprints (one value per quantum, parallel to Trajectory).
+	// The rolling fingerprint itself is always-on; this only controls
+	// whether the full history is retained for logging/bisection.
+	RecordFingerprints bool
 	// Obs instruments the synchronizer's quantum phases (nil = disabled;
 	// every hook then reduces to a nil check, keeping the overlapped hot
 	// path allocation-free and within noise of its uninstrumented cost).
@@ -139,6 +145,14 @@ type Result struct {
 	// legitimately zero total.
 	Energy    soc.EnergyBreakdown
 	HasEnergy bool
+	// Fingerprint is the mission's final determinism fingerprint: the
+	// rolling fprint chain over every quantum's authoritative state (pose,
+	// command, cycles, energy, engine counters). Two runs of the same
+	// mission are state-identical iff their fingerprints match.
+	Fingerprint uint64
+	// Fingerprints is the per-quantum fingerprint history, recorded when
+	// Config.RecordFingerprints is set (parallel to Trajectory).
+	Fingerprints []uint64
 }
 
 // EnergyJoules returns the mission's total simulated energy in joules
@@ -168,6 +182,9 @@ type Synchronizer struct {
 	// requests in one call (the remote client pipelines them into a single
 	// network round-trip).
 	batcher env.SensorBatcher
+	// fb is non-nil when the environment supports the zero-copy camera
+	// path (FrameBytesInto).
+	fb frameByter
 
 	// camBuf is the reused quantization scratch for camera-frame replies
 	// (CamFrame.Marshal copies the pixels, so the buffer is free again as
@@ -211,6 +228,14 @@ type runState struct {
 	speedSum  float64
 	speedN    int
 	stopped   bool // terminal condition hit; StepQuanta will not advance
+	// fprint is the rolling determinism fingerprint (0 = not yet seeded;
+	// the first fold starts from fprint.Init). Part of the snapshot State
+	// so a restored mission continues the exact chain.
+	fprint uint64
+	// lastCmd is the most recent CmdVel actuation (forward, lateral, yaw
+	// rate), folded into every quantum's fingerprint. Snapshot state for
+	// the same reason.
+	lastCmd [3]float64
 }
 
 // State is the serializable synchronizer image: loop progress plus the
@@ -225,6 +250,13 @@ type State struct {
 	Collisions int
 	Completed  bool
 	Trajectory []env.Telemetry
+	// Fingerprint/LastCmd continue the determinism-fingerprint chain across
+	// a restore. Pre-fingerprint images decode them as zero: the chain then
+	// restarts from the FNV basis (divergence detection still works within
+	// the resumed run, just not across the capture boundary).
+	Fingerprint  uint64
+	LastCmd      [3]float64
+	Fingerprints []uint64
 }
 
 // New builds a synchronizer. The environment's frame rate and the config's
@@ -244,8 +276,16 @@ func New(e env.Env, rtl RTL, cfg Config) (*Synchronizer, error) {
 	}
 	s := &Synchronizer{env: e, rtl: rtl, cfg: cfg, o: cfg.Obs}
 	s.batcher, _ = e.(env.SensorBatcher)
+	s.fb, _ = e.(frameByter)
 	s.er, _ = rtl.(EnergyRTL)
 	return s, nil
+}
+
+// frameByter is the allocation-free camera fast path: environments that can
+// quantize the FPV frame directly into a caller buffer (env.Sim does) skip
+// the fresh float32 image GetImage hands out.
+type frameByter interface {
+	FrameBytesInto(dst []byte) (pix []byte, w, h int)
 }
 
 // envQuantum is what the environment worker hands back per quantum: the
@@ -455,6 +495,42 @@ func (s *Synchronizer) StepQuanta(maxQuanta int) (done bool, err error) {
 			return false, fmt.Errorf("core: divergence: non-finite telemetry at t=%.3fs (pos %v vel %v yaw %v)",
 				s.st.simT, tm.Pos, tm.Vel, tm.Yaw)
 		}
+		// Fold the quantum's authoritative end state into the rolling
+		// determinism fingerprint. Always-on and unconditional: the chain is
+		// the live analogue of the offline trajectory byte-compare, so it
+		// must not depend on observability wiring. Every input is identical
+		// local vs remote — telemetry is env-side, and the engine counters /
+		// cycle / energy ride the RTLStatus reply for a remote RTL.
+		fp := s.st.fprint
+		if fp == 0 {
+			fp = fprint.Init
+		}
+		fp = fprint.Fold(fp, s.st.quantum)
+		fp = fprint.FoldF64(fp, tm.TimeSec)
+		fp = fprint.Fold(fp, uint64(tm.Frame))
+		fp = fprint.FoldF64(fp, tm.Pos.X)
+		fp = fprint.FoldF64(fp, tm.Pos.Y)
+		fp = fprint.FoldF64(fp, tm.Pos.Z)
+		fp = fprint.FoldF64(fp, tm.Vel.X)
+		fp = fprint.FoldF64(fp, tm.Vel.Y)
+		fp = fprint.FoldF64(fp, tm.Vel.Z)
+		fp = fprint.FoldF64(fp, tm.Yaw)
+		fp = fprint.Fold(fp, uint64(tm.CollisionCount))
+		fp = fprint.FoldBool(fp, tm.Collided)
+		fp = fprint.FoldBool(fp, tm.MissionComplete)
+		fp = fprint.FoldF64(fp, s.st.lastCmd[0])
+		fp = fprint.FoldF64(fp, s.st.lastCmd[1])
+		fp = fprint.FoldF64(fp, s.st.lastCmd[2])
+		fp = fprint.Fold(fp, s.rtl.Cycle())
+		fp = fprint.Fold(fp, s.rtl.Stats().Fingerprint)
+		if s.er != nil {
+			fp = fprint.Fold(fp, s.er.EnergyBreakdown().TotalPJ())
+		}
+		s.st.fprint = fp
+		if cfg.RecordFingerprints {
+			res.Fingerprints = append(res.Fingerprints, fp)
+		}
+		s.o.ObserveFingerprint(fp)
 		s.st.simT += s.quantumSec
 		s.st.quantum++
 		res.Syncs++
@@ -517,6 +593,7 @@ func (s *Synchronizer) Finish() (*Result, error) {
 	res.Cycles = s.rtl.Cycle()
 	res.WallSeconds = time.Since(s.startWall).Seconds()
 	res.SoC = s.rtl.Stats()
+	res.Fingerprint = s.st.fprint
 	if s.er != nil {
 		res.Energy = s.er.EnergyBreakdown()
 		res.HasEnergy = res.Energy.TotalPJ() > 0
@@ -532,17 +609,22 @@ func (s *Synchronizer) Finish() (*Result, error) {
 // image stays valid while the live run continues.
 func (s *Synchronizer) SnapState() State {
 	st := State{
-		Quantum:    s.st.quantum,
-		FrameDebt:  s.st.frameDebt,
-		SimT:       s.st.simT,
-		SpeedSum:   s.st.speedSum,
-		SpeedN:     s.st.speedN,
-		Syncs:      s.res.Syncs,
-		Collisions: s.res.Collisions,
-		Completed:  s.res.Completed,
+		Quantum:     s.st.quantum,
+		FrameDebt:   s.st.frameDebt,
+		SimT:        s.st.simT,
+		SpeedSum:    s.st.speedSum,
+		SpeedN:      s.st.speedN,
+		Syncs:       s.res.Syncs,
+		Collisions:  s.res.Collisions,
+		Completed:   s.res.Completed,
+		Fingerprint: s.st.fprint,
+		LastCmd:     s.st.lastCmd,
 	}
 	if s.res.Trajectory != nil {
 		st.Trajectory = append([]env.Telemetry(nil), s.res.Trajectory...)
+	}
+	if s.res.Fingerprints != nil {
+		st.Fingerprints = append([]uint64(nil), s.res.Fingerprints...)
 	}
 	return st
 }
@@ -561,6 +643,8 @@ func (s *Synchronizer) RestoreState(st State) error {
 		simT:      st.SimT,
 		speedSum:  st.SpeedSum,
 		speedN:    st.SpeedN,
+		fprint:    st.Fingerprint,
+		lastCmd:   st.LastCmd,
 	}
 	s.res = &Result{
 		Syncs:      st.Syncs,
@@ -569,6 +653,9 @@ func (s *Synchronizer) RestoreState(st State) error {
 	}
 	if st.Trajectory != nil {
 		s.res.Trajectory = append([]env.Telemetry(nil), st.Trajectory...)
+	}
+	if st.Fingerprints != nil {
+		s.res.Fingerprints = append([]uint64(nil), st.Fingerprints...)
 	}
 	return nil
 }
@@ -645,12 +732,20 @@ func telemetryFinite(tm env.Telemetry) bool {
 func (s *Synchronizer) serve(p packet.Packet) (*packet.Packet, error) {
 	switch p.Type {
 	case packet.CamReq:
-		img, err := s.env.GetImage()
-		if err != nil {
-			return nil, fmt.Errorf("core: env image: %w", err)
+		var w, h int
+		if s.fb != nil {
+			// Quantize straight into the reused scratch — no intermediate
+			// float32 image.
+			s.camBuf, w, h = s.fb.FrameBytesInto(s.camBuf)
+		} else {
+			img, err := s.env.GetImage()
+			if err != nil {
+				return nil, fmt.Errorf("core: env image: %w", err)
+			}
+			s.camBuf = img.BytesInto(s.camBuf)
+			w, h = img.W, img.H
 		}
-		s.camBuf = img.BytesInto(s.camBuf)
-		frame, err := packet.CamFrame{W: img.W, H: img.H, Pix: s.camBuf}.Marshal()
+		frame, err := packet.CamFrame{W: w, H: h, Pix: s.camBuf}.Marshal()
 		if err != nil {
 			return nil, err
 		}
@@ -682,6 +777,7 @@ func (s *Synchronizer) serve(p packet.Packet) (*packet.Packet, error) {
 		if err := s.env.SetVelocity(cmd.VForward, cmd.VLateral, cmd.YawRate); err != nil {
 			return nil, fmt.Errorf("core: env actuation: %w", err)
 		}
+		s.st.lastCmd = [3]float64{cmd.VForward, cmd.VLateral, cmd.YawRate}
 		return nil, nil
 	default:
 		return nil, fmt.Errorf("core: unexpected packet %v from SoC", p.Type)

@@ -79,6 +79,12 @@ type MissionSpec struct {
 	// counters, and app inference latency feed the suite's registry and
 	// tracer. Nil (the default) keeps every hook a no-op nil check.
 	Obs *obs.Suite
+	// ObsMission, when set alongside Obs, routes this mission's instruments
+	// through a per-mission scope (labeled series under the suite registry)
+	// instead of the suite's parent bundles — how sweeps and fleets keep N
+	// concurrent missions' metrics apart while /metrics still exposes the
+	// aggregates. Options.stamp assigns one per spec automatically.
+	ObsMission *obs.MissionObs
 	// EnvAddr, when set, runs the mission against a remote environment
 	// server (rose-env-server) at this address instead of an in-process
 	// simulator. The client resets the remote vehicle to the spec's start
@@ -93,6 +99,11 @@ type MissionSpec struct {
 	// with/without pair the overhead benchmark measures. Accounting is
 	// observation-only, so timing and trajectory are unchanged either way.
 	EnergyOff bool
+	// RecordFingerprints keeps the whole per-quantum determinism-fingerprint
+	// chain in the result (core.Result.Fingerprints) for fingerprint logs
+	// and divergence bisection. The rolling fingerprint itself is always on;
+	// this only controls retaining the history.
+	RecordFingerprints bool
 }
 
 // MissionOutcome bundles the synchronizer result with the app-level log.
@@ -127,14 +138,66 @@ func (spec MissionSpec) withDefaults() MissionSpec {
 	return spec
 }
 
+// Per-subsystem instrument selection: the mission scope's bundle when one
+// was assigned, the suite's parent bundle otherwise, nil when observability
+// is off. Every returned bundle is nil-safe.
+
+func (spec MissionSpec) obsCore() *obs.CoreObs {
+	if spec.ObsMission != nil {
+		return spec.ObsMission.Core
+	}
+	if spec.Obs != nil {
+		return spec.Obs.Core
+	}
+	return nil
+}
+
+func (spec MissionSpec) obsRPC() *obs.RPCObs {
+	if spec.ObsMission != nil {
+		return spec.ObsMission.RPC
+	}
+	if spec.Obs != nil {
+		return spec.Obs.RPC
+	}
+	return nil
+}
+
+func (spec MissionSpec) obsBridge() *obs.BridgeObs {
+	if spec.ObsMission != nil {
+		return spec.ObsMission.Bridge
+	}
+	if spec.Obs != nil {
+		return spec.Obs.Bridge
+	}
+	return nil
+}
+
+func (spec MissionSpec) obsSoC() *obs.SoCObs {
+	if spec.ObsMission != nil {
+		return spec.ObsMission.SoC
+	}
+	if spec.Obs != nil {
+		return spec.Obs.SoC
+	}
+	return nil
+}
+
+func (spec MissionSpec) obsApp() *obs.AppObs {
+	if spec.ObsMission != nil {
+		return spec.ObsMission.App
+	}
+	if spec.Obs != nil {
+		return spec.Obs.App
+	}
+	return nil
+}
+
 // socConfig derives the SoC engine configuration from the spec.
 func (spec MissionSpec) socConfig() soc.Config {
 	cfg := spec.HW.SoCConfig()
 	cfg.RxQueueBytes = spec.RxQueueBytes
 	cfg.EnergyOff = spec.EnergyOff
-	if spec.Obs != nil {
-		cfg.Obs = spec.Obs.SoC
-	}
+	cfg.Obs = spec.obsSoC()
 	return cfg
 }
 
@@ -145,9 +208,8 @@ func (spec MissionSpec) coreConfig() core.Config {
 	cfg.MaxSimSeconds = spec.MaxSimSec
 	cfg.ExchangeEveryN = spec.ExchangeEveryN
 	cfg.Overlap = spec.Overlap
-	if spec.Obs != nil {
-		cfg.Obs = spec.Obs.Core
-	}
+	cfg.Obs = spec.obsCore()
+	cfg.RecordFingerprints = spec.RecordFingerprints
 	return cfg
 }
 
@@ -269,7 +331,7 @@ func assemble(spec MissionSpec, sharedMap *world.Map, img *snapshot.Image) (ms *
 		}
 		ms.closers = append(ms.closers, func() { client.Close() })
 		if spec.Obs != nil {
-			client.SetObs(spec.Obs.RPC)
+			client.SetObs(spec.obsRPC())
 			client.SetTrace(spec.Obs.Run)
 		}
 		if err := client.Reset(spec.StartX, 0, 0, vec.Deg(spec.StartYawDeg)); err != nil {
@@ -289,9 +351,7 @@ func assemble(spec MissionSpec, sharedMap *world.Map, img *snapshot.Image) (ms *
 	}
 
 	ms.log = &app.Log{}
-	if spec.Obs != nil {
-		ms.log.Obs = spec.Obs.App
-	}
+	ms.log.Obs = spec.obsApp()
 	ms.loop, err = spec.newController(ms.log)
 	if err != nil {
 		return nil, err
@@ -312,7 +372,7 @@ func assemble(spec MissionSpec, sharedMap *world.Map, img *snapshot.Image) (ms *
 	}
 	ms.closers = append(ms.closers, ms.mach.Close)
 	if spec.Obs != nil {
-		ms.mach.Bridge().SetObs(spec.Obs.Bridge)
+		ms.mach.Bridge().SetObs(spec.obsBridge())
 		ms.mach.Bridge().SetLog(spec.Obs.Log)
 	}
 
@@ -373,12 +433,22 @@ type Options struct {
 	Precision dnn.Precision
 }
 
-// stamp applies sweep-wide options onto the specs before they run.
+// stamp applies sweep-wide options onto the specs before they run. With an
+// observability suite attached, every spec additionally gets its own
+// per-mission scope (mission_id plus map/hw/precision labels), so a sweep's
+// or fleet's missions export distinguishable series while the suite-level
+// aggregates still cover the whole run.
 func (o Options) stamp(specs []MissionSpec) []MissionSpec {
 	for i := range specs {
 		specs[i].Overlap = o.Overlap
 		specs[i].Obs = o.Obs
 		specs[i].Precision = o.Precision
+		if o.Obs != nil {
+			specs[i].ObsMission = o.Obs.Mission("",
+				[2]string{"map", specs[i].Map},
+				[2]string{"hw", specs[i].HW.Name},
+				[2]string{"precision", o.Precision.String()})
+		}
 	}
 	return specs
 }

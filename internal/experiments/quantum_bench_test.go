@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// BenchmarkMissionQuantum measures one steady-state synchronization quantum
+// of a fully assembled mission — render, bridge exchange, inference, physics,
+// always-on fingerprint fold — with observability disabled. This is the
+// repo's 0 allocs/op hot-path contract (scripts/check.sh gates it): mission
+// setup allocates, the per-quantum loop must not.
+func BenchmarkMissionQuantum(b *testing.B) {
+	spec := MissionSpec{
+		Map: "tunnel", Model: "ResNet6", HW: config.A,
+		VForward: 3, MaxSimSec: 1e9, Overlap: core.OverlapOn,
+	}
+	newMission := func() *mission {
+		ms, err := assemble(spec, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ms.sy.Start(); err != nil {
+			b.Fatal(err)
+		}
+		// Warm every scratch buffer (inference workspaces, bridge queues,
+		// telemetry codec) before the measured steady state.
+		for i := 0; i < 16; i++ {
+			if _, err := ms.sy.StepQuanta(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return ms
+	}
+	ms := newMission()
+	defer func() { ms.close() }()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done, err := ms.sy.StepQuanta(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if done {
+			// The vehicle reached the tunnel end: rebuild outside the
+			// timer (StopTimer also pauses allocation accounting).
+			b.StopTimer()
+			ms.close()
+			ms = newMission()
+			b.StartTimer()
+		}
+	}
+}

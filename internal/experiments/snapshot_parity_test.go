@@ -133,6 +133,14 @@ type remoteMission struct {
 
 func dialRemoteMission(t *testing.T, spec MissionSpec, img *snapshot.Image) *remoteMission {
 	t.Helper()
+	return dialRemoteMissionWith(t, spec, img, soc.DialOptions{})
+}
+
+// dialRemoteMissionWith is dialRemoteMission with explicit transport
+// options — the hook the live-divergence test uses to route the RTL link
+// through a faultnet dialer.
+func dialRemoteMissionWith(t *testing.T, spec MissionSpec, img *snapshot.Image, opts soc.DialOptions) *remoteMission {
+	t.Helper()
 	spec = spec.withDefaults()
 	newMachine := func() (*soc.Machine, error) {
 		loop, err := spec.newController(nil)
@@ -156,7 +164,7 @@ func dialRemoteMission(t *testing.T, spec MissionSpec, img *snapshot.Image) *rem
 	go srv.Serve()
 	t.Cleanup(func() { srv.Close() })
 
-	rtl, err := soc.DialRTL(srv.Addr())
+	rtl, err := soc.DialRTLWith(srv.Addr(), opts)
 	if err != nil {
 		t.Fatalf("dial rtl: %v", err)
 	}

@@ -128,14 +128,17 @@ func CaptureMission(spec MissionSpec, prefixQuanta uint64) (*snapshot.Image, err
 }
 
 // ResumeMission restores an image into one mission — spec rebuilt from the
-// image's meta section, live wiring (observability) from the restoring
-// process — and runs it to completion: suspend/resume, no variant reseed.
-func ResumeMission(img *snapshot.Image, suite *obs.Suite) (*MissionOutcome, error) {
+// image's meta section, live wiring (observability, fingerprint recording)
+// from the restoring process — and runs it to completion: suspend/resume,
+// no variant reseed. With recordFingerprints the resumed run logs its
+// per-quantum chain, continuing from the image's captured fingerprint.
+func ResumeMission(img *snapshot.Image, suite *obs.Suite, recordFingerprints bool) (*MissionOutcome, error) {
 	spec, err := SpecFromImage(img)
 	if err != nil {
 		return nil, err
 	}
 	spec.Obs = suite
+	spec.RecordFingerprints = recordFingerprints
 	ms, err := assemble(spec, nil, img)
 	if err != nil {
 		return nil, err

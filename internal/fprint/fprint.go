@@ -1,0 +1,51 @@
+// Package fprint provides a rolling 64-bit FNV-1a fingerprint used to
+// detect determinism divergence between two runs of the same mission.
+//
+// A fingerprint is an accumulator seeded with Init and advanced by folding
+// fixed-width words into it. Folding is alloc-free and branch-free, cheap
+// enough to run every synchronization quantum on the hot path. Two runs are
+// state-identical through quantum N exactly when their fingerprints match
+// at every quantum up to N: because the hash chains (each fold mixes the
+// previous value), a single divergent input poisons every later value, so
+// the first mismatching quantum localizes the divergence.
+//
+// The hash is FNV-1a over the 8 little-endian bytes of each word. FNV is
+// not cryptographic — the goal is cheap divergence detection between runs
+// of trusted code, not collision resistance against an adversary.
+package fprint
+
+import "math"
+
+const (
+	// Init is the FNV-1a 64-bit offset basis: the seed for a fresh chain.
+	Init  uint64 = 0xcbf29ce484222325
+	prime uint64 = 0x100000001b3
+)
+
+// Fold mixes one 64-bit word into the fingerprint, byte by byte in
+// little-endian order, and returns the advanced fingerprint.
+func Fold(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
+	return h
+}
+
+// FoldF64 folds a float64 via its IEEE-754 bit pattern. Bit patterns, not
+// values: -0 and +0 fingerprint differently, NaNs fold as their exact
+// payload. That is deliberate — the fingerprint certifies bit-identical
+// state, the same bar the parity tests hold trajectories to.
+func FoldF64(h uint64, f float64) uint64 {
+	return Fold(h, math.Float64bits(f))
+}
+
+// FoldBool folds a boolean as 0 or 1.
+func FoldBool(h uint64, b bool) uint64 {
+	var v uint64
+	if b {
+		v = 1
+	}
+	return Fold(h, v)
+}

@@ -1,0 +1,66 @@
+package fprint
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// TestFoldMatchesStdlibFNV pins our inlined fold to the stdlib FNV-1a
+// implementation over the same little-endian byte stream.
+func TestFoldMatchesStdlibFNV(t *testing.T) {
+	words := []uint64{0, 1, 0xdeadbeef, math.Float64bits(3.14159), ^uint64(0)}
+	h := Init
+	ref := fnv.New64a()
+	var buf [8]byte
+	for _, w := range words {
+		h = Fold(h, w)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(w >> (8 * i))
+		}
+		ref.Write(buf[:])
+	}
+	if got, want := h, ref.Sum64(); got != want {
+		t.Fatalf("Fold chain = %#x, stdlib fnv-1a = %#x", got, want)
+	}
+}
+
+// TestChainSensitivity: changing any single input changes the final value,
+// and order matters.
+func TestChainSensitivity(t *testing.T) {
+	base := Fold(Fold(Init, 1), 2)
+	if Fold(Fold(Init, 2), 1) == base {
+		t.Fatal("fold chain is order-insensitive")
+	}
+	if Fold(Fold(Init, 1), 3) == base {
+		t.Fatal("fold chain ignored an input change")
+	}
+}
+
+func TestFoldF64BitPatterns(t *testing.T) {
+	if FoldF64(Init, 0) == FoldF64(Init, math.Copysign(0, -1)) {
+		t.Fatal("+0 and -0 should fingerprint differently (bit patterns, not values)")
+	}
+	if FoldF64(Init, 1.5) != Fold(Init, math.Float64bits(1.5)) {
+		t.Fatal("FoldF64 must fold the IEEE-754 bit pattern")
+	}
+}
+
+func TestFoldBool(t *testing.T) {
+	if FoldBool(Init, true) != Fold(Init, 1) || FoldBool(Init, false) != Fold(Init, 0) {
+		t.Fatal("FoldBool must fold 0/1")
+	}
+}
+
+func BenchmarkFoldQuantum(b *testing.B) {
+	// Roughly one quantum's worth of folds (pose 3 + vel 3 + yaw + cmd 2 +
+	// cycles + energy 3 + engine fp).
+	b.ReportAllocs()
+	h := Init
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 14; j++ {
+			h = Fold(h, uint64(i+j))
+		}
+	}
+	_ = h
+}

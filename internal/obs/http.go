@@ -2,11 +2,14 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Handler returns the introspection mux:
@@ -29,7 +32,10 @@ func (s *Suite) Handler() http.Handler {
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		s.reg().WriteJSON(w)
+		s.WriteMetricsJSON(w)
+	})
+	mux.HandleFunc("/stream.ndjson", func(w http.ResponseWriter, r *http.Request) {
+		s.serveStream(w, r)
 	})
 	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -55,14 +61,93 @@ func (s *Suite) Handler() http.Handler {
 			return
 		}
 		fmt.Fprint(w, "rose observability\n\n"+
-			"/metrics       Prometheus text format\n"+
-			"/metrics.json  JSON snapshot\n"+
-			"/trace.json    Chrome trace events (load in Perfetto)\n"+
-			"/blackbox.json on-demand flight-recorder dump\n"+
-			"/debug/vars    expvar\n"+
-			"/debug/pprof/  pprof profiles\n")
+			"/metrics        Prometheus text format (per-mission series + aggregates)\n"+
+			"/metrics.json   JSON snapshot with run metadata\n"+
+			"/stream.ndjson  live per-quantum telemetry frames (NDJSON)\n"+
+			"/trace.json     Chrome trace events (load in Perfetto)\n"+
+			"/blackbox.json  on-demand flight-recorder dump\n"+
+			"/debug/vars     expvar\n"+
+			"/debug/pprof/   pprof profiles\n")
 	})
 	return mux
+}
+
+// WriteMetricsJSON renders the /metrics.json body: every metric (aggregate
+// plus labeled per-scope samples) and a `meta` object carrying the run
+// metadata WriteTrace already stamps — run ID, host, and the SetMeta labels
+// (gemm_kernel, precision, ...) — so a JSON scrape is self-describing.
+// Nil-safe (empty snapshot, no meta).
+func (s *Suite) WriteMetricsJSON(w io.Writer) error {
+	reg := s.reg()
+	if reg == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	out := reg.jsonSnapshot()
+	meta := map[string]string{}
+	// Like WriteTrace: a server-side suite reports the run it adopted from
+	// the wire, so both hosts' scrapes carry the same run_id.
+	runID := s.Run.RunID()
+	if adopted := s.EnvServer.SeenRun(); adopted != 0 {
+		runID = adopted
+	}
+	if runID != 0 {
+		meta["run_id"] = string(appendHex16(nil, runID))
+	}
+	if s.Host != "" {
+		meta["host"] = s.Host
+	}
+	for _, kv := range s.Meta() {
+		meta[kv[0]] = kv[1]
+	}
+	out["meta"] = meta
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// streamHeartbeat is how long /stream.ndjson waits for a frame before
+// emitting a keepalive line, so an idle mission still proves the link is
+// alive and surfaces the subscriber's drop count.
+const streamHeartbeat = time.Second
+
+// serveStream is the /stream.ndjson handler: it subscribes to the suite's
+// stream bus and relays frames as one JSON object per line. The subscription
+// is bounded and drop-counting — a slow reader loses frames (its `dropped`
+// field grows) but can never stall the mission. ?buf=N sizes the
+// subscriber's frame buffer.
+func (s *Suite) serveStream(w http.ResponseWriter, r *http.Request) {
+	if s == nil || s.Bus == nil {
+		http.Error(w, "stream bus unavailable", http.StatusServiceUnavailable)
+		return
+	}
+	buf := 0
+	fmt.Sscanf(r.URL.Query().Get("buf"), "%d", &buf)
+	sub := s.Bus.Subscribe(buf)
+	defer s.Bus.Unsubscribe(sub)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	heartbeat := time.NewTicker(streamHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		var f StreamFrame
+		select {
+		case <-r.Context().Done():
+			return
+		case f = <-sub.C():
+		case <-heartbeat.C:
+			f = StreamFrame{Heartbeat: true}
+		}
+		f.Dropped = sub.Dropped()
+		if err := enc.Encode(f); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 }
 
 func (s *Suite) reg() *Registry {

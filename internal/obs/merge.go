@@ -189,17 +189,32 @@ func EstimateClockOffset(client, server HostTrace) (time.Duration, int) {
 // the client host keeps its own timeline as pid 1, and the server host's
 // spans are rebased onto it as pid 2 using the estimated clock offset.
 // Both traces must carry the same run ID (the caller fetched two unrelated
-// runs otherwise).
+// runs otherwise). Kept as the two-host form of MergeTraces.
 func WriteMergedTrace(w io.Writer, client, server HostTrace) error {
-	if client.RunID == "" || server.RunID == "" {
-		return fmt.Errorf("obs: merge: missing run ID (client %q, server %q) — were both hosts traced?",
-			client.RunID, server.RunID)
+	return MergeTraces(w, client, server)
+}
+
+// MergeTraces writes one Chrome trace containing every host's spans on the
+// reference host's timeline. ref keeps its own clock as pid 1; each other
+// host h is rebased onto it as pid 2, 3, ... with a pairwise clock offset
+// estimated against ref from matched per-quantum RPC activity
+// (EstimateClockOffset). Hosts with no matched sequences get offset 0 —
+// their epoch difference alone places them. Every trace must carry the same
+// run ID; a distributed fleet deployment (one rose-sim, N env servers, or N
+// missions' scrapes) merges into one Perfetto view.
+func MergeTraces(w io.Writer, ref HostTrace, others ...HostTrace) error {
+	if ref.RunID == "" {
+		return fmt.Errorf("obs: merge: reference host %q carries no run ID — was it traced?", ref.Host)
 	}
-	if client.RunID != server.RunID {
-		return fmt.Errorf("obs: merge: run ID mismatch: client %s vs server %s (traces are from different runs)",
-			client.RunID, server.RunID)
+	for _, h := range others {
+		if h.RunID == "" {
+			return fmt.Errorf("obs: merge: missing run ID (host %q) — were all hosts traced?", h.Host)
+		}
+		if h.RunID != ref.RunID {
+			return fmt.Errorf("obs: merge: run ID mismatch: %s %s vs %s %s (traces are from different runs)",
+				ref.Host, ref.RunID, h.Host, h.RunID)
+		}
 	}
-	offset, samples := EstimateClockOffset(client, server)
 	hostName := func(h HostTrace, fallback string) string {
 		if h.Host != "" {
 			return h.Host
@@ -207,11 +222,30 @@ func WriteMergedTrace(w io.Writer, client, server HostTrace) error {
 		return fallback
 	}
 	if _, err := fmt.Fprintf(w,
-		"[\n  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"args\": {\"name\": %s}},\n"+
-			"  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 2, \"tid\": 0, \"args\": {\"name\": %s}},\n"+
-			"  {\"name\": \"rose_run\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"args\": {\"run_id\": %s, \"epoch_unix_ns\": \"%d\", \"clock_offset_ns\": \"%d\", \"offset_samples\": %d}}",
-		strconv.Quote(hostName(client, "client")), strconv.Quote(hostName(server, "server")),
-		strconv.Quote(client.RunID), client.EpochUnixNano, int64(offset), samples); err != nil {
+		"[\n  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"args\": {\"name\": %s}}",
+		strconv.Quote(hostName(ref, "reference"))); err != nil {
+		return err
+	}
+	offsets := make([]time.Duration, len(others))
+	samples := make([]int, len(others))
+	for i, h := range others {
+		offsets[i], samples[i] = EstimateClockOffset(ref, h)
+		if _, err := fmt.Fprintf(w,
+			",\n  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, \"tid\": 0, \"args\": {\"name\": %s}}",
+			i+2, strconv.Quote(hostName(h, fmt.Sprintf("host%d", i+2)))); err != nil {
+			return err
+		}
+	}
+	// One rose_run metadata event describes the merge: the run, the reference
+	// epoch, and each rebased host's estimated offset and sample count.
+	var offsetArgs strings.Builder
+	for i := range others {
+		fmt.Fprintf(&offsetArgs, ", \"clock_offset_ns_pid%d\": \"%d\", \"offset_samples_pid%d\": %d",
+			i+2, int64(offsets[i]), i+2, samples[i])
+	}
+	if _, err := fmt.Fprintf(w,
+		",\n  {\"name\": \"rose_run\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"args\": {\"run_id\": %s, \"epoch_unix_ns\": \"%d\"%s}}",
+		strconv.Quote(ref.RunID), ref.EpochUnixNano, offsetArgs.String()); err != nil {
 		return err
 	}
 	write := func(pid int, shiftUS float64, spans []TraceSpan) error {
@@ -229,14 +263,17 @@ func WriteMergedTrace(w io.Writer, client, server HostTrace) error {
 		}
 		return nil
 	}
-	if err := write(1, 0, client.Spans); err != nil {
+	if err := write(1, 0, ref.Spans); err != nil {
 		return err
 	}
-	// Server ts values move onto the client's timeline: abs_server + offset
-	// − client_epoch.
-	shiftNS := float64(server.EpochUnixNano-client.EpochUnixNano) + float64(offset)
-	if err := write(2, shiftNS/1e3, server.Spans); err != nil {
-		return err
+	for i, h := range others {
+		// Host ts values move onto the reference timeline: abs_host + offset
+		// − ref_epoch. EstimateClockOffset(ref, h) yields h_clock + offset ≈
+		// ref_clock.
+		shiftNS := float64(h.EpochUnixNano-ref.EpochUnixNano) + float64(offsets[i])
+		if err := write(i+2, shiftNS/1e3, h.Spans); err != nil {
+			return err
+		}
 	}
 	_, err := io.WriteString(w, "\n]\n")
 	return err

@@ -146,6 +146,75 @@ func TestWriteMergedTrace(t *testing.T) {
 	}
 }
 
+func TestMergeTracesThreeHosts(t *testing.T) {
+	// Two servers with different clock offsets against one reference client.
+	// synthTraces derives the server from the client, so build each pair
+	// independently and merge the two servers against the shared client.
+	offsetA := 12 * time.Millisecond
+	offsetB := -7 * time.Millisecond
+	client, serverA := synthTraces(5, offsetA)
+	_, serverB := synthTraces(5, offsetB)
+	serverB.Host = "rose-env-server-b"
+	var buf bytes.Buffer
+	if err := MergeTraces(&buf, client, serverA, serverB); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []rawChromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	procs := map[string]bool{}
+	var runArgs map[string]any
+	type window struct{ lo, hi float64 }
+	rt := map[uint64]window{}
+	serve := map[uint64][]window{}
+	for _, e := range events {
+		switch {
+		case e.Ph == "M" && e.Name == "process_name":
+			procs[e.Args["name"].(string)] = true
+		case e.Ph == "M" && e.Name == "rose_run":
+			runArgs = e.Args
+		case e.Ph == "X" && e.Name == "rpc.roundtrip":
+			if f, ok := e.Args["seq"].(float64); ok {
+				rt[uint64(f)] = window{e.Ts, e.Ts + e.Dur}
+			}
+		case e.Ph == "X" && e.Name == "serve.step_frames":
+			if f, ok := e.Args["seq"].(float64); ok {
+				serve[uint64(f)] = append(serve[uint64(f)], window{e.Ts, e.Ts + e.Dur})
+			}
+		}
+	}
+	for _, host := range []string{"rose-sim", "rose-env-server", "rose-env-server-b"} {
+		if !procs[host] {
+			t.Errorf("merged trace is missing a process lane for %q (got %v)", host, procs)
+		}
+	}
+	// Per-host offset estimates ride in the rose_run metadata, one pair of
+	// keys per rebased pid.
+	for _, key := range []string{"clock_offset_ns_pid2", "offset_samples_pid2",
+		"clock_offset_ns_pid3", "offset_samples_pid3"} {
+		if _, ok := runArgs[key]; !ok {
+			t.Errorf("rose_run args missing %q: %v", key, runArgs)
+		}
+	}
+	// The correlation contract holds per host: after rebasing with its own
+	// pairwise offset, every serve span nests inside its quantum's
+	// round-trip window on the one merged timeline.
+	for seq, w := range rt {
+		ss := serve[seq]
+		if len(ss) != 2 {
+			t.Fatalf("seq %d: %d serve spans, want one per server", seq, len(ss))
+		}
+		for i, s := range ss {
+			if s.lo < w.lo || s.hi > w.hi {
+				t.Errorf("seq %d server %d: serve [%v, %v] not nested in roundtrip [%v, %v]",
+					seq, i, s.lo, s.hi, w.lo, w.hi)
+			}
+		}
+	}
+}
+
 func TestWriteMergedTraceRunIDErrors(t *testing.T) {
 	client, server := synthTraces(2, 0)
 	server.RunID = "1111111111111111"

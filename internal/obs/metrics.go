@@ -236,6 +236,27 @@ type metricEntry struct {
 	counter    *Counter
 	gauge      *Gauge
 	hist       *Histogram
+	// scoped holds the per-scope (labeled) instruments registered under this
+	// name by child Scopes. Guarded by the registry mutex; export passes copy
+	// the slice under the lock and then read only atomics.
+	scoped []*scopedInstr
+}
+
+// scopedInstr is one Scope's instrument under a parent entry: the same
+// atomic storage as an unscoped instrument plus the scope's rendered label
+// block (`mission_id="m0",map="tunnel"`).
+type scopedInstr struct {
+	labels  string
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// entrySnap is one entry plus a consistent copy of its scoped instruments,
+// taken under the registry lock for an export pass.
+type entrySnap struct {
+	e      *metricEntry
+	scoped []*scopedInstr
 }
 
 // Registry owns a set of named metrics and renders them for export. A nil
@@ -322,17 +343,167 @@ func (r *Registry) Names() []string {
 	}
 	entries := r.snapshot()
 	names := make([]string, len(entries))
-	for i, e := range entries {
-		names[i] = e.name
+	for i, s := range entries {
+		names[i] = s.e.name
 	}
 	return names
 }
 
-// snapshot returns the entries under the lock, for a consistent export pass.
-func (r *Registry) snapshot() []*metricEntry {
+// snapshot returns the entries (with their scoped instruments copied) under
+// the lock, for a consistent export pass.
+func (r *Registry) snapshot() []entrySnap {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]*metricEntry(nil), r.entries...)
+	out := make([]entrySnap, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = entrySnap{e: e}
+		if len(e.scoped) > 0 {
+			out[i].scoped = append([]*scopedInstr(nil), e.scoped...)
+		}
+	}
+	return out
+}
+
+// lookup returns the entry and a copy of its scoped instruments (nil when
+// the name is unregistered) — the read side of the aggregate helpers.
+func (r *Registry) lookup(name string) (e *metricEntry, scoped []*scopedInstr) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e = r.byName[name]
+	if e != nil && len(e.scoped) > 0 {
+		scoped = append([]*scopedInstr(nil), e.scoped...)
+	}
+	return e, scoped
+}
+
+// AggCounter returns the aggregate value of a counter across the parent
+// instrument and every scope: the parent-side series `/metrics` exports.
+// Unregistered names read 0.
+func (r *Registry) AggCounter(name string) uint64 {
+	e, scoped := r.lookup(name)
+	if e == nil || e.kind != kindCounter {
+		return 0
+	}
+	v := e.counter.Value()
+	for _, s := range scoped {
+		v += s.counter.Value()
+	}
+	return v
+}
+
+// AggGauge returns the sum of a gauge across parent and scopes (the right
+// aggregation for occupancy-style gauges; use MaxGauge for high-water marks).
+func (r *Registry) AggGauge(name string) int64 {
+	e, scoped := r.lookup(name)
+	if e == nil || e.kind != kindGauge {
+		return 0
+	}
+	v := e.gauge.Value()
+	for _, s := range scoped {
+		v += s.gauge.Value()
+	}
+	return v
+}
+
+// MaxGauge returns the maximum of a gauge across parent and scopes — the
+// presentation aggregate for high-water marks (a fleet's peak queue depth is
+// the max over missions, not their sum).
+func (r *Registry) MaxGauge(name string) int64 {
+	e, scoped := r.lookup(name)
+	if e == nil || e.kind != kindGauge {
+		return 0
+	}
+	v := e.gauge.Value()
+	for _, s := range scoped {
+		if sv := s.gauge.Value(); sv > v {
+			v = sv
+		}
+	}
+	return v
+}
+
+// HistSnapshot is a point-in-time merged view of one histogram name across
+// the parent instrument and every scope (bucket-wise sum; all instruments
+// under one name share bucket bounds by construction).
+type HistSnapshot struct {
+	Bounds []int64 // ascending upper bounds, ns
+	Counts []uint64
+	Inf    uint64
+	SumNs  int64
+	N      uint64
+}
+
+// Count returns the merged observation count.
+func (h HistSnapshot) Count() uint64 { return h.N }
+
+// Sum returns the merged total observed time.
+func (h HistSnapshot) Sum() time.Duration { return time.Duration(h.SumNs) }
+
+// Mean returns the merged mean observation (0 when empty).
+func (h HistSnapshot) Mean() time.Duration {
+	if h.N == 0 {
+		return 0
+	}
+	return time.Duration(h.SumNs / int64(h.N))
+}
+
+// Quantile returns the merged upper-bound p-quantile estimate, mirroring
+// Histogram.Quantile.
+func (h HistSnapshot) Quantile(p float64) time.Duration {
+	if h.N == 0 {
+		return 0
+	}
+	target := uint64(p * float64(h.N))
+	if target >= h.N {
+		target = h.N - 1
+	}
+	var cum uint64
+	for i := range h.Counts {
+		cum += h.Counts[i]
+		if cum > target {
+			return time.Duration(h.Bounds[i])
+		}
+	}
+	if len(h.Bounds) == 0 {
+		return h.Mean()
+	}
+	return time.Duration(h.Bounds[len(h.Bounds)-1])
+}
+
+// accumulate folds one histogram's live counters into the snapshot.
+func (h *HistSnapshot) accumulate(src *Histogram) {
+	if src == nil {
+		return
+	}
+	if h.Bounds == nil {
+		h.Bounds = src.bounds
+		h.Counts = make([]uint64, len(src.counts))
+	}
+	for i := range src.counts {
+		if i < len(h.Counts) {
+			h.Counts[i] += src.counts[i].Load()
+		}
+	}
+	h.Inf += src.inf.Load()
+	h.SumNs += src.sum.Load()
+	h.N += src.n.Load()
+}
+
+// AggHist returns the merged histogram across parent and scopes.
+func (r *Registry) AggHist(name string) HistSnapshot {
+	e, scoped := r.lookup(name)
+	var out HistSnapshot
+	if e == nil || e.kind != kindHistogram {
+		return out
+	}
+	out.accumulate(e.hist)
+	for _, s := range scoped {
+		out.accumulate(s.hist)
+	}
+	return out
 }
 
 func secs(ns int64) string {
@@ -347,41 +518,89 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	for _, e := range r.snapshot() {
+	for _, s := range r.snapshot() {
+		e := s.e
 		var err error
 		switch e.kind {
 		case kindCounter:
-			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
-				e.name, e.help, e.name, e.name, e.counter.Value())
+			agg := e.counter.Value()
+			for _, sc := range s.scoped {
+				agg += sc.counter.Value()
+			}
+			if _, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+				e.name, e.help, e.name, e.name, agg); err != nil {
+				return err
+			}
+			for _, sc := range s.scoped {
+				if _, err = fmt.Fprintf(w, "%s{%s} %d\n", e.name, sc.labels, sc.counter.Value()); err != nil {
+					return err
+				}
+			}
 		case kindGauge:
-			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
-				e.name, e.help, e.name, e.name, e.gauge.Value())
+			agg := e.gauge.Value()
+			for _, sc := range s.scoped {
+				agg += sc.gauge.Value()
+			}
+			if _, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+				e.name, e.help, e.name, e.name, agg); err != nil {
+				return err
+			}
+			for _, sc := range s.scoped {
+				if _, err = fmt.Fprintf(w, "%s{%s} %d\n", e.name, sc.labels, sc.gauge.Value()); err != nil {
+					return err
+				}
+			}
 		case kindHistogram:
 			if _, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
 				e.name, e.help, e.name); err != nil {
 				return err
 			}
-			h := e.hist
-			var cum uint64
-			for i, b := range h.bounds {
-				cum += h.counts[i].Load()
-				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", e.name, secs(b), cum); err != nil {
+			var agg HistSnapshot
+			agg.accumulate(e.hist)
+			for _, sc := range s.scoped {
+				agg.accumulate(sc.hist)
+			}
+			if err = writePromHist(w, e.name, "", agg); err != nil {
+				return err
+			}
+			for _, sc := range s.scoped {
+				var one HistSnapshot
+				one.accumulate(sc.hist)
+				if err = writePromHist(w, e.name, sc.labels, one); err != nil {
 					return err
 				}
 			}
-			cum += h.inf.Load()
-			// _count is the cumulative +Inf bucket total, not h.n: Observe
-			// bumps n before the bucket, so a concurrent scrape reading n
-			// independently could transiently violate the histogram
-			// invariant count == +Inf bucket that consumers assert.
-			_, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
-				e.name, cum, e.name, secs(h.sum.Load()), e.name, cum)
-		}
-		if err != nil {
-			return err
 		}
 	}
 	return nil
+}
+
+// writePromHist renders one histogram sample set (aggregate when labels is
+// empty, a scoped series otherwise) in exposition format. _count is the
+// cumulative +Inf bucket total, not the raw observation counter: Observe
+// bumps n before the bucket, so a concurrent scrape reading n independently
+// could transiently violate the invariant count == +Inf bucket that
+// consumers assert.
+func writePromHist(w io.Writer, name, labels string, h HistSnapshot) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, secs(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.Inf
+	var suffix string
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n%s_sum%s %s\n%s_count%s %d\n",
+		name, labels, sep, cum, name, suffix, secs(h.SumNs), name, suffix, cum)
+	return err
 }
 
 // histJSON is the JSON snapshot shape of one histogram.
@@ -402,26 +621,54 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		_, err := io.WriteString(w, "{}\n")
 		return err
 	}
-	out := make(map[string]any)
-	for _, e := range r.snapshot() {
-		switch e.kind {
-		case kindCounter:
-			out[e.name] = e.counter.Value()
-		case kindGauge:
-			out[e.name] = e.gauge.Value()
-		case kindHistogram:
-			h := e.hist
-			out[e.name] = histJSON{
-				Count: h.Count(),
-				SumS:  h.Sum().Seconds(),
-				MeanS: h.Mean().Seconds(),
-				P50S:  h.Quantile(0.50).Seconds(),
-				P95S:  h.Quantile(0.95).Seconds(),
-				P99S:  h.Quantile(0.99).Seconds(),
-			}
-		}
-	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(r.jsonSnapshot())
+}
+
+// jsonSnapshot builds the JSON exposition map: one aggregate sample per
+// name, plus one `name{labels}` sample per scope.
+func (r *Registry) jsonSnapshot() map[string]any {
+	out := make(map[string]any)
+	for _, s := range r.snapshot() {
+		e := s.e
+		switch e.kind {
+		case kindCounter:
+			agg := e.counter.Value()
+			for _, sc := range s.scoped {
+				agg += sc.counter.Value()
+				out[e.name+"{"+sc.labels+"}"] = sc.counter.Value()
+			}
+			out[e.name] = agg
+		case kindGauge:
+			agg := e.gauge.Value()
+			for _, sc := range s.scoped {
+				agg += sc.gauge.Value()
+				out[e.name+"{"+sc.labels+"}"] = sc.gauge.Value()
+			}
+			out[e.name] = agg
+		case kindHistogram:
+			var agg HistSnapshot
+			agg.accumulate(e.hist)
+			for _, sc := range s.scoped {
+				agg.accumulate(sc.hist)
+				var one HistSnapshot
+				one.accumulate(sc.hist)
+				out[e.name+"{"+sc.labels+"}"] = histJSONOf(one)
+			}
+			out[e.name] = histJSONOf(agg)
+		}
+	}
+	return out
+}
+
+func histJSONOf(h HistSnapshot) histJSON {
+	return histJSON{
+		Count: h.Count(),
+		SumS:  h.Sum().Seconds(),
+		MeanS: h.Mean().Seconds(),
+		P50S:  h.Quantile(0.50).Seconds(),
+		P95S:  h.Quantile(0.95).Seconds(),
+		P99S:  h.Quantile(0.99).Seconds(),
+	}
 }

@@ -99,6 +99,7 @@ type QuantumRecord struct {
 	EnergyPJ      uint64          `json:"energy_pj,omitempty"`
 	PowerMW       int64           `json:"power_mw,omitempty"`
 	HasPower      bool            `json:"has_power,omitempty"`
+	Fingerprint   uint64          `json:"fingerprint,omitempty"`
 	BridgeRxBytes int64           `json:"bridge_rx_bytes"`
 	BridgeTxBytes int64           `json:"bridge_tx_bytes"`
 	HasTelemetry  bool            `json:"has_telemetry"`

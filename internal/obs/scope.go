@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Instruments is the constructor surface shared by the parent Registry and
+// a child Scope, so per-subsystem instrument bundles (CoreObs, SoCObs, ...)
+// can be built against either: the parent for single-mission runs, a
+// labeled scope per mission for sweeps and fleets. Both implementations are
+// nil-safe — a nil receiver returns nil instruments that discard updates.
+type Instruments interface {
+	Counter(name, help string) *Counter
+	Gauge(name, help string) *Gauge
+	Histogram(name, help string, bounds []int64) *Histogram
+}
+
+var (
+	_ Instruments = (*Registry)(nil)
+	_ Instruments = (*Scope)(nil)
+)
+
+// Scope is a cheap child of a Registry carrying a label set (mission_id,
+// map, hw, precision). Instruments created through a scope are plain
+// atomics, exactly like parent instruments — the label resolution happens
+// once at registration, never on the increment path — and are exported as
+// labeled series under the parent metric name, with the unlabeled sample
+// being the aggregate across the parent instrument and every scope. A nil
+// *Scope returns nil instruments from every constructor.
+type Scope struct {
+	reg    *Registry
+	labels string // rendered label block: mission_id="m0",map="tunnel"
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// Scope creates a child scope with the given label pairs (order preserved).
+// Label values are quoted/escaped for the Prometheus exposition. Nil-safe:
+// a nil registry yields a nil scope.
+func (r *Registry) Scope(labels ...[2]string) *Scope {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[0])
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(kv[1]))
+	}
+	return &Scope{
+		reg:      r,
+		labels:   b.String(),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Labels returns the scope's rendered label block ("" on nil).
+func (s *Scope) Labels() string {
+	if s == nil {
+		return ""
+	}
+	return s.labels
+}
+
+// Counter registers (or returns the existing) scoped counter under name.
+// The parent aggregate entry is auto-registered so `/metrics` always
+// exposes the unlabeled sum alongside the labeled series.
+func (s *Scope) Counter(name, help string) *Counter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	s.reg.Counter(name, help) // ensure the parent aggregate entry exists
+	c := &Counter{}
+	s.attach(name, &scopedInstr{labels: s.labels, counter: c})
+	s.counters[name] = c
+	return c
+}
+
+// Gauge registers (or returns the existing) scoped gauge under name.
+func (s *Scope) Gauge(name, help string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g, ok := s.gauges[name]; ok {
+		return g
+	}
+	s.reg.Gauge(name, help)
+	g := &Gauge{}
+	s.attach(name, &scopedInstr{labels: s.labels, gauge: g})
+	s.gauges[name] = g
+	return g
+}
+
+// Histogram registers (or returns the existing) scoped histogram under
+// name. The scoped instrument always adopts the parent entry's bucket
+// bounds so aggregate merges stay bucket-compatible.
+func (s *Scope) Histogram(name, help string, bounds []int64) *Histogram {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.hists[name]; ok {
+		return h
+	}
+	parent := s.reg.Histogram(name, help, bounds)
+	h := &Histogram{
+		bounds: parent.bounds,
+		counts: make([]atomic.Uint64, len(parent.counts)),
+	}
+	s.attach(name, &scopedInstr{labels: s.labels, hist: h})
+	s.hists[name] = h
+	return h
+}
+
+// attach appends a scoped instrument to the parent entry under the registry
+// lock. The entry is guaranteed to exist (the constructor above registered
+// it) and kind-checked there.
+func (s *Scope) attach(name string, in *scopedInstr) {
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	e := s.reg.byName[name]
+	e.scoped = append(e.scoped, in)
+}

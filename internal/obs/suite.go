@@ -21,6 +21,11 @@ type Suite struct {
 	Run      *TraceContext
 	Recorder *Recorder
 
+	// Bus is the live telemetry stream: per-quantum frames published by
+	// every CoreObs wired into this suite (parent and per-mission alike),
+	// consumed by /stream.ndjson subscribers and rose-top.
+	Bus *StreamBus
+
 	// Host labels this process in exported traces ("rose-sim",
 	// "rose-env-server"); WriteTrace falls back to "rose" when empty.
 	Host string
@@ -36,6 +41,9 @@ type Suite struct {
 	// exported with the rose_run trace event; see SetMeta.
 	metaMu sync.Mutex
 	meta   []metaKV
+
+	// missionSeq numbers auto-assigned mission IDs (Mission with id "").
+	missionSeq atomic.Uint64
 
 	start time.Time
 }
@@ -54,12 +62,14 @@ func New(traceEvents int) *Suite {
 	log := NewLogger(LevelInfo)
 	run := NewTraceContext()
 	rec := newRecorder(reg, tr, log, run, DefaultBlackboxQuanta)
+	bus := NewStreamBus(reg)
 	s := &Suite{
 		Registry:  reg,
 		Tracer:    tr,
 		Log:       log,
 		Run:       run,
 		Recorder:  rec,
+		Bus:       bus,
 		Core:      newCoreObs(reg, tr, run, rec, log),
 		RPC:       newRPCObs(reg, tr),
 		EnvServer: newEnvServerObs(reg, tr, log),
@@ -69,7 +79,54 @@ func New(traceEvents int) *Suite {
 		start:     time.Now(),
 	}
 	rec.bindBridge(s.Bridge.RxBytes, s.Bridge.TxBytes)
+	s.Core.bindStream(bus, "", s.SoC, s.Bridge, s.App)
 	return s
+}
+
+// MissionObs is the per-mission instrument set a fleet/sweep mission wires
+// instead of the suite's parent bundles: the same subsystem bundles built
+// against a labeled Scope, sharing the suite's tracer, run context, flight
+// recorder, log, and stream bus. `/metrics` then exposes each mission's
+// series labeled with mission_id (plus map/hw/precision) alongside the
+// parent-side aggregates.
+type MissionObs struct {
+	ID    string
+	Scope *Scope
+
+	Core   *CoreObs
+	RPC    *RPCObs
+	Bridge *BridgeObs
+	SoC    *SoCObs
+	App    *AppObs
+}
+
+// Mission creates a per-mission observability scope. id "" auto-assigns
+// m0, m1, ... in creation order; labels (map, hw, precision, ...) ride on
+// every metric series the mission records. Nil-safe: a nil suite yields a
+// nil MissionObs, and experiments treat that exactly like disabled
+// observability.
+func (s *Suite) Mission(id string, labels ...[2]string) *MissionObs {
+	if s == nil {
+		return nil
+	}
+	if id == "" {
+		id = fmt.Sprintf("m%d", s.missionSeq.Add(1)-1)
+	}
+	kvs := make([][2]string, 0, len(labels)+1)
+	kvs = append(kvs, [2]string{"mission_id", id})
+	kvs = append(kvs, labels...)
+	sc := s.Registry.Scope(kvs...)
+	m := &MissionObs{
+		ID:     id,
+		Scope:  sc,
+		Core:   newCoreObs(sc, s.Tracer, s.Run, s.Recorder, s.Log),
+		RPC:    newRPCObs(sc, s.Tracer),
+		Bridge: newBridgeObs(sc),
+		SoC:    newSoCObs(sc),
+		App:    newAppObs(sc),
+	}
+	m.Core.bindStream(s.Bus, id, m.SoC, m.Bridge, m.App)
+	return m
 }
 
 // Logger returns the suite's structured logger. Safe on a nil suite: the
@@ -206,6 +263,16 @@ type CoreObs struct {
 	curEnergy   atomic.Uint64 // cumulative simulated energy at quantum end, pJ
 	curPowerMW  atomic.Int64  // this quantum's simulated power, mW
 	hasPower    atomic.Bool
+	curFP       atomic.Uint64 // rolling determinism fingerprint after this quantum
+
+	// Stream wiring (bindStream): the suite bus, this mission's stream ID
+	// ("" for the parent/single-mission core), and the sibling bundles whose
+	// values enrich each published frame.
+	bus       *StreamBus
+	mission   string
+	streamSoC *SoCObs
+	streamBrg *BridgeObs
+	streamApp *AppObs
 
 	Quanta       *Counter
 	Quantum      *Histogram
@@ -213,27 +280,44 @@ type CoreObs struct {
 	Env          *Histogram
 	Exchange     *Histogram
 	OverlapStall *Histogram
+	Fingerprint  *Gauge
 }
 
-func newCoreObs(reg *Registry, tr *Tracer, run *TraceContext, rec *Recorder, log *Logger) *CoreObs {
+func newCoreObs(ins Instruments, tr *Tracer, run *TraceContext, rec *Recorder, log *Logger) *CoreObs {
 	return &CoreObs{
 		tracer: tr,
 		run:    run,
 		rec:    rec,
 		log:    log,
-		Quanta: reg.Counter("rose_cosim_quanta_total",
+		Quanta: ins.Counter("rose_cosim_quanta_total",
 			"Synchronization quanta executed."),
-		Quantum: reg.Histogram("rose_cosim_quantum_seconds",
+		Quantum: ins.Histogram("rose_cosim_quantum_seconds",
 			"Wall time of one whole synchronization quantum.", nil),
-		RTL: reg.Histogram("rose_cosim_rtl_quantum_seconds",
+		RTL: ins.Histogram("rose_cosim_rtl_quantum_seconds",
 			"Wall time of the RTL (SoC engine) quantum.", nil),
-		Env: reg.Histogram("rose_cosim_env_quantum_seconds",
+		Env: ins.Histogram("rose_cosim_env_quantum_seconds",
 			"Wall time of the environment quantum (frames plus telemetry).", nil),
-		Exchange: reg.Histogram("rose_cosim_exchange_seconds",
+		Exchange: ins.Histogram("rose_cosim_exchange_seconds",
 			"Wall time of boundary packet exchange.", nil),
-		OverlapStall: reg.Histogram("rose_cosim_overlap_stall_seconds",
+		OverlapStall: ins.Histogram("rose_cosim_overlap_stall_seconds",
 			"Wall time the synchronizer waited on the env worker after the RTL quantum finished.", nil),
+		Fingerprint: ins.Gauge("rose_cosim_fingerprint",
+			"Rolling determinism fingerprint after the most recent quantum (FNV-1a 64, stored as int64 bits)."),
 	}
+}
+
+// bindStream wires the core bundle to the suite's stream bus: mission is
+// this core's stream ID and the sibling bundles supply the engine/queue/app
+// fields of each published frame.
+func (o *CoreObs) bindStream(bus *StreamBus, mission string, soc *SoCObs, brg *BridgeObs, app *AppObs) {
+	if o == nil {
+		return
+	}
+	o.bus = bus
+	o.mission = mission
+	o.streamSoC = soc
+	o.streamBrg = brg
+	o.streamApp = app
 }
 
 // Start returns the current time when observing, the zero time when o is
@@ -263,6 +347,26 @@ func (o *CoreObs) BeginQuantum() time.Time {
 	o.hasPower.Store(false)
 	o.rec.Heartbeat(seq)
 	return time.Now()
+}
+
+// ObserveFingerprint records the quantum's rolling determinism fingerprint:
+// latest value on the gauge (int64 bits), scratch for the quantum record
+// and stream frame.
+func (o *CoreObs) ObserveFingerprint(fp uint64) {
+	if o == nil {
+		return
+	}
+	o.curFP.Store(fp)
+	o.Fingerprint.Set(int64(fp))
+}
+
+// FingerprintValue returns the most recent fingerprint (0 on nil / before
+// the first quantum).
+func (o *CoreObs) FingerprintValue() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.curFP.Load()
 }
 
 // Seq returns the current quantum's trace sequence (0 on nil).
@@ -364,9 +468,47 @@ func (o *CoreObs) EndQuantum(start time.Time, sample TelemetrySample, hasTel boo
 			EnergyPJ:      o.curEnergy.Load(),
 			PowerMW:       o.curPowerMW.Load(),
 			HasPower:      o.hasPower.Load(),
+			Fingerprint:   o.curFP.Load(),
 			HasTelemetry:  hasTel,
 			Telemetry:     sample,
 		})
+	}
+	// Publish the quantum's live frame. With no subscriber attached this is
+	// one atomic load; the frame is only assembled when someone is watching.
+	if o.bus.Active() {
+		f := StreamFrame{
+			Mission:         o.mission,
+			Seq:             o.curSeq.Load(),
+			WallNs:          end.Sub(start).Nanoseconds(),
+			RTLNs:           o.curRTL.Load(),
+			EnvNs:           o.curEnv.Load(),
+			ExchangeNs:      o.curExchange.Load(),
+			StallNs:         o.curStall.Load(),
+			EnergyPJ:        o.curEnergy.Load(),
+			PowerMW:         o.curPowerMW.Load(),
+			TimeSec:         sample.TimeSec,
+			PosX:            sample.PosX,
+			PosY:            sample.PosY,
+			PosZ:            sample.PosZ,
+			Yaw:             sample.Yaw,
+			CollisionCount:  sample.CollisionCount,
+			MissionComplete: sample.MissionComplete,
+		}
+		if fp := o.curFP.Load(); fp != 0 {
+			f.Fingerprint = string(appendHex16(nil, fp))
+		}
+		if o.streamSoC != nil {
+			f.Cycles = o.streamSoC.Cycles.Value()
+		}
+		if o.streamApp != nil {
+			f.Inferences = o.streamApp.Inferences.Value()
+			f.InferMeanSec = o.streamApp.Latency.Mean().Seconds()
+		}
+		if o.streamBrg != nil {
+			f.RxHWM = o.streamBrg.RxBytesHWM.Value()
+			f.TxHWM = o.streamBrg.TxBytesHWM.Value()
+		}
+		o.bus.Publish(f)
 	}
 }
 
@@ -415,28 +557,28 @@ func (o *RPCObs) ObserveRoundTrip(start time.Time, seq uint64, traced bool) {
 	}
 }
 
-func newRPCObs(reg *Registry, tr *Tracer) *RPCObs {
+func newRPCObs(ins Instruments, tr *Tracer) *RPCObs {
 	return &RPCObs{
 		tracer: tr,
-		RoundTrips: reg.Counter("rose_rpc_roundtrips_total",
+		RoundTrips: ins.Counter("rose_rpc_roundtrips_total",
 			"Synchronous environment RPC round-trips."),
-		DeferredCmds: reg.Counter("rose_rpc_deferred_cmds_total",
+		DeferredCmds: ins.Counter("rose_rpc_deferred_cmds_total",
 			"Fire-and-forget commands whose acks were deferred (StepFrames, CmdVel)."),
-		BatchedFetches: reg.Counter("rose_rpc_batched_fetches_total",
+		BatchedFetches: ins.Counter("rose_rpc_batched_fetches_total",
 			"Batched sensor fetches (one network round-trip each)."),
-		BatchedSensors: reg.Counter("rose_rpc_batched_sensors_total",
+		BatchedSensors: ins.Counter("rose_rpc_batched_sensors_total",
 			"Individual sensor requests served by batched fetches."),
-		BytesOut: reg.Counter("rose_rpc_bytes_out_total",
+		BytesOut: ins.Counter("rose_rpc_bytes_out_total",
 			"Bytes of framed request traffic written by the RPC client."),
-		BytesIn: reg.Counter("rose_rpc_bytes_in_total",
+		BytesIn: ins.Counter("rose_rpc_bytes_in_total",
 			"Bytes of framed response traffic read by the RPC client."),
-		Reconnects: reg.Counter("rose_rpc_reconnects_total",
+		Reconnects: ins.Counter("rose_rpc_reconnects_total",
 			"Successful transparent reconnects of resilient RPC links."),
-		ReplayedFrames: reg.Counter("rose_rpc_replayed_frames_total",
+		ReplayedFrames: ins.Counter("rose_rpc_replayed_frames_total",
 			"Unanswered request frames retransmitted after reconnects."),
-		ChecksumErrors: reg.Counter("rose_rpc_checksum_errors_total",
+		ChecksumErrors: ins.Counter("rose_rpc_checksum_errors_total",
 			"Inbound frames rejected by the RPC client for CRC-32C mismatch."),
-		RoundTrip: reg.Histogram("rose_rpc_roundtrip_seconds",
+		RoundTrip: ins.Histogram("rose_rpc_roundtrip_seconds",
 			"Latency of synchronous RPC round-trips (flush to response).", nil),
 	}
 }
@@ -454,19 +596,19 @@ type EnvServerObs struct {
 	Latency    *Histogram
 }
 
-func newEnvServerObs(reg *Registry, tr *Tracer, log *Logger) *EnvServerObs {
+func newEnvServerObs(ins Instruments, tr *Tracer, log *Logger) *EnvServerObs {
 	return &EnvServerObs{
 		tracer: tr,
 		log:    log,
-		Requests: reg.Counter("rose_env_server_requests_total",
+		Requests: ins.Counter("rose_env_server_requests_total",
 			"RPC requests handled by the environment server."),
-		BytesIn: reg.Counter("rose_env_server_bytes_in_total",
+		BytesIn: ins.Counter("rose_env_server_bytes_in_total",
 			"Bytes of framed request traffic read by the environment server."),
-		BytesOut: reg.Counter("rose_env_server_bytes_out_total",
+		BytesOut: ins.Counter("rose_env_server_bytes_out_total",
 			"Bytes of framed response traffic written by the environment server."),
-		ReplayHits: reg.Counter("rose_env_server_replay_hits_total",
+		ReplayHits: ins.Counter("rose_env_server_replay_hits_total",
 			"Replayed requests answered from the session response cache instead of re-executing."),
-		Latency: reg.Histogram("rose_env_server_request_seconds",
+		Latency: ins.Histogram("rose_env_server_request_seconds",
 			"Wall time serving one RPC request (read to response written).", nil),
 	}
 }
@@ -512,17 +654,17 @@ type BridgeObs struct {
 	RxDrops    *Counter
 }
 
-func newBridgeObs(reg *Registry) *BridgeObs {
+func newBridgeObs(ins Instruments) *BridgeObs {
 	return &BridgeObs{
-		RxBytes: reg.Gauge("rose_bridge_rx_queue_bytes",
+		RxBytes: ins.Gauge("rose_bridge_rx_queue_bytes",
 			"Current host-to-SoC (RX) queue occupancy in bytes."),
-		TxBytes: reg.Gauge("rose_bridge_tx_queue_bytes",
+		TxBytes: ins.Gauge("rose_bridge_tx_queue_bytes",
 			"Current SoC-to-host (TX) queue occupancy in bytes."),
-		RxBytesHWM: reg.Gauge("rose_bridge_rx_queue_bytes_hwm",
+		RxBytesHWM: ins.Gauge("rose_bridge_rx_queue_bytes_hwm",
 			"High-water mark of RX queue occupancy in bytes."),
-		TxBytesHWM: reg.Gauge("rose_bridge_tx_queue_bytes_hwm",
+		TxBytesHWM: ins.Gauge("rose_bridge_tx_queue_bytes_hwm",
 			"High-water mark of TX queue occupancy in bytes."),
-		RxDrops: reg.Counter("rose_bridge_rx_drops_total",
+		RxDrops: ins.Counter("rose_bridge_rx_drops_total",
 			"Host-to-SoC packets rejected by a full RX queue."),
 	}
 }
@@ -552,37 +694,37 @@ type SoCObs struct {
 	AvgPowerMW     *Gauge
 }
 
-func newSoCObs(reg *Registry) *SoCObs {
+func newSoCObs(ins Instruments) *SoCObs {
 	return &SoCObs{
-		RecvStalls: reg.Counter("rose_soc_recv_stalls_total",
+		RecvStalls: ins.Counter("rose_soc_recv_stalls_total",
 			"Quanta the SoC idled against an empty bridge RX queue."),
-		SendStalls: reg.Counter("rose_soc_send_stalls_total",
+		SendStalls: ins.Counter("rose_soc_send_stalls_total",
 			"Quanta the SoC idled against a full bridge TX queue."),
-		Cycles: reg.Counter("rose_soc_cycles_total",
+		Cycles: ins.Counter("rose_soc_cycles_total",
 			"Total simulated SoC cycles."),
-		ComputeCycles: reg.Counter("rose_soc_compute_cycles_total",
+		ComputeCycles: ins.Counter("rose_soc_compute_cycles_total",
 			"Simulated cycles charged to CPU compute."),
-		AccelCycles: reg.Counter("rose_soc_accel_cycles_total",
+		AccelCycles: ins.Counter("rose_soc_accel_cycles_total",
 			"Simulated cycles charged to the DNN accelerator."),
-		IOCycles: reg.Counter("rose_soc_io_cycles_total",
+		IOCycles: ins.Counter("rose_soc_io_cycles_total",
 			"Simulated cycles charged to bridge I/O transfers."),
-		IdleCycles: reg.Counter("rose_soc_idle_cycles_total",
+		IdleCycles: ins.Counter("rose_soc_idle_cycles_total",
 			"Simulated cycles the SoC spent stalled/idle."),
-		PacketsIn: reg.Counter("rose_soc_packets_in_total",
+		PacketsIn: ins.Counter("rose_soc_packets_in_total",
 			"Host-to-SoC data packets delivered through the bridge."),
-		PacketsOut: reg.Counter("rose_soc_packets_out_total",
+		PacketsOut: ins.Counter("rose_soc_packets_out_total",
 			"SoC-to-host data packets drained through the bridge."),
-		Syncs: reg.Counter("rose_soc_syncs_total",
+		Syncs: ins.Counter("rose_soc_syncs_total",
 			"Synchronization grants received by the bridge control unit."),
-		EnergyCorePJ: reg.Counter("rose_energy_core_pj_total",
+		EnergyCorePJ: ins.Counter("rose_energy_core_pj_total",
 			"Dynamic energy charged to the CPU core domain, in picojoules."),
-		EnergyAccelPJ: reg.Counter("rose_energy_accel_pj_total",
+		EnergyAccelPJ: ins.Counter("rose_energy_accel_pj_total",
 			"Dynamic energy charged to the DNN accelerator domain, in picojoules."),
-		EnergyMemPJ: reg.Counter("rose_energy_mem_pj_total",
+		EnergyMemPJ: ins.Counter("rose_energy_mem_pj_total",
 			"Dynamic energy charged to the memory system (stream, MMIO, DRAM), in picojoules."),
-		EnergyStaticPJ: reg.Counter("rose_energy_static_pj_total",
+		EnergyStaticPJ: ins.Counter("rose_energy_static_pj_total",
 			"Static (leakage) energy integrated over all elapsed cycles, in picojoules."),
-		AvgPowerMW: reg.Gauge("rose_power_avg_milliwatts",
+		AvgPowerMW: ins.Gauge("rose_power_avg_milliwatts",
 			"Run-average simulated power (total energy over elapsed simulated time), in milliwatts."),
 	}
 }
@@ -628,13 +770,13 @@ type AppObs struct {
 	Latency    *Histogram
 }
 
-func newAppObs(reg *Registry) *AppObs {
+func newAppObs(ins Instruments) *AppObs {
 	return &AppObs{
-		Inferences: reg.Counter("rose_app_inferences_total",
+		Inferences: ins.Counter("rose_app_inferences_total",
 			"Control-loop inferences completed."),
-		Fallbacks: reg.Counter("rose_app_fallbacks_total",
+		Fallbacks: ins.Counter("rose_app_fallbacks_total",
 			"Inferences served by the small network (dynamic runtime)."),
-		Latency: reg.Histogram("rose_app_inference_latency_seconds",
+		Latency: ins.Histogram("rose_app_inference_latency_seconds",
 			"Simulated request-to-command latency of one control iteration.", nil),
 	}
 }
@@ -707,32 +849,37 @@ type Summary struct {
 }
 
 // Summary digests the suite's current state. Safe to call while the run is
-// still recording (values are a consistent-enough live snapshot).
+// still recording (values are a consistent-enough live snapshot). Reads go
+// through the registry's aggregate helpers so per-mission scoped series
+// (fleets, sweeps) are folded in: counters and occupancy sum, high-water
+// marks take the fleet maximum, histograms merge bucket-wise.
 func (s *Suite) Summary() Summary {
 	if s == nil {
 		return Summary{}
 	}
+	r := s.Registry
+	quantum := r.AggHist("rose_cosim_quantum_seconds")
 	sum := Summary{
 		WallSeconds:   time.Since(s.start).Seconds(),
-		Quanta:        s.Core.Quanta.Value(),
-		RPCRoundTrips: s.RPC.RoundTrips.Value(),
-		RPCBytesIn:    s.RPC.BytesIn.Value(),
-		RPCBytesOut:   s.RPC.BytesOut.Value(),
-		BridgeRxHWM:   s.Bridge.RxBytesHWM.Value(),
-		BridgeTxHWM:   s.Bridge.TxBytesHWM.Value(),
-		RxDrops:       s.Bridge.RxDrops.Value(),
-		Inferences:    s.App.Inferences.Value(),
-		MeanInferSec:  s.App.Latency.Mean().Seconds(),
+		Quanta:        r.AggCounter("rose_cosim_quanta_total"),
+		RPCRoundTrips: r.AggCounter("rose_rpc_roundtrips_total"),
+		RPCBytesIn:    r.AggCounter("rose_rpc_bytes_in_total"),
+		RPCBytesOut:   r.AggCounter("rose_rpc_bytes_out_total"),
+		BridgeRxHWM:   r.MaxGauge("rose_bridge_rx_queue_bytes_hwm"),
+		BridgeTxHWM:   r.MaxGauge("rose_bridge_tx_queue_bytes_hwm"),
+		RxDrops:       r.AggCounter("rose_bridge_rx_drops_total"),
+		Inferences:    r.AggCounter("rose_app_inferences_total"),
+		MeanInferSec:  r.AggHist("rose_app_inference_latency_seconds").Mean().Seconds(),
 		TraceEvents:   s.Tracer.Len(),
 		TraceDropped:  s.Tracer.Dropped(),
 	}
 	if s.Run != nil {
 		sum.RunID = s.Run.RunIDHex()
 	}
-	corePJ := s.SoC.EnergyCorePJ.Value()
-	accelPJ := s.SoC.EnergyAccelPJ.Value()
-	memPJ := s.SoC.EnergyMemPJ.Value()
-	staticPJ := s.SoC.EnergyStaticPJ.Value()
+	corePJ := r.AggCounter("rose_energy_core_pj_total")
+	accelPJ := r.AggCounter("rose_energy_accel_pj_total")
+	memPJ := r.AggCounter("rose_energy_mem_pj_total")
+	staticPJ := r.AggCounter("rose_energy_static_pj_total")
 	if totalPJ := corePJ + accelPJ + memPJ + staticPJ; totalPJ > 0 {
 		sum.HasEnergy = true
 		sum.EnergyCoreJ = float64(corePJ) * 1e-12
@@ -740,27 +887,29 @@ func (s *Suite) Summary() Summary {
 		sum.EnergyMemJ = float64(memPJ) * 1e-12
 		sum.EnergyStaticJ = float64(staticPJ) * 1e-12
 		sum.EnergyTotalJ = float64(totalPJ) * 1e-12
-		sum.AvgPowerW = float64(s.SoC.AvgPowerMW.Value()) / 1e3
+		// Fleet power is additive: N concurrent simulated SoCs draw the sum
+		// of their rails.
+		sum.AvgPowerW = float64(r.AggGauge("rose_power_avg_milliwatts")) / 1e3
 	}
-	if r := s.Recorder; r != nil {
-		sum.QuantumStalls = r.Stalls.Value()
-		sum.PanicDumps = r.PanicDumps.Value()
-		sum.WatchdogDumps = r.WatchdogDumps.Value()
-		sum.FaultDumps = r.FaultDumps.Value()
-		sum.ManualDumps = r.ManualDumps.Value()
+	if rec := s.Recorder; rec != nil {
+		sum.QuantumStalls = rec.Stalls.Value()
+		sum.PanicDumps = rec.PanicDumps.Value()
+		sum.WatchdogDumps = rec.WatchdogDumps.Value()
+		sum.FaultDumps = rec.FaultDumps.Value()
+		sum.ManualDumps = rec.ManualDumps.Value()
 	}
 	sum.LogEvents = s.Log.Count()
 	sum.LogOverwritten = s.Log.Overwritten()
-	sum.MeanQuantumSec = s.Core.Quantum.Mean().Seconds()
-	sum.P99QuantumSec = s.Core.Quantum.Quantile(0.99).Seconds()
+	sum.MeanQuantumSec = quantum.Mean().Seconds()
+	sum.P99QuantumSec = quantum.Quantile(0.99).Seconds()
 	if sum.WallSeconds > 0 {
 		sum.QuantaPerSec = float64(sum.Quanta) / sum.WallSeconds
 	}
-	if total := s.Core.Quantum.Sum().Seconds(); total > 0 {
-		sum.RTLShare = s.Core.RTL.Sum().Seconds() / total
-		sum.EnvShare = s.Core.Env.Sum().Seconds() / total
-		sum.ExchangeShare = s.Core.Exchange.Sum().Seconds() / total
-		sum.StallShare = s.Core.OverlapStall.Sum().Seconds() / total
+	if total := quantum.Sum().Seconds(); total > 0 {
+		sum.RTLShare = r.AggHist("rose_cosim_rtl_quantum_seconds").Sum().Seconds() / total
+		sum.EnvShare = r.AggHist("rose_cosim_env_quantum_seconds").Sum().Seconds() / total
+		sum.ExchangeShare = r.AggHist("rose_cosim_exchange_seconds").Sum().Seconds() / total
+		sum.StallShare = r.AggHist("rose_cosim_overlap_stall_seconds").Sum().Seconds() / total
 	}
 	return sum
 }

@@ -83,6 +83,12 @@ func NewSessionP(net *dnn.Net, gem gemmini.Config, prec dnn.Precision) (*Session
 // Net returns the loaded model.
 func (s *Session) Net() *dnn.Net { return s.net }
 
+// Batched reports whether the session is attached to a batch group. Batched
+// inference parks the mission and retains the input tensor until the group's
+// collector runs, so callers must not reuse input buffers across Forward
+// calls; solo sessions consume the input synchronously.
+func (s *Session) Batched() bool { return s.batch != nil }
+
 // Precision returns the session's datapath.
 func (s *Session) Precision() dnn.Precision { return s.prec }
 

@@ -73,6 +73,12 @@ type Meta struct {
 	// TraceSeq is the obs trace-context sequence at capture; restored runs
 	// fast-forward their context to it.
 	TraceSeq uint64 `json:"trace_seq,omitempty"`
+	// Fingerprint is the mission's rolling determinism fingerprint
+	// (internal/fprint) at capture, in 16-digit hex — the value a resumed
+	// run's chain continues from, and what warm-start parity checks compare
+	// before stepping. "" on images captured before fingerprinting (or
+	// before the first quantum).
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// Spec is the capturing layer's mission description (JSON), used to
 	// rebuild sessions, map, and SoC config on restore.
 	Spec json.RawMessage `json:"spec,omitempty"`
@@ -110,6 +116,9 @@ func Capture(sy *core.Synchronizer, sim *env.Sim, rtl RTL, meta Meta) (*Image, e
 	}
 	coreSt := sy.SnapState()
 	meta.Quantum = coreSt.Quantum
+	if coreSt.Fingerprint != 0 {
+		meta.Fingerprint = fmt.Sprintf("%016x", coreSt.Fingerprint)
+	}
 	return &Image{
 		Meta: meta,
 		Core: coreSt,

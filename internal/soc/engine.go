@@ -1,10 +1,12 @@
 package soc
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
 	"repro/internal/bridge"
+	"repro/internal/fprint"
 	"repro/internal/obs"
 	"repro/internal/packet"
 )
@@ -63,11 +65,16 @@ type Machine struct {
 	exitCh chan error
 	killCh chan struct{}
 
-	pending  *request // partially-served request carried across quanta
-	pendLeft uint64   // cycles still to charge for the pending request
-	fetched  *request // next request pulled in by SnapState, not yet priced
-	done     bool
-	runErr   error
+	// pending is a value slot (validity tracked by hasPending) so carrying
+	// a partially-served request across quanta never heap-allocates — the
+	// engine serves millions of requests per simulated second.
+	pending    request // partially-served request carried across quanta
+	hasPending bool
+	pendLeft   uint64   // cycles still to charge for the pending request
+	fetched    *request // next request pulled in by SnapState, not yet priced
+	done       bool
+	runErr     error
+	grantBuf   [8]byte // scratch payload for the per-quantum SYNC_GRANT
 
 	sp StateProgram // non-nil for resumable machines (NewStateMachine)
 }
@@ -276,7 +283,12 @@ func (m *Machine) Step(cycles uint64) (uint64, error) {
 		m.idle(cycles)
 		return cycles, nil
 	}
-	if err := m.br.HandleHostPacket(packet.U64(packet.SyncGrant, cycles)); err != nil {
+	// The grant payload is a machine-owned scratch: sync packets terminate
+	// in the bridge control unit (read via AsU64, never stored), and heap-
+	// allocating packet.U64's payload every quantum would be the hot loop's
+	// only allocation.
+	binary.LittleEndian.PutUint64(m.grantBuf[:], cycles)
+	if err := m.br.HandleHostPacket(packet.Packet{Type: packet.SyncGrant, Payload: m.grantBuf[:]}); err != nil {
 		return 0, err
 	}
 	m.stats.Syncs++
@@ -286,7 +298,7 @@ func (m *Machine) Step(cycles uint64) (uint64, error) {
 			break
 		}
 		// Serve any partially-charged request first.
-		if m.pending != nil {
+		if m.hasPending {
 			if !m.chargePending() {
 				break // budget exhausted mid-charge
 			}
@@ -308,6 +320,24 @@ func (m *Machine) Step(cycles uint64) (uint64, error) {
 			m.runErr = err
 		}
 	}
+	// Advance the rolling determinism fingerprint over the quantum's end
+	// state. Always-on: a dozen integer folds per quantum, no allocation.
+	h := m.stats.Fingerprint
+	if h == 0 {
+		h = fprint.Init // fresh machine or pre-fingerprint snapshot image
+	}
+	h = fprint.Fold(h, m.cycle)
+	h = fprint.Fold(h, m.stats.ComputeCycles)
+	h = fprint.Fold(h, m.stats.AccelCycles)
+	h = fprint.Fold(h, m.stats.IOCycles)
+	h = fprint.Fold(h, m.stats.IdleCycles)
+	h = fprint.Fold(h, m.stats.PacketsIn)
+	h = fprint.Fold(h, m.stats.PacketsOut)
+	h = fprint.Fold(h, m.stats.Syncs)
+	h = fprint.Fold(h, m.stats.Energy.CorePJ)
+	h = fprint.Fold(h, m.stats.Energy.AccelPJ)
+	h = fprint.Fold(h, m.stats.Energy.MemPJ)
+	m.stats.Fingerprint = h
 	if m.obs != nil {
 		s := m.stats
 		m.obs.Mirror(m.cycle, s.ComputeCycles, s.AccelCycles, s.IOCycles,
@@ -333,11 +363,11 @@ func (m *Machine) beginRequest(r request) {
 		r.cycles = 1
 		r.energy = ScalarEnergyPJ(m.energy, 1)
 		m.chargeEnergyCompute(&r)
-		m.pending = &r
+		m.pending, m.hasPending = r, true
 		m.pendLeft = 1
 	case reqCompute:
 		m.chargeEnergyCompute(&r)
-		m.pending = &r
+		m.pending, m.hasPending = r, true
 		m.pendLeft = r.cycles
 	case reqTryRecv:
 		m.charge(m.params.PollCycles, chargeIO)
@@ -348,7 +378,7 @@ func (m *Machine) beginRequest(r request) {
 			r.pkt = pkt
 			r.cycles = m.params.TransferCycles(pkt.Size())
 			m.chargeEnergyTransfer(pkt.Size())
-			m.pending = &r
+			m.pending, m.hasPending = r, true
 			m.pendLeft = r.cycles
 		} else {
 			m.resCh <- response{ok: false, cycle: m.cycle}
@@ -358,13 +388,13 @@ func (m *Machine) beginRequest(r request) {
 			r.pkt = pkt
 			r.cycles = m.params.TransferCycles(pkt.Size())
 			m.chargeEnergyTransfer(pkt.Size())
-			m.pending = &r
+			m.pending, m.hasPending = r, true
 			m.pendLeft = r.cycles
 		} else {
 			// Nothing to receive: the core stalls for the remainder of
 			// the quantum. The request stays pending with zero charge;
 			// the next quantum retries after new packets arrive.
-			m.pending = &r
+			m.pending, m.hasPending = r, true
 			m.pendLeft = 0
 			if m.obs != nil {
 				m.obs.RecvStalls.Inc()
@@ -375,11 +405,11 @@ func (m *Machine) beginRequest(r request) {
 		if m.br.SendData(r.pkt) {
 			r.cycles = m.params.TransferCycles(r.pkt.Size())
 			m.chargeEnergyTransfer(r.pkt.Size())
-			m.pending = &r
+			m.pending, m.hasPending = r, true
 			m.pendLeft = r.cycles
 		} else {
 			// TX queue full: stall until the synchronizer drains it.
-			m.pending = &r
+			m.pending, m.hasPending = r, true
 			m.pendLeft = 0
 			if m.obs != nil {
 				m.obs.SendStalls.Inc()
@@ -400,7 +430,7 @@ const (
 // chargePending advances a pending request; returns false when the budget
 // ran out before the request completed.
 func (m *Machine) chargePending() bool {
-	r := m.pending
+	r := &m.pending
 	// Retry previously-blocked I/O.
 	if m.pendLeft == 0 && (r.kind == reqRecv || r.kind == reqTryRecv) {
 		if pkt, ok := m.br.RecvData(); ok {
@@ -442,7 +472,7 @@ func (m *Machine) chargePending() bool {
 		return false
 	}
 	// Complete: respond to the program.
-	m.pending = nil
+	m.hasPending = false
 	switch r.kind {
 	case reqCompute:
 		m.resCh <- response{cycle: m.cycle}
@@ -451,6 +481,7 @@ func (m *Machine) chargePending() bool {
 	case reqSend:
 		m.resCh <- response{ok: true, cycle: m.cycle}
 	}
+	m.pending = request{} // drop the packet reference
 	return true
 }
 

@@ -264,6 +264,13 @@ type Stats struct {
 	// points as the cycle counters above (static energy is derived from
 	// Cycles via EnergyParams.Static, never accumulated).
 	Energy EnergyLedger
+	// Fingerprint is the engine's rolling determinism fingerprint
+	// (internal/fprint), advanced at the end of every Step over the cycle,
+	// packet, and energy counters above. Two engines that executed the same
+	// quanta hold the same chain; it rides the Stats gob so RTLStatus
+	// replies and snapshots carry it for free. Pre-fingerprint snapshot
+	// images decode it as 0 and the chain restarts from the FNV basis.
+	Fingerprint uint64
 }
 
 // ActivityFactor returns the fraction of simulated time the accelerator was

@@ -85,7 +85,7 @@ func (m *Machine) SnapState() (*SnapState, error) {
 		return nil, errors.New("soc: snapshot only at a quantum boundary (budget not drained)")
 	}
 	// Quiesce: make sure the program is parked in a request we hold.
-	if m.pending == nil && m.fetched == nil {
+	if !m.hasPending && m.fetched == nil {
 		select {
 		case r := <-m.reqCh:
 			m.fetched = &r
@@ -107,7 +107,7 @@ func (m *Machine) SnapState() (*SnapState, error) {
 		Bridge: m.br.State(),
 		App:    app,
 	}
-	if m.pending != nil {
+	if m.hasPending {
 		st.HasPending = true
 		st.Pending = PendReq{
 			Kind:     uint8(m.pending.kind),
@@ -187,7 +187,7 @@ func RestoreMachine(cfg Config, sp StateProgram, st *SnapState) (*Machine, error
 			memPJ:  st.Pending.MemPJ,
 			pkt:    clonePkt(st.Pending.Pkt),
 		}
-		m.pending = &r
+		m.pending, m.hasPending = r, true
 		m.pendLeft = st.Pending.Left
 	case st.HasFetched:
 		// Not yet priced: park it for the next Step to price normally.

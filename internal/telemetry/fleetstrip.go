@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// FleetStrip renders the latest live StreamFrame of each mission as one
+// table — the body of the rose-top display. It shares the HealthStrip
+// formatting helpers so live and post-run views read the same way. Frames
+// are sorted by mission ID ("" — a solo rose-sim run — sorts first and
+// prints as "-"). Heartbeat frames carry no telemetry and are skipped;
+// callers should retain the last real frame per mission instead.
+func FleetStrip(frames []obs.StreamFrame) string {
+	rows := make([]obs.StreamFrame, 0, len(frames))
+	for _, f := range frames {
+		if !f.Heartbeat {
+			rows = append(rows, f)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Mission < rows[j].Mission })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %7s %17s %5s %9s %8s %14s %9s %6s  %s\n",
+		"mission", "quantum", "t", "pos", "coll", "cycles", "power",
+		"infer(mean)", "q-wall", "drops", "fingerprint")
+	for _, f := range rows {
+		name := f.Mission
+		if name == "" {
+			name = "-"
+		}
+		status := ""
+		if f.MissionComplete {
+			status = " done"
+		}
+		fmt.Fprintf(&b, "%-10s %8d %7s %17s %5d %9s %8s %14s %9s %6d  %s%s\n",
+			name, f.Seq, fmtSec(f.TimeSec),
+			fmt.Sprintf("(%6.1f,%6.1f)", f.PosX, f.PosY),
+			f.CollisionCount, fmtCount(f.Cycles), fmtWatts(float64(f.PowerMW)*1e-3),
+			fmt.Sprintf("%d (%s)", f.Inferences, fmtSec(f.InferMeanSec)),
+			fmtSec(float64(f.WallNs)*1e-9), f.Dropped, f.Fingerprint, status)
+	}
+	return b.String()
+}
+
+// fmtCount prints a large count with a metric suffix (cycles, frames).
+func fmtCount(n uint64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

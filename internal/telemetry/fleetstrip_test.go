@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestFleetStrip(t *testing.T) {
+	frames := []obs.StreamFrame{
+		{Mission: "m2", Seq: 40, TimeSec: 0.66, PosX: 2.1, PosY: -0.3,
+			Cycles: 666_666_680, PowerMW: 1250, Inferences: 12, InferMeanSec: 3.1e-3,
+			WallNs: 5_200_000, Fingerprint: "d9ad42654a6238e9"},
+		{Mission: "m1", Seq: 41, TimeSec: 0.68, PosX: 2.3, PosY: 0.4,
+			Cycles: 683_333_347, Inferences: 13, InferMeanSec: 2.9e-3,
+			WallNs: 4_900_000, Dropped: 7, MissionComplete: true},
+		{Heartbeat: true}, // keepalive frames carry no telemetry
+	}
+	out := FleetStrip(frames)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines (heartbeat not skipped?):\n%s", len(lines), out)
+	}
+	// Sorted by mission ID, m1 first.
+	if !strings.Contains(lines[1], "m1") || !strings.Contains(lines[2], "m2") {
+		t.Errorf("rows not sorted by mission:\n%s", out)
+	}
+	for _, want := range []string{"fingerprint", "d9ad42654a6238e9", "666.7M", "1.25W", "done"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The drop counter is the slow-reader tell; it must be visible.
+	if !strings.Contains(lines[1], " 7 ") && !strings.Contains(lines[1], " 7  ") {
+		t.Errorf("m1 row missing drop count 7:\n%s", lines[1])
+	}
+}
+
+func TestFmtCount(t *testing.T) {
+	for _, tc := range []struct {
+		n    uint64
+		want string
+	}{{17, "17"}, {1500, "1.5k"}, {2_500_000, "2.5M"}, {3_000_000_000, "3.00G"}} {
+		if got := fmtCount(tc.n); got != tc.want {
+			t.Errorf("fmtCount(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}

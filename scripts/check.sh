@@ -47,6 +47,12 @@ for k in noasm sse avx2; do
         ./internal/tensor/ ./internal/dnn/
 done
 
+echo "== fingerprint parity matrix =="
+# Determinism fingerprints: the rolling per-quantum FNV-1a chain must be
+# identical local vs TCP-remote RTL, and the live-divergence bisector must
+# localize an injected bit flip to the quantum where it happened.
+go test -race -count=1 -run 'TestFingerprintParityLocalRemote|TestLiveDivergenceRemoteRTL|TestFirstDivergentQuantum' ./internal/experiments/
+
 echo "== snapshot parity matrix =="
 # Warm-start correctness: snapshot -> restore -> run must be byte-identical
 # to the uninterrupted mission, across maps, overlap modes, and the
@@ -74,5 +80,30 @@ echo "== short benchmarks =="
 go test -run xxx -bench 'BenchmarkMatMul|BenchmarkConv2D' -benchtime 1x -benchmem ./internal/tensor/
 go test -run xxx -bench 'BenchmarkRender' -benchtime 1x -benchmem ./internal/render/
 go test -run xxx -bench 'BenchmarkQuantumTCP' -benchtime 100x -benchmem .
+
+echo "== allocation gate (0 allocs/op hot paths) =="
+# The hot-path allocation contract (DESIGN.md §6, §11): one synchronization
+# quantum — render, bridge exchange, inference, physics, always-on
+# fingerprint fold — must not allocate with observability disabled, in both
+# harnesses: the TCP-remote exchange benchmark and the fully assembled
+# steady-state mission quantum. Any alloc/op above 0 fails the gate.
+alloc_gate() {
+    pkg=$1; bench=$2; times=$3
+    out=$(go test -run xxx -bench "$bench" -benchtime "$times" -benchmem "$pkg")
+    line=$(echo "$out" | grep "^Benchmark" || true)
+    if [ -z "$line" ]; then
+        echo "$out"
+        echo "alloc gate: $bench did not run" >&2
+        exit 1
+    fi
+    echo "$line"
+    allocs=$(echo "$line" | awk '{print $(NF-1)}' | tail -1)
+    if [ "$allocs" != "0" ]; then
+        echo "alloc gate: $bench regressed to $allocs allocs/op (want 0)" >&2
+        exit 1
+    fi
+}
+alloc_gate . 'BenchmarkQuantumTCP$' 200x
+alloc_gate ./internal/experiments/ 'BenchmarkMissionQuantum$' 500x
 
 echo "check: OK"
