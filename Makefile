@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet check chaos fuzz bench bench-kernels parity snapparity energyparity fingerparity
+.PHONY: build test vet check chaos fuzz scenariofuzz bench bench-kernels parity snapparity energyparity fingerparity
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,17 @@ energyparity:
 # the quantum where it happened; make check runs the same matrix.
 fingerparity:
 	$(GO) test -race -count=1 -run 'TestFingerprintParityLocalRemote|TestFingerprintLogRoundTrip|TestLiveDivergenceRemoteRTL|TestFirstDivergentQuantum' ./internal/experiments/
+
+# scenariofuzz is the property-based mission sweep at full budget: 16 seeds
+# per scenario family (wind, degraded, squall, storm, swarm = 80 scenarios)
+# on rotating procedural worlds, each mission checked against the invariant
+# catalog (no tunneling, bounded speed, in-bounds, fingerprint-identical
+# replay, snapshot/restore parity). A violation prints the scenario + map
+# repro pair and the first divergent quantum; narrow a failure with
+# ROSE_SCENARIOFUZZ_ONLY=<family:seed>. make check runs a bounded sweep.
+scenariofuzz:
+	ROSE_SCENARIOFUZZ_SEEDS=16 $(GO) test -race -count=1 -v \
+		-run 'TestScenarioFuzz|TestInjectedFault' ./internal/experiments/fuzz/
 
 # fuzz gives each framing/codec fuzz target a short native-fuzzing burst.
 fuzz:

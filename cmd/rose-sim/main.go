@@ -37,7 +37,8 @@ import (
 func main() {
 	var (
 		mapName  = flag.String("map", "tunnel", "environment: tunnel or s-shape")
-		model    = flag.String("model", "ResNet14", "controller DNN variant")
+		scenario = flag.String("scenario", "", "scenario catalog entry as family:seed (calm, wind, degraded, squall, storm, swarm); empty = no disturbances")
+		model    = flag.String("model", "ResNet14", "controller DNN variant (empty with -scenario = scripted patrol controller)")
 		small    = flag.String("dynamic-small", "", "small DNN for the dynamic runtime (empty = static)")
 		hwName   = flag.String("hw", "A", "hardware config: A (BOOM+Gemmini), B (Rocket+Gemmini), C (BOOM)")
 		vfwd     = flag.Float64("v", 3, "forward velocity target (m/s)")
@@ -129,6 +130,7 @@ func main() {
 			log.Fatal(err)
 		}
 		*mapName, *model, *small = spec.Map, spec.Model, spec.SmallModel
+		*scenario = spec.Scenario
 		precision = spec.Precision
 	}
 
@@ -176,10 +178,18 @@ func main() {
 	suite.SetMeta("gemm_kernel", tensor.ActiveKernel().String())
 	suite.SetMeta("precision", precision.String())
 
-	fmt.Printf("training %s (and %s) on tunnel datasets...\n", *model, orNone(*small))
-	fmt.Printf("inference: kernel=%v precision=%v\n", tensor.ActiveKernel(), precision)
+	if *model != "" {
+		fmt.Printf("training %s (and %s) on tunnel datasets...\n", *model, orNone(*small))
+		fmt.Printf("inference: kernel=%v precision=%v\n", tensor.ActiveKernel(), precision)
+	} else {
+		fmt.Println("controller: scripted patrol (no DNN)")
+	}
+	if *scenario != "" {
+		fmt.Printf("scenario: %s\n", *scenario)
+	}
 	suite.Logger().Info("mission starting",
-		obs.Str("map", *mapName), obs.Str("model", *model), obs.Str("hw", *hwName),
+		obs.Str("map", *mapName), obs.Str("scenario", *scenario),
+		obs.Str("model", *model), obs.Str("hw", *hwName),
 		obs.F64("v_fwd", *vfwd), obs.F64("max_sim_sec", *maxSec),
 		obs.Str("gemm_kernel", tensor.ActiveKernel().String()),
 		obs.Str("precision", precision.String()))
@@ -193,6 +203,7 @@ func main() {
 		SyncCycles:         *sync,
 		MaxSimSec:          *maxSec,
 		Seed:               *seed,
+		Scenario:           *scenario,
 		Overlap:            overlapMode(*serial),
 		Obs:                suite,
 		Precision:          precision,
@@ -235,6 +246,19 @@ func main() {
 		fmt.Printf("snapshot at quantum %d written to %s (%d KiB)\n", img.Meta.Quantum, *snapOut, len(enc)/1024)
 		return
 	default:
+		if n := experiments.FleetSize(*scenario); n > 1 {
+			outs, err := experiments.RunSwarm(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nfleet: %d drones in lockstep\n", len(outs))
+			for i, o := range outs {
+				r := o.Result
+				fmt.Printf("drone %d: completed=%v time=%.2fs collisions=%d avgV=%.2f m/s fprint=%016x\n",
+					i, r.Completed, r.MissionTimeSec, r.Collisions, r.AvgVelocity, r.Fingerprint)
+			}
+			return
+		}
 		out, err = experiments.RunMission(spec)
 		if err != nil {
 			log.Fatal(err)

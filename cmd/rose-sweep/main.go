@@ -31,6 +31,7 @@ import (
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment id (table3, figure10..figure16) or 'all'")
+		scenario = flag.String("scenario", "", "run every sweep mission under this scenario catalog entry (family:seed)")
 		quick    = flag.Bool("quick", false, "reduced sweep points and mission budgets")
 		kernel   = flag.String("gemm-kernel", "", "force the GEMM microkernel: noasm, sse, avx2 (empty = auto-detect; env ROSE_GEMM_KERNEL)")
 		prec     = flag.String("precision", "fp32", "inference datapath: fp32 or int8 (quantized Gemmini mode)")
@@ -64,9 +65,12 @@ func main() {
 	if *exp != "all" {
 		ids = []string{*exp}
 	}
-	opt := experiments.Options{Quick: *quick, Precision: precision}
+	opt := experiments.Options{Quick: *quick, Precision: precision, Scenario: *scenario}
 	if *serial {
 		opt.Overlap = core.OverlapOff
+	}
+	if *scenario != "" {
+		fmt.Printf("scenario: %s\n", *scenario)
 	}
 	if *traceOut != "" || *metrics != "" || *watchdog > 0 {
 		traceEvents := 0

@@ -18,6 +18,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/physics"
 	"repro/internal/render"
+	"repro/internal/scenario"
 	"repro/internal/sensor"
 	"repro/internal/vec"
 	"repro/internal/world"
@@ -84,6 +85,16 @@ type Config struct {
 	StartY     float64
 	StartYaw   float64 // radians
 	MaxTiltRec bool    // unused placeholder for future wind models
+
+	// Scenario, when non-nil, layers deployment-scenario machinery over the
+	// baseline simulation: wind on the physics, degradation schedules on the
+	// sensors, moving obstacles in the world. Nil (the calm scenario) leaves
+	// every code path bit-identical to a build without scenario support.
+	Scenario *scenario.Spec
+	// Drone is this vehicle's index within a fleet; it offsets the
+	// scenario's per-subsystem RNG streams so fleet members see
+	// independent gusts and degradation schedules.
+	Drone int
 }
 
 // DefaultConfig returns the evaluation defaults: 60 Hz frames, 64×48 FPV
@@ -116,6 +127,16 @@ type Sim struct {
 	collisionCount  int
 	collisionCool   float64 // debounce timer
 	missionComplete bool
+
+	// Scenario machinery — all nil/empty when cfg.Scenario is inactive, in
+	// which case the hot paths reduce to the baseline (and allocation-free)
+	// code with only nil checks added.
+	wind        *scenario.WindProcess
+	degDepth    *sensor.Degrade
+	degIMU      *sensor.Degrade
+	scene       world.Scene // overlays obstacle walls and peer bodies on cfg.Map
+	depthOut    float64     // cached degraded depth reading for the current frame
+	hasDepthOut bool
 }
 
 // New creates a simulator from the config.
@@ -159,7 +180,69 @@ func (s *Sim) Reset(x, y, z, yaw float64) error {
 	s.collisionCount = 0
 	s.collisionCool = 0
 	s.missionComplete = false
+	s.initScenario()
 	return nil
+}
+
+// initScenario (re)builds the scenario runtime from the config: fresh
+// processes with their per-subsystem stream seeds, and the dynamic-scene
+// overlay when obstacles exist. Peers installed via SetPeers survive a
+// Reset only through the next SetPeers call.
+func (s *Sim) initScenario() {
+	s.wind, s.degDepth, s.degIMU = nil, nil, nil
+	s.scene = world.Scene{Map: s.cfg.Map}
+	s.depthOut, s.hasDepthOut = 0, false
+	spec := s.cfg.Scenario
+	if spec == nil {
+		return
+	}
+	if spec.Wind != nil {
+		s.wind = scenario.NewWindProcess(*spec.Wind, spec.WindSeed(s.cfg.Drone))
+		s.quad.Wind = s.wind.Wind()
+	}
+	if spec.DepthDegrade.Enabled() {
+		s.degDepth = sensor.NewDegrade(spec.DepthDegrade, spec.DepthDegradeSeed(s.cfg.Drone))
+	}
+	if spec.IMUDegrade.Enabled() {
+		s.degIMU = sensor.NewDegrade(spec.IMUDegrade, spec.IMUDegradeSeed(s.cfg.Drone))
+	}
+	if len(spec.Obstacles) > 0 {
+		s.scene.Walls = make([]world.Wall, len(spec.Obstacles))
+		s.updateObstacles()
+	}
+}
+
+// updateObstacles re-poses the moving obstacles for the current simulation
+// time. Obstacle pose is a pure function of simT, so a restore rebuilds it
+// from the clock alone — there is no obstacle state to snapshot.
+func (s *Sim) updateObstacles() {
+	spec := s.cfg.Scenario
+	if spec == nil || len(spec.Obstacles) == 0 {
+		return
+	}
+	for i := range spec.Obstacles {
+		s.scene.Walls[i] = spec.Obstacles[i].WallAt(s.simT, s.cfg.Map)
+	}
+}
+
+// sceneActive reports whether the dynamic-scene overlay carries content;
+// when false, sensing and collision run against the bare map exactly as in
+// a scenario-free build.
+func (s *Sim) sceneActive() bool {
+	return len(s.scene.Walls) > 0 || len(s.scene.Bodies) > 0
+}
+
+// SetPeers installs the other fleet members' collision bodies for the next
+// quantum (multi-drone missions). The slice is copied; pass nil to clear.
+// Call only at quantum boundaries — mid-quantum swaps would break replay
+// determinism.
+func (s *Sim) SetPeers(peers []world.Body) {
+	s.scene.Bodies = append(s.scene.Bodies[:0], peers...)
+}
+
+// BodyState returns this vehicle as a collision body for its fleet peers.
+func (s *Sim) BodyState() world.Body {
+	return world.Body{Pos: s.quad.State.Pos, Radius: s.quad.Params.Radius, Texture: world.TexDrone}
 }
 
 // FrameRate implements Env.
@@ -174,12 +257,32 @@ func (s *Sim) StepFrames(n int) error {
 	frameDT := 1 / s.cfg.FrameHz
 	subDT := frameDT / float64(s.cfg.Substeps)
 	for i := 0; i < n; i++ {
+		if s.wind != nil {
+			s.quad.Wind = s.wind.Step(frameDT)
+		}
+		if len(s.scene.Walls) > 0 {
+			s.updateObstacles()
+		}
 		for j := 0; j < s.cfg.Substeps; j++ {
 			motors := s.ctl.Update(s.quad.State, subDT)
 			s.quad.Step(subDT, motors)
 			s.resolveCollisions()
 		}
-		s.imu.Sample(s.quad.State, frameDT, s.simT)
+		imuGain := 1.0
+		if s.degIMU != nil {
+			s.degIMU.Tick(frameDT)
+			imuGain = s.degIMU.Gain()
+		}
+		s.imu.SampleGain(s.quad.State, frameDT, s.simT, imuGain)
+		if s.degDepth != nil {
+			// Degraded depth is a per-frame pipeline (sample → burst gain →
+			// latency line → dropout hold); GetDepth then serves the cached
+			// frame reading instead of drawing per call.
+			s.degDepth.Tick(frameDT)
+			fresh := s.depth.SampleGain(s.depthTrue(s.depth.MaxRange), s.degDepth.Gain())
+			s.depthOut = s.degDepth.FilterDepth(fresh)
+			s.hasDepthOut = true
+		}
 		s.frame++
 		s.simT += frameDT
 		if s.collisionCool > 0 {
@@ -198,8 +301,13 @@ func (s *Sim) StepFrames(n int) error {
 // 0.5 s debounce; the paper reports collisions and subsequent recovery
 // rather than terminating the run.
 func (s *Sim) resolveCollisions() {
-	c := s.cfg.Map.Collide(s.quad.State.Pos, s.quad.Params.Radius)
-	if !c.Collided || c.Wall < 0 {
+	var c world.CollisionInfo
+	if s.sceneActive() {
+		c = s.scene.Collide(s.quad.State.Pos, s.quad.Params.Radius)
+	} else {
+		c = s.cfg.Map.Collide(s.quad.State.Pos, s.quad.Params.Radius)
+	}
+	if !c.Collided || (c.Wall < 0 && c.Body < 0) {
 		// Floor contact is owned by the physics model (landing gear);
 		// only wall strikes are collision events here.
 		s.collided = false
@@ -223,11 +331,21 @@ func (s *Sim) resolveCollisions() {
 
 // GetImage implements Env.
 func (s *Sim) GetImage() (*render.Image, error) {
-	pose := render.Pose{Pos: s.quad.State.Pos, Ori: s.quad.State.Ori}
-	s.cam.RenderInto(s.cfg.Map, pose, s.imgBuf)
+	s.renderFrame()
 	out := render.NewImage(s.imgBuf.W, s.imgBuf.H)
 	copy(out.Pix, s.imgBuf.Pix)
 	return out, nil
+}
+
+// renderFrame draws the FPV view into the scratch image, through the scene
+// overlay when it carries content.
+func (s *Sim) renderFrame() {
+	pose := render.Pose{Pos: s.quad.State.Pos, Ori: s.quad.State.Ori}
+	if s.sceneActive() {
+		s.cam.RenderSceneInto(&s.scene, pose, s.imgBuf)
+		return
+	}
+	s.cam.RenderInto(s.cfg.Map, pose, s.imgBuf)
 }
 
 // FrameBytesInto renders the FPV view and quantizes it to 8-bit grayscale
@@ -235,8 +353,7 @@ func (s *Sim) GetImage() (*render.Image, error) {
 // GetImage hands out. Transmit paths — the RPC server and the in-process
 // synchronizer — use it to keep the per-frame camera path allocation-free.
 func (s *Sim) FrameBytesInto(dst []byte) (pix []byte, w, h int) {
-	pose := render.Pose{Pos: s.quad.State.Pos, Ori: s.quad.State.Ori}
-	s.cam.RenderInto(s.cfg.Map, pose, s.imgBuf)
+	s.renderFrame()
 	return s.imgBuf.BytesInto(dst), s.imgBuf.W, s.imgBuf.H
 }
 
@@ -246,11 +363,32 @@ func (s *Sim) CameraSize() (w, h int) { return s.cfg.CameraW, s.cfg.CameraH }
 // GetIMU implements Env.
 func (s *Sim) GetIMU() (sensor.IMUReading, error) { return s.imu.Last(), nil }
 
-// GetDepth implements Env.
+// InjectImpulse applies an instantaneous velocity change to the vehicle — a
+// seeded fault hook (bird strike, actuator glitch) for divergence-
+// localization tests: injected at a known quantum boundary, the determinism
+// fingerprint chain must diverge exactly there.
+func (s *Sim) InjectImpulse(dv vec.Vec3) {
+	s.quad.State.Vel = s.quad.State.Vel.Add(dv)
+}
+
+// GetDepth implements Env. With a degradation schedule active it serves the
+// cached per-frame pipeline output; otherwise it samples fresh per call as
+// the baseline always has.
 func (s *Sim) GetDepth() (float64, error) {
+	if s.degDepth != nil && s.hasDepthOut {
+		return s.depthOut, nil
+	}
+	return s.depth.Sample(s.depthTrue(s.depth.MaxRange)), nil
+}
+
+// depthTrue returns the ground-truth forward distance, through the scene
+// overlay when it carries content.
+func (s *Sim) depthTrue(maxDist float64) float64 {
 	yaw := s.quad.State.Ori.Yaw()
-	d := s.cfg.Map.DepthAhead(s.quad.State.Pos, yaw, s.depth.MaxRange)
-	return s.depth.Sample(d), nil
+	if s.sceneActive() {
+		return s.scene.DepthAhead(s.quad.State.Pos, yaw, maxDist)
+	}
+	return s.cfg.Map.DepthAhead(s.quad.State.Pos, yaw, maxDist)
 }
 
 // SetVelocity implements Env: the companion computer's intermediate-level
@@ -274,7 +412,7 @@ func (s *Sim) Telemetry() (Telemetry, error) {
 		Pos:             s.quad.State.Pos,
 		Vel:             s.quad.State.Vel,
 		Yaw:             yaw,
-		DepthAhead:      s.cfg.Map.DepthAhead(s.quad.State.Pos, yaw, 60),
+		DepthAhead:      s.depthTrue(60),
 		Collided:        s.collided,
 		CollisionCount:  s.collisionCount,
 		MissionComplete: s.missionComplete,

@@ -1,0 +1,186 @@
+package env
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/vec"
+	"repro/internal/world"
+)
+
+func scenarioCfg(scn *scenario.Spec) Config {
+	cfg := DefaultConfig(world.Tunnel())
+	cfg.CameraW, cfg.CameraH = 16, 12
+	cfg.StartX = 2
+	cfg.Scenario = scn
+	return cfg
+}
+
+func stepAndProbe(t *testing.T, s *Sim, frames int) (Telemetry, float64) {
+	t.Helper()
+	if err := s.SetVelocity(1.0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StepFrames(frames); err != nil {
+		t.Fatal(err)
+	}
+	tel, err := s.Telemetry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.GetDepth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tel, d
+}
+
+// A nil scenario and an inactive (calm) scenario must both be bit-identical
+// to the baseline simulation: the machinery's presence cannot move an ulp.
+func TestScenarioOffBitIdentical(t *testing.T) {
+	base, err := New(scenarioCfg(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm, err := New(scenarioCfg(scenario.ByName("calm:5")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		tb, db := stepAndProbe(t, base, 30)
+		tc, dc := stepAndProbe(t, calm, 30)
+		if tb != tc {
+			t.Fatalf("round %d: calm scenario diverged from baseline:\n%+v\n%+v", i, tb, tc)
+		}
+		if db != dc {
+			t.Fatalf("round %d: depth %v vs %v", i, db, dc)
+		}
+	}
+	ib, _ := base.GetImage()
+	ic, _ := calm.GetImage()
+	for i := range ib.Pix {
+		if ib.Pix[i] != ic.Pix[i] {
+			t.Fatal("calm scenario changed a rendered pixel")
+		}
+	}
+}
+
+// Same scenario seed → identical run; different seed → different run.
+func TestScenarioDeterministicPerSeed(t *testing.T) {
+	run := func(name string) Telemetry {
+		s, err := New(scenarioCfg(scenario.ByName(name)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tel, _ := stepAndProbe(t, s, 240)
+		return tel
+	}
+	a, b, c := run("storm:7"), run("storm:7"), run("storm:8")
+	if a != b {
+		t.Fatalf("same storm seed diverged:\n%+v\n%+v", a, b)
+	}
+	if a == c {
+		t.Fatal("different storm seeds produced identical telemetry")
+	}
+}
+
+// Wind must actually perturb the trajectory.
+func TestWindPerturbsTrajectory(t *testing.T) {
+	base, _ := New(scenarioCfg(nil))
+	windy, err := New(scenarioCfg(scenario.ByName("wind:3")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := stepAndProbe(t, base, 240)
+	tw, _ := stepAndProbe(t, windy, 240)
+	if tb.Pos == tw.Pos {
+		t.Fatal("wind scenario left the trajectory untouched")
+	}
+}
+
+// Mid-scenario snapshot/restore parity: capture under an active storm, run
+// a tail, restore into a fresh sim, and the tail must replay exactly —
+// including wind gusts, degradation schedules, and obstacle poses.
+func TestScenarioSnapshotParity(t *testing.T) {
+	cfg := scenarioCfg(scenario.ByName("storm:11"))
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepAndProbe(t, a, 120)
+	snap := a.SnapState()
+
+	var tail []Telemetry
+	var depths []float64
+	for i := 0; i < 8; i++ {
+		tel, d := stepAndProbe(t, a, 30)
+		tail = append(tail, tel)
+		depths = append(depths, d)
+	}
+
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepAndProbe(t, b, 7) // desync deliberately before restoring
+	b.RestoreState(snap)
+	for i := 0; i < 8; i++ {
+		tel, d := stepAndProbe(t, b, 30)
+		if tel != tail[i] {
+			t.Fatalf("restored run diverged at block %d:\n%+v\n%+v", i, tel, tail[i])
+		}
+		if d != depths[i] {
+			t.Fatalf("restored depth diverged at block %d: %v vs %v", i, d, depths[i])
+		}
+	}
+}
+
+// Obstacles must appear in depth sensing and move over time.
+func TestObstaclesSensedAndMoving(t *testing.T) {
+	scn := &scenario.Spec{
+		Name: "test-obstacle", Version: scenario.Version, Seed: 1,
+		Obstacles: []scenario.ObstacleSpec{
+			{XFrac: 0.2, Width: 3.2, Height: 6, AmpY: 1.0, PeriodSec: 2},
+		},
+	}
+	s, err := New(scenarioCfg(scn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Obstacle spans the corridor at x=10; vehicle at x=2 facing +X on the
+	// ground: ray at z=0 hits it.
+	tel, _ := s.Telemetry()
+	if tel.DepthAhead > 8.2 {
+		t.Fatalf("obstacle not sensed: depth %v", tel.DepthAhead)
+	}
+	w0 := s.scene.Walls[0]
+	if err := s.StepFrames(30); err != nil { // half a period: max displacement
+		t.Fatal(err)
+	}
+	if s.scene.Walls[0] == w0 {
+		t.Fatal("obstacle did not move over half a period")
+	}
+}
+
+// Peer bodies are sensed, collided with, and cleared.
+func TestPeerBodies(t *testing.T) {
+	s, err := New(scenarioCfg(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := s.BodyState()
+	if self.Radius <= 0 || self.Texture != world.TexDrone {
+		t.Fatalf("BodyState = %+v", self)
+	}
+	tel0, _ := s.Telemetry()
+	s.SetPeers([]world.Body{{Pos: tel0.Pos.Add(vec.V3(3, 0, 0)), Radius: 0.3, Texture: world.TexDrone}})
+	tel, _ := s.Telemetry()
+	if tel.DepthAhead > 2.8 {
+		t.Fatalf("peer not sensed: depth %v", tel.DepthAhead)
+	}
+	s.SetPeers(nil)
+	tel, _ = s.Telemetry()
+	if tel.DepthAhead < 10 {
+		t.Fatalf("peers not cleared: depth %v", tel.DepthAhead)
+	}
+}

@@ -3,6 +3,7 @@ package env
 import (
 	"repro/internal/fc"
 	"repro/internal/physics"
+	"repro/internal/scenario"
 	"repro/internal/sensor"
 )
 
@@ -26,12 +27,34 @@ type SimState struct {
 	CollisionCount  int
 	CollisionCool   float64
 	MissionComplete bool
+
+	// Scenario carries the scenario-runtime cursors; nil for scenario-free
+	// missions, which keeps old images decodable and new calm images
+	// identical in shape to pre-scenario ones (gob omits nil pointers).
+	Scenario *ScenarioRT
+}
+
+// ScenarioRT is the serializable scenario runtime: the wind-process and
+// degradation-schedule cursors plus the cached degraded depth reading.
+// Moving obstacles are deliberately absent — their pose is a pure function
+// of SimT and is rebuilt on restore.
+type ScenarioRT struct {
+	Wind    scenario.WindState
+	HasWind bool
+
+	DegDepth    sensor.DegradeState
+	HasDegDepth bool
+	DegIMU      sensor.DegradeState
+	HasDegIMU   bool
+
+	DepthOut    float64
+	HasDepthOut bool
 }
 
 // SnapState captures the simulator at a frame boundary. Capture is
 // non-destructive; the live simulator keeps running afterwards.
 func (s *Sim) SnapState() SimState {
-	return SimState{
+	st := SimState{
 		Frame:           s.frame,
 		SimT:            s.simT,
 		Quad:            s.quad.State,
@@ -44,6 +67,20 @@ func (s *Sim) SnapState() SimState {
 		CollisionCool:   s.collisionCool,
 		MissionComplete: s.missionComplete,
 	}
+	if s.wind != nil || s.degDepth != nil || s.degIMU != nil {
+		rt := &ScenarioRT{DepthOut: s.depthOut, HasDepthOut: s.hasDepthOut}
+		if s.wind != nil {
+			rt.Wind, rt.HasWind = s.wind.Snap(), true
+		}
+		if s.degDepth != nil {
+			rt.DegDepth, rt.HasDegDepth = s.degDepth.Snap(), true
+		}
+		if s.degIMU != nil {
+			rt.DegIMU, rt.HasDegIMU = s.degIMU.Snap(), true
+		}
+		st.Scenario = rt
+	}
+	return st
 }
 
 // RestoreState overwrites the simulator with a captured image. The simulator
@@ -61,6 +98,22 @@ func (s *Sim) RestoreState(st SimState) {
 	s.collisionCount = st.CollisionCount
 	s.collisionCool = st.CollisionCool
 	s.missionComplete = st.MissionComplete
+	if st.Scenario != nil {
+		if s.wind != nil && st.Scenario.HasWind {
+			s.wind.Restore(st.Scenario.Wind)
+			s.quad.Wind = s.wind.Wind()
+		}
+		if s.degDepth != nil && st.Scenario.HasDegDepth {
+			s.degDepth.Restore(st.Scenario.DegDepth)
+		}
+		if s.degIMU != nil && st.Scenario.HasDegIMU {
+			s.degIMU.Restore(st.Scenario.DegIMU)
+		}
+		s.depthOut = st.Scenario.DepthOut
+		s.hasDepthOut = st.Scenario.HasDepthOut
+	}
+	// Obstacle poses are a pure function of the restored clock.
+	s.updateObstacles()
 }
 
 // ReseedSensors diverges the environment's randomness mid-mission: the IMU

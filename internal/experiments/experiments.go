@@ -17,6 +17,7 @@ import (
 	"repro/internal/gemmini"
 	"repro/internal/obs"
 	"repro/internal/ort"
+	"repro/internal/scenario"
 	"repro/internal/snapshot"
 	"repro/internal/soc"
 	"repro/internal/telemetry"
@@ -44,16 +45,25 @@ func (r *Report) line(format string, args ...any) {
 
 // MissionSpec describes one closed-loop run.
 type MissionSpec struct {
-	Map         string // "tunnel" or "s-shape"
-	Model       string // DNN variant (big model for dynamic runs)
+	Map         string // map name, e.g. "tunnel" or "corridor:7" (see world.Names)
+	Model       string // DNN variant (big model for dynamic runs; "" with a scenario script = scripted patrol)
 	SmallModel  string // small model for the dynamic runtime ("" = static)
 	HW          config.HW
 	VForward    float64
 	StartYawDeg float64
 	StartX      float64 // defaults to 2 m (inside the training envelope)
+	StartY      float64 // lateral start offset (fleet members fan out here)
 	SyncCycles  uint64  // defaults to one 60 Hz frame at 1 GHz
 	MaxSimSec   float64 // defaults to 60 s
 	Seed        int64
+	// Scenario names a deployment scenario from the catalog (e.g. "storm:7",
+	// see scenario.Names): wind, sensor degradation, moving obstacles, patrol
+	// scripts, fleet size. "" is the calm baseline — bit-identical to a
+	// scenario-free build. Requires an in-process environment.
+	Scenario string
+	// Drone is this mission's index within a fleet; it offsets the
+	// scenario's per-subsystem RNG streams (see scenario.Spec).
+	Drone int
 	// RxQueueBytes overrides the bridge RX queue capacity (0 = default);
 	// used by the queue-depth ablation.
 	RxQueueBytes int
@@ -213,13 +223,29 @@ func (spec MissionSpec) coreConfig() core.Config {
 	return cfg
 }
 
+// scenarioSpec resolves the spec's scenario name against the catalog.
+// "" resolves to nil (the calm baseline).
+func (spec MissionSpec) scenarioSpec() (*scenario.Spec, error) {
+	if spec.Scenario == "" {
+		return nil, nil
+	}
+	scn := scenario.ByName(spec.Scenario)
+	if scn == nil {
+		return nil, fmt.Errorf("experiments: unknown scenario %q (want one of %v)", spec.Scenario, scenario.Names())
+	}
+	return scn, nil
+}
+
 // newSim builds the in-process environment simulator for the spec on the
 // given (possibly shared) map.
-func (spec MissionSpec) newSim(m *world.Map) (*env.Sim, error) {
+func (spec MissionSpec) newSim(m *world.Map, scn *scenario.Spec) (*env.Sim, error) {
 	ecfg := env.DefaultConfig(m)
 	ecfg.StartX = spec.StartX
+	ecfg.StartY = spec.StartY
 	ecfg.StartYaw = vec.Deg(spec.StartYawDeg)
 	ecfg.Seed = spec.Seed + 1
+	ecfg.Scenario = scn
+	ecfg.Drone = spec.Drone
 	return env.New(ecfg)
 }
 
@@ -227,7 +253,15 @@ func (spec MissionSpec) newSim(m *world.Map) (*env.Sim, error) {
 // spec. The returned StateProgram is what snapshot images serialize the app
 // state of; model weights come from the process-wide trained-model cache, so
 // forked missions share them copy-on-write automatically.
-func (spec MissionSpec) newController(log *app.Log) (soc.StateProgram, error) {
+//
+// A spec with no model but a scenario patrol script gets the scripted
+// controller: the platform pipeline runs unchanged with scalar planner
+// compute in place of DNN inference.
+func (spec MissionSpec) newController(log *app.Log, scn *scenario.Spec) (soc.StateProgram, error) {
+	if spec.Model == "" && scn != nil && len(scn.Script) > 0 {
+		p := app.DefaultScriptParams()
+		return app.NewScriptedLoop(scn.Script, p, log), nil
+	}
 	big, err := dnn.Trained(spec.Model)
 	if err != nil {
 		return nil, err
@@ -319,11 +353,18 @@ func assemble(spec MissionSpec, sharedMap *world.Map, img *snapshot.Image) (ms *
 			return nil, fmt.Errorf("experiments: unknown map %q", spec.Map)
 		}
 	}
+	scn, err := spec.scenarioSpec()
+	if err != nil {
+		return nil, err
+	}
 
 	var e env.Env
 	if spec.EnvAddr != "" {
 		if img != nil {
 			return nil, fmt.Errorf("experiments: snapshot restore requires an in-process environment (remote env state is server-owned)")
+		}
+		if scn != nil {
+			return nil, fmt.Errorf("experiments: scenarios require an in-process environment (remote env owns its own world)")
 		}
 		client, err := env.DialWith(spec.EnvAddr, spec.EnvDial)
 		if err != nil {
@@ -339,7 +380,7 @@ func assemble(spec MissionSpec, sharedMap *world.Map, img *snapshot.Image) (ms *
 		}
 		e = client
 	} else {
-		sim, err := spec.newSim(ms.m)
+		sim, err := spec.newSim(ms.m, scn)
 		if err != nil {
 			return nil, err
 		}
@@ -352,7 +393,7 @@ func assemble(spec MissionSpec, sharedMap *world.Map, img *snapshot.Image) (ms *
 
 	ms.log = &app.Log{}
 	ms.log.Obs = spec.obsApp()
-	ms.loop, err = spec.newController(ms.log)
+	ms.loop, err = spec.newController(ms.log, scn)
 	if err != nil {
 		return nil, err
 	}
@@ -431,6 +472,9 @@ type Options struct {
 	// Precision is stamped onto every sweep spec: the inference datapath
 	// (fp32 default, int8 for the quantized Gemmini mode).
 	Precision dnn.Precision
+	// Scenario is stamped onto every sweep spec: a deployment-scenario name
+	// from the catalog ("" = calm baseline).
+	Scenario string
 }
 
 // stamp applies sweep-wide options onto the specs before they run. With an
@@ -443,11 +487,19 @@ func (o Options) stamp(specs []MissionSpec) []MissionSpec {
 		specs[i].Overlap = o.Overlap
 		specs[i].Obs = o.Obs
 		specs[i].Precision = o.Precision
+		if o.Scenario != "" {
+			specs[i].Scenario = o.Scenario
+		}
 		if o.Obs != nil {
+			scnLabel := specs[i].Scenario
+			if scnLabel == "" {
+				scnLabel = "calm"
+			}
 			specs[i].ObsMission = o.Obs.Mission("",
 				[2]string{"map", specs[i].Map},
 				[2]string{"hw", specs[i].HW.Name},
-				[2]string{"precision", o.Precision.String()})
+				[2]string{"precision", o.Precision.String()},
+				[2]string{"scenario", scnLabel})
 		}
 	}
 	return specs

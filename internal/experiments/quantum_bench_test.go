@@ -17,6 +17,32 @@ func BenchmarkMissionQuantum(b *testing.B) {
 		Map: "tunnel", Model: "ResNet6", HW: config.A,
 		VForward: 3, MaxSimSec: 1e9, Overlap: core.OverlapOn,
 	}
+	benchMissionQuantum(b, spec)
+}
+
+// BenchmarkMissionQuantumScenario pairs the same DNN mission with and
+// without active disturbances. "squall" turns on wind turbulence plus depth
+// and IMU degradation every frame with static world geometry — its ns/op
+// must stay within a few percent of "calm" (the disturbance machinery is
+// cheap). "storm" adds moving obstacles, which legitimately cost more: the
+// renderer and collision queries leave the static-map fast path.
+func BenchmarkMissionQuantumScenario(b *testing.B) {
+	base := MissionSpec{
+		Map: "tunnel", Model: "ResNet6", HW: config.A,
+		VForward: 3, MaxSimSec: 1e9, Overlap: core.OverlapOn, Seed: 7,
+	}
+	for _, scn := range []string{"", "squall:1", "storm:1"} {
+		name := "calm"
+		if scn != "" {
+			name = scn[:len(scn)-2]
+		}
+		spec := base
+		spec.Scenario = scn
+		b.Run(name, func(b *testing.B) { benchMissionQuantum(b, spec) })
+	}
+}
+
+func benchMissionQuantum(b *testing.B, spec MissionSpec) {
 	newMission := func() *mission {
 		ms, err := assemble(spec, nil, nil)
 		if err != nil {

@@ -143,7 +143,7 @@ func dialRemoteMissionWith(t *testing.T, spec MissionSpec, img *snapshot.Image, 
 	t.Helper()
 	spec = spec.withDefaults()
 	newMachine := func() (*soc.Machine, error) {
-		loop, err := spec.newController(nil)
+		loop, err := spec.newController(nil, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -158,7 +158,7 @@ func dialRemoteMissionWith(t *testing.T, spec MissionSpec, img *snapshot.Image, 
 		t.Fatalf("rtl server: %v", err)
 	}
 	srv.SetRestorer(func() (soc.Config, soc.StateProgram, error) {
-		loop, err := spec.newController(nil)
+		loop, err := spec.newController(nil, nil)
 		return spec.socConfig(), loop, err
 	})
 	go srv.Serve()
@@ -170,7 +170,7 @@ func dialRemoteMissionWith(t *testing.T, spec MissionSpec, img *snapshot.Image, 
 	}
 	t.Cleanup(func() { rtl.Close() })
 
-	sim, err := spec.newSim(world.ByName(spec.Map))
+	sim, err := spec.newSim(world.ByName(spec.Map), nil)
 	if err != nil {
 		t.Fatalf("sim: %v", err)
 	}

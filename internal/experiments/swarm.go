@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/env"
+	"repro/internal/scenario"
+	"repro/internal/world"
+)
+
+// This file implements multi-drone scenario missions: N full co-simulation
+// stacks (simulator, SoC machine, controller) flying one shared world in
+// lockstep. The fleet members share the read-only map geometry through one
+// *world.Map pointer (the same copy-on-write path warm-start forks use) and
+// sense each other as collision bodies refreshed at every synchronization
+// quantum — peer poses are exchanged at quantum boundaries only, exactly the
+// cadence at which the co-simulation exchanges any cross-domain data.
+
+// swarmLaneSpacing is the lateral fan-out between fleet start positions (m).
+const swarmLaneSpacing = 1.2
+
+// FleetSize reports the drone count a scenario name implies: 1 for the
+// empty name, single-drone scenarios, and unknown names (RunMission surfaces
+// the resolution error with the full catalog; this is only a dispatch hint).
+func FleetSize(scenarioName string) int {
+	if s := scenario.ByName(scenarioName); s != nil && s.Drones > 1 {
+		return s.Drones
+	}
+	return 1
+}
+
+// SwarmSpecs expands a fleet mission spec into its per-drone specs: drone i
+// gets its own scenario RNG stream block (via Drone), a decorrelated sensor
+// seed, and a lateral start lane. The scenario must name a fleet (Drones > 1).
+func SwarmSpecs(spec MissionSpec) ([]MissionSpec, error) {
+	spec = spec.withDefaults()
+	scn, err := spec.scenarioSpec()
+	if err != nil {
+		return nil, err
+	}
+	n := 1
+	if scn != nil && scn.Drones > 1 {
+		n = scn.Drones
+	}
+	if n <= 1 {
+		return nil, fmt.Errorf("experiments: scenario %q is not a fleet (drones = %d)", spec.Scenario, n)
+	}
+	specs := make([]MissionSpec, n)
+	for i := range specs {
+		s := spec
+		s.Drone = i
+		s.Seed = spec.Seed + int64(i)*101
+		s.StartY = spec.StartY + (float64(i)-float64(n-1)/2)*swarmLaneSpacing
+		specs[i] = s
+	}
+	return specs, nil
+}
+
+// RunSwarm flies a fleet scenario: every drone's full stack advances one
+// synchronization quantum at a time, and between quanta each simulator's
+// peer list is refreshed with the other drones' previous-quantum poses
+// (double-buffered, so the exchange order cannot influence results). Drones
+// that finish early stay parked in the world as sensable bodies. Outcomes
+// are indexed by drone.
+func RunSwarm(spec MissionSpec) ([]*MissionOutcome, error) {
+	specs, err := SwarmSpecs(spec)
+	if err != nil {
+		return nil, err
+	}
+	n := len(specs)
+	m := world.ByName(specs[0].Map)
+	if m == nil {
+		return nil, fmt.Errorf("experiments: unknown map %q", specs[0].Map)
+	}
+
+	missions := make([]*mission, n)
+	defer func() {
+		for _, ms := range missions {
+			if ms != nil {
+				ms.close()
+			}
+		}
+	}()
+	for i, sp := range specs {
+		ms, err := assemble(sp, m, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: assembling drone %d: %w", i, err)
+		}
+		missions[i] = ms
+		if err := ms.sy.Start(); err != nil {
+			return nil, fmt.Errorf("experiments: starting drone %d: %w", i, err)
+		}
+	}
+
+	// Double-buffered peer exchange: bodies holds every drone's pose at the
+	// last completed quantum; peers is the scratch each SetPeers copies from.
+	bodies := make([]world.Body, n)
+	for i, ms := range missions {
+		bodies[i] = ms.sim.BodyState()
+	}
+	peers := make([]world.Body, 0, n-1)
+	done := make([]bool, n)
+	for remaining := n; remaining > 0; {
+		for i, ms := range missions {
+			if done[i] {
+				continue
+			}
+			peers = peers[:0]
+			for j := range bodies {
+				if j != i {
+					peers = append(peers, bodies[j])
+				}
+			}
+			ms.sim.SetPeers(peers)
+			d, err := ms.sy.StepQuanta(1)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: drone %d: %w", i, err)
+			}
+			if d {
+				done[i] = true
+				remaining--
+			}
+		}
+		for i, ms := range missions {
+			bodies[i] = ms.sim.BodyState()
+		}
+	}
+
+	outs := make([]*MissionOutcome, n)
+	for i, ms := range missions {
+		res, err := ms.sy.Finish()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: finishing drone %d: %w", i, err)
+		}
+		outs[i] = &MissionOutcome{Spec: ms.spec, Result: res, Inferences: ms.log.Records()}
+	}
+	return outs, nil
+}
+
+// RunMissionWithFault runs one mission stepwise and invokes inject on the
+// live simulator at the given quantum boundary — the seeded fault-injection
+// hook the mission fuzzer uses to prove divergence bisection localizes a
+// perturbation to the quantum it happened in.
+func RunMissionWithFault(spec MissionSpec, faultQuantum int, inject func(*env.Sim)) (*MissionOutcome, error) {
+	if spec.EnvAddr != "" {
+		return nil, fmt.Errorf("experiments: fault injection requires an in-process environment")
+	}
+	ms, err := assemble(spec, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer ms.close()
+	if err := ms.sy.Start(); err != nil {
+		return nil, err
+	}
+	if faultQuantum > 0 {
+		done, err := ms.sy.StepQuanta(faultQuantum)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return nil, fmt.Errorf("experiments: mission ended before fault quantum %d", faultQuantum)
+		}
+	}
+	if inject != nil {
+		inject(ms.sim)
+	}
+	if _, err := ms.sy.StepQuanta(0); err != nil {
+		return nil, err
+	}
+	res, err := ms.sy.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &MissionOutcome{Spec: ms.spec, Result: res, Inferences: ms.log.Records()}, nil
+}

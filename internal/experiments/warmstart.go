@@ -38,9 +38,12 @@ type specMeta struct {
 	VForward       float64          `json:"v_forward"`
 	StartYawDeg    float64          `json:"start_yaw_deg,omitempty"`
 	StartX         float64          `json:"start_x"`
+	StartY         float64          `json:"start_y,omitempty"`
 	SyncCycles     uint64           `json:"sync_cycles"`
 	MaxSimSec      float64          `json:"max_sim_sec"`
 	Seed           int64            `json:"seed"`
+	Scenario       string           `json:"scenario,omitempty"`
+	Drone          int              `json:"drone,omitempty"`
 	RxQueueBytes   int              `json:"rx_queue_bytes,omitempty"`
 	ExchangeEveryN int              `json:"exchange_every_n,omitempty"`
 	Argmax         bool             `json:"argmax,omitempty"`
@@ -56,8 +59,9 @@ func (spec MissionSpec) MetaSpec() (json.RawMessage, error) {
 	return json.Marshal(specMeta{
 		Map: spec.Map, Model: spec.Model, SmallModel: spec.SmallModel,
 		HW: spec.HW, VForward: spec.VForward, StartYawDeg: spec.StartYawDeg,
-		StartX: spec.StartX, SyncCycles: spec.SyncCycles,
+		StartX: spec.StartX, StartY: spec.StartY, SyncCycles: spec.SyncCycles,
 		MaxSimSec: spec.MaxSimSec, Seed: spec.Seed,
+		Scenario: spec.Scenario, Drone: spec.Drone,
 		RxQueueBytes: spec.RxQueueBytes, ExchangeEveryN: spec.ExchangeEveryN,
 		Argmax: spec.Argmax, Overlap: spec.Overlap, Precision: spec.Precision,
 		EnergyOff: spec.EnergyOff,
@@ -77,8 +81,9 @@ func SpecFromImage(img *snapshot.Image) (MissionSpec, error) {
 	return MissionSpec{
 		Map: m.Map, Model: m.Model, SmallModel: m.SmallModel,
 		HW: m.HW, VForward: m.VForward, StartYawDeg: m.StartYawDeg,
-		StartX: m.StartX, SyncCycles: m.SyncCycles,
+		StartX: m.StartX, StartY: m.StartY, SyncCycles: m.SyncCycles,
 		MaxSimSec: m.MaxSimSec, Seed: m.Seed,
+		Scenario: m.Scenario, Drone: m.Drone,
 		RxQueueBytes: m.RxQueueBytes, ExchangeEveryN: m.ExchangeEveryN,
 		Argmax: m.Argmax, Overlap: m.Overlap, Precision: m.Precision,
 		EnergyOff: m.EnergyOff,

@@ -60,6 +60,11 @@ type Quad struct {
 	// requires thrust exceeding weight, mirroring the paper's observation
 	// that even a 0° start needs stabilization after take-off.
 	OnGround bool
+	// Wind is the ambient air velocity (world frame, m/s). Drag acts on the
+	// airspeed Vel−Wind, so a steady wind pushes the vehicle toward the wind
+	// velocity; the scenario engine writes gusts here each frame. The zero
+	// value leaves the dynamics bit-identical to the windless model.
+	Wind vec.Vec3
 }
 
 // NewQuad creates a quadrotor at the given position, level, at rest, on the
@@ -131,7 +136,7 @@ func (q *Quad) Step(dt float64, cmd MotorCmd) {
 
 	// Translational dynamics.
 	thrustWorld := s.Ori.Rotate(vec.V3(0, 0, T))
-	drag := s.Vel.Scale(-p.DragCoef)
+	drag := s.Vel.Sub(q.Wind).Scale(-p.DragCoef)
 	acc := thrustWorld.Add(drag).Scale(1 / p.Mass).Add(vec.V3(0, 0, -Gravity))
 
 	if q.OnGround {

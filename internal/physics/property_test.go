@@ -1,0 +1,163 @@
+package physics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// Analytic speed bound for clamped motors: drag balances thrust plus gravity
+// at |v| = (4·MaxThrust + m·g)/DragCoef. Anything past it means the
+// integrator created energy.
+func speedBound(p Params) float64 {
+	return (4*p.MaxThrust + p.Mass*Gravity) / p.DragCoef
+}
+
+// Property: under arbitrary clamped motor commands from random seeds, the
+// state stays finite, the speed stays under the analytic terminal bound, and
+// the vehicle never sinks below the floor.
+func TestVelocityBoundedUnderClampedMotors(t *testing.T) {
+	p := DefaultParams()
+	bound := speedBound(p)
+	const dt = 1.0 / 240
+	for seed := int64(0); seed < 24; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewQuad(p, vec.V3(0, 0, 1.5), rng.Float64())
+		q.OnGround = false
+		var cmd MotorCmd
+		for i := 0; i < 2400; i++ {
+			if i%12 == 0 { // hold each random command for 50 ms
+				for j := range cmd {
+					// Deliberately exceed limits: Step must clamp.
+					cmd[j] = (rng.Float64()*1.6 - 0.2) * p.MaxThrust
+				}
+			}
+			q.Step(dt, cmd)
+			s := q.State
+			if !s.Pos.IsFinite() || !s.Vel.IsFinite() || !s.Omega.IsFinite() {
+				t.Fatalf("seed %d step %d: non-finite state %+v", seed, i, s)
+			}
+			if v := s.Vel.Norm(); v > bound {
+				t.Fatalf("seed %d step %d: |v|=%v exceeds terminal bound %v", seed, i, v, bound)
+			}
+			if s.Pos.Z < 0 {
+				t.Fatalf("seed %d step %d: sank below floor, z=%v", seed, i, s.Pos.Z)
+			}
+		}
+	}
+}
+
+// Property: kinetic + potential energy cannot grow faster than the maximum
+// mechanical power the motors can deliver (4·MaxThrust · |v| plus rotational
+// torque input) — integrated over a mission this bounds total energy.
+func TestEnergyGrowthBoundedByMotorPower(t *testing.T) {
+	p := DefaultParams()
+	const dt = 1.0 / 240
+	energy := func(q *Quad) float64 {
+		ke := 0.5 * p.Mass * q.State.Vel.NormSq()
+		Iw := q.State.Omega.Mul(p.Inertia)
+		rot := 0.5 * q.State.Omega.Dot(Iw)
+		return ke + rot + p.Mass*Gravity*q.State.Pos.Z
+	}
+	for seed := int64(100); seed < 112; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewQuad(p, vec.V3(0, 0, 2), 0)
+		q.OnGround = false
+		var cmd MotorCmd
+		for i := 0; i < 1200; i++ {
+			if i%24 == 0 {
+				for j := range cmd {
+					cmd[j] = rng.Float64() * p.MaxThrust
+				}
+			}
+			e0 := energy(q)
+			q.Step(dt, cmd)
+			e1 := energy(q)
+			// Translational power is bounded by full thrust along the
+			// velocity; rotational by torque at max differential thrust.
+			_, tau := Wrench(p, cmd)
+			maxPower := 4*p.MaxThrust*q.State.Vel.Norm() + tau.Norm()*q.State.Omega.Norm() + 1e-9
+			if e1-e0 > maxPower*dt+1e-9 {
+				t.Fatalf("seed %d step %d: ΔE=%v exceeds max motor work %v",
+					seed, i, e1-e0, maxPower*dt)
+			}
+		}
+	}
+}
+
+// Quickcheck-style Mix/Wrench round-trip: for random wrenches, Mix then
+// Wrench reproduces the input; for random motor sets, Wrench then Mix
+// reproduces the motors (the 4×4 mixer is invertible).
+func TestMixWrenchRoundTripRandom(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		T := rng.Float64() * 4 * p.MaxThrust
+		tau := vec.V3(rng.NormFloat64()*0.3, rng.NormFloat64()*0.3, rng.NormFloat64()*0.05)
+		m := Mix(p, T, tau)
+		T2, tau2 := Wrench(p, m)
+		if math.Abs(T2-T) > 1e-9*math.Max(1, T) {
+			t.Fatalf("thrust round-trip %v -> %v", T, T2)
+		}
+		if tau2.Sub(tau).Norm() > 1e-9 {
+			t.Fatalf("torque round-trip %v -> %v", tau, tau2)
+		}
+
+		var motors MotorCmd
+		for j := range motors {
+			motors[j] = rng.Float64() * p.MaxThrust
+		}
+		Tm, taum := Wrench(p, motors)
+		back := Mix(p, Tm, taum)
+		for j := range motors {
+			if math.Abs(back[j]-motors[j]) > 1e-9 {
+				t.Fatalf("motor round-trip %v -> %v", motors, back)
+			}
+		}
+	}
+}
+
+// Zero wind must leave Step bit-identical to the windless model (the
+// scenario-off determinism contract: enabling the field cannot move a single
+// ulp anywhere).
+func TestZeroWindBitIdentical(t *testing.T) {
+	p := DefaultParams()
+	a := NewQuad(p, vec.V3(0, 0, 1.5), 0.3)
+	b := NewQuad(p, vec.V3(0, 0, 1.5), 0.3)
+	a.OnGround, b.OnGround = false, false
+	b.Wind = vec.Zero3 // explicit zero
+	rng := rand.New(rand.NewSource(11))
+	var cmd MotorCmd
+	for i := 0; i < 600; i++ {
+		for j := range cmd {
+			cmd[j] = rng.Float64() * p.MaxThrust
+		}
+		a.Step(1.0/240, cmd)
+		b.Step(1.0/240, cmd)
+	}
+	if a.State != b.State {
+		t.Fatalf("zero wind diverged:\n%+v\n%+v", a.State, b.State)
+	}
+}
+
+// A steady crosswind must push a hovering vehicle downwind at a rate set by
+// DragCoef, and the terminal bound still holds with the wind speed added.
+func TestSteadyWindPushesDownwind(t *testing.T) {
+	p := DefaultParams()
+	q := NewQuad(p, vec.V3(0, 0, 2), 0)
+	q.OnGround = false
+	q.Wind = vec.V3(0, 3, 0)
+	hover := p.HoverThrust()
+	cmd := MotorCmd{hover, hover, hover, hover}
+	for i := 0; i < 1200; i++ {
+		q.Step(1.0/240, cmd)
+	}
+	if q.State.Vel.Y < 1.0 {
+		t.Errorf("crosswind drift velocity %v, want noticeably downwind", q.State.Vel)
+	}
+	if q.State.Vel.Y > q.Wind.Y+1e-6 {
+		t.Errorf("drift %v exceeds wind speed %v", q.State.Vel.Y, q.Wind.Y)
+	}
+}

@@ -18,11 +18,11 @@ func TestRenderBandsBitIdentical(t *testing.T) {
 	pose := levelPose(vec.V3(12, 0.5, 1.4), 0.3)
 
 	want := NewImage(cam.W, cam.H)
-	cam.renderRows(m, pose, want, 0, cam.H)
+	renderRows(cam, m, pose, want, 0, cam.H)
 
 	for _, workers := range []int{2, 3, 5, 7, cam.H, cam.H + 9} {
 		got := NewImage(cam.W, cam.H)
-		cam.renderBands(m, pose, got, workers)
+		renderBands(cam, m, pose, got, workers)
 		for i := range want.Pix {
 			if math.Float32bits(got.Pix[i]) != math.Float32bits(want.Pix[i]) {
 				t.Fatalf("workers=%d pixel %d = %v, want %v", workers, i, got.Pix[i], want.Pix[i])

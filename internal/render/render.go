@@ -117,6 +117,15 @@ const (
 	ambient     = 0.35
 )
 
+// Caster is the geometry interface the renderer casts rays against. Both
+// *world.Map and *world.Scene satisfy it; the render internals are generic
+// over a concrete Caster type, so the Map hot path keeps static dispatch
+// (no interface call per pixel) while Scenes and test doubles reuse the
+// exact same shading code.
+type Caster interface {
+	Raycast(origin, dir vec.Vec3, maxDist float64) (world.Hit, bool)
+}
+
 // Render draws the world from the given pose into a fresh image.
 func (c Camera) Render(m *world.Map, pose Pose) *Image {
 	im := NewImage(c.W, c.H)
@@ -134,20 +143,36 @@ const renderParallelPixels = 2048
 // ray-cast in parallel by row bands; every pixel is a pure function of the
 // pose and world, so the output is identical to a serial render.
 func (c Camera) RenderInto(m *world.Map, pose Pose, im *Image) {
+	renderInto(c, m, pose, im)
+}
+
+// RenderSceneInto draws a dynamic scene (static map + moving obstacles +
+// peer bodies) into an existing image.
+func (c Camera) RenderSceneInto(sc *world.Scene, pose Pose, im *Image) {
+	renderInto(c, sc, pose, im)
+}
+
+// RenderCaster draws arbitrary geometry satisfying Caster — reference
+// implementations in tests cast through the identical shading pipeline.
+func (c Camera) RenderCaster(w Caster, pose Pose, im *Image) {
+	renderInto(c, w, pose, im)
+}
+
+func renderInto[C Caster](c Camera, m C, pose Pose, im *Image) {
 	if im.W != c.W || im.H != c.H {
 		panic("render: image dimensions do not match camera")
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > 1 && c.W*c.H >= renderParallelPixels {
-		c.renderBands(m, pose, im, workers)
+		renderBands(c, m, pose, im, workers)
 		return
 	}
-	c.renderRows(m, pose, im, 0, c.H)
+	renderRows(c, m, pose, im, 0, c.H)
 }
 
 // renderBands fans row bands out across the given number of workers. Bands
 // write disjoint rows, so no synchronization beyond the final join is needed.
-func (c Camera) renderBands(m *world.Map, pose Pose, im *Image, workers int) {
+func renderBands[C Caster](c Camera, m C, pose Pose, im *Image, workers int) {
 	if workers > c.H {
 		workers = c.H
 	}
@@ -163,7 +188,7 @@ func (c Camera) renderBands(m *world.Map, pose Pose, im *Image, workers int) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			c.renderRows(m, pose, im, lo, hi)
+			renderRows(c, m, pose, im, lo, hi)
 		}(y0, y1)
 		y0 = y1
 	}
@@ -171,7 +196,7 @@ func (c Camera) renderBands(m *world.Map, pose Pose, im *Image, workers int) {
 }
 
 // renderRows ray-casts pixel rows [y0, y1).
-func (c Camera) renderRows(m *world.Map, pose Pose, im *Image, y0, y1 int) {
+func renderRows[C Caster](c Camera, m C, pose Pose, im *Image, y0, y1 int) {
 	halfW := math.Tan(vec.Deg(c.FOVDeg) / 2)
 	halfH := halfW * float64(c.H) / float64(c.W)
 	for y := y0; y < y1; y++ {
@@ -182,12 +207,12 @@ func (c Camera) renderRows(m *world.Map, pose Pose, im *Image, y0, y1 int) {
 			// Body frame: forward +X, left +Y, up +Z. Screen-right is −Y.
 			dirBody := vec.V3(1, -u, v).Unit()
 			dir := pose.Ori.Rotate(dirBody)
-			im.Set(x, y, c.shade(m, pose.Pos, dir))
+			im.Set(x, y, shade(c, m, pose.Pos, dir))
 		}
 	}
 }
 
-func (c Camera) shade(m *world.Map, origin, dir vec.Vec3) float32 {
+func shade[C Caster](c Camera, m C, origin, dir vec.Vec3) float32 {
 	h, ok := m.Raycast(origin, dir, c.MaxDist)
 	if !ok {
 		return skyColor(dir)
@@ -231,6 +256,26 @@ func Texture(tex int, u, v float64) float64 {
 			return 0.7
 		}
 		return 0.25
+	case world.TexGate:
+		// High-contrast diagonal hazard stripes: interior gates and room
+		// dividers must pop against both corridor walls.
+		if math.Mod(math.Abs(u+v), 1.0) < 0.5 {
+			return 0.9
+		}
+		return 0.15
+	case world.TexObstacle:
+		// Moving obstacles: dark with a bright warning band at mid-height.
+		if v > 1.0 && v < 1.8 {
+			return 0.85
+		}
+		return 0.2 + 0.1*(hashNoise(u*4, v*4)-0.5)
+	case world.TexDrone:
+		// Peer drones: mid-gray shell with fine panel lines.
+		s := 0.5
+		if math.Mod(math.Abs(u), 0.25) < 0.04 || math.Mod(math.Abs(v), 0.25) < 0.04 {
+			s = 0.3
+		}
+		return s + 0.08*(hashNoise(u*6+5, v*6)-0.5)
 	case world.FloorTexture:
 		if checker(u, v, 2.0) {
 			return 0.60

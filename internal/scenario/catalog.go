@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sensor"
+	"repro/internal/vec"
+)
+
+// The scenario catalog mirrors the world-map registry: families are seeded
+// generators resolved as "family:seed" (bare family = seed 1), the returned
+// spec's Name echoes the requested name, and Names derives from the same
+// table, so the list can never drift from what resolves.
+var families = map[string]func(seed int64) *Spec{
+	"calm":     genCalm,
+	"wind":     genWind,
+	"degraded": genDegraded,
+	"squall":   genSquall,
+	"storm":    genStorm,
+	"swarm":    genSwarm,
+}
+
+// ByName resolves a scenario by catalog name, or nil if unknown. Procedural
+// parameters (wind strength and direction, degradation rates, obstacle
+// placement) derive deterministically from the seed, so "storm:17" is the
+// same storm everywhere.
+func ByName(name string) *Spec {
+	base, seedStr := name, ""
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		base, seedStr = name[:i], name[i+1:]
+	}
+	g, ok := families[base]
+	if !ok {
+		return nil
+	}
+	seed := int64(1)
+	if seedStr != "" {
+		v, err := strconv.ParseInt(seedStr, 10, 64)
+		if err != nil {
+			return nil
+		}
+		seed = v
+	}
+	s := g(seed)
+	s.Name = name
+	s.Version = Version
+	s.Seed = seed
+	return s
+}
+
+// Names lists the scenario family names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(families))
+	for n := range families {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// patrolScript is the default scripted mission: forward flight down the
+// corridor with gentle alternating weave and a depth-hold collision reflex.
+// The jitter seed perturbs leg timing so different scenario seeds exercise
+// different trajectories.
+func patrolScript(rng *rand.Rand) []ScriptLeg {
+	j := func(base, spread float64) float64 { return base + spread*(rng.Float64()*2-1) }
+	return []ScriptLeg{
+		{DurSec: j(4, 1), VForward: j(1.2, 0.2), HoldDepthM: 2.0},
+		{DurSec: j(1.5, 0.5), VForward: 0.9, YawRate: j(0.2, 0.08), HoldDepthM: 2.0},
+		{DurSec: j(4, 1), VForward: j(1.2, 0.2), HoldDepthM: 2.0},
+		{DurSec: j(1.5, 0.5), VForward: 0.9, YawRate: -j(0.2, 0.08), HoldDepthM: 2.0},
+	}
+}
+
+func genCalm(seed int64) *Spec {
+	rng := rand.New(rand.NewSource(seed))
+	return &Spec{Script: patrolScript(rng)}
+}
+
+func windSpec(rng *rand.Rand) *WindSpec {
+	dir := rng.Float64() * 2 * math.Pi
+	speed := 1.5 + 2.5*rng.Float64()
+	return &WindSpec{
+		Mean:   vec.V3(speed*math.Cos(dir), speed*math.Sin(dir), 0),
+		Sigma:  0.8 + 0.8*rng.Float64(),
+		TauSec: 1 + 2*rng.Float64(),
+	}
+}
+
+func genWind(seed int64) *Spec {
+	rng := rand.New(rand.NewSource(seed))
+	return &Spec{Wind: windSpec(rng), Script: patrolScript(rng)}
+}
+
+func degradeSpecs(rng *rand.Rand) (depth, imu sensor.DegradeParams) {
+	depth = sensor.DegradeParams{
+		DropoutRate:    0.5 + 0.8*rng.Float64(),
+		DropoutMeanSec: 0.15 + 0.2*rng.Float64(),
+		BurstRate:      0.6 + 0.8*rng.Float64(),
+		BurstMeanSec:   0.3 + 0.3*rng.Float64(),
+		BurstGain:      4 + 6*rng.Float64(),
+		LatencyFrames:  1 + rng.Intn(3),
+	}
+	imu = sensor.DegradeParams{
+		BurstRate:    0.4 + 0.6*rng.Float64(),
+		BurstMeanSec: 0.2 + 0.3*rng.Float64(),
+		BurstGain:    3 + 4*rng.Float64(),
+	}
+	return depth, imu
+}
+
+func genDegraded(seed int64) *Spec {
+	rng := rand.New(rand.NewSource(seed))
+	depth, imu := degradeSpecs(rng)
+	return &Spec{DepthDegrade: depth, IMUDegrade: imu, Script: patrolScript(rng)}
+}
+
+// genSquall combines both disturbance channels — wind turbulence and sensor
+// degradation — without the dynamic-scene obstacles, so the world geometry
+// stays static. It is the reference scenario for measuring pure disturbance
+// overhead: unlike storm, nothing forces the renderer off the static-map
+// fast path.
+func genSquall(seed int64) *Spec {
+	rng := rand.New(rand.NewSource(seed))
+	w := windSpec(rng)
+	depth, imu := degradeSpecs(rng)
+	return &Spec{Wind: w, DepthDegrade: depth, IMUDegrade: imu, Script: patrolScript(rng)}
+}
+
+func genStorm(seed int64) *Spec {
+	rng := rand.New(rand.NewSource(seed))
+	w := windSpec(rng)
+	depth, imu := degradeSpecs(rng)
+	obstacles := []ObstacleSpec{
+		{
+			XFrac: 0.35 + 0.1*rng.Float64(), Width: 1.0 + 0.8*rng.Float64(),
+			Height: 3, AmpY: 0.8 + 0.8*rng.Float64(),
+			PeriodSec: 4 + 4*rng.Float64(), PhaseRad: rng.Float64() * 2 * math.Pi,
+		},
+		{
+			XFrac: 0.65 + 0.1*rng.Float64(), Width: 1.0 + 0.8*rng.Float64(),
+			Height: 3, AmpY: 0.8 + 0.8*rng.Float64(),
+			PeriodSec: 4 + 4*rng.Float64(), PhaseRad: rng.Float64() * 2 * math.Pi,
+		},
+	}
+	return &Spec{
+		Wind: w, DepthDegrade: depth, IMUDegrade: imu,
+		Obstacles: obstacles, Script: patrolScript(rng),
+	}
+}
+
+func genSwarm(seed int64) *Spec {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Spec{Drones: 3, Script: patrolScript(rng)}
+	if rng.Float64() < 0.5 {
+		s.Wind = &WindSpec{
+			Mean:   vec.V3(0.5+rng.Float64(), 0, 0),
+			Sigma:  0.5,
+			TauSec: 2,
+		}
+	}
+	return s
+}

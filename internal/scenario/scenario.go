@@ -1,0 +1,145 @@
+// Package scenario defines the seeded, versioned deployment-scenario model:
+// wind and turbulence, sensor degradation schedules, moving obstacles,
+// scripted patrol missions, and multi-drone fleets. A Spec composes these
+// into one reproducible description threaded through experiments.MissionSpec,
+// the rose-sim/rose-sweep CLIs, snapshot metadata, and observability labels —
+// the RoSÉ counterpart of varying deployment conditions around a fixed SoC.
+//
+// RNG stream discipline: every randomized subsystem draws from its own
+// sensor.Stream cursor derived from the scenario seed at a fixed offset
+// (wind at +101, depth degradation at +202, IMU degradation at +303, drone i
+// shifted by i·1000). Streams never interleave, so enabling one subsystem
+// cannot shift another's draws, and each cursor snapshots independently.
+package scenario
+
+import (
+	"math"
+
+	"repro/internal/sensor"
+	"repro/internal/vec"
+	"repro/internal/world"
+)
+
+// Version is the scenario description format version, recorded in snapshot
+// metadata so future format changes can detect old images.
+const Version = 1
+
+// Per-subsystem stream offsets from the scenario seed (see package doc).
+const (
+	windSeedOffset   = 101
+	depthSeedOffset  = 202
+	imuSeedOffset    = 303
+	droneSeedSpacing = 1000
+)
+
+// Spec is a full scenario description. The zero value (and nil) is the calm
+// scenario: no wind, pristine sensors, no obstacles, one drone. Specs are
+// built by ByName from the catalog; Name echoes the catalog name so a
+// snapshot or log line identifies the scenario by string alone.
+type Spec struct {
+	Name    string
+	Version int
+	Seed    int64
+
+	Wind         *WindSpec
+	DepthDegrade sensor.DegradeParams
+	IMUDegrade   sensor.DegradeParams
+	Obstacles    []ObstacleSpec
+
+	// Script is a cyclic waypoint/patrol program for the on-SoC mission
+	// loop; missions without a DNN model fly it via app.ScriptedLoop.
+	Script []ScriptLeg
+
+	// Drones > 1 turns the mission into an N-drone fleet sharing one world.
+	Drones int
+}
+
+// WindSeed returns the wind process stream seed for drone i.
+func (s *Spec) WindSeed(drone int) int64 {
+	return s.Seed + windSeedOffset + int64(drone)*droneSeedSpacing
+}
+
+// DepthDegradeSeed returns the depth degradation stream seed for drone i.
+func (s *Spec) DepthDegradeSeed(drone int) int64 {
+	return s.Seed + depthSeedOffset + int64(drone)*droneSeedSpacing
+}
+
+// IMUDegradeSeed returns the IMU degradation stream seed for drone i.
+func (s *Spec) IMUDegradeSeed(drone int) int64 {
+	return s.Seed + imuSeedOffset + int64(drone)*droneSeedSpacing
+}
+
+// Active reports whether the spec perturbs the environment at all (wind,
+// degradation, or obstacles). Scripts and fleet size are mission shape, not
+// environment perturbation.
+func (s *Spec) Active() bool {
+	if s == nil {
+		return false
+	}
+	return s.Wind != nil || s.DepthDegrade.Enabled() || s.IMUDegrade.Enabled() || len(s.Obstacles) > 0
+}
+
+// ObstacleSpec places one moving obstacle: a wall segment spanning the
+// corridor laterally that oscillates around the centerline. Its pose is a
+// pure function of simulation time, so obstacles need no snapshot state —
+// a restore rebuilds them from simT alone.
+type ObstacleSpec struct {
+	XFrac     float64 // station along the corridor, as a fraction of GoalX
+	Width     float64 // wall segment length (m), across the corridor
+	Height    float64 // wall top (m)
+	AmpY      float64 // lateral oscillation amplitude (m)
+	PeriodSec float64 // oscillation period
+	PhaseRad  float64 // phase offset
+}
+
+// WallAt returns the obstacle's wall for simulation time simT on map m.
+func (o ObstacleSpec) WallAt(simT float64, m *world.Map) world.Wall {
+	x := o.XFrac * m.GoalX
+	cy, _ := m.Centerline(x)
+	y := cy
+	if o.PeriodSec > 0 {
+		y += o.AmpY * math.Sin(2*math.Pi*simT/o.PeriodSec+o.PhaseRad)
+	}
+	return world.Wall{
+		A: vec.V3(x, y-o.Width/2, 0), B: vec.V3(x, y+o.Width/2, 0),
+		ZMin: 0, ZMax: o.Height, Texture: world.TexObstacle,
+	}
+}
+
+// ScriptLeg is one leg of a patrol script: a velocity command held for a
+// duration. Legs cycle until the mission ends (goal, timeout, or abort).
+type ScriptLeg struct {
+	DurSec   float64
+	VForward float64 // m/s
+	VLateral float64 // m/s (body frame, left positive)
+	YawRate  float64 // rad/s
+	// HoldDepthM, when positive, is a collision reflex: if the depth
+	// reading drops below it, the leg's forward velocity is zeroed.
+	HoldDepthM float64
+}
+
+// LegAt returns the active leg for elapsed patrol time t (cycling), or
+// ok=false when the script is empty.
+func LegAt(script []ScriptLeg, t float64) (ScriptLeg, bool) {
+	if len(script) == 0 {
+		return ScriptLeg{}, false
+	}
+	total := 0.0
+	for _, l := range script {
+		total += l.DurSec
+	}
+	if total <= 0 {
+		return script[0], true
+	}
+	t = math.Mod(t, total)
+	if t < 0 {
+		t += total
+	}
+	for _, l := range script {
+		if t < l.DurSec {
+			return l, true
+		}
+		t -= l.DurSec
+	}
+	return script[len(script)-1], true
+}

@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/world"
+)
+
+// Catalog round-trip: every family resolves, echoes its name, stamps
+// version and seed, and the same name yields the same spec.
+func TestCatalogRoundTrip(t *testing.T) {
+	if len(Names()) < 5 {
+		t.Fatalf("Names() = %v, want ≥5 families", Names())
+	}
+	for _, n := range Names() {
+		s := ByName(n)
+		if s == nil {
+			t.Fatalf("ByName(%q) = nil for listed family", n)
+		}
+		if s.Name != n || s.Version != Version || s.Seed != 1 {
+			t.Errorf("ByName(%q) = {Name:%q Version:%d Seed:%d}", n, s.Name, s.Version, s.Seed)
+		}
+		if len(s.Script) == 0 {
+			t.Errorf("family %q has no patrol script", n)
+		}
+	}
+	a, b := ByName("storm:17"), ByName("storm:17")
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same scenario name resolved to different specs")
+	}
+	if reflect.DeepEqual(ByName("storm:17").Wind, ByName("storm:18").Wind) {
+		t.Error("different seeds produced identical wind")
+	}
+	if ByName("hurricane") != nil || ByName("storm:xyz") != nil {
+		t.Error("invalid names should resolve to nil")
+	}
+}
+
+func TestSpecActive(t *testing.T) {
+	var nilSpec *Spec
+	if nilSpec.Active() {
+		t.Error("nil spec should be inactive")
+	}
+	if ByName("calm").Active() {
+		t.Error("calm should be inactive (script is mission shape, not perturbation)")
+	}
+	for _, n := range []string{"wind", "degraded", "storm"} {
+		if !ByName(n).Active() {
+			t.Errorf("%s should be active", n)
+		}
+	}
+	if sw := ByName("swarm:3"); sw.Drones != 3 {
+		t.Errorf("swarm Drones = %d, want 3", sw.Drones)
+	}
+}
+
+// Stream seeds must be distinct per subsystem and per drone.
+func TestStreamSeedDiscipline(t *testing.T) {
+	s := &Spec{Seed: 50}
+	seen := map[int64]string{}
+	for d := 0; d < 3; d++ {
+		for name, v := range map[string]int64{
+			"wind":  s.WindSeed(d),
+			"depth": s.DepthDegradeSeed(d),
+			"imu":   s.IMUDegradeSeed(d),
+		} {
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("seed collision: %s drone %d = %s (%d)", name, d, prev, v)
+			}
+			seen[v] = name
+		}
+	}
+}
+
+// OU wind: deterministic per seed, clamped, stationary around the mean, and
+// Snap/Restore rewinds the gust sequence exactly.
+func TestWindProcess(t *testing.T) {
+	ws := WindSpec{Mean: vec.V3(2, 1, 0), Sigma: 1.2, TauSec: 1.5}
+	const dt = 1.0 / 60
+
+	a, b := NewWindProcess(ws, 9), NewWindProcess(ws, 9)
+	var sum vec.Vec3
+	for i := 0; i < 6000; i++ {
+		wa, wb := a.Step(dt), b.Step(dt)
+		if wa != wb {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+		dev := wa.Sub(ws.Mean)
+		if dev.Norm() > math.Sqrt(3)*4*ws.Sigma+1e-9 {
+			t.Fatalf("gust %v exceeds clamp", dev)
+		}
+		sum = sum.Add(wa)
+	}
+	mean := sum.Scale(1.0 / 6000)
+	if mean.Sub(ws.Mean).Norm() > 0.5 {
+		t.Errorf("long-run mean %v far from configured mean %v", mean, ws.Mean)
+	}
+
+	snap := a.Snap()
+	var tail []vec.Vec3
+	for i := 0; i < 200; i++ {
+		tail = append(tail, a.Step(dt))
+	}
+	fresh := NewWindProcess(ws, 999)
+	fresh.Restore(snap)
+	for i := 0; i < 200; i++ {
+		if w := fresh.Step(dt); w != tail[i] {
+			t.Fatalf("restored wind diverged at step %d: %v vs %v", i, w, tail[i])
+		}
+	}
+}
+
+// Obstacles are pure functions of simulation time.
+func TestObstacleWallAt(t *testing.T) {
+	m := world.Tunnel()
+	o := ObstacleSpec{XFrac: 0.5, Width: 1.5, Height: 3, AmpY: 1.0, PeriodSec: 4}
+	w0 := o.WallAt(0, m)
+	if math.Abs(w0.A.X-25) > 1e-9 || w0.Texture != world.TexObstacle {
+		t.Errorf("obstacle at t=0: %+v", w0)
+	}
+	if math.Abs((w0.B.Y-w0.A.Y)-1.5) > 1e-9 {
+		t.Errorf("obstacle width: %+v", w0)
+	}
+	w1 := o.WallAt(1, m) // quarter period: max lateral offset
+	if math.Abs((w1.A.Y+w1.B.Y)/2-1.0) > 1e-9 {
+		t.Errorf("obstacle at quarter period: center y = %v, want 1.0", (w1.A.Y+w1.B.Y)/2)
+	}
+	if o.WallAt(3, m) != o.WallAt(3, m) || o.WallAt(7, m) != o.WallAt(3, m) {
+		t.Error("obstacle pose not a pure periodic function of simT")
+	}
+}
+
+func TestLegAt(t *testing.T) {
+	script := []ScriptLeg{
+		{DurSec: 2, VForward: 1},
+		{DurSec: 1, YawRate: 0.5},
+	}
+	if l, ok := LegAt(script, 0.5); !ok || l.VForward != 1 {
+		t.Errorf("t=0.5: %+v ok=%v", l, ok)
+	}
+	if l, _ := LegAt(script, 2.5); l.YawRate != 0.5 {
+		t.Errorf("t=2.5: %+v", l)
+	}
+	// Cycles: t=3.5 wraps to 0.5.
+	if l, _ := LegAt(script, 3.5); l.VForward != 1 {
+		t.Errorf("t=3.5 (wrapped): %+v", l)
+	}
+	if _, ok := LegAt(nil, 1); ok {
+		t.Error("empty script should report ok=false")
+	}
+}

@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"math"
+
+	"repro/internal/sensor"
+	"repro/internal/vec"
+)
+
+// WindSpec configures the wind model: a steady mean plus Ornstein-Uhlenbeck
+// turbulence (per-axis, independent), clamped so the physics energy bound
+// stays provable.
+type WindSpec struct {
+	Mean      vec.Vec3 // steady wind, world frame (m/s)
+	Sigma     float64  // stationary turbulence std-dev per axis (m/s)
+	TauSec    float64  // turbulence correlation time (s)
+	ClampSigX float64  // gust clamp in sigmas (0 means 4)
+}
+
+func (w WindSpec) clamp() float64 {
+	c := w.ClampSigX
+	if c <= 0 {
+		c = 4
+	}
+	return c * w.Sigma
+}
+
+// MaxSpeed bounds |wind| over all time — used by the fuzzer's energy
+// invariant (terminal airspeed bound plus MaxSpeed bounds ground speed).
+func (w WindSpec) MaxSpeed() float64 {
+	b := w.clamp()
+	return w.Mean.Norm() + math.Sqrt(3)*b
+}
+
+// WindProcess evolves the turbulence state. The OU update uses the exact
+// discretization x' = a·x + σ√(1−a²)·N with a = exp(−dt/τ), so the
+// distribution is stationary for any frame rate; three normals are drawn
+// per Step regardless of parameters, keeping the stream cursor advance a
+// pure function of the step count.
+type WindProcess struct {
+	spec   WindSpec
+	stream *sensor.Stream
+	cur    vec.Vec3 // turbulence deviation from the mean
+}
+
+// NewWindProcess creates the process from its spec and stream seed.
+func NewWindProcess(ws WindSpec, seed int64) *WindProcess {
+	return &WindProcess{spec: ws, stream: sensor.NewStream(seed)}
+}
+
+// Step advances the turbulence by dt and returns the total wind vector.
+func (w *WindProcess) Step(dt float64) vec.Vec3 {
+	rng := w.stream.Rand()
+	n := vec.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+	if w.spec.Sigma > 0 && w.spec.TauSec > 0 {
+		a := math.Exp(-dt / w.spec.TauSec)
+		s := w.spec.Sigma * math.Sqrt(1-a*a)
+		b := w.spec.clamp()
+		w.cur = vec.V3(
+			vec.Clamp(a*w.cur.X+s*n.X, -b, b),
+			vec.Clamp(a*w.cur.Y+s*n.Y, -b, b),
+			vec.Clamp(a*w.cur.Z+s*n.Z, -b, b),
+		)
+	}
+	return w.Wind()
+}
+
+// Wind returns the current total wind without advancing the process.
+func (w *WindProcess) Wind() vec.Vec3 { return w.spec.Mean.Add(w.cur) }
+
+// WindState is the serializable process image.
+type WindState struct {
+	Stream sensor.StreamState
+	Cur    vec.Vec3
+}
+
+// Snap captures the process state.
+func (w *WindProcess) Snap() WindState {
+	return WindState{Stream: w.stream.Snap(), Cur: w.cur}
+}
+
+// Restore rewinds the process to a captured state.
+func (w *WindProcess) Restore(st WindState) {
+	w.stream.Restore(st.Stream)
+	w.cur = st.Cur
+}

@@ -1,0 +1,165 @@
+package sensor
+
+import "math/rand"
+
+// DegradeParams configures a sensor degradation schedule: random dropouts
+// (the sensor holds its last good value), noise bursts (the underlying noise
+// sigma is multiplied by BurstGain), and a constant processing latency. The
+// zero value disables everything.
+type DegradeParams struct {
+	DropoutRate    float64 // per-second hazard of a dropout starting
+	DropoutMeanSec float64 // mean dropout duration (exponential)
+	BurstRate      float64 // per-second hazard of a noise burst starting
+	BurstMeanSec   float64 // mean burst duration (exponential)
+	BurstGain      float64 // noise sigma multiplier while a burst is active
+	LatencyFrames  int     // readings delayed by this many ticks
+}
+
+// Enabled reports whether any degradation channel is active.
+func (p DegradeParams) Enabled() bool {
+	return p.DropoutRate > 0 || p.BurstRate > 0 || p.LatencyFrames > 0
+}
+
+// Degrade is a deterministic per-sensor degradation schedule built on the
+// same counting-cursor RNG as the noise models: dropout/burst onset and
+// durations come from a seeded stream, so the full schedule is a pure
+// function of (seed, tick count) and Snap/Restore rewinds it exactly.
+type Degrade struct {
+	params DegradeParams
+	seed   int64
+	src    *countingSource
+	rng    *rand.Rand
+
+	dropLeft  float64 // seconds of dropout remaining
+	burstLeft float64 // seconds of burst remaining
+
+	ring     []float64 // latency delay line
+	ringIdx  int
+	ringN    int
+	held     float64 // last good (pre-dropout) output
+	haveHeld bool
+}
+
+// NewDegrade creates a degradation schedule from its seed.
+func NewDegrade(p DegradeParams, seed int64) *Degrade {
+	g := &Degrade{params: p, seed: seed, src: newCountingSource(seed)}
+	g.rng = rand.New(g.src)
+	if p.LatencyFrames > 0 {
+		g.ring = make([]float64, p.LatencyFrames)
+	}
+	return g
+}
+
+// Params returns the configured schedule parameters.
+func (g *Degrade) Params() DegradeParams { return g.params }
+
+// Tick advances the schedule by dt seconds: active windows count down, and
+// inactive channels draw one uniform each to decide whether a new window
+// starts (plus one exponential for its duration when it does). Call exactly
+// once per sensor frame.
+func (g *Degrade) Tick(dt float64) {
+	if g.params.DropoutRate > 0 {
+		if g.dropLeft > 0 {
+			g.dropLeft -= dt
+		} else if g.rng.Float64() < g.params.DropoutRate*dt {
+			g.dropLeft = g.rng.ExpFloat64() * g.params.DropoutMeanSec
+		}
+	}
+	if g.params.BurstRate > 0 {
+		if g.burstLeft > 0 {
+			g.burstLeft -= dt
+		} else if g.rng.Float64() < g.params.BurstRate*dt {
+			g.burstLeft = g.rng.ExpFloat64() * g.params.BurstMeanSec
+		}
+	}
+}
+
+// Dropout reports whether a dropout window is active.
+func (g *Degrade) Dropout() bool { return g.dropLeft > 0 }
+
+// Gain returns the current noise-sigma multiplier (1 outside bursts).
+func (g *Degrade) Gain() float64 {
+	if g.burstLeft > 0 && g.params.BurstGain > 0 {
+		return g.params.BurstGain
+	}
+	return 1
+}
+
+// FilterDepth passes a freshly sampled reading through the latency delay
+// line and the dropout hold, returning what the degraded sensor reports
+// this frame. During ring warm-up the fresh value passes through; during a
+// dropout the last good output is held (the first-ever frame has nothing to
+// hold and passes through).
+func (g *Degrade) FilterDepth(fresh float64) float64 {
+	v := fresh
+	if n := g.params.LatencyFrames; n > 0 {
+		old := g.ring[g.ringIdx]
+		g.ring[g.ringIdx] = fresh
+		g.ringIdx++
+		if g.ringIdx == n {
+			g.ringIdx = 0
+		}
+		if g.ringN < n {
+			g.ringN++ // warm-up: not enough history yet
+		} else {
+			v = old
+		}
+	}
+	if g.Dropout() && g.haveHeld {
+		return g.held
+	}
+	g.held = v
+	g.haveHeld = true
+	return v
+}
+
+// DegradeState is the serializable schedule image: the RNG cursor plus the
+// window countdowns and the delay-line contents.
+type DegradeState struct {
+	Seed      int64
+	Draws     uint64
+	DropLeft  float64
+	BurstLeft float64
+	Ring      []float64
+	RingIdx   int
+	RingN     int
+	Held      float64
+	HaveHeld  bool
+}
+
+// Snap captures the schedule state.
+func (g *Degrade) Snap() DegradeState {
+	st := DegradeState{
+		Seed:      g.seed,
+		Draws:     g.src.draws,
+		DropLeft:  g.dropLeft,
+		BurstLeft: g.burstLeft,
+		RingIdx:   g.ringIdx,
+		RingN:     g.ringN,
+		Held:      g.held,
+		HaveHeld:  g.haveHeld,
+	}
+	if g.ring != nil {
+		st.Ring = append([]float64(nil), g.ring...)
+	}
+	return st
+}
+
+// Restore rewinds the schedule to a captured state, fast-forwarding the
+// stream to the recorded cursor.
+func (g *Degrade) Restore(st DegradeState) {
+	g.seed = st.Seed
+	g.src = newCountingSource(st.Seed)
+	g.src.burn(st.Draws)
+	g.rng = rand.New(g.src)
+	g.dropLeft = st.DropLeft
+	g.burstLeft = st.BurstLeft
+	if g.params.LatencyFrames > 0 {
+		g.ring = make([]float64, g.params.LatencyFrames)
+		copy(g.ring, st.Ring)
+	}
+	g.ringIdx = st.RingIdx
+	g.ringN = st.RingN
+	g.held = st.Held
+	g.haveHeld = st.HaveHeld
+}

@@ -1,0 +1,210 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/physics"
+	"repro/internal/vec"
+)
+
+func activeDegradeParams() DegradeParams {
+	return DegradeParams{
+		DropoutRate:    2.0,
+		DropoutMeanSec: 0.2,
+		BurstRate:      3.0,
+		BurstMeanSec:   0.3,
+		BurstGain:      8,
+		LatencyFrames:  3,
+	}
+}
+
+// Same seed → identical schedule and outputs, different seed → different.
+func TestDegradeDeterministic(t *testing.T) {
+	run := func(seed int64) []float64 {
+		g := NewDegrade(activeDegradeParams(), seed)
+		var out []float64
+		for i := 0; i < 600; i++ {
+			g.Tick(1.0 / 60)
+			out = append(out, g.FilterDepth(float64(i)), g.Gain())
+		}
+		return out
+	}
+	a, b, c := run(7), run(7), run(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical degradation schedules")
+	}
+}
+
+// The schedule must actually do something at these rates: some dropouts,
+// some bursts, and the latency line delaying values by exactly 3 frames.
+func TestDegradeChannelsActive(t *testing.T) {
+	g := NewDegrade(activeDegradeParams(), 3)
+	drops, bursts := 0, 0
+	for i := 0; i < 1200; i++ {
+		g.Tick(1.0 / 60)
+		if g.Dropout() {
+			drops++
+		}
+		if g.Gain() != 1 {
+			bursts++
+		}
+	}
+	if drops == 0 || bursts == 0 {
+		t.Fatalf("schedule inert over 20 s: drops=%d bursts=%d", drops, bursts)
+	}
+
+	// Latency only: a ramp input must come out exactly LatencyFrames behind
+	// after warm-up.
+	lat := NewDegrade(DegradeParams{LatencyFrames: 3}, 1)
+	for i := 0; i < 50; i++ {
+		lat.Tick(1.0 / 60)
+		out := lat.FilterDepth(float64(i))
+		if i >= 3 && out != float64(i-3) {
+			t.Fatalf("frame %d: latency output %v, want %v", i, out, float64(i-3))
+		}
+	}
+}
+
+// During a dropout the output must hold the last pre-dropout value.
+func TestDegradeDropoutHolds(t *testing.T) {
+	g := NewDegrade(DegradeParams{DropoutRate: 1000, DropoutMeanSec: 10}, 2)
+	g.FilterDepth(42) // establish a held value
+	g.Tick(1.0 / 60)  // dropout triggers (rate*dt >> 1)
+	if !g.Dropout() {
+		t.Fatal("dropout did not trigger at overwhelming rate")
+	}
+	for i := 0; i < 5; i++ {
+		if out := g.FilterDepth(float64(100 + i)); out != 42 {
+			t.Fatalf("dropout output %v, want held 42", out)
+		}
+	}
+}
+
+// Satellite: Snap/Restore must rewind the degradation schedule exactly —
+// the extension of the noise-cursor rewind contract to the new cursors.
+func TestDegradeSnapRestoreRewind(t *testing.T) {
+	g := NewDegrade(activeDegradeParams(), 11)
+	for i := 0; i < 200; i++ {
+		g.Tick(1.0 / 60)
+		g.FilterDepth(float64(i))
+	}
+	snap := g.Snap()
+
+	var tail []float64
+	for i := 200; i < 400; i++ {
+		g.Tick(1.0 / 60)
+		tail = append(tail, g.FilterDepth(float64(i)), g.Gain())
+	}
+
+	// Restore into the same instance and into a fresh one.
+	for name, r := range map[string]*Degrade{
+		"same":  g,
+		"fresh": NewDegrade(activeDegradeParams(), 999),
+	} {
+		r.Restore(snap)
+		for i := 200; i < 400; i++ {
+			r.Tick(1.0 / 60)
+			j := (i - 200) * 2
+			if out := r.FilterDepth(float64(i)); out != tail[j] {
+				t.Fatalf("%s restore: frame %d output %v, want %v", name, i, out, tail[j])
+			}
+			if gn := r.Gain(); gn != tail[j+1] {
+				t.Fatalf("%s restore: frame %d gain %v, want %v", name, i, gn, tail[j+1])
+			}
+		}
+	}
+}
+
+// Restoring a snapshot must not alias the live delay line.
+func TestDegradeSnapIsDeepCopy(t *testing.T) {
+	g := NewDegrade(DegradeParams{LatencyFrames: 4}, 5)
+	for i := 0; i < 10; i++ {
+		g.FilterDepth(float64(i))
+	}
+	snap := g.Snap()
+	ringBefore := append([]float64(nil), snap.Ring...)
+	for i := 10; i < 20; i++ {
+		g.FilterDepth(float64(i))
+	}
+	for i := range ringBefore {
+		if snap.Ring[i] != ringBefore[i] {
+			t.Fatal("Snap ring aliases live state")
+		}
+	}
+}
+
+// SampleGain(…, 1) must be bit-identical to Sample and consume the same
+// number of draws for any gain (the stream-stability contract bursts rely
+// on).
+func TestSampleGainStreamStable(t *testing.T) {
+	st := physics.State{Pos: vec.V3(1, 2, 1.5), Vel: vec.V3(0.5, 0, 0), Ori: vec.QuatFromEuler(0, 0, 0.2)}
+
+	a, b := NewIMU(DefaultIMUParams(), 42), NewIMU(DefaultIMUParams(), 42)
+	for i := 0; i < 50; i++ {
+		ra := a.Sample(st, 1.0/60, float64(i))
+		rb := b.SampleGain(st, 1.0/60, float64(i), 1)
+		if ra != rb {
+			t.Fatalf("IMU SampleGain(1) diverged at %d: %+v vs %+v", i, ra, rb)
+		}
+	}
+	if a.Snap().Draws != b.Snap().Draws {
+		t.Fatal("IMU draw counts differ between Sample and SampleGain(1)")
+	}
+	// Varying gain must not change the cursor advance.
+	c := NewIMU(DefaultIMUParams(), 42)
+	for i := 0; i < 50; i++ {
+		c.SampleGain(st, 1.0/60, float64(i), 10)
+	}
+	if c.Snap().Draws != a.Snap().Draws {
+		t.Fatal("IMU draw counts vary with gain")
+	}
+
+	da, db := NewDepth(60, 0.02, 9), NewDepth(60, 0.02, 9)
+	for i := 0; i < 50; i++ {
+		if da.Sample(12.5) != db.SampleGain(12.5, 1) {
+			t.Fatalf("Depth SampleGain(1) diverged at %d", i)
+		}
+	}
+	if da.Snap().Draws != db.Snap().Draws {
+		t.Fatal("Depth draw counts differ")
+	}
+}
+
+// Stream Snap/Restore rewinds an arbitrary consumer exactly.
+func TestStreamSnapRestore(t *testing.T) {
+	s := NewStream(21)
+	for i := 0; i < 100; i++ {
+		s.Rand().NormFloat64()
+	}
+	snap := s.Snap()
+	var want []float64
+	for i := 0; i < 50; i++ {
+		want = append(want, s.Rand().NormFloat64(), s.Rand().Float64())
+	}
+	fresh := NewStream(0)
+	fresh.Restore(snap)
+	for i := 0; i < 50; i++ {
+		if got := fresh.Rand().NormFloat64(); got != want[i*2] {
+			t.Fatalf("restored stream diverged at %d: %v vs %v", i, got, want[i*2])
+		}
+		if got := fresh.Rand().Float64(); got != want[i*2+1] {
+			t.Fatalf("restored stream diverged at %d (uniform)", i)
+		}
+	}
+	if math.IsNaN(want[0]) {
+		t.Fatal("sanity")
+	}
+}

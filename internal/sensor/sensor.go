@@ -163,6 +163,14 @@ func (s *IMU) Restore(st IMUState) {
 // since the previous sample (used to estimate linear acceleration);
 // timeSec stamps the reading.
 func (s *IMU) Sample(st physics.State, dt, timeSec float64) IMUReading {
+	return s.SampleGain(st, dt, timeSec, 1)
+}
+
+// SampleGain is Sample with the noise sigmas scaled by gain — the scenario
+// engine's noise-burst hook. It consumes exactly the same number of RNG
+// draws as Sample for any gain, so enabling bursts never shifts the noise
+// stream, and gain 1 is bit-identical to Sample.
+func (s *IMU) SampleGain(st physics.State, dt, timeSec, gain float64) IMUReading {
 	// World-frame linear acceleration from finite differencing.
 	var accWorld vec.Vec3
 	if s.havePrev && dt > 0 {
@@ -179,8 +187,8 @@ func (s *IMU) Sample(st physics.State, dt, timeSec float64) IMUReading {
 	}
 	roll, pitch, yaw := st.Ori.Euler()
 	s.lastSample = IMUReading{
-		Accel:   f.Add(s.accelBias).Add(noise(s.params.AccelNoise)),
-		Gyro:    st.Omega.Add(s.gyroBias).Add(noise(s.params.GyroNoise)),
+		Accel:   f.Add(s.accelBias).Add(noise(s.params.AccelNoise * gain)),
+		Gyro:    st.Omega.Add(s.gyroBias).Add(noise(s.params.GyroNoise * gain)),
 		Roll:    roll,
 		Pitch:   pitch,
 		Yaw:     yaw,
@@ -237,6 +245,13 @@ func (d *Depth) Restore(st DepthState) {
 // Sample perturbs a ground-truth distance with multiplicative noise, clamped
 // to (0, MaxRange].
 func (d *Depth) Sample(trueDist float64) float64 {
-	v := trueDist * (1 + d.rng.NormFloat64()*d.Sigma)
+	return d.SampleGain(trueDist, 1)
+}
+
+// SampleGain is Sample with the noise sigma scaled by gain (the noise-burst
+// hook); it consumes one draw regardless of gain, and gain 1 is
+// bit-identical to Sample.
+func (d *Depth) SampleGain(trueDist, gain float64) float64 {
+	v := trueDist * (1 + d.rng.NormFloat64()*d.Sigma*gain)
 	return vec.Clamp(v, 0.01, d.MaxRange)
 }

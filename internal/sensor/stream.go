@@ -1,0 +1,42 @@
+package sensor
+
+import "math/rand"
+
+// Stream is an exported snapshottable RNG cursor — the countingSource idiom
+// packaged for other packages (the scenario engine's wind process and
+// degradation schedules) so every randomness consumer in a mission shares
+// one Snap/Restore discipline: (seed, draws) fully names the stream
+// position, and a restore fast-forwards a fresh source by burning draws.
+type Stream struct {
+	seed int64
+	src  *countingSource
+	rng  *rand.Rand
+}
+
+// NewStream creates a stream seeded deterministically.
+func NewStream(seed int64) *Stream {
+	s := &Stream{seed: seed, src: newCountingSource(seed)}
+	s.rng = rand.New(s.src)
+	return s
+}
+
+// Rand exposes the underlying *rand.Rand; every draw through it advances the
+// snapshot cursor.
+func (s *Stream) Rand() *rand.Rand { return s.rng }
+
+// StreamState is the serializable cursor.
+type StreamState struct {
+	Seed  int64
+	Draws uint64
+}
+
+// Snap captures the cursor.
+func (s *Stream) Snap() StreamState { return StreamState{Seed: s.seed, Draws: s.src.draws} }
+
+// Restore rewinds to a captured cursor by replaying draws from the seed.
+func (s *Stream) Restore(st StreamState) {
+	s.seed = st.Seed
+	s.src = newCountingSource(st.Seed)
+	s.src.burn(st.Draws)
+	s.rng = rand.New(s.src)
+}

@@ -1,0 +1,233 @@
+package world
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/vec"
+)
+
+// Procedural map families. Each generator is a pure function of its seed:
+// the same seed always yields byte-identical geometry, which is what lets a
+// snapshot image or a fuzzer reproduction name a map as "family:seed" and
+// rebuild it anywhere. All families keep the corridor x-monotone with a
+// straight lead-in at y = 0 (take-off happens inside the training envelope)
+// and a valid Centerline/HalfWidth, so trajectory-quality metrics and
+// tunneling invariants work unchanged on generated geometry.
+
+// knot is one centerline vertex of a piecewise-linear corridor.
+type knot struct {
+	x, y, heading float64 // heading covers the segment starting at x
+}
+
+// knotCenterline builds a Centerline closure over piecewise-linear knots.
+// The knots must be strictly x-monotone; the last knot's heading is the
+// terminal heading.
+func knotCenterline(knots []knot) func(float64) (float64, float64) {
+	return func(x float64) (float64, float64) {
+		if x <= knots[0].x {
+			return knots[0].y, knots[0].heading
+		}
+		last := knots[len(knots)-1]
+		if x >= last.x {
+			return last.y, last.heading
+		}
+		// Linear scan: knot counts are tiny (< 20).
+		for i := 1; i < len(knots); i++ {
+			if x <= knots[i].x {
+				a, b := knots[i-1], knots[i]
+				t := (x - a.x) / (b.x - a.x)
+				return vec.Lerp(a.y, b.y, t), a.heading
+			}
+		}
+		return last.y, last.heading
+	}
+}
+
+// headingsFromKnots fills each knot's heading from the slope to the next
+// knot (the last knot keeps the previous segment's heading).
+func headingsFromKnots(knots []knot) {
+	for i := 0; i < len(knots)-1; i++ {
+		knots[i].heading = math.Atan2(knots[i+1].y-knots[i].y, knots[i+1].x-knots[i].x)
+	}
+	if len(knots) > 1 {
+		knots[len(knots)-1].heading = knots[len(knots)-2].heading
+	}
+}
+
+// offsetWalls samples left/right wall polylines every step metres by
+// offsetting the centerline along its normal (the SShape construction).
+func offsetWalls(m *Map, center func(float64) (float64, float64), length, halfWidth, step float64) {
+	n := int(length/step) + 1
+	prevL, prevR := offsetPoint(center, 0, halfWidth), offsetPoint(center, 0, -halfWidth)
+	for i := 1; i <= n; i++ {
+		x := float64(i) * step
+		if x > length {
+			x = length
+		}
+		l, r := offsetPoint(center, x, halfWidth), offsetPoint(center, x, -halfWidth)
+		m.Walls = append(m.Walls,
+			Wall{A: prevL, B: l, ZMin: 0, ZMax: wallHeight, Texture: TexLeftWall},
+			Wall{A: prevR, B: r, ZMin: 0, ZMax: wallHeight, Texture: TexRightWall},
+		)
+		prevL, prevR = l, r
+	}
+	m.Walls = append(m.Walls, Wall{
+		A: offsetPoint(center, 0, -halfWidth), B: offsetPoint(center, 0, halfWidth),
+		ZMin: 0, ZMax: wallHeight, Texture: TexEndWall,
+	})
+}
+
+// boundsFor derives loose failsafe bounds from the corridor envelope.
+func boundsFor(length, yMin, yMax float64) Bounds {
+	return Bounds{
+		Min: vec.V3(-10, yMin-15, -1),
+		Max: vec.V3(length+10, yMax+15, 30),
+	}
+}
+
+// GenCorridor generates a winding constant-width corridor: straight lead-in,
+// then segments of random length whose headings random-walk within a clamp,
+// so the vehicle must steer continuously but the corridor stays x-monotone.
+func GenCorridor(seed int64) *Map {
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		length  = 60.0
+		leadIn  = 8.0
+		maxHead = 0.55 // rad, cumulative heading clamp
+	)
+	halfWidth := 1.8 + 0.6*rng.Float64()
+
+	knots := []knot{{x: 0, y: 0}, {x: leadIn, y: 0}}
+	x, y, head := leadIn, 0.0, 0.0
+	for x < length {
+		segLen := 6 + 6*rng.Float64()
+		if x+segLen > length {
+			segLen = length - x
+		}
+		head = vec.Clamp(head+(rng.Float64()*2-1)*0.5, -maxHead, maxHead)
+		x += segLen
+		y += math.Tan(head) * segLen
+		knots = append(knots, knot{x: x, y: y})
+	}
+	headingsFromKnots(knots)
+	center := knotCenterline(knots)
+
+	yMin, yMax := 0.0, 0.0
+	for _, k := range knots {
+		yMin, yMax = math.Min(yMin, k.y), math.Max(yMax, k.y)
+	}
+	m := &Map{
+		Name:       "corridor",
+		Start:      vec.V3(0, 0, 0),
+		GoalX:      length,
+		HalfWidth:  halfWidth,
+		Bounds:     boundsFor(length, yMin-halfWidth, yMax+halfWidth),
+		Centerline: center,
+	}
+	offsetWalls(m, center, length, halfWidth, 2.0)
+	return m
+}
+
+// GenRooms generates a sequence of wide chambers separated by divider walls
+// with narrow doorways at randomized lateral offsets. The centerline threads
+// the doorway centers, so following it is always collision-free.
+func GenRooms(seed int64) *Map {
+	rng := rand.New(rand.NewSource(seed))
+	const leadIn = 8.0
+	halfWidth := 3.5 + 1.5*rng.Float64() // room half-width (outer walls at ±halfWidth)
+	gap := 1.3 + 0.4*rng.Float64()       // doorway half-width
+	nRooms := 4 + rng.Intn(3)
+
+	knots := []knot{{x: 0, y: 0}, {x: leadIn, y: 0}}
+	length := leadIn
+	type divider struct{ x, doorY float64 }
+	var divs []divider
+	for i := 0; i < nRooms; i++ {
+		length += 8 + 5*rng.Float64()
+		doorY := (rng.Float64()*2 - 1) * (halfWidth - gap - 0.5)
+		divs = append(divs, divider{x: length, doorY: doorY})
+		knots = append(knots, knot{x: length, y: doorY})
+	}
+	length += 6 // final chamber to the goal
+	knots = append(knots, knot{x: length, y: 0})
+	headingsFromKnots(knots)
+
+	m := &Map{
+		Name:       "rooms",
+		Start:      vec.V3(0, 0, 0),
+		GoalX:      length,
+		HalfWidth:  gap,
+		Bounds:     boundsFor(length, -halfWidth, halfWidth),
+		Centerline: knotCenterline(knots),
+	}
+	// Outer walls, back wall.
+	m.Walls = append(m.Walls,
+		Wall{A: vec.V3(-2, halfWidth, 0), B: vec.V3(length+2, halfWidth, 0), ZMin: 0, ZMax: wallHeight, Texture: TexLeftWall},
+		Wall{A: vec.V3(-2, -halfWidth, 0), B: vec.V3(length+2, -halfWidth, 0), ZMin: 0, ZMax: wallHeight, Texture: TexRightWall},
+		Wall{A: vec.V3(-2, -halfWidth, 0), B: vec.V3(-2, halfWidth, 0), ZMin: 0, ZMax: wallHeight, Texture: TexEndWall},
+	)
+	// Divider walls: full span minus the doorway.
+	for _, d := range divs {
+		m.Walls = append(m.Walls,
+			Wall{A: vec.V3(d.x, -halfWidth, 0), B: vec.V3(d.x, d.doorY-gap, 0), ZMin: 0, ZMax: wallHeight, Texture: TexGate},
+			Wall{A: vec.V3(d.x, d.doorY+gap, 0), B: vec.V3(d.x, halfWidth, 0), ZMin: 0, ZMax: wallHeight, Texture: TexGate},
+		)
+	}
+	return m
+}
+
+// GenSlalom generates a straight wide corridor with interior gate walls
+// attached to alternating sides, each leaving a gap the centerline weaves
+// through.
+func GenSlalom(seed int64) *Map {
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		length    = 60.0
+		halfWidth = 3.0
+		leadIn    = 10.0
+	)
+	side := 1.0
+	if rng.Intn(2) == 1 {
+		side = -1
+	}
+
+	knots := []knot{{x: 0, y: 0}, {x: leadIn * 0.6, y: 0}}
+	type gate struct{ x, tipY, side float64 }
+	var gates []gate
+	minHalfGap := halfWidth
+	for x := leadIn; x < length-4; x += 7 + 3*rng.Float64() {
+		opening := 3.4 + 0.8*rng.Float64() // gate length from the wall
+		tipY := side * (halfWidth - opening)
+		gates = append(gates, gate{x: x, tipY: tipY, side: side})
+		// Gap spans [tipY, -side*halfWidth]; weave through its center.
+		gapCenter := (tipY - side*halfWidth) / 2
+		halfGap := math.Abs(tipY+side*halfWidth) / 2
+		minHalfGap = math.Min(minHalfGap, halfGap)
+		knots = append(knots, knot{x: x, y: gapCenter})
+		side = -side
+	}
+	knots = append(knots, knot{x: length, y: 0})
+	headingsFromKnots(knots)
+
+	m := &Map{
+		Name:       "slalom",
+		Start:      vec.V3(0, 0, 0),
+		GoalX:      length,
+		HalfWidth:  minHalfGap,
+		Bounds:     boundsFor(length, -halfWidth, halfWidth),
+		Centerline: knotCenterline(knots),
+	}
+	m.Walls = append(m.Walls,
+		Wall{A: vec.V3(-5, halfWidth, 0), B: vec.V3(length+5, halfWidth, 0), ZMin: 0, ZMax: wallHeight, Texture: TexLeftWall},
+		Wall{A: vec.V3(-5, -halfWidth, 0), B: vec.V3(length+5, -halfWidth, 0), ZMin: 0, ZMax: wallHeight, Texture: TexRightWall},
+		Wall{A: vec.V3(-5, -halfWidth, 0), B: vec.V3(-5, halfWidth, 0), ZMin: 0, ZMax: wallHeight, Texture: TexEndWall},
+	)
+	for _, g := range gates {
+		m.Walls = append(m.Walls, Wall{
+			A: vec.V3(g.x, g.side*halfWidth, 0), B: vec.V3(g.x, g.tipY, 0),
+			ZMin: 0, ZMax: wallHeight, Texture: TexGate,
+		})
+	}
+	return m
+}

@@ -2,6 +2,9 @@ package world
 
 import (
 	"math"
+	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/vec"
 )
@@ -13,6 +16,12 @@ const (
 	TexLeftWall  = 1
 	TexRightWall = 2
 	TexEndWall   = 3
+	// TexGate marks interior gate/divider walls in the procedural families.
+	TexGate = 4
+	// TexObstacle marks scenario-engine moving obstacles.
+	TexObstacle = 5
+	// TexDrone marks peer vehicles in multi-drone missions.
+	TexDrone = 6
 )
 
 const wallHeight = 8.0
@@ -110,16 +119,74 @@ func offsetPoint(center func(float64) (float64, float64), x, off float64) vec.Ve
 	return vec.V3(x+nx*off, y+ny*off, 0)
 }
 
-// ByName returns a map by its name, or nil if unknown.
-func ByName(name string) *Map {
-	switch name {
-	case "tunnel":
-		return Tunnel()
-	case "s-shape", "sshape":
-		return SShape()
+// The environment registry: every map resolvable through ByName lives here,
+// and Names derives from the same tables, so the two can never drift apart
+// (they used to be parallel hardcoded lists).
+//
+// Two kinds of entries exist: builders (fixed hand-built maps, resolved by
+// bare name) and generator families (seeded procedural maps, resolved as
+// "family:seed" with a bare family name meaning seed 1).
+var (
+	builders = map[string]func() *Map{
+		"tunnel":  Tunnel,
+		"s-shape": SShape,
 	}
-	return nil
+	generators = map[string]func(seed int64) *Map{
+		"corridor": GenCorridor,
+		"rooms":    GenRooms,
+		"slalom":   GenSlalom,
+	}
+	// aliases maps accepted spellings onto registry names; aliases resolve
+	// through ByName but are not listed by Names.
+	aliases = map[string]string{"sshape": "s-shape"}
+)
+
+// ByName returns a map by its name, or nil if unknown. Procedural families
+// accept a seed suffix ("corridor:7"); the bare family name means seed 1.
+// The returned map's Name always echoes the requested name, so every name
+// listed by Names round-trips: ByName(n).Name == n.
+func ByName(name string) *Map {
+	base, seedStr := name, ""
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		base, seedStr = name[:i], name[i+1:]
+	}
+	if canon, ok := aliases[base]; ok {
+		base = canon
+	}
+	if b, ok := builders[base]; ok {
+		if seedStr != "" {
+			return nil // hand-built maps take no seed
+		}
+		return b()
+	}
+	g, ok := generators[base]
+	if !ok {
+		return nil
+	}
+	seed := int64(1)
+	if seedStr != "" {
+		v, err := strconv.ParseInt(seedStr, 10, 64)
+		if err != nil {
+			return nil
+		}
+		seed = v
+	}
+	m := g(seed)
+	m.Name = name
+	return m
 }
 
-// Names lists the available environment names.
-func Names() []string { return []string{"tunnel", "s-shape"} }
+// Names lists the available environment names: hand-built maps plus the
+// procedural generator families (use "family:seed" for a specific instance).
+// Derived from the ByName registry, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builders)+len(generators))
+	for n := range builders {
+		out = append(out, n)
+	}
+	for n := range generators {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

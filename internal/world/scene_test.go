@@ -1,0 +1,107 @@
+package world
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// A Scene with no dynamic content must behave exactly like its Map.
+func TestSceneEmptyMatchesMap(t *testing.T) {
+	m := Tunnel()
+	sc := &Scene{Map: m}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		p := vec.V3(rng.Float64()*40, (rng.Float64()-0.5)*4, 0.3+rng.Float64()*3)
+		yaw := rng.Float64() * 2 * math.Pi
+		if a, b := m.DepthAhead(p, yaw, 60), sc.DepthAhead(p, yaw, 60); a != b {
+			t.Fatalf("empty scene depth %v != map depth %v", b, a)
+		}
+		if a, b := m.Collide(p, 0.3), sc.Collide(p, 0.3); a != b {
+			t.Fatalf("empty scene collide %+v != map collide %+v", b, a)
+		}
+	}
+}
+
+func TestSceneDynamicWall(t *testing.T) {
+	m := Tunnel()
+	sc := &Scene{Map: m, Walls: []Wall{
+		{A: vec.V3(10, -1.6, 0), B: vec.V3(10, 1.6, 0), ZMin: 0, ZMax: 4, Texture: TexObstacle},
+	}}
+	// Looking down the corridor from x=5: the dynamic wall at x=10.
+	d := sc.DepthAhead(vec.V3(5, 0, 1.5), 0, 60)
+	if math.Abs(d-5) > 1e-9 {
+		t.Errorf("depth = %v, want 5 (dynamic wall)", d)
+	}
+	h, ok := sc.Raycast(vec.V3(5, 0, 1.5), vec.V3(1, 0, 0), 60)
+	if !ok || h.Texture != TexObstacle {
+		t.Errorf("raycast hit %+v ok=%v, want obstacle texture", h, ok)
+	}
+	// Collision against the dynamic wall reports an index past the map's.
+	c := sc.Collide(vec.V3(9.9, 0, 1.5), 0.3)
+	if !c.Collided || c.Wall != len(m.Walls) || c.Body != -1 {
+		t.Errorf("dynamic wall collision: %+v (map has %d walls)", c, len(m.Walls))
+	}
+	// Above the obstacle's height: clear again.
+	if d := sc.DepthAhead(vec.V3(5, 0, 5), 0, 60); d != 60 {
+		t.Errorf("depth above obstacle = %v, want 60", d)
+	}
+}
+
+func TestSceneBody(t *testing.T) {
+	m := Tunnel()
+	sc := &Scene{Map: m, Bodies: []Body{
+		{Pos: vec.V3(8, 0, 1.5), Radius: 0.3, Texture: TexDrone},
+	}}
+	// Depth from x=5 facing forward: sphere surface at 3 − 0.3.
+	d := sc.DepthAhead(vec.V3(5, 0, 1.5), 0, 60)
+	if math.Abs(d-2.7) > 1e-9 {
+		t.Errorf("depth = %v, want 2.7 (peer body)", d)
+	}
+	h, ok := sc.Raycast(vec.V3(5, 0, 1.5), vec.V3(1, 0, 0), 60)
+	if !ok || h.Texture != TexDrone {
+		t.Fatalf("raycast hit %+v ok=%v, want drone texture", h, ok)
+	}
+	if math.Abs(h.Normal.Sub(vec.V3(-1, 0, 0)).Norm()) > 1e-9 {
+		t.Errorf("sphere normal = %v, want -X", h.Normal)
+	}
+	// Sphere-sphere collision: centers 0.5 m apart, radii 0.3+0.3.
+	c := sc.Collide(vec.V3(7.5, 0, 1.5), 0.3)
+	if !c.Collided || c.Body != 0 || c.Wall != -1 {
+		t.Fatalf("body collision: %+v", c)
+	}
+	if math.Abs(c.Depth-0.1) > 1e-9 {
+		t.Errorf("body depth = %v, want 0.1", c.Depth)
+	}
+	if c.Normal.X >= 0 {
+		t.Errorf("push-out normal %v should point away from the body", c.Normal)
+	}
+	// A miss past the body.
+	if c := sc.Collide(vec.V3(7.5, 1.0, 1.5), 0.3); c.Collided {
+		t.Errorf("false body collision: %+v", c)
+	}
+}
+
+// Body hits must override a floor-only collision (walls-over-floor rule).
+func TestSceneBodyOverridesFloor(t *testing.T) {
+	m := Tunnel()
+	sc := &Scene{Map: m, Bodies: []Body{
+		{Pos: vec.V3(8, 0, 0.2), Radius: 0.3, Texture: TexDrone},
+	}}
+	c := sc.Collide(vec.V3(8.5, 0, 0.25), 0.3)
+	if !c.Collided || c.Body != 0 {
+		t.Fatalf("expected body collision to beat floor: %+v", c)
+	}
+}
+
+// Ray-sphere from inside the sphere returns the exit point, not a miss —
+// peers that spawn overlapping must still see each other.
+func TestRaySphereInside(t *testing.T) {
+	b := Body{Pos: vec.V3(0, 0, 0), Radius: 1}
+	t1, ok := raySphere(vec.V3(0.5, 0, 0), vec.V3(1, 0, 0), &b)
+	if !ok || math.Abs(t1-0.5) > 1e-9 {
+		t.Errorf("inside-sphere exit = %v ok=%v, want 0.5", t1, ok)
+	}
+}

@@ -151,13 +151,14 @@ type CollisionInfo struct {
 	Normal   vec.Vec3 // push-out direction (unit)
 	Depth    float64  // penetration depth (m)
 	Wall     int      // index of the wall hit, -1 for floor / bounds
+	Body     int      // index of the dynamic body hit (Scene only), -1 otherwise
 }
 
 // Collide tests a sphere of the given radius centred at p against the map.
 // It returns the deepest penetration, favouring walls over the floor so the
 // flight controller's altitude hold does not mask lateral crashes.
 func (m *Map) Collide(p vec.Vec3, radius float64) CollisionInfo {
-	out := CollisionInfo{Wall: -1}
+	out := CollisionInfo{Wall: -1, Body: -1}
 	for i := range m.Walls {
 		w := &m.Walls[i]
 		if p.Z+radius < w.ZMin || p.Z-radius > w.ZMax {
@@ -176,12 +177,12 @@ func (m *Map) Collide(p vec.Vec3, radius float64) CollisionInfo {
 				} else {
 					n = n.Scale(1 / dist)
 				}
-				out = CollisionInfo{Collided: true, Normal: n, Depth: depth, Wall: i}
+				out = CollisionInfo{Collided: true, Normal: n, Depth: depth, Wall: i, Body: -1}
 			}
 		}
 	}
 	if !out.Collided && p.Z-radius < 0 {
-		out = CollisionInfo{Collided: true, Normal: vec.V3(0, 0, 1), Depth: radius - p.Z, Wall: -1}
+		out = CollisionInfo{Collided: true, Normal: vec.V3(0, 0, 1), Depth: radius - p.Z, Wall: -1, Body: -1}
 	}
 	return out
 }

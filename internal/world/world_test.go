@@ -3,6 +3,7 @@ package world
 import (
 	"math"
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"repro/internal/vec"
@@ -201,8 +202,159 @@ func TestByName(t *testing.T) {
 	if ByName("mars") != nil {
 		t.Error("unknown map should be nil")
 	}
-	if len(Names()) != 2 {
-		t.Error("Names() should list two maps")
+	if ByName("corridor:7") == nil || ByName("slalom") == nil {
+		t.Error("procedural families not found")
+	}
+	// Hand-built maps take no seed; garbage seeds are rejected.
+	if ByName("tunnel:3") != nil || ByName("corridor:xyz") != nil {
+		t.Error("invalid seeded names should be nil")
+	}
+	if len(Names()) != 5 {
+		t.Errorf("Names() = %v, want 5 entries", Names())
+	}
+}
+
+// Regression for the old hardcoded Names() list drifting from ByName: every
+// listed name must resolve, and the resolved map must echo the exact name it
+// was asked for (round-trip), including seeded procedural instances.
+func TestRegistryRoundTrip(t *testing.T) {
+	for _, n := range Names() {
+		m := ByName(n)
+		if m == nil {
+			t.Fatalf("Names() lists %q but ByName(%q) = nil", n, n)
+		}
+		if m.Name != n {
+			t.Errorf("ByName(%q).Name = %q, want round-trip", n, m.Name)
+		}
+	}
+	for _, n := range []string{"corridor:7", "rooms:42", "slalom:123"} {
+		m := ByName(n)
+		if m == nil || m.Name != n {
+			t.Errorf("seeded name %q does not round-trip", n)
+		}
+	}
+}
+
+// Same seed must yield byte-identical geometry; different seeds must differ.
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, fam := range []string{"corridor", "rooms", "slalom"} {
+		a, b := ByName(fam+":9"), ByName(fam+":9")
+		if len(a.Walls) != len(b.Walls) {
+			t.Fatalf("%s: wall count differs across identical seeds", fam)
+		}
+		for i := range a.Walls {
+			if a.Walls[i] != b.Walls[i] {
+				t.Fatalf("%s: wall %d differs across identical seeds", fam, i)
+			}
+		}
+		c := ByName(fam + ":10")
+		same := len(a.Walls) == len(c.Walls)
+		if same {
+			for i := range a.Walls {
+				if a.Walls[i] != c.Walls[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 9 and 10 produced identical geometry", fam)
+		}
+	}
+}
+
+// Every generated map must be navigable along its own centerline: no
+// collisions, adequate look-ahead depth, goal reachable inside bounds.
+func TestGeneratedMapsNavigable(t *testing.T) {
+	for _, fam := range []string{"corridor", "rooms", "slalom"} {
+		for seed := 1; seed <= 8; seed++ {
+			name := fam + ":" + strconv.Itoa(seed)
+			m := ByName(name)
+			if m == nil {
+				t.Fatalf("ByName(%q) = nil", name)
+			}
+			if m.GoalX <= 20 || m.HalfWidth <= 0.5 {
+				t.Fatalf("%s: degenerate metadata goal=%v halfWidth=%v", name, m.GoalX, m.HalfWidth)
+			}
+			for x := 0.5; x < m.GoalX-0.5; x += 0.25 {
+				cy, ch := m.Centerline(x)
+				p := vec.V3(x, cy, 1.5)
+				if !m.Bounds.Contains(p) {
+					t.Fatalf("%s: centerline leaves bounds at x=%v", name, x)
+				}
+				if c := m.Collide(p, 0.3); c.Collided {
+					t.Fatalf("%s: centerline collides at x=%v: %+v", name, x, c)
+				}
+				if d := m.DepthAhead(p, ch, 100); d < 1.2 {
+					t.Fatalf("%s: centerline depth %v at x=%v too small", name, d, x)
+				}
+			}
+		}
+	}
+}
+
+// naiveNearest is an independent brute-force reference for Raycast: it
+// solves each wall with plane algebra (project onto the wall plane, then
+// check the segment/height window) and takes the minimum, with no shared
+// code path with rayWall.
+func naiveNearest(m *Map, o, dir vec.Vec3, maxDist float64) (float64, bool) {
+	d := dir.Unit()
+	best, found := maxDist, false
+	if d.Z < -1e-12 { // ground plane
+		if t := -o.Z / d.Z; t > 1e-9 && t < best {
+			best, found = t, true
+		}
+	}
+	for i := range m.Walls {
+		w := &m.Walls[i]
+		n := w.Normal2D()
+		den := n.Dot(d)
+		if math.Abs(den) < 1e-15 {
+			continue
+		}
+		t := n.Dot(w.A.Sub(o)) / den
+		if t <= 1e-9 || t >= best {
+			continue
+		}
+		p := o.Add(d.Scale(t))
+		if p.Z < w.ZMin || p.Z > w.ZMax {
+			continue
+		}
+		e := w.B.Sub(w.A).XY()
+		s := p.Sub(w.A).XY().Dot(e) / e.NormSq()
+		if s < 0 || s > 1 {
+			continue
+		}
+		best, found = t, true
+	}
+	return best, found
+}
+
+// Satellite: raycast-vs-naive reference across generated geometry. DepthAhead
+// (the production 2-D cross-product solve) must agree with an independent
+// plane-projection intersection over ≥10 seeds per family.
+func TestDepthAheadMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, fam := range []string{"corridor", "rooms", "slalom"} {
+		for seed := int64(1); seed <= 12; seed++ {
+			m := ByName(fam + ":" + strconv.FormatInt(seed, 10))
+			for i := 0; i < 60; i++ {
+				x := rng.Float64() * m.GoalX
+				cy, _ := m.Centerline(x)
+				p := vec.V3(x, cy+(rng.Float64()-0.5)*m.HalfWidth, 0.5+rng.Float64()*3)
+				yaw := rng.Float64() * 2 * math.Pi
+				got := m.DepthAhead(p, yaw, 60)
+				dir := vec.V3(math.Cos(yaw), math.Sin(yaw), 0)
+				want, ok := naiveNearest(m, p, dir, 60)
+				if !ok {
+					want = 60
+				}
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("%s:%d depth mismatch at %v yaw=%v: got %v, naive %v",
+						fam, seed, p, yaw, got, want)
+				}
+			}
+		}
 	}
 }
 

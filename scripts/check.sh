@@ -66,6 +66,16 @@ echo "== energy parity matrix =="
 # timing and trajectory untouched.
 go test -race -count=1 -run 'TestEnergy|TestRestorePreEnergyImage' ./internal/experiments/
 
+echo "== scenario fuzz (bounded) =="
+# The property-based mission sweep on a bounded seed budget: every scenario
+# family x 6 seeds on rotating procedural worlds, each mission checked for
+# tunneling, speed/bounds violations, replay determinism, and snapshot
+# parity — plus the fault-localization proof (an injected impulse must
+# diverge the fingerprint chain at its quantum). make scenariofuzz runs the
+# full 16-seed sweep.
+ROSE_SCENARIOFUZZ_SEEDS=6 go test -race -count=1 \
+    -run 'TestScenarioFuzz|TestInjectedFault' ./internal/experiments/fuzz/
+
 echo "== fuzz smoke (30s) =="
 # A short native-fuzzing burst per wire-facing decoder: packet framing
 # (buffer and stream decoders, including the resilience extension + CRC)
